@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: expert activation count (top-k sweep).
+ *
+ * The paper compares only top-2 (sparse) against top-8 (dense); this
+ * ablation sweeps k in {1, 2, 4, 8} to map the full trade-off between
+ * activated compute, maximum batch size, and throughput — the design
+ * space behind Takeaway 4.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "gpusim/finetune_sim.hpp"
+#include "gpusim/memory_model.hpp"
+
+using namespace ftsim;
+
+int
+main()
+{
+    bench::banner("Ablation",
+                  "Active experts per token (top-k sweep, Mixtral, A40, "
+                  "CS)");
+
+    const GpuSpec a40 = GpuSpec::a40();
+    Table table({"top-k", "sparsity", "max bsz", "q/s @ bsz1",
+                 "q/s @ max bsz"});
+    for (std::size_t k : {1u, 2u, 4u, 8u}) {
+        ModelSpec spec = ModelSpec::mixtral8x7b();
+        spec.topKSparse = k;
+        const int max_bsz = MemoryModel::maxBatchSize(spec, a40, 79, true);
+        FineTuneSim sim(spec, a40);
+        const double q1 = sim.throughput(1, 79, true, 0.45);
+        const double qmax =
+            max_bsz >= 1 ? sim.throughput(
+                               static_cast<std::size_t>(max_bsz), 79,
+                               true, 0.45)
+                         : 0.0;
+        table.addRow({Table::fmt(static_cast<long long>(k)),
+                      Table::fmt(spec.sparsity(true), 3),
+                      Table::fmt(static_cast<long long>(max_bsz)),
+                      Table::fmt(q1, 2), Table::fmt(qmax, 2)});
+    }
+    std::cout << table.render();
+
+    bench::note("lower k -> larger feasible batches and higher peak "
+                "throughput; the paper's top-2 choice keeps accuracy "
+                "at dense level (Fig. 3) while nearly quadrupling "
+                "throughput vs. dense (Fig. 8).");
+    return 0;
+}

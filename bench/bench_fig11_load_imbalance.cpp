@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Reproduces Fig. 11: token distribution across experts before and after
+ * fine-tuning, with the across-expert variance the paper reports. Both
+ * miniature models are actually fine-tuned (sparse, top-2) on the CS and
+ * MATH tasks, and the routers' token counters are read out on the
+ * corresponding evaluation sets.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "train/imbalance.hpp"
+#include "train/pretrain.hpp"
+#include "train/trainer.hpp"
+
+using namespace ftsim;
+
+namespace {
+
+MiniModelConfig
+mixtralConfig()
+{
+    MiniModelConfig cfg = MiniModelConfig::miniMixtral();
+    cfg.dModel = 32;
+    cfg.nLayers = 2;
+    cfg.nHeads = 4;
+    cfg.dFf = 64;
+    cfg.nExperts = 8;
+    cfg.loraRank = 4;
+    return cfg;
+}
+
+MiniModelConfig
+mambaConfig()
+{
+    MiniModelConfig cfg = MiniModelConfig::miniBlackMamba();
+    cfg.dModel = 24;
+    cfg.nLayers = 2;
+    cfg.dFf = 48;
+    cfg.dInner = 48;
+    cfg.nExperts = 8;
+    return cfg;
+}
+
+Dataset
+makeSet(TaskKind kind, std::size_t n, std::uint64_t seed_shift)
+{
+    DatasetSpec spec = kind == TaskKind::Commonsense
+                           ? DatasetSpec::commonsense15k()
+                           : DatasetSpec::math14k();
+    spec.numQueries = n;
+    spec.medianSeqLen = 12.0;
+    spec.lengthSigma = 0.25;
+    spec.seed += seed_shift;
+    return Dataset::generate(spec);
+}
+
+void
+addProfileRow(Table& table, const std::string& label,
+              const ExpertLoadProfile& profile)
+{
+    std::vector<std::string> row = {label};
+    for (double v : profile.avgTokensPerQuery)
+        row.push_back(Table::fmt(v, 2));
+    row.push_back(Table::fmt(profile.varianceAcrossExperts, 2));
+    table.addRow(row);
+}
+
+void
+run(bool mixtral, TaskKind kind, Table& table)
+{
+    const std::string eval_name =
+        kind == TaskKind::Commonsense ? "HE" : "GS";
+    const std::string model_name = mixtral ? "Mixtral" : "BlackMamba";
+
+    MiniModelConfig cfg = mixtral ? mixtralConfig() : mambaConfig();
+    Dataset corpus =
+        Dataset::generate(DatasetSpec::genericCorpus(192, 14.0));
+    Dataset train = makeSet(kind, 144, 0);
+    Dataset eval = makeSet(kind, 64, 1000);  // Distinct split.
+
+    std::unique_ptr<MoeLlm> model;
+    if (mixtral) {
+        model = makePretrainedQlora(cfg, corpus, 80, 16, 3e-3, false);
+    } else {
+        cfg.useLora = false;
+        model = std::make_unique<MoeLlm>(cfg);
+        pretrainLm(*model, corpus, 80, 16, 3e-3, 7, false);
+    }
+
+    addProfileRow(table, model_name + " " + eval_name,
+                  measureExpertLoad(*model, eval, 16));
+
+    AdamW opt(model->trainableParameters(), mixtral ? 8e-3 : 4e-3);
+    TrainerOptions options;
+    options.batchSize = 16;
+    Trainer trainer(*model, opt, options);
+    for (int epoch = 0; epoch < 10; ++epoch)
+        trainer.trainEpoch(train);
+
+    addProfileRow(table, model_name + " " + eval_name + "_tuned",
+                  measureExpertLoad(*model, eval, 16));
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 11", "Token distribution to different experts");
+
+    std::vector<std::string> headers = {"Series"};
+    for (int e = 0; e < 8; ++e)
+        headers.push_back("Exp" + std::to_string(e));
+    headers.push_back("var");
+    Table table(headers);
+
+    for (bool mixtral : {true, false})
+        for (TaskKind kind : {TaskKind::Commonsense, TaskKind::Math})
+            run(mixtral, kind, table);
+    std::cout << table.render();
+
+    bench::note("paper Fig. 11 (avg tokens/query per expert): "
+                "fine-tuning increases Mixtral's routing variance "
+                "(HE 55.5->112.3, GS 21.2->79.2) while BlackMamba's "
+                "drops or stays flat (150.7->93.3, 186.5->187.9) — "
+                "the effect is model- and dataset-dependent "
+                "(Takeaway 6).");
+    return 0;
+}

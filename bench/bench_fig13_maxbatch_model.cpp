@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Fig. 13: Eq. (1) fitted to the measured maximum batch sizes
+ * of Mixtral across GPUs, then projected to hypothetical 100 GB and
+ * 120 GB devices.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+
+using namespace ftsim;
+
+int
+main()
+{
+    bench::banner("Fig. 13",
+                  "Projected maximum batch size of Mixtral vs. GPU "
+                  "DRAM capacity (Eq. 1)");
+
+    const ModelSpec spec = ModelSpec::mixtral8x7b();
+    const double model_mem = spec.weightMemoryBytes() / 1e9;
+    const std::size_t seq = 148;  // GS median, as in Table IV.
+
+    BatchSizeFit fit = ExperimentPipeline::fitBatchSize(
+        spec, GpuSpec::paperGpus(), {79, 128, 148, 174});
+    std::cout << "fitted Eq. 1 coefficients: C0 = "
+              << Table::fmt(fit.model.c0(), 2)
+              << ", C1 = " << Table::fmt(fit.model.c1(), 3)
+              << "  (fit RMSE " << Table::fmt(fit.rmse, 2) << ")\n"
+              << "(paper: C0 = 82, C1 = 0.95 for Mixtral on the "
+                 "authors' measurements)\n";
+
+    bench::section("Ground truth vs. projection (sparse, seq len 148)");
+    Table table({"GPU", "DRAM (GB)", "Measured max bsz",
+                 "Eq. 1 projection"});
+    for (const GpuSpec& gpu : GpuSpec::paperGpus()) {
+        const int truth = MemoryModel::maxBatchSize(spec, gpu, seq, true);
+        const int pred =
+            fit.model.predict(gpu.memGB, model_mem, 148.0, 0.25);
+        table.addRow({gpu.name, Table::fmt(gpu.memGB, 0),
+                      Table::fmt(static_cast<long long>(truth)),
+                      Table::fmt(static_cast<long long>(pred))});
+    }
+    for (double capacity : {100.0, 120.0}) {
+        const GpuSpec gpu = GpuSpec::hypothetical(capacity);
+        const int truth = MemoryModel::maxBatchSize(spec, gpu, seq, true);
+        const int pred =
+            fit.model.predict(capacity, model_mem, 148.0, 0.25);
+        table.addRow({gpu.name + " (projected)",
+                      Table::fmt(capacity, 0),
+                      Table::fmt(static_cast<long long>(truth)),
+                      Table::fmt(static_cast<long long>(pred))});
+    }
+    std::cout << table.render();
+
+    bench::note("paper Fig. 13: max batch grows linearly with capacity; "
+                "the paper projects bsz 28 at 100 GB and 35 at 120 GB on "
+                "its testbed's steeper slope. The shape (linear growth "
+                "beyond today's 80 GB) is the reproduced claim.");
+    return 0;
+}

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Reproduces Fig. 3: testing accuracy vs. fine-tuning epoch for the
+ * Mixtral-like and BlackMamba-like models, dense vs. sparse routing, on
+ * the commonsense (HE-like) and math (GS-like) evaluation tasks.
+ *
+ * Miniature models train for real on the CPU substrate. The Mixtral runs
+ * use the paper's full flow: dense base pre-trained on a generic corpus,
+ * quantized into QLoRA, then fine-tuned; the BlackMamba runs use full
+ * fine-tuning of a pre-trained dense base. Expected shapes (paper):
+ * accuracy climbs within ~10 epochs, sparse tracks dense, commonsense is
+ * easier than math, and the larger model reaches higher accuracy.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "train/pretrain.hpp"
+#include "train/trainer.hpp"
+
+using namespace ftsim;
+
+namespace {
+
+constexpr int kEpochs = 10;
+
+struct Series {
+    std::string label;
+    double pretrained = 0.0;
+    std::vector<double> accuracy;  // Per epoch.
+};
+
+MiniModelConfig
+mixtralConfig()
+{
+    MiniModelConfig cfg = MiniModelConfig::miniMixtral();
+    cfg.dModel = 32;
+    cfg.nLayers = 2;
+    cfg.nHeads = 4;
+    cfg.dFf = 64;
+    cfg.nExperts = 8;
+    cfg.loraRank = 4;
+    return cfg;
+}
+
+MiniModelConfig
+mambaConfig()
+{
+    // The paper's BlackMamba is ~17x smaller than Mixtral; keep the
+    // miniature correspondingly narrower (which is also why it will
+    // struggle more on the math task, as in the paper).
+    MiniModelConfig cfg = MiniModelConfig::miniBlackMamba();
+    cfg.dModel = 24;
+    cfg.nLayers = 2;
+    cfg.dFf = 48;
+    cfg.dInner = 48;
+    cfg.nExperts = 8;
+    return cfg;
+}
+
+Dataset
+trainSet(TaskKind kind)
+{
+    DatasetSpec spec = kind == TaskKind::Commonsense
+                           ? DatasetSpec::commonsense15k()
+                           : DatasetSpec::math14k();
+    spec.numQueries = 160;
+    spec.medianSeqLen = 12.0;
+    spec.lengthSigma = 0.25;
+    return Dataset::generate(spec);
+}
+
+Dataset
+evalSet(TaskKind kind)
+{
+    DatasetSpec spec = kind == TaskKind::Commonsense
+                           ? DatasetSpec::hellaswag()
+                           : DatasetSpec::gsm8k();
+    spec.numQueries = 64;
+    spec.medianSeqLen = 14.0;
+    spec.lengthSigma = 0.25;
+    return Dataset::generate(spec);
+}
+
+Series
+run(bool mixtral, bool sparse, TaskKind kind)
+{
+    Series series;
+    series.label = std::string(mixtral ? "Mixtral" : "BlackMamba") +
+                   (sparse ? "-sparse-" : "-dense-") +
+                   (kind == TaskKind::Commonsense ? "HE" : "GS");
+
+    MiniModelConfig cfg = mixtral ? mixtralConfig() : mambaConfig();
+    cfg.topK = sparse ? 2 : cfg.nExperts;
+
+    // Pre-training corpus: generic text plus *variant-1* versions of
+    // both tasks — the structure of the tasks without the canonical
+    // mappings (a foundation model's related-but-different data).
+    DatasetSpec cs_v1 = DatasetSpec::commonsense15k();
+    cs_v1.numQueries = 128;
+    cs_v1.medianSeqLen = 12.0;
+    cs_v1.lengthSigma = 0.25;
+    cs_v1.mappingVariant = 1;
+    DatasetSpec math_v1 = DatasetSpec::math14k();
+    math_v1.numQueries = 128;
+    math_v1.medianSeqLen = 12.0;
+    math_v1.lengthSigma = 0.25;
+    math_v1.mappingVariant = 1;
+    Dataset corpus = Dataset::merged(
+        {Dataset::generate(DatasetSpec::genericCorpus(96, 14.0)),
+         Dataset::generate(cs_v1), Dataset::generate(math_v1)},
+        "pretraining mixture");
+    Dataset train = trainSet(kind);
+    Dataset eval = evalSet(kind);
+
+    std::unique_ptr<MoeLlm> model;
+    if (mixtral) {
+        model = makePretrainedQlora(cfg, corpus, 160, 16, 3e-3,
+                                    /*exclude_answers=*/false);
+    } else {
+        cfg.useLora = false;
+        model = std::make_unique<MoeLlm>(cfg);
+        pretrainLm(*model, corpus, 160, 16, 3e-3, 7,
+                   /*exclude_answers=*/false);
+    }
+
+    series.pretrained =
+        evaluateExactMatch(*model, eval, 16, 64).exactMatch;
+
+    AdamW opt(model->trainableParameters(), mixtral ? 8e-3 : 4e-3);
+    TrainerOptions options;
+    options.batchSize = 16;
+    Trainer trainer(*model, opt, options);
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+        trainer.trainEpoch(train);
+        series.accuracy.push_back(
+            evaluateExactMatch(*model, eval, 16, 64).exactMatch);
+    }
+    return series;
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 3",
+                  "Testing accuracy of Mixtral and BlackMamba "
+                  "(dense vs. sparse fine-tuning)");
+
+    std::vector<Series> all;
+    for (bool mixtral : {true, false})
+        for (TaskKind kind : {TaskKind::Commonsense, TaskKind::Math})
+            for (bool sparse : {false, true})
+                all.push_back(run(mixtral, sparse, kind));
+
+    std::vector<std::string> headers = {"Series", "pretrained"};
+    for (int e = 1; e <= kEpochs; ++e)
+        headers.push_back("ep" + std::to_string(e));
+    Table table(headers);
+    for (const Series& s : all) {
+        std::vector<std::string> row = {s.label,
+                                        Table::fmt(s.pretrained, 2)};
+        for (double a : s.accuracy)
+            row.push_back(Table::fmt(a, 2));
+        table.addRow(row);
+    }
+    std::cout << table.render();
+
+    bench::note("paper Fig. 3 shapes: pre-trained accuracy is low; "
+                "fine-tuning converges within ~10 epochs; sparse tracks "
+                "dense; math (GS) is harder than commonsense (HE); the "
+                "smaller BlackMamba lags Mixtral, especially on math.");
+    return 0;
+}

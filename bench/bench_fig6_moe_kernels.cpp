@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Fig. 6: kernel-level execution-time breakdown inside the
+ * MoE layer (matmul(w1/w2/w3), the dequant kernels, softmax/sigmoid,
+ * top-k, router), forward + backward merged, per batch size.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "gpusim/finetune_sim.hpp"
+#include "gpusim/memory_model.hpp"
+
+using namespace ftsim;
+
+namespace {
+
+void
+report(const ModelSpec& spec)
+{
+    const GpuSpec a40 = GpuSpec::a40();
+    FineTuneSim sim(spec, a40);
+    const int max_dense = MemoryModel::maxBatchSize(spec, a40, 128, false);
+    const int max_sparse = MemoryModel::maxBatchSize(spec, a40, 128, true);
+
+    struct Point {
+        bool sparse;
+        int batch;
+    };
+    std::vector<Point> points = {{false, 1},
+                                 {false, max_dense},
+                                 {true, 1},
+                                 {true, max_dense},
+                                 {true, max_sparse}};
+
+    bench::section(spec.name + " MoE kernels (seq len 128, us)");
+    // Collect the union of kernel names from the largest configuration.
+    Table table({"Config", "Kernel", "Time (us)", "Launches"});
+    for (const Point& pt : points) {
+        if (pt.batch < 1)
+            continue;
+        RunConfig config;
+        config.batchSize = static_cast<std::size_t>(pt.batch);
+        config.seqLen = 128;
+        config.sparse = pt.sparse;
+        StepProfile p = sim.profileStep(config);
+        const std::string cfg_name =
+            std::string(pt.sparse ? "Sparse" : "Dense") + "(bsz=" +
+            std::to_string(pt.batch) + ")";
+        for (const KernelAggregate& k : p.moeKernels) {
+            table.addRow({cfg_name, k.name,
+                          Table::fmt(k.seconds * 1e6, 0),
+                          Table::fmt(static_cast<long long>(k.launches))});
+        }
+    }
+    std::cout << table.render();
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 6",
+                  "Execution breakdown of the MoE layer by kernel");
+    report(ModelSpec::mixtral8x7b());
+    report(ModelSpec::blackMamba2p8b());
+    bench::note("paper Fig. 6: matrix multiplication (w1/w2/w3) is the "
+                "largest component; Mixtral's de-quantization kernels "
+                "are significant at small batch sizes (Takeaway 3).");
+    return 0;
+}

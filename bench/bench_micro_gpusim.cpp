@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the GPU simulator itself: how
+ * fast the analytical pipeline evaluates, which is what makes the cost
+ * model practical for interactive capacity planning.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.hpp"
+#include "gpusim/finetune_sim.hpp"
+#include "gpusim/memory_model.hpp"
+
+namespace {
+
+using namespace ftsim;
+
+void
+BM_WorkloadBuild(benchmark::State& state)
+{
+    WorkloadBuilder builder(ModelSpec::mixtral8x7b());
+    RunConfig config;
+    config.batchSize = 8;
+    config.seqLen = 128;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(builder.buildStep(config).size());
+}
+BENCHMARK(BM_WorkloadBuild);
+
+void
+BM_ProfileStep(benchmark::State& state)
+{
+    FineTuneSim sim(ModelSpec::mixtral8x7b(), GpuSpec::a40());
+    RunConfig config;
+    config.batchSize = 8;
+    config.seqLen = 128;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.profileStep(config).stepSeconds);
+}
+BENCHMARK(BM_ProfileStep);
+
+void
+BM_MaxBatchSize(benchmark::State& state)
+{
+    ModelSpec spec = ModelSpec::mixtral8x7b();
+    GpuSpec gpu = GpuSpec::a40();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            MemoryModel::maxBatchSize(spec, gpu, 148, true));
+    }
+}
+BENCHMARK(BM_MaxBatchSize);
+
+void
+BM_ThroughputFit(benchmark::State& state)
+{
+    for (auto _ : state) {
+        ThroughputFit fit = ExperimentPipeline::fitThroughput(
+            ModelSpec::blackMamba2p8b(), GpuSpec::a40(), 79, {}, 0.45);
+        benchmark::DoNotOptimize(fit.rmse);
+    }
+}
+BENCHMARK(BM_ThroughputFit);
+
+void
+BM_CostTable(benchmark::State& state)
+{
+    for (auto _ : state) {
+        auto rows = ExperimentPipeline::costTable(
+            ModelSpec::mixtral8x7b(), GpuSpec::paperGpus(),
+            CloudCatalog::cudoCompute(), 148, true, 14000.0, 10.0);
+        benchmark::DoNotOptimize(rows.size());
+    }
+}
+BENCHMARK(BM_CostTable);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the training substrate's hot
+ * tensor operations: forward ops, autograd round trips, and one full
+ * miniature MoE training step.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "data/batching.hpp"
+#include "models/model.hpp"
+#include "tensor/ops.hpp"
+#include "train/optimizer.hpp"
+#include "train/trainer.hpp"
+
+namespace {
+
+using namespace ftsim;
+
+void
+BM_LinearOpForward(benchmark::State& state)
+{
+    Rng rng(1);
+    const auto rows = static_cast<std::size_t>(state.range(0));
+    Tensor x = Tensor::randn({rows, 64}, rng);
+    Tensor w = Tensor::randn({64, 64}, rng);
+    for (auto _ : state) {
+        NoGradGuard guard;
+        benchmark::DoNotOptimize(linearOp(x, w, Tensor()));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_LinearOpForward)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_SoftmaxForward(benchmark::State& state)
+{
+    Rng rng(2);
+    Tensor x = Tensor::randn({64, 64}, rng);
+    for (auto _ : state) {
+        NoGradGuard guard;
+        benchmark::DoNotOptimize(softmaxLastDim(x));
+    }
+}
+BENCHMARK(BM_SoftmaxForward);
+
+void
+BM_SelectiveScanForward(benchmark::State& state)
+{
+    Rng rng(3);
+    const auto seq = static_cast<std::size_t>(state.range(0));
+    Tensor a = Tensor::full({4, seq, 64}, 0.5);
+    Tensor x = Tensor::randn({4, seq, 64}, rng);
+    for (auto _ : state) {
+        NoGradGuard guard;
+        benchmark::DoNotOptimize(selectiveScan(a, x));
+    }
+}
+BENCHMARK(BM_SelectiveScanForward)->Arg(16)->Arg(64);
+
+void
+BM_AutogradRoundTrip(benchmark::State& state)
+{
+    Rng rng(4);
+    Tensor x = Tensor::randn({32, 32}, rng, 1.0, true);
+    Tensor w = Tensor::randn({32, 32}, rng, 1.0, true);
+    for (auto _ : state) {
+        x.zeroGrad();
+        w.zeroGrad();
+        Tensor y = linearOp(silu(linearOp(x, w, Tensor())), w, Tensor());
+        sumAll(mul(y, y)).backward();
+        benchmark::DoNotOptimize(w.grad().data());
+    }
+}
+BENCHMARK(BM_AutogradRoundTrip);
+
+void
+BM_MoeTrainingStep(benchmark::State& state)
+{
+    MiniModelConfig cfg = MiniModelConfig::miniMixtral();
+    cfg.dModel = 32;
+    cfg.nLayers = 2;
+    cfg.nHeads = 4;
+    cfg.dFf = 64;
+    cfg.nExperts = 8;
+    cfg.topK = static_cast<std::size_t>(state.range(0));
+    MoeLlm model(cfg);
+    AdamW opt(model.trainableParameters(), 1e-3);
+    Trainer trainer(model, opt, {});
+
+    DatasetSpec spec = DatasetSpec::commonsense15k();
+    spec.numQueries = 8;
+    spec.medianSeqLen = 12.0;
+    Dataset ds = Dataset::generate(spec);
+    Batch batch = collate(ds.head(8));
+
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trainer.trainStep(batch).loss);
+    state.SetLabel(cfg.topK == cfg.nExperts ? "dense" : "sparse");
+}
+BENCHMARK(BM_MoeTrainingStep)->Arg(2)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+#ifndef FTSIM_BENCH_BENCH_UTIL_HPP
+#define FTSIM_BENCH_BENCH_UTIL_HPP
+
+/**
+ * @file
+ * Shared output helpers for the paper-reproduction benchmark binaries.
+ * Every bench regenerates one table or figure of the paper and prints a
+ * banner naming it, the series/rows in a diff-friendly layout, and the
+ * paper's reference values where applicable.
+ */
+
+#include <iostream>
+#include <string>
+
+namespace ftsim::bench {
+
+/** Prints the standard banner for one reproduced artifact. */
+inline void
+banner(const std::string& artifact, const std::string& description)
+{
+    std::cout << '\n'
+              << std::string(72, '=') << '\n'
+              << artifact << " — " << description << '\n'
+              << std::string(72, '=') << '\n';
+}
+
+/** Prints a sub-section heading. */
+inline void
+section(const std::string& title)
+{
+    std::cout << '\n' << title << '\n' << std::string(title.size(), '-')
+              << '\n';
+}
+
+/** Prints a closing note (e.g. paper-vs-measured commentary). */
+inline void
+note(const std::string& text)
+{
+    std::cout << "note: " << text << '\n';
+}
+
+}  // namespace ftsim::bench
+
+#endif  // FTSIM_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Example: a capacity/cost planner built on the analytical models — the
+ * practitioner tool the paper's §V motivates. Fits Eq. 1 and Eq. 2 from
+ * simulator sweeps, then answers: for *your* dataset and budget, which
+ * GPU should you rent, and what will it cost?
+ *
+ * Run: ./build/examples/capacity_planner [num_queries] [median_seq] [epochs]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+
+using namespace ftsim;
+
+int
+main(int argc, char** argv)
+{
+    const double num_queries =
+        argc > 1 ? std::strtod(argv[1], nullptr) : 50000.0;
+    const std::size_t median_seq =
+        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 200;
+    const double epochs = argc > 3 ? std::strtod(argv[3], nullptr) : 10.0;
+
+    const ModelSpec model = ModelSpec::mixtral8x7b();
+    std::cout << "planning: fine-tune " << model.name << " (sparse) on "
+              << num_queries << " queries, median length " << median_seq
+              << ", " << epochs << " epochs\n";
+
+    // Fit the paper's analytical models once from simulator sweeps; the
+    // fitted coefficients then answer any what-if instantly (§V-D).
+    BatchSizeFit eq1 = ExperimentPipeline::fitBatchSize(
+        model, GpuSpec::paperGpus(), {79, 128, 148, 174, 256});
+    std::cout << "Eq. 1 fit: C0 = " << Table::fmt(eq1.model.c0(), 2)
+              << ", C1 = " << Table::fmt(eq1.model.c1(), 3) << " (RMSE "
+              << Table::fmt(eq1.rmse, 2) << ")\n";
+
+    // Per-GPU recommendation table.
+    CostEstimator estimator(CloudCatalog::cudoCompute());
+    Table table({"GPU", "Eq.1 max bsz", "Eq.2 q/s @ max bsz",
+                 "GPU-hours", "Cost ($)"});
+    std::string best_gpu;
+    double best_cost = 1e300;
+    const double model_mem = model.weightMemoryBytes() / 1e9;
+    for (const GpuSpec& gpu : GpuSpec::paperGpus()) {
+        if (!estimator.catalog().has(gpu.name))
+            continue;
+        const int bsz = eq1.model.predict(
+            gpu.memGB, model_mem, static_cast<double>(median_seq), 0.25);
+        if (bsz < 1) {
+            table.addRow({gpu.name, "does not fit", "-", "-", "-"});
+            continue;
+        }
+        ThroughputFit eq2 = ExperimentPipeline::fitThroughput(
+            model, gpu, median_seq, {}, 0.40);
+        const double qps =
+            eq2.model.predict(static_cast<double>(bsz), 0.25);
+        CostEstimate cost =
+            estimator.estimate(gpu.name, qps, num_queries, epochs);
+        table.addRow({gpu.name, Table::fmt(static_cast<long long>(bsz)),
+                      Table::fmt(qps, 2), Table::fmt(cost.gpuHours, 1),
+                      Table::fmt(cost.totalDollars, 1)});
+        if (cost.totalDollars < best_cost) {
+            best_cost = cost.totalDollars;
+            best_gpu = gpu.name;
+        }
+    }
+    std::cout << '\n' << table.render();
+    std::cout << "\nrecommendation: rent " << best_gpu << " (~$"
+              << Table::fmt(best_cost, 0) << " end-to-end)\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Example: profile a fine-tuning step on the GPU simulator — the
+ * Nsight-Compute-style workflow of the paper's characterization study.
+ * Shows the stage breakdown, the layer breakdown, and the top MoE
+ * kernels with their SM / DRAM utilization for a configuration you pick.
+ *
+ * Run: ./build/examples/profile_workload [batch] [seq_len] [sparse01]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "gpusim/finetune_sim.hpp"
+#include "gpusim/memory_model.hpp"
+
+using namespace ftsim;
+
+int
+main(int argc, char** argv)
+{
+    RunConfig config;
+    config.batchSize = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+    config.seqLen = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 128;
+    config.sparse = argc > 3 ? std::atoi(argv[3]) != 0 : true;
+
+    const ModelSpec model = ModelSpec::mixtral8x7b();
+    const GpuSpec gpu = GpuSpec::a40();
+
+    const int max_batch = MemoryModel::maxBatchSize(
+        model, gpu, config.seqLen, config.sparse);
+    std::cout << "profiling " << model.name << " on " << gpu.name
+              << ": batch " << config.batchSize << ", seq "
+              << config.seqLen << ", "
+              << (config.sparse ? "sparse (top-2)" : "dense (all 8)")
+              << "  [max batch at this config: " << max_batch << "]\n";
+    if (static_cast<int>(config.batchSize) > max_batch && max_batch > 0)
+        std::cout << "warning: this batch would not fit on real "
+                     "hardware; simulating anyway.\n";
+
+    FineTuneSim sim(model, gpu);
+    StepProfile p = sim.profileStep(config);
+
+    std::cout << "\nstep latency " << p.stepSeconds << " s  ("
+              << p.throughputQps << " queries/s, "
+              << static_cast<long long>(p.kernelLaunches)
+              << " kernel launches)\n";
+
+    Table stages({"Stage", "Seconds", "Share"});
+    const double total =
+        p.forwardSeconds + p.backwardSeconds + p.optimizerSeconds;
+    auto add_stage = [&](const char* name, double secs) {
+        stages.addRow({name, Table::fmt(secs, 3),
+                       Table::fmt(100.0 * secs / total, 1) + " %"});
+    };
+    add_stage("forward", p.forwardSeconds);
+    add_stage("backward (incl. recompute)", p.backwardSeconds);
+    add_stage("optimizer", p.optimizerSeconds);
+    std::cout << '\n' << stages.render();
+
+    Table layers({"Layer class", "Seconds"});
+    for (const auto& layer : p.byLayer)
+        layers.addRow(
+            {layerClassName(layer.layer), Table::fmt(layer.seconds, 3)});
+    std::cout << '\n' << layers.render();
+    std::cout << "MoE share of layer time: "
+              << Table::fmt(100.0 * p.moeFractionOfStep(), 1) << " %\n";
+
+    Table kernels({"MoE kernel", "us", "SM %", "DRAM %", "launches"});
+    for (const auto& k : p.moeKernels) {
+        kernels.addRow({k.name, Table::fmt(k.seconds * 1e6, 0),
+                        Table::fmt(k.smUtilPct, 1),
+                        Table::fmt(k.dramUtilPct, 1),
+                        Table::fmt(static_cast<long long>(k.launches))});
+    }
+    std::cout << '\n' << kernels.render();
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Quickstart: estimate the cost of fine-tuning a sparse MoE LLM on a
+ * cloud GPU in ~20 lines of API use.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/pipeline.hpp"
+
+using namespace ftsim;
+
+int
+main()
+{
+    // 1. Pick a model and a GPU from the built-in catalogs.
+    const ModelSpec model = ModelSpec::mixtral8x7b();
+    const GpuSpec gpu = GpuSpec::a40();
+
+    // 2. How large a batch fits? (Eq. 1 territory: memory model.)
+    const std::size_t seq_len = 148;  // Your dataset's median length.
+    const int max_batch =
+        MemoryModel::maxBatchSize(model, gpu, seq_len, /*sparse=*/true);
+    std::cout << model.name << " on " << gpu.name
+              << ": max batch size = " << max_batch << '\n';
+
+    // 3. What throughput does that deliver? (GPU simulator.)
+    FineTuneSim sim(model, gpu);
+    const double qps = sim.throughput(
+        static_cast<std::size_t>(max_batch), seq_len, /*sparse=*/true,
+        /*length_sigma=*/0.40);
+    std::cout << "estimated throughput: " << qps << " queries/second\n";
+
+    // 4. What does the full fine-tuning run cost? (Cost model.)
+    CostEstimator estimator(CloudCatalog::cudoCompute());
+    CostEstimate cost =
+        estimator.estimate(gpu.name, qps, /*num_queries=*/14000.0,
+                           /*epochs=*/10.0);
+    std::cout << "10 epochs over 14k queries: " << cost.gpuHours
+              << " GPU-hours = $" << cost.totalDollars << '\n';
+
+    // 5. Should you rent a different GPU? Ask the pipeline for the
+    //    whole Table IV-style comparison.
+    std::cout << "\nAll priced GPUs:\n";
+    for (const CostRow& row : ExperimentPipeline::costTable(
+             model, GpuSpec::paperGpus(), CloudCatalog::cudoCompute(),
+             seq_len, true, 14000.0, 10.0)) {
+        std::cout << "  " << row.gpuName << ": bsz " << row.maxBatchSize
+                  << ", " << row.throughputQps << " q/s, $"
+                  << row.totalDollars << '\n';
+    }
+    return 0;
+}

@@ -1,0 +1,272 @@
+#include "common/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace ftsim {
+
+namespace {
+
+/** Sum of squared residuals; +inf if the model emits a non-finite value. */
+double
+sumSquaredResiduals(const ParametricFn& fn,
+                    const std::vector<Observation>& data,
+                    const std::vector<double>& params)
+{
+    double acc = 0.0;
+    for (const auto& obs : data) {
+        double pred = fn(obs.x, params);
+        if (!std::isfinite(pred))
+            return std::numeric_limits<double>::infinity();
+        double r = pred - obs.y;
+        acc += r * r;
+    }
+    return acc;
+}
+
+double
+toRmse(double ssr, std::size_t n)
+{
+    if (!std::isfinite(ssr))
+        return std::numeric_limits<double>::infinity();
+    return std::sqrt(ssr / static_cast<double>(n));
+}
+
+}  // namespace
+
+std::vector<double>
+solveLinearSystem(std::vector<std::vector<double>> m, std::vector<double> b)
+{
+    const std::size_t n = b.size();
+    if (m.size() != n)
+        fatal("solveLinearSystem: dimension mismatch");
+    for (const auto& row : m)
+        if (row.size() != n)
+            fatal("solveLinearSystem: non-square matrix");
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot: largest magnitude in this column.
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r)
+            if (std::abs(m[r][col]) > std::abs(m[pivot][col]))
+                pivot = r;
+        if (std::abs(m[pivot][col]) < 1e-300)
+            fatal("solveLinearSystem: singular matrix");
+        std::swap(m[col], m[pivot]);
+        std::swap(b[col], b[pivot]);
+
+        for (std::size_t r = col + 1; r < n; ++r) {
+            double factor = m[r][col] / m[col][col];
+            for (std::size_t c = col; c < n; ++c)
+                m[r][c] -= factor * m[col][c];
+            b[r] -= factor * b[col];
+        }
+    }
+    std::vector<double> x(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        double acc = b[i];
+        for (std::size_t c = i + 1; c < n; ++c)
+            acc -= m[i][c] * x[c];
+        x[i] = acc / m[i][i];
+    }
+    return x;
+}
+
+FitResult
+fitLeastSquares(const ParametricFn& fn, const std::vector<Observation>& data,
+                const std::vector<double>& initial_params,
+                const LmOptions& options)
+{
+    if (data.empty())
+        fatal("fitLeastSquares: no observations");
+    if (initial_params.empty())
+        fatal("fitLeastSquares: no parameters");
+
+    const std::size_t n = data.size();
+    const std::size_t k = initial_params.size();
+
+    std::vector<double> params = initial_params;
+    double ssr = sumSquaredResiduals(fn, data, params);
+    if (!std::isfinite(ssr)) {
+        fatal("fitLeastSquares: initial parameters give non-finite "
+              "residuals; pick a feasible starting point");
+    }
+    double lambda = options.initialLambda;
+
+    FitResult result;
+    result.params = params;
+    result.rmse = toRmse(ssr, n);
+
+    for (std::size_t iter = 0; iter < options.maxIterations; ++iter) {
+        result.iterations = iter + 1;
+
+        // Residuals and forward-difference Jacobian at current params.
+        std::vector<double> residuals(n);
+        std::vector<std::vector<double>> jac(n, std::vector<double>(k));
+        for (std::size_t i = 0; i < n; ++i)
+            residuals[i] = fn(data[i].x, params) - data[i].y;
+        for (std::size_t j = 0; j < k; ++j) {
+            double step =
+                options.jacobianStep * std::max(1.0, std::abs(params[j]));
+            std::vector<double> bumped = params;
+            bumped[j] += step;
+            for (std::size_t i = 0; i < n; ++i) {
+                double f1 = fn(data[i].x, bumped);
+                double f0 = residuals[i] + data[i].y;
+                jac[i][j] = std::isfinite(f1) ? (f1 - f0) / step : 0.0;
+            }
+        }
+
+        // Normal equations: (J^T J + lambda diag(J^T J)) delta = -J^T r.
+        std::vector<std::vector<double>> jtj(k, std::vector<double>(k, 0.0));
+        std::vector<double> jtr(k, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t a = 0; a < k; ++a) {
+                jtr[a] += jac[i][a] * residuals[i];
+                for (std::size_t b = a; b < k; ++b)
+                    jtj[a][b] += jac[i][a] * jac[i][b];
+            }
+        }
+        for (std::size_t a = 0; a < k; ++a)
+            for (std::size_t b = 0; b < a; ++b)
+                jtj[a][b] = jtj[b][a];
+
+        bool stepped = false;
+        for (int attempt = 0; attempt < 24 && !stepped; ++attempt) {
+            auto damped = jtj;
+            for (std::size_t a = 0; a < k; ++a) {
+                double d = jtj[a][a];
+                damped[a][a] = d + lambda * std::max(d, 1e-12);
+            }
+            std::vector<double> rhs(k);
+            for (std::size_t a = 0; a < k; ++a)
+                rhs[a] = -jtr[a];
+
+            std::vector<double> delta;
+            try {
+                delta = solveLinearSystem(damped, rhs);
+            } catch (const FatalError&) {
+                lambda *= 10.0;
+                continue;
+            }
+
+            std::vector<double> trial = params;
+            for (std::size_t a = 0; a < k; ++a)
+                trial[a] += delta[a];
+            double trial_ssr = sumSquaredResiduals(fn, data, trial);
+            if (trial_ssr < ssr) {
+                double improvement =
+                    (ssr - trial_ssr) / std::max(ssr, 1e-300);
+                params = trial;
+                ssr = trial_ssr;
+                lambda = std::max(lambda * 0.3, 1e-12);
+                stepped = true;
+                if (improvement < options.tolerance) {
+                    result.converged = true;
+                    result.params = params;
+                    result.rmse = toRmse(ssr, n);
+                    return result;
+                }
+            } else {
+                lambda *= 10.0;
+            }
+        }
+        if (!stepped) {
+            // Damping exhausted: local minimum within numeric precision.
+            result.converged = true;
+            break;
+        }
+    }
+
+    result.params = params;
+    result.rmse = toRmse(ssr, n);
+    return result;
+}
+
+FitResult
+fitGridSearch(const ParametricFn& fn, const std::vector<Observation>& data,
+              const std::vector<double>& initial_params,
+              const std::vector<double>& radii,
+              const GridSearchOptions& options)
+{
+    if (data.empty())
+        fatal("fitGridSearch: no observations");
+    if (initial_params.size() != radii.size())
+        fatal("fitGridSearch: params/radii size mismatch");
+    if (options.pointsPerAxis < 3)
+        fatal("fitGridSearch: need at least 3 points per axis");
+
+    std::vector<double> best = initial_params;
+    double best_ssr = sumSquaredResiduals(fn, data, best);
+    std::vector<double> step = radii;
+
+    FitResult result;
+    for (std::size_t pass = 0; pass < options.passes; ++pass) {
+        // Coordinate sweeps: repeat until no axis improves this pass.
+        bool improved = true;
+        while (improved) {
+            improved = false;
+            for (std::size_t j = 0; j < best.size(); ++j) {
+                if (step[j] == 0.0)
+                    continue;
+                double center = best[j];
+                const auto pts =
+                    static_cast<std::ptrdiff_t>(options.pointsPerAxis / 2);
+                for (std::ptrdiff_t s = -pts; s <= pts; ++s) {
+                    if (s == 0)
+                        continue;
+                    std::vector<double> trial = best;
+                    trial[j] = center + static_cast<double>(s) * step[j] /
+                                            static_cast<double>(pts);
+                    double ssr = sumSquaredResiduals(fn, data, trial);
+                    if (ssr < best_ssr) {
+                        best_ssr = ssr;
+                        best = trial;
+                        improved = true;
+                    }
+                }
+            }
+            ++result.iterations;
+            if (result.iterations > 10000)
+                break;  // Pathological objective; bail out defensively.
+        }
+        for (double& s : step)
+            s *= options.shrink;
+    }
+
+    result.params = best;
+    result.rmse = toRmse(best_ssr, data.size());
+    result.converged = std::isfinite(result.rmse);
+    return result;
+}
+
+std::vector<double>
+linearLeastSquares(const std::vector<std::vector<double>>& rows,
+                   const std::vector<double>& y)
+{
+    if (rows.empty() || rows.size() != y.size())
+        fatal("linearLeastSquares: dimension mismatch");
+    const std::size_t k = rows[0].size();
+    for (const auto& row : rows)
+        if (row.size() != k)
+            fatal("linearLeastSquares: ragged design matrix");
+
+    std::vector<std::vector<double>> ata(k, std::vector<double>(k, 0.0));
+    std::vector<double> aty(k, 0.0);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        for (std::size_t a = 0; a < k; ++a) {
+            aty[a] += rows[i][a] * y[i];
+            for (std::size_t b = a; b < k; ++b)
+                ata[a][b] += rows[i][a] * rows[i][b];
+        }
+    }
+    for (std::size_t a = 0; a < k; ++a)
+        for (std::size_t b = 0; b < a; ++b)
+            ata[a][b] = ata[b][a];
+    return solveLinearSystem(std::move(ata), std::move(aty));
+}
+
+}  // namespace ftsim

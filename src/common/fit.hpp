@@ -1,0 +1,117 @@
+#ifndef FTSIM_COMMON_FIT_HPP
+#define FTSIM_COMMON_FIT_HPP
+
+/**
+ * @file
+ * Curve-fitting utilities.
+ *
+ * The paper fits its analytical models with scipy; this module provides
+ * the C++ equivalents: a damped Gauss-Newton (Levenberg-Marquardt)
+ * nonlinear least-squares solver with a numeric Jacobian (used for the
+ * throughput model, Eq. 2), a coordinate grid-search refiner (used for the
+ * integer-floor batch-size model, Eq. 1, whose objective is piecewise
+ * constant and thus gradient-free), and ordinary linear least squares.
+ */
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace ftsim {
+
+/**
+ * A parametric scalar model y = f(x; params) where x may be
+ * multi-dimensional. Used as the fitting target for both analytical
+ * models in the paper.
+ */
+using ParametricFn = std::function<double(const std::vector<double>& x,
+                                          const std::vector<double>& params)>;
+
+/** One observation: input vector x and observed output y. */
+struct Observation {
+    std::vector<double> x;
+    double y = 0.0;
+};
+
+/** Result of a fitting run. */
+struct FitResult {
+    /** Best parameter vector found. */
+    std::vector<double> params;
+    /** Root mean squared error at the solution. */
+    double rmse = 0.0;
+    /** Number of iterations performed. */
+    std::size_t iterations = 0;
+    /** True if the solver met its convergence tolerance. */
+    bool converged = false;
+};
+
+/** Options for the Levenberg-Marquardt solver. */
+struct LmOptions {
+    std::size_t maxIterations = 200;
+    /** Stop when the relative RMSE improvement drops below this. */
+    double tolerance = 1e-10;
+    /** Initial damping factor lambda. */
+    double initialLambda = 1e-3;
+    /** Relative step used for the numeric (forward-difference) Jacobian. */
+    double jacobianStep = 1e-6;
+};
+
+/**
+ * Nonlinear least squares via Levenberg-Marquardt with a numeric
+ * Jacobian. Minimizes sum_i (f(x_i; p) - y_i)^2 starting from
+ * @p initial_params.
+ *
+ * Fatal on empty data or empty parameter vector. Non-finite model output
+ * during the search is treated as an infinitely bad step (the damping
+ * increase recovers), so fitting log-based models near their domain edge
+ * is safe.
+ */
+FitResult fitLeastSquares(const ParametricFn& fn,
+                          const std::vector<Observation>& data,
+                          const std::vector<double>& initial_params,
+                          const LmOptions& options = {});
+
+/** Options for the coordinate grid-search refiner. */
+struct GridSearchOptions {
+    /** Number of refinement passes (each pass shrinks the step). */
+    std::size_t passes = 6;
+    /** Grid points per parameter per pass (odd, centered on current). */
+    std::size_t pointsPerAxis = 11;
+    /** Step shrink factor between passes. */
+    double shrink = 0.35;
+};
+
+/**
+ * Derivative-free fit: iterated coordinate grid search around
+ * @p initial_params with per-parameter initial half-widths @p radii.
+ * Suitable for objectives with floors/steps such as Eq. (1).
+ */
+FitResult fitGridSearch(const ParametricFn& fn,
+                        const std::vector<Observation>& data,
+                        const std::vector<double>& initial_params,
+                        const std::vector<double>& radii,
+                        const GridSearchOptions& options = {});
+
+/**
+ * Ordinary linear least squares: finds coefficients beta minimizing
+ * ||A beta - y||^2 via normal equations with Gaussian elimination and
+ * partial pivoting. Fatal on dimension mismatch or a singular system.
+ *
+ * @param rows design matrix rows (each of equal length).
+ * @param y observations (same length as rows).
+ */
+std::vector<double> linearLeastSquares(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<double>& y);
+
+/**
+ * Solves the square linear system M x = b in place (Gaussian elimination
+ * with partial pivoting). Fatal on singular M. Exposed for reuse by the
+ * LM solver and tests.
+ */
+std::vector<double> solveLinearSystem(std::vector<std::vector<double>> m,
+                                      std::vector<double> b);
+
+}  // namespace ftsim
+
+#endif  // FTSIM_COMMON_FIT_HPP

@@ -1,0 +1,97 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace ftsim {
+
+Histogram::Histogram(double lo, double hi, std::size_t num_bins)
+    : lo_(lo), hi_(hi)
+{
+    if (!(lo < hi))
+        fatal("Histogram: lo must be < hi");
+    if (num_bins == 0)
+        fatal("Histogram: need at least one bin");
+    binWidth_ = (hi - lo) / static_cast<double>(num_bins);
+    counts_.assign(num_bins, 0);
+}
+
+void
+Histogram::add(double x)
+{
+    ++count_;
+    std::size_t idx;
+    if (x < lo_) {
+        ++underflow_;
+        idx = 0;
+    } else if (x >= hi_) {
+        ++overflow_;
+        idx = counts_.size() - 1;
+    } else {
+        idx = static_cast<std::size_t>((x - lo_) / binWidth_);
+        idx = std::min(idx, counts_.size() - 1);
+    }
+    ++counts_[idx];
+}
+
+void
+Histogram::addAll(const std::vector<double>& xs)
+{
+    for (double x : xs)
+        add(x);
+}
+
+std::size_t
+Histogram::binCount(std::size_t i) const
+{
+    if (i >= counts_.size())
+        panic("Histogram::binCount: index out of range");
+    return counts_[i];
+}
+
+double
+Histogram::binLo(std::size_t i) const
+{
+    return lo_ + binWidth_ * static_cast<double>(i);
+}
+
+double
+Histogram::binHi(std::size_t i) const
+{
+    return lo_ + binWidth_ * static_cast<double>(i + 1);
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    return 0.5 * (binLo(i) + binHi(i));
+}
+
+std::size_t
+Histogram::modeBin() const
+{
+    return static_cast<std::size_t>(
+        std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::size_t peak = counts_.empty() ? 0 : counts_[modeBin()];
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        std::size_t bar =
+            peak ? (counts_[i] * width + peak - 1) / peak : 0;
+        oss << '[' << std::setw(7) << std::fixed << std::setprecision(1)
+            << binLo(i) << ", " << std::setw(7) << binHi(i) << ") "
+            << std::setw(7) << counts_[i] << " |"
+            << std::string(bar, '#') << '\n';
+    }
+    return oss.str();
+}
+
+}  // namespace ftsim

@@ -1,0 +1,79 @@
+#ifndef FTSIM_COMMON_HISTOGRAM_HPP
+#define FTSIM_COMMON_HISTOGRAM_HPP
+
+/**
+ * @file
+ * Fixed-bin histogram with an ASCII renderer.
+ *
+ * Used to regenerate Fig. 2 (sequence-length distributions of the CS and
+ * MATH datasets) and for ad-hoc inspection of simulator counters.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ftsim {
+
+/** Fixed-width-bin histogram over [lo, hi). */
+class Histogram {
+  public:
+    /**
+     * Creates a histogram with @p num_bins equal bins spanning [lo, hi).
+     * Out-of-range samples are clamped into the first/last bin and
+     * counted separately as underflow/overflow.
+     */
+    Histogram(double lo, double hi, std::size_t num_bins);
+
+    /** Adds one sample. */
+    void add(double x);
+
+    /** Adds every sample of a vector. */
+    void addAll(const std::vector<double>& xs);
+
+    /** Total number of samples added (including clamped ones). */
+    std::size_t count() const { return count_; }
+
+    /** Number of samples that fell below the range. */
+    std::size_t underflow() const { return underflow_; }
+
+    /** Number of samples that fell above the range. */
+    std::size_t overflow() const { return overflow_; }
+
+    /** Number of bins. */
+    std::size_t numBins() const { return counts_.size(); }
+
+    /** Count in bin @p i. */
+    std::size_t binCount(std::size_t i) const;
+
+    /** Inclusive lower edge of bin @p i. */
+    double binLo(std::size_t i) const;
+
+    /** Exclusive upper edge of bin @p i. */
+    double binHi(std::size_t i) const;
+
+    /** Center of bin @p i. */
+    double binCenter(std::size_t i) const;
+
+    /** Index of the fullest bin (0 if empty). */
+    std::size_t modeBin() const;
+
+    /**
+     * Renders the histogram as rows of `[lo, hi) count |#####`.
+     * @param width maximum number of '#' characters for the fullest bin.
+     */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double binWidth_;
+    std::vector<std::size_t> counts_;
+    std::size_t count_ = 0;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_COMMON_HISTOGRAM_HPP

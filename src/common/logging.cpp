@@ -1,0 +1,74 @@
+#include "common/logging.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace ftsim {
+
+Logger&
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::emit(LogLevel severity, const std::string& message)
+{
+    if (severity < level_)
+        return;
+    const char* tag = "";
+    switch (severity) {
+      case LogLevel::Debug:
+        tag = "debug: ";
+        break;
+      case LogLevel::Info:
+        tag = "info: ";
+        break;
+      case LogLevel::Warn:
+        tag = "warn: ";
+        break;
+      case LogLevel::Error:
+        tag = "error: ";
+        break;
+      case LogLevel::Silent:
+        return;
+    }
+    std::cerr << tag << message << '\n';
+}
+
+void
+inform(const std::string& message)
+{
+    Logger::instance().emit(LogLevel::Info, message);
+}
+
+void
+warn(const std::string& message)
+{
+    Logger::instance().emit(LogLevel::Warn, message);
+}
+
+void
+debug(const std::string& message)
+{
+    Logger::instance().emit(LogLevel::Debug, message);
+}
+
+void
+fatal(const std::string& message)
+{
+    Logger::instance().emit(LogLevel::Error, "fatal: " + message);
+    throw FatalError(message);
+}
+
+void
+panic(const std::string& message)
+{
+    // A panic is a library bug: print unconditionally and abort so the
+    // failure is loud even when the logger is silenced.
+    std::cerr << "panic: " << message << std::endl;
+    std::abort();
+}
+
+}  // namespace ftsim

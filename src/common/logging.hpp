@@ -1,0 +1,101 @@
+#ifndef FTSIM_COMMON_LOGGING_HPP
+#define FTSIM_COMMON_LOGGING_HPP
+
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: fatal() is for conditions that are the
+ * *user's* fault (bad configuration, impossible parameters) and throws a
+ * recoverable error; panic() is for conditions that indicate a bug in the
+ * library itself and aborts. inform()/warn() print status without stopping
+ * the run.
+ */
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ftsim {
+
+/** Severity levels for the global logger. */
+enum class LogLevel : std::uint8_t {
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Silent = 4,
+};
+
+/** Error thrown by fatal(): a user-facing configuration problem. */
+class FatalError : public std::runtime_error {
+  public:
+    explicit FatalError(const std::string& what_arg)
+        : std::runtime_error(what_arg) {}
+};
+
+/**
+ * Minimal global logger.
+ *
+ * The simulator is single-threaded per run, so a process-global level is
+ * sufficient; tests raise the threshold to keep output clean.
+ */
+class Logger {
+  public:
+    /** Returns the process-global logger instance. */
+    static Logger& instance();
+
+    /** Sets the minimum severity that is printed. */
+    void setLevel(LogLevel level) { level_ = level; }
+
+    /** Returns the current minimum severity. */
+    LogLevel level() const { return level_; }
+
+    /** Emits one message at the given severity to stderr. */
+    void emit(LogLevel severity, const std::string& message);
+
+  private:
+    Logger() = default;
+
+    LogLevel level_ = LogLevel::Info;
+};
+
+/** Prints an informational status message (normal operation). */
+void inform(const std::string& message);
+
+/** Prints a warning: something is suspicious but the run continues. */
+void warn(const std::string& message);
+
+/** Prints a debug-level message (hidden unless LogLevel::Debug). */
+void debug(const std::string& message);
+
+/**
+ * Reports an unrecoverable *user* error (bad configuration, invalid
+ * arguments) and throws FatalError. Mirrors gem5's fatal().
+ */
+[[noreturn]] void fatal(const std::string& message);
+
+/**
+ * Reports an internal invariant violation (a bug in this library) and
+ * aborts. Mirrors gem5's panic().
+ */
+[[noreturn]] void panic(const std::string& message);
+
+/**
+ * Convenience formatter: streams all arguments into one string.
+ *
+ * Example: fatal(strCat("batch size ", bsz, " exceeds maximum ", max));
+ */
+template <typename... Args>
+std::string
+strCat(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+}  // namespace ftsim
+
+#endif  // FTSIM_COMMON_LOGGING_HPP

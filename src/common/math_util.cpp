@@ -1,0 +1,119 @@
+#include "common/math_util.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace ftsim {
+
+namespace {
+
+std::string
+withUnit(double value, const char* unit, int precision = 2)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value << ' '
+        << unit;
+    return oss.str();
+}
+
+}  // namespace
+
+std::string
+formatBytes(double bytes)
+{
+    if (bytes >= kGiB)
+        return withUnit(bytes / kGiB, "GiB");
+    if (bytes >= kMiB)
+        return withUnit(bytes / kMiB, "MiB");
+    if (bytes >= 1024.0)
+        return withUnit(bytes / 1024.0, "KiB");
+    return withUnit(bytes, "B", 0);
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    if (seconds >= 1.0)
+        return withUnit(seconds, "s", 3);
+    if (seconds >= 1e-3)
+        return withUnit(seconds * 1e3, "ms", 3);
+    if (seconds >= 1e-6)
+        return withUnit(seconds * 1e6, "us", 1);
+    return withUnit(seconds * 1e9, "ns", 0);
+}
+
+std::string
+formatCount(double count)
+{
+    if (count >= 1e12)
+        return withUnit(count / 1e12, "T", 1);
+    if (count >= 1e9)
+        return withUnit(count / 1e9, "B", 1);
+    if (count >= 1e6)
+        return withUnit(count / 1e6, "M", 1);
+    if (count >= 1e3)
+        return withUnit(count / 1e3, "K", 1);
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(0) << count;
+    return oss.str();
+}
+
+double
+normalQuantile(double p)
+{
+    if (p <= 0.0 || p >= 1.0)
+        fatal(strCat("normalQuantile: p out of (0, 1): ", p));
+    // Acklam's rational approximation.
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double p_low = 0.02425;
+    double q, r;
+    if (p < p_low) {
+        q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) *
+                    q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p <= 1.0 - p_low) {
+        q = p - 0.5;
+        r = q * q;
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) *
+                    r + a[5]) *
+               q /
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) *
+                    r + 1.0);
+    }
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) *
+                 q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double
+expectedBatchMaxFactor(std::size_t batch, double sigma)
+{
+    if (batch == 0)
+        fatal("expectedBatchMaxFactor: zero batch");
+    if (sigma < 0.0)
+        fatal("expectedBatchMaxFactor: negative sigma");
+    if (sigma == 0.0 || batch == 1)
+        return 1.0;
+    // Blom's plotting position for the largest of n order statistics.
+    const double n = static_cast<double>(batch);
+    const double z = normalQuantile((n - 0.375) / (n + 0.25));
+    return std::exp(sigma * z);
+}
+
+}  // namespace ftsim

@@ -1,0 +1,79 @@
+#ifndef FTSIM_COMMON_MATH_UTIL_HPP
+#define FTSIM_COMMON_MATH_UTIL_HPP
+
+/**
+ * @file
+ * Small numeric helpers shared across modules.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace ftsim {
+
+/** Integer ceiling division for non-negative operands. */
+constexpr std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Rounds @p a up to the nearest multiple of @p b (b > 0). */
+constexpr std::int64_t
+roundUp(std::int64_t a, std::int64_t b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+/** Clamps x to [lo, hi]. */
+constexpr double
+clamp(double x, double lo, double hi)
+{
+    return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/** Relative-tolerance float comparison with an absolute floor. */
+inline bool
+approxEqual(double a, double b, double rel_tol = 1e-9,
+            double abs_tol = 1e-12)
+{
+    double diff = std::abs(a - b);
+    if (diff <= abs_tol)
+        return true;
+    return diff <= rel_tol * std::max(std::abs(a), std::abs(b));
+}
+
+/** Bytes in one gibibyte. */
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+/** Bytes in one mebibyte. */
+constexpr double kMiB = 1024.0 * 1024.0;
+
+/** Formats a byte count as a human-readable string ("23.35 GiB"). */
+std::string formatBytes(double bytes);
+
+/** Formats seconds adaptively ("1.23 s", "456.0 us", "789 ns"). */
+std::string formatSeconds(double seconds);
+
+/** Formats a large count with unit suffix ("47.0B", "2.8B", "15K"). */
+std::string formatCount(double count);
+
+/**
+ * Inverse standard-normal CDF (Acklam's rational approximation,
+ * |error| < 1.2e-9). Fatal for p outside (0, 1).
+ */
+double normalQuantile(double p);
+
+/**
+ * Expected padded-length amplification of a size-@p batch drawn from a
+ * log-normal length distribution with shape @p sigma: batches pad every
+ * query to the batch maximum, so the effective tokens per query is the
+ * dataset median times this factor. Uses Blom's order-statistic
+ * approximation E[max of n] ~ median * exp(sigma * z_{(n)}).
+ */
+double expectedBatchMaxFactor(std::size_t batch, double sigma);
+
+}  // namespace ftsim
+
+#endif  // FTSIM_COMMON_MATH_UTIL_HPP

@@ -1,0 +1,117 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hpp"
+
+namespace ftsim {
+
+std::uint64_t
+Rng::nextU64()
+{
+    // SplitMix64 (Steele, Lea, Flood 2014). One additive step plus an
+    // avalanche; passes BigCrush when used as a stream.
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+double
+Rng::uniform()
+{
+    // 53 random bits -> double in [0, 1).
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::uniformInt: lo > hi");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Modulo bias is negligible for span << 2^64 (all uses here).
+    return lo + static_cast<std::int64_t>(nextU64() % span);
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    // Box-Muller; u1 in (0, 1] to avoid log(0).
+    double u1 = 1.0 - uniform();
+    double u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cachedNormal_ = r * std::sin(theta);
+    hasCachedNormal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+std::size_t
+Rng::categorical(const std::vector<double>& weights)
+{
+    double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    if (total <= 0.0)
+        panic("Rng::categorical: weights sum to zero");
+    double r = uniform() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (r < acc)
+            return i;
+    }
+    return weights.size() - 1;  // Guard against floating-point round-off.
+}
+
+std::vector<std::size_t>
+Rng::permutation(std::size_t n)
+{
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    for (std::size_t i = n; i > 1; --i) {
+        std::size_t j =
+            static_cast<std::size_t>(uniformInt(0, static_cast<std::int64_t>(i) - 1));
+        std::swap(perm[i - 1], perm[j]);
+    }
+    return perm;
+}
+
+Rng
+Rng::split()
+{
+    // Mixing the parent stream twice gives an independent child seed.
+    std::uint64_t child_seed = nextU64() ^ 0xd1b54a32d192ed03ULL;
+    return Rng(child_seed);
+}
+
+}  // namespace ftsim

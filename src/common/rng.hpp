@@ -1,0 +1,74 @@
+#ifndef FTSIM_COMMON_RNG_HPP
+#define FTSIM_COMMON_RNG_HPP
+
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * All stochastic components of the reproduction (dataset synthesis, weight
+ * initialization, dropout, sampling) draw from Rng so that every experiment
+ * is reproducible from a single seed. The core generator is SplitMix64,
+ * which is small, fast, and has well-understood statistical quality for
+ * simulation purposes.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace ftsim {
+
+/** Deterministic seedable PRNG with the distributions the repo needs. */
+class Rng {
+  public:
+    /** Constructs a generator from a 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state_(seed) {}
+
+    /** Returns the next raw 64-bit value (SplitMix64). */
+    std::uint64_t nextU64();
+
+    /** Returns a uniform double in [0, 1). */
+    double uniform();
+
+    /** Returns a uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Returns a uniform integer in [lo, hi] (inclusive). */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Returns a standard normal sample (Box-Muller, cached pair). */
+    double normal();
+
+    /** Returns a normal sample with the given mean and stddev. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Returns a log-normal sample where the *underlying* normal has the
+     * given mu and sigma. Median of the distribution is exp(mu).
+     */
+    double logNormal(double mu, double sigma);
+
+    /** Returns true with probability p. */
+    bool bernoulli(double p);
+
+    /**
+     * Samples an index from an unnormalized non-negative weight vector.
+     * Weights summing to zero are a caller bug (panics).
+     */
+    std::size_t categorical(const std::vector<double>& weights);
+
+    /** Fisher-Yates shuffles indices [0, n) and returns the permutation. */
+    std::vector<std::size_t> permutation(std::size_t n);
+
+    /** Derives an independent child generator (for parallel streams). */
+    Rng split();
+
+  private:
+    std::uint64_t state_;
+    bool hasCachedNormal_ = false;
+    double cachedNormal_ = 0.0;
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_COMMON_RNG_HPP

@@ -1,0 +1,194 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hpp"
+
+namespace ftsim {
+
+void
+RunningStats::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 1)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStats::sampleVariance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStats::merge(const RunningStats& other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    // Chan et al. parallel merge of Welford accumulators.
+    double delta = other.mean_ - mean_;
+    std::size_t n = count_ + other.count_;
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    mean_ += delta * nb / static_cast<double>(n);
+    m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+    count_ = n;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+mean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return std::accumulate(xs.begin(), xs.end(), 0.0) /
+           static_cast<double>(xs.size());
+}
+
+double
+variance(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return acc / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double>& xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        fatal("median: empty input");
+    std::sort(xs.begin(), xs.end());
+    std::size_t n = xs.size();
+    if (n % 2 == 1)
+        return xs[n / 2];
+    return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        fatal("percentile: empty input");
+    if (p < 0.0 || p > 100.0)
+        fatal(strCat("percentile: p out of range: ", p));
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs[0];
+    double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double
+rmse(const std::vector<double>& predicted, const std::vector<double>& actual)
+{
+    if (predicted.size() != actual.size())
+        fatal("rmse: size mismatch");
+    if (predicted.empty())
+        fatal("rmse: empty input");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        double e = predicted[i] - actual[i];
+        acc += e * e;
+    }
+    return std::sqrt(acc / static_cast<double>(predicted.size()));
+}
+
+double
+meanAbsError(const std::vector<double>& predicted,
+             const std::vector<double>& actual)
+{
+    if (predicted.size() != actual.size())
+        fatal("meanAbsError: size mismatch");
+    if (predicted.empty())
+        fatal("meanAbsError: empty input");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i)
+        acc += std::abs(predicted[i] - actual[i]);
+    return acc / static_cast<double>(predicted.size());
+}
+
+double
+rSquared(const std::vector<double>& predicted,
+         const std::vector<double>& actual)
+{
+    if (predicted.size() != actual.size())
+        fatal("rSquared: size mismatch");
+    if (predicted.empty())
+        fatal("rSquared: empty input");
+    double m = mean(actual);
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        ss_res += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+        ss_tot += (actual[i] - m) * (actual[i] - m);
+    }
+    if (ss_tot == 0.0)
+        return ss_res == 0.0 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+double
+pearson(const std::vector<double>& xs, const std::vector<double>& ys)
+{
+    if (xs.size() != ys.size())
+        fatal("pearson: size mismatch");
+    if (xs.size() < 2)
+        fatal("pearson: need at least two points");
+    double mx = mean(xs);
+    double my = mean(ys);
+    double sxy = 0.0;
+    double sxx = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sxy += (xs[i] - mx) * (ys[i] - my);
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+        syy += (ys[i] - my) * (ys[i] - my);
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace ftsim

@@ -1,0 +1,107 @@
+#ifndef FTSIM_COMMON_STATS_HPP
+#define FTSIM_COMMON_STATS_HPP
+
+/**
+ * @file
+ * Summary statistics used across the characterization study.
+ *
+ * The paper reports medians (Fig. 2), variances of expert-token
+ * distributions (Fig. 11), and RMSE of the analytical model against
+ * measured throughput (Figs. 14-15). All of those live here, along with a
+ * Welford-style streaming accumulator for profiling counters.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace ftsim {
+
+/** Streaming mean/variance accumulator (Welford's algorithm). */
+class RunningStats {
+  public:
+    /** Adds one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return count_; }
+
+    /** Mean of the observations (0 if empty). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population variance (divides by n; 0 if fewer than 1 sample). */
+    double variance() const;
+
+    /** Sample variance (divides by n-1; 0 if fewer than 2 samples). */
+    double sampleVariance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation (+inf if empty). */
+    double min() const { return min_; }
+
+    /** Largest observation (-inf if empty). */
+    double max() const { return max_; }
+
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+    /** Merges another accumulator into this one (parallel reduction). */
+    void merge(const RunningStats& other);
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 1e308;
+    double max_ = -1e308;
+};
+
+/** Arithmetic mean of a vector (0 for empty input). */
+double mean(const std::vector<double>& xs);
+
+/** Population variance of a vector (0 for empty input). */
+double variance(const std::vector<double>& xs);
+
+/** Population standard deviation of a vector. */
+double stddev(const std::vector<double>& xs);
+
+/**
+ * Median via the midpoint convention for even sizes.
+ * Fatal on empty input (a median of nothing is a caller error).
+ */
+double median(std::vector<double> xs);
+
+/**
+ * Linear-interpolated percentile, p in [0, 100].
+ * Fatal on empty input or out-of-range p.
+ */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Root mean squared error between predictions and ground truth.
+ * The paper validates Eq. (2) with this metric (RMSE < 0.8 on A40).
+ * Fatal on size mismatch or empty input.
+ */
+double rmse(const std::vector<double>& predicted,
+            const std::vector<double>& actual);
+
+/** Mean absolute error; companion metric to rmse(). */
+double meanAbsError(const std::vector<double>& predicted,
+                    const std::vector<double>& actual);
+
+/**
+ * Coefficient of determination R^2 of predictions vs. actual values.
+ * Returns 1 for a perfect fit; can be negative for fits worse than the
+ * mean. Fatal on size mismatch or empty input.
+ */
+double rSquared(const std::vector<double>& predicted,
+                const std::vector<double>& actual);
+
+/** Pearson correlation coefficient. Fatal on size mismatch / n < 2. */
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace ftsim
+
+#endif  // FTSIM_COMMON_STATS_HPP

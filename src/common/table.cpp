@@ -1,0 +1,136 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace ftsim {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("Table: need at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        fatal(strCat("Table::addRow: expected ", headers_.size(),
+                     " cells, got ", cells.size()));
+    }
+    rows_.push_back(std::move(cells));
+}
+
+const std::string&
+Table::cell(std::size_t row, std::size_t col) const
+{
+    if (row >= rows_.size() || col >= headers_.size())
+        fatal("Table::cell: index out of range");
+    return rows_[row][col];
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            oss << std::left << std::setw(static_cast<int>(widths[c]))
+                << row[c];
+            if (c + 1 < row.size())
+                oss << "  ";
+        }
+        oss << '\n';
+    };
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    oss << std::string(total, '-') << '\n';
+    for (const auto& row : rows_)
+        emit_row(row);
+    return oss.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    auto escape = [](const std::string& s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += "\"\"";
+            else
+                out += ch;
+        }
+        out += '"';
+        return out;
+    };
+    std::ostringstream oss;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        oss << (c ? "," : "") << escape(headers_[c]);
+    oss << '\n';
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            oss << (c ? "," : "") << escape(row[c]);
+        oss << '\n';
+    }
+    return oss.str();
+}
+
+std::string
+Table::fmt(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+Table::fmt(long long value)
+{
+    return std::to_string(value);
+}
+
+std::string
+renderBarChart(const std::vector<std::pair<std::string, double>>& bars,
+               std::size_t width, const std::string& unit)
+{
+    double peak = 0.0;
+    std::size_t label_width = 0;
+    for (const auto& [label, value] : bars) {
+        peak = std::max(peak, value);
+        label_width = std::max(label_width, label.size());
+    }
+    std::ostringstream oss;
+    for (const auto& [label, value] : bars) {
+        std::size_t bar = 0;
+        if (peak > 0.0 && value > 0.0) {
+            bar = static_cast<std::size_t>(
+                value / peak * static_cast<double>(width) + 0.5);
+            bar = std::max<std::size_t>(bar, 1);
+        }
+        oss << std::left << std::setw(static_cast<int>(label_width))
+            << label << "  " << std::right << std::setw(12) << std::fixed
+            << std::setprecision(4) << value;
+        if (!unit.empty())
+            oss << ' ' << unit;
+        oss << "  |" << std::string(bar, '#') << '\n';
+    }
+    return oss.str();
+}
+
+}  // namespace ftsim

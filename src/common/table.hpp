@@ -1,0 +1,64 @@
+#ifndef FTSIM_COMMON_TABLE_HPP
+#define FTSIM_COMMON_TABLE_HPP
+
+/**
+ * @file
+ * Aligned ASCII table and CSV writers.
+ *
+ * Every benchmark binary regenerates one of the paper's tables or figure
+ * data series; Table gives them a uniform, diff-friendly output format.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ftsim {
+
+/** Column-aligned text table with optional CSV serialization. */
+class Table {
+  public:
+    /** Creates a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Appends a pre-stringified row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Number of columns. */
+    std::size_t numCols() const { return headers_.size(); }
+
+    /** Cell accessor (row-major); fatal on out-of-range. */
+    const std::string& cell(std::size_t row, std::size_t col) const;
+
+    /** Renders the table with aligned columns and a header rule. */
+    std::string render() const;
+
+    /** Renders the table as RFC-4180-ish CSV (quotes cells with commas). */
+    std::string toCsv() const;
+
+    /** Formats a double with fixed @p precision — row-building helper. */
+    static std::string fmt(double value, int precision = 2);
+
+    /** Formats an integer — row-building helper. */
+    static std::string fmt(long long value);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Renders a labelled horizontal bar chart of (label, value) pairs — the
+ * text analogue of the paper's bar figures (Figs. 4-6, 8-10).
+ * @param width number of characters for the largest bar.
+ */
+std::string renderBarChart(
+    const std::vector<std::pair<std::string, double>>& bars,
+    std::size_t width = 50, const std::string& unit = "");
+
+}  // namespace ftsim
+
+#endif  // FTSIM_COMMON_TABLE_HPP

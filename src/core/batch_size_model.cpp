@@ -1,0 +1,120 @@
+#include "core/batch_size_model.hpp"
+
+#include <cmath>
+
+#include "common/fit.hpp"
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+
+namespace ftsim {
+
+MaxBatchModel::MaxBatchModel(double c0, double c1)
+    : c0_(c0), c1_(c1)
+{
+    if (c0 <= 0.0)
+        fatal("MaxBatchModel: C0 must be positive");
+    if (c1 < 0.0 || c1 > 1.0)
+        fatal("MaxBatchModel: C1 must lie in [0, 1]");
+}
+
+double
+MaxBatchModel::predictContinuous(double gpu_mem_gb, double model_mem_gb,
+                                 double seq_len, double sparsity) const
+{
+    if (seq_len <= 0.0)
+        fatal("MaxBatchModel: non-positive sequence length");
+    const double free_mem = gpu_mem_gb - model_mem_gb;
+    if (free_mem <= 0.0)
+        return 0.0;  // Model does not fit on this GPU.
+    const double denom =
+        seq_len * ((1.0 - c1_) + c1_ * sparsity);
+    return c0_ * free_mem / denom;
+}
+
+int
+MaxBatchModel::predict(double gpu_mem_gb, double model_mem_gb,
+                       double seq_len, double sparsity) const
+{
+    return static_cast<int>(std::floor(
+        predictContinuous(gpu_mem_gb, model_mem_gb, seq_len, sparsity)));
+}
+
+MaxBatchModel
+MaxBatchModel::fit(const std::vector<BatchSizeObservation>& data)
+{
+    if (data.empty())
+        fatal("MaxBatchModel::fit: no observations");
+
+    // x = (gpuMem, modelMem, seq, sparsity); params = (C0, C1).
+    ParametricFn fn = [](const std::vector<double>& x,
+                         const std::vector<double>& p) {
+        const double free_mem = x[0] - x[1];
+        if (free_mem <= 0.0)
+            return 0.0;
+        const double c1 = std::clamp(p[1], 0.0, 1.0);
+        const double denom = x[2] * ((1.0 - c1) + c1 * x[3]);
+        return std::floor(std::max(p[0], 1e-9) * free_mem / denom);
+    };
+
+    std::vector<Observation> obs;
+    obs.reserve(data.size());
+    double c0_seed = 0.0;
+    for (const auto& d : data) {
+        obs.push_back({{d.gpuMemGB, d.modelMemGB, d.seqLen, d.sparsity},
+                       static_cast<double>(d.maxBatch)});
+        // Seed C0 from inverting Eq. 1 at C1 = 0.9.
+        const double free_mem = d.gpuMemGB - d.modelMemGB;
+        if (free_mem > 0.0) {
+            c0_seed += (d.maxBatch + 0.5) * d.seqLen *
+                       (0.1 + 0.9 * d.sparsity) / free_mem;
+        }
+    }
+    c0_seed /= static_cast<double>(data.size());
+    if (c0_seed <= 0.0)
+        c0_seed = 50.0;
+
+    // Stage 1: fit the continuous relaxation (targets shifted by +0.5,
+    // the expected value of the floor residual) with least squares.
+    ParametricFn smooth = [](const std::vector<double>& x,
+                             const std::vector<double>& p) {
+        const double free_mem = x[0] - x[1];
+        if (free_mem <= 0.0)
+            return 0.0;
+        const double c1 = std::clamp(p[1], 0.0, 1.0);
+        const double denom = x[2] * ((1.0 - c1) + c1 * x[3]);
+        return std::max(p[0], 1e-9) * free_mem / denom;
+    };
+    std::vector<Observation> shifted = obs;
+    for (auto& o : shifted)
+        o.y += 0.5;
+    FitResult seed = fitLeastSquares(smooth, shifted, {c0_seed, 0.9});
+
+    // Stage 2: refine against the true floored objective.
+    GridSearchOptions options;
+    options.passes = 8;
+    options.pointsPerAxis = 21;
+    FitResult result = fitGridSearch(
+        fn, obs,
+        {std::max(seed.params[0], 1e-9),
+         std::clamp(seed.params[1], 0.0, 1.0)},
+        {std::max(seed.params[0], 1.0) * 0.25, 0.2}, options);
+    return MaxBatchModel(std::max(result.params[0], 1e-9),
+                         std::clamp(result.params[1], 0.0, 1.0));
+}
+
+double
+MaxBatchModel::rmse(const std::vector<BatchSizeObservation>& data) const
+{
+    if (data.empty())
+        fatal("MaxBatchModel::rmse: no observations");
+    std::vector<double> pred;
+    std::vector<double> actual;
+    for (const auto& d : data) {
+        pred.push_back(static_cast<double>(
+            predict(d.gpuMemGB, d.modelMemGB, d.seqLen, d.sparsity)));
+        actual.push_back(static_cast<double>(d.maxBatch));
+    }
+    return ftsim::rmse(pred, actual);
+}
+
+}  // namespace ftsim

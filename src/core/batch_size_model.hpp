@@ -1,0 +1,71 @@
+#ifndef FTSIM_CORE_BATCH_SIZE_MODEL_HPP
+#define FTSIM_CORE_BATCH_SIZE_MODEL_HPP
+
+/**
+ * @file
+ * The paper's analytical maximum-batch-size model (Eq. 1, §V-A).
+ *
+ *   MaxBSZ = floor( C0 * (GPU_mem - model_mem)
+ *                   / (seq_len * ((1 - C1) + C1 * sparsity)) )
+ *
+ * C0 is the scaling coefficient (model-architecture dependent: how much
+ * intermediate data a query generates) and C1 the MoE coefficient (what
+ * fraction of that data scales with expert sparsity). Both are fitted
+ * from measured (GPU, seq, sparsity, max-batch) points; GPU memory and
+ * model memory are in GB, matching the paper's units.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace ftsim {
+
+/** One observed maximum-batch-size measurement. */
+struct BatchSizeObservation {
+    double gpuMemGB = 0.0;
+    double modelMemGB = 0.0;
+    double seqLen = 0.0;
+    /** Active-expert fraction k/E (0.25 sparse, 1.0 dense). */
+    double sparsity = 1.0;
+    /** Measured maximum batch size. */
+    int maxBatch = 0;
+};
+
+/** Eq. 1 with fitted coefficients. */
+class MaxBatchModel {
+  public:
+    /** Constructs with explicit coefficients. */
+    MaxBatchModel(double c0, double c1);
+
+    /** Continuous (un-floored) prediction; the fitting target. */
+    double predictContinuous(double gpu_mem_gb, double model_mem_gb,
+                             double seq_len, double sparsity) const;
+
+    /** Integer prediction with the floor (Eq. 1 proper). */
+    int predict(double gpu_mem_gb, double model_mem_gb, double seq_len,
+                double sparsity) const;
+
+    /** Scaling coefficient C0. */
+    double c0() const { return c0_; }
+
+    /** MoE coefficient C1. */
+    double c1() const { return c1_; }
+
+    /**
+     * Fits (C0, C1) to observations by derivative-free grid search on
+     * the floored prediction error (the objective is piecewise constant,
+     * as in the paper's description). Fatal on empty input.
+     */
+    static MaxBatchModel fit(const std::vector<BatchSizeObservation>& data);
+
+    /** RMSE of floored predictions against the observations. */
+    double rmse(const std::vector<BatchSizeObservation>& data) const;
+
+  private:
+    double c0_;
+    double c1_;
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_CORE_BATCH_SIZE_MODEL_HPP

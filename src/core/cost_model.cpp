@@ -1,0 +1,92 @@
+#include "core/cost_model.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace ftsim {
+
+CloudCatalog
+CloudCatalog::cudoCompute()
+{
+    CloudCatalog catalog;
+    catalog.add({"CUDO", "A40", 0.79});
+    catalog.add({"CUDO", "A100-80GB", 1.67});
+    catalog.add({"CUDO", "H100", 2.10});
+    return catalog;
+}
+
+void
+CloudCatalog::add(const CloudOffering& offering)
+{
+    if (offering.dollarsPerHour <= 0.0)
+        fatal("CloudCatalog::add: non-positive rate");
+    if (offering.gpuName.empty())
+        fatal("CloudCatalog::add: empty GPU name");
+    offerings_.push_back(offering);
+}
+
+double
+CloudCatalog::ratePerHour(const std::string& gpu_name) const
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& o : offerings_)
+        if (o.gpuName == gpu_name)
+            best = std::min(best, o.dollarsPerHour);
+    if (!std::isfinite(best))
+        fatal(strCat("CloudCatalog: no offering for GPU '", gpu_name,
+                     "'"));
+    return best;
+}
+
+bool
+CloudCatalog::has(const std::string& gpu_name) const
+{
+    for (const auto& o : offerings_)
+        if (o.gpuName == gpu_name)
+            return true;
+    return false;
+}
+
+CostEstimator::CostEstimator(CloudCatalog catalog)
+    : catalog_(std::move(catalog))
+{
+}
+
+CostEstimate
+CostEstimator::estimate(const std::string& gpu_name, double qps,
+                        double num_queries, double epochs) const
+{
+    if (qps <= 0.0)
+        fatal("CostEstimator::estimate: non-positive throughput");
+    if (num_queries <= 0.0 || epochs <= 0.0)
+        fatal("CostEstimator::estimate: non-positive workload");
+
+    CostEstimate est;
+    est.gpuName = gpu_name;
+    est.throughputQps = qps;
+    est.dollarsPerHour = catalog_.ratePerHour(gpu_name);
+    est.gpuHours = epochs * num_queries / qps / 3600.0;
+    est.totalDollars = est.gpuHours * est.dollarsPerHour;
+    return est;
+}
+
+CostEstimate
+CostEstimator::cheapest(
+    const std::vector<std::pair<std::string, double>>& candidates,
+    double num_queries, double epochs) const
+{
+    if (candidates.empty())
+        fatal("CostEstimator::cheapest: no candidates");
+    CostEstimate best;
+    best.totalDollars = std::numeric_limits<double>::infinity();
+    for (const auto& [gpu, qps] : candidates) {
+        CostEstimate est = estimate(gpu, qps, num_queries, epochs);
+        if (est.totalDollars < best.totalDollars)
+            best = est;
+    }
+    return best;
+}
+
+}  // namespace ftsim

@@ -1,0 +1,123 @@
+#include "core/pipeline.hpp"
+
+#include "common/logging.hpp"
+
+namespace ftsim {
+
+std::vector<BatchSizeObservation>
+ExperimentPipeline::collectBatchSizeData(
+    const ModelSpec& model, const std::vector<GpuSpec>& gpus,
+    const std::vector<std::size_t>& seq_lens)
+{
+    if (gpus.empty() || seq_lens.empty())
+        fatal("collectBatchSizeData: empty sweep");
+    std::vector<BatchSizeObservation> out;
+    for (const GpuSpec& gpu : gpus) {
+        for (std::size_t seq : seq_lens) {
+            for (bool sparse : {false, true}) {
+                BatchSizeObservation obs;
+                obs.gpuMemGB = gpu.memGB;
+                obs.modelMemGB = model.weightMemoryBytes() / 1e9;
+                obs.seqLen = static_cast<double>(seq);
+                obs.sparsity = model.sparsity(sparse);
+                obs.maxBatch =
+                    MemoryModel::maxBatchSize(model, gpu, seq, sparse);
+                out.push_back(obs);
+            }
+        }
+    }
+    return out;
+}
+
+BatchSizeFit
+ExperimentPipeline::fitBatchSize(const ModelSpec& model,
+                                 const std::vector<GpuSpec>& gpus,
+                                 const std::vector<std::size_t>& seq_lens)
+{
+    auto data = collectBatchSizeData(model, gpus, seq_lens);
+    MaxBatchModel fitted = MaxBatchModel::fit(data);
+    BatchSizeFit fit{fitted, std::move(data), 0.0};
+    fit.rmse = fit.model.rmse(fit.observations);
+    return fit;
+}
+
+std::vector<ThroughputObservation>
+ExperimentPipeline::collectThroughputData(const ModelSpec& model,
+                                          const GpuSpec& gpu,
+                                          std::size_t seq_len,
+                                          const SimCalibration& calib,
+                                          double length_sigma)
+{
+    FineTuneSim sim(model, gpu, calib);
+    std::vector<ThroughputObservation> out;
+    for (bool sparse : {false, true}) {
+        const int max_batch =
+            MemoryModel::maxBatchSize(model, gpu, seq_len, sparse);
+        if (max_batch < 1) {
+            warn(strCat("collectThroughputData: ", model.name,
+                        " does not fit on ", gpu.name,
+                        sparse ? " (sparse)" : " (dense)"));
+            continue;
+        }
+        for (const ThroughputPoint& pt : sim.throughputSweep(
+                 seq_len, sparse, static_cast<std::size_t>(max_batch),
+                 length_sigma)) {
+            ThroughputObservation obs;
+            obs.batchSize = static_cast<double>(pt.batchSize);
+            obs.sparsity = model.sparsity(sparse);
+            obs.qps = pt.qps;
+            out.push_back(obs);
+        }
+    }
+    if (out.empty())
+        fatal("collectThroughputData: model fits on no configuration");
+    return out;
+}
+
+ThroughputFit
+ExperimentPipeline::fitThroughput(const ModelSpec& model,
+                                  const GpuSpec& gpu, std::size_t seq_len,
+                                  const SimCalibration& calib,
+                                  double length_sigma)
+{
+    auto data =
+        collectThroughputData(model, gpu, seq_len, calib, length_sigma);
+    ThroughputModel fitted = ThroughputModel::fit(data);
+    ThroughputFit fit{fitted, std::move(data), 0.0};
+    fit.rmse = fit.model.rmse(fit.observations);
+    return fit;
+}
+
+std::vector<CostRow>
+ExperimentPipeline::costTable(const ModelSpec& model,
+                              const std::vector<GpuSpec>& gpus,
+                              const CloudCatalog& catalog,
+                              std::size_t seq_len, bool sparse,
+                              double num_queries, double epochs,
+                              const SimCalibration& calib,
+                              double length_sigma)
+{
+    CostEstimator estimator(catalog);
+    std::vector<CostRow> rows;
+    for (const GpuSpec& gpu : gpus) {
+        if (!catalog.has(gpu.name))
+            continue;  // No price -> no row (paper's CUDO list).
+        const int mbs =
+            MemoryModel::maxBatchSize(model, gpu, seq_len, sparse);
+        if (mbs < 1)
+            continue;  // Does not fit.
+        FineTuneSim sim(model, gpu, calib);
+        const double qps =
+            sim.throughput(static_cast<std::size_t>(mbs), seq_len, sparse,
+                           length_sigma);
+        CostEstimate est =
+            estimator.estimate(gpu.name, qps, num_queries, epochs);
+        rows.push_back({gpu.name, gpu.memGB, mbs, qps, est.dollarsPerHour,
+                        est.totalDollars});
+    }
+    if (rows.empty())
+        fatal("costTable: no GPU in the catalog fits the model");
+    return rows;
+}
+
+}  // namespace ftsim

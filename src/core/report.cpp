@@ -1,0 +1,109 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/table.hpp"
+
+namespace ftsim {
+
+std::string
+generateCharacterizationReport(const ReportRequest& request)
+{
+    const ModelSpec& model = request.model;
+    const GpuSpec& gpu = request.gpu;
+
+    MemoryBreakdown mem = MemoryModel::analyze(
+        model, gpu, request.medianSeqLen, request.sparse);
+    if (mem.maxBatchSize < 1) {
+        fatal(strCat("generateCharacterizationReport: ", model.name,
+                     " does not fit on ", gpu.name,
+                     request.sparse ? " (sparse)" : " (dense)"));
+    }
+
+    FineTuneSim sim(model, gpu, request.calibration);
+    RunConfig config;
+    config.batchSize = static_cast<std::size_t>(mem.maxBatchSize);
+    config.seqLen = sim.paddedSeqLen(request.medianSeqLen,
+                                     config.batchSize,
+                                     request.lengthSigma);
+    config.sparse = request.sparse;
+    StepProfile profile = sim.profileStep(config);
+
+    ThroughputFit fit = ExperimentPipeline::fitThroughput(
+        model, gpu, request.medianSeqLen, request.calibration,
+        request.lengthSigma);
+    const double qps = sim.throughput(config.batchSize,
+                                      request.medianSeqLen, request.sparse,
+                                      request.lengthSigma);
+
+    std::ostringstream out;
+    out << "# Fine-tuning characterization: " << model.name << " on "
+        << gpu.name << "\n\n";
+    out << "- mode: " << (request.sparse ? "sparse (top-" : "dense (top-")
+        << model.activeExperts(request.sparse) << " of " << model.nExperts
+        << " experts)\n";
+    out << "- dataset: " << request.numQueries << " queries, median "
+        << request.medianSeqLen << " tokens (sigma "
+        << request.lengthSigma << "), " << request.epochs << " epochs\n\n";
+
+    out << "## Memory (Eq. 1 territory)\n\n";
+    Table mem_table({"Component", "GB"});
+    mem_table.addRow({"weights", Table::fmt(mem.weightBytes / 1e9, 2)});
+    mem_table.addRow(
+        {"optimizer state", Table::fmt(mem.optimizerBytes / 1e9, 2)});
+    mem_table.addRow(
+        {"gradients", Table::fmt(mem.gradientBytes / 1e9, 2)});
+    mem_table.addRow(
+        {"framework reserved", Table::fmt(mem.reservedBytes / 1e9, 2)});
+    mem_table.addRow(
+        {"usable for activations", Table::fmt(mem.usableBytes / 1e9, 2)});
+    mem_table.addRow(
+        {"per-query activations", Table::fmt(mem.perQueryBytes / 1e9, 2)});
+    out << mem_table.render();
+    out << "\nmaximum batch size: " << mem.maxBatchSize << "\n\n";
+
+    out << "## Step breakdown at max batch\n\n";
+    out << "step latency " << Table::fmt(profile.stepSeconds, 3)
+        << " s; forward " << Table::fmt(profile.forwardSeconds, 3)
+        << " s, backward " << Table::fmt(profile.backwardSeconds, 3)
+        << " s, optimizer " << Table::fmt(profile.optimizerSeconds, 3)
+        << " s; MoE share of layer time "
+        << Table::fmt(100.0 * profile.moeFractionOfStep(), 1) << " %\n\n";
+
+    out << "top MoE kernels:\n\n";
+    Table kernels({"kernel", "us", "SM %", "DRAM %"});
+    std::size_t shown = 0;
+    for (const KernelAggregate& k : profile.moeKernels) {
+        if (shown++ == 5)
+            break;
+        kernels.addRow({k.name, Table::fmt(k.seconds * 1e6, 0),
+                        Table::fmt(k.smUtilPct, 1),
+                        Table::fmt(k.dramUtilPct, 1)});
+    }
+    out << kernels.render();
+
+    out << "\n## Throughput (Eq. 2)\n\n";
+    out << "fitted: qps(b, s) = " << Table::fmt(fit.model.c2(), 3)
+        << " * (ln b - " << Table::fmt(fit.model.c3(), 3)
+        << " * ln s) + " << Table::fmt(fit.model.c4(), 3) << "   (RMSE "
+        << Table::fmt(fit.rmse, 3) << ")\n";
+    out << "simulated at max batch: " << Table::fmt(qps, 2)
+        << " queries/s\n\n";
+
+    out << "## Cost\n\n";
+    if (request.catalog.has(gpu.name)) {
+        CostEstimator estimator(request.catalog);
+        CostEstimate cost = estimator.estimate(
+            gpu.name, qps, request.numQueries, request.epochs);
+        out << "at $" << Table::fmt(cost.dollarsPerHour, 2) << "/hr: "
+            << Table::fmt(cost.gpuHours, 1) << " GPU-hours = **$"
+            << Table::fmt(cost.totalDollars, 2) << "**\n";
+    } else {
+        out << "no price listed for " << gpu.name
+            << " in the catalog; add a CloudOffering to cost it.\n";
+    }
+    return out.str();
+}
+
+}  // namespace ftsim

@@ -1,0 +1,44 @@
+#ifndef FTSIM_CORE_REPORT_HPP
+#define FTSIM_CORE_REPORT_HPP
+
+/**
+ * @file
+ * One-call characterization & cost report.
+ *
+ * Bundles the paper's §IV/§V workflow into a single artifact: given a
+ * model, a GPU, and a dataset description, produce a markdown report
+ * with the memory accounting, the stage/layer/kernel breakdowns, the
+ * throughput sweep with fitted Eq. 2 coefficients, and the end-to-end
+ * cost estimate — the deliverable a practitioner budgeting a fine-tuning
+ * run actually wants.
+ */
+
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace ftsim {
+
+/** Inputs describing one planned fine-tuning run. */
+struct ReportRequest {
+    ModelSpec model = ModelSpec::mixtral8x7b();
+    GpuSpec gpu = GpuSpec::a40();
+    CloudCatalog catalog = CloudCatalog::cudoCompute();
+    /** Dataset description (median length, spread, size). */
+    std::size_t medianSeqLen = 148;
+    double lengthSigma = 0.40;
+    double numQueries = 14000.0;
+    double epochs = 10.0;
+    bool sparse = true;
+    SimCalibration calibration = {};
+};
+
+/**
+ * Generates the full markdown report. Fatal if the model does not fit
+ * on the GPU at all.
+ */
+std::string generateCharacterizationReport(const ReportRequest& request);
+
+}  // namespace ftsim
+
+#endif  // FTSIM_CORE_REPORT_HPP

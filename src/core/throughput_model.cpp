@@ -1,0 +1,77 @@
+#include "core/throughput_model.hpp"
+
+#include <cmath>
+
+#include "common/fit.hpp"
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+
+namespace ftsim {
+
+ThroughputModel::ThroughputModel(double c2, double c3, double c4)
+    : c2_(c2), c3_(c3), c4_(c4)
+{
+}
+
+double
+ThroughputModel::predict(double batch_size, double sparsity) const
+{
+    if (batch_size <= 0.0)
+        fatal("ThroughputModel: non-positive batch size");
+    if (sparsity <= 0.0 || sparsity > 1.0)
+        fatal("ThroughputModel: sparsity must lie in (0, 1]");
+    return c2_ * (std::log(batch_size) - c3_ * std::log(sparsity)) + c4_;
+}
+
+ThroughputModel
+ThroughputModel::fit(const std::vector<ThroughputObservation>& data)
+{
+    if (data.size() < 3)
+        fatal("ThroughputModel::fit: need at least 3 observations");
+
+    ParametricFn fn = [](const std::vector<double>& x,
+                         const std::vector<double>& p) {
+        // x = (batch, sparsity); p = (C2, C3, C4).
+        return p[0] * (std::log(x[0]) - p[1] * std::log(x[1])) + p[2];
+    };
+
+    std::vector<Observation> obs;
+    obs.reserve(data.size());
+    double qps_at_1 = data.front().qps;
+    double max_qps = 0.0;
+    double max_log_b = 1.0;
+    for (const auto& d : data) {
+        if (d.batchSize <= 0.0 || d.sparsity <= 0.0)
+            fatal("ThroughputModel::fit: invalid observation");
+        obs.push_back({{d.batchSize, d.sparsity}, d.qps});
+        if (d.batchSize == 1.0 && d.sparsity == 1.0)
+            qps_at_1 = d.qps;
+        max_qps = std::max(max_qps, d.qps);
+        max_log_b = std::max(max_log_b, std::log(d.batchSize));
+    }
+
+    // Seed: C4 from the dense batch-1 point, C2 from the overall span,
+    // C3 mid-range.
+    const double c2_seed =
+        std::max((max_qps - qps_at_1) / max_log_b, 1e-3);
+    FitResult result =
+        fitLeastSquares(fn, obs, {c2_seed, 0.5, qps_at_1});
+    return ThroughputModel(result.params[0], result.params[1],
+                           result.params[2]);
+}
+
+double
+ThroughputModel::rmse(const std::vector<ThroughputObservation>& data) const
+{
+    if (data.empty())
+        fatal("ThroughputModel::rmse: no observations");
+    std::vector<double> pred;
+    std::vector<double> actual;
+    for (const auto& d : data) {
+        pred.push_back(predict(d.batchSize, d.sparsity));
+        actual.push_back(d.qps);
+    }
+    return ftsim::rmse(pred, actual);
+}
+
+}  // namespace ftsim

@@ -1,0 +1,79 @@
+#ifndef FTSIM_CORE_THROUGHPUT_MODEL_HPP
+#define FTSIM_CORE_THROUGHPUT_MODEL_HPP
+
+/**
+ * @file
+ * The paper's analytical throughput model (Eq. 2, §V-B).
+ *
+ * The paper writes Throughput = C2 * log(batch_size / sparsity * C3) + C4
+ * with C2 the scaling coefficient, C3 the "MoE attenuation coefficient"
+ * that tunes how strongly sparsity influences throughput, and C4 the
+ * intercept ("the throughput when batch size equals one"). We implement
+ * the reading that satisfies all of the paper's stated properties
+ * simultaneously:
+ *
+ *   qps(b, s) = C2 * ln(b / s^C3) + C4
+ *             = C2 * ln b  -  C2 * C3 * ln s  +  C4
+ *
+ *  - at b = 1, s = 1 (dense) the log term vanishes, so C4 is exactly the
+ *    dense batch-1 throughput;
+ *  - C3 attenuates the sparsity effect (C3 = 0 removes it, C3 = 1 applies
+ *    it fully), affecting only the MoE-driven gap between the dense and
+ *    sparse curves;
+ *  - throughput grows logarithmically with batch size, capturing the
+ *    memory-bound -> compute-bound saturation (Takeaway 5).
+ *
+ * One (C2, C3, C4) set is fitted per (model, dataset, GPU) over the
+ * merged dense + sparse sweep, as in Figs. 14-15.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace ftsim {
+
+/** One measured throughput point. */
+struct ThroughputObservation {
+    double batchSize = 1.0;
+    /** Active-expert fraction k/E (0.25 sparse, 1.0 dense). */
+    double sparsity = 1.0;
+    /** Measured queries/second. */
+    double qps = 0.0;
+};
+
+/** Eq. 2 with fitted coefficients. */
+class ThroughputModel {
+  public:
+    ThroughputModel(double c2, double c3, double c4);
+
+    /** Predicted queries/second at the given batch size and sparsity. */
+    double predict(double batch_size, double sparsity) const;
+
+    /** Scaling coefficient C2. */
+    double c2() const { return c2_; }
+
+    /** MoE attenuation coefficient C3. */
+    double c3() const { return c3_; }
+
+    /** Intercept C4 (dense batch-1 throughput). */
+    double c4() const { return c4_; }
+
+    /**
+     * Fits (C2, C3, C4) by nonlinear least squares (the scipy fit of the
+     * paper, here Levenberg-Marquardt). Fatal on fewer than 3 points.
+     */
+    static ThroughputModel fit(
+        const std::vector<ThroughputObservation>& data);
+
+    /** RMSE against observations (the paper's validation metric). */
+    double rmse(const std::vector<ThroughputObservation>& data) const;
+
+  private:
+    double c2_;
+    double c3_;
+    double c4_;
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_CORE_THROUGHPUT_MODEL_HPP

@@ -1,0 +1,83 @@
+#include "data/batching.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace ftsim {
+
+Batch
+collate(const std::vector<const Query*>& queries)
+{
+    if (queries.empty())
+        fatal("collate: empty batch");
+
+    Batch batch;
+    batch.batchSize = queries.size();
+    batch.numQueries = queries.size();
+    for (const Query* q : queries)
+        batch.seqLen = std::max(batch.seqLen, q->seqLen());
+
+    batch.ids.assign(batch.batchSize * batch.seqLen, Vocab::kPad);
+    batch.targets.assign(batch.batchSize * batch.seqLen, kIgnoreIndex);
+
+    for (std::size_t b = 0; b < queries.size(); ++b) {
+        const Query& q = *queries[b];
+        const std::size_t base = b * batch.seqLen;
+        std::size_t pos = 0;
+        for (int tok : q.prompt)
+            batch.ids[base + pos++] = tok;
+        const std::size_t answer_start = pos;
+        for (int tok : q.answer)
+            batch.ids[base + pos++] = tok;
+        // Next-token labels: position t predicts token t+1; active only
+        // where t+1 lies inside the answer span.
+        for (std::size_t t = answer_start - 1; t + 1 < pos; ++t)
+            batch.targets[base + t] = batch.ids[base + t + 1];
+    }
+    return batch;
+}
+
+std::vector<Batch>
+epochBatches(const Dataset& dataset, std::size_t batch_size, Rng& rng)
+{
+    if (batch_size == 0)
+        fatal("epochBatches: zero batch size");
+    const std::vector<std::size_t> perm = rng.permutation(dataset.size());
+
+    std::vector<Batch> batches;
+    std::vector<const Query*> group;
+    group.reserve(batch_size);
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+        group.push_back(&dataset.query(perm[i]));
+        if (group.size() == batch_size || i + 1 == perm.size()) {
+            batches.push_back(collate(group));
+            group.clear();
+        }
+    }
+    return batches;
+}
+
+std::vector<Batch>
+sequentialBatches(const Dataset& dataset, std::size_t batch_size,
+                  std::size_t limit)
+{
+    if (batch_size == 0)
+        fatal("sequentialBatches: zero batch size");
+    const std::size_t count = std::min(limit, dataset.size());
+
+    std::vector<Batch> batches;
+    std::vector<const Query*> group;
+    group.reserve(batch_size);
+    for (std::size_t i = 0; i < count; ++i) {
+        group.push_back(&dataset.query(i));
+        if (group.size() == batch_size || i + 1 == count) {
+            batches.push_back(collate(group));
+            group.clear();
+        }
+    }
+    return batches;
+}
+
+}  // namespace ftsim

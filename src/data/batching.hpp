@@ -1,0 +1,58 @@
+#ifndef FTSIM_DATA_BATCHING_HPP
+#define FTSIM_DATA_BATCHING_HPP
+
+/**
+ * @file
+ * Batch collation for supervised fine-tuning.
+ *
+ * Queries are concatenated (prompt + answer), right-padded to the batch
+ * maximum, and given next-token labels that are active only on answer
+ * positions — the standard instruction-tuning objective the paper's
+ * LLaMA-Factory setup uses.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace ftsim {
+
+class Rng;
+
+/** Label value for positions excluded from the loss. */
+constexpr int kIgnoreIndex = -1;
+
+/** One collated batch of queries. */
+struct Batch {
+    /** Token ids, row-major [batch, seqLen], PAD-padded. */
+    std::vector<int> ids;
+    /** Next-token labels, [batch, seqLen], kIgnoreIndex off-answer. */
+    std::vector<int> targets;
+    std::size_t batchSize = 0;
+    std::size_t seqLen = 0;
+    /** Queries contributing to this batch (== batchSize). */
+    std::size_t numQueries = 0;
+};
+
+/**
+ * Collates queries into a padded batch with answer-only labels.
+ * Fatal on empty input.
+ */
+Batch collate(const std::vector<const Query*>& queries);
+
+/**
+ * Splits a dataset into shuffled mini-batches for one epoch.
+ * The final partial batch is kept (it is not dropped).
+ */
+std::vector<Batch> epochBatches(const Dataset& dataset,
+                                std::size_t batch_size, Rng& rng);
+
+/** Sequentially batches the first @p limit queries (no shuffle). */
+std::vector<Batch> sequentialBatches(const Dataset& dataset,
+                                     std::size_t batch_size,
+                                     std::size_t limit);
+
+}  // namespace ftsim
+
+#endif  // FTSIM_DATA_BATCHING_HPP

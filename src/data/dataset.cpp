@@ -1,0 +1,278 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace ftsim {
+
+DatasetSpec
+DatasetSpec::commonsense15k()
+{
+    DatasetSpec spec;
+    spec.name = "Commonsense-15k";
+    spec.kind = TaskKind::Commonsense;
+    spec.numQueries = 15000;
+    spec.medianSeqLen = 79.0;
+    spec.lengthSigma = 0.45;
+    spec.seed = 101;
+    return spec;
+}
+
+DatasetSpec
+DatasetSpec::math14k()
+{
+    DatasetSpec spec;
+    spec.name = "Math-14k";
+    spec.kind = TaskKind::Math;
+    spec.numQueries = 14000;
+    spec.medianSeqLen = 174.0;
+    spec.lengthSigma = 0.40;
+    spec.seed = 102;
+    return spec;
+}
+
+DatasetSpec
+DatasetSpec::hellaswag()
+{
+    DatasetSpec spec;
+    spec.name = "HellaSwag";
+    spec.kind = TaskKind::Commonsense;
+    spec.numQueries = 10000;
+    spec.medianSeqLen = 272.0;
+    spec.lengthSigma = 0.35;
+    spec.seed = 103;
+    return spec;
+}
+
+DatasetSpec
+DatasetSpec::gsm8k()
+{
+    DatasetSpec spec;
+    spec.name = "GSM8K";
+    spec.kind = TaskKind::Math;
+    spec.numQueries = 1300;
+    spec.medianSeqLen = 148.0;
+    spec.lengthSigma = 0.40;
+    spec.seed = 104;
+    return spec;
+}
+
+DatasetSpec
+DatasetSpec::genericCorpus(std::size_t num_queries, double median_len)
+{
+    DatasetSpec spec;
+    spec.name = "Generic pre-training corpus";
+    spec.kind = TaskKind::Generic;
+    spec.numQueries = num_queries;
+    spec.medianSeqLen = median_len;
+    spec.lengthSigma = 0.35;
+    spec.seed = 105;
+    return spec;
+}
+
+namespace {
+
+/** Tokens in a query that are not filler (BOS + keys + SEP + answer). */
+std::size_t
+fixedTokens(TaskKind kind)
+{
+    // CS: BOS, subject, relation, SEP + answer, EOS.
+    // MATH: BOS, a, OP, b, SEP + answer, EOS.
+    // Generic: BOS ... EOS with a 1-token "answer" span.
+    switch (kind) {
+      case TaskKind::Commonsense:
+        return 6;
+      case TaskKind::Math:
+        return 7;
+      case TaskKind::Generic:
+        return 4;
+    }
+    return 6;
+}
+
+/** One step of the noisy Markov chain over non-special tokens. */
+int
+chainNext(int current, Rng& rng)
+{
+    constexpr int lo = Vocab::kFillerBase;
+    constexpr int span = static_cast<int>(Vocab::kSize) - lo;
+    if (rng.bernoulli(0.25))
+        return lo + static_cast<int>(rng.uniformInt(0, span - 1));
+    return lo + ((7 * (current - lo) + 13) % span);
+}
+
+Query
+makeQuery(TaskKind kind, std::size_t target_len, Rng& rng,
+          std::uint32_t variant)
+{
+    Query q;
+    const std::size_t fixed = fixedTokens(kind);
+    const std::size_t fill =
+        target_len > fixed ? target_len - fixed : 0;
+
+    q.prompt.push_back(Vocab::kBos);
+    if (kind == TaskKind::Generic) {
+        int tok = chainNext(Vocab::kFillerBase, rng);
+        for (std::size_t i = 0; i + 1 < fill + 2; ++i) {
+            q.prompt.push_back(tok);
+            tok = chainNext(tok, rng);
+        }
+        // A short trailing span doubles as the "answer" so the corpus
+        // collates like any other dataset.
+        q.answer.push_back(tok);
+        q.answer.push_back(Vocab::kEos);
+        return q;
+    }
+    for (std::size_t i = 0; i < fill; ++i) {
+        q.prompt.push_back(Vocab::fillerToken(static_cast<std::size_t>(
+            rng.uniformInt(0, Vocab::kNumFiller - 1))));
+    }
+    if (kind == TaskKind::Commonsense) {
+        const auto s = static_cast<std::size_t>(
+            rng.uniformInt(0, Vocab::kNumSubjects - 1));
+        const auto r = static_cast<std::size_t>(
+            rng.uniformInt(0, Vocab::kNumRelations - 1));
+        q.prompt.push_back(Vocab::subjectToken(s));
+        q.prompt.push_back(Vocab::relationToken(r));
+        q.prompt.push_back(Vocab::kSep);
+        q.answer.push_back(TaskOracle::commonsenseAnswer(s, r, variant));
+    } else {
+        const auto a = static_cast<std::size_t>(
+            rng.uniformInt(0, Vocab::kModulus - 1));
+        const auto b = static_cast<std::size_t>(
+            rng.uniformInt(0, Vocab::kModulus - 1));
+        q.prompt.push_back(Vocab::numberToken(a));
+        q.prompt.push_back(Vocab::kOp);
+        q.prompt.push_back(Vocab::numberToken(b));
+        q.prompt.push_back(Vocab::kSep);
+        q.answer.push_back(TaskOracle::mathAnswer(a, b, variant));
+    }
+    q.answer.push_back(Vocab::kEos);
+    return q;
+}
+
+}  // namespace
+
+Dataset
+Dataset::generate(const DatasetSpec& spec)
+{
+    if (spec.numQueries == 0)
+        fatal("Dataset::generate: zero queries requested");
+    if (spec.medianSeqLen <= 0.0)
+        fatal("Dataset::generate: non-positive median length");
+
+    Dataset ds;
+    ds.name_ = spec.name;
+    ds.kind_ = spec.kind;
+    ds.queries_.reserve(spec.numQueries);
+
+    Rng rng(spec.seed);
+    const double mu = std::log(spec.medianSeqLen);
+    const std::size_t fixed = fixedTokens(spec.kind);
+    for (std::size_t i = 0; i < spec.numQueries; ++i) {
+        double len = rng.logNormal(mu, spec.lengthSigma);
+        auto target = static_cast<std::size_t>(std::lround(len));
+        target = std::max(target, fixed);
+        target = std::min<std::size_t>(target, 4096);
+        ds.queries_.push_back(
+            makeQuery(spec.kind, target, rng, spec.mappingVariant));
+    }
+    return ds;
+}
+
+Dataset
+Dataset::generateScaled(const DatasetSpec& spec, double count_scale,
+                        double length_scale)
+{
+    if (count_scale <= 0.0 || length_scale <= 0.0)
+        fatal("Dataset::generateScaled: scales must be positive");
+    DatasetSpec scaled = spec;
+    scaled.numQueries = std::max<std::size_t>(
+        16, static_cast<std::size_t>(
+                std::lround(static_cast<double>(spec.numQueries) *
+                            count_scale)));
+    scaled.medianSeqLen = std::max(
+        static_cast<double>(fixedTokens(spec.kind)) + 2.0,
+        spec.medianSeqLen * length_scale);
+    return generate(scaled);
+}
+
+Dataset
+Dataset::merged(const std::vector<Dataset>& parts, const std::string& name)
+{
+    if (parts.empty())
+        fatal("Dataset::merged: no parts");
+    Dataset out;
+    out.name_ = name;
+    out.kind_ = parts.front().kind_;
+    for (const Dataset& part : parts)
+        out.queries_.insert(out.queries_.end(), part.queries_.begin(),
+                            part.queries_.end());
+    return out;
+}
+
+const Query&
+Dataset::query(std::size_t i) const
+{
+    if (i >= queries_.size())
+        fatal(strCat("Dataset::query: index ", i, " out of range"));
+    return queries_[i];
+}
+
+double
+Dataset::medianSeqLen() const
+{
+    return median(seqLens());
+}
+
+std::vector<double>
+Dataset::seqLens() const
+{
+    std::vector<double> lens;
+    lens.reserve(queries_.size());
+    for (const auto& q : queries_)
+        lens.push_back(static_cast<double>(q.seqLen()));
+    return lens;
+}
+
+std::vector<const Query*>
+Dataset::head(std::size_t n) const
+{
+    std::vector<const Query*> out;
+    const std::size_t count = std::min(n, queries_.size());
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(&queries_[i]);
+    return out;
+}
+
+int
+TaskOracle::commonsenseAnswer(std::size_t subject, std::size_t relation,
+                              std::uint32_t variant)
+{
+    if (subject >= Vocab::kNumSubjects ||
+        relation >= Vocab::kNumRelations)
+        fatal("TaskOracle::commonsenseAnswer: key out of range");
+    // A fixed pseudo-random association table: deterministic, dense in
+    // the answer space, and with no linear shortcut. Nonzero variants
+    // permute the table.
+    const std::size_t hash =
+        subject * 7 + relation * 5 + 3 + 11 * variant;
+    return Vocab::numberToken(hash % Vocab::kModulus);
+}
+
+int
+TaskOracle::mathAnswer(std::size_t a, std::size_t b,
+                       std::uint32_t variant)
+{
+    if (a >= Vocab::kModulus || b >= Vocab::kModulus)
+        fatal("TaskOracle::mathAnswer: operand out of range");
+    // Variants shift the sum, preserving the compositional structure.
+    return Vocab::numberToken((a + b + 5 * variant) % Vocab::kModulus);
+}
+
+}  // namespace ftsim

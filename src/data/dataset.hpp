@@ -1,0 +1,166 @@
+#ifndef FTSIM_DATA_DATASET_HPP
+#define FTSIM_DATA_DATASET_HPP
+
+/**
+ * @file
+ * Synthetic fine-tuning datasets (Table II / Fig. 2 of the paper).
+ *
+ * A Query is "the concatenation of a prompt and its ground-truth answer"
+ * (paper §III). Two task families are generated:
+ *
+ *  - Commonsense (CS-like / HellaSwag-like): a (subject, relation) pair
+ *    deterministically maps to an answer token through a hidden
+ *    association table. Learning the task = memorizing ~48 associations;
+ *    small models pick this up in a couple of epochs, like the paper's
+ *    commonsense results.
+ *  - Math (MATH-like / GSM8K-like): modular addition "a + b mod 23".
+ *    Learning the task requires representing a 23x23 composition, which
+ *    is structurally harder for small models — matching the paper's
+ *    observation that math is harder to fine-tune (Takeaways in §IV-A).
+ *
+ * Sequence lengths are drawn from a log-normal whose median matches the
+ * paper's per-dataset medians (CS 79, MATH 174, HE 272, GS 148), with
+ * filler tokens standing in for natural-language context.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/vocab.hpp"
+
+namespace ftsim {
+
+class Rng;
+
+/** Task family of a synthetic dataset. */
+enum class TaskKind : std::uint8_t {
+    Commonsense,  ///< Association task (CS-15k / HellaSwag stand-ins).
+    Math,         ///< Modular arithmetic (MATH-14k / GSM8K stand-ins).
+    /**
+     * Generic pre-training text: a noisy Markov chain over the full
+     * vocabulary. Every token appears in predictable contexts (so
+     * embeddings and the LM head learn all of them), but neither task
+     * mapping is present — the stand-in for a foundation model's
+     * pre-training corpus.
+     */
+    Generic,
+};
+
+/** One fine-tuning query: prompt plus ground-truth answer. */
+struct Query {
+    std::vector<int> prompt;
+    std::vector<int> answer;
+
+    /** Full sequence length (prompt + answer), the paper's "seq len". */
+    std::size_t seqLen() const { return prompt.size() + answer.size(); }
+};
+
+/** Generation recipe for a synthetic dataset. */
+struct DatasetSpec {
+    std::string name;
+    TaskKind kind = TaskKind::Commonsense;
+    std::size_t numQueries = 1000;
+    /** Target median of the sequence-length distribution (tokens). */
+    double medianSeqLen = 79.0;
+    /** Log-normal sigma (spread of lengths; Fig. 2 shape). */
+    double lengthSigma = 0.45;
+    std::uint64_t seed = 7;
+    /**
+     * Task-mapping variant. Variant 0 is the canonical mapping every
+     * preset uses; nonzero variants shift the hidden answer tables.
+     * Pre-training corpora built from nonzero variants teach a model the
+     * task *structure* (attend to the key tokens, answer from the
+     * numeral range) without leaking the actual mapping — the stand-in
+     * for the related-but-different data a foundation model saw.
+     */
+    std::uint32_t mappingVariant = 0;
+
+    // ----- Table II presets -----
+
+    /** Commonsense-15k: 15k queries, median 79. */
+    static DatasetSpec commonsense15k();
+
+    /** Math-14k: 14k queries, median 174. */
+    static DatasetSpec math14k();
+
+    /** HellaSwag eval set: 10k queries, median 272. */
+    static DatasetSpec hellaswag();
+
+    /** GSM8K eval set: 1.3k queries, median 148. */
+    static DatasetSpec gsm8k();
+
+    /** Generic pre-training corpus (see TaskKind::Generic). */
+    static DatasetSpec genericCorpus(std::size_t num_queries = 512,
+                                     double median_len = 16.0);
+};
+
+/** A generated dataset plus its summary statistics. */
+class Dataset {
+  public:
+    /** Generates the dataset described by @p spec. */
+    static Dataset generate(const DatasetSpec& spec);
+
+    /**
+     * Generates a miniaturized version: query count and median length
+     * scaled down (training-speed knob for the CPU substrate). Task
+     * structure and relative difficulty are unchanged.
+     */
+    static Dataset generateScaled(const DatasetSpec& spec,
+                                  double count_scale, double length_scale);
+
+    /**
+     * Concatenates datasets into one corpus (pre-training mixtures).
+     * The kind of the first input is kept for bookkeeping.
+     */
+    static Dataset merged(const std::vector<Dataset>& parts,
+                          const std::string& name);
+
+    /** Dataset name. */
+    const std::string& name() const { return name_; }
+
+    /** Task family. */
+    TaskKind kind() const { return kind_; }
+
+    /** All queries. */
+    const std::vector<Query>& queries() const { return queries_; }
+
+    /** Number of queries. */
+    std::size_t size() const { return queries_.size(); }
+
+    /** Query accessor. */
+    const Query& query(std::size_t i) const;
+
+    /** Median sequence length (Table II / Fig. 2). */
+    double medianSeqLen() const;
+
+    /** All sequence lengths, for histogramming (Fig. 2). */
+    std::vector<double> seqLens() const;
+
+    /** First @p n queries as a lightweight view (profiling extracts). */
+    std::vector<const Query*> head(std::size_t n) const;
+
+  private:
+    std::string name_;
+    TaskKind kind_ = TaskKind::Commonsense;
+    std::vector<Query> queries_;
+};
+
+/**
+ * The hidden ground-truth mappings of the synthetic tasks, exposed so
+ * tests and evaluators can verify answers independently of generation.
+ */
+class TaskOracle {
+  public:
+    /** Answer token for a commonsense (subject, relation) pair. */
+    static int commonsenseAnswer(std::size_t subject, std::size_t relation,
+                                 std::uint32_t variant = 0);
+
+    /** Answer token for the math pair (a + b) mod kModulus. */
+    static int mathAnswer(std::size_t a, std::size_t b,
+                          std::uint32_t variant = 0);
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_DATA_DATASET_HPP

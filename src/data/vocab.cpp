@@ -1,0 +1,37 @@
+#include "data/vocab.hpp"
+
+namespace ftsim {
+
+int
+Vocab::numberToken(std::size_t v)
+{
+    if (v >= kModulus)
+        fatal(strCat("Vocab::numberToken: value ", v, " out of range"));
+    return kNumberBase + static_cast<int>(v);
+}
+
+int
+Vocab::subjectToken(std::size_t s)
+{
+    if (s >= kNumSubjects)
+        fatal(strCat("Vocab::subjectToken: ", s, " out of range"));
+    return kSubjectBase + static_cast<int>(s);
+}
+
+int
+Vocab::relationToken(std::size_t r)
+{
+    if (r >= kNumRelations)
+        fatal(strCat("Vocab::relationToken: ", r, " out of range"));
+    return kRelationBase + static_cast<int>(r);
+}
+
+int
+Vocab::fillerToken(std::size_t f)
+{
+    if (f >= kNumFiller)
+        fatal(strCat("Vocab::fillerToken: ", f, " out of range"));
+    return kFillerBase + static_cast<int>(f);
+}
+
+}  // namespace ftsim

@@ -1,0 +1,69 @@
+#ifndef FTSIM_DATA_VOCAB_HPP
+#define FTSIM_DATA_VOCAB_HPP
+
+/**
+ * @file
+ * Token vocabulary for the synthetic instruction-tuning tasks.
+ *
+ * The real datasets (Commonsense-15k, Math-14k, HellaSwag, GSM8K) are
+ * replaced by synthetic tasks over a small shared vocabulary; what the
+ * characterization needs from them — sequence-length distributions and a
+ * learnable prompt->answer mapping with an exact-match metric — is
+ * preserved. The vocabulary is partitioned into fixed functional ranges.
+ */
+
+#include <cstddef>
+
+#include "common/logging.hpp"
+
+namespace ftsim {
+
+/** Fixed-layout vocabulary shared by every synthetic task. */
+class Vocab {
+  public:
+    // Special tokens.
+    static constexpr int kPad = 0;  ///< Padding (never predicted).
+    static constexpr int kBos = 1;  ///< Beginning of query.
+    static constexpr int kEos = 2;  ///< End of answer.
+    static constexpr int kSep = 3;  ///< Prompt/answer separator.
+    static constexpr int kOp = 4;   ///< Arithmetic operator token.
+
+    /** First filler token (prompt padding narrative). */
+    static constexpr int kFillerBase = 5;
+    /** Number of distinct filler tokens. */
+    static constexpr std::size_t kNumFiller = 11;
+
+    /** First subject token (commonsense task). */
+    static constexpr int kSubjectBase = 16;
+    /** Number of subjects. */
+    static constexpr std::size_t kNumSubjects = 12;
+
+    /** First relation token (commonsense task). */
+    static constexpr int kRelationBase = 28;
+    /** Number of relations. */
+    static constexpr std::size_t kNumRelations = 4;
+
+    /** First numeral token (math task); values 0..modulus-1. */
+    static constexpr int kNumberBase = 32;
+    /** Modulus of the arithmetic task (numeral count). */
+    static constexpr std::size_t kModulus = 23;
+
+    /** Total vocabulary size (numerals end at 54; vocab rounds to 64). */
+    static constexpr std::size_t kSize = 64;
+
+    /** Numeral token for value @p v in [0, kModulus). */
+    static int numberToken(std::size_t v);
+
+    /** Subject token @p s in [0, kNumSubjects). */
+    static int subjectToken(std::size_t s);
+
+    /** Relation token @p r in [0, kNumRelations). */
+    static int relationToken(std::size_t r);
+
+    /** Filler token @p f in [0, kNumFiller). */
+    static int fillerToken(std::size_t f);
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_DATA_VOCAB_HPP

@@ -1,0 +1,197 @@
+#include "gpusim/finetune_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.hpp"
+#include "common/math_util.hpp"
+
+namespace ftsim {
+
+std::string
+normalizeKernelName(const std::string& name)
+{
+    std::string out = name;
+    const std::string recompute = " (recompute)";
+    if (out.size() > recompute.size() &&
+        out.compare(out.size() - recompute.size(), recompute.size(),
+                    recompute) == 0)
+        out.erase(out.size() - recompute.size());
+    // "matmul(w1_bwd)" -> "matmul(w1)"; "softmax_bwd" -> "softmax".
+    auto pos = out.find("_bwd");
+    if (pos != std::string::npos)
+        out.erase(pos, 4);
+    return out;
+}
+
+double
+StepProfile::moeFractionOfStep() const
+{
+    // Fig. 5 is a *layer* breakdown: optimizer-state work is a stage of
+    // its own (Fig. 4) and is excluded here.
+    double moe = 0.0;
+    double total = 0.0;
+    for (const auto& layer : byLayer) {
+        if (layer.layer == LayerClass::OptimizerState)
+            continue;
+        total += layer.seconds;
+        if (layer.layer == LayerClass::MoE)
+            moe += layer.seconds;
+    }
+    return total > 0.0 ? moe / total : 0.0;
+}
+
+FineTuneSim::FineTuneSim(const ModelSpec& model, const GpuSpec& gpu,
+                         const SimCalibration& calib)
+    : model_(model), builder_(model), exec_(gpu, calib)
+{
+}
+
+StepProfile
+FineTuneSim::profileStep(const RunConfig& config) const
+{
+    StepProfile profile;
+    profile.config = config;
+
+    std::map<LayerClass, double> layer_seconds;
+    struct NamedAgg {
+        double seconds = 0.0;
+        double launches = 0.0;
+        double flops = 0.0;
+        double bytes = 0.0;
+        double sm_weighted = 0.0;
+        double dram_weighted = 0.0;
+    };
+    std::map<std::string, NamedAgg> moe_aggs;
+
+    for (const KernelDesc& kd : builder_.buildStep(config)) {
+        const KernelMetrics m = exec_.simulate(kd);
+        switch (kd.stage) {
+          case Stage::Forward:
+            profile.forwardSeconds += m.seconds;
+            break;
+          case Stage::Backward:
+            profile.backwardSeconds += m.seconds;
+            break;
+          case Stage::Optimizer:
+            profile.optimizerSeconds += m.seconds;
+            break;
+        }
+        layer_seconds[kd.layer] += m.seconds;
+        profile.kernelLaunches += kd.count;
+
+        if (kd.layer == LayerClass::MoE) {
+            NamedAgg& agg = moe_aggs[normalizeKernelName(kd.name)];
+            agg.seconds += m.seconds;
+            agg.launches += kd.count;
+            agg.flops += kd.flops * kd.count;
+            agg.bytes += kd.bytes * kd.count;
+            agg.sm_weighted += m.smUtilPct * m.seconds;
+            agg.dram_weighted += m.dramUtilPct * m.seconds;
+        }
+    }
+
+    for (const auto& [layer, seconds] : layer_seconds)
+        profile.byLayer.push_back({layer, seconds});
+    std::sort(profile.byLayer.begin(), profile.byLayer.end(),
+              [](const LayerAggregate& a, const LayerAggregate& b) {
+                  return a.seconds > b.seconds;
+              });
+
+    double moe_total = 0.0;
+    double moe_sm = 0.0;
+    double moe_dram = 0.0;
+    for (const auto& [name, agg] : moe_aggs) {
+        KernelAggregate ka;
+        ka.name = name;
+        ka.seconds = agg.seconds;
+        ka.launches = agg.launches;
+        ka.flops = agg.flops;
+        ka.bytes = agg.bytes;
+        // Clamp: the time-weighted mean of values <= 100 can exceed 100
+        // by floating-point round-off.
+        ka.smUtilPct = agg.seconds > 0.0
+                           ? std::min(agg.sm_weighted / agg.seconds, 100.0)
+                           : 0.0;
+        ka.dramUtilPct =
+            agg.seconds > 0.0
+                ? std::min(agg.dram_weighted / agg.seconds, 100.0)
+                : 0.0;
+        profile.moeKernels.push_back(std::move(ka));
+        moe_total += agg.seconds;
+        moe_sm += agg.sm_weighted;
+        moe_dram += agg.dram_weighted;
+    }
+    std::sort(profile.moeKernels.begin(), profile.moeKernels.end(),
+              [](const KernelAggregate& a, const KernelAggregate& b) {
+                  return a.seconds > b.seconds;
+              });
+    if (moe_total > 0.0) {
+        profile.moeTimeWeightedSmPct = moe_sm / moe_total;
+        profile.moeTimeWeightedDramPct = moe_dram / moe_total;
+    }
+
+    profile.overheadSeconds = exec_.calibration().stepOverheadMs * 1e-3;
+    profile.stepSeconds = profile.forwardSeconds +
+                          profile.backwardSeconds +
+                          profile.optimizerSeconds +
+                          profile.overheadSeconds;
+    profile.throughputQps =
+        static_cast<double>(config.batchSize) / profile.stepSeconds;
+    return profile;
+}
+
+double
+FineTuneSim::stepSeconds(const RunConfig& config) const
+{
+    double total = exec_.calibration().stepOverheadMs * 1e-3;
+    for (const KernelDesc& kd : builder_.buildStep(config))
+        total += exec_.simulate(kd).seconds;
+    return total;
+}
+
+std::size_t
+FineTuneSim::paddedSeqLen(std::size_t seq_len, std::size_t batch,
+                          double length_sigma) const
+{
+    const double factor = expectedBatchMaxFactor(batch, length_sigma);
+    return static_cast<std::size_t>(
+        std::lround(static_cast<double>(seq_len) * factor));
+}
+
+double
+FineTuneSim::throughput(std::size_t batch, std::size_t seq_len,
+                        bool sparse, double length_sigma) const
+{
+    RunConfig config;
+    config.batchSize = batch;
+    config.seqLen = paddedSeqLen(seq_len, batch, length_sigma);
+    config.sparse = sparse;
+    return static_cast<double>(batch) / stepSeconds(config);
+}
+
+std::vector<ThroughputPoint>
+FineTuneSim::throughputSweep(std::size_t seq_len, bool sparse,
+                             std::size_t max_batch,
+                             double length_sigma) const
+{
+    if (max_batch == 0)
+        fatal("FineTuneSim::throughputSweep: zero max batch");
+    std::vector<ThroughputPoint> points;
+    points.reserve(max_batch);
+    for (std::size_t b = 1; b <= max_batch; ++b) {
+        RunConfig config;
+        config.batchSize = b;
+        config.seqLen = paddedSeqLen(seq_len, b, length_sigma);
+        config.sparse = sparse;
+        ThroughputPoint pt;
+        pt.batchSize = b;
+        pt.stepSeconds = stepSeconds(config);
+        pt.qps = static_cast<double>(b) / pt.stepSeconds;
+        points.push_back(pt);
+    }
+    return points;
+}
+
+}  // namespace ftsim

@@ -1,0 +1,139 @@
+#ifndef FTSIM_GPUSIM_FINETUNE_SIM_HPP
+#define FTSIM_GPUSIM_FINETUNE_SIM_HPP
+
+/**
+ * @file
+ * End-to-end fine-tuning step simulator.
+ *
+ * Combines the workload builder and the execution model, and aggregates
+ * per-kernel metrics into the paper's three breakdown levels:
+ *
+ *  - stage level (forward / backward / optimizer)          — Fig. 4
+ *  - layer level (norms / attention / mamba / MoE / head)  — Fig. 5
+ *  - kernel level inside the MoE layer                     — Fig. 6
+ *
+ * plus time-weighted SM and DRAM utilization (Figs. 9-10), step latency,
+ * and queries/second throughput (Fig. 8).
+ */
+
+#include <string>
+#include <vector>
+
+#include "gpusim/exec_model.hpp"
+#include "gpusim/workload.hpp"
+
+namespace ftsim {
+
+/** Per-kernel-name aggregate (forward + recompute + backward merged). */
+struct KernelAggregate {
+    std::string name;       ///< Normalized name, e.g. "matmul(w1)".
+    double seconds = 0.0;
+    double launches = 0.0;
+    double flops = 0.0;
+    double bytes = 0.0;
+    /** Time-weighted SM utilization across the merged launches, %. */
+    double smUtilPct = 0.0;
+    /** Time-weighted DRAM bandwidth utilization, %. */
+    double dramUtilPct = 0.0;
+};
+
+/** Per-layer-class aggregate (Fig. 5 rows). */
+struct LayerAggregate {
+    LayerClass layer = LayerClass::MoE;
+    double seconds = 0.0;
+};
+
+/** Full profile of one simulated fine-tuning step. */
+struct StepProfile {
+    RunConfig config;
+    double forwardSeconds = 0.0;
+    double backwardSeconds = 0.0;   ///< Includes recomputation.
+    double optimizerSeconds = 0.0;
+    /** Per-step framework overhead (dataloader etc.). */
+    double overheadSeconds = 0.0;
+    /** Total step latency. */
+    double stepSeconds = 0.0;
+    /** Queries processed per second (paper's throughput metric). */
+    double throughputQps = 0.0;
+    /** Total kernel launches in the step. */
+    double kernelLaunches = 0.0;
+
+    /** Seconds by layer class, descending. */
+    std::vector<LayerAggregate> byLayer;
+    /** MoE-layer kernels by normalized name, descending by time. */
+    std::vector<KernelAggregate> moeKernels;
+    /** Time-weighted SM utilization over the MoE kernels, %. */
+    double moeTimeWeightedSmPct = 0.0;
+    /** Time-weighted DRAM utilization over the MoE kernels, %. */
+    double moeTimeWeightedDramPct = 0.0;
+
+    /** Fraction of step time spent in the MoE layer class. */
+    double moeFractionOfStep() const;
+};
+
+/** One point of a throughput sweep. */
+struct ThroughputPoint {
+    std::size_t batchSize = 0;
+    double qps = 0.0;
+    double stepSeconds = 0.0;
+};
+
+/** Simulator facade: one model on one GPU. */
+class FineTuneSim {
+  public:
+    FineTuneSim(const ModelSpec& model, const GpuSpec& gpu,
+                const SimCalibration& calib = {});
+
+    /** Profiles one training step in full detail. */
+    StepProfile profileStep(const RunConfig& config) const;
+
+    /** Step latency only (cheaper call sites). */
+    double stepSeconds(const RunConfig& config) const;
+
+    /**
+     * Queries/second at the given configuration. @p seq_len is the
+     * dataset's *median* length; @p length_sigma is the log-normal shape
+     * of the length distribution — batches pad every query to the batch
+     * maximum, so the effective per-query token count grows with batch
+     * size (0 disables the padding model).
+     */
+    double throughput(std::size_t batch, std::size_t seq_len, bool sparse,
+                      double length_sigma = 0.0) const;
+
+    /** Throughput at batch sizes 1..max_batch (Figs. 8, 14, 15). */
+    std::vector<ThroughputPoint> throughputSweep(
+        std::size_t seq_len, bool sparse, std::size_t max_batch,
+        double length_sigma = 0.0) const;
+
+    /** Effective (padding-amplified) sequence length for a batch. */
+    std::size_t paddedSeqLen(std::size_t seq_len, std::size_t batch,
+                             double length_sigma) const;
+
+    /** The model spec. */
+    const ModelSpec& model() const { return model_; }
+
+    /** The GPU spec. */
+    const GpuSpec& gpu() const { return exec_.gpu(); }
+
+    /** The workload builder (for tests and ablations). */
+    const WorkloadBuilder& workload() const { return builder_; }
+
+    /** The execution model. */
+    const ExecutionModel& exec() const { return exec_; }
+
+  private:
+    ModelSpec model_;
+    WorkloadBuilder builder_;
+    ExecutionModel exec_;
+};
+
+/**
+ * Normalizes a kernel name for cross-stage aggregation: strips the
+ * " (recompute)" suffix and "_bwd" markers so "matmul(w1_bwd)" folds
+ * into "matmul(w1)" (the paper's Fig. 6 merges passes the same way).
+ */
+std::string normalizeKernelName(const std::string& name);
+
+}  // namespace ftsim
+
+#endif  // FTSIM_GPUSIM_FINETUNE_SIM_HPP

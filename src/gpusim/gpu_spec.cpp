@@ -1,0 +1,81 @@
+#include "gpusim/gpu_spec.hpp"
+
+#include "common/math_util.hpp"
+
+namespace ftsim {
+
+double
+GpuSpec::memBytes() const
+{
+    return memGB * 1e9;
+}
+
+GpuSpec
+GpuSpec::a40()
+{
+    GpuSpec spec;
+    spec.name = "A40";
+    spec.memGB = 48.0;
+    spec.numSms = 84;
+    spec.tensorTflops = 149.7;  // Dense fp16 tensor core.
+    spec.vectorTflops = 37.4;   // fp32 CUDA core.
+    spec.dramGBps = 696.0;
+    spec.launchUs = 4.0;
+    return spec;
+}
+
+GpuSpec
+GpuSpec::a100_40()
+{
+    GpuSpec spec;
+    spec.name = "A100-40GB";
+    spec.memGB = 40.0;
+    spec.numSms = 108;
+    spec.tensorTflops = 312.0;
+    spec.vectorTflops = 19.5;
+    spec.dramGBps = 1555.0;
+    spec.launchUs = 4.0;
+    return spec;
+}
+
+GpuSpec
+GpuSpec::a100_80()
+{
+    GpuSpec spec = a100_40();
+    spec.name = "A100-80GB";
+    spec.memGB = 80.0;
+    spec.dramGBps = 1935.0;
+    return spec;
+}
+
+GpuSpec
+GpuSpec::h100_80()
+{
+    GpuSpec spec;
+    spec.name = "H100";
+    spec.memGB = 80.0;
+    spec.numSms = 132;
+    spec.tensorTflops = 989.0;  // Dense bf16 (SXM).
+    spec.vectorTflops = 66.9;
+    spec.dramGBps = 3350.0;
+    spec.launchUs = 3.0;
+    return spec;
+}
+
+GpuSpec
+GpuSpec::hypothetical(double mem_gib)
+{
+    GpuSpec spec = a100_80();
+    spec.name = "Hypothetical-" + std::to_string(static_cast<int>(mem_gib)) +
+                "GB";
+    spec.memGB = mem_gib;
+    return spec;
+}
+
+std::vector<GpuSpec>
+GpuSpec::paperGpus()
+{
+    return {a40(), a100_40(), a100_80(), h100_80()};
+}
+
+}  // namespace ftsim

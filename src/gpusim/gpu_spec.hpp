@@ -1,0 +1,65 @@
+#ifndef FTSIM_GPUSIM_GPU_SPEC_HPP
+#define FTSIM_GPUSIM_GPU_SPEC_HPP
+
+/**
+ * @file
+ * GPU device descriptors.
+ *
+ * The paper profiles on an NVIDIA A40 and validates its analytical model
+ * on A100-40GB, A100-80GB and H100-80GB. These specs capture the handful
+ * of architectural quantities the execution model needs: SM count, dense
+ * fp16/bf16 tensor throughput, vector (CUDA-core) throughput, DRAM
+ * bandwidth and capacity, and the per-kernel launch cost.
+ */
+
+#include <string>
+#include <vector>
+
+namespace ftsim {
+
+/** Architectural description of one GPU. */
+struct GpuSpec {
+    std::string name;
+    /** DRAM capacity in decimal GB, the paper's convention (Eq. 1). */
+    double memGB = 0.0;
+    /** Streaming multiprocessor count. */
+    int numSms = 0;
+    /** Dense fp16/bf16 tensor-core throughput, TFLOP/s. */
+    double tensorTflops = 0.0;
+    /** Vector (CUDA-core fp32) throughput, TFLOP/s. */
+    double vectorTflops = 0.0;
+    /** Peak DRAM bandwidth, GB/s. */
+    double dramGBps = 0.0;
+    /** Hardware kernel-launch latency, microseconds. */
+    double launchUs = 4.0;
+
+    /** DRAM capacity in bytes (decimal). */
+    double memBytes() const;
+
+    // ----- Presets used in the paper -----
+
+    /** NVIDIA A40 48 GB (Ampere GA102) — the profiling platform. */
+    static GpuSpec a40();
+
+    /** NVIDIA A100 40 GB (SXM). */
+    static GpuSpec a100_40();
+
+    /** NVIDIA A100 80 GB (SXM). */
+    static GpuSpec a100_80();
+
+    /** NVIDIA H100 80 GB (SXM). */
+    static GpuSpec h100_80();
+
+    /**
+     * Hypothetical future GPU: A100-80 compute with the given capacity
+     * (used for the Fig. 13 projection to 100 / 120 GB).
+     */
+    static GpuSpec hypothetical(double mem_gib);
+
+    /** All four real presets, A40 first. */
+    static std::vector<GpuSpec> paperGpus();
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_GPUSIM_GPU_SPEC_HPP

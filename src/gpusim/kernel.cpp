@@ -1,0 +1,77 @@
+#include "gpusim/kernel.hpp"
+
+namespace ftsim {
+
+const char*
+kernelKindName(KernelKind kind)
+{
+    switch (kind) {
+      case KernelKind::MatMul:
+        return "matmul";
+      case KernelKind::Attention:
+        return "attention";
+      case KernelKind::Dequant:
+        return "dequant";
+      case KernelKind::Softmax:
+        return "softmax";
+      case KernelKind::TopK:
+        return "topk";
+      case KernelKind::Sigmoid:
+        return "sigmoid";
+      case KernelKind::Gelu:
+        return "gelu";
+      case KernelKind::Silu:
+        return "silu";
+      case KernelKind::Elementwise:
+        return "elementwise";
+      case KernelKind::Norm:
+        return "norm";
+      case KernelKind::Conv:
+        return "conv";
+      case KernelKind::Scan:
+        return "scan";
+      case KernelKind::Optimizer:
+        return "optimizer";
+    }
+    return "unknown";
+}
+
+const char*
+layerClassName(LayerClass layer)
+{
+    switch (layer) {
+      case LayerClass::InputNorm:
+        return "Input normalization";
+      case LayerClass::Attention:
+        return "Attention";
+      case LayerClass::PostAttnNorm:
+        return "Post attention norm.";
+      case LayerClass::MoE:
+        return "MoE";
+      case LayerClass::RmsNorm:
+        return "RMS layernorm";
+      case LayerClass::Mamba:
+        return "Mamba";
+      case LayerClass::Head:
+        return "Embedding/Head";
+      case LayerClass::OptimizerState:
+        return "Optimizer";
+    }
+    return "unknown";
+}
+
+const char*
+stageName(Stage stage)
+{
+    switch (stage) {
+      case Stage::Forward:
+        return "Forward";
+      case Stage::Backward:
+        return "Backward";
+      case Stage::Optimizer:
+        return "Optimizer";
+    }
+    return "unknown";
+}
+
+}  // namespace ftsim

@@ -1,0 +1,100 @@
+#ifndef FTSIM_GPUSIM_KERNEL_HPP
+#define FTSIM_GPUSIM_KERNEL_HPP
+
+/**
+ * @file
+ * Kernel descriptors and simulated per-kernel metrics.
+ *
+ * A KernelDesc is the unit the workload builder emits and the execution
+ * model times: a named operation with a FLOP count, DRAM traffic, a
+ * parallelism width (independent thread blocks), and tags locating it in
+ * the training step (stage) and the model (layer class). The tags are
+ * what the paper's three breakdown levels aggregate over (Figs. 4-6).
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace ftsim {
+
+/** Functional class of a kernel; selects the throughput model. */
+enum class KernelKind : std::uint8_t {
+    MatMul,       ///< Tensor-core GEMM.
+    Attention,    ///< Fused flash-attention kernel.
+    Dequant,      ///< 4-bit block de-quantization (QLoRA).
+    Softmax,      ///< Row softmax.
+    TopK,         ///< Expert top-k selection.
+    Sigmoid,      ///< Elementwise sigmoid (BlackMamba router).
+    Gelu,         ///< Elementwise GELU.
+    Silu,         ///< Elementwise SiLU.
+    Elementwise,  ///< Other elementwise (residual add, mults, masks).
+    Norm,         ///< RMS/input layer normalization.
+    Conv,         ///< Depthwise causal conv1d (Mamba).
+    Scan,         ///< Selective-scan recurrence (Mamba).
+    Optimizer,    ///< AdamW state update passes.
+};
+
+/** Human-readable name of a kernel kind. */
+const char* kernelKindName(KernelKind kind);
+
+/** Model-layer class a kernel belongs to (Fig. 5 grouping). */
+enum class LayerClass : std::uint8_t {
+    InputNorm,      ///< Mixtral input normalization.
+    Attention,      ///< Mixtral self-attention.
+    PostAttnNorm,   ///< Mixtral post-attention normalization.
+    MoE,            ///< MoE layer (router + experts) — both models.
+    RmsNorm,        ///< BlackMamba RMS norms.
+    Mamba,          ///< BlackMamba mamba layer.
+    Head,           ///< Embedding / LM head.
+    OptimizerState, ///< Optimizer update work.
+};
+
+/** Human-readable name of a layer class. */
+const char* layerClassName(LayerClass layer);
+
+/** Training-step stage (Fig. 4 grouping). */
+enum class Stage : std::uint8_t {
+    Forward,
+    Backward,   ///< Includes gradient-checkpoint recomputation.
+    Optimizer,
+};
+
+/** Human-readable name of a stage. */
+const char* stageName(Stage stage);
+
+/** One kernel instance to be timed. */
+struct KernelDesc {
+    std::string name;        ///< Paper-style name, e.g. "matmul(w1)".
+    KernelKind kind = KernelKind::MatMul;
+    LayerClass layer = LayerClass::MoE;
+    Stage stage = Stage::Forward;
+    double flops = 0.0;      ///< Floating (or integer-ALU) operations.
+    double bytes = 0.0;      ///< DRAM bytes moved.
+    double tiles = 1.0;      ///< Independent thread blocks.
+    /**
+     * Intra-tile efficiency in (0, 1]: fraction of the kind's peak a
+     * launch can reach regardless of occupancy (e.g. tensor-core tiles
+     * underfilled by skinny GEMMs at small batch).
+     */
+    double efficiency = 1.0;
+    /** Static multiplicity: identical launches this desc stands for. */
+    double count = 1.0;
+};
+
+/** Simulated execution metrics of one kernel (ncu-style counters). */
+struct KernelMetrics {
+    /** Wall time for all `count` launches, seconds. */
+    double seconds = 0.0;
+    /** SM utilization in percent (paper Fig. 9 metric). */
+    double smUtilPct = 0.0;
+    /** DRAM bandwidth utilization in percent (paper Fig. 10 metric). */
+    double dramUtilPct = 0.0;
+    /** Achieved FLOP/s across the launches. */
+    double achievedFlops = 0.0;
+    /** True when limited by memory bandwidth rather than compute. */
+    bool memoryBound = false;
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_GPUSIM_KERNEL_HPP

@@ -1,0 +1,84 @@
+#include "gpusim/memory_model.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace ftsim {
+
+ActivationConstants
+MemoryModel::constantsFor(const ModelSpec& spec)
+{
+    // Fitted against the paper's measured Table III (A40, 48 GB, seq =
+    // dataset medians 79 / 174); see the memory-model tests for the
+    // verification of all eight cells.
+    ActivationConstants c;
+    if (spec.backbone == BackboneKind::Attention) {
+        c.fixedPerQueryMB = 350.0;
+        c.perTokenMB = 76.44;     // Dense basis (all experts active).
+        c.perTokenSqMB = 0.0923;
+        c.moeFraction = 0.9;
+    } else {
+        c.fixedPerQueryMB = 195.0;
+        c.perTokenMB = 16.4;
+        c.perTokenSqMB = 0.0774;
+        c.moeFraction = 1.0;
+    }
+    return c;
+}
+
+double
+MemoryModel::perQueryBytes(const ModelSpec& spec, std::size_t seq_len,
+                           bool sparse)
+{
+    if (seq_len == 0)
+        fatal("MemoryModel::perQueryBytes: zero sequence length");
+    const ActivationConstants c = constantsFor(spec);
+    const double s = static_cast<double>(seq_len);
+    const double sparsity = spec.sparsity(sparse);  // k / E.
+    const double moe_scale =
+        (1.0 - c.moeFraction) + c.moeFraction * sparsity;
+    const double variable_mb =
+        (c.perTokenMB * s + c.perTokenSqMB * s * s) * moe_scale;
+    return (c.fixedPerQueryMB + variable_mb) * 1e6;
+}
+
+double
+MemoryModel::gradientBytes(const ModelSpec& spec)
+{
+    // Full fine-tuning keeps an fp16 gradient per weight; LoRA keeps
+    // fp32 gradients for the (small) adapters.
+    const double bytes_per_grad =
+        spec.strategy == FineTuneStrategy::FullFineTune ? 2.0 : 4.0;
+    return static_cast<double>(spec.trainableParams()) * bytes_per_grad;
+}
+
+MemoryBreakdown
+MemoryModel::analyze(const ModelSpec& spec, const GpuSpec& gpu,
+                     std::size_t seq_len, bool sparse)
+{
+    MemoryBreakdown mb;
+    mb.weightBytes = spec.weightMemoryBytes();
+    mb.optimizerBytes = spec.optimizerStateBytes();
+    mb.gradientBytes = gradientBytes(spec);
+    mb.reservedBytes = kReservedBytes;
+    mb.usableBytes = gpu.memBytes() - mb.weightBytes - mb.optimizerBytes -
+                     mb.gradientBytes - mb.reservedBytes;
+    mb.perQueryBytes = perQueryBytes(spec, seq_len, sparse);
+    if (mb.usableBytes <= 0.0) {
+        mb.maxBatchSize = 0;  // Model does not fit at all.
+        return mb;
+    }
+    mb.maxBatchSize =
+        static_cast<int>(std::floor(mb.usableBytes / mb.perQueryBytes));
+    return mb;
+}
+
+int
+MemoryModel::maxBatchSize(const ModelSpec& spec, const GpuSpec& gpu,
+                          std::size_t seq_len, bool sparse)
+{
+    return analyze(spec, gpu, seq_len, sparse).maxBatchSize;
+}
+
+}  // namespace ftsim

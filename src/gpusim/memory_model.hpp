@@ -1,0 +1,86 @@
+#ifndef FTSIM_GPUSIM_MEMORY_MODEL_HPP
+#define FTSIM_GPUSIM_MEMORY_MODEL_HPP
+
+/**
+ * @file
+ * GPU memory-capacity model: what fits, and the maximum batch size.
+ *
+ * Accounting (all decimal bytes, the paper's convention):
+ *
+ *   usable = capacity - weights - optimizer state - gradients - reserved
+ *
+ * with weights from the ModelSpec (4-bit for QLoRA Mixtral, fp16 for
+ * BlackMamba), AdamW moments (2 x fp32) over trainable parameters,
+ * fp16-sized gradients over trainable parameters for full fine-tuning
+ * (fp32 for the small LoRA adapters), and a fixed framework/CUDA-context
+ * reservation.
+ *
+ * Per-query activation memory is modelled as
+ *
+ *   bytes(query) = fixed + (a * seq + e * seq^2) * ((1-m) + m * k/E)
+ *
+ * The linear term covers residual-stream activations, the quadratic term
+ * covers attention maps and padding amplification, and m is the fraction
+ * of activation memory living inside the MoE (so sparsity k/E scales it —
+ * the same structural assumption as the paper's Eq. 1). The constants
+ * (a, e, fixed, m) are fitted per model family against the paper's
+ * empirically measured Table III, exactly as the paper fits C0/C1; this
+ * model is the *ground truth generator* that Eq. 1 is then fitted to
+ * (Fig. 13).
+ */
+
+#include <cstddef>
+
+#include "gpusim/gpu_spec.hpp"
+#include "models/spec.hpp"
+
+namespace ftsim {
+
+/** Fitted activation-memory constants for one model family. */
+struct ActivationConstants {
+    double fixedPerQueryMB = 0.0;  ///< Fixed per-query overhead, MB.
+    double perTokenMB = 0.0;       ///< Linear coefficient a, MB/token.
+    double perTokenSqMB = 0.0;     ///< Quadratic coefficient e, MB/token^2.
+    double moeFraction = 0.9;      ///< m: activation share inside MoE.
+};
+
+/** Full memory accounting for one configuration. */
+struct MemoryBreakdown {
+    double weightBytes = 0.0;
+    double optimizerBytes = 0.0;
+    double gradientBytes = 0.0;
+    double reservedBytes = 0.0;
+    double usableBytes = 0.0;   ///< Capacity minus all of the above.
+    double perQueryBytes = 0.0; ///< Activation footprint of one query.
+    int maxBatchSize = 0;       ///< floor(usable / perQuery), >= 0.
+};
+
+/** Memory-capacity model (see file comment). */
+class MemoryModel {
+  public:
+    /** Framework + CUDA context reservation (bytes). */
+    static constexpr double kReservedBytes = 1.5e9;
+
+    /** Fitted activation constants for the model family of @p spec. */
+    static ActivationConstants constantsFor(const ModelSpec& spec);
+
+    /** Activation bytes for one query at the given length/sparsity. */
+    static double perQueryBytes(const ModelSpec& spec, std::size_t seq_len,
+                                bool sparse);
+
+    /** Bytes of gradient storage for the spec's trainable parameters. */
+    static double gradientBytes(const ModelSpec& spec);
+
+    /** Full accounting, including the resulting maximum batch size. */
+    static MemoryBreakdown analyze(const ModelSpec& spec,
+                                   const GpuSpec& gpu, std::size_t seq_len,
+                                   bool sparse);
+
+    /** Convenience: just the maximum batch size (Table III). */
+    static int maxBatchSize(const ModelSpec& spec, const GpuSpec& gpu,
+                            std::size_t seq_len, bool sparse);
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_GPUSIM_MEMORY_MODEL_HPP

@@ -1,0 +1,61 @@
+#include "models/attention.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+
+namespace {
+
+/** Validates the head geometry before any member initialization. */
+std::size_t
+checkedHeadDim(std::size_t d_model, std::size_t num_heads)
+{
+    if (num_heads == 0 || d_model % num_heads != 0)
+        fatal("CausalSelfAttention: d_model must divide by num_heads");
+    return d_model / num_heads;
+}
+
+}  // namespace
+
+CausalSelfAttention::CausalSelfAttention(std::size_t d_model,
+                                         std::size_t num_heads, Rng& rng,
+                                         bool frozen)
+    : numHeads_(num_heads),
+      dHead_(checkedHeadDim(d_model, num_heads)),
+      q_(d_model, d_model, rng),
+      k_(d_model, d_model, rng),
+      v_(d_model, d_model, rng),
+      o_(d_model, d_model, rng)
+{
+    registerChild("q_proj", &q_);
+    registerChild("k_proj", &k_);
+    registerChild("v_proj", &v_);
+    registerChild("o_proj", &o_);
+    if (frozen)
+        freeze();
+}
+
+Tensor
+CausalSelfAttention::forward(const Tensor& x) const
+{
+    if (x.dim() != 3)
+        fatal(strCat("CausalSelfAttention: expected [B, T, D], got ",
+                     shapeToString(x.shape())));
+
+    Tensor q = splitHeads(q_.forward(x), numHeads_);  // [B*H, T, Dh]
+    Tensor k = splitHeads(k_.forward(x), numHeads_);
+    Tensor v = splitHeads(v_.forward(x), numHeads_);
+
+    const Scalar inv_sqrt_d =
+        1.0 / std::sqrt(static_cast<Scalar>(dHead_));
+    Tensor scores = scale(bmm(q, transposeLast(k)), inv_sqrt_d);
+    Tensor probs = softmaxLastDim(causalMask(scores));
+    Tensor ctx = bmm(probs, v);                       // [B*H, T, Dh]
+    return o_.forward(mergeHeads(ctx, numHeads_));
+}
+
+}  // namespace ftsim

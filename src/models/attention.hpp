@@ -1,0 +1,53 @@
+#ifndef FTSIM_MODELS_ATTENTION_HPP
+#define FTSIM_MODELS_ATTENTION_HPP
+
+/**
+ * @file
+ * Multi-head causal self-attention (the Mixtral-style sequence mixer).
+ */
+
+#include "nn/layers.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ftsim {
+
+class Rng;
+
+/** Multi-head causal self-attention with full (MHA) head layout. */
+class CausalSelfAttention : public Module {
+  public:
+    /**
+     * @param d_model residual width (must divide by num_heads).
+     * @param frozen when true (QLoRA mode) the projections do not train —
+     *        the paper adapts only the MoE layers of Mixtral.
+     */
+    CausalSelfAttention(std::size_t d_model, std::size_t num_heads,
+                        Rng& rng, bool frozen = false);
+
+    /** Applies attention to [B, T, d_model] input. */
+    Tensor forward(const Tensor& x) const;
+
+    /** Head count. */
+    std::size_t numHeads() const { return numHeads_; }
+
+    /** Projection accessors (weight-transfer plumbing). */
+    Linear& qProj() { return q_; }
+    /** Key projection. */
+    Linear& kProj() { return k_; }
+    /** Value projection. */
+    Linear& vProj() { return v_; }
+    /** Output projection. */
+    Linear& oProj() { return o_; }
+
+  private:
+    std::size_t numHeads_;
+    std::size_t dHead_;
+    Linear q_;
+    Linear k_;
+    Linear v_;
+    Linear o_;
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_MODELS_ATTENTION_HPP

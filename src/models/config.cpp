@@ -1,0 +1,45 @@
+#include "models/config.hpp"
+
+namespace ftsim {
+
+MiniModelConfig
+MiniModelConfig::miniMixtral()
+{
+    MiniModelConfig cfg;
+    cfg.backbone = BackboneKind::Attention;
+    cfg.expertKind = ExpertKind::SwiGLU;
+    cfg.vocab = 64;
+    cfg.dModel = 64;
+    cfg.nLayers = 2;
+    cfg.nHeads = 4;
+    cfg.dFf = 128;
+    cfg.nExperts = 8;
+    cfg.topK = 2;
+    cfg.useLora = true;
+    cfg.loraRank = 4;
+    cfg.seed = 20240808;
+    return cfg;
+}
+
+MiniModelConfig
+MiniModelConfig::miniBlackMamba()
+{
+    MiniModelConfig cfg;
+    cfg.backbone = BackboneKind::Mamba;
+    cfg.expertKind = ExpertKind::Gelu;
+    cfg.vocab = 64;
+    // The paper's BlackMamba is ~17x smaller than Mixtral; keep the
+    // miniature version smaller than mini-Mixtral in the same spirit.
+    cfg.dModel = 40;
+    cfg.nLayers = 2;
+    cfg.dFf = 80;
+    cfg.dInner = 80;
+    cfg.convK = 4;
+    cfg.nExperts = 8;
+    cfg.topK = 2;
+    cfg.useLora = false;  // Full fine-tuning, as in the paper.
+    cfg.seed = 20240809;
+    return cfg;
+}
+
+}  // namespace ftsim

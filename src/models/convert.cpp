@@ -1,0 +1,122 @@
+#include "models/convert.hpp"
+
+#include "common/logging.hpp"
+
+namespace ftsim {
+
+namespace {
+
+/** Copies tensor values between same-shaped parameter tensors. */
+void
+copyValues(const Tensor& dst, const Tensor& src, const char* what)
+{
+    if (!dst.defined() || !src.defined() || dst.shape() != src.shape())
+        fatal(strCat("initializeQloraFromDense: shape mismatch at ",
+                     what));
+    dst.impl()->data = src.data();
+}
+
+/** Copies a plain Linear layer (weight, optional bias). */
+void
+copyLinear(Linear& dst, Linear& src, const char* what)
+{
+    copyValues(dst.weight(), src.weight(), what);
+    if (dst.bias().defined() != src.bias().defined())
+        fatal(strCat("initializeQloraFromDense: bias mismatch at ", what));
+    if (dst.bias().defined())
+        copyValues(dst.bias(), src.bias(), what);
+}
+
+/** Re-quantizes a LoRA-wrapped base from a dense projection. */
+void
+requantizeFromDense(LinearBase& qlora_proj, LinearBase& dense_proj,
+                    const char* what)
+{
+    auto* lora = dynamic_cast<LoRALinear*>(&qlora_proj);
+    if (lora == nullptr)
+        fatal(strCat("initializeQloraFromDense: ", what,
+                     " is not a LoRA projection"));
+    auto* quant = dynamic_cast<QuantLinear*>(&lora->baseLayer());
+    if (quant == nullptr)
+        fatal(strCat("initializeQloraFromDense: ", what,
+                     " base is not quantized"));
+    auto* dense = dynamic_cast<DenseLinear*>(&dense_proj);
+    if (dense == nullptr)
+        fatal(strCat("initializeQloraFromDense: dense twin of ", what,
+                     " is not a DenseLinear"));
+    quant->requantize(dense->weight());
+}
+
+void
+copyNorm(RMSNorm& dst, RMSNorm& src, const char* what)
+{
+    auto d = dst.namedParameters();
+    auto s = src.namedParameters();
+    if (d.size() != 1 || s.size() != 1)
+        panic("copyNorm: unexpected RMSNorm parameter layout");
+    copyValues(d[0].tensor, s[0].tensor, what);
+}
+
+}  // namespace
+
+void
+initializeQloraFromDense(MoeLlm& qlora, MoeLlm& dense)
+{
+    const MiniModelConfig& qc = qlora.config();
+    const MiniModelConfig& dc = dense.config();
+    if (!qc.useLora || dc.useLora)
+        fatal("initializeQloraFromDense: expected (qlora, dense) pair");
+    if (qc.dModel != dc.dModel || qc.nLayers != dc.nLayers ||
+        qc.dFf != dc.dFf || qc.nExperts != dc.nExperts ||
+        qc.vocab != dc.vocab || qc.backbone != dc.backbone ||
+        qc.expertKind != dc.expertKind)
+        fatal("initializeQloraFromDense: architecture mismatch");
+
+    copyValues(qlora.embeddingLayer().table(),
+               dense.embeddingLayer().table(), "embedding");
+    copyLinear(qlora.headLayer(), dense.headLayer(), "lm_head");
+    copyNorm(qlora.finalNormLayer(), dense.finalNormLayer(),
+             "final_norm");
+
+    for (std::size_t l = 0; l < qc.nLayers; ++l) {
+        DecoderBlock& qb = qlora.block(l);
+        DecoderBlock& db = dense.block(l);
+        copyNorm(qb.inputNorm(), db.inputNorm(), "input_norm");
+        copyNorm(qb.postMixerNorm(), db.postMixerNorm(),
+                 "post_mixer_norm");
+
+        if (qc.backbone == BackboneKind::Attention) {
+            copyLinear(qb.attention()->qProj(), db.attention()->qProj(),
+                       "q_proj");
+            copyLinear(qb.attention()->kProj(), db.attention()->kProj(),
+                       "k_proj");
+            copyLinear(qb.attention()->vProj(), db.attention()->vProj(),
+                       "v_proj");
+            copyLinear(qb.attention()->oProj(), db.attention()->oProj(),
+                       "o_proj");
+        } else {
+            copyLinear(qb.mambaLayer()->inProj(),
+                       db.mambaLayer()->inProj(), "in_proj");
+            copyLinear(qb.mambaLayer()->aProj(), db.mambaLayer()->aProj(),
+                       "a_proj");
+            copyLinear(qb.mambaLayer()->outProj(),
+                       db.mambaLayer()->outProj(), "out_proj");
+            copyValues(qb.mambaLayer()->convWeight(),
+                       db.mambaLayer()->convWeight(), "conv1d");
+        }
+
+        MoELayer& qm = qb.moe();
+        MoELayer& dm = db.moe();
+        requantizeFromDense(qm.router().gate(), dm.router().gate(),
+                            "router");
+        for (std::size_t e = 0; e < qm.numExperts(); ++e) {
+            Expert& qe = qm.expert(e);
+            Expert& de = dm.expert(e);
+            for (std::size_t p = 0; p < qe.numProjections(); ++p)
+                requantizeFromDense(qe.projection(p), de.projection(p),
+                                    "expert projection");
+        }
+    }
+}
+
+}  // namespace ftsim

@@ -1,0 +1,32 @@
+#ifndef FTSIM_MODELS_CONVERT_HPP
+#define FTSIM_MODELS_CONVERT_HPP
+
+/**
+ * @file
+ * Pretrained-dense -> QLoRA model conversion.
+ *
+ * The paper fine-tunes a *pretrained* Mixtral with QLoRA: the base
+ * weights come from pre-training, get quantized to 4 bits, and only
+ * low-rank adapters train. This module reproduces that flow for the
+ * miniature models: train a dense twin first, then initialize a QLoRA
+ * model from it — frozen backbone weights are copied, MoE base matrices
+ * are re-quantized from the dense weights, and the LoRA adapters start
+ * as the usual exact no-op.
+ */
+
+#include "models/model.hpp"
+
+namespace ftsim {
+
+/**
+ * Initializes @p qlora (built with useLora = true) from the pretrained
+ * @p dense twin (same architecture dims, useLora = false): copies
+ * embeddings, norms, attention/mamba mixers and the LM head verbatim,
+ * and re-quantizes every MoE base matrix (experts + router) from the
+ * dense weights. Fatal on any configuration mismatch.
+ */
+void initializeQloraFromDense(MoeLlm& qlora, MoeLlm& dense);
+
+}  // namespace ftsim
+
+#endif  // FTSIM_MODELS_CONVERT_HPP

@@ -1,0 +1,54 @@
+#include "models/mamba.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+
+MambaLayer::MambaLayer(std::size_t d_model, std::size_t d_inner,
+                       std::size_t conv_k, Rng& rng)
+    : dInner_(d_inner),
+      inProj_(d_model, 2 * d_inner, rng),
+      aProj_(d_inner, d_inner, rng),
+      outProj_(d_inner, d_model, rng)
+{
+    if (d_inner == 0 || conv_k == 0)
+        fatal("MambaLayer: zero-sized dimension");
+    registerChild("in_proj", &inProj_);
+    registerChild("a_proj", &aProj_);
+    registerChild("out_proj", &outProj_);
+    const Scalar bound = 1.0 / std::sqrt(static_cast<Scalar>(conv_k));
+    convW_ = registerParameter(
+        "conv1d.weight", Tensor::randu({conv_k, d_inner}, rng, bound));
+}
+
+Tensor
+MambaLayer::forward(const Tensor& x) const
+{
+    if (x.dim() != 3)
+        fatal(strCat("MambaLayer: expected [B, T, D], got ",
+                     shapeToString(x.shape())));
+
+    // Project and split into the value path (u) and the gate path (z).
+    Tensor xz = inProj_.forward(x);                 // [B, T, 2*Di]
+    Tensor u = sliceLastDim(xz, 0, dInner_);
+    Tensor z = sliceLastDim(xz, dInner_, dInner_);
+
+    // Short causal depthwise convolution, then SiLU (as in Mamba).
+    u = silu(conv1dDepthwiseCausal(u, convW_));
+
+    // Selective (input-dependent) decay a_t in (0, 1); the state update
+    // h_t = a_t h_{t-1} + (1 - a_t) u_t is a discretized selective SSM
+    // with a zero-order-hold style input gate.
+    Tensor a = sigmoid(aProj_.forward(u));          // [B, T, Di]
+    Tensor drive = mul(addScalar(neg(a), 1.0), u);  // (1 - a) * u
+    Tensor h = selectiveScan(a, drive);
+
+    // Gated output, as in Mamba: y = h * silu(z).
+    return outProj_.forward(mul(h, silu(z)));
+}
+
+}  // namespace ftsim

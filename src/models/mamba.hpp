@@ -1,0 +1,59 @@
+#ifndef FTSIM_MODELS_MAMBA_HPP
+#define FTSIM_MODELS_MAMBA_HPP
+
+/**
+ * @file
+ * Selective state-space sequence mixer (the BlackMamba-style layer).
+ *
+ * A faithful-in-structure miniature of the Mamba block: input projection
+ * splitting into value and gate paths, a causal depthwise convolution, an
+ * input-dependent (selective) decay, a linear-time recurrence over the
+ * sequence, and a gated output projection. The recurrence uses the fused
+ * selectiveScan op whose backward is a reverse-time scan — the same
+ * structure real Mamba CUDA kernels implement.
+ */
+
+#include "nn/layers.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ftsim {
+
+class Rng;
+
+/** Mamba-style selective SSM layer. */
+class MambaLayer : public Module {
+  public:
+    /**
+     * @param d_model residual width.
+     * @param d_inner expanded inner width (typically 2x d_model).
+     * @param conv_k depthwise convolution taps (typically 4).
+     */
+    MambaLayer(std::size_t d_model, std::size_t d_inner,
+               std::size_t conv_k, Rng& rng);
+
+    /** Applies the layer to [B, T, d_model] input. */
+    Tensor forward(const Tensor& x) const;
+
+    /** Inner width. */
+    std::size_t dInner() const { return dInner_; }
+
+    /** Projection accessors (weight-transfer plumbing). */
+    Linear& inProj() { return inProj_; }
+    /** Decay projection. */
+    Linear& aProj() { return aProj_; }
+    /** Output projection. */
+    Linear& outProj() { return outProj_; }
+    /** Depthwise conv taps. */
+    Tensor convWeight() { return convW_; }
+
+  private:
+    std::size_t dInner_;
+    Linear inProj_;   ///< d_model -> 2*d_inner (value and gate paths).
+    Tensor convW_;    ///< [conv_k, d_inner] depthwise causal taps.
+    Linear aProj_;    ///< d_inner -> d_inner selective-decay projection.
+    Linear outProj_;  ///< d_inner -> d_model.
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_MODELS_MAMBA_HPP

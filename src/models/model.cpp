@@ -1,0 +1,135 @@
+#include "models/model.hpp"
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+
+DecoderBlock::DecoderBlock(const MiniModelConfig& cfg, Rng& rng)
+    : backbone_(cfg.backbone), norm1_(cfg.dModel), norm2_(cfg.dModel)
+{
+    registerChild("input_norm", &norm1_);
+    registerChild("post_mixer_norm", &norm2_);
+    if (backbone_ == BackboneKind::Attention) {
+        attention_ = std::make_unique<CausalSelfAttention>(
+            cfg.dModel, cfg.nHeads, rng, /*frozen=*/cfg.useLora);
+        registerChild("self_attn", attention_.get());
+    } else {
+        mamba_ = std::make_unique<MambaLayer>(cfg.dModel, cfg.dInner,
+                                              cfg.convK, rng);
+        registerChild("mamba", mamba_.get());
+    }
+    moe_ = std::make_unique<MoELayer>(cfg, rng);
+    registerChild("moe", moe_.get());
+    if (cfg.useLora) {
+        // QLoRA fine-tuning trains only the adapters; the norms are part
+        // of the frozen base model.
+        norm1_.freeze();
+        norm2_.freeze();
+    }
+}
+
+Tensor
+DecoderBlock::forward(const Tensor& x, std::size_t top_k)
+{
+    // Pre-norm residual around the sequence mixer.
+    Tensor mixed = (backbone_ == BackboneKind::Attention)
+                       ? attention_->forward(norm1_.forward(x))
+                       : mamba_->forward(norm1_.forward(x));
+    Tensor h = add(x, mixed);
+
+    // Pre-norm residual around the MoE; MoE operates on flat tokens.
+    const Shape& s = h.shape();
+    Tensor flat = reshape(norm2_.forward(h), {s[0] * s[1], s[2]});
+    Tensor moe_out = moe_->forward(flat, top_k);
+    return add(h, reshape(moe_out, s));
+}
+
+MoeLlm::MoeLlm(const MiniModelConfig& cfg)
+    : cfg_(cfg), topK_(cfg.topK), finalNorm_(cfg.dModel)
+{
+    if (cfg.topK == 0 || cfg.topK > cfg.nExperts)
+        fatal("MoeLlm: topK out of range");
+    Rng rng(cfg.seed);
+    embedding_ = std::make_unique<Embedding>(cfg.vocab, cfg.dModel, rng);
+    registerChild("embed_tokens", embedding_.get());
+    for (std::size_t l = 0; l < cfg.nLayers; ++l) {
+        blocks_.push_back(std::make_unique<DecoderBlock>(cfg, rng));
+        registerChild(strCat("layers.", l), blocks_.back().get());
+    }
+    registerChild("final_norm", &finalNorm_);
+    head_ = std::make_unique<Linear>(cfg.dModel, cfg.vocab, rng);
+    registerChild("lm_head", head_.get());
+    if (cfg.useLora) {
+        embedding_->freeze();
+        head_->freeze();
+        finalNorm_.freeze();
+    }
+}
+
+Tensor
+MoeLlm::logits(const std::vector<int>& ids, std::size_t batch,
+               std::size_t seq_len)
+{
+    if (ids.size() != batch * seq_len)
+        fatal(strCat("MoeLlm::logits: got ", ids.size(), " ids for [",
+                     batch, ", ", seq_len, "]"));
+    Tensor h = embedding_->forward(ids, {batch, seq_len});
+    for (auto& block : blocks_)
+        h = block->forward(h, topK_);
+    h = finalNorm_.forward(h);
+    Tensor out = head_->forward(h);  // [B, T, V]
+    return reshape(out, {batch * seq_len, cfg_.vocab});
+}
+
+Tensor
+MoeLlm::loss(const std::vector<int>& ids, const std::vector<int>& targets,
+             std::size_t batch, std::size_t seq_len, int ignore_index)
+{
+    Tensor lm_loss =
+        crossEntropy(logits(ids, batch, seq_len), targets, ignore_index);
+    if (cfg_.auxLossWeight > 0.0) {
+        for (auto& block : blocks_) {
+            const Tensor& aux = block->moe().lastAuxLoss();
+            if (aux.defined())
+                lm_loss = add(lm_loss, aux);
+        }
+    }
+    return lm_loss;
+}
+
+DecoderBlock&
+MoeLlm::block(std::size_t i)
+{
+    if (i >= blocks_.size())
+        fatal(strCat("MoeLlm::block: index ", i, " out of range"));
+    return *blocks_[i];
+}
+
+std::vector<Router*>
+MoeLlm::routers()
+{
+    std::vector<Router*> out;
+    out.reserve(blocks_.size());
+    for (auto& block : blocks_)
+        out.push_back(&block->moe().router());
+    return out;
+}
+
+void
+MoeLlm::resetRouterStats()
+{
+    for (Router* r : routers())
+        r->resetStats();
+}
+
+void
+MoeLlm::setTopK(std::size_t top_k)
+{
+    if (top_k == 0 || top_k > cfg_.nExperts)
+        fatal(strCat("MoeLlm::setTopK: ", top_k, " out of range"));
+    topK_ = top_k;
+}
+
+}  // namespace ftsim

@@ -1,0 +1,119 @@
+#ifndef FTSIM_MODELS_MODEL_HPP
+#define FTSIM_MODELS_MODEL_HPP
+
+/**
+ * @file
+ * The miniature MoE decoder language model (Fig. 1 of the paper).
+ *
+ * Stacks decoder blocks of (RMSNorm -> mixer -> residual, RMSNorm -> MoE
+ * -> residual) where the mixer is causal attention (Mixtral-style) or a
+ * selective SSM (BlackMamba-style), followed by a final norm and LM head.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "models/attention.hpp"
+#include "models/config.hpp"
+#include "models/mamba.hpp"
+#include "models/moe.hpp"
+#include "nn/layers.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ftsim {
+
+/** One decoder block: mixer + MoE with pre-norm residuals. */
+class DecoderBlock : public Module {
+  public:
+    DecoderBlock(const MiniModelConfig& cfg, Rng& rng);
+
+    /** Applies the block to [B, T, D]; top_k selects MoE sparsity. */
+    Tensor forward(const Tensor& x, std::size_t top_k);
+
+    /** This block's MoE layer (router statistics live inside). */
+    MoELayer& moe() { return *moe_; }
+
+    /** Mixer accessors (null when the other backbone is active). */
+    CausalSelfAttention* attention() { return attention_.get(); }
+    /** Mamba mixer (null for attention backbones). */
+    MambaLayer* mambaLayer() { return mamba_.get(); }
+    /** Pre-mixer norm. */
+    RMSNorm& inputNorm() { return norm1_; }
+    /** Pre-MoE norm. */
+    RMSNorm& postMixerNorm() { return norm2_; }
+
+  private:
+    BackboneKind backbone_;
+    RMSNorm norm1_;
+    RMSNorm norm2_;
+    std::unique_ptr<CausalSelfAttention> attention_;
+    std::unique_ptr<MambaLayer> mamba_;
+    std::unique_ptr<MoELayer> moe_;
+};
+
+/** The full miniature MoE language model. */
+class MoeLlm : public Module {
+  public:
+    explicit MoeLlm(const MiniModelConfig& cfg);
+
+    /**
+     * Computes logits for a [B, T] batch of token ids (row-major).
+     * @return [B*T, vocab] logits.
+     */
+    Tensor logits(const std::vector<int>& ids, std::size_t batch,
+                  std::size_t seq_len);
+
+    /**
+     * Next-token cross-entropy plus any MoE auxiliary losses.
+     * @param targets [B*T] labels aligned with positions (callers supply
+     *        already-shifted labels); ignore_index positions are skipped.
+     */
+    Tensor loss(const std::vector<int>& ids, const std::vector<int>& targets,
+                std::size_t batch, std::size_t seq_len,
+                int ignore_index = -1);
+
+    /** Routers of every layer, for load-imbalance studies (Fig. 11). */
+    std::vector<Router*> routers();
+
+    /** Resets router statistics across all layers. */
+    void resetRouterStats();
+
+    /** Active experts per token used by forward passes. */
+    std::size_t topK() const { return topK_; }
+
+    /**
+     * Overrides MoE sparsity (e.g., nExperts for dense fine-tuning).
+     * Fatal if out of range.
+     */
+    void setTopK(std::size_t top_k);
+
+    /** The construction-time configuration. */
+    const MiniModelConfig& config() const { return cfg_; }
+
+    /** Decoder block accessor. */
+    DecoderBlock& block(std::size_t i);
+
+    /** Number of decoder blocks. */
+    std::size_t numBlocks() const { return blocks_.size(); }
+
+    /** Token embedding (weight-transfer plumbing). */
+    Embedding& embeddingLayer() { return *embedding_; }
+
+    /** LM head. */
+    Linear& headLayer() { return *head_; }
+
+    /** Final norm. */
+    RMSNorm& finalNormLayer() { return finalNorm_; }
+
+  private:
+    MiniModelConfig cfg_;
+    std::size_t topK_;
+    std::unique_ptr<Embedding> embedding_;
+    std::vector<std::unique_ptr<DecoderBlock>> blocks_;
+    RMSNorm finalNorm_;
+    std::unique_ptr<Linear> head_;
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_MODELS_MODEL_HPP

@@ -1,0 +1,167 @@
+#include "models/moe.hpp"
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+
+namespace {
+
+/** Builds a dense or QLoRA-wrapped projection. */
+std::unique_ptr<LinearBase>
+makeProjection(std::size_t in_dim, std::size_t out_dim, Rng& rng,
+               bool use_lora, std::size_t lora_rank, Scalar lora_alpha)
+{
+    if (use_lora) {
+        return std::make_unique<LoRALinear>(
+            std::make_unique<QuantLinear>(in_dim, out_dim, rng), lora_rank,
+            lora_alpha, rng);
+    }
+    return std::make_unique<DenseLinear>(in_dim, out_dim, rng);
+}
+
+}  // namespace
+
+Expert::Expert(ExpertKind kind, std::size_t d_model, std::size_t d_ff,
+               Rng& rng, bool use_lora, std::size_t lora_rank,
+               Scalar lora_alpha)
+    : kind_(kind)
+{
+    w1_ = makeProjection(d_model, d_ff, rng, use_lora, lora_rank,
+                         lora_alpha);
+    registerChild("w1", w1_.get());
+    w2_ = makeProjection(d_ff, d_model, rng, use_lora, lora_rank,
+                         lora_alpha);
+    registerChild("w2", w2_.get());
+    if (kind_ == ExpertKind::SwiGLU) {
+        w3_ = makeProjection(d_model, d_ff, rng, use_lora, lora_rank,
+                             lora_alpha);
+        registerChild("w3", w3_.get());
+    }
+}
+
+Tensor
+Expert::forward(const Tensor& x) const
+{
+    if (kind_ == ExpertKind::SwiGLU) {
+        // Fig. 7 (top): y = w2( silu(w1 x) * (w3 x) ).
+        Tensor gate = silu(w1_->forward(x));
+        Tensor up = w3_->forward(x);
+        return w2_->forward(mul(gate, up));
+    }
+    // Fig. 7 (bottom): y = w2( gelu(w1 x) ).
+    return w2_->forward(gelu(w1_->forward(x)));
+}
+
+std::size_t
+Expert::numProjections() const
+{
+    return kind_ == ExpertKind::SwiGLU ? 3 : 2;
+}
+
+LinearBase&
+Expert::projection(std::size_t i)
+{
+    switch (i) {
+      case 0:
+        return *w1_;
+      case 1:
+        return *w2_;
+      case 2:
+        if (w3_)
+            return *w3_;
+        break;
+      default:
+        break;
+    }
+    fatal(strCat("Expert::projection: index ", i, " out of range"));
+}
+
+const LinearBase&
+Expert::projection(std::size_t i) const
+{
+    return const_cast<Expert*>(this)->projection(i);
+}
+
+Expert&
+MoELayer::expert(std::size_t i)
+{
+    if (i >= experts_.size())
+        fatal("MoELayer::expert: index out of range");
+    return *experts_[i];
+}
+
+const Expert&
+MoELayer::expert(std::size_t i) const
+{
+    return const_cast<MoELayer*>(this)->expert(i);
+}
+
+MoELayer::MoELayer(const MiniModelConfig& cfg, Rng& rng)
+{
+    router_ = std::make_unique<Router>(cfg.dModel, cfg.nExperts, rng,
+                                       cfg.useLora, cfg.loraRank,
+                                       cfg.auxLossWeight);
+    registerChild("router", router_.get());
+    experts_.reserve(cfg.nExperts);
+    for (std::size_t e = 0; e < cfg.nExperts; ++e) {
+        experts_.push_back(std::make_unique<Expert>(
+            cfg.expertKind, cfg.dModel, cfg.dFf, rng, cfg.useLora,
+            cfg.loraRank, cfg.loraAlpha));
+        registerChild(strCat("experts.", e), experts_.back().get());
+    }
+}
+
+Tensor
+MoELayer::forward(const Tensor& x, std::size_t top_k)
+{
+    if (x.dim() != 2)
+        fatal(strCat("MoELayer::forward: expected [N, D] tokens, got ",
+                     shapeToString(x.shape())));
+    const std::size_t n = x.size(0);
+    const std::size_t d = x.size(1);
+
+    RoutingInfo routing = router_->route(x, top_k);
+    lastAuxLoss_ = routing.auxLoss;
+
+    // Gate weights as a flat [N*k] column for per-slot row scaling.
+    Tensor flat_weights =
+        reshape(routing.weights, {n * top_k});
+
+    Tensor out;  // Accumulated expert contributions.
+    for (std::size_t e = 0; e < experts_.size(); ++e) {
+        // Slots (token, j) routed to expert e in this batch.
+        std::vector<std::size_t> token_rows;
+        std::vector<std::size_t> slot_rows;
+        for (std::size_t i = 0; i < routing.experts.size(); ++i) {
+            if (routing.experts[i] == static_cast<int>(e)) {
+                token_rows.push_back(i / top_k);
+                slot_rows.push_back(i);
+            }
+        }
+        if (token_rows.empty())
+            continue;
+
+        // Group tokens (Fig. 12), run the expert, apply gate weights,
+        // and scatter back into the residual-stream layout.
+        Tensor xe = gatherRows(x, token_rows);
+        Tensor he = experts_[e]->forward(xe);
+        Tensor we = reshape(
+            gatherRows(reshape(flat_weights, {n * top_k, 1}), slot_rows),
+            {slot_rows.size()});
+        Tensor weighted = scaleRows(he, we);
+        Tensor scattered = scatterAddRows(weighted, token_rows, n);
+        out = out.defined() ? add(out, scattered) : scattered;
+    }
+
+    if (!out.defined()) {
+        // Cannot happen (top_k >= 1 assigns every token) but keep the
+        // invariant explicit.
+        panic("MoELayer::forward: no expert received any token");
+    }
+    (void)d;
+    return out;
+}
+
+}  // namespace ftsim

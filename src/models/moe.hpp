@@ -1,0 +1,97 @@
+#ifndef FTSIM_MODELS_MOE_HPP
+#define FTSIM_MODELS_MOE_HPP
+
+/**
+ * @file
+ * Mixture-of-Experts layer: router + expert FFNs (Fig. 7 of the paper).
+ *
+ * Expert architecture follows the paper exactly:
+ *  - Mixtral experts are SwiGLU FFNs: w2(silu(w1 x) * w3 x).
+ *  - BlackMamba experts are plain FFNs: w2(gelu(w1 x)).
+ * Sparse fine-tuning activates the top-2 experts per token; dense
+ * fine-tuning activates all 8 (modelled as top_k == n_experts).
+ */
+
+#include <memory>
+#include <vector>
+
+#include "models/config.hpp"
+#include "models/router.hpp"
+#include "nn/lora.hpp"
+#include "nn/quant.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ftsim {
+
+class Rng;
+
+/** One expert feed-forward network. */
+class Expert : public Module {
+  public:
+    /**
+     * @param kind SwiGLU (w1, w2, w3) or Gelu (w1, w2).
+     * @param use_lora QLoRA mode: each projection becomes a frozen 4-bit
+     *                 base with a trainable rank-r adapter.
+     */
+    Expert(ExpertKind kind, std::size_t d_model, std::size_t d_ff,
+           Rng& rng, bool use_lora, std::size_t lora_rank,
+           Scalar lora_alpha);
+
+    /** Applies the expert to [N, d_model] tokens. */
+    Tensor forward(const Tensor& x) const;
+
+    /** Expert architecture. */
+    ExpertKind kind() const { return kind_; }
+
+    /** Projection count (3 for SwiGLU, 2 for GELU). */
+    std::size_t numProjections() const;
+
+    /** Projection accessor: 0 = w1, 1 = w2, 2 = w3 (SwiGLU only). */
+    LinearBase& projection(std::size_t i);
+
+    /** Const projection accessor. */
+    const LinearBase& projection(std::size_t i) const;
+
+  private:
+    ExpertKind kind_;
+    std::unique_ptr<LinearBase> w1_;
+    std::unique_ptr<LinearBase> w2_;
+    std::unique_ptr<LinearBase> w3_;  // SwiGLU only.
+};
+
+/** Router + experts, with dense/sparse activation via top_k. */
+class MoELayer : public Module {
+  public:
+    /** Builds the layer per the model configuration. */
+    MoELayer(const MiniModelConfig& cfg, Rng& rng);
+
+    /**
+     * Applies MoE to [N, d_model] tokens with the given number of active
+     * experts (cfg.topK normally; nExperts for dense fine-tuning).
+     */
+    Tensor forward(const Tensor& x, std::size_t top_k);
+
+    /** The gating router (exposes load statistics). */
+    Router& router() { return *router_; }
+
+    /** Expert count. */
+    std::size_t numExperts() const { return experts_.size(); }
+
+    /** Expert accessor. */
+    Expert& expert(std::size_t i);
+
+    /** Const expert accessor. */
+    const Expert& expert(std::size_t i) const;
+
+    /** Auxiliary loss from the most recent forward (may be undefined). */
+    const Tensor& lastAuxLoss() const { return lastAuxLoss_; }
+
+  private:
+    std::unique_ptr<Router> router_;
+    std::vector<std::unique_ptr<Expert>> experts_;
+    Tensor lastAuxLoss_;
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_MODELS_MOE_HPP

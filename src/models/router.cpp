@@ -1,0 +1,80 @@
+#include "models/router.hpp"
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+
+Router::Router(std::size_t d_model, std::size_t n_experts, Rng& rng,
+               bool use_lora, std::size_t lora_rank, Scalar aux_loss_weight)
+    : nExperts_(n_experts), auxLossWeight_(aux_loss_weight)
+{
+    if (n_experts == 0)
+        fatal("Router: need at least one expert");
+    if (use_lora) {
+        proj_ = std::make_unique<LoRALinear>(
+            std::make_unique<QuantLinear>(d_model, n_experts, rng),
+            lora_rank, 2.0 * static_cast<Scalar>(lora_rank), rng);
+    } else {
+        proj_ = std::make_unique<DenseLinear>(d_model, n_experts, rng);
+    }
+    registerChild("gate", proj_.get());
+    cumulativeCounts_.assign(n_experts, 0);
+}
+
+RoutingInfo
+Router::route(const Tensor& tokens, std::size_t top_k)
+{
+    if (tokens.dim() != 2)
+        fatal(strCat("Router::route: expected [N, D] tokens, got ",
+                     shapeToString(tokens.shape())));
+    if (top_k == 0 || top_k > nExperts_)
+        fatal(strCat("Router::route: top_k=", top_k, " out of range"));
+
+    const std::size_t n = tokens.size(0);
+
+    // Fig. 12: router logits -> softmax -> top-k -> renormalize.
+    Tensor logits = proj_->forward(tokens);        // [N, E]
+    Tensor probs = softmaxLastDim(logits);         // [N, E]
+    TopKResult picks = topkLastDim(probs, top_k);  // data-only selection
+    Tensor selected = gatherLastDim(probs, picks.indices, top_k);
+    Tensor weights = normalizeLastDim(selected);   // [N, k]
+
+    RoutingInfo info;
+    info.weights = weights;
+    info.experts = picks.indices;
+    info.tokensPerExpert.assign(nExperts_, 0);
+    for (int e : picks.indices) {
+        ++info.tokensPerExpert[static_cast<std::size_t>(e)];
+        ++cumulativeCounts_[static_cast<std::size_t>(e)];
+    }
+    totalAssignments_ += n * top_k;
+
+    if (auxLossWeight_ > 0.0) {
+        // Switch aux loss: E * sum_e f_e P_e, where f_e is the (constant)
+        // fraction of assignments routed to expert e and P_e the mean
+        // router probability. Expressed as matmul so it differentiates
+        // through `probs` only.
+        std::vector<Scalar> frac(nExperts_);
+        for (std::size_t e = 0; e < nExperts_; ++e) {
+            frac[e] = static_cast<Scalar>(info.tokensPerExpert[e]) /
+                      static_cast<Scalar>(n * top_k);
+        }
+        Tensor f_col = Tensor::fromVector({nExperts_, 1}, std::move(frac));
+        Tensor dot = matmul(probs, f_col);  // [N, 1]
+        info.auxLoss =
+            scale(meanAll(dot),
+                  auxLossWeight_ * static_cast<Scalar>(nExperts_));
+    }
+    return info;
+}
+
+void
+Router::resetStats()
+{
+    cumulativeCounts_.assign(nExperts_, 0);
+    totalAssignments_ = 0;
+}
+
+}  // namespace ftsim

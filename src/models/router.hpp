@@ -1,0 +1,92 @@
+#ifndef FTSIM_MODELS_ROUTER_HPP
+#define FTSIM_MODELS_ROUTER_HPP
+
+/**
+ * @file
+ * Top-k softmax gating router for MoE layers.
+ *
+ * Implements the pseudo-code of Fig. 12 in the paper: hidden states go
+ * through a linear router producing per-expert logits; a softmax plus
+ * top-k selection assigns each token to k experts with renormalized gate
+ * weights. The router keeps cumulative token-assignment statistics, which
+ * the load-imbalance study (Fig. 11) reads out.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "nn/lora.hpp"
+#include "nn/quant.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ftsim {
+
+class Rng;
+
+/** Output of one routing decision over N tokens. */
+struct RoutingInfo {
+    /** Renormalized gate weights [N, k] (differentiable). */
+    Tensor weights;
+    /** Selected expert ids, flattened [N * k]. */
+    std::vector<int> experts;
+    /** Tokens assigned to each expert in this call. */
+    std::vector<std::size_t> tokensPerExpert;
+    /**
+     * Switch-Transformer-style load-balancing auxiliary loss
+     * E * sum_e f_e * P_e; undefined tensor when disabled.
+     */
+    Tensor auxLoss;
+};
+
+/** Linear router with top-k gating and assignment statistics. */
+class Router : public Module {
+  public:
+    /**
+     * @param d_model token width.
+     * @param n_experts number of experts to route across.
+     * @param use_lora QLoRA mode: 4-bit frozen base + rank-r adapter
+     *                 (the paper adapts the routers too).
+     * @param aux_loss_weight Switch aux-loss weight (0 disables).
+     */
+    Router(std::size_t d_model, std::size_t n_experts, Rng& rng,
+           bool use_lora = false, std::size_t lora_rank = 4,
+           Scalar aux_loss_weight = 0.0);
+
+    /**
+     * Routes N tokens ([N, d_model]) to their top-k experts.
+     * Updates the cumulative statistics.
+     */
+    RoutingInfo route(const Tensor& tokens, std::size_t top_k);
+
+    /** Number of experts. */
+    std::size_t numExperts() const { return nExperts_; }
+
+    /** Cumulative per-expert token counts since the last reset. */
+    const std::vector<std::size_t>& cumulativeCounts() const
+    {
+        return cumulativeCounts_;
+    }
+
+    /** Total routed (token, slot) assignments since the last reset. */
+    std::size_t totalAssignments() const { return totalAssignments_; }
+
+    /** Clears the cumulative statistics. */
+    void resetStats();
+
+    /** The gating projection (weight-transfer plumbing). */
+    LinearBase& gate() { return *proj_; }
+
+    /** Const gating projection. */
+    const LinearBase& gate() const { return *proj_; }
+
+  private:
+    std::size_t nExperts_;
+    Scalar auxLossWeight_;
+    std::unique_ptr<LinearBase> proj_;
+    std::vector<std::size_t> cumulativeCounts_;
+    std::size_t totalAssignments_ = 0;
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_MODELS_ROUTER_HPP

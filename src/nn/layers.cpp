@@ -1,0 +1,63 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+
+Linear::Linear(std::size_t in_dim, std::size_t out_dim, Rng& rng,
+               bool with_bias)
+    : inDim_(in_dim), outDim_(out_dim)
+{
+    if (in_dim == 0 || out_dim == 0)
+        fatal("Linear: zero-sized dimension");
+    // Kaiming-uniform with fan-in scaling, the PyTorch default.
+    const Scalar bound = 1.0 / std::sqrt(static_cast<Scalar>(in_dim));
+    weight_ = registerParameter(
+        "weight", Tensor::randu({out_dim, in_dim}, rng, bound));
+    if (with_bias) {
+        bias_ = registerParameter("bias",
+                                  Tensor::randu({out_dim}, rng, bound));
+    }
+}
+
+Tensor
+Linear::forward(const Tensor& x) const
+{
+    return linearOp(x, weight_, bias_);
+}
+
+Embedding::Embedding(std::size_t vocab, std::size_t dim, Rng& rng)
+    : vocab_(vocab), dim_(dim)
+{
+    if (vocab == 0 || dim == 0)
+        fatal("Embedding: zero-sized dimension");
+    table_ = registerParameter("weight",
+                               Tensor::randn({vocab, dim}, rng, 0.02));
+}
+
+Tensor
+Embedding::forward(const std::vector<int>& ids,
+                   const Shape& out_prefix) const
+{
+    return embedding(table_, ids, out_prefix);
+}
+
+RMSNorm::RMSNorm(std::size_t dim, Scalar eps)
+    : eps_(eps)
+{
+    if (dim == 0)
+        fatal("RMSNorm: zero-sized dimension");
+    weight_ = registerParameter("weight", Tensor::full({dim}, 1.0));
+}
+
+Tensor
+RMSNorm::forward(const Tensor& x) const
+{
+    return rmsNorm(x, weight_, eps_);
+}
+
+}  // namespace ftsim

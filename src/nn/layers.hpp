@@ -1,0 +1,96 @@
+#ifndef FTSIM_NN_LAYERS_HPP
+#define FTSIM_NN_LAYERS_HPP
+
+/**
+ * @file
+ * Basic layers: Linear, Embedding, RMSNorm.
+ */
+
+#include <vector>
+
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ftsim {
+
+class Rng;
+
+/** Affine layer y = x W^T + b with PyTorch [out, in] weight layout. */
+class Linear : public Module {
+  public:
+    /**
+     * @param in_dim input feature count.
+     * @param out_dim output feature count.
+     * @param rng initializer stream (Kaiming-uniform fan-in scaling).
+     * @param with_bias whether to allocate a bias vector.
+     */
+    Linear(std::size_t in_dim, std::size_t out_dim, Rng& rng,
+           bool with_bias = false);
+
+    /** Applies the layer to [..., in_dim] input. */
+    Tensor forward(const Tensor& x) const;
+
+    /** Input feature count. */
+    std::size_t inDim() const { return inDim_; }
+
+    /** Output feature count. */
+    std::size_t outDim() const { return outDim_; }
+
+    /** Weight tensor [out, in]. */
+    const Tensor& weight() const { return weight_; }
+
+    /** Bias tensor [out]; undefined when constructed without bias. */
+    const Tensor& bias() const { return bias_; }
+
+  private:
+    std::size_t inDim_;
+    std::size_t outDim_;
+    Tensor weight_;
+    Tensor bias_;
+};
+
+/** Token-embedding table. */
+class Embedding : public Module {
+  public:
+    /** @param vocab vocabulary size; @param dim embedding width. */
+    Embedding(std::size_t vocab, std::size_t dim, Rng& rng);
+
+    /**
+     * Looks up ids (length = prod(out_prefix)); the result has shape
+     * out_prefix + [dim].
+     */
+    Tensor forward(const std::vector<int>& ids,
+                   const Shape& out_prefix) const;
+
+    /** Vocabulary size. */
+    std::size_t vocab() const { return vocab_; }
+
+    /** Embedding width. */
+    std::size_t dim() const { return dim_; }
+
+    /** The [V, D] table. */
+    const Tensor& table() const { return table_; }
+
+  private:
+    std::size_t vocab_;
+    std::size_t dim_;
+    Tensor table_;
+};
+
+/** Root-mean-square layer normalization with a learned gain. */
+class RMSNorm : public Module {
+  public:
+    /** @param dim normalized (last) dimension; gain initialized to 1. */
+    explicit RMSNorm(std::size_t dim, Scalar eps = 1e-6);
+
+    /** Normalizes the last dimension of x. */
+    Tensor forward(const Tensor& x) const;
+
+  private:
+    Tensor weight_;
+    Scalar eps_;
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_NN_LAYERS_HPP

@@ -1,0 +1,43 @@
+#include "nn/lora.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+
+LoRALinear::LoRALinear(std::unique_ptr<LinearBase> base, std::size_t rank,
+                       Scalar alpha, Rng& rng)
+    : base_(std::move(base)), rank_(rank)
+{
+    if (!base_)
+        fatal("LoRALinear: null base layer");
+    if (rank == 0)
+        fatal("LoRALinear: rank must be positive");
+    scaling_ = alpha / static_cast<Scalar>(rank);
+
+    base_->freeze();
+    registerChild("base", base_.get());
+
+    // Standard LoRA init: A random (fan-in scaled), B zero, so the
+    // adapter starts as an exact no-op on the pre-trained function.
+    const Scalar bound =
+        1.0 / std::sqrt(static_cast<Scalar>(base_->inDim()));
+    a_ = registerParameter(
+        "lora_A", Tensor::randu({rank, base_->inDim()}, rng, bound));
+    b_ = registerParameter("lora_B",
+                           Tensor::zeros({base_->outDim(), rank}));
+}
+
+Tensor
+LoRALinear::forward(const Tensor& x) const
+{
+    Tensor base_out = base_->forward(x);
+    Tensor down = linearOp(x, a_, Tensor());     // [..., r]
+    Tensor up = linearOp(down, b_, Tensor());    // [..., out]
+    return add(base_out, scale(up, scaling_));
+}
+
+}  // namespace ftsim

@@ -1,0 +1,68 @@
+#ifndef FTSIM_NN_LORA_HPP
+#define FTSIM_NN_LORA_HPP
+
+/**
+ * @file
+ * Low-Rank Adaptation (LoRA) over a frozen base layer.
+ *
+ * LoRA (Hu et al. 2021) freezes the pre-trained weight W and learns a
+ * rank-r update dW = B A scaled by alpha/r, so y = x W^T + (alpha/r)
+ * x A^T B^T. Combined with a QuantLinear base this is QLoRA, the
+ * configuration the paper uses for Mixtral fine-tuning (rank 16 on the
+ * MoE layers including the routers).
+ */
+
+#include <memory>
+
+#include "nn/quant.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ftsim {
+
+class Rng;
+
+/** LoRA adapter wrapping a frozen LinearBase. */
+class LoRALinear : public LinearBase {
+  public:
+    /**
+     * @param base frozen base layer (takes ownership; its parameters are
+     *             frozen here regardless of prior state).
+     * @param rank adapter rank r (paper: 16).
+     * @param alpha scaling numerator (effective scale alpha / r).
+     */
+    LoRALinear(std::unique_ptr<LinearBase> base, std::size_t rank,
+               Scalar alpha, Rng& rng);
+
+    /** y = base(x) + (alpha/r) * (x A^T) B^T. */
+    Tensor forward(const Tensor& x) const override;
+
+    std::size_t inDim() const override { return base_->inDim(); }
+
+    std::size_t outDim() const override { return base_->outDim(); }
+
+    /** Adapter rank. */
+    std::size_t rank() const { return rank_; }
+
+    /** Down-projection A [r, in] (trainable). */
+    const Tensor& loraA() const { return a_; }
+
+    /** Up-projection B [out, r] (trainable, zero-initialized). */
+    const Tensor& loraB() const { return b_; }
+
+    /** The wrapped frozen base layer. */
+    const LinearBase& base() const { return *base_; }
+
+    /** Mutable base access (weight-transfer plumbing). */
+    LinearBase& baseLayer() { return *base_; }
+
+  private:
+    std::unique_ptr<LinearBase> base_;
+    std::size_t rank_;
+    Scalar scaling_;
+    Tensor a_;
+    Tensor b_;
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_NN_LORA_HPP

@@ -1,0 +1,96 @@
+#include "nn/module.hpp"
+
+#include "common/logging.hpp"
+
+namespace ftsim {
+
+std::vector<NamedParameter>
+Module::namedParameters() const
+{
+    std::vector<NamedParameter> out;
+    collect("", out);
+    return out;
+}
+
+std::vector<Tensor>
+Module::parameters() const
+{
+    std::vector<Tensor> out;
+    for (auto& np : namedParameters())
+        out.push_back(np.tensor);
+    return out;
+}
+
+std::vector<Tensor>
+Module::trainableParameters() const
+{
+    std::vector<Tensor> out;
+    for (auto& np : namedParameters())
+        if (np.tensor.requiresGrad())
+            out.push_back(np.tensor);
+    return out;
+}
+
+std::size_t
+Module::numParameters() const
+{
+    std::size_t n = 0;
+    for (auto& np : namedParameters())
+        n += np.tensor.numel();
+    return n;
+}
+
+std::size_t
+Module::numTrainableParameters() const
+{
+    std::size_t n = 0;
+    for (auto& np : namedParameters())
+        if (np.tensor.requiresGrad())
+            n += np.tensor.numel();
+    return n;
+}
+
+void
+Module::zeroGrad()
+{
+    for (auto& np : namedParameters())
+        np.tensor.zeroGrad();
+}
+
+void
+Module::freeze()
+{
+    for (auto& np : namedParameters())
+        np.tensor.setRequiresGrad(false);
+}
+
+Tensor
+Module::registerParameter(const std::string& name, Tensor tensor,
+                          bool trainable)
+{
+    if (!tensor.defined())
+        fatal(strCat("registerParameter(", name, "): undefined tensor"));
+    tensor.setRequiresGrad(trainable);
+    params_.push_back({name, tensor});
+    return tensor;
+}
+
+void
+Module::registerChild(const std::string& name, Module* child)
+{
+    if (child == nullptr)
+        panic(strCat("registerChild(", name, "): null child"));
+    children_.emplace_back(name, child);
+}
+
+void
+Module::collect(const std::string& prefix,
+                std::vector<NamedParameter>& out) const
+{
+    for (const auto& np : params_)
+        out.push_back({prefix + np.name, np.tensor});
+    for (const auto& [name, child] : children_)
+        child->collect(prefix + name + ".", out);
+}
+
+}  // namespace ftsim

@@ -1,0 +1,78 @@
+#ifndef FTSIM_NN_MODULE_HPP
+#define FTSIM_NN_MODULE_HPP
+
+/**
+ * @file
+ * Module: the base class for neural-network layers.
+ *
+ * A module owns named parameter tensors and non-owning links to child
+ * modules (which are value members of the subclass). The registry gives
+ * optimizers and checkpoint code a uniform view of the parameter tree,
+ * mirroring torch.nn.Module at the scale this project needs.
+ */
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ftsim {
+
+/** A (hierarchical name, parameter tensor) pair. */
+struct NamedParameter {
+    std::string name;
+    Tensor tensor;
+};
+
+/** Base class for layers; see file comment. */
+class Module {
+  public:
+    virtual ~Module() = default;
+
+    Module() = default;
+    // Modules hold raw child pointers into the owning object; copying
+    // would dangle them.
+    Module(const Module&) = delete;
+    Module& operator=(const Module&) = delete;
+
+    /** All parameters of this module and its descendants. */
+    std::vector<NamedParameter> namedParameters() const;
+
+    /** Parameter tensors only (same traversal order). */
+    std::vector<Tensor> parameters() const;
+
+    /** Parameters with requiresGrad set (what an optimizer updates). */
+    std::vector<Tensor> trainableParameters() const;
+
+    /** Total element count across all parameters. */
+    std::size_t numParameters() const;
+
+    /** Element count across trainable parameters only. */
+    std::size_t numTrainableParameters() const;
+
+    /** Zeroes the gradient of every parameter in the tree. */
+    void zeroGrad();
+
+    /** Marks every parameter in the tree frozen (requiresGrad = false). */
+    void freeze();
+
+  protected:
+    /** Registers a leaf parameter; returns the same tensor for storage. */
+    Tensor registerParameter(const std::string& name, Tensor tensor,
+                             bool trainable = true);
+
+    /** Registers a child (a value member of the subclass). */
+    void registerChild(const std::string& name, Module* child);
+
+  private:
+    void collect(const std::string& prefix,
+                 std::vector<NamedParameter>& out) const;
+
+    std::vector<NamedParameter> params_;
+    std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_NN_MODULE_HPP

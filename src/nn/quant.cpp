@@ -1,0 +1,140 @@
+#include "nn/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+
+std::size_t
+QuantizedMatrix::blocksPerRow() const
+{
+    return (cols + blockSize - 1) / blockSize;
+}
+
+std::size_t
+QuantizedMatrix::packedBytes() const
+{
+    // 2 codes per byte, 2-byte (fp16) scale per block.
+    return codes.size() / 2 + scales.size() * 2;
+}
+
+QuantizedMatrix
+quantize4Bit(const Tensor& weight, std::size_t block_size)
+{
+    if (weight.dim() != 2)
+        fatal("quantize4Bit: expected a [rows, cols] matrix");
+    if (block_size == 0)
+        fatal("quantize4Bit: zero block size");
+
+    QuantizedMatrix qm;
+    qm.rows = weight.size(0);
+    qm.cols = weight.size(1);
+    qm.blockSize = block_size;
+    qm.codes.resize(qm.rows * qm.cols);
+    qm.scales.assign(qm.rows * qm.blocksPerRow(), 0.0);
+
+    const auto& w = weight.data();
+    for (std::size_t r = 0; r < qm.rows; ++r) {
+        for (std::size_t blk = 0; blk < qm.blocksPerRow(); ++blk) {
+            const std::size_t c0 = blk * block_size;
+            const std::size_t c1 = std::min(c0 + block_size, qm.cols);
+            Scalar absmax = 0.0;
+            for (std::size_t c = c0; c < c1; ++c)
+                absmax = std::max(absmax, std::abs(w[r * qm.cols + c]));
+            // Symmetric int4: codes in [-8, 7]; scale maps 7 -> absmax.
+            const Scalar scale = absmax > 0.0 ? absmax / 7.0 : 1.0;
+            qm.scales[r * qm.blocksPerRow() + blk] = scale;
+            for (std::size_t c = c0; c < c1; ++c) {
+                int code = static_cast<int>(
+                    std::lround(w[r * qm.cols + c] / scale));
+                code = std::clamp(code, -8, 7);
+                qm.codes[r * qm.cols + c] =
+                    static_cast<std::uint8_t>(code + 8);
+            }
+        }
+    }
+    return qm;
+}
+
+Tensor
+dequantize4Bit(const QuantizedMatrix& qm)
+{
+    std::vector<Scalar> w(qm.rows * qm.cols);
+    const std::size_t bpr = qm.blocksPerRow();
+    for (std::size_t r = 0; r < qm.rows; ++r) {
+        for (std::size_t c = 0; c < qm.cols; ++c) {
+            const Scalar scale = qm.scales[r * bpr + c / qm.blockSize];
+            const int code = static_cast<int>(qm.codes[r * qm.cols + c]) - 8;
+            w[r * qm.cols + c] = scale * static_cast<Scalar>(code);
+        }
+    }
+    return Tensor::fromVector({qm.rows, qm.cols}, std::move(w));
+}
+
+QuantLinear::QuantLinear(const Tensor& weight, std::size_t block_size)
+    : qm_(quantize4Bit(weight, block_size))
+{
+    Tensor deq = dequantize4Bit(qm_);
+    Scalar acc = 0.0;
+    for (std::size_t i = 0; i < weight.numel(); ++i)
+        acc += std::abs(weight.data()[i] - deq.data()[i]);
+    quantError_ = acc / static_cast<Scalar>(weight.numel());
+}
+
+QuantLinear::QuantLinear(std::size_t in_dim, std::size_t out_dim, Rng& rng,
+                         std::size_t block_size)
+    : QuantLinear(
+          Tensor::randu({out_dim, in_dim}, rng,
+                        1.0 / std::sqrt(static_cast<Scalar>(in_dim))),
+          block_size)
+{
+}
+
+Tensor
+QuantLinear::forward(const Tensor& x) const
+{
+    // De-quantize on every call: this is exactly the runtime cost the
+    // paper's `*_dequant` kernels pay (Figs. 6, 9, 10). The materialized
+    // weight is a constant, so no gradient reaches the codes.
+    return linearOp(x, dequantize(), Tensor());
+}
+
+Tensor
+QuantLinear::dequantize() const
+{
+    return dequantize4Bit(qm_);
+}
+
+void
+QuantLinear::requantize(const Tensor& weight)
+{
+    if (weight.dim() != 2 || weight.size(0) != qm_.rows ||
+        weight.size(1) != qm_.cols)
+        fatal("QuantLinear::requantize: shape mismatch");
+    qm_ = quantize4Bit(weight, qm_.blockSize);
+    Tensor deq = dequantize4Bit(qm_);
+    Scalar acc = 0.0;
+    for (std::size_t i = 0; i < weight.numel(); ++i)
+        acc += std::abs(weight.data()[i] - deq.data()[i]);
+    quantError_ = acc / static_cast<Scalar>(weight.numel());
+}
+
+DenseLinear::DenseLinear(std::size_t in_dim, std::size_t out_dim, Rng& rng)
+    : inDim_(in_dim), outDim_(out_dim)
+{
+    const Scalar bound = 1.0 / std::sqrt(static_cast<Scalar>(in_dim));
+    weight_ = registerParameter(
+        "weight", Tensor::randu({out_dim, in_dim}, rng, bound));
+}
+
+Tensor
+DenseLinear::forward(const Tensor& x) const
+{
+    return linearOp(x, weight_, Tensor());
+}
+
+}  // namespace ftsim

@@ -1,0 +1,124 @@
+#ifndef FTSIM_NN_QUANT_HPP
+#define FTSIM_NN_QUANT_HPP
+
+/**
+ * @file
+ * Block-wise 4-bit weight quantization (the QLoRA-style base layer).
+ *
+ * The paper fine-tunes Mixtral with QLoRA: base weights are stored in
+ * 4-bit blocks and de-quantized on the fly inside every forward/backward
+ * pass (the `*_dequant` kernels in Figs. 6, 9, 10). QuantLinear mirrors
+ * that: the base matrix is quantized once at construction, is never
+ * trainable, and is materialized by dequantize() on each forward call.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ftsim {
+
+class Rng;
+
+/** Interface shared by plain and quantized affine layers. */
+class LinearBase : public Module {
+  public:
+    /** Applies the layer to [..., in] input. */
+    virtual Tensor forward(const Tensor& x) const = 0;
+
+    /** Input feature count. */
+    virtual std::size_t inDim() const = 0;
+
+    /** Output feature count. */
+    virtual std::size_t outDim() const = 0;
+};
+
+/** Raw block-quantized matrix storage (symmetric int4). */
+struct QuantizedMatrix {
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::size_t blockSize = 32;
+    /** One 4-bit code per element, stored one-per-byte in [-8, 7]+8. */
+    std::vector<std::uint8_t> codes;
+    /** One scale per (row, block) pair, row-major. */
+    std::vector<Scalar> scales;
+
+    /** Number of blocks per row. */
+    std::size_t blocksPerRow() const;
+
+    /** Storage cost in bytes if packed 2 codes/byte plus fp16 scales. */
+    std::size_t packedBytes() const;
+};
+
+/**
+ * Quantizes a [rows, cols] weight into symmetric int4 blocks of
+ * @p block_size along the column (input) dimension.
+ */
+QuantizedMatrix quantize4Bit(const Tensor& weight,
+                             std::size_t block_size = 32);
+
+/** Dequantizes back to a dense (non-trainable) tensor. */
+Tensor dequantize4Bit(const QuantizedMatrix& qm);
+
+/**
+ * Affine layer whose weight lives in 4-bit blocks. The weight is frozen
+ * by construction (QLoRA trains only adapter matrices); gradients flow
+ * to the *input* but never to the quantized codes.
+ */
+class QuantLinear : public LinearBase {
+  public:
+    /** Quantizes @p weight ([out, in]) at the given block size. */
+    explicit QuantLinear(const Tensor& weight, std::size_t block_size = 32);
+
+    /** Convenience: random base weight, then quantized. */
+    QuantLinear(std::size_t in_dim, std::size_t out_dim, Rng& rng,
+                std::size_t block_size = 32);
+
+    Tensor forward(const Tensor& x) const override;
+
+    std::size_t inDim() const override { return qm_.cols; }
+
+    std::size_t outDim() const override { return qm_.rows; }
+
+    /** The dense de-quantized weight (fresh constant tensor). */
+    Tensor dequantize() const;
+
+    /** The underlying quantized storage. */
+    const QuantizedMatrix& storage() const { return qm_; }
+
+    /** Mean absolute quantization error vs. the original weight. */
+    Scalar quantizationError() const { return quantError_; }
+
+    /** Re-quantizes from a new dense weight (pretrain -> QLoRA flow). */
+    void requantize(const Tensor& weight);
+
+  private:
+    QuantizedMatrix qm_;
+    Scalar quantError_ = 0.0;
+};
+
+/** Plain Linear re-exposed through the LinearBase interface. */
+class DenseLinear : public LinearBase {
+  public:
+    DenseLinear(std::size_t in_dim, std::size_t out_dim, Rng& rng);
+
+    Tensor forward(const Tensor& x) const override;
+
+    std::size_t inDim() const override { return inDim_; }
+
+    std::size_t outDim() const override { return outDim_; }
+
+    /** Weight tensor [out, in]. */
+    const Tensor& weight() const { return weight_; }
+
+  private:
+    std::size_t inDim_;
+    std::size_t outDim_;
+    Tensor weight_;
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_NN_QUANT_HPP

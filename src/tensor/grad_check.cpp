@@ -1,0 +1,60 @@
+#include "tensor/grad_check.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace ftsim {
+
+GradCheckResult
+gradCheck(const ScalarFn& fn, const std::vector<Tensor>& inputs,
+          double eps, double rel_tol, double abs_tol)
+{
+    // Fresh leaf copies so the caller's tensors are untouched.
+    std::vector<Tensor> leaves;
+    leaves.reserve(inputs.size());
+    for (const auto& t : inputs) {
+        Tensor leaf = t.clone();
+        leaf.setRequiresGrad(true);
+        leaves.push_back(leaf);
+    }
+
+    // Analytic gradients.
+    Tensor loss = fn(leaves);
+    if (loss.numel() != 1)
+        fatal("gradCheck: fn must return a scalar");
+    loss.backward();
+
+    GradCheckResult result;
+    for (std::size_t ti = 0; ti < leaves.size(); ++ti) {
+        Tensor& leaf = leaves[ti];
+        const std::vector<Scalar> analytic = leaf.grad();
+        for (std::size_t i = 0; i < leaf.numel(); ++i) {
+            const Scalar saved = leaf.data()[i];
+
+            leaf.data()[i] = saved + eps;
+            Scalar f_plus = fn(leaves).item();
+            leaf.data()[i] = saved - eps;
+            Scalar f_minus = fn(leaves).item();
+            leaf.data()[i] = saved;
+
+            const Scalar numeric = (f_plus - f_minus) / (2.0 * eps);
+            const Scalar diff = std::abs(numeric - analytic[i]);
+            const Scalar denom =
+                std::max(std::abs(numeric), std::abs(analytic[i]));
+            const Scalar rel = denom > 0.0 ? diff / denom : 0.0;
+
+            result.maxAbsError = std::max(result.maxAbsError, diff);
+            result.maxRelError = std::max(result.maxRelError, rel);
+            if (diff > abs_tol && rel > rel_tol && result.ok) {
+                result.ok = false;
+                result.firstFailure = strCat(
+                    "input ", ti, " element ", i, ": analytic ",
+                    analytic[i], " vs numeric ", numeric);
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace ftsim

@@ -1,0 +1,52 @@
+#ifndef FTSIM_TENSOR_GRAD_CHECK_HPP
+#define FTSIM_TENSOR_GRAD_CHECK_HPP
+
+/**
+ * @file
+ * Finite-difference gradient verification for the autograd engine.
+ *
+ * Every differentiable op in ops.hpp is validated in the test suite by
+ * comparing its analytic gradient against central differences. Tensors
+ * are double precision, so the checks can be tight (default tolerance
+ * 1e-6 relative).
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ftsim {
+
+/** A scalar-valued function of several tensor inputs. */
+using ScalarFn = std::function<Tensor(const std::vector<Tensor>&)>;
+
+/** Outcome of a gradient check. */
+struct GradCheckResult {
+    /** True if every element of every input gradient matched. */
+    bool ok = true;
+    /** Largest absolute difference seen. */
+    double maxAbsError = 0.0;
+    /** Largest relative difference seen. */
+    double maxRelError = 0.0;
+    /** Human-readable description of the first failure (if any). */
+    std::string firstFailure;
+};
+
+/**
+ * Verifies d(fn)/d(inputs) against central finite differences.
+ *
+ * @param fn scalar-valued function; re-invoked ~2*numel times.
+ * @param inputs leaf tensors; each is marked requires-grad internally.
+ * @param eps finite-difference step.
+ * @param rel_tol relative tolerance (with abs_tol absolute floor).
+ */
+GradCheckResult gradCheck(const ScalarFn& fn,
+                          const std::vector<Tensor>& inputs,
+                          double eps = 1e-5, double rel_tol = 1e-5,
+                          double abs_tol = 1e-7);
+
+}  // namespace ftsim
+
+#endif  // FTSIM_TENSOR_GRAD_CHECK_HPP

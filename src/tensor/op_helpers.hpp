@@ -1,0 +1,59 @@
+#ifndef FTSIM_TENSOR_OP_HELPERS_HPP
+#define FTSIM_TENSOR_OP_HELPERS_HPP
+
+/**
+ * @file
+ * Internal helpers shared by the op implementation files. Not part of the
+ * public API.
+ */
+
+#include "common/logging.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ftsim {
+namespace detail {
+
+/** Fatal if @p t is an undefined handle. */
+inline void
+checkDefined(const Tensor& t, const char* op)
+{
+    if (!t.defined())
+        fatal(strCat(op, ": undefined tensor argument"));
+}
+
+/** Fatal unless @p a and @p b have identical shapes. */
+inline void
+checkSameShape(const Tensor& a, const Tensor& b, const char* op)
+{
+    checkDefined(a, op);
+    checkDefined(b, op);
+    if (a.shape() != b.shape()) {
+        fatal(strCat(op, ": shape mismatch ", shapeToString(a.shape()),
+                     " vs ", shapeToString(b.shape())));
+    }
+}
+
+/**
+ * True if the backward pass should write into this parent; also
+ * allocates its grad buffer.
+ */
+inline bool
+wantsGrad(TensorImpl& parent)
+{
+    if (!parent.requiresGrad)
+        return false;
+    parent.ensureGrad();
+    return true;
+}
+
+/** True if this node received no upstream gradient (nothing to do). */
+inline bool
+noUpstream(const TensorImpl& self)
+{
+    return self.grad.empty();
+}
+
+}  // namespace detail
+}  // namespace ftsim
+
+#endif  // FTSIM_TENSOR_OP_HELPERS_HPP

@@ -1,0 +1,235 @@
+#ifndef FTSIM_TENSOR_OPS_HPP
+#define FTSIM_TENSOR_OPS_HPP
+
+/**
+ * @file
+ * Differentiable operations on Tensor.
+ *
+ * Every function here performs an eager forward computation and, when any
+ * input requires gradients, records a backward closure on the result. The
+ * set is exactly what the miniature Mixtral-like and BlackMamba-like
+ * models need: elementwise arithmetic, (batched) matmul and a fused linear
+ * op, activations, softmax/cross-entropy, RMSNorm, embedding, attention
+ * head plumbing, MoE routing plumbing (top-k, gather/scatter), and the
+ * Mamba primitives (causal depthwise conv, selective scan).
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ftsim {
+
+class Rng;
+
+// ---------------------------------------------------------------------
+// Elementwise arithmetic (identical shapes unless documented otherwise).
+// ---------------------------------------------------------------------
+
+/** Elementwise a + b. */
+Tensor add(const Tensor& a, const Tensor& b);
+
+/** Elementwise a - b. */
+Tensor sub(const Tensor& a, const Tensor& b);
+
+/** Elementwise a * b (Hadamard product). */
+Tensor mul(const Tensor& a, const Tensor& b);
+
+/** Elementwise a / b. */
+Tensor div(const Tensor& a, const Tensor& b);
+
+/** Elementwise -x. */
+Tensor neg(const Tensor& x);
+
+/** Elementwise s * x for a compile-time constant scalar s. */
+Tensor scale(const Tensor& x, Scalar s);
+
+/** Elementwise x + s for a constant scalar s. */
+Tensor addScalar(const Tensor& x, Scalar s);
+
+// ---------------------------------------------------------------------
+// Activations.
+// ---------------------------------------------------------------------
+
+/** Rectified linear unit max(x, 0). */
+Tensor relu(const Tensor& x);
+
+/** Logistic sigmoid 1 / (1 + exp(-x)). */
+Tensor sigmoid(const Tensor& x);
+
+/** Hyperbolic tangent. */
+Tensor tanhAct(const Tensor& x);
+
+/** SiLU / swish: x * sigmoid(x). Used by Mixtral's SwiGLU experts. */
+Tensor silu(const Tensor& x);
+
+/** GELU (tanh approximation). Used by BlackMamba's experts. */
+Tensor gelu(const Tensor& x);
+
+/** Softplus log(1 + exp(x)), numerically stabilized. */
+Tensor softplus(const Tensor& x);
+
+// ---------------------------------------------------------------------
+// Reductions.
+// ---------------------------------------------------------------------
+
+/** Sum of all elements (rank-0 result). */
+Tensor sumAll(const Tensor& x);
+
+/** Mean of all elements (rank-0 result). */
+Tensor meanAll(const Tensor& x);
+
+// ---------------------------------------------------------------------
+// Shape manipulation.
+// ---------------------------------------------------------------------
+
+/** Reinterprets the element order under a new shape (same numel). */
+Tensor reshape(const Tensor& x, const Shape& new_shape);
+
+/** Swaps the last two dimensions (rank 2 or 3), materializing. */
+Tensor transposeLast(const Tensor& x);
+
+/** Concatenates along the last dimension (all other dims equal). */
+Tensor concatLastDim(const std::vector<Tensor>& parts);
+
+/** Slices [start, start+len) of the last dimension. */
+Tensor sliceLastDim(const Tensor& x, std::size_t start, std::size_t len);
+
+/**
+ * Splits [B, T, H*Dh] into heads laid out as [B*H, T, Dh]
+ * (attention plumbing; exact inverse of mergeHeads).
+ */
+Tensor splitHeads(const Tensor& x, std::size_t num_heads);
+
+/** Merges [B*H, T, Dh] back into [B, T, H*Dh]. */
+Tensor mergeHeads(const Tensor& x, std::size_t num_heads);
+
+// ---------------------------------------------------------------------
+// Matrix products.
+// ---------------------------------------------------------------------
+
+/**
+ * Matrix product with a shared right operand: a is [m, k] or [B, m, k],
+ * b is [k, n]; the result matches a's batching.
+ */
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/** Batched matmul: [N, m, k] x [N, k, n] -> [N, m, n]. */
+Tensor bmm(const Tensor& a, const Tensor& b);
+
+/**
+ * Fused affine map y = x W^T (+ bias): x is [..., in], w is [out, in]
+ * (PyTorch layout), bias is [out] or undefined. The hot op of the
+ * training substrate.
+ */
+Tensor linearOp(const Tensor& x, const Tensor& w, const Tensor& bias);
+
+/** Adds a [D] bias vector along the last dimension of x. */
+Tensor addBias(const Tensor& x, const Tensor& bias);
+
+/** Multiplies along the last dimension by a [D] vector. */
+Tensor mulLastDim(const Tensor& x, const Tensor& v);
+
+/** Scales row i of x [N, D] by w[i] (MoE gate application). */
+Tensor scaleRows(const Tensor& x, const Tensor& w);
+
+// ---------------------------------------------------------------------
+// Normalization, softmax, and loss.
+// ---------------------------------------------------------------------
+
+/** RMSNorm over the last dimension with a learned [D] gain. */
+Tensor rmsNorm(const Tensor& x, const Tensor& weight, Scalar eps = 1e-6);
+
+/** Softmax over the last dimension (numerically stabilized). */
+Tensor softmaxLastDim(const Tensor& x);
+
+/** Log-softmax over the last dimension. */
+Tensor logSoftmaxLastDim(const Tensor& x);
+
+/** Normalizes the last dimension to sum to 1 (x must be positive). */
+Tensor normalizeLastDim(const Tensor& x);
+
+/**
+ * Mean token-level cross entropy: logits [N, V], integer targets of
+ * length N; positions with target == ignore_index contribute nothing.
+ * Fused softmax+NLL with the standard (p - onehot)/n backward.
+ */
+Tensor crossEntropy(const Tensor& logits, const std::vector<int>& targets,
+                    int ignore_index = -1);
+
+// ---------------------------------------------------------------------
+// Embedding, masking, routing plumbing.
+// ---------------------------------------------------------------------
+
+/**
+ * Embedding lookup: table [V, D], ids of length prod(out_prefix);
+ * result shape is out_prefix + [D]. Backward scatter-adds into the rows
+ * of the table.
+ */
+Tensor embedding(const Tensor& table, const std::vector<int>& ids,
+                 const Shape& out_prefix);
+
+/**
+ * Adds a causal mask to attention scores [N, T, T]: positions with
+ * column > row receive a large negative constant.
+ */
+Tensor causalMask(const Tensor& scores);
+
+/** Gathers rows of x [N, D] at the given indices -> [M, D]. */
+Tensor gatherRows(const Tensor& x, const std::vector<std::size_t>& indices);
+
+/**
+ * Scatter-adds rows of x [M, D] into a fresh [num_rows, D] tensor at the
+ * given indices (duplicates accumulate). Inverse pairing of gatherRows.
+ */
+Tensor scatterAddRows(const Tensor& x,
+                      const std::vector<std::size_t>& indices,
+                      std::size_t num_rows);
+
+/** Gathers x[n, idx[n*k+j]] -> result [N, k] (router weight selection). */
+Tensor gatherLastDim(const Tensor& x, const std::vector<int>& indices,
+                     std::size_t k);
+
+/** Result of a non-differentiable top-k selection. */
+struct TopKResult {
+    /** Flattened [N, k] expert/category indices, descending by value. */
+    std::vector<int> indices;
+    /** Matching values (copies of the inputs; no gradient). */
+    std::vector<Scalar> values;
+};
+
+/** Top-k along the last dimension of x [N, E]; data-only, no autograd. */
+TopKResult topkLastDim(const Tensor& x, std::size_t k);
+
+/** Inverted-dropout: zeroes with prob p, scales survivors by 1/(1-p). */
+Tensor dropout(const Tensor& x, Scalar p, Rng& rng);
+
+// ---------------------------------------------------------------------
+// Mamba primitives.
+// ---------------------------------------------------------------------
+
+/**
+ * Depthwise causal 1-D convolution: x [B, T, D], w [K, D];
+ * y[b,t,d] = sum_j w[j,d] * x[b, t-K+1+j, d] with zero left-padding.
+ */
+Tensor conv1dDepthwiseCausal(const Tensor& x, const Tensor& w);
+
+/**
+ * Selective scan h_t = a_t * h_{t-1} + x_t applied elementwise over the
+ * channel dim, recurrently over the time dim: a, x are [B, T, D].
+ * This is the linear-time state-space recurrence at the heart of the
+ * Mamba layer; the backward pass is a reverse-time scan.
+ */
+Tensor selectiveScan(const Tensor& a, const Tensor& x);
+
+// ---------------------------------------------------------------------
+// Non-differentiable helpers.
+// ---------------------------------------------------------------------
+
+/** Argmax over the last dimension of logits [N, V] (plain data). */
+std::vector<int> argmaxLastDim(const Tensor& logits);
+
+}  // namespace ftsim
+
+#endif  // FTSIM_TENSOR_OPS_HPP

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Elementwise arithmetic, activations, reductions, and dropout.
+ */
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/op_helpers.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+
+using detail::checkDefined;
+using detail::checkSameShape;
+using detail::noUpstream;
+using detail::wantsGrad;
+
+Tensor
+add(const Tensor& a, const Tensor& b)
+{
+    checkSameShape(a, b, "add");
+    std::vector<Scalar> out(a.numel());
+    const auto& da = a.data();
+    const auto& db = b.data();
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = da[i] + db[i];
+    return makeOpResult(a.shape(), std::move(out), {a, b},
+        [](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            for (int p = 0; p < 2; ++p) {
+                TensorImpl& parent = *self.parents[p];
+                if (!wantsGrad(parent))
+                    continue;
+                for (std::size_t i = 0; i < self.grad.size(); ++i)
+                    parent.grad[i] += self.grad[i];
+            }
+        });
+}
+
+Tensor
+sub(const Tensor& a, const Tensor& b)
+{
+    checkSameShape(a, b, "sub");
+    std::vector<Scalar> out(a.numel());
+    const auto& da = a.data();
+    const auto& db = b.data();
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = da[i] - db[i];
+    return makeOpResult(a.shape(), std::move(out), {a, b},
+        [](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& pa = *self.parents[0];
+            TensorImpl& pb = *self.parents[1];
+            if (wantsGrad(pa))
+                for (std::size_t i = 0; i < self.grad.size(); ++i)
+                    pa.grad[i] += self.grad[i];
+            if (wantsGrad(pb))
+                for (std::size_t i = 0; i < self.grad.size(); ++i)
+                    pb.grad[i] -= self.grad[i];
+        });
+}
+
+Tensor
+mul(const Tensor& a, const Tensor& b)
+{
+    checkSameShape(a, b, "mul");
+    std::vector<Scalar> out(a.numel());
+    const auto& da = a.data();
+    const auto& db = b.data();
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = da[i] * db[i];
+    return makeOpResult(a.shape(), std::move(out), {a, b},
+        [](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& pa = *self.parents[0];
+            TensorImpl& pb = *self.parents[1];
+            if (wantsGrad(pa))
+                for (std::size_t i = 0; i < self.grad.size(); ++i)
+                    pa.grad[i] += self.grad[i] * pb.data[i];
+            if (wantsGrad(pb))
+                for (std::size_t i = 0; i < self.grad.size(); ++i)
+                    pb.grad[i] += self.grad[i] * pa.data[i];
+        });
+}
+
+Tensor
+div(const Tensor& a, const Tensor& b)
+{
+    checkSameShape(a, b, "div");
+    std::vector<Scalar> out(a.numel());
+    const auto& da = a.data();
+    const auto& db = b.data();
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = da[i] / db[i];
+    return makeOpResult(a.shape(), std::move(out), {a, b},
+        [](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& pa = *self.parents[0];
+            TensorImpl& pb = *self.parents[1];
+            if (wantsGrad(pa))
+                for (std::size_t i = 0; i < self.grad.size(); ++i)
+                    pa.grad[i] += self.grad[i] / pb.data[i];
+            if (wantsGrad(pb)) {
+                for (std::size_t i = 0; i < self.grad.size(); ++i) {
+                    Scalar denom = pb.data[i];
+                    pb.grad[i] -=
+                        self.grad[i] * pa.data[i] / (denom * denom);
+                }
+            }
+        });
+}
+
+Tensor
+neg(const Tensor& x)
+{
+    return scale(x, -1.0);
+}
+
+Tensor
+scale(const Tensor& x, Scalar s)
+{
+    checkDefined(x, "scale");
+    std::vector<Scalar> out(x.numel());
+    const auto& dx = x.data();
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = dx[i] * s;
+    return makeOpResult(x.shape(), std::move(out), {x},
+        [s](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& p = *self.parents[0];
+            if (!wantsGrad(p))
+                return;
+            for (std::size_t i = 0; i < self.grad.size(); ++i)
+                p.grad[i] += self.grad[i] * s;
+        });
+}
+
+Tensor
+addScalar(const Tensor& x, Scalar s)
+{
+    checkDefined(x, "addScalar");
+    std::vector<Scalar> out(x.numel());
+    const auto& dx = x.data();
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = dx[i] + s;
+    return makeOpResult(x.shape(), std::move(out), {x},
+        [](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& p = *self.parents[0];
+            if (!wantsGrad(p))
+                return;
+            for (std::size_t i = 0; i < self.grad.size(); ++i)
+                p.grad[i] += self.grad[i];
+        });
+}
+
+namespace {
+
+/** Shared implementation for unary elementwise ops with dy/dx = fn'(x). */
+template <typename Fwd, typename Bwd>
+Tensor
+unaryOp(const Tensor& x, const char* name, Fwd fwd, Bwd dydx)
+{
+    checkDefined(x, name);
+    std::vector<Scalar> out(x.numel());
+    const auto& dx = x.data();
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = fwd(dx[i]);
+    return makeOpResult(x.shape(), std::move(out), {x},
+        [dydx](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& p = *self.parents[0];
+            if (!wantsGrad(p))
+                return;
+            for (std::size_t i = 0; i < self.grad.size(); ++i)
+                p.grad[i] += self.grad[i] * dydx(p.data[i], self.data[i]);
+        });
+}
+
+Scalar
+sigmoidScalar(Scalar v)
+{
+    if (v >= 0.0) {
+        Scalar e = std::exp(-v);
+        return 1.0 / (1.0 + e);
+    }
+    Scalar e = std::exp(v);
+    return e / (1.0 + e);
+}
+
+}  // namespace
+
+Tensor
+relu(const Tensor& x)
+{
+    return unaryOp(
+        x, "relu", [](Scalar v) { return v > 0.0 ? v : 0.0; },
+        [](Scalar v, Scalar) { return v > 0.0 ? 1.0 : 0.0; });
+}
+
+Tensor
+sigmoid(const Tensor& x)
+{
+    return unaryOp(
+        x, "sigmoid", [](Scalar v) { return sigmoidScalar(v); },
+        [](Scalar, Scalar y) { return y * (1.0 - y); });
+}
+
+Tensor
+tanhAct(const Tensor& x)
+{
+    return unaryOp(
+        x, "tanhAct", [](Scalar v) { return std::tanh(v); },
+        [](Scalar, Scalar y) { return 1.0 - y * y; });
+}
+
+Tensor
+silu(const Tensor& x)
+{
+    return unaryOp(
+        x, "silu", [](Scalar v) { return v * sigmoidScalar(v); },
+        [](Scalar v, Scalar) {
+            Scalar s = sigmoidScalar(v);
+            return s * (1.0 + v * (1.0 - s));
+        });
+}
+
+Tensor
+gelu(const Tensor& x)
+{
+    // tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3))).
+    constexpr Scalar kAlpha = 0.7978845608028654;  // sqrt(2/pi)
+    constexpr Scalar kBeta = 0.044715;
+    return unaryOp(
+        x, "gelu",
+        [](Scalar v) {
+            Scalar inner = kAlpha * (v + kBeta * v * v * v);
+            return 0.5 * v * (1.0 + std::tanh(inner));
+        },
+        [](Scalar v, Scalar) {
+            Scalar inner = kAlpha * (v + kBeta * v * v * v);
+            Scalar t = std::tanh(inner);
+            Scalar dinner = kAlpha * (1.0 + 3.0 * kBeta * v * v);
+            return 0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * dinner;
+        });
+}
+
+Tensor
+softplus(const Tensor& x)
+{
+    return unaryOp(
+        x, "softplus",
+        [](Scalar v) {
+            // log(1 + e^v) = max(v, 0) + log1p(e^-|v|), overflow-safe.
+            return std::max(v, 0.0) + std::log1p(std::exp(-std::abs(v)));
+        },
+        [](Scalar v, Scalar) { return sigmoidScalar(v); });
+}
+
+Tensor
+sumAll(const Tensor& x)
+{
+    checkDefined(x, "sumAll");
+    Scalar acc = 0.0;
+    for (Scalar v : x.data())
+        acc += v;
+    return makeOpResult({}, {acc}, {x},
+        [](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& p = *self.parents[0];
+            if (!wantsGrad(p))
+                return;
+            Scalar g = self.grad[0];
+            for (std::size_t i = 0; i < p.grad.size(); ++i)
+                p.grad[i] += g;
+        });
+}
+
+Tensor
+meanAll(const Tensor& x)
+{
+    checkDefined(x, "meanAll");
+    if (x.numel() == 0)
+        fatal("meanAll: empty tensor");
+    return scale(sumAll(x), 1.0 / static_cast<Scalar>(x.numel()));
+}
+
+Tensor
+dropout(const Tensor& x, Scalar p, Rng& rng)
+{
+    checkDefined(x, "dropout");
+    if (p < 0.0 || p >= 1.0)
+        fatal(strCat("dropout: probability out of range: ", p));
+    if (p == 0.0)
+        return x;
+    const Scalar keep_scale = 1.0 / (1.0 - p);
+    // The mask must be shared by forward and backward; keep it in a
+    // shared_ptr captured by the closure.
+    auto mask = std::make_shared<std::vector<Scalar>>(x.numel());
+    std::vector<Scalar> out(x.numel());
+    const auto& dx = x.data();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        (*mask)[i] = rng.bernoulli(p) ? 0.0 : keep_scale;
+        out[i] = dx[i] * (*mask)[i];
+    }
+    return makeOpResult(x.shape(), std::move(out), {x},
+        [mask](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& parent = *self.parents[0];
+            if (!wantsGrad(parent))
+                return;
+            for (std::size_t i = 0; i < self.grad.size(); ++i)
+                parent.grad[i] += self.grad[i] * (*mask)[i];
+        });
+}
+
+}  // namespace ftsim

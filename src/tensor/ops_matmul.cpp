@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Matrix-product ops: matmul, bmm, the fused linear op, and the
+ * broadcast helpers that accompany them.
+ */
+
+#include "tensor/op_helpers.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+
+using detail::checkDefined;
+using detail::noUpstream;
+using detail::wantsGrad;
+
+namespace {
+
+/**
+ * c[m, n] += a[m, k] * b[k, n] on raw buffers. The i-k-j loop order keeps
+ * the innermost accesses contiguous, which is what matters at the sizes
+ * the miniature models use.
+ */
+void
+gemmAccumulate(const Scalar* a, const Scalar* b, Scalar* c, std::size_t m,
+               std::size_t k, std::size_t n)
+{
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t p = 0; p < k; ++p) {
+            const Scalar av = a[i * k + p];
+            if (av == 0.0)
+                continue;
+            const Scalar* brow = b + p * n;
+            Scalar* crow = c + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+/** c[m, k] += a[m, n] * b^T where b is [k, n] (i.e., a * b transposed). */
+void
+gemmAccumulateBt(const Scalar* a, const Scalar* b, Scalar* c,
+                 std::size_t m, std::size_t n, std::size_t k)
+{
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < k; ++j) {
+            const Scalar* arow = a + i * n;
+            const Scalar* brow = b + j * n;
+            Scalar acc = 0.0;
+            for (std::size_t p = 0; p < n; ++p)
+                acc += arow[p] * brow[p];
+            c[i * k + j] += acc;
+        }
+    }
+}
+
+/** c[k, n] += a^T * b where a is [m, k] and b is [m, n]. */
+void
+gemmAccumulateAt(const Scalar* a, const Scalar* b, Scalar* c,
+                 std::size_t m, std::size_t k, std::size_t n)
+{
+    for (std::size_t i = 0; i < m; ++i) {
+        const Scalar* arow = a + i * k;
+        const Scalar* brow = b + i * n;
+        for (std::size_t p = 0; p < k; ++p) {
+            const Scalar av = arow[p];
+            if (av == 0.0)
+                continue;
+            Scalar* crow = c + p * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+}  // namespace
+
+Tensor
+matmul(const Tensor& a, const Tensor& b)
+{
+    checkDefined(a, "matmul");
+    checkDefined(b, "matmul");
+    const Shape& sa = a.shape();
+    const Shape& sb = b.shape();
+    if (sb.size() != 2)
+        fatal(strCat("matmul: right operand must be rank 2, got ",
+                     shapeToString(sb)));
+    if (sa.size() != 2 && sa.size() != 3)
+        fatal(strCat("matmul: left operand must be rank 2 or 3, got ",
+                     shapeToString(sa)));
+
+    const std::size_t k = sb[0], n = sb[1];
+    const std::size_t batch = (sa.size() == 3) ? sa[0] : 1;
+    const std::size_t m = (sa.size() == 3) ? sa[1] : sa[0];
+    const std::size_t ak = sa.back();
+    if (ak != k) {
+        fatal(strCat("matmul: inner-dim mismatch ", shapeToString(sa),
+                     " x ", shapeToString(sb)));
+    }
+
+    Shape out_shape = (sa.size() == 3) ? Shape{batch, m, n} : Shape{m, n};
+    std::vector<Scalar> out(batch * m * n, 0.0);
+    for (std::size_t bt = 0; bt < batch; ++bt) {
+        gemmAccumulate(a.data().data() + bt * m * k, b.data().data(),
+                       out.data() + bt * m * n, m, k, n);
+    }
+
+    return makeOpResult(out_shape, std::move(out), {a, b},
+        [batch, m, k, n](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& pa = *self.parents[0];
+            TensorImpl& pb = *self.parents[1];
+            if (wantsGrad(pa)) {
+                // dA = dC * B^T, per batch slice.
+                for (std::size_t bt = 0; bt < batch; ++bt) {
+                    gemmAccumulateBt(self.grad.data() + bt * m * n,
+                                     pb.data.data(),
+                                     pa.grad.data() + bt * m * k, m, n, k);
+                }
+            }
+            if (wantsGrad(pb)) {
+                // dB = sum_batches A^T * dC.
+                for (std::size_t bt = 0; bt < batch; ++bt) {
+                    gemmAccumulateAt(pa.data.data() + bt * m * k,
+                                     self.grad.data() + bt * m * n,
+                                     pb.grad.data(), m, k, n);
+                }
+            }
+        });
+}
+
+Tensor
+bmm(const Tensor& a, const Tensor& b)
+{
+    checkDefined(a, "bmm");
+    checkDefined(b, "bmm");
+    const Shape& sa = a.shape();
+    const Shape& sb = b.shape();
+    if (sa.size() != 3 || sb.size() != 3)
+        fatal(strCat("bmm: expected rank-3 operands, got ",
+                     shapeToString(sa), " x ", shapeToString(sb)));
+    if (sa[0] != sb[0] || sa[2] != sb[1])
+        fatal(strCat("bmm: incompatible shapes ", shapeToString(sa), " x ",
+                     shapeToString(sb)));
+
+    const std::size_t batch = sa[0], m = sa[1], k = sa[2], n = sb[2];
+    std::vector<Scalar> out(batch * m * n, 0.0);
+    for (std::size_t bt = 0; bt < batch; ++bt) {
+        gemmAccumulate(a.data().data() + bt * m * k,
+                       b.data().data() + bt * k * n,
+                       out.data() + bt * m * n, m, k, n);
+    }
+
+    return makeOpResult({batch, m, n}, std::move(out), {a, b},
+        [batch, m, k, n](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& pa = *self.parents[0];
+            TensorImpl& pb = *self.parents[1];
+            if (wantsGrad(pa)) {
+                for (std::size_t bt = 0; bt < batch; ++bt) {
+                    gemmAccumulateBt(self.grad.data() + bt * m * n,
+                                     pb.data.data() + bt * k * n,
+                                     pa.grad.data() + bt * m * k, m, n, k);
+                }
+            }
+            if (wantsGrad(pb)) {
+                for (std::size_t bt = 0; bt < batch; ++bt) {
+                    gemmAccumulateAt(pa.data.data() + bt * m * k,
+                                     self.grad.data() + bt * m * n,
+                                     pb.grad.data() + bt * k * n, m, k, n);
+                }
+            }
+        });
+}
+
+Tensor
+linearOp(const Tensor& x, const Tensor& w, const Tensor& bias)
+{
+    checkDefined(x, "linearOp");
+    checkDefined(w, "linearOp");
+    const Shape& sx = x.shape();
+    const Shape& sw = w.shape();
+    if (sw.size() != 2)
+        fatal(strCat("linearOp: weight must be [out, in], got ",
+                     shapeToString(sw)));
+    if (sx.empty() || sx.back() != sw[1]) {
+        fatal(strCat("linearOp: input ", shapeToString(sx),
+                     " does not match weight ", shapeToString(sw)));
+    }
+    const std::size_t out_dim = sw[0], in_dim = sw[1];
+    const std::size_t rows = x.numel() / in_dim;
+    const bool has_bias = bias.defined();
+    if (has_bias &&
+        (bias.shape().size() != 1 || bias.shape()[0] != out_dim)) {
+        fatal(strCat("linearOp: bias shape ", shapeToString(bias.shape()),
+                     " does not match out dim ", out_dim));
+    }
+
+    Shape out_shape = sx;
+    out_shape.back() = out_dim;
+    std::vector<Scalar> out(rows * out_dim, 0.0);
+    // y = x * W^T: treat W [out, in] as the transposed right operand.
+    gemmAccumulateBt(x.data().data(), w.data().data(), out.data(), rows,
+                     in_dim, out_dim);
+    if (has_bias) {
+        const auto& bd = bias.data();
+        for (std::size_t r = 0; r < rows; ++r)
+            for (std::size_t o = 0; o < out_dim; ++o)
+                out[r * out_dim + o] += bd[o];
+    }
+
+    std::vector<Tensor> parents = {x, w};
+    if (has_bias)
+        parents.push_back(bias);
+
+    return makeOpResult(out_shape, std::move(out), parents,
+        [rows, in_dim, out_dim, has_bias](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& px = *self.parents[0];
+            TensorImpl& pw = *self.parents[1];
+            if (wantsGrad(px)) {
+                // dX = dY * W  ([rows, out] x [out, in]).
+                gemmAccumulate(self.grad.data(), pw.data.data(),
+                               px.grad.data(), rows, out_dim, in_dim);
+            }
+            if (wantsGrad(pw)) {
+                // dW = dY^T * X ([out, rows] x [rows, in]).
+                gemmAccumulateAt(self.grad.data(), px.data.data(),
+                                 pw.grad.data(), rows, out_dim, in_dim);
+            }
+            if (has_bias) {
+                TensorImpl& pb = *self.parents[2];
+                if (wantsGrad(pb)) {
+                    for (std::size_t r = 0; r < rows; ++r)
+                        for (std::size_t o = 0; o < out_dim; ++o)
+                            pb.grad[o] += self.grad[r * out_dim + o];
+                }
+            }
+        });
+}
+
+Tensor
+addBias(const Tensor& x, const Tensor& bias)
+{
+    checkDefined(x, "addBias");
+    checkDefined(bias, "addBias");
+    const std::size_t d = x.shape().back();
+    if (bias.shape().size() != 1 || bias.shape()[0] != d)
+        fatal("addBias: bias must be a vector matching the last dim");
+    const std::size_t rows = x.numel() / d;
+    std::vector<Scalar> out(x.numel());
+    const auto& dx = x.data();
+    const auto& db = bias.data();
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < d; ++c)
+            out[r * d + c] = dx[r * d + c] + db[c];
+    return makeOpResult(x.shape(), std::move(out), {x, bias},
+        [rows, d](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& px = *self.parents[0];
+            TensorImpl& pb = *self.parents[1];
+            if (wantsGrad(px))
+                for (std::size_t i = 0; i < self.grad.size(); ++i)
+                    px.grad[i] += self.grad[i];
+            if (wantsGrad(pb))
+                for (std::size_t r = 0; r < rows; ++r)
+                    for (std::size_t c = 0; c < d; ++c)
+                        pb.grad[c] += self.grad[r * d + c];
+        });
+}
+
+Tensor
+mulLastDim(const Tensor& x, const Tensor& v)
+{
+    checkDefined(x, "mulLastDim");
+    checkDefined(v, "mulLastDim");
+    const std::size_t d = x.shape().back();
+    if (v.shape().size() != 1 || v.shape()[0] != d)
+        fatal("mulLastDim: vector must match the last dim");
+    const std::size_t rows = x.numel() / d;
+    std::vector<Scalar> out(x.numel());
+    const auto& dx = x.data();
+    const auto& dv = v.data();
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < d; ++c)
+            out[r * d + c] = dx[r * d + c] * dv[c];
+    return makeOpResult(x.shape(), std::move(out), {x, v},
+        [rows, d](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& px = *self.parents[0];
+            TensorImpl& pv = *self.parents[1];
+            if (wantsGrad(px))
+                for (std::size_t r = 0; r < rows; ++r)
+                    for (std::size_t c = 0; c < d; ++c)
+                        px.grad[r * d + c] +=
+                            self.grad[r * d + c] * pv.data[c];
+            if (wantsGrad(pv))
+                for (std::size_t r = 0; r < rows; ++r)
+                    for (std::size_t c = 0; c < d; ++c)
+                        pv.grad[c] +=
+                            self.grad[r * d + c] * px.data[r * d + c];
+        });
+}
+
+Tensor
+scaleRows(const Tensor& x, const Tensor& w)
+{
+    checkDefined(x, "scaleRows");
+    checkDefined(w, "scaleRows");
+    const Shape& sx = x.shape();
+    if (sx.size() != 2)
+        fatal(strCat("scaleRows: expected [N, D], got ",
+                     shapeToString(sx)));
+    const std::size_t n = sx[0], d = sx[1];
+    if (w.numel() != n)
+        fatal("scaleRows: weight length must equal row count");
+
+    std::vector<Scalar> out(x.numel());
+    const auto& dx = x.data();
+    const auto& dw = w.data();
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < d; ++c)
+            out[r * d + c] = dx[r * d + c] * dw[r];
+    return makeOpResult(sx, std::move(out), {x, w},
+        [n, d](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& px = *self.parents[0];
+            TensorImpl& pw = *self.parents[1];
+            if (wantsGrad(px))
+                for (std::size_t r = 0; r < n; ++r)
+                    for (std::size_t c = 0; c < d; ++c)
+                        px.grad[r * d + c] +=
+                            self.grad[r * d + c] * pw.data[r];
+            if (wantsGrad(pw))
+                for (std::size_t r = 0; r < n; ++r)
+                    for (std::size_t c = 0; c < d; ++c)
+                        pw.grad[r] +=
+                            self.grad[r * d + c] * px.data[r * d + c];
+        });
+}
+
+}  // namespace ftsim

@@ -1,0 +1,496 @@
+/**
+ * @file
+ * Neural-net ops: normalization, softmax/cross-entropy, embedding,
+ * masking, and the MoE routing plumbing (top-k, gather/scatter).
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/op_helpers.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+
+using detail::checkDefined;
+using detail::noUpstream;
+using detail::wantsGrad;
+
+Tensor
+rmsNorm(const Tensor& x, const Tensor& weight, Scalar eps)
+{
+    checkDefined(x, "rmsNorm");
+    checkDefined(weight, "rmsNorm");
+    const std::size_t d = x.shape().back();
+    if (weight.shape().size() != 1 || weight.shape()[0] != d)
+        fatal("rmsNorm: weight must be a [D] gain vector");
+    const std::size_t rows = x.numel() / d;
+
+    // Cache the per-row RMS for the backward pass.
+    auto rms = std::make_shared<std::vector<Scalar>>(rows);
+    std::vector<Scalar> out(x.numel());
+    const auto& dx = x.data();
+    const auto& dw = weight.data();
+    for (std::size_t r = 0; r < rows; ++r) {
+        Scalar ss = 0.0;
+        for (std::size_t c = 0; c < d; ++c) {
+            Scalar v = dx[r * d + c];
+            ss += v * v;
+        }
+        Scalar rrms = std::sqrt(ss / static_cast<Scalar>(d) + eps);
+        (*rms)[r] = rrms;
+        for (std::size_t c = 0; c < d; ++c)
+            out[r * d + c] = dw[c] * dx[r * d + c] / rrms;
+    }
+
+    return makeOpResult(x.shape(), std::move(out), {x, weight},
+        [rows, d, rms](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& px = *self.parents[0];
+            TensorImpl& pw = *self.parents[1];
+            const bool gx = wantsGrad(px);
+            const bool gw = wantsGrad(pw);
+            if (!gx && !gw)
+                return;
+            for (std::size_t r = 0; r < rows; ++r) {
+                const Scalar rrms = (*rms)[r];
+                if (gw) {
+                    for (std::size_t c = 0; c < d; ++c)
+                        pw.grad[c] += self.grad[r * d + c] *
+                                      px.data[r * d + c] / rrms;
+                }
+                if (gx) {
+                    // dL/dx_j = g_j w_j / r - x_j/(D r^3) sum_i g_i w_i x_i
+                    Scalar dot = 0.0;
+                    for (std::size_t c = 0; c < d; ++c)
+                        dot += self.grad[r * d + c] * pw.data[c] *
+                               px.data[r * d + c];
+                    const Scalar r3 = rrms * rrms * rrms;
+                    for (std::size_t c = 0; c < d; ++c) {
+                        px.grad[r * d + c] +=
+                            self.grad[r * d + c] * pw.data[c] / rrms -
+                            px.data[r * d + c] * dot /
+                                (static_cast<Scalar>(d) * r3);
+                    }
+                }
+            }
+        });
+}
+
+Tensor
+softmaxLastDim(const Tensor& x)
+{
+    checkDefined(x, "softmaxLastDim");
+    const std::size_t d = x.shape().back();
+    const std::size_t rows = x.numel() / d;
+    std::vector<Scalar> out(x.numel());
+    const auto& dx = x.data();
+    for (std::size_t r = 0; r < rows; ++r) {
+        Scalar mx = dx[r * d];
+        for (std::size_t c = 1; c < d; ++c)
+            mx = std::max(mx, dx[r * d + c]);
+        Scalar sum = 0.0;
+        for (std::size_t c = 0; c < d; ++c) {
+            Scalar e = std::exp(dx[r * d + c] - mx);
+            out[r * d + c] = e;
+            sum += e;
+        }
+        for (std::size_t c = 0; c < d; ++c)
+            out[r * d + c] /= sum;
+    }
+    return makeOpResult(x.shape(), std::move(out), {x},
+        [rows, d](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& p = *self.parents[0];
+            if (!wantsGrad(p))
+                return;
+            // dx = y * (g - sum(g * y)) per row.
+            for (std::size_t r = 0; r < rows; ++r) {
+                Scalar dot = 0.0;
+                for (std::size_t c = 0; c < d; ++c)
+                    dot += self.grad[r * d + c] * self.data[r * d + c];
+                for (std::size_t c = 0; c < d; ++c)
+                    p.grad[r * d + c] += self.data[r * d + c] *
+                                         (self.grad[r * d + c] - dot);
+            }
+        });
+}
+
+Tensor
+logSoftmaxLastDim(const Tensor& x)
+{
+    checkDefined(x, "logSoftmaxLastDim");
+    const std::size_t d = x.shape().back();
+    const std::size_t rows = x.numel() / d;
+    std::vector<Scalar> out(x.numel());
+    const auto& dx = x.data();
+    for (std::size_t r = 0; r < rows; ++r) {
+        Scalar mx = dx[r * d];
+        for (std::size_t c = 1; c < d; ++c)
+            mx = std::max(mx, dx[r * d + c]);
+        Scalar sum = 0.0;
+        for (std::size_t c = 0; c < d; ++c)
+            sum += std::exp(dx[r * d + c] - mx);
+        const Scalar lse = mx + std::log(sum);
+        for (std::size_t c = 0; c < d; ++c)
+            out[r * d + c] = dx[r * d + c] - lse;
+    }
+    return makeOpResult(x.shape(), std::move(out), {x},
+        [rows, d](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& p = *self.parents[0];
+            if (!wantsGrad(p))
+                return;
+            // dx_j = g_j - softmax_j * sum(g) per row.
+            for (std::size_t r = 0; r < rows; ++r) {
+                Scalar gsum = 0.0;
+                for (std::size_t c = 0; c < d; ++c)
+                    gsum += self.grad[r * d + c];
+                for (std::size_t c = 0; c < d; ++c)
+                    p.grad[r * d + c] +=
+                        self.grad[r * d + c] -
+                        std::exp(self.data[r * d + c]) * gsum;
+            }
+        });
+}
+
+Tensor
+normalizeLastDim(const Tensor& x)
+{
+    checkDefined(x, "normalizeLastDim");
+    const std::size_t d = x.shape().back();
+    const std::size_t rows = x.numel() / d;
+    auto sums = std::make_shared<std::vector<Scalar>>(rows);
+    std::vector<Scalar> out(x.numel());
+    const auto& dx = x.data();
+    for (std::size_t r = 0; r < rows; ++r) {
+        Scalar s = 0.0;
+        for (std::size_t c = 0; c < d; ++c)
+            s += dx[r * d + c];
+        if (s == 0.0)
+            fatal("normalizeLastDim: row sums to zero");
+        (*sums)[r] = s;
+        for (std::size_t c = 0; c < d; ++c)
+            out[r * d + c] = dx[r * d + c] / s;
+    }
+    return makeOpResult(x.shape(), std::move(out), {x},
+        [rows, d, sums](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& p = *self.parents[0];
+            if (!wantsGrad(p))
+                return;
+            for (std::size_t r = 0; r < rows; ++r) {
+                const Scalar s = (*sums)[r];
+                Scalar dot = 0.0;
+                for (std::size_t c = 0; c < d; ++c)
+                    dot += self.grad[r * d + c] * p.data[r * d + c];
+                for (std::size_t c = 0; c < d; ++c)
+                    p.grad[r * d + c] +=
+                        self.grad[r * d + c] / s - dot / (s * s);
+            }
+        });
+}
+
+Tensor
+crossEntropy(const Tensor& logits, const std::vector<int>& targets,
+             int ignore_index)
+{
+    checkDefined(logits, "crossEntropy");
+    const Shape& s = logits.shape();
+    if (s.size() != 2)
+        fatal(strCat("crossEntropy: expected [N, V] logits, got ",
+                     shapeToString(s)));
+    const std::size_t n = s[0], v = s[1];
+    if (targets.size() != n)
+        fatal("crossEntropy: target count mismatch");
+
+    // Forward: stable log-softmax + NLL; cache probabilities for backward.
+    auto probs = std::make_shared<std::vector<Scalar>>(n * v);
+    auto tgt = std::make_shared<std::vector<int>>(targets);
+    const auto& dl = logits.data();
+    Scalar loss = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+        Scalar mx = dl[r * v];
+        for (std::size_t c = 1; c < v; ++c)
+            mx = std::max(mx, dl[r * v + c]);
+        Scalar sum = 0.0;
+        for (std::size_t c = 0; c < v; ++c) {
+            Scalar e = std::exp(dl[r * v + c] - mx);
+            (*probs)[r * v + c] = e;
+            sum += e;
+        }
+        for (std::size_t c = 0; c < v; ++c)
+            (*probs)[r * v + c] /= sum;
+        int t = targets[r];
+        if (t == ignore_index)
+            continue;
+        if (t < 0 || static_cast<std::size_t>(t) >= v)
+            fatal(strCat("crossEntropy: target ", t, " out of range"));
+        loss -= std::log(std::max((*probs)[r * v + t], 1e-300));
+        ++counted;
+    }
+    if (counted == 0)
+        fatal("crossEntropy: every target is ignored");
+    loss /= static_cast<Scalar>(counted);
+
+    const int ign = ignore_index;
+    return makeOpResult({}, {loss}, {logits},
+        [probs, tgt, n, v, counted, ign](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& p = *self.parents[0];
+            if (!wantsGrad(p))
+                return;
+            const Scalar g = self.grad[0] / static_cast<Scalar>(counted);
+            for (std::size_t r = 0; r < n; ++r) {
+                int t = (*tgt)[r];
+                if (t == ign)
+                    continue;
+                for (std::size_t c = 0; c < v; ++c) {
+                    Scalar delta = (static_cast<int>(c) == t) ? 1.0 : 0.0;
+                    p.grad[r * v + c] +=
+                        g * ((*probs)[r * v + c] - delta);
+                }
+            }
+        });
+}
+
+Tensor
+embedding(const Tensor& table, const std::vector<int>& ids,
+          const Shape& out_prefix)
+{
+    checkDefined(table, "embedding");
+    const Shape& ts = table.shape();
+    if (ts.size() != 2)
+        fatal("embedding: table must be [V, D]");
+    const std::size_t vocab = ts[0], d = ts[1];
+    if (ids.size() != shapeNumel(out_prefix))
+        fatal("embedding: id count does not match output prefix shape");
+
+    std::vector<Scalar> out(ids.size() * d);
+    const auto& dt = table.data();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        int id = ids[i];
+        if (id < 0 || static_cast<std::size_t>(id) >= vocab)
+            fatal(strCat("embedding: id ", id, " out of range"));
+        std::copy(dt.begin() + id * d, dt.begin() + (id + 1) * d,
+                  out.begin() + i * d);
+    }
+
+    Shape out_shape = out_prefix;
+    out_shape.push_back(d);
+    auto ids_copy = std::make_shared<std::vector<int>>(ids);
+    return makeOpResult(out_shape, std::move(out), {table},
+        [ids_copy, d](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& p = *self.parents[0];
+            if (!wantsGrad(p))
+                return;
+            for (std::size_t i = 0; i < ids_copy->size(); ++i) {
+                std::size_t row = static_cast<std::size_t>((*ids_copy)[i]);
+                for (std::size_t c = 0; c < d; ++c)
+                    p.grad[row * d + c] += self.grad[i * d + c];
+            }
+        });
+}
+
+Tensor
+causalMask(const Tensor& scores)
+{
+    checkDefined(scores, "causalMask");
+    const Shape& s = scores.shape();
+    if (s.size() != 3 || s[1] != s[2])
+        fatal(strCat("causalMask: expected [N, T, T], got ",
+                     shapeToString(s)));
+    const std::size_t batch = s[0], t = s[1];
+    // Large-but-finite so exp() underflows to exactly zero post-softmax
+    // without producing NaNs through the backward pass.
+    constexpr Scalar kNegInf = -1e30;
+
+    std::vector<Scalar> out = scores.data();
+    for (std::size_t b = 0; b < batch; ++b)
+        for (std::size_t r = 0; r < t; ++r)
+            for (std::size_t c = r + 1; c < t; ++c)
+                out[(b * t + r) * t + c] = kNegInf;
+
+    return makeOpResult(s, std::move(out), {scores},
+        [batch, t](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& p = *self.parents[0];
+            if (!wantsGrad(p))
+                return;
+            // The mask writes constants: gradient flows only through the
+            // untouched (lower-triangular) positions.
+            for (std::size_t b = 0; b < batch; ++b)
+                for (std::size_t r = 0; r < t; ++r)
+                    for (std::size_t c = 0; c <= r; ++c)
+                        p.grad[(b * t + r) * t + c] +=
+                            self.grad[(b * t + r) * t + c];
+        });
+}
+
+Tensor
+gatherRows(const Tensor& x, const std::vector<std::size_t>& indices)
+{
+    checkDefined(x, "gatherRows");
+    const Shape& s = x.shape();
+    if (s.size() != 2)
+        fatal("gatherRows: expected [N, D]");
+    const std::size_t n = s[0], d = s[1];
+    std::vector<Scalar> out(indices.size() * d);
+    const auto& dx = x.data();
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        if (indices[i] >= n)
+            fatal("gatherRows: index out of range");
+        std::copy(dx.begin() + indices[i] * d,
+                  dx.begin() + (indices[i] + 1) * d, out.begin() + i * d);
+    }
+    auto idx = std::make_shared<std::vector<std::size_t>>(indices);
+    return makeOpResult({indices.size(), d}, std::move(out), {x},
+        [idx, d](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& p = *self.parents[0];
+            if (!wantsGrad(p))
+                return;
+            for (std::size_t i = 0; i < idx->size(); ++i)
+                for (std::size_t c = 0; c < d; ++c)
+                    p.grad[(*idx)[i] * d + c] += self.grad[i * d + c];
+        });
+}
+
+Tensor
+scatterAddRows(const Tensor& x, const std::vector<std::size_t>& indices,
+               std::size_t num_rows)
+{
+    checkDefined(x, "scatterAddRows");
+    const Shape& s = x.shape();
+    if (s.size() != 2)
+        fatal("scatterAddRows: expected [M, D]");
+    const std::size_t m = s[0], d = s[1];
+    if (indices.size() != m)
+        fatal("scatterAddRows: index count must equal row count");
+
+    std::vector<Scalar> out(num_rows * d, 0.0);
+    const auto& dx = x.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        if (indices[i] >= num_rows)
+            fatal("scatterAddRows: index out of range");
+        for (std::size_t c = 0; c < d; ++c)
+            out[indices[i] * d + c] += dx[i * d + c];
+    }
+    auto idx = std::make_shared<std::vector<std::size_t>>(indices);
+    return makeOpResult({num_rows, d}, std::move(out), {x},
+        [idx, d](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& p = *self.parents[0];
+            if (!wantsGrad(p))
+                return;
+            for (std::size_t i = 0; i < idx->size(); ++i)
+                for (std::size_t c = 0; c < d; ++c)
+                    p.grad[i * d + c] += self.grad[(*idx)[i] * d + c];
+        });
+}
+
+Tensor
+gatherLastDim(const Tensor& x, const std::vector<int>& indices,
+              std::size_t k)
+{
+    checkDefined(x, "gatherLastDim");
+    const Shape& s = x.shape();
+    if (s.size() != 2)
+        fatal("gatherLastDim: expected [N, E]");
+    const std::size_t n = s[0], e = s[1];
+    if (indices.size() != n * k)
+        fatal("gatherLastDim: need N*k indices");
+
+    std::vector<Scalar> out(n * k);
+    const auto& dx = x.data();
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t j = 0; j < k; ++j) {
+            int col = indices[r * k + j];
+            if (col < 0 || static_cast<std::size_t>(col) >= e)
+                fatal("gatherLastDim: index out of range");
+            out[r * k + j] = dx[r * e + col];
+        }
+    }
+    auto idx = std::make_shared<std::vector<int>>(indices);
+    return makeOpResult({n, k}, std::move(out), {x},
+        [idx, n, k, e](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& p = *self.parents[0];
+            if (!wantsGrad(p))
+                return;
+            for (std::size_t r = 0; r < n; ++r)
+                for (std::size_t j = 0; j < k; ++j)
+                    p.grad[r * e +
+                           static_cast<std::size_t>((*idx)[r * k + j])] +=
+                        self.grad[r * k + j];
+        });
+}
+
+TopKResult
+topkLastDim(const Tensor& x, std::size_t k)
+{
+    checkDefined(x, "topkLastDim");
+    const Shape& s = x.shape();
+    if (s.size() != 2)
+        fatal("topkLastDim: expected [N, E]");
+    const std::size_t n = s[0], e = s[1];
+    if (k == 0 || k > e)
+        fatal(strCat("topkLastDim: k=", k, " out of range for E=", e));
+
+    TopKResult result;
+    result.indices.resize(n * k);
+    result.values.resize(n * k);
+    const auto& dx = x.data();
+    std::vector<int> order(e);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < e; ++c)
+            order[c] = static_cast<int>(c);
+        std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                          [&](int a, int b) {
+                              Scalar va = dx[r * e + a];
+                              Scalar vb = dx[r * e + b];
+                              if (va != vb)
+                                  return va > vb;
+                              return a < b;  // Deterministic tie-break.
+                          });
+        for (std::size_t j = 0; j < k; ++j) {
+            result.indices[r * k + j] = order[j];
+            result.values[r * k + j] = dx[r * e + order[j]];
+        }
+    }
+    return result;
+}
+
+std::vector<int>
+argmaxLastDim(const Tensor& logits)
+{
+    checkDefined(logits, "argmaxLastDim");
+    const Shape& s = logits.shape();
+    if (s.size() != 2)
+        fatal("argmaxLastDim: expected [N, V]");
+    const std::size_t n = s[0], v = s[1];
+    std::vector<int> result(n);
+    const auto& dl = logits.data();
+    for (std::size_t r = 0; r < n; ++r) {
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < v; ++c)
+            if (dl[r * v + c] > dl[r * v + best])
+                best = c;
+        result[r] = static_cast<int>(best);
+    }
+    return result;
+}
+
+}  // namespace ftsim

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Mamba primitives: depthwise causal 1-D convolution and the selective
+ * scan recurrence. Both have hand-written backward passes (the scan's
+ * backward is itself a reverse-time scan, mirroring how real selective
+ * state-space kernels implement backpropagation-through-time).
+ */
+
+#include "tensor/op_helpers.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+
+using detail::checkDefined;
+using detail::checkSameShape;
+using detail::noUpstream;
+using detail::wantsGrad;
+
+Tensor
+conv1dDepthwiseCausal(const Tensor& x, const Tensor& w)
+{
+    checkDefined(x, "conv1dDepthwiseCausal");
+    checkDefined(w, "conv1dDepthwiseCausal");
+    const Shape& sx = x.shape();
+    const Shape& sw = w.shape();
+    if (sx.size() != 3)
+        fatal(strCat("conv1dDepthwiseCausal: expected [B, T, D] input, "
+                     "got ", shapeToString(sx)));
+    if (sw.size() != 2 || sw[1] != sx[2])
+        fatal(strCat("conv1dDepthwiseCausal: expected [K, D] kernel, got ",
+                     shapeToString(sw)));
+    const std::size_t b_sz = sx[0], t_sz = sx[1], d = sx[2], k_sz = sw[0];
+
+    std::vector<Scalar> out(x.numel(), 0.0);
+    const auto& dx = x.data();
+    const auto& dw = w.data();
+    for (std::size_t b = 0; b < b_sz; ++b) {
+        for (std::size_t t = 0; t < t_sz; ++t) {
+            for (std::size_t j = 0; j < k_sz; ++j) {
+                // Causal alignment: tap j reads offset t - (K-1) + j.
+                std::ptrdiff_t src_t = static_cast<std::ptrdiff_t>(t) -
+                                       static_cast<std::ptrdiff_t>(k_sz) +
+                                       1 + static_cast<std::ptrdiff_t>(j);
+                if (src_t < 0)
+                    continue;  // Zero left-padding.
+                const std::size_t src =
+                    (b * t_sz + static_cast<std::size_t>(src_t)) * d;
+                const std::size_t dst = (b * t_sz + t) * d;
+                for (std::size_t c = 0; c < d; ++c)
+                    out[dst + c] += dw[j * d + c] * dx[src + c];
+            }
+        }
+    }
+
+    return makeOpResult(sx, std::move(out), {x, w},
+        [b_sz, t_sz, d, k_sz](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& px = *self.parents[0];
+            TensorImpl& pw = *self.parents[1];
+            const bool gx = wantsGrad(px);
+            const bool gw = wantsGrad(pw);
+            if (!gx && !gw)
+                return;
+            for (std::size_t b = 0; b < b_sz; ++b) {
+                for (std::size_t t = 0; t < t_sz; ++t) {
+                    for (std::size_t j = 0; j < k_sz; ++j) {
+                        std::ptrdiff_t src_t =
+                            static_cast<std::ptrdiff_t>(t) -
+                            static_cast<std::ptrdiff_t>(k_sz) + 1 +
+                            static_cast<std::ptrdiff_t>(j);
+                        if (src_t < 0)
+                            continue;
+                        const std::size_t src =
+                            (b * t_sz + static_cast<std::size_t>(src_t)) *
+                            d;
+                        const std::size_t dst = (b * t_sz + t) * d;
+                        for (std::size_t c = 0; c < d; ++c) {
+                            const Scalar g = self.grad[dst + c];
+                            if (gx)
+                                px.grad[src + c] += g * pw.data[j * d + c];
+                            if (gw)
+                                pw.grad[j * d + c] += g * px.data[src + c];
+                        }
+                    }
+                }
+            }
+        });
+}
+
+Tensor
+selectiveScan(const Tensor& a, const Tensor& x)
+{
+    checkSameShape(a, x, "selectiveScan");
+    const Shape& s = a.shape();
+    if (s.size() != 3)
+        fatal(strCat("selectiveScan: expected [B, T, D], got ",
+                     shapeToString(s)));
+    const std::size_t b_sz = s[0], t_sz = s[1], d = s[2];
+
+    // Forward recurrence: h_t = a_t * h_{t-1} + x_t, h_{-1} = 0.
+    std::vector<Scalar> out(a.numel());
+    const auto& da = a.data();
+    const auto& dx = x.data();
+    for (std::size_t b = 0; b < b_sz; ++b) {
+        for (std::size_t c = 0; c < d; ++c) {
+            Scalar h = 0.0;
+            for (std::size_t t = 0; t < t_sz; ++t) {
+                const std::size_t i = (b * t_sz + t) * d + c;
+                h = da[i] * h + dx[i];
+                out[i] = h;
+            }
+        }
+    }
+
+    return makeOpResult(s, std::move(out), {a, x},
+        [b_sz, t_sz, d](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& pa = *self.parents[0];
+            TensorImpl& px = *self.parents[1];
+            const bool ga = wantsGrad(pa);
+            const bool gx = wantsGrad(px);
+            if (!ga && !gx)
+                return;
+            // Reverse-time scan. Let dh be the running gradient of the
+            // hidden state. At step t:
+            //   dh_t   = g_t + a_{t+1} * dh_{t+1}
+            //   dx_t   = dh_t
+            //   da_t   = dh_t * h_{t-1}
+            for (std::size_t b = 0; b < b_sz; ++b) {
+                for (std::size_t c = 0; c < d; ++c) {
+                    Scalar dh = 0.0;
+                    for (std::size_t t = t_sz; t-- > 0;) {
+                        const std::size_t i = (b * t_sz + t) * d + c;
+                        dh = self.grad[i] +
+                             (t + 1 < t_sz
+                                  ? pa.data[(b * t_sz + t + 1) * d + c] * dh
+                                  : 0.0);
+                        if (gx)
+                            px.grad[i] += dh;
+                        if (ga) {
+                            const Scalar h_prev =
+                                (t > 0)
+                                    ? self.data[(b * t_sz + t - 1) * d + c]
+                                    : 0.0;
+                            pa.grad[i] += dh * h_prev;
+                        }
+                    }
+                }
+            }
+        });
+}
+
+}  // namespace ftsim

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Shape-manipulation ops: reshape, transpose, concat/slice, head split.
+ */
+
+#include "tensor/op_helpers.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+
+using detail::checkDefined;
+using detail::noUpstream;
+using detail::wantsGrad;
+
+Tensor
+reshape(const Tensor& x, const Shape& new_shape)
+{
+    checkDefined(x, "reshape");
+    if (shapeNumel(new_shape) != x.numel()) {
+        fatal(strCat("reshape: cannot view ", shapeToString(x.shape()),
+                     " as ", shapeToString(new_shape)));
+    }
+    std::vector<Scalar> out = x.data();  // Row-major order is unchanged.
+    return makeOpResult(new_shape, std::move(out), {x},
+        [](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& p = *self.parents[0];
+            if (!wantsGrad(p))
+                return;
+            for (std::size_t i = 0; i < self.grad.size(); ++i)
+                p.grad[i] += self.grad[i];
+        });
+}
+
+namespace {
+
+/** Decomposes a rank-2/3 tensor into (batch, rows, cols). */
+void
+asBatchedMatrix(const Tensor& x, const char* op, std::size_t& batch,
+                std::size_t& rows, std::size_t& cols)
+{
+    const Shape& s = x.shape();
+    if (s.size() == 2) {
+        batch = 1;
+        rows = s[0];
+        cols = s[1];
+    } else if (s.size() == 3) {
+        batch = s[0];
+        rows = s[1];
+        cols = s[2];
+    } else {
+        fatal(strCat(op, ": expected rank 2 or 3, got ",
+                     shapeToString(s)));
+    }
+}
+
+}  // namespace
+
+Tensor
+transposeLast(const Tensor& x)
+{
+    std::size_t batch, rows, cols;
+    asBatchedMatrix(x, "transposeLast", batch, rows, cols);
+
+    Shape out_shape = x.shape();
+    std::swap(out_shape[out_shape.size() - 1],
+              out_shape[out_shape.size() - 2]);
+
+    std::vector<Scalar> out(x.numel());
+    const auto& dx = x.data();
+    for (std::size_t b = 0; b < batch; ++b) {
+        const std::size_t base = b * rows * cols;
+        for (std::size_t r = 0; r < rows; ++r)
+            for (std::size_t c = 0; c < cols; ++c)
+                out[base + c * rows + r] = dx[base + r * cols + c];
+    }
+    return makeOpResult(out_shape, std::move(out), {x},
+        [batch, rows, cols](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& p = *self.parents[0];
+            if (!wantsGrad(p))
+                return;
+            for (std::size_t b = 0; b < batch; ++b) {
+                const std::size_t base = b * rows * cols;
+                for (std::size_t r = 0; r < rows; ++r)
+                    for (std::size_t c = 0; c < cols; ++c)
+                        p.grad[base + r * cols + c] +=
+                            self.grad[base + c * rows + r];
+            }
+        });
+}
+
+Tensor
+concatLastDim(const std::vector<Tensor>& parts)
+{
+    if (parts.empty())
+        fatal("concatLastDim: no inputs");
+    for (const auto& p : parts)
+        checkDefined(p, "concatLastDim");
+
+    const Shape& first = parts[0].shape();
+    if (first.empty())
+        fatal("concatLastDim: rank-0 inputs are not concatenable");
+    std::size_t prefix = 1;
+    for (std::size_t i = 0; i + 1 < first.size(); ++i)
+        prefix *= first[i];
+
+    std::size_t total_last = 0;
+    std::vector<std::size_t> lasts;
+    for (const auto& p : parts) {
+        const Shape& s = p.shape();
+        if (s.size() != first.size())
+            fatal("concatLastDim: rank mismatch");
+        for (std::size_t i = 0; i + 1 < s.size(); ++i)
+            if (s[i] != first[i])
+                fatal("concatLastDim: leading-dim mismatch");
+        lasts.push_back(s.back());
+        total_last += s.back();
+    }
+
+    Shape out_shape = first;
+    out_shape.back() = total_last;
+    std::vector<Scalar> out(prefix * total_last);
+    std::size_t offset = 0;
+    for (std::size_t pi = 0; pi < parts.size(); ++pi) {
+        const auto& src = parts[pi].data();
+        const std::size_t last = lasts[pi];
+        for (std::size_t row = 0; row < prefix; ++row)
+            for (std::size_t c = 0; c < last; ++c)
+                out[row * total_last + offset + c] = src[row * last + c];
+        offset += last;
+    }
+
+    return makeOpResult(out_shape, std::move(out), parts,
+        [prefix, total_last, lasts](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            std::size_t offset = 0;
+            for (std::size_t pi = 0; pi < self.parents.size(); ++pi) {
+                TensorImpl& p = *self.parents[pi];
+                const std::size_t last = lasts[pi];
+                if (wantsGrad(p)) {
+                    for (std::size_t row = 0; row < prefix; ++row)
+                        for (std::size_t c = 0; c < last; ++c)
+                            p.grad[row * last + c] +=
+                                self.grad[row * total_last + offset + c];
+                }
+                offset += last;
+            }
+        });
+}
+
+Tensor
+sliceLastDim(const Tensor& x, std::size_t start, std::size_t len)
+{
+    checkDefined(x, "sliceLastDim");
+    const Shape& s = x.shape();
+    if (s.empty())
+        fatal("sliceLastDim: rank-0 input");
+    const std::size_t last = s.back();
+    if (start + len > last) {
+        fatal(strCat("sliceLastDim: [", start, ", ", start + len,
+                     ") exceeds last dim ", last));
+    }
+    std::size_t prefix = x.numel() / last;
+    Shape out_shape = s;
+    out_shape.back() = len;
+
+    std::vector<Scalar> out(prefix * len);
+    const auto& dx = x.data();
+    for (std::size_t row = 0; row < prefix; ++row)
+        for (std::size_t c = 0; c < len; ++c)
+            out[row * len + c] = dx[row * last + start + c];
+
+    return makeOpResult(out_shape, std::move(out), {x},
+        [prefix, len, last, start](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& p = *self.parents[0];
+            if (!wantsGrad(p))
+                return;
+            for (std::size_t row = 0; row < prefix; ++row)
+                for (std::size_t c = 0; c < len; ++c)
+                    p.grad[row * last + start + c] +=
+                        self.grad[row * len + c];
+        });
+}
+
+Tensor
+splitHeads(const Tensor& x, std::size_t num_heads)
+{
+    checkDefined(x, "splitHeads");
+    const Shape& s = x.shape();
+    if (s.size() != 3)
+        fatal(strCat("splitHeads: expected [B, T, D], got ",
+                     shapeToString(s)));
+    const std::size_t b_sz = s[0], t_sz = s[1], d_model = s[2];
+    if (d_model % num_heads != 0)
+        fatal("splitHeads: model dim not divisible by head count");
+    const std::size_t d_head = d_model / num_heads;
+
+    // [B, T, H, Dh] -> [B, H, T, Dh] flattened as [B*H, T, Dh].
+    std::vector<Scalar> out(x.numel());
+    const auto& dx = x.data();
+    for (std::size_t b = 0; b < b_sz; ++b)
+        for (std::size_t t = 0; t < t_sz; ++t)
+            for (std::size_t h = 0; h < num_heads; ++h)
+                for (std::size_t d = 0; d < d_head; ++d) {
+                    std::size_t src =
+                        (b * t_sz + t) * d_model + h * d_head + d;
+                    std::size_t dst =
+                        ((b * num_heads + h) * t_sz + t) * d_head + d;
+                    out[dst] = dx[src];
+                }
+
+    return makeOpResult({b_sz * num_heads, t_sz, d_head}, std::move(out),
+        {x},
+        [b_sz, t_sz, d_model, num_heads, d_head](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& p = *self.parents[0];
+            if (!wantsGrad(p))
+                return;
+            for (std::size_t b = 0; b < b_sz; ++b)
+                for (std::size_t t = 0; t < t_sz; ++t)
+                    for (std::size_t h = 0; h < num_heads; ++h)
+                        for (std::size_t d = 0; d < d_head; ++d) {
+                            std::size_t src =
+                                (b * t_sz + t) * d_model + h * d_head + d;
+                            std::size_t dst =
+                                ((b * num_heads + h) * t_sz + t) * d_head +
+                                d;
+                            p.grad[src] += self.grad[dst];
+                        }
+        });
+}
+
+Tensor
+mergeHeads(const Tensor& x, std::size_t num_heads)
+{
+    checkDefined(x, "mergeHeads");
+    const Shape& s = x.shape();
+    if (s.size() != 3)
+        fatal(strCat("mergeHeads: expected [B*H, T, Dh], got ",
+                     shapeToString(s)));
+    if (s[0] % num_heads != 0)
+        fatal("mergeHeads: batch dim not divisible by head count");
+    const std::size_t b_sz = s[0] / num_heads, t_sz = s[1], d_head = s[2];
+    const std::size_t d_model = num_heads * d_head;
+
+    std::vector<Scalar> out(x.numel());
+    const auto& dx = x.data();
+    for (std::size_t b = 0; b < b_sz; ++b)
+        for (std::size_t h = 0; h < num_heads; ++h)
+            for (std::size_t t = 0; t < t_sz; ++t)
+                for (std::size_t d = 0; d < d_head; ++d) {
+                    std::size_t src =
+                        ((b * num_heads + h) * t_sz + t) * d_head + d;
+                    std::size_t dst =
+                        (b * t_sz + t) * d_model + h * d_head + d;
+                    out[dst] = dx[src];
+                }
+
+    return makeOpResult({b_sz, t_sz, d_model}, std::move(out), {x},
+        [b_sz, t_sz, d_head, num_heads, d_model](TensorImpl& self) {
+            if (noUpstream(self))
+                return;
+            TensorImpl& p = *self.parents[0];
+            if (!wantsGrad(p))
+                return;
+            for (std::size_t b = 0; b < b_sz; ++b)
+                for (std::size_t h = 0; h < num_heads; ++h)
+                    for (std::size_t t = 0; t < t_sz; ++t)
+                        for (std::size_t d = 0; d < d_head; ++d) {
+                            std::size_t src =
+                                ((b * num_heads + h) * t_sz + t) * d_head +
+                                d;
+                            std::size_t dst =
+                                (b * t_sz + t) * d_model + h * d_head + d;
+                            p.grad[src] += self.grad[dst];
+                        }
+        });
+}
+
+}  // namespace ftsim

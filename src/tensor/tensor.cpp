@@ -1,0 +1,327 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace ftsim {
+
+namespace {
+
+/** Thread-local autograd recording flag (mirrors torch.no_grad()). */
+thread_local bool grad_mode_enabled = true;
+
+}  // namespace
+
+std::size_t
+shapeNumel(const Shape& shape)
+{
+    std::size_t n = 1;
+    for (std::size_t s : shape)
+        n *= s;
+    return n;
+}
+
+std::string
+shapeToString(const Shape& shape)
+{
+    std::ostringstream oss;
+    oss << '[';
+    for (std::size_t i = 0; i < shape.size(); ++i)
+        oss << (i ? ", " : "") << shape[i];
+    oss << ']';
+    return oss.str();
+}
+
+void
+TensorImpl::ensureGrad()
+{
+    if (grad.empty())
+        grad.assign(data.size(), 0.0);
+}
+
+bool
+GradMode::enabled()
+{
+    return grad_mode_enabled;
+}
+
+void
+GradMode::setEnabled(bool enabled)
+{
+    grad_mode_enabled = enabled;
+}
+
+NoGradGuard::NoGradGuard()
+    : previous_(GradMode::enabled())
+{
+    GradMode::setEnabled(false);
+}
+
+NoGradGuard::~NoGradGuard()
+{
+    GradMode::setEnabled(previous_);
+}
+
+Tensor
+Tensor::zeros(const Shape& shape, bool requires_grad)
+{
+    auto impl = std::make_shared<TensorImpl>();
+    impl->shape = shape;
+    impl->data.assign(shapeNumel(shape), 0.0);
+    impl->requiresGrad = requires_grad;
+    return Tensor(std::move(impl));
+}
+
+Tensor
+Tensor::full(const Shape& shape, Scalar value, bool requires_grad)
+{
+    auto impl = std::make_shared<TensorImpl>();
+    impl->shape = shape;
+    impl->data.assign(shapeNumel(shape), value);
+    impl->requiresGrad = requires_grad;
+    return Tensor(std::move(impl));
+}
+
+Tensor
+Tensor::fromVector(const Shape& shape, std::vector<Scalar> values,
+                   bool requires_grad)
+{
+    if (values.size() != shapeNumel(shape)) {
+        fatal(strCat("Tensor::fromVector: ", values.size(),
+                     " values do not fill shape ", shapeToString(shape)));
+    }
+    auto impl = std::make_shared<TensorImpl>();
+    impl->shape = shape;
+    impl->data = std::move(values);
+    impl->requiresGrad = requires_grad;
+    return Tensor(std::move(impl));
+}
+
+Tensor
+Tensor::scalar(Scalar value, bool requires_grad)
+{
+    return fromVector({}, {value}, requires_grad);
+}
+
+Tensor
+Tensor::randn(const Shape& shape, Rng& rng, Scalar stddev,
+              bool requires_grad)
+{
+    std::vector<Scalar> values(shapeNumel(shape));
+    for (auto& v : values)
+        v = rng.normal(0.0, stddev);
+    return fromVector(shape, std::move(values), requires_grad);
+}
+
+Tensor
+Tensor::randu(const Shape& shape, Rng& rng, Scalar bound,
+              bool requires_grad)
+{
+    std::vector<Scalar> values(shapeNumel(shape));
+    for (auto& v : values)
+        v = rng.uniform(-bound, bound);
+    return fromVector(shape, std::move(values), requires_grad);
+}
+
+const Shape&
+Tensor::shape() const
+{
+    if (!impl_)
+        fatal("Tensor: accessing shape of an undefined tensor");
+    return impl_->shape;
+}
+
+std::size_t
+Tensor::size(std::size_t i) const
+{
+    const Shape& s = shape();
+    if (i >= s.size())
+        fatal(strCat("Tensor::size: dim ", i, " out of range for ",
+                     shapeToString(s)));
+    return s[i];
+}
+
+std::size_t
+Tensor::numel() const
+{
+    return shapeNumel(shape());
+}
+
+std::vector<Scalar>&
+Tensor::data()
+{
+    if (!impl_)
+        fatal("Tensor: accessing data of an undefined tensor");
+    return impl_->data;
+}
+
+const std::vector<Scalar>&
+Tensor::data() const
+{
+    if (!impl_)
+        fatal("Tensor: accessing data of an undefined tensor");
+    return impl_->data;
+}
+
+std::vector<Scalar>&
+Tensor::grad() const
+{
+    if (!impl_)
+        fatal("Tensor: accessing grad of an undefined tensor");
+    impl_->ensureGrad();
+    return impl_->grad;
+}
+
+bool
+Tensor::hasGrad() const
+{
+    return impl_ && !impl_->grad.empty();
+}
+
+bool
+Tensor::requiresGrad() const
+{
+    return impl_ && impl_->requiresGrad;
+}
+
+Tensor&
+Tensor::setRequiresGrad(bool requires_grad)
+{
+    if (!impl_)
+        fatal("Tensor::setRequiresGrad on undefined tensor");
+    impl_->requiresGrad = requires_grad;
+    return *this;
+}
+
+Scalar
+Tensor::at(std::initializer_list<std::size_t> index) const
+{
+    const Shape& s = shape();
+    if (index.size() != s.size())
+        fatal(strCat("Tensor::at: rank mismatch for ", shapeToString(s)));
+    std::size_t flat = 0;
+    std::size_t i = 0;
+    for (std::size_t idx : index) {
+        if (idx >= s[i])
+            fatal("Tensor::at: index out of range");
+        flat = flat * s[i] + idx;
+        ++i;
+    }
+    return data()[flat];
+}
+
+Scalar
+Tensor::item() const
+{
+    if (numel() != 1)
+        fatal(strCat("Tensor::item: tensor has ", numel(), " elements"));
+    return data()[0];
+}
+
+void
+Tensor::zeroGrad()
+{
+    if (impl_ && !impl_->grad.empty())
+        std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0);
+}
+
+void
+Tensor::backward()
+{
+    if (!impl_)
+        fatal("Tensor::backward on undefined tensor");
+    if (numel() != 1)
+        fatal("Tensor::backward: root must be scalar (reduce first)");
+
+    // Iterative post-order DFS: node appended after all of its parents,
+    // so the reversed list runs root-to-leaves.
+    std::vector<TensorImpl*> topo;
+    std::unordered_set<TensorImpl*> visited;
+    struct Frame {
+        TensorImpl* node;
+        std::size_t next_parent;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({impl_.get(), 0});
+    visited.insert(impl_.get());
+    while (!stack.empty()) {
+        Frame& frame = stack.back();
+        if (frame.next_parent < frame.node->parents.size()) {
+            TensorImpl* parent =
+                frame.node->parents[frame.next_parent].get();
+            ++frame.next_parent;
+            if (parent && !visited.count(parent)) {
+                visited.insert(parent);
+                stack.push_back({parent, 0});
+            }
+        } else {
+            topo.push_back(frame.node);
+            stack.pop_back();
+        }
+    }
+
+    impl_->ensureGrad();
+    impl_->grad[0] = 1.0;
+
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        TensorImpl* node = *it;
+        if (node->backwardFn)
+            node->backwardFn(*node);
+    }
+}
+
+Tensor
+Tensor::detach() const
+{
+    if (!impl_)
+        return Tensor();
+    auto impl = std::make_shared<TensorImpl>();
+    impl->shape = impl_->shape;
+    impl->data = impl_->data;  // Value copy: detached view semantics are
+                               // not needed anywhere in this codebase.
+    impl->requiresGrad = false;
+    return Tensor(std::move(impl));
+}
+
+Tensor
+Tensor::clone() const
+{
+    return detach();
+}
+
+Tensor
+makeOpResult(Shape shape, std::vector<Scalar> values,
+             const std::vector<Tensor>& parents,
+             std::function<void(TensorImpl&)> backward_fn)
+{
+    if (values.size() != shapeNumel(shape))
+        panic("makeOpResult: value count does not match shape");
+
+    auto impl = std::make_shared<TensorImpl>();
+    impl->shape = std::move(shape);
+    impl->data = std::move(values);
+
+    bool needs_grad = false;
+    if (GradMode::enabled()) {
+        for (const auto& p : parents) {
+            if (p.defined() && p.impl()->requiresGrad) {
+                needs_grad = true;
+                break;
+            }
+        }
+    }
+    if (needs_grad) {
+        impl->requiresGrad = true;
+        impl->parents.reserve(parents.size());
+        for (const auto& p : parents)
+            impl->parents.push_back(p.impl());
+        impl->backwardFn = std::move(backward_fn);
+    }
+    return Tensor(std::move(impl));
+}
+
+}  // namespace ftsim

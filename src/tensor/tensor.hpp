@@ -1,0 +1,208 @@
+#ifndef FTSIM_TENSOR_TENSOR_HPP
+#define FTSIM_TENSOR_TENSOR_HPP
+
+/**
+ * @file
+ * A small dense tensor with reverse-mode automatic differentiation.
+ *
+ * This is the training substrate that stands in for PyTorch in the
+ * reproduction: it is an eager, define-by-run tape. Tensors are row-major,
+ * contiguous, double-precision (double keeps finite-difference gradient
+ * checks tight, and the miniature models trained here are far below the
+ * scale where float32 would matter for speed).
+ *
+ * Design notes:
+ *  - A Tensor is a shared handle to a TensorImpl node. Operations build a
+ *    DAG by recording parent handles plus a backward closure on the
+ *    result node.
+ *  - backward() runs an iterative topological sort from the root (which
+ *    must be scalar) and invokes each node's backward closure once, after
+ *    all of its consumers.
+ *  - Gradients accumulate (+=) into `grad`, so one forward graph supports
+ *    multiple uses of a value (fan-out) naturally.
+ */
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ftsim {
+
+class Rng;
+
+/** Element type for all tensors. */
+using Scalar = double;
+
+/** Shape: sizes of each dimension, outermost first. */
+using Shape = std::vector<std::size_t>;
+
+/** Returns the number of elements implied by a shape (1 for rank 0). */
+std::size_t shapeNumel(const Shape& shape);
+
+/** Renders a shape as "[2, 3, 4]" for error messages. */
+std::string shapeToString(const Shape& shape);
+
+class Tensor;
+
+/**
+ * Internal node: storage plus autograd bookkeeping.
+ *
+ * Public because op implementations (ops.cpp) and custom layers need
+ * direct access; end users interact through Tensor.
+ */
+struct TensorImpl {
+    Shape shape;
+    std::vector<Scalar> data;
+    /** Gradient buffer; empty until ensureGrad() allocates it. */
+    std::vector<Scalar> grad;
+    bool requiresGrad = false;
+    /** Parents in the autograd DAG; kept alive for backward. */
+    std::vector<std::shared_ptr<TensorImpl>> parents;
+    /**
+     * Backward closure. Receives this node so the closure needs no
+     * self-capture (which would leak via a reference cycle).
+     */
+    std::function<void(TensorImpl&)> backwardFn;
+
+    /** Allocates (zero-filled) the grad buffer if absent. */
+    void ensureGrad();
+};
+
+/**
+ * Global autograd mode. NoGradGuard disables graph recording in a scope,
+ * used by evaluation loops (mirrors torch.no_grad()).
+ */
+class GradMode {
+  public:
+    /** True if operations should record the autograd graph. */
+    static bool enabled();
+
+    /** Sets graph recording on or off. */
+    static void setEnabled(bool enabled);
+};
+
+/** RAII scope that disables autograd recording. */
+class NoGradGuard {
+  public:
+    NoGradGuard();
+    ~NoGradGuard();
+
+    NoGradGuard(const NoGradGuard&) = delete;
+    NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+  private:
+    bool previous_;
+};
+
+/** Shared handle to a tensor node; cheap to copy. */
+class Tensor {
+  public:
+    /** Constructs an undefined (null) tensor. */
+    Tensor() = default;
+
+    /** Wraps an existing impl (op-author API). */
+    explicit Tensor(std::shared_ptr<TensorImpl> impl)
+        : impl_(std::move(impl)) {}
+
+    /** Zero-filled tensor of the given shape. */
+    static Tensor zeros(const Shape& shape, bool requires_grad = false);
+
+    /** Constant-filled tensor. */
+    static Tensor full(const Shape& shape, Scalar value,
+                       bool requires_grad = false);
+
+    /** Tensor from an explicit value vector (size must match shape). */
+    static Tensor fromVector(const Shape& shape, std::vector<Scalar> values,
+                             bool requires_grad = false);
+
+    /** Scalar (rank-0) tensor. */
+    static Tensor scalar(Scalar value, bool requires_grad = false);
+
+    /** Gaussian-initialized tensor with the given standard deviation. */
+    static Tensor randn(const Shape& shape, Rng& rng, Scalar stddev = 1.0,
+                        bool requires_grad = false);
+
+    /** Uniform(-bound, bound)-initialized tensor. */
+    static Tensor randu(const Shape& shape, Rng& rng, Scalar bound,
+                        bool requires_grad = false);
+
+    /** True if this handle points at a node. */
+    bool defined() const { return impl_ != nullptr; }
+
+    /** Shape accessor; fatal if undefined. */
+    const Shape& shape() const;
+
+    /** Rank (number of dimensions). */
+    std::size_t dim() const { return shape().size(); }
+
+    /** Size of dimension @p i; fatal if out of range. */
+    std::size_t size(std::size_t i) const;
+
+    /** Total number of elements. */
+    std::size_t numel() const;
+
+    /** Mutable flat data access. */
+    std::vector<Scalar>& data();
+
+    /** Const flat data access. */
+    const std::vector<Scalar>& data() const;
+
+    /**
+     * Gradient access (allocates if needed). Const because Tensor is a
+     * shared handle: mutating the gradient does not re-seat the handle.
+     */
+    std::vector<Scalar>& grad() const;
+
+    /** True if a gradient buffer has been allocated. */
+    bool hasGrad() const;
+
+    /** True if this tensor participates in autograd. */
+    bool requiresGrad() const;
+
+    /** Marks the tensor as a leaf that accumulates gradient. */
+    Tensor& setRequiresGrad(bool requires_grad);
+
+    /** Element accessor by multi-index (debug/test convenience; slow). */
+    Scalar at(std::initializer_list<std::size_t> index) const;
+
+    /** Scalar value of a rank-0 or single-element tensor. */
+    Scalar item() const;
+
+    /** Zeroes the gradient buffer if allocated. */
+    void zeroGrad();
+
+    /**
+     * Runs reverse-mode differentiation from this scalar tensor, seeding
+     * d(self)/d(self) = 1. Fatal if not scalar or not part of a graph.
+     */
+    void backward();
+
+    /** Returns a copy that shares storage but is detached from the graph. */
+    Tensor detach() const;
+
+    /** Returns a deep copy (fresh storage, no graph). */
+    Tensor clone() const;
+
+    /** Underlying node (op-author API). */
+    const std::shared_ptr<TensorImpl>& impl() const { return impl_; }
+
+  private:
+    std::shared_ptr<TensorImpl> impl_;
+};
+
+/**
+ * Creates a graph node: result tensor with given shape/parents/backward.
+ * requiresGrad is inferred from parents and the global GradMode; when
+ * false, parents and the closure are dropped (no graph is kept).
+ * Op-author API used by ops.cpp and custom layers.
+ */
+Tensor makeOpResult(Shape shape, std::vector<Scalar> values,
+                    const std::vector<Tensor>& parents,
+                    std::function<void(TensorImpl&)> backward_fn);
+
+}  // namespace ftsim
+
+#endif  // FTSIM_TENSOR_TENSOR_HPP

@@ -1,0 +1,50 @@
+#include "train/imbalance.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "data/batching.hpp"
+
+namespace ftsim {
+
+ExpertLoadProfile
+measureExpertLoad(MoeLlm& model, const Dataset& dataset,
+                  std::size_t batch_size, std::size_t limit)
+{
+    NoGradGuard guard;
+    const std::size_t count =
+        limit == 0 ? dataset.size() : std::min(limit, dataset.size());
+    if (count == 0)
+        fatal("measureExpertLoad: empty dataset");
+
+    model.resetRouterStats();
+    for (const Batch& batch :
+         sequentialBatches(dataset, batch_size, count)) {
+        (void)model.logits(batch.ids, batch.batchSize, batch.seqLen);
+    }
+
+    auto routers = model.routers();
+    if (routers.empty())
+        fatal("measureExpertLoad: model has no routers");
+    const std::size_t n_experts = routers.front()->numExperts();
+
+    ExpertLoadProfile profile;
+    profile.numQueries = count;
+    profile.avgTokensPerQuery.assign(n_experts, 0.0);
+    for (Router* r : routers) {
+        const auto& counts = r->cumulativeCounts();
+        for (std::size_t e = 0; e < n_experts; ++e)
+            profile.avgTokensPerQuery[e] +=
+                static_cast<double>(counts[e]);
+    }
+    // Average over layers, normalize per query.
+    const double denom = static_cast<double>(routers.size()) *
+                         static_cast<double>(count);
+    for (double& v : profile.avgTokensPerQuery)
+        v /= denom;
+    profile.varianceAcrossExperts = variance(profile.avgTokensPerQuery);
+    return profile;
+}
+
+}  // namespace ftsim

@@ -1,0 +1,43 @@
+#ifndef FTSIM_TRAIN_IMBALANCE_HPP
+#define FTSIM_TRAIN_IMBALANCE_HPP
+
+/**
+ * @file
+ * Expert load-imbalance measurement (Fig. 11 of the paper).
+ *
+ * Runs a dataset through the model in eval mode and reads the routers'
+ * token-assignment counters, reporting the paper's metric: average number
+ * of tokens per query routed to each expert, and the variance of that
+ * distribution across experts.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "models/model.hpp"
+
+namespace ftsim {
+
+/** Per-expert load profile over a dataset. */
+struct ExpertLoadProfile {
+    /** Avg tokens/query routed to each expert (layer-averaged). */
+    std::vector<double> avgTokensPerQuery;
+    /** Variance of avgTokensPerQuery across experts (Fig. 11 "var"). */
+    double varianceAcrossExperts = 0.0;
+    /** Queries measured. */
+    std::size_t numQueries = 0;
+};
+
+/**
+ * Measures routing load over the first @p limit queries (0 = all) using
+ * the given batch size. Router statistics are reset before and collected
+ * after; the model is unchanged.
+ */
+ExpertLoadProfile measureExpertLoad(MoeLlm& model, const Dataset& dataset,
+                                    std::size_t batch_size,
+                                    std::size_t limit = 0);
+
+}  // namespace ftsim
+
+#endif  // FTSIM_TRAIN_IMBALANCE_HPP

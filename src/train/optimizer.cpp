@@ -1,0 +1,144 @@
+#include "train/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace ftsim {
+
+Optimizer::Optimizer(std::vector<Tensor> params, Scalar lr)
+    : params_(std::move(params)), lr_(lr)
+{
+    if (params_.empty())
+        fatal("Optimizer: no parameters to optimize");
+    for (const auto& p : params_) {
+        if (!p.defined())
+            fatal("Optimizer: undefined parameter");
+        if (!p.requiresGrad())
+            fatal("Optimizer: parameter does not require grad (frozen?)");
+    }
+}
+
+void
+Optimizer::zeroGrad()
+{
+    for (auto& p : params_)
+        p.zeroGrad();
+}
+
+std::size_t
+Optimizer::numElements() const
+{
+    std::size_t n = 0;
+    for (const auto& p : params_)
+        n += p.numel();
+    return n;
+}
+
+Sgd::Sgd(std::vector<Tensor> params, Scalar lr, Scalar momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum)
+{
+    if (momentum_ != 0.0) {
+        velocity_.reserve(params_.size());
+        for (const auto& p : params_)
+            velocity_.emplace_back(p.numel(), 0.0);
+    }
+}
+
+void
+Sgd::step()
+{
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Tensor& p = params_[i];
+        if (!p.hasGrad())
+            continue;  // No gradient reached this parameter this step.
+        auto& data = p.data();
+        auto& grad = p.grad();
+        if (momentum_ == 0.0) {
+            for (std::size_t j = 0; j < data.size(); ++j)
+                data[j] -= lr_ * grad[j];
+        } else {
+            auto& vel = velocity_[i];
+            for (std::size_t j = 0; j < data.size(); ++j) {
+                vel[j] = momentum_ * vel[j] + grad[j];
+                data[j] -= lr_ * vel[j];
+            }
+        }
+    }
+}
+
+AdamW::AdamW(std::vector<Tensor> params, Scalar lr, Scalar beta1,
+             Scalar beta2, Scalar eps, Scalar weight_decay)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weightDecay_(weight_decay)
+{
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const auto& p : params_) {
+        m_.emplace_back(p.numel(), 0.0);
+        v_.emplace_back(p.numel(), 0.0);
+    }
+}
+
+void
+AdamW::step()
+{
+    ++t_;
+    const Scalar bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    const Scalar bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Tensor& p = params_[i];
+        if (!p.hasGrad())
+            continue;
+        auto& data = p.data();
+        auto& grad = p.grad();
+        auto& m = m_[i];
+        auto& v = v_[i];
+        for (std::size_t j = 0; j < data.size(); ++j) {
+            m[j] = beta1_ * m[j] + (1.0 - beta1_) * grad[j];
+            v[j] = beta2_ * v[j] + (1.0 - beta2_) * grad[j] * grad[j];
+            const Scalar m_hat = m[j] / bc1;
+            const Scalar v_hat = v[j] / bc2;
+            // Decoupled weight decay (the "W" in AdamW).
+            data[j] -= lr_ * weightDecay_ * data[j];
+            data[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+        }
+    }
+}
+
+LrSchedule::LrSchedule(Scalar base_lr, std::size_t warmup_steps,
+                       std::size_t total_steps, Scalar floor_fraction)
+    : baseLr_(base_lr),
+      warmupSteps_(warmup_steps),
+      totalSteps_(total_steps),
+      floor_(floor_fraction)
+{
+    if (base_lr <= 0.0)
+        fatal("LrSchedule: non-positive base lr");
+    if (floor_fraction < 0.0 || floor_fraction > 1.0)
+        fatal("LrSchedule: floor fraction out of [0, 1]");
+    if (total_steps == 0)
+        fatal("LrSchedule: zero total steps");
+}
+
+Scalar
+LrSchedule::lrAt(std::size_t step) const
+{
+    if (warmupSteps_ > 0 && step < warmupSteps_) {
+        return baseLr_ * static_cast<Scalar>(step + 1) /
+               static_cast<Scalar>(warmupSteps_);
+    }
+    if (step >= totalSteps_)
+        return baseLr_ * floor_;
+    const Scalar progress =
+        static_cast<Scalar>(step - warmupSteps_) /
+        static_cast<Scalar>(
+            std::max<std::size_t>(1, totalSteps_ - warmupSteps_));
+    const Scalar cosine = 0.5 * (1.0 + std::cos(M_PI * progress));
+    return baseLr_ * (floor_ + (1.0 - floor_) * cosine);
+}
+
+}  // namespace ftsim

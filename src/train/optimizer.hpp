@@ -1,0 +1,109 @@
+#ifndef FTSIM_TRAIN_OPTIMIZER_HPP
+#define FTSIM_TRAIN_OPTIMIZER_HPP
+
+/**
+ * @file
+ * Optimizers for the training substrate.
+ *
+ * AdamW is what the paper's LLaMA-Factory setup uses (lr 5e-5); SGD is
+ * kept as a baseline and for tests. The optimizer's per-parameter state
+ * size is also what the GPU simulator's memory model charges for
+ * optimizer state, so the state layout here documents that accounting.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ftsim {
+
+/** Base class: owns the parameter list and the update hook. */
+class Optimizer {
+  public:
+    virtual ~Optimizer() = default;
+
+    /** Applies one update from the accumulated gradients. */
+    virtual void step() = 0;
+
+    /** Zeroes every parameter gradient. */
+    void zeroGrad();
+
+    /** Sets the learning rate used by subsequent steps. */
+    void setLearningRate(Scalar lr) { lr_ = lr; }
+
+    /** Current learning rate. */
+    Scalar learningRate() const { return lr_; }
+
+    /** Number of parameter tensors under management. */
+    std::size_t numParams() const { return params_.size(); }
+
+    /** Total scalar elements under management. */
+    std::size_t numElements() const;
+
+  protected:
+    Optimizer(std::vector<Tensor> params, Scalar lr);
+
+    std::vector<Tensor> params_;
+    Scalar lr_;
+};
+
+/** Plain SGD with optional momentum. */
+class Sgd : public Optimizer {
+  public:
+    Sgd(std::vector<Tensor> params, Scalar lr, Scalar momentum = 0.0);
+
+    void step() override;
+
+  private:
+    Scalar momentum_;
+    std::vector<std::vector<Scalar>> velocity_;
+};
+
+/** AdamW (decoupled weight decay), the paper's fine-tuning optimizer. */
+class AdamW : public Optimizer {
+  public:
+    AdamW(std::vector<Tensor> params, Scalar lr = 5e-5,
+          Scalar beta1 = 0.9, Scalar beta2 = 0.999, Scalar eps = 1e-8,
+          Scalar weight_decay = 0.0);
+
+    void step() override;
+
+    /** Steps taken so far (bias-correction counter). */
+    std::size_t stepCount() const { return t_; }
+
+  private:
+    Scalar beta1_;
+    Scalar beta2_;
+    Scalar eps_;
+    Scalar weightDecay_;
+    std::size_t t_ = 0;
+    std::vector<std::vector<Scalar>> m_;
+    std::vector<std::vector<Scalar>> v_;
+};
+
+/** Learning-rate schedule: linear warmup then cosine decay to a floor. */
+class LrSchedule {
+  public:
+    /**
+     * @param base_lr peak learning rate.
+     * @param warmup_steps linear ramp length (0 = none).
+     * @param total_steps horizon of the cosine decay.
+     * @param floor_fraction final lr as a fraction of base (e.g. 0.1).
+     */
+    LrSchedule(Scalar base_lr, std::size_t warmup_steps,
+               std::size_t total_steps, Scalar floor_fraction = 0.0);
+
+    /** Learning rate at (0-based) step @p step. */
+    Scalar lrAt(std::size_t step) const;
+
+  private:
+    Scalar baseLr_;
+    std::size_t warmupSteps_;
+    std::size_t totalSteps_;
+    Scalar floor_;
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_TRAIN_OPTIMIZER_HPP

@@ -1,0 +1,97 @@
+#include "train/pretrain.hpp"
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "data/batching.hpp"
+#include "models/convert.hpp"
+#include "train/optimizer.hpp"
+
+namespace ftsim {
+
+namespace {
+
+/**
+ * Converts answer-only labels into full-sequence LM labels; with
+ * @p exclude_answers the original answer spans stay unlabeled.
+ */
+void
+relabelForLm(Batch& batch, bool exclude_answers)
+{
+    for (std::size_t r = 0; r < batch.batchSize; ++r) {
+        for (std::size_t t = 0; t + 1 < batch.seqLen; ++t) {
+            const std::size_t i = r * batch.seqLen + t;
+            const bool was_answer = batch.targets[i] != kIgnoreIndex;
+            if (exclude_answers && was_answer) {
+                // Keep the task mapping unsupervised during LM
+                // pre-training.
+                batch.targets[i] = kIgnoreIndex;
+                continue;
+            }
+            const int next = batch.ids[i + 1];
+            batch.targets[i] =
+                (next == Vocab::kPad) ? kIgnoreIndex : next;
+        }
+        batch.targets[r * batch.seqLen + batch.seqLen - 1] = kIgnoreIndex;
+    }
+}
+
+}  // namespace
+
+PretrainResult
+pretrainLm(MoeLlm& model, const Dataset& corpus, std::size_t steps,
+           std::size_t batch_size, double lr, std::uint64_t seed,
+           bool exclude_answers)
+{
+    if (steps == 0)
+        fatal("pretrainLm: zero steps");
+    if (model.numTrainableParameters() == 0)
+        fatal("pretrainLm: model has no trainable parameters "
+              "(pass the dense twin, not the QLoRA model)");
+
+    AdamW opt(model.trainableParameters(), lr);
+    Rng rng(seed);
+
+    PretrainResult result;
+    std::vector<Batch> batches;
+    std::size_t cursor = 0;
+    for (std::size_t step = 0; step < steps; ++step) {
+        if (cursor >= batches.size()) {
+            batches = epochBatches(corpus, batch_size, rng);
+            cursor = 0;
+        }
+        Batch batch = batches[cursor++];
+        relabelForLm(batch, exclude_answers);
+
+        Tensor loss = model.loss(batch.ids, batch.targets,
+                                 batch.batchSize, batch.seqLen,
+                                 kIgnoreIndex);
+        if (step == 0)
+            result.initialLoss = loss.item();
+        result.finalLoss = loss.item();
+        opt.zeroGrad();
+        loss.backward();
+        opt.step();
+        ++result.steps;
+    }
+    return result;
+}
+
+std::unique_ptr<MoeLlm>
+makePretrainedQlora(const MiniModelConfig& cfg, const Dataset& corpus,
+                    std::size_t pretrain_steps, std::size_t batch_size,
+                    double lr, bool exclude_answers)
+{
+    MiniModelConfig dense_cfg = cfg;
+    dense_cfg.useLora = false;
+    MoeLlm dense(dense_cfg);
+    pretrainLm(dense, corpus, pretrain_steps, batch_size, lr,
+               /*seed=*/7, exclude_answers);
+
+    MiniModelConfig qlora_cfg = cfg;
+    qlora_cfg.useLora = true;
+    auto qlora = std::make_unique<MoeLlm>(qlora_cfg);
+    initializeQloraFromDense(*qlora, dense);
+    return qlora;
+}
+
+}  // namespace ftsim

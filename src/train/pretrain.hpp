@@ -1,0 +1,62 @@
+#ifndef FTSIM_TRAIN_PRETRAIN_HPP
+#define FTSIM_TRAIN_PRETRAIN_HPP
+
+/**
+ * @file
+ * Language-model pre-training for the miniature models.
+ *
+ * The paper fine-tunes *pretrained* checkpoints. This helper stands in
+ * for that checkpoint: it trains a dense model with the plain next-token
+ * objective over every position of a corpus (not just answer spans), so
+ * the model enters fine-tuning with meaningful token representations —
+ * after which makePretrainedQlora() quantizes it into the QLoRA setup
+ * the paper uses for Mixtral.
+ */
+
+#include <cstdint>
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "models/model.hpp"
+
+namespace ftsim {
+
+/** Summary of a pre-training run. */
+struct PretrainResult {
+    double initialLoss = 0.0;
+    double finalLoss = 0.0;
+    std::size_t steps = 0;
+};
+
+/**
+ * Trains @p model with the full-sequence LM objective for @p steps
+ * AdamW steps over shuffled batches of @p corpus.
+ *
+ * @param exclude_answers when true (default), the ground-truth answer
+ *        spans carry no loss: the model learns token statistics and
+ *        representations but not the task mapping — so, like the paper's
+ *        pretrained checkpoints, it starts fine-tuning with low task
+ *        accuracy (§IV-A: "pre-trained models show low accuracy").
+ */
+PretrainResult pretrainLm(MoeLlm& model, const Dataset& corpus,
+                          std::size_t steps, std::size_t batch_size,
+                          double lr = 3e-3, std::uint64_t seed = 7,
+                          bool exclude_answers = true);
+
+/**
+ * The full paper flow for the QLoRA model: builds a dense twin of
+ * @p cfg, pre-trains it on @p corpus, then quantizes it into a QLoRA
+ * model (cfg.useLora is forced true on the result).
+ *
+ * @return the ready-to-fine-tune QLoRA model.
+ */
+std::unique_ptr<MoeLlm> makePretrainedQlora(const MiniModelConfig& cfg,
+                                            const Dataset& corpus,
+                                            std::size_t pretrain_steps,
+                                            std::size_t batch_size,
+                                            double lr = 3e-3,
+                                            bool exclude_answers = true);
+
+}  // namespace ftsim
+
+#endif  // FTSIM_TRAIN_PRETRAIN_HPP

@@ -1,0 +1,151 @@
+#include "train/trainer.hpp"
+
+#include <chrono>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+void
+StageTimes::operator+=(const StageTimes& other)
+{
+    forward += other.forward;
+    backward += other.backward;
+    optimizer += other.optimizer;
+}
+
+Trainer::Trainer(MoeLlm& model, Optimizer& optimizer,
+                 const TrainerOptions& options)
+    : model_(model),
+      optimizer_(optimizer),
+      options_(options),
+      rng_(options.seed)
+{
+    if (options_.batchSize == 0)
+        fatal("Trainer: zero batch size");
+}
+
+StepStats
+Trainer::trainStep(const Batch& batch)
+{
+    StepStats stats;
+    stats.numQueries = batch.numQueries;
+    stats.numTokens = batch.batchSize * batch.seqLen;
+
+    // Forward stage.
+    auto t0 = Clock::now();
+    Tensor loss = model_.loss(batch.ids, batch.targets, batch.batchSize,
+                              batch.seqLen, kIgnoreIndex);
+    stats.times.forward = secondsSince(t0);
+    stats.loss = loss.item();
+
+    // Backward stage.
+    t0 = Clock::now();
+    optimizer_.zeroGrad();
+    loss.backward();
+    stats.times.backward = secondsSince(t0);
+
+    // Optimizer stage.
+    t0 = Clock::now();
+    optimizer_.step();
+    stats.times.optimizer = secondsSince(t0);
+
+    return stats;
+}
+
+EpochStats
+Trainer::trainEpoch(const Dataset& dataset)
+{
+    EpochStats epoch;
+    auto batches = epochBatches(dataset, options_.batchSize, rng_);
+    if (options_.maxBatchesPerEpoch > 0 &&
+        batches.size() > options_.maxBatchesPerEpoch)
+        batches.resize(options_.maxBatchesPerEpoch);
+
+    double loss_sum = 0.0;
+    for (const Batch& batch : batches) {
+        StepStats step = trainStep(batch);
+        loss_sum += step.loss;
+        epoch.times += step.times;
+        epoch.numQueries += step.numQueries;
+        ++epoch.steps;
+    }
+    if (epoch.steps > 0)
+        epoch.meanLoss = loss_sum / static_cast<double>(epoch.steps);
+    const double total = epoch.times.total();
+    if (total > 0.0)
+        epoch.queriesPerSecond =
+            static_cast<double>(epoch.numQueries) / total;
+    return epoch;
+}
+
+std::vector<EpochStats>
+Trainer::train(const Dataset& dataset, std::size_t epochs)
+{
+    std::vector<EpochStats> out;
+    out.reserve(epochs);
+    for (std::size_t e = 0; e < epochs; ++e)
+        out.push_back(trainEpoch(dataset));
+    return out;
+}
+
+EvalResult
+evaluateExactMatch(MoeLlm& model, const Dataset& dataset,
+                   std::size_t batch_size, std::size_t limit)
+{
+    NoGradGuard guard;
+    EvalResult result;
+    const std::size_t count =
+        limit == 0 ? dataset.size() : std::min(limit, dataset.size());
+    auto batches = sequentialBatches(dataset, batch_size, count);
+
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+    for (const Batch& batch : batches) {
+        Tensor logits =
+            model.logits(batch.ids, batch.batchSize, batch.seqLen);
+        Tensor loss = crossEntropy(logits, batch.targets, kIgnoreIndex);
+        loss_sum += loss.item() * static_cast<double>(batch.numQueries);
+        std::vector<int> preds = argmaxLastDim(logits);
+        for (std::size_t b = 0; b < batch.batchSize; ++b) {
+            bool all_match = true;
+            bool any_label = false;
+            for (std::size_t t = 0; t < batch.seqLen; ++t) {
+                const std::size_t i = b * batch.seqLen + t;
+                if (batch.targets[i] == kIgnoreIndex)
+                    continue;
+                any_label = true;
+                if (preds[i] != batch.targets[i]) {
+                    all_match = false;
+                    break;
+                }
+            }
+            if (any_label && all_match)
+                ++correct;
+        }
+        result.numQueries += batch.numQueries;
+    }
+    if (result.numQueries > 0) {
+        result.exactMatch = static_cast<double>(correct) /
+                            static_cast<double>(result.numQueries);
+        result.meanLoss =
+            loss_sum / static_cast<double>(result.numQueries);
+    }
+    return result;
+}
+
+}  // namespace ftsim

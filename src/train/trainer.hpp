@@ -1,0 +1,117 @@
+#ifndef FTSIM_TRAIN_TRAINER_HPP
+#define FTSIM_TRAIN_TRAINER_HPP
+
+/**
+ * @file
+ * Fine-tuning driver with the paper's three-stage timing breakdown.
+ *
+ * Each training step is measured as forward / backward / optimizer, the
+ * same decomposition as Fig. 4. On this CPU substrate the absolute times
+ * are of course not the A40's, but the *structural* effects reproduce:
+ * the optimizer stage is proportional to trainable parameters (large for
+ * full fine-tuning, negligible for LoRA), and forward/backward grow with
+ * batch size and the number of active experts.
+ */
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "data/batching.hpp"
+#include "data/dataset.hpp"
+#include "models/model.hpp"
+#include "train/optimizer.hpp"
+
+namespace ftsim {
+
+/** Wall-clock seconds spent in each stage of one or more steps. */
+struct StageTimes {
+    double forward = 0.0;
+    double backward = 0.0;
+    double optimizer = 0.0;
+
+    /** Total across stages. */
+    double total() const { return forward + backward + optimizer; }
+
+    /** Accumulates another measurement. */
+    void operator+=(const StageTimes& other);
+};
+
+/** Result of one optimization step. */
+struct StepStats {
+    double loss = 0.0;
+    StageTimes times;
+    std::size_t numQueries = 0;
+    std::size_t numTokens = 0;
+};
+
+/** Result of one epoch. */
+struct EpochStats {
+    double meanLoss = 0.0;
+    StageTimes times;
+    std::size_t steps = 0;
+    std::size_t numQueries = 0;
+    /** End-to-end throughput in the paper's queries/second metric. */
+    double queriesPerSecond = 0.0;
+};
+
+/** Options controlling the training loop. */
+struct TrainerOptions {
+    std::size_t batchSize = 8;
+    /** Cap on batches per epoch (0 = whole dataset). */
+    std::size_t maxBatchesPerEpoch = 0;
+    /** Shuffling / sampling seed. */
+    std::uint64_t seed = 99;
+};
+
+/** Supervised fine-tuning driver. */
+class Trainer {
+  public:
+    /**
+     * @param model the miniature MoE LLM (not owned).
+     * @param optimizer optimizer over the model's trainable params
+     *        (not owned).
+     */
+    Trainer(MoeLlm& model, Optimizer& optimizer,
+            const TrainerOptions& options);
+
+    /** Runs a single step on a pre-collated batch. */
+    StepStats trainStep(const Batch& batch);
+
+    /** Runs one epoch over the dataset (shuffled). */
+    EpochStats trainEpoch(const Dataset& dataset);
+
+    /** Runs @p epochs epochs; returns per-epoch stats. */
+    std::vector<EpochStats> train(const Dataset& dataset,
+                                  std::size_t epochs);
+
+    /** The options in effect. */
+    const TrainerOptions& options() const { return options_; }
+
+  private:
+    MoeLlm& model_;
+    Optimizer& optimizer_;
+    TrainerOptions options_;
+    Rng rng_;
+};
+
+/** Exact-match evaluation result (the paper's accuracy metric). */
+struct EvalResult {
+    /** Fraction of queries whose full answer is predicted exactly. */
+    double exactMatch = 0.0;
+    std::size_t numQueries = 0;
+    double meanLoss = 0.0;
+};
+
+/**
+ * Teacher-forced exact-match accuracy: a query counts as correct when
+ * the argmax prediction at every answer position matches the label.
+ * Runs under NoGradGuard.
+ *
+ * @param limit maximum queries to evaluate (0 = all).
+ */
+EvalResult evaluateExactMatch(MoeLlm& model, const Dataset& dataset,
+                              std::size_t batch_size, std::size_t limit = 0);
+
+}  // namespace ftsim
+
+#endif  // FTSIM_TRAIN_TRAINER_HPP

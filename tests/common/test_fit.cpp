@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for the curve fitters (common/fit) — the machinery behind
+ * the paper's Eq. 1 / Eq. 2 coefficient fits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/fit.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(SolveLinearSystem, Identity)
+{
+    auto x = solveLinearSystem({{1.0, 0.0}, {0.0, 1.0}}, {3.0, 4.0});
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 4.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, RequiresPivoting)
+{
+    // Leading zero forces a row swap.
+    auto x = solveLinearSystem({{0.0, 2.0}, {3.0, 1.0}}, {4.0, 5.0});
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularIsFatal)
+{
+    EXPECT_THROW(
+        solveLinearSystem({{1.0, 2.0}, {2.0, 4.0}}, {1.0, 2.0}),
+        FatalError);
+}
+
+TEST(LinearLeastSquares, RecoversLine)
+{
+    // y = 2x + 3 with design rows (x, 1).
+    std::vector<std::vector<double>> rows;
+    std::vector<double> y;
+    for (double x = 0.0; x < 10.0; x += 1.0) {
+        rows.push_back({x, 1.0});
+        y.push_back(2.0 * x + 3.0);
+    }
+    auto beta = linearLeastSquares(rows, y);
+    EXPECT_NEAR(beta[0], 2.0, 1e-10);
+    EXPECT_NEAR(beta[1], 3.0, 1e-10);
+}
+
+TEST(LinearLeastSquares, OverdeterminedNoisy)
+{
+    Rng rng(5);
+    std::vector<std::vector<double>> rows;
+    std::vector<double> y;
+    for (int i = 0; i < 200; ++i) {
+        double x = rng.uniform(0.0, 10.0);
+        rows.push_back({x, 1.0});
+        y.push_back(-1.5 * x + 7.0 + rng.normal(0.0, 0.01));
+    }
+    auto beta = linearLeastSquares(rows, y);
+    EXPECT_NEAR(beta[0], -1.5, 0.01);
+    EXPECT_NEAR(beta[1], 7.0, 0.01);
+}
+
+TEST(FitLeastSquares, RecoversLogModel)
+{
+    // The exact functional family of the paper's Eq. 2:
+    // y = c2 * log(b / s^c3) + c4.
+    const double c2 = 1.7, c3 = 0.6, c4 = 0.4;
+    ParametricFn fn = [](const std::vector<double>& x,
+                         const std::vector<double>& p) {
+        return p[0] * (std::log(x[0]) - p[1] * std::log(x[1])) + p[2];
+    };
+    std::vector<Observation> data;
+    for (double b = 1.0; b <= 16.0; b += 1.0) {
+        for (double s : {0.25, 1.0}) {
+            data.push_back(
+                {{b, s}, c2 * (std::log(b) - c3 * std::log(s)) + c4});
+        }
+    }
+    FitResult result = fitLeastSquares(fn, data, {1.0, 0.3, 0.0});
+    EXPECT_LT(result.rmse, 1e-6);
+    EXPECT_NEAR(result.params[0], c2, 1e-4);
+    EXPECT_NEAR(result.params[1], c3, 1e-4);
+    EXPECT_NEAR(result.params[2], c4, 1e-4);
+}
+
+TEST(FitLeastSquares, RecoversExponential)
+{
+    ParametricFn fn = [](const std::vector<double>& x,
+                         const std::vector<double>& p) {
+        return p[0] * std::exp(p[1] * x[0]);
+    };
+    std::vector<Observation> data;
+    for (double x = 0.0; x <= 2.0; x += 0.1)
+        data.push_back({{x}, 3.0 * std::exp(-1.2 * x)});
+    FitResult result = fitLeastSquares(fn, data, {1.0, -0.5});
+    EXPECT_NEAR(result.params[0], 3.0, 1e-5);
+    EXPECT_NEAR(result.params[1], -1.2, 1e-5);
+    EXPECT_TRUE(result.converged);
+}
+
+TEST(FitLeastSquares, RobustToNoise)
+{
+    Rng rng(9);
+    ParametricFn fn = [](const std::vector<double>& x,
+                         const std::vector<double>& p) {
+        return p[0] * std::log(x[0]) + p[1];
+    };
+    std::vector<Observation> data;
+    for (double b = 1.0; b <= 32.0; b += 1.0)
+        data.push_back(
+            {{b}, 2.0 * std::log(b) + 1.0 + rng.normal(0.0, 0.05)});
+    FitResult result = fitLeastSquares(fn, data, {1.0, 0.0});
+    EXPECT_NEAR(result.params[0], 2.0, 0.1);
+    EXPECT_NEAR(result.params[1], 1.0, 0.1);
+    EXPECT_LT(result.rmse, 0.1);
+}
+
+TEST(FitLeastSquares, NonFiniteRegionsAreSurvivable)
+{
+    // log(x - p) is undefined for p >= min(x); the solver must not step
+    // into the invalid region and stay there.
+    ParametricFn fn = [](const std::vector<double>& x,
+                         const std::vector<double>& p) {
+        return std::log(x[0] - p[0]);
+    };
+    std::vector<Observation> data;
+    for (double x = 2.0; x <= 6.0; x += 0.5)
+        data.push_back({{x}, std::log(x - 1.0)});
+    FitResult result = fitLeastSquares(fn, data, {0.0});
+    EXPECT_NEAR(result.params[0], 1.0, 1e-3);
+}
+
+TEST(FitLeastSquares, EmptyDataIsFatal)
+{
+    ParametricFn fn = [](const std::vector<double>&,
+                         const std::vector<double>& p) { return p[0]; };
+    EXPECT_THROW(fitLeastSquares(fn, {}, {1.0}), FatalError);
+}
+
+TEST(FitGridSearch, RecoversFlooredModel)
+{
+    // floor(c0 * x) with c0 = 0.73 — piecewise-constant objective, the
+    // Eq. 1 regime where gradients are useless.
+    ParametricFn fn = [](const std::vector<double>& x,
+                         const std::vector<double>& p) {
+        return std::floor(p[0] * x[0]);
+    };
+    std::vector<Observation> data;
+    for (double x = 1.0; x <= 40.0; x += 1.0)
+        data.push_back({{x}, std::floor(0.73 * x)});
+    FitResult result = fitGridSearch(fn, data, {0.5}, {0.5});
+    EXPECT_DOUBLE_EQ(result.rmse, 0.0);
+    EXPECT_NEAR(result.params[0], 0.73, 0.02);
+}
+
+TEST(FitGridSearch, TwoParameterRecovery)
+{
+    ParametricFn fn = [](const std::vector<double>& x,
+                         const std::vector<double>& p) {
+        return p[0] * x[0] + p[1];
+    };
+    std::vector<Observation> data;
+    for (double x = 0.0; x <= 10.0; x += 1.0)
+        data.push_back({{x}, 1.4 * x - 2.0});
+    FitResult result = fitGridSearch(fn, data, {1.0, 0.0}, {1.0, 3.0});
+    EXPECT_NEAR(result.params[0], 1.4, 0.05);
+    EXPECT_NEAR(result.params[1], -2.0, 0.2);
+}
+
+TEST(FitGridSearch, MismatchedRadiiAreFatal)
+{
+    ParametricFn fn = [](const std::vector<double>&,
+                         const std::vector<double>& p) { return p[0]; };
+    std::vector<Observation> data = {{{1.0}, 1.0}};
+    EXPECT_THROW(fitGridSearch(fn, data, {1.0, 2.0}, {1.0}), FatalError);
+}
+
+}  // namespace
+}  // namespace ftsim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the histogram (common/histogram).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(Histogram, BinsAreCorrect)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.numBins(), 5u);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binHi(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(2), 5.0);
+}
+
+TEST(Histogram, CountsSamplesIntoRightBins)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(1.0);   // bin 0
+    h.add(3.5);   // bin 1
+    h.add(9.99);  // bin 4
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0);
+    h.add(100.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+}
+
+TEST(Histogram, BoundaryGoesToUpperBin)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(2.0);  // Exactly on the edge between bins 0 and 1.
+    EXPECT_EQ(h.binCount(1), 1u);
+}
+
+TEST(Histogram, ModeBinTracksPeak)
+{
+    Histogram h(0.0, 10.0, 10);
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        h.add(rng.normal(5.0, 0.5));
+    // The peak must be at/near the center bins.
+    EXPECT_GE(h.modeBin(), 3u);
+    EXPECT_LE(h.modeBin(), 6u);
+}
+
+TEST(Histogram, RenderContainsAllBins)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(0.5);
+    h.add(0.6);
+    h.add(3.0);
+    std::string render = h.render(20);
+    EXPECT_EQ(std::count(render.begin(), render.end(), '\n'), 4);
+    EXPECT_NE(render.find('#'), std::string::npos);
+}
+
+TEST(Histogram, InvalidConstructionIsFatal)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), FatalError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), FatalError);
+}
+
+TEST(Histogram, AddAll)
+{
+    Histogram h(0.0, 10.0, 2);
+    h.addAll({1.0, 2.0, 7.0});
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+}
+
+}  // namespace
+}  // namespace ftsim

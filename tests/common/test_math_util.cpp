@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for numeric helpers (common/math_util).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(MathUtil, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4);
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(ceilDiv(0, 3), 0);
+    EXPECT_EQ(ceilDiv(1, 128), 1);
+}
+
+TEST(MathUtil, RoundUp)
+{
+    EXPECT_EQ(roundUp(10, 8), 16);
+    EXPECT_EQ(roundUp(16, 8), 16);
+    EXPECT_EQ(roundUp(0, 8), 0);
+}
+
+TEST(MathUtil, Clamp)
+{
+    EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(MathUtil, ApproxEqual)
+{
+    EXPECT_TRUE(approxEqual(1.0, 1.0));
+    EXPECT_TRUE(approxEqual(1.0, 1.0 + 1e-13));
+    EXPECT_FALSE(approxEqual(1.0, 1.001));
+    EXPECT_TRUE(approxEqual(1e9, 1e9 * (1.0 + 1e-10)));
+    EXPECT_TRUE(approxEqual(0.0, 0.0));
+}
+
+TEST(MathUtil, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512.0), "512 B");
+    EXPECT_EQ(formatBytes(2048.0), "2.00 KiB");
+    EXPECT_EQ(formatBytes(3.5 * kMiB), "3.50 MiB");
+    EXPECT_EQ(formatBytes(23.35 * kGiB), "23.35 GiB");
+}
+
+TEST(MathUtil, FormatSeconds)
+{
+    EXPECT_EQ(formatSeconds(1.5), "1.500 s");
+    EXPECT_EQ(formatSeconds(0.0025), "2.500 ms");
+    EXPECT_EQ(formatSeconds(12e-6), "12.0 us");
+    EXPECT_EQ(formatSeconds(5e-9), "5 ns");
+}
+
+TEST(MathUtil, FormatCount)
+{
+    EXPECT_EQ(formatCount(46.7e9), "46.7 B");
+    EXPECT_EQ(formatCount(2.8e9), "2.8 B");
+    EXPECT_EQ(formatCount(15000.0), "15.0 K");
+    EXPECT_EQ(formatCount(42.0), "42");
+    EXPECT_EQ(formatCount(1.5e12), "1.5 T");
+}
+
+}  // namespace
+}  // namespace ftsim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the inverse-normal CDF and the padded-batch length model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/math_util.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(NormalQuantileTest, KnownValues)
+{
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(normalQuantile(0.8413447), 1.0, 1e-4);
+    EXPECT_NEAR(normalQuantile(0.9772499), 2.0, 1e-4);
+    EXPECT_NEAR(normalQuantile(0.1586553), -1.0, 1e-4);
+    EXPECT_NEAR(normalQuantile(0.975), 1.959964, 1e-5);
+}
+
+TEST(NormalQuantileTest, TailsAreFiniteAndMonotonic)
+{
+    double prev = -1e300;
+    for (double p : {1e-6, 1e-3, 0.1, 0.5, 0.9, 0.999, 1.0 - 1e-6}) {
+        double z = normalQuantile(p);
+        EXPECT_TRUE(std::isfinite(z));
+        EXPECT_GT(z, prev);
+        prev = z;
+    }
+}
+
+TEST(NormalQuantileTest, OutOfRangeIsFatal)
+{
+    EXPECT_THROW(normalQuantile(0.0), FatalError);
+    EXPECT_THROW(normalQuantile(1.0), FatalError);
+    EXPECT_THROW(normalQuantile(-0.5), FatalError);
+}
+
+TEST(BatchMaxFactorTest, SingleQueryIsUnamplified)
+{
+    EXPECT_DOUBLE_EQ(expectedBatchMaxFactor(1, 0.45), 1.0);
+    EXPECT_DOUBLE_EQ(expectedBatchMaxFactor(8, 0.0), 1.0);
+}
+
+TEST(BatchMaxFactorTest, GrowsWithBatchAndSigma)
+{
+    double prev = 1.0;
+    for (std::size_t b : {2u, 4u, 8u, 16u, 32u}) {
+        double f = expectedBatchMaxFactor(b, 0.45);
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+    EXPECT_GT(expectedBatchMaxFactor(8, 0.45),
+              expectedBatchMaxFactor(8, 0.20));
+}
+
+TEST(BatchMaxFactorTest, MatchesOrderStatisticsExpectation)
+{
+    // For sigma 0.45 and b = 8, Blom's z ~ 1.43 -> factor ~ e^0.64.
+    EXPECT_NEAR(expectedBatchMaxFactor(8, 0.45), std::exp(0.45 * 1.43),
+                0.02);
+}
+
+TEST(BatchMaxFactorTest, InvalidInputsAreFatal)
+{
+    EXPECT_THROW(expectedBatchMaxFactor(0, 0.45), FatalError);
+    EXPECT_THROW(expectedBatchMaxFactor(4, -0.1), FatalError);
+}
+
+}  // namespace
+}  // namespace ftsim

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG (common/rng).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i)
+        any_diff |= (a.nextU64() != b.nextU64());
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(5);
+    RunningStats rs;
+    for (int i = 0; i < 50000; ++i)
+        rs.add(rng.uniform());
+    EXPECT_NEAR(rs.mean(), 0.5, 0.01);
+    EXPECT_NEAR(rs.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(7);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        std::int64_t v = rng.uniformInt(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(11);
+    RunningStats rs;
+    for (int i = 0; i < 100000; ++i)
+        rs.add(rng.normal(2.0, 3.0));
+    EXPECT_NEAR(rs.mean(), 2.0, 0.05);
+    EXPECT_NEAR(rs.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, LogNormalMedian)
+{
+    // Median of logNormal(mu, sigma) is exp(mu).
+    Rng rng(13);
+    std::vector<double> xs;
+    for (int i = 0; i < 50000; ++i)
+        xs.push_back(rng.logNormal(std::log(79.0), 0.45));
+    EXPECT_NEAR(median(xs), 79.0, 2.0);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, CategoricalFollowsWeights)
+{
+    Rng rng(19);
+    std::vector<double> weights = {1.0, 3.0};
+    int count1 = 0;
+    for (int i = 0; i < 20000; ++i)
+        count1 += rng.categorical(weights) == 1 ? 1 : 0;
+    EXPECT_NEAR(count1 / 20000.0, 0.75, 0.02);
+}
+
+TEST(Rng, PermutationIsPermutation)
+{
+    Rng rng(23);
+    auto perm = rng.permutation(100);
+    ASSERT_EQ(perm.size(), 100u);
+    std::vector<std::size_t> sorted = perm;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, PermutationShuffles)
+{
+    Rng rng(29);
+    auto perm = rng.permutation(100);
+    std::size_t in_place = 0;
+    for (std::size_t i = 0; i < 100; ++i)
+        in_place += perm[i] == i ? 1 : 0;
+    EXPECT_LT(in_place, 20u);  // A fixed-point-heavy shuffle is broken.
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng parent(31);
+    Rng child = parent.split();
+    // The child stream must not mirror the parent stream.
+    bool differs = false;
+    for (int i = 0; i < 10; ++i)
+        differs |= (parent.nextU64() != child.nextU64());
+    EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace ftsim

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for summary statistics (common/stats).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats rs;
+    rs.add(42.0);
+    EXPECT_EQ(rs.count(), 1u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.min(), 42.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 42.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation)
+{
+    Rng rng(7);
+    RunningStats rs;
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.normal(3.0, 2.0);
+        xs.push_back(x);
+        rs.add(x);
+    }
+    EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+    EXPECT_NEAR(rs.variance(), variance(xs), 1e-9);
+    EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-9);
+    EXPECT_NEAR(rs.sum(), mean(xs) * 1000.0, 1e-6);
+}
+
+TEST(RunningStats, MergeEqualsSequential)
+{
+    Rng rng(11);
+    RunningStats a;
+    RunningStats b;
+    RunningStats all;
+    for (int i = 0; i < 500; ++i) {
+        double x = rng.uniform(-5.0, 5.0);
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a;
+    a.add(1.0);
+    a.add(2.0);
+    RunningStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_NEAR(empty.mean(), 1.5, 1e-12);
+}
+
+TEST(Median, OddAndEven)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+}
+
+TEST(Median, EmptyIsFatal)
+{
+    EXPECT_THROW(median({}), FatalError);
+}
+
+TEST(Percentile, KnownValues)
+{
+    std::vector<double> xs = {0.0, 1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 12.5), 0.5);  // Interpolated.
+}
+
+TEST(Percentile, OutOfRangeIsFatal)
+{
+    EXPECT_THROW(percentile({1.0}, -1.0), FatalError);
+    EXPECT_THROW(percentile({1.0}, 101.0), FatalError);
+}
+
+TEST(Rmse, PerfectPredictionIsZero)
+{
+    EXPECT_DOUBLE_EQ(rmse({1.0, 2.0}, {1.0, 2.0}), 0.0);
+}
+
+TEST(Rmse, KnownError)
+{
+    // Errors 3 and 4 -> RMSE sqrt((9 + 16) / 2).
+    EXPECT_NEAR(rmse({4.0, 0.0}, {1.0, 4.0}), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Rmse, MismatchedSizesAreFatal)
+{
+    EXPECT_THROW(rmse({1.0}, {1.0, 2.0}), FatalError);
+    EXPECT_THROW(rmse({}, {}), FatalError);
+}
+
+TEST(MeanAbsError, KnownError)
+{
+    EXPECT_NEAR(meanAbsError({4.0, 0.0}, {1.0, 4.0}), 3.5, 1e-12);
+}
+
+TEST(RSquared, PerfectFitIsOne)
+{
+    EXPECT_DOUBLE_EQ(rSquared({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}), 1.0);
+}
+
+TEST(RSquared, MeanPredictorIsZero)
+{
+    std::vector<double> actual = {1.0, 2.0, 3.0};
+    std::vector<double> pred = {2.0, 2.0, 2.0};
+    EXPECT_NEAR(rSquared(pred, actual), 0.0, 1e-12);
+}
+
+TEST(Pearson, PerfectCorrelation)
+{
+    EXPECT_NEAR(pearson({1.0, 2.0, 3.0}, {2.0, 4.0, 6.0}), 1.0, 1e-12);
+    EXPECT_NEAR(pearson({1.0, 2.0, 3.0}, {6.0, 4.0, 2.0}), -1.0, 1e-12);
+}
+
+TEST(Variance, ConstantVectorIsZero)
+{
+    EXPECT_DOUBLE_EQ(variance({2.0, 2.0, 2.0}), 0.0);
+}
+
+TEST(Variance, KnownValue)
+{
+    // Population variance of {1, 2, 3, 4} = 1.25.
+    EXPECT_DOUBLE_EQ(variance({1.0, 2.0, 3.0, 4.0}), 1.25);
+}
+
+}  // namespace
+}  // namespace ftsim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the table/CSV writers (common/table).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/table.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::string rendered = t.render();
+    EXPECT_NE(rendered.find("name"), std::string::npos);
+    EXPECT_NE(rendered.find("alpha"), std::string::npos);
+    // The header rule exists.
+    EXPECT_NE(rendered.find("----"), std::string::npos);
+}
+
+TEST(Table, ArityMismatchIsFatal)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+TEST(Table, CellAccess)
+{
+    Table t({"a"});
+    t.addRow({"x"});
+    EXPECT_EQ(t.cell(0, 0), "x");
+    EXPECT_THROW(t.cell(1, 0), FatalError);
+    EXPECT_THROW(t.cell(0, 1), FatalError);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes)
+{
+    Table t({"a", "b"});
+    t.addRow({"x,y", "he said \"hi\""});
+    std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+    EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvRowCount)
+{
+    Table t({"a"});
+    t.addRow({"1"});
+    t.addRow({"2"});
+    std::string csv = t.toCsv();
+    // Header + 2 rows = 3 newline-terminated lines.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(Table, FmtHelpers)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmt(static_cast<long long>(42)), "42");
+    EXPECT_EQ(Table::fmt(0.5, 0), "0");  // fixed, zero decimals -> "0"
+}
+
+TEST(Table, EmptyHeadersAreFatal)
+{
+    EXPECT_THROW(Table({}), FatalError);
+}
+
+TEST(BarChart, ScalesToWidth)
+{
+    auto chart = renderBarChart({{"big", 10.0}, {"small", 1.0}}, 10);
+    // The largest bar uses the full width.
+    EXPECT_NE(chart.find("##########"), std::string::npos);
+    // The small bar is visible but short.
+    EXPECT_NE(chart.find("|#"), std::string::npos);
+}
+
+TEST(BarChart, ZeroValuesProduceNoBar)
+{
+    auto chart = renderBarChart({{"zero", 0.0}}, 10);
+    EXPECT_EQ(chart.find("|#"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftsim

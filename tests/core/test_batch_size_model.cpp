@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for Eq. 1 (the maximum-batch-size model).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "core/batch_size_model.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(MaxBatchModelTest, PredictionFollowsEqOne)
+{
+    MaxBatchModel model(80.0, 0.9);
+    // floor(C0 * (48 - 23.35) / (128 * (0.1 + 0.9 * 0.25))).
+    const double expected =
+        std::floor(80.0 * (48.0 - 23.35) / (128.0 * 0.325));
+    EXPECT_EQ(model.predict(48.0, 23.35, 128.0, 0.25),
+              static_cast<int>(expected));
+}
+
+TEST(MaxBatchModelTest, MoreMemoryMoreBatch)
+{
+    MaxBatchModel model(80.0, 0.9);
+    int prev = 0;
+    for (double mem : {40.0, 48.0, 80.0, 100.0, 120.0}) {
+        int b = model.predict(mem, 23.35, 128.0, 0.25);
+        EXPECT_GE(b, prev);
+        prev = b;
+    }
+}
+
+TEST(MaxBatchModelTest, SparsityIncreasesBatch)
+{
+    MaxBatchModel model(80.0, 0.9);
+    EXPECT_GT(model.predict(48.0, 23.35, 128.0, 0.25),
+              model.predict(48.0, 23.35, 128.0, 1.0));
+}
+
+TEST(MaxBatchModelTest, LongerSequenceDecreasesBatch)
+{
+    MaxBatchModel model(80.0, 0.9);
+    EXPECT_LT(model.predict(48.0, 23.35, 512.0, 0.25),
+              model.predict(48.0, 23.35, 128.0, 0.25));
+}
+
+TEST(MaxBatchModelTest, OversizedModelGivesZero)
+{
+    MaxBatchModel model(80.0, 0.9);
+    EXPECT_EQ(model.predict(24.0, 30.0, 128.0, 0.25), 0);
+}
+
+TEST(MaxBatchModelTest, FitRecoversSyntheticCoefficients)
+{
+    // Generate ground truth from known (C0, C1) and refit.
+    MaxBatchModel truth(64.0, 0.85);
+    std::vector<BatchSizeObservation> data;
+    for (double mem : {40.0, 48.0, 80.0}) {
+        for (double seq : {79.0, 128.0, 174.0, 256.0}) {
+            for (double s : {0.25, 1.0}) {
+                BatchSizeObservation obs;
+                obs.gpuMemGB = mem;
+                obs.modelMemGB = 23.35;
+                obs.seqLen = seq;
+                obs.sparsity = s;
+                obs.maxBatch = truth.predict(mem, 23.35, seq, s);
+                data.push_back(obs);
+            }
+        }
+    }
+    MaxBatchModel fitted = MaxBatchModel::fit(data);
+    // Floored objective: exact coefficient recovery is not identifiable,
+    // but every prediction must match.
+    EXPECT_LT(fitted.rmse(data), 0.8);
+}
+
+TEST(MaxBatchModelTest, FitHandlesNoisyObservations)
+{
+    MaxBatchModel truth(80.0, 0.9);
+    std::vector<BatchSizeObservation> data;
+    int flip = 0;
+    for (double mem : {40.0, 48.0, 80.0, 100.0}) {
+        for (double seq : {79.0, 174.0}) {
+            for (double s : {0.25, 1.0}) {
+                BatchSizeObservation obs;
+                obs.gpuMemGB = mem;
+                obs.modelMemGB = 23.35;
+                obs.seqLen = seq;
+                obs.sparsity = s;
+                obs.maxBatch = truth.predict(mem, 23.35, seq, s) +
+                               ((flip++ % 5 == 0) ? 1 : 0);  // +1 noise.
+                data.push_back(obs);
+            }
+        }
+    }
+    MaxBatchModel fitted = MaxBatchModel::fit(data);
+    EXPECT_LT(fitted.rmse(data), 1.5);
+}
+
+TEST(MaxBatchModelTest, InvalidCoefficientsAreFatal)
+{
+    EXPECT_THROW(MaxBatchModel(0.0, 0.5), FatalError);
+    EXPECT_THROW(MaxBatchModel(10.0, 1.5), FatalError);
+    EXPECT_THROW(MaxBatchModel(10.0, -0.1), FatalError);
+}
+
+TEST(MaxBatchModelTest, EmptyFitIsFatal)
+{
+    EXPECT_THROW(MaxBatchModel::fit({}), FatalError);
+}
+
+TEST(MaxBatchModelTest, ZeroSeqIsFatal)
+{
+    MaxBatchModel model(80.0, 0.9);
+    EXPECT_THROW(model.predict(48.0, 23.35, 0.0, 0.25), FatalError);
+}
+
+}  // namespace
+}  // namespace ftsim

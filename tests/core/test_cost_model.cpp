@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the cloud cost estimator (§V-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "core/cost_model.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(CloudCatalogTest, CudoRatesMatchPaper)
+{
+    CloudCatalog catalog = CloudCatalog::cudoCompute();
+    EXPECT_DOUBLE_EQ(catalog.ratePerHour("A40"), 0.79);
+    EXPECT_DOUBLE_EQ(catalog.ratePerHour("A100-80GB"), 1.67);
+    EXPECT_DOUBLE_EQ(catalog.ratePerHour("H100"), 2.10);
+}
+
+TEST(CloudCatalogTest, UnknownGpuIsFatal)
+{
+    CloudCatalog catalog = CloudCatalog::cudoCompute();
+    EXPECT_FALSE(catalog.has("TPUv5"));
+    EXPECT_THROW(catalog.ratePerHour("TPUv5"), FatalError);
+}
+
+TEST(CloudCatalogTest, CheapestProviderWins)
+{
+    CloudCatalog catalog;
+    catalog.add({"ProviderA", "A40", 1.00});
+    catalog.add({"ProviderB", "A40", 0.60});
+    EXPECT_DOUBLE_EQ(catalog.ratePerHour("A40"), 0.60);
+}
+
+TEST(CloudCatalogTest, InvalidOfferingIsFatal)
+{
+    CloudCatalog catalog;
+    EXPECT_THROW(catalog.add({"X", "A40", 0.0}), FatalError);
+    EXPECT_THROW(catalog.add({"X", "", 1.0}), FatalError);
+}
+
+TEST(CostEstimatorTest, ClosedFormCost)
+{
+    CostEstimator est(CloudCatalog::cudoCompute());
+    // 1 qps, 3600 queries, 1 epoch -> exactly 1 GPU-hour on the A40.
+    CostEstimate c = est.estimate("A40", 1.0, 3600.0, 1.0);
+    EXPECT_NEAR(c.gpuHours, 1.0, 1e-12);
+    EXPECT_NEAR(c.totalDollars, 0.79, 1e-12);
+}
+
+TEST(CostEstimatorTest, PaperTableIvMagnitudes)
+{
+    // Plugging the paper's own throughputs into the cost formula must
+    // reproduce Table IV's dollar figures (14k queries, 10 epochs).
+    CostEstimator est(CloudCatalog::cudoCompute());
+    EXPECT_NEAR(est.estimate("A40", 1.01, 14000.0, 10.0).totalDollars,
+                32.7, 2.5);
+    EXPECT_NEAR(
+        est.estimate("A100-80GB", 2.74, 14000.0, 10.0).totalDollars,
+        25.4, 2.0);
+    EXPECT_NEAR(est.estimate("H100", 4.90, 14000.0, 10.0).totalDollars,
+                17.9, 2.0);
+}
+
+TEST(CostEstimatorTest, HigherThroughputIsCheaper)
+{
+    CostEstimator est(CloudCatalog::cudoCompute());
+    double slow = est.estimate("A40", 1.0, 1e5, 10.0).totalDollars;
+    double fast = est.estimate("A40", 2.0, 1e5, 10.0).totalDollars;
+    EXPECT_NEAR(fast, slow / 2.0, 1e-9);
+}
+
+TEST(CostEstimatorTest, CheapestSelectsByTotalNotRate)
+{
+    // The paper's headline: H100 is the *cheapest* end-to-end despite
+    // the highest hourly rate, because it is proportionally faster.
+    CostEstimator est(CloudCatalog::cudoCompute());
+    CostEstimate best = est.cheapest(
+        {{"A40", 1.01}, {"A100-80GB", 2.74}, {"H100", 4.90}}, 14000.0,
+        10.0);
+    EXPECT_EQ(best.gpuName, "H100");
+}
+
+TEST(CostEstimatorTest, InvalidInputsAreFatal)
+{
+    CostEstimator est(CloudCatalog::cudoCompute());
+    EXPECT_THROW(est.estimate("A40", 0.0, 1.0, 1.0), FatalError);
+    EXPECT_THROW(est.estimate("A40", 1.0, 0.0, 1.0), FatalError);
+    EXPECT_THROW(est.cheapest({}, 1.0, 1.0), FatalError);
+}
+
+}  // namespace
+}  // namespace ftsim

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the experiment pipeline: the Fig. 13-15 / Table IV recipes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include <algorithm>
+
+#include "core/pipeline.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(Pipeline, BatchSizeDataCoversSweep)
+{
+    auto data = ExperimentPipeline::collectBatchSizeData(
+        ModelSpec::mixtral8x7b(), GpuSpec::paperGpus(), {79, 174});
+    // 4 GPUs x 2 seqs x {dense, sparse}.
+    EXPECT_EQ(data.size(), 16u);
+    for (const auto& obs : data) {
+        EXPECT_GT(obs.gpuMemGB, 0.0);
+        EXPECT_GE(obs.maxBatch, 0);
+    }
+}
+
+TEST(Pipeline, BatchSizeFitIsAccurate)
+{
+    // Fig. 13: Eq. 1 fitted on the simulator's ground truth tracks it.
+    BatchSizeFit fit = ExperimentPipeline::fitBatchSize(
+        ModelSpec::mixtral8x7b(), GpuSpec::paperGpus(),
+        {79, 128, 148, 174});
+    EXPECT_LT(fit.rmse, 1.5);
+    EXPECT_GT(fit.model.c0(), 0.0);
+    EXPECT_GE(fit.model.c1(), 0.0);
+    EXPECT_LE(fit.model.c1(), 1.0);
+}
+
+TEST(Pipeline, BatchSizeProjectionGrowsWithCapacity)
+{
+    // The Fig. 13 projection to hypothetical 100 / 120 GB GPUs.
+    BatchSizeFit fit = ExperimentPipeline::fitBatchSize(
+        ModelSpec::mixtral8x7b(), GpuSpec::paperGpus(), {148});
+    const double model_mem =
+        ModelSpec::mixtral8x7b().weightMemoryBytes() / 1e9;
+    int at100 = fit.model.predict(100.0, model_mem, 148.0, 0.25);
+    int at120 = fit.model.predict(120.0, model_mem, 148.0, 0.25);
+    int at48 = fit.model.predict(48.0, model_mem, 148.0, 0.25);
+    EXPECT_GT(at100, at48);
+    EXPECT_GT(at120, at100);
+}
+
+TEST(Pipeline, ThroughputDataHasDenseAndSparse)
+{
+    auto data = ExperimentPipeline::collectThroughputData(
+        ModelSpec::blackMamba2p8b(), GpuSpec::a40(), 79);
+    bool dense = false, sparse = false;
+    for (const auto& obs : data) {
+        dense |= obs.sparsity == 1.0;
+        sparse |= obs.sparsity == 0.25;
+        EXPECT_GT(obs.qps, 0.0);
+    }
+    EXPECT_TRUE(dense);
+    EXPECT_TRUE(sparse);
+}
+
+TEST(Pipeline, ThroughputFitMeetsPaperRmseBudget)
+{
+    // Fig. 14: the paper reports RMSE 0.02-0.79 across the four A40
+    // combos, i.e. always below ~6% of the peak throughput. Hold this
+    // reproduction to the same *relative* bar (its absolute qps scale
+    // differs from the authors' testbed).
+    for (bool mixtral : {true, false}) {
+        ModelSpec spec = mixtral ? ModelSpec::mixtral8x7b()
+                                 : ModelSpec::blackMamba2p8b();
+        for (std::size_t seq : {79u, 174u}) {
+            const double sigma = seq == 79 ? 0.45 : 0.40;
+            ThroughputFit fit = ExperimentPipeline::fitThroughput(
+                spec, GpuSpec::a40(), seq, {}, sigma);
+            double max_qps = 0.0;
+            for (const auto& obs : fit.observations)
+                max_qps = std::max(max_qps, obs.qps);
+            EXPECT_LT(fit.rmse, std::max(0.8, 0.08 * max_qps))
+                << spec.name << " seq " << seq;
+        }
+    }
+}
+
+TEST(Pipeline, ThroughputFitAcrossGpus)
+{
+    // Fig. 15: Mixtral on the CS dataset (median 79), validated on
+    // A100-40GB, A100-80GB, and H100 — paper RMSE <= 0.55.
+    for (const GpuSpec& gpu :
+         {GpuSpec::a100_40(), GpuSpec::a100_80(), GpuSpec::h100_80()}) {
+        ThroughputFit fit = ExperimentPipeline::fitThroughput(
+            ModelSpec::mixtral8x7b(), gpu, 79, {}, 0.45);
+        double max_qps = 0.0;
+        for (const auto& obs : fit.observations)
+            max_qps = std::max(max_qps, obs.qps);
+        EXPECT_LT(fit.rmse, std::max(0.6, 0.08 * max_qps)) << gpu.name;
+    }
+}
+
+TEST(Pipeline, CostTableRanksH100Cheapest)
+{
+    // Table IV: H100 wins end-to-end cost despite the highest rate.
+    auto rows = ExperimentPipeline::costTable(
+        ModelSpec::mixtral8x7b(), GpuSpec::paperGpus(),
+        CloudCatalog::cudoCompute(), 148, true, 14000.0, 10.0);
+    ASSERT_GE(rows.size(), 3u);
+    const CostRow* h100 = nullptr;
+    for (const auto& row : rows)
+        if (row.gpuName == "H100")
+            h100 = &row;
+    ASSERT_NE(h100, nullptr);
+    for (const auto& row : rows)
+        EXPECT_LE(h100->totalDollars, row.totalDollars) << row.gpuName;
+}
+
+TEST(Pipeline, CostTableSkipsUnpricedGpus)
+{
+    // A100-40GB is not in the CUDO list; it must be absent.
+    auto rows = ExperimentPipeline::costTable(
+        ModelSpec::mixtral8x7b(), GpuSpec::paperGpus(),
+        CloudCatalog::cudoCompute(), 148, true, 14000.0, 10.0);
+    for (const auto& row : rows)
+        EXPECT_NE(row.gpuName, "A100-40GB");
+}
+
+TEST(Pipeline, EmptySweepIsFatal)
+{
+    EXPECT_THROW(ExperimentPipeline::collectBatchSizeData(
+                     ModelSpec::mixtral8x7b(), {}, {128}),
+                 FatalError);
+}
+
+}  // namespace
+}  // namespace ftsim

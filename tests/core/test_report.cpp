@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the one-call characterization report.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "core/report.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(Report, ContainsEverySection)
+{
+    ReportRequest request;  // Defaults: Mixtral on A40, GS-like dataset.
+    std::string report = generateCharacterizationReport(request);
+    for (const char* expected :
+         {"# Fine-tuning characterization", "## Memory",
+          "maximum batch size: 4", "## Step breakdown", "matmul",
+          "## Throughput (Eq. 2)", "## Cost", "GPU-hours"}) {
+        EXPECT_NE(report.find(expected), std::string::npos) << expected;
+    }
+}
+
+TEST(Report, BlackMambaVariant)
+{
+    ReportRequest request;
+    request.model = ModelSpec::blackMamba2p8b();
+    request.medianSeqLen = 79;
+    request.lengthSigma = 0.45;
+    std::string report = generateCharacterizationReport(request);
+    EXPECT_NE(report.find("BlackMamba-2.8B"), std::string::npos);
+    EXPECT_NE(report.find("maximum batch size: 20"), std::string::npos);
+}
+
+TEST(Report, UnpricedGpuStillReports)
+{
+    ReportRequest request;
+    request.model = ModelSpec::blackMamba2p8b();
+    request.gpu = GpuSpec::a100_40();  // Not in the CUDO catalog.
+    request.medianSeqLen = 79;
+    std::string report = generateCharacterizationReport(request);
+    EXPECT_NE(report.find("no price listed"), std::string::npos);
+}
+
+TEST(Report, OversizedModelIsFatal)
+{
+    ReportRequest request;
+    request.gpu.memGB = 24.0;  // Mixtral cannot fit.
+    EXPECT_THROW(generateCharacterizationReport(request), FatalError);
+}
+
+TEST(Report, DenseModeReportsSmallerBatch)
+{
+    ReportRequest sparse_req;
+    ReportRequest dense_req;
+    dense_req.sparse = false;
+    std::string sparse_report =
+        generateCharacterizationReport(sparse_req);
+    std::string dense_report = generateCharacterizationReport(dense_req);
+    EXPECT_NE(sparse_report.find("maximum batch size: 4"),
+              std::string::npos);
+    EXPECT_NE(dense_report.find("maximum batch size: 1"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftsim

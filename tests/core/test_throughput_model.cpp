@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for Eq. 2 (the throughput model).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "core/throughput_model.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(ThroughputModelTest, InterceptIsDenseBatchOneThroughput)
+{
+    // The paper's stated property of C4.
+    ThroughputModel model(1.5, 0.5, 0.3);
+    EXPECT_DOUBLE_EQ(model.predict(1.0, 1.0), 0.3);
+}
+
+TEST(ThroughputModelTest, LogarithmicGrowth)
+{
+    ThroughputModel model(1.5, 0.5, 0.3);
+    const double q1 = model.predict(1.0, 1.0);
+    const double q2 = model.predict(2.0, 1.0);
+    const double q4 = model.predict(4.0, 1.0);
+    // Equal increments per doubling (definition of log growth).
+    EXPECT_NEAR(q2 - q1, q4 - q2, 1e-12);
+    EXPECT_GT(q2, q1);
+}
+
+TEST(ThroughputModelTest, SparsityShiftsCurveUp)
+{
+    // Sparse (s = 0.25) throughput exceeds dense at equal batch when
+    // C2, C3 > 0 — the Fig. 8 observation.
+    ThroughputModel model(1.5, 0.5, 0.3);
+    EXPECT_GT(model.predict(4.0, 0.25), model.predict(4.0, 1.0));
+}
+
+TEST(ThroughputModelTest, C3AttenuatesSparsityEffect)
+{
+    ThroughputModel strong(1.5, 1.0, 0.3);
+    ThroughputModel weak(1.5, 0.1, 0.3);
+    const double gap_strong =
+        strong.predict(4.0, 0.25) - strong.predict(4.0, 1.0);
+    const double gap_weak =
+        weak.predict(4.0, 0.25) - weak.predict(4.0, 1.0);
+    EXPECT_GT(gap_strong, gap_weak);
+}
+
+TEST(ThroughputModelTest, FitRecoversSyntheticCoefficients)
+{
+    ThroughputModel truth(1.7, 0.6, 0.4);
+    std::vector<ThroughputObservation> data;
+    for (double b = 1.0; b <= 20.0; b += 1.0)
+        for (double s : {0.25, 1.0})
+            data.push_back({b, s, truth.predict(b, s)});
+    ThroughputModel fitted = ThroughputModel::fit(data);
+    EXPECT_NEAR(fitted.c2(), 1.7, 1e-4);
+    EXPECT_NEAR(fitted.c3(), 0.6, 1e-4);
+    EXPECT_NEAR(fitted.c4(), 0.4, 1e-4);
+    EXPECT_LT(fitted.rmse(data), 1e-6);
+}
+
+TEST(ThroughputModelTest, FitToleratesSaturatingData)
+{
+    // Data from b/(a+c*b) (the true saturating law) fitted by the log
+    // model: the paper's claim is RMSE below ~0.8 — check the fit is in
+    // that ballpark on a saturating curve spanning 0.3..1.7 qps.
+    std::vector<ThroughputObservation> data;
+    for (double b = 1.0; b <= 8.0; b += 1.0) {
+        double qps = b / (2.5 + 0.45 * b);
+        data.push_back({b, 0.25, qps});
+    }
+    ThroughputModel fitted = ThroughputModel::fit(data);
+    EXPECT_LT(fitted.rmse(data), 0.1);
+}
+
+TEST(ThroughputModelTest, InvalidInputsAreFatal)
+{
+    ThroughputModel model(1.0, 0.5, 0.0);
+    EXPECT_THROW(model.predict(0.0, 1.0), FatalError);
+    EXPECT_THROW(model.predict(1.0, 0.0), FatalError);
+    EXPECT_THROW(model.predict(1.0, 1.5), FatalError);
+    EXPECT_THROW(ThroughputModel::fit({{1.0, 1.0, 0.5}}), FatalError);
+}
+
+TEST(ThroughputModelTest, RmseOfPerfectFitIsZero)
+{
+    ThroughputModel model(2.0, 0.3, 1.0);
+    std::vector<ThroughputObservation> data = {
+        {1.0, 1.0, model.predict(1.0, 1.0)},
+        {4.0, 0.25, model.predict(4.0, 0.25)},
+        {8.0, 1.0, model.predict(8.0, 1.0)},
+    };
+    EXPECT_NEAR(model.rmse(data), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ftsim

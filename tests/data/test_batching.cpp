@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for batch collation (the SFT objective layout).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "data/batching.hpp"
+
+namespace ftsim {
+namespace {
+
+Query
+makeQuery(std::vector<int> prompt, std::vector<int> answer)
+{
+    Query q;
+    q.prompt = std::move(prompt);
+    q.answer = std::move(answer);
+    return q;
+}
+
+TEST(Collate, PadsToLongestAndLabelsAnswersOnly)
+{
+    Query q1 = makeQuery({Vocab::kBos, 10, Vocab::kSep}, {40, Vocab::kEos});
+    Query q2 = makeQuery({Vocab::kBos, Vocab::kSep}, {41, Vocab::kEos});
+    Batch batch = collate({&q1, &q2});
+
+    EXPECT_EQ(batch.batchSize, 2u);
+    EXPECT_EQ(batch.seqLen, 5u);  // Longest query: 3 + 2.
+    // q2 is padded at the end.
+    EXPECT_EQ(batch.ids[1 * 5 + 4], Vocab::kPad);
+
+    // Labels: position of SEP predicts the first answer token; the
+    // answer's first token predicts EOS; everything else is ignored.
+    EXPECT_EQ(batch.targets[0 * 5 + 2], 40);
+    EXPECT_EQ(batch.targets[0 * 5 + 3], Vocab::kEos);
+    EXPECT_EQ(batch.targets[0 * 5 + 0], kIgnoreIndex);
+    EXPECT_EQ(batch.targets[0 * 5 + 1], kIgnoreIndex);
+    EXPECT_EQ(batch.targets[0 * 5 + 4], kIgnoreIndex);
+}
+
+TEST(Collate, LabelCountEqualsAnswerLength)
+{
+    Query q = makeQuery({1, 2, 3}, {4, 5});
+    Batch batch = collate({&q});
+    std::size_t labels = 0;
+    for (int t : batch.targets)
+        labels += t != kIgnoreIndex ? 1 : 0;
+    EXPECT_EQ(labels, 2u);  // One per answer token.
+}
+
+TEST(Collate, EmptyIsFatal)
+{
+    EXPECT_THROW(collate({}), FatalError);
+}
+
+TEST(EpochBatches, CoversWholeDatasetOnce)
+{
+    DatasetSpec spec = DatasetSpec::gsm8k();
+    spec.numQueries = 23;
+    Dataset ds = Dataset::generate(spec);
+    Rng rng(1);
+    auto batches = epochBatches(ds, 4, rng);
+    // ceil(23/4) = 6 batches, last partial.
+    ASSERT_EQ(batches.size(), 6u);
+    std::size_t total = 0;
+    for (const auto& b : batches)
+        total += b.numQueries;
+    EXPECT_EQ(total, 23u);
+    EXPECT_EQ(batches.back().numQueries, 3u);
+}
+
+TEST(EpochBatches, ShufflesBetweenEpochs)
+{
+    DatasetSpec spec = DatasetSpec::gsm8k();
+    spec.numQueries = 64;
+    Dataset ds = Dataset::generate(spec);
+    Rng rng(2);
+    auto e1 = epochBatches(ds, 8, rng);
+    auto e2 = epochBatches(ds, 8, rng);
+    // Same sizes, different order (first batch almost surely differs).
+    EXPECT_EQ(e1.size(), e2.size());
+    EXPECT_NE(e1[0].ids, e2[0].ids);
+}
+
+TEST(SequentialBatches, RespectsLimit)
+{
+    DatasetSpec spec = DatasetSpec::gsm8k();
+    spec.numQueries = 50;
+    Dataset ds = Dataset::generate(spec);
+    auto batches = sequentialBatches(ds, 8, 20);
+    std::size_t total = 0;
+    for (const auto& b : batches)
+        total += b.numQueries;
+    EXPECT_EQ(total, 20u);
+}
+
+TEST(SequentialBatches, DeterministicOrder)
+{
+    DatasetSpec spec = DatasetSpec::gsm8k();
+    spec.numQueries = 16;
+    Dataset ds = Dataset::generate(spec);
+    auto a = sequentialBatches(ds, 4, 16);
+    auto b = sequentialBatches(ds, 4, 16);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].ids, b[i].ids);
+}
+
+TEST(Collate, TargetsPointAtNextToken)
+{
+    // Every non-ignored target must equal the *next* input token.
+    DatasetSpec spec = DatasetSpec::commonsense15k();
+    spec.numQueries = 40;
+    Dataset ds = Dataset::generate(spec);
+    auto batches = sequentialBatches(ds, 8, 40);
+    for (const Batch& b : batches) {
+        for (std::size_t r = 0; r < b.batchSize; ++r) {
+            for (std::size_t t = 0; t + 1 < b.seqLen; ++t) {
+                int label = b.targets[r * b.seqLen + t];
+                if (label == kIgnoreIndex)
+                    continue;
+                EXPECT_EQ(label, b.ids[r * b.seqLen + t + 1]);
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace ftsim

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the synthetic datasets (Table II / Fig. 2 substrate).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "data/dataset.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(Dataset, PresetSizesMatchTableII)
+{
+    EXPECT_EQ(DatasetSpec::commonsense15k().numQueries, 15000u);
+    EXPECT_EQ(DatasetSpec::math14k().numQueries, 14000u);
+    EXPECT_EQ(DatasetSpec::hellaswag().numQueries, 10000u);
+    EXPECT_EQ(DatasetSpec::gsm8k().numQueries, 1300u);
+}
+
+TEST(Dataset, MediansMatchTableII)
+{
+    // Medians: CS 79, MATH 174, HE 272, GS 148 (Table II / Fig. 2).
+    struct Case {
+        DatasetSpec spec;
+        double median;
+    };
+    for (const auto& c :
+         {Case{DatasetSpec::commonsense15k(), 79.0},
+          Case{DatasetSpec::math14k(), 174.0},
+          Case{DatasetSpec::hellaswag(), 272.0},
+          Case{DatasetSpec::gsm8k(), 148.0}}) {
+        Dataset ds = Dataset::generate(c.spec);
+        EXPECT_NEAR(ds.medianSeqLen(), c.median, c.median * 0.05)
+            << ds.name();
+    }
+}
+
+TEST(Dataset, GenerationIsDeterministic)
+{
+    DatasetSpec spec = DatasetSpec::gsm8k();
+    Dataset a = Dataset::generate(spec);
+    Dataset b = Dataset::generate(spec);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < 20; ++i) {
+        EXPECT_EQ(a.query(i).prompt, b.query(i).prompt);
+        EXPECT_EQ(a.query(i).answer, b.query(i).answer);
+    }
+}
+
+TEST(Dataset, QueriesAreWellFormedCommonsense)
+{
+    DatasetSpec spec = DatasetSpec::commonsense15k();
+    spec.numQueries = 200;
+    Dataset ds = Dataset::generate(spec);
+    for (const Query& q : ds.queries()) {
+        ASSERT_GE(q.prompt.size(), 4u);
+        EXPECT_EQ(q.prompt.front(), Vocab::kBos);
+        EXPECT_EQ(q.prompt.back(), Vocab::kSep);
+        // subject then relation immediately before SEP.
+        int subj = q.prompt[q.prompt.size() - 3];
+        int rel = q.prompt[q.prompt.size() - 2];
+        ASSERT_GE(subj, Vocab::kSubjectBase);
+        ASSERT_LT(subj, Vocab::kSubjectBase +
+                            static_cast<int>(Vocab::kNumSubjects));
+        ASSERT_GE(rel, Vocab::kRelationBase);
+        // Answer agrees with the oracle.
+        ASSERT_EQ(q.answer.size(), 2u);
+        EXPECT_EQ(q.answer[0],
+                  TaskOracle::commonsenseAnswer(
+                      static_cast<std::size_t>(subj - Vocab::kSubjectBase),
+                      static_cast<std::size_t>(rel - Vocab::kRelationBase)));
+        EXPECT_EQ(q.answer[1], Vocab::kEos);
+    }
+}
+
+TEST(Dataset, QueriesAreWellFormedMath)
+{
+    DatasetSpec spec = DatasetSpec::math14k();
+    spec.numQueries = 200;
+    Dataset ds = Dataset::generate(spec);
+    for (const Query& q : ds.queries()) {
+        // ..., a, OP, b, SEP with answer (a+b) mod m.
+        const std::size_t n = q.prompt.size();
+        int a = q.prompt[n - 4];
+        int op = q.prompt[n - 3];
+        int b = q.prompt[n - 2];
+        EXPECT_EQ(op, Vocab::kOp);
+        EXPECT_EQ(q.answer[0],
+                  TaskOracle::mathAnswer(
+                      static_cast<std::size_t>(a - Vocab::kNumberBase),
+                      static_cast<std::size_t>(b - Vocab::kNumberBase)));
+    }
+}
+
+TEST(Dataset, AllTokensWithinVocab)
+{
+    DatasetSpec spec = DatasetSpec::math14k();
+    spec.numQueries = 300;
+    Dataset ds = Dataset::generate(spec);
+    for (const Query& q : ds.queries()) {
+        for (int t : q.prompt) {
+            EXPECT_GE(t, 0);
+            EXPECT_LT(t, static_cast<int>(Vocab::kSize));
+        }
+        for (int t : q.answer) {
+            EXPECT_GE(t, 0);
+            EXPECT_LT(t, static_cast<int>(Vocab::kSize));
+        }
+    }
+}
+
+TEST(Dataset, ScaledGenerationShrinksBothAxes)
+{
+    DatasetSpec spec = DatasetSpec::commonsense15k();
+    Dataset small = Dataset::generateScaled(spec, 0.01, 0.25);
+    EXPECT_EQ(small.size(), 150u);
+    EXPECT_NEAR(small.medianSeqLen(), 79.0 * 0.25, 4.0);
+}
+
+TEST(Dataset, HeadReturnsPrefix)
+{
+    DatasetSpec spec = DatasetSpec::gsm8k();
+    spec.numQueries = 50;
+    Dataset ds = Dataset::generate(spec);
+    auto head = ds.head(10);
+    ASSERT_EQ(head.size(), 10u);
+    EXPECT_EQ(head[0], &ds.query(0));
+    EXPECT_EQ(ds.head(100).size(), 50u);  // Clamped to size.
+}
+
+TEST(Dataset, MathCoversAnswerSpace)
+{
+    // The task must be dense in its answer space to be learnable as a
+    // composition, not a lookup of a few outputs.
+    DatasetSpec spec = DatasetSpec::math14k();
+    spec.numQueries = 2000;
+    Dataset ds = Dataset::generate(spec);
+    std::set<int> answers;
+    for (const Query& q : ds.queries())
+        answers.insert(q.answer[0]);
+    EXPECT_EQ(answers.size(), Vocab::kModulus);
+}
+
+TEST(TaskOracleTest, OracleRangesAndDeterminism)
+{
+    EXPECT_EQ(TaskOracle::mathAnswer(5, 7), Vocab::numberToken(12));
+    EXPECT_EQ(TaskOracle::mathAnswer(20, 20),
+              Vocab::numberToken((40) % Vocab::kModulus));
+    EXPECT_THROW(TaskOracle::mathAnswer(Vocab::kModulus, 0), FatalError);
+    EXPECT_EQ(TaskOracle::commonsenseAnswer(3, 1),
+              TaskOracle::commonsenseAnswer(3, 1));
+    EXPECT_THROW(TaskOracle::commonsenseAnswer(99, 0), FatalError);
+}
+
+TEST(VocabTest, TokenRangesDoNotOverlap)
+{
+    std::set<int> seen = {Vocab::kPad, Vocab::kBos, Vocab::kEos,
+                          Vocab::kSep, Vocab::kOp};
+    EXPECT_EQ(seen.size(), 5u);
+    for (std::size_t f = 0; f < Vocab::kNumFiller; ++f)
+        EXPECT_TRUE(seen.insert(Vocab::fillerToken(f)).second);
+    for (std::size_t s = 0; s < Vocab::kNumSubjects; ++s)
+        EXPECT_TRUE(seen.insert(Vocab::subjectToken(s)).second);
+    for (std::size_t r = 0; r < Vocab::kNumRelations; ++r)
+        EXPECT_TRUE(seen.insert(Vocab::relationToken(r)).second);
+    for (std::size_t v = 0; v < Vocab::kModulus; ++v)
+        EXPECT_TRUE(seen.insert(Vocab::numberToken(v)).second);
+    for (int t : seen)
+        EXPECT_LT(t, static_cast<int>(Vocab::kSize));
+}
+
+}  // namespace
+}  // namespace ftsim

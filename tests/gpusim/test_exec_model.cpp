@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Property tests for the roofline+occupancy execution model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "gpusim/exec_model.hpp"
+
+namespace ftsim {
+namespace {
+
+KernelDesc
+gemmKernel(double flops, double bytes, double tiles)
+{
+    KernelDesc kd;
+    kd.name = "matmul(test)";
+    kd.kind = KernelKind::MatMul;
+    kd.flops = flops;
+    kd.bytes = bytes;
+    kd.tiles = tiles;
+    return kd;
+}
+
+TEST(ExecModel, TimeIsAtLeastRoofline)
+{
+    ExecutionModel exec(GpuSpec::a40());
+    KernelDesc kd = gemmKernel(1e12, 1e9, 1e5);
+    KernelMetrics m = exec.simulate(kd);
+    const auto& c = exec.calibration();
+    const double t_compute =
+        1e12 / (149.7e12 * c.matmulEfficiency);
+    EXPECT_GE(m.seconds, t_compute);
+}
+
+TEST(ExecModel, ComputeBoundVsMemoryBound)
+{
+    ExecutionModel exec(GpuSpec::a40());
+    // Huge FLOPs, tiny bytes: compute bound.
+    EXPECT_FALSE(exec.simulate(gemmKernel(1e13, 1e6, 1e5)).memoryBound);
+    // Tiny FLOPs, huge bytes: memory bound.
+    EXPECT_TRUE(exec.simulate(gemmKernel(1e6, 1e10, 1e5)).memoryBound);
+}
+
+TEST(ExecModel, MoreTilesNeverSlower)
+{
+    ExecutionModel exec(GpuSpec::a40());
+    double prev = 1e300;
+    for (double tiles : {1.0, 8.0, 64.0, 512.0, 4096.0}) {
+        double t = exec.simulate(gemmKernel(1e11, 1e8, tiles)).seconds;
+        EXPECT_LE(t, prev + 1e-12);
+        prev = t;
+    }
+}
+
+TEST(ExecModel, SmUtilRisesWithTiles)
+{
+    // The Fig. 9 effect: more exposed parallelism -> higher SM%.
+    ExecutionModel exec(GpuSpec::a40());
+    double low =
+        exec.simulate(gemmKernel(1e11, 1e6, 4.0)).smUtilPct;
+    double high =
+        exec.simulate(gemmKernel(1e11, 1e6, 4096.0)).smUtilPct;
+    EXPECT_GT(high, low);
+    EXPECT_LE(high, 100.0);
+}
+
+TEST(ExecModel, MemoryBoundKernelHasHighDramLowSm)
+{
+    // The Fig. 9/10 elementwise signature.
+    ExecutionModel exec(GpuSpec::a40());
+    KernelDesc kd;
+    kd.kind = KernelKind::Elementwise;
+    kd.flops = 1e7;
+    kd.bytes = 1e10;
+    kd.tiles = 1e5;
+    KernelMetrics m = exec.simulate(kd);
+    EXPECT_GT(m.dramUtilPct, 50.0);
+    EXPECT_LT(m.smUtilPct, 30.0);
+}
+
+TEST(ExecModel, UtilizationsAreBounded)
+{
+    ExecutionModel exec(GpuSpec::h100_80());
+    for (double flops : {1e6, 1e10, 1e14}) {
+        for (double bytes : {1e5, 1e9, 1e12}) {
+            KernelMetrics m =
+                exec.simulate(gemmKernel(flops, bytes, 1e4));
+            EXPECT_GE(m.smUtilPct, 0.0);
+            EXPECT_LE(m.smUtilPct, 100.0);
+            EXPECT_GE(m.dramUtilPct, 0.0);
+            EXPECT_LE(m.dramUtilPct, 100.0);
+        }
+    }
+}
+
+TEST(ExecModel, CountMultipliesTime)
+{
+    ExecutionModel exec(GpuSpec::a40());
+    KernelDesc kd = gemmKernel(1e10, 1e8, 1e4);
+    double t1 = exec.simulate(kd).seconds;
+    kd.count = 10.0;
+    EXPECT_NEAR(exec.simulate(kd).seconds, 10.0 * t1, 1e-9);
+}
+
+TEST(ExecModel, LaunchOverheadFloorsTinyKernels)
+{
+    ExecutionModel exec(GpuSpec::a40());
+    KernelDesc kd = gemmKernel(1.0, 1.0, 1.0);
+    const auto& c = exec.calibration();
+    const double overhead =
+        (GpuSpec::a40().launchUs + c.hostOverheadUs) * 1e-6;
+    EXPECT_GE(exec.simulate(kd).seconds, overhead);
+}
+
+TEST(ExecModel, EfficiencyDeratesCompute)
+{
+    ExecutionModel exec(GpuSpec::a40());
+    KernelDesc full = gemmKernel(1e12, 1e6, 1e5);
+    KernelDesc skinny = full;
+    skinny.efficiency = 0.1;
+    EXPECT_GT(exec.simulate(skinny).seconds,
+              exec.simulate(full).seconds * 5.0);
+}
+
+TEST(ExecModel, FasterGpuIsFaster)
+{
+    KernelDesc kd = gemmKernel(1e12, 1e9, 1e5);
+    double a40 = ExecutionModel(GpuSpec::a40()).simulate(kd).seconds;
+    double h100 = ExecutionModel(GpuSpec::h100_80()).simulate(kd).seconds;
+    EXPECT_LT(h100, a40);
+}
+
+TEST(ExecModel, DequantKindIsSlowestPerFlop)
+{
+    // NF4 unpacking runs far below both the derated tensor peak and the
+    // vector peak: same FLOPs, more time (why dequant stays SM-bound).
+    ExecutionModel exec(GpuSpec::a40());
+    KernelDesc mm = gemmKernel(1e12, 1e3, 1e6);
+    KernelDesc vec = mm;
+    vec.kind = KernelKind::Gelu;
+    KernelDesc dq = mm;
+    dq.kind = KernelKind::Dequant;
+    EXPECT_GT(exec.simulate(dq).seconds, exec.simulate(mm).seconds);
+    EXPECT_GT(exec.simulate(dq).seconds, exec.simulate(vec).seconds);
+}
+
+TEST(ExecModel, InvalidInputsAreFatal)
+{
+    GpuSpec broken;
+    EXPECT_THROW(ExecutionModel{broken}, FatalError);
+    ExecutionModel exec(GpuSpec::a40());
+    KernelDesc kd = gemmKernel(1.0, 1.0, 1.0);
+    kd.count = 0.0;
+    EXPECT_THROW(exec.simulate(kd), FatalError);
+}
+
+}  // namespace
+}  // namespace ftsim

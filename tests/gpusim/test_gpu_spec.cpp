@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Unit tests for the GPU presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpusim/gpu_spec.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(GpuSpecTest, PaperPresetsExist)
+{
+    auto gpus = GpuSpec::paperGpus();
+    ASSERT_EQ(gpus.size(), 4u);
+    EXPECT_EQ(gpus[0].name, "A40");
+    EXPECT_EQ(gpus[1].name, "A100-40GB");
+    EXPECT_EQ(gpus[2].name, "A100-80GB");
+    EXPECT_EQ(gpus[3].name, "H100");
+}
+
+TEST(GpuSpecTest, CapacitiesMatchPaper)
+{
+    EXPECT_DOUBLE_EQ(GpuSpec::a40().memGB, 48.0);
+    EXPECT_DOUBLE_EQ(GpuSpec::a100_40().memGB, 40.0);
+    EXPECT_DOUBLE_EQ(GpuSpec::a100_80().memGB, 80.0);
+    EXPECT_DOUBLE_EQ(GpuSpec::h100_80().memGB, 80.0);
+}
+
+TEST(GpuSpecTest, MemBytesIsDecimal)
+{
+    EXPECT_DOUBLE_EQ(GpuSpec::a40().memBytes(), 48e9);
+}
+
+TEST(GpuSpecTest, ComputeOrdering)
+{
+    // H100 > A100 > A40 on both compute and bandwidth.
+    GpuSpec a40 = GpuSpec::a40();
+    GpuSpec a100 = GpuSpec::a100_80();
+    GpuSpec h100 = GpuSpec::h100_80();
+    EXPECT_GT(a100.tensorTflops, a40.tensorTflops);
+    EXPECT_GT(h100.tensorTflops, a100.tensorTflops);
+    EXPECT_GT(a100.dramGBps, a40.dramGBps);
+    EXPECT_GT(h100.dramGBps, a100.dramGBps);
+}
+
+TEST(GpuSpecTest, HypotheticalScalesCapacityOnly)
+{
+    GpuSpec base = GpuSpec::a100_80();
+    GpuSpec hypo = GpuSpec::hypothetical(120.0);
+    EXPECT_DOUBLE_EQ(hypo.memGB, 120.0);
+    EXPECT_EQ(hypo.numSms, base.numSms);
+    EXPECT_DOUBLE_EQ(hypo.tensorTflops, base.tensorTflops);
+}
+
+}  // namespace
+}  // namespace ftsim

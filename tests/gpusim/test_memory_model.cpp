@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Memory-model tests. The core check reproduces Table III of the paper
+ * cell-for-cell: maximum batch sizes on the A40 for Mixtral/BlackMamba x
+ * dense/sparse x CS(79)/MATH(174).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "gpusim/memory_model.hpp"
+
+namespace ftsim {
+namespace {
+
+struct TableIIICase {
+    const char* label;
+    bool mixtral;
+    bool sparse;
+    std::size_t seqLen;
+    int expected;
+};
+
+class TableIII : public ::testing::TestWithParam<TableIIICase> {};
+
+TEST_P(TableIII, MaxBatchMatchesPaper)
+{
+    const TableIIICase& c = GetParam();
+    ModelSpec spec = c.mixtral ? ModelSpec::mixtral8x7b()
+                               : ModelSpec::blackMamba2p8b();
+    int got = MemoryModel::maxBatchSize(spec, GpuSpec::a40(), c.seqLen,
+                                        c.sparse);
+    EXPECT_EQ(got, c.expected) << c.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, TableIII,
+    ::testing::Values(
+        // Paper Table III: CS row (median 79) and MATH row (median 174).
+        TableIIICase{"Mixtral_Dense_CS", true, false, 79, 2},
+        TableIIICase{"Mixtral_Sparse_CS", true, true, 79, 8},
+        TableIIICase{"Mixtral_Dense_MATH", true, false, 174, 1},
+        TableIIICase{"Mixtral_Sparse_MATH", true, true, 174, 3},
+        TableIIICase{"BlackMamba_Dense_CS", false, false, 79, 6},
+        TableIIICase{"BlackMamba_Sparse_CS", false, true, 79, 20},
+        TableIIICase{"BlackMamba_Dense_MATH", false, false, 174, 2},
+        TableIIICase{"BlackMamba_Sparse_MATH", false, true, 174, 8}),
+    [](const ::testing::TestParamInfo<TableIIICase>& info) {
+        return info.param.label;
+    });
+
+TEST(MemoryModel, TableIvA40SparseGsBatch)
+{
+    // Table IV reports MBS = 4 for sparse Mixtral on GS (median 148).
+    EXPECT_EQ(MemoryModel::maxBatchSize(ModelSpec::mixtral8x7b(),
+                                        GpuSpec::a40(), 148, true),
+              4);
+}
+
+TEST(MemoryModel, SparseAlwaysFitsAtLeastDense)
+{
+    for (std::size_t seq : {64u, 128u, 256u, 512u}) {
+        for (bool mixtral : {true, false}) {
+            ModelSpec spec = mixtral ? ModelSpec::mixtral8x7b()
+                                     : ModelSpec::blackMamba2p8b();
+            int dense = MemoryModel::maxBatchSize(spec, GpuSpec::a40(),
+                                                  seq, false);
+            int sparse = MemoryModel::maxBatchSize(spec, GpuSpec::a40(),
+                                                   seq, true);
+            EXPECT_GE(sparse, dense) << seq;
+        }
+    }
+}
+
+TEST(MemoryModel, MaxBatchMonotonicInMemory)
+{
+    ModelSpec spec = ModelSpec::mixtral8x7b();
+    int prev = 0;
+    for (double gb : {48.0, 64.0, 80.0, 100.0, 120.0}) {
+        int mbs = MemoryModel::maxBatchSize(
+            spec, GpuSpec::hypothetical(gb), 148, true);
+        EXPECT_GE(mbs, prev);
+        prev = mbs;
+    }
+}
+
+TEST(MemoryModel, MaxBatchDecreasesWithSeqLen)
+{
+    ModelSpec spec = ModelSpec::blackMamba2p8b();
+    int prev = 1 << 30;
+    for (std::size_t seq : {64u, 128u, 256u, 512u, 1024u}) {
+        int mbs =
+            MemoryModel::maxBatchSize(spec, GpuSpec::a40(), seq, true);
+        EXPECT_LE(mbs, prev);
+        prev = mbs;
+    }
+}
+
+TEST(MemoryModel, BreakdownAccounting)
+{
+    ModelSpec spec = ModelSpec::blackMamba2p8b();
+    MemoryBreakdown mb =
+        MemoryModel::analyze(spec, GpuSpec::a40(), 79, true);
+    // Components must sum to capacity minus usable.
+    EXPECT_NEAR(mb.weightBytes + mb.optimizerBytes + mb.gradientBytes +
+                    mb.reservedBytes + mb.usableBytes,
+                GpuSpec::a40().memBytes(), 1.0);
+    EXPECT_GT(mb.perQueryBytes, 0.0);
+    EXPECT_EQ(mb.maxBatchSize, 20);
+}
+
+TEST(MemoryModel, FullFtOptimizerDominatesBlackMambaBudget)
+{
+    // The reason BlackMamba's absolute batches are small despite the
+    // small model: AdamW moments over 2.8B params.
+    MemoryBreakdown mb = MemoryModel::analyze(
+        ModelSpec::blackMamba2p8b(), GpuSpec::a40(), 79, true);
+    EXPECT_GT(mb.optimizerBytes, 3.0 * mb.weightBytes);
+}
+
+TEST(MemoryModel, ModelTooBigYieldsZero)
+{
+    // Mixtral + state does not fit on a 24 GB card.
+    GpuSpec small = GpuSpec::a40();
+    small.memGB = 24.0;
+    EXPECT_EQ(MemoryModel::maxBatchSize(ModelSpec::mixtral8x7b(), small,
+                                        128, true),
+              0);
+}
+
+TEST(MemoryModel, PerQueryScalesWithSparsityFactor)
+{
+    ModelSpec spec = ModelSpec::mixtral8x7b();
+    const double dense = MemoryModel::perQueryBytes(spec, 128, false);
+    const double sparse = MemoryModel::perQueryBytes(spec, 128, true);
+    EXPECT_GT(dense, sparse);
+    // With moeFraction m and sparsity s: ratio of the variable parts is
+    // (1-m) + m*s; the fixed part dilutes it.
+    EXPECT_LT(dense / sparse, 1.0 / 0.25);
+}
+
+TEST(MemoryModel, ZeroSeqLenIsFatal)
+{
+    EXPECT_THROW(MemoryModel::perQueryBytes(ModelSpec::mixtral8x7b(), 0,
+                                            true),
+                 FatalError);
+}
+
+}  // namespace
+}  // namespace ftsim

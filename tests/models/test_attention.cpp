@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for causal self-attention.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "models/attention.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(Attention, OutputShape)
+{
+    Rng rng(1);
+    CausalSelfAttention attn(16, 4, rng);
+    Tensor x = Tensor::randn({2, 5, 16}, rng);
+    EXPECT_EQ(attn.forward(x).shape(), Shape({2, 5, 16}));
+}
+
+TEST(Attention, CausalityHoldsExactly)
+{
+    // Changing a *future* token must not alter earlier outputs.
+    Rng rng(2);
+    CausalSelfAttention attn(8, 2, rng);
+    Tensor x = Tensor::randn({1, 4, 8}, rng);
+    Tensor y1 = attn.forward(x).detach();
+
+    Tensor x2 = x.clone();
+    for (std::size_t c = 0; c < 8; ++c)
+        x2.data()[3 * 8 + c] += 5.0;  // Perturb the last position only.
+    Tensor y2 = attn.forward(x2).detach();
+
+    for (std::size_t t = 0; t < 3; ++t)
+        for (std::size_t c = 0; c < 8; ++c)
+            EXPECT_NEAR(y1.at({0, t, c}), y2.at({0, t, c}), 1e-12)
+                << "position " << t << " saw the future";
+    // The perturbed position itself must change.
+    double diff = 0.0;
+    for (std::size_t c = 0; c < 8; ++c)
+        diff += std::abs(y1.at({0, 3, c}) - y2.at({0, 3, c}));
+    EXPECT_GT(diff, 1e-6);
+}
+
+TEST(Attention, BatchIndependence)
+{
+    // Each batch element is processed independently.
+    Rng rng(3);
+    CausalSelfAttention attn(8, 2, rng);
+    Tensor a = Tensor::randn({1, 3, 8}, rng);
+    Tensor b = Tensor::randn({1, 3, 8}, rng);
+    Tensor both = Tensor::zeros({2, 3, 8});
+    std::copy(a.data().begin(), a.data().end(), both.data().begin());
+    std::copy(b.data().begin(), b.data().end(),
+              both.data().begin() + 24);
+    Tensor y_both = attn.forward(both).detach();
+    Tensor y_a = attn.forward(a).detach();
+    for (std::size_t i = 0; i < 24; ++i)
+        EXPECT_NEAR(y_both.data()[i], y_a.data()[i], 1e-12);
+}
+
+TEST(Attention, ParameterCount)
+{
+    Rng rng(4);
+    CausalSelfAttention attn(16, 4, rng);
+    EXPECT_EQ(attn.numParameters(), 4u * 16u * 16u);
+}
+
+TEST(Attention, FrozenVariantHasNoTrainables)
+{
+    Rng rng(5);
+    CausalSelfAttention attn(16, 4, rng, /*frozen=*/true);
+    EXPECT_EQ(attn.numTrainableParameters(), 0u);
+}
+
+TEST(Attention, GradientFlowsToProjections)
+{
+    Rng rng(6);
+    CausalSelfAttention attn(8, 2, rng);
+    Tensor x = Tensor::randn({1, 3, 8}, rng);
+    sumAll(attn.forward(x)).backward();
+    for (auto& p : attn.parameters())
+        EXPECT_TRUE(p.hasGrad());
+}
+
+TEST(Attention, InvalidConfigIsFatal)
+{
+    Rng rng(7);
+    EXPECT_THROW(CausalSelfAttention(10, 3, rng), FatalError);
+    EXPECT_THROW(CausalSelfAttention(8, 0, rng), FatalError);
+}
+
+TEST(Attention, RejectsNon3DInput)
+{
+    Rng rng(8);
+    CausalSelfAttention attn(8, 2, rng);
+    EXPECT_THROW(attn.forward(Tensor::zeros({3, 8})), FatalError);
+}
+
+}  // namespace
+}  // namespace ftsim

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for experts and the MoE layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "models/moe.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+namespace {
+
+MiniModelConfig
+tinyConfig(ExpertKind kind = ExpertKind::SwiGLU, bool lora = false)
+{
+    MiniModelConfig cfg;
+    cfg.dModel = 12;
+    cfg.dFf = 24;
+    cfg.nExperts = 4;
+    cfg.topK = 2;
+    cfg.expertKind = kind;
+    cfg.useLora = lora;
+    cfg.loraRank = 2;
+    return cfg;
+}
+
+TEST(Expert, SwiGLUHasThreeProjections)
+{
+    Rng rng(1);
+    Expert e(ExpertKind::SwiGLU, 12, 24, rng, false, 2, 4.0);
+    // w1 [24,12] + w2 [12,24] + w3 [24,12].
+    EXPECT_EQ(e.numParameters(), 3u * 12u * 24u);
+}
+
+TEST(Expert, GeluHasTwoProjections)
+{
+    Rng rng(2);
+    Expert e(ExpertKind::Gelu, 12, 24, rng, false, 2, 4.0);
+    EXPECT_EQ(e.numParameters(), 2u * 12u * 24u);
+}
+
+TEST(Expert, ForwardShape)
+{
+    Rng rng(3);
+    Expert e(ExpertKind::SwiGLU, 12, 24, rng, false, 2, 4.0);
+    Tensor x = Tensor::randn({5, 12}, rng);
+    EXPECT_EQ(e.forward(x).shape(), Shape({5, 12}));
+}
+
+TEST(MoELayer, OutputShapeMatchesInput)
+{
+    Rng rng(4);
+    MoELayer moe(tinyConfig(), rng);
+    Tensor x = Tensor::randn({7, 12}, rng);
+    EXPECT_EQ(moe.forward(x, 2).shape(), Shape({7, 12}));
+}
+
+TEST(MoELayer, DenseEqualsTopKEqualsExperts)
+{
+    // With top_k == nExperts every expert processes every token.
+    Rng rng(5);
+    MoELayer moe(tinyConfig(), rng);
+    Tensor x = Tensor::randn({3, 12}, rng);
+    moe.forward(x, 4);
+    for (std::size_t c : moe.router().cumulativeCounts())
+        EXPECT_EQ(c, 3u);
+}
+
+TEST(MoELayer, SparseOutputDiffersFromDense)
+{
+    Rng rng(6);
+    MoELayer moe(tinyConfig(), rng);
+    Tensor x = Tensor::randn({4, 12}, rng);
+    Tensor sparse = moe.forward(x, 2);
+    Tensor dense = moe.forward(x, 4);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < sparse.numel(); ++i)
+        diff += std::abs(sparse.data()[i] - dense.data()[i]);
+    EXPECT_GT(diff, 1e-9);
+}
+
+TEST(MoELayer, GradientsFlowToRoutedExpertsOnly)
+{
+    Rng rng(7);
+    MiniModelConfig cfg = tinyConfig();
+    MoELayer moe(cfg, rng);
+    Tensor x = Tensor::randn({1, 12}, rng);  // One token, top-2 of 4.
+    Tensor y = moe.forward(x, 2);
+    sumAll(mul(y, y)).backward();
+
+    const auto& counts = moe.router().cumulativeCounts();
+    // Exactly two experts were routed; only they receive gradients on w1.
+    // (The shared router always receives gradient.)
+    auto named = moe.namedParameters();
+    for (const auto& np : named) {
+        if (np.name.find("experts.") == std::string::npos ||
+            np.name.find("w1.weight") == std::string::npos)
+            continue;
+        const std::size_t expert_id =
+            static_cast<std::size_t>(np.name[8] - '0');
+        bool has_nonzero_grad = false;
+        if (np.tensor.hasGrad()) {
+            for (Scalar g : np.tensor.impl()->grad)
+                has_nonzero_grad |= g != 0.0;
+        }
+        EXPECT_EQ(has_nonzero_grad, counts[expert_id] > 0)
+            << "expert " << expert_id;
+    }
+}
+
+TEST(MoELayer, QloraOnlyTrainsAdapters)
+{
+    Rng rng(8);
+    MiniModelConfig cfg = tinyConfig(ExpertKind::SwiGLU, /*lora=*/true);
+    MoELayer moe(cfg, rng);
+    // Trainable = adapters on 3 projections x 4 experts + router pair.
+    const std::size_t per_pair_w1 = 2 * (12 + 24);  // rank 2.
+    const std::size_t expert_adapters = 3 * per_pair_w1 * 4;
+    const std::size_t router_adapters = 2 * (12 + 4);
+    EXPECT_EQ(moe.numTrainableParameters(),
+              expert_adapters + router_adapters);
+}
+
+TEST(MoELayer, EveryTokenIsRepresented)
+{
+    // The scatter/gather plumbing must cover all tokens: output rows
+    // where the token went to experts must be nonzero in general.
+    Rng rng(9);
+    MoELayer moe(tinyConfig(), rng);
+    Tensor x = Tensor::randn({16, 12}, rng);
+    Tensor y = moe.forward(x, 2);
+    for (std::size_t r = 0; r < 16; ++r) {
+        double row_norm = 0.0;
+        for (std::size_t c = 0; c < 12; ++c)
+            row_norm += std::abs(y.at({r, c}));
+        EXPECT_GT(row_norm, 0.0) << "token " << r << " lost";
+    }
+}
+
+TEST(MoELayer, RejectsNon2DInput)
+{
+    Rng rng(10);
+    MoELayer moe(tinyConfig(), rng);
+    Tensor x = Tensor::randn({2, 3, 12}, rng);
+    EXPECT_THROW(moe.forward(x, 2), FatalError);
+}
+
+}  // namespace
+}  // namespace ftsim

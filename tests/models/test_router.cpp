@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the top-k gating router (Fig. 12 semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "models/router.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(Router, AssignsEveryTokenToKExperts)
+{
+    Rng rng(1);
+    Router router(16, 8, rng);
+    Tensor x = Tensor::randn({10, 16}, rng);
+    RoutingInfo info = router.route(x, 2);
+    EXPECT_EQ(info.experts.size(), 20u);
+    EXPECT_EQ(info.weights.shape(), Shape({10, 2}));
+    std::size_t total = std::accumulate(info.tokensPerExpert.begin(),
+                                        info.tokensPerExpert.end(),
+                                        std::size_t{0});
+    EXPECT_EQ(total, 20u);
+}
+
+TEST(Router, WeightsAreNormalizedAndPositive)
+{
+    Rng rng(2);
+    Router router(16, 8, rng);
+    Tensor x = Tensor::randn({6, 16}, rng);
+    RoutingInfo info = router.route(x, 2);
+    for (std::size_t r = 0; r < 6; ++r) {
+        Scalar sum = 0.0;
+        for (std::size_t j = 0; j < 2; ++j) {
+            Scalar w = info.weights.at({r, j});
+            EXPECT_GT(w, 0.0);
+            sum += w;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-12);
+    }
+}
+
+TEST(Router, TopOneWeightIsOne)
+{
+    Rng rng(3);
+    Router router(8, 4, rng);
+    Tensor x = Tensor::randn({5, 8}, rng);
+    RoutingInfo info = router.route(x, 1);
+    for (std::size_t r = 0; r < 5; ++r)
+        EXPECT_NEAR(info.weights.at({r, 0}), 1.0, 1e-12);
+}
+
+TEST(Router, DenseModeUsesAllExperts)
+{
+    Rng rng(4);
+    Router router(8, 4, rng);
+    Tensor x = Tensor::randn({3, 8}, rng);
+    RoutingInfo info = router.route(x, 4);
+    for (std::size_t e = 0; e < 4; ++e)
+        EXPECT_EQ(info.tokensPerExpert[e], 3u);
+}
+
+TEST(Router, CumulativeStatsAccumulateAndReset)
+{
+    Rng rng(5);
+    Router router(8, 4, rng);
+    Tensor x = Tensor::randn({4, 8}, rng);
+    router.route(x, 2);
+    router.route(x, 2);
+    EXPECT_EQ(router.totalAssignments(), 16u);
+    std::size_t total = std::accumulate(
+        router.cumulativeCounts().begin(),
+        router.cumulativeCounts().end(), std::size_t{0});
+    EXPECT_EQ(total, 16u);
+    router.resetStats();
+    EXPECT_EQ(router.totalAssignments(), 0u);
+    for (std::size_t c : router.cumulativeCounts())
+        EXPECT_EQ(c, 0u);
+}
+
+TEST(Router, InvalidTopKIsFatal)
+{
+    Rng rng(6);
+    Router router(8, 4, rng);
+    Tensor x = Tensor::randn({2, 8}, rng);
+    EXPECT_THROW(router.route(x, 0), FatalError);
+    EXPECT_THROW(router.route(x, 5), FatalError);
+}
+
+TEST(Router, AuxLossIsProducedWhenEnabled)
+{
+    Rng rng(7);
+    Router router(8, 4, rng, false, 4, /*aux_loss_weight=*/0.01);
+    Tensor x = Tensor::randn({6, 8}, rng);
+    RoutingInfo info = router.route(x, 2);
+    ASSERT_TRUE(info.auxLoss.defined());
+    // Switch aux loss is >= weight (it equals weight when perfectly
+    // balanced, larger when imbalanced).
+    EXPECT_GE(info.auxLoss.item(), 0.01 - 1e-9);
+}
+
+TEST(Router, AuxLossAbsentByDefault)
+{
+    Rng rng(8);
+    Router router(8, 4, rng);
+    Tensor x = Tensor::randn({3, 8}, rng);
+    EXPECT_FALSE(router.route(x, 2).auxLoss.defined());
+}
+
+TEST(Router, QloraRouterHasTrainableAdapters)
+{
+    Rng rng(9);
+    Router router(16, 8, rng, /*use_lora=*/true, /*lora_rank=*/4);
+    // Adapter params only: A [4,16] + B [8,4].
+    EXPECT_EQ(router.numTrainableParameters(), 4u * 16u + 8u * 4u);
+}
+
+TEST(Router, RoutingIsDeterministic)
+{
+    Rng rng1(10);
+    Rng rng2(10);
+    Router r1(8, 4, rng1);
+    Router r2(8, 4, rng2);
+    Rng xr(11);
+    Tensor x = Tensor::randn({5, 8}, xr);
+    EXPECT_EQ(r1.route(x, 2).experts, r2.route(x, 2).experts);
+}
+
+}  // namespace
+}  // namespace ftsim

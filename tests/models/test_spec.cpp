@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the full-size model specs — these pin Table I of the
+ * paper: Mixtral 47B / 23.35 GB, BlackMamba 2.8B / 5.6 GB, 32/18 layers,
+ * 8 experts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/spec.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(ModelSpec, MixtralMatchesTableI)
+{
+    ModelSpec spec = ModelSpec::mixtral8x7b();
+    // ~47B parameters (Table I) derived from architecture, not stored.
+    EXPECT_NEAR(static_cast<double>(spec.totalParams()), 46.7e9, 0.5e9);
+    // 23.35 GB at 4 bits/weight (Table I memory consumption).
+    EXPECT_NEAR(spec.weightMemoryBytes() / 1e9, 23.35, 0.3);
+    EXPECT_EQ(spec.nLayers, 32u);
+    EXPECT_EQ(spec.nExperts, 8u);
+    EXPECT_EQ(spec.topKSparse, 2u);
+}
+
+TEST(ModelSpec, BlackMambaMatchesTableI)
+{
+    ModelSpec spec = ModelSpec::blackMamba2p8b();
+    EXPECT_NEAR(static_cast<double>(spec.totalParams()), 2.8e9, 0.1e9);
+    // 5.6 GB at fp16 (Table I).
+    EXPECT_NEAR(spec.weightMemoryBytes() / 1e9, 5.6, 0.2);
+    EXPECT_EQ(spec.nLayers, 18u);
+    EXPECT_EQ(spec.nExperts, 8u);
+}
+
+TEST(ModelSpec, MixtralExpertDominatesParameters)
+{
+    // The paper's premise: the MoE layer holds nearly all parameters.
+    ModelSpec spec = ModelSpec::mixtral8x7b();
+    const double moe_fraction =
+        static_cast<double>(spec.nLayers * spec.moeParamsPerLayer()) /
+        static_cast<double>(spec.totalParams());
+    EXPECT_GT(moe_fraction, 0.9);
+}
+
+TEST(ModelSpec, QloraTrainableFractionIsTiny)
+{
+    ModelSpec spec = ModelSpec::mixtral8x7b();
+    const double fraction =
+        static_cast<double>(spec.trainableParams()) /
+        static_cast<double>(spec.totalParams());
+    // LoRA rank 16 on MoE: well under 1% trainable.
+    EXPECT_LT(fraction, 0.01);
+    EXPECT_GT(spec.trainableParams(), 0u);
+}
+
+TEST(ModelSpec, FullFineTuneTrainsAll)
+{
+    ModelSpec spec = ModelSpec::blackMamba2p8b();
+    EXPECT_EQ(spec.trainableParams(), spec.totalParams());
+}
+
+TEST(ModelSpec, OptimizerStateScalesWithStrategy)
+{
+    ModelSpec mixtral = ModelSpec::mixtral8x7b();
+    ModelSpec mamba = ModelSpec::blackMamba2p8b();
+    // BlackMamba's AdamW moments (fp32 x2 over 2.8B) = ~22.4 GB; the
+    // LoRA state is ~3 orders smaller.
+    EXPECT_NEAR(mamba.optimizerStateBytes() / 1e9, 22.4, 0.5);
+    EXPECT_LT(mixtral.optimizerStateBytes() / 1e9, 3.0);
+}
+
+TEST(ModelSpec, SparsityValues)
+{
+    ModelSpec spec = ModelSpec::mixtral8x7b();
+    EXPECT_DOUBLE_EQ(spec.sparsity(true), 0.25);
+    EXPECT_DOUBLE_EQ(spec.sparsity(false), 1.0);
+    EXPECT_EQ(spec.activeExperts(true), 2u);
+    EXPECT_EQ(spec.activeExperts(false), 8u);
+}
+
+TEST(ModelSpec, SwiGLUExpertsAreLargerThanGelu)
+{
+    ModelSpec mixtral = ModelSpec::mixtral8x7b();
+    EXPECT_EQ(mixtral.expertParams(),
+              3u * mixtral.dModel * mixtral.dFf);
+    ModelSpec mamba = ModelSpec::blackMamba2p8b();
+    EXPECT_EQ(mamba.expertParams(), 2u * mamba.dModel * mamba.dFf);
+}
+
+TEST(ModelSpec, GqaShrinksKvProjections)
+{
+    ModelSpec spec = ModelSpec::mixtral8x7b();
+    // q+o = 2 d^2; k+v = 2 d d_kv with d_kv = d/4 for 8-of-32 KV heads.
+    const std::size_t expected =
+        2 * spec.dModel * spec.dModel + 2 * spec.dModel * (spec.dModel / 4);
+    EXPECT_EQ(spec.mixerParamsPerLayer(), expected);
+}
+
+}  // namespace
+}  // namespace ftsim

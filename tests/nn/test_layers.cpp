@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for Linear, Embedding, and RMSNorm layers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "nn/layers.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(Linear, ShapesAndRegistry)
+{
+    Rng rng(1);
+    Linear fc(6, 4, rng, /*with_bias=*/true);
+    EXPECT_EQ(fc.inDim(), 6u);
+    EXPECT_EQ(fc.outDim(), 4u);
+    EXPECT_EQ(fc.numParameters(), 6u * 4u + 4u);
+
+    Tensor x = Tensor::randn({3, 6}, rng);
+    Tensor y = fc.forward(x);
+    EXPECT_EQ(y.shape(), Shape({3, 4}));
+}
+
+TEST(Linear, NoBiasVariant)
+{
+    Rng rng(2);
+    Linear fc(6, 4, rng);
+    EXPECT_FALSE(fc.bias().defined());
+    EXPECT_EQ(fc.numParameters(), 24u);
+}
+
+TEST(Linear, ThreeDInput)
+{
+    Rng rng(3);
+    Linear fc(6, 4, rng);
+    Tensor x = Tensor::randn({2, 3, 6}, rng);
+    EXPECT_EQ(fc.forward(x).shape(), Shape({2, 3, 4}));
+}
+
+TEST(Linear, InitializationScale)
+{
+    // Kaiming-uniform: |w| <= 1/sqrt(in_dim).
+    Rng rng(4);
+    Linear fc(64, 32, rng);
+    const double bound = 1.0 / std::sqrt(64.0);
+    for (Scalar w : fc.weight().data())
+        EXPECT_LE(std::abs(w), bound);
+}
+
+TEST(Linear, ZeroDimIsFatal)
+{
+    Rng rng(5);
+    EXPECT_THROW(Linear(0, 4, rng), FatalError);
+    EXPECT_THROW(Linear(4, 0, rng), FatalError);
+}
+
+TEST(Embedding, LookupShape)
+{
+    Rng rng(6);
+    Embedding emb(10, 4, rng);
+    Tensor out = emb.forward({1, 2, 3, 4, 5, 6}, {2, 3});
+    EXPECT_EQ(out.shape(), Shape({2, 3, 4}));
+    EXPECT_EQ(emb.numParameters(), 40u);
+}
+
+TEST(Embedding, GradientFlowsToTable)
+{
+    Rng rng(7);
+    Embedding emb(10, 4, rng);
+    sumAll(emb.forward({3, 3}, {2})).backward();
+    // Row 3 accumulated two gradient contributions; row 0 none.
+    EXPECT_DOUBLE_EQ(emb.table().grad()[3 * 4], 2.0);
+    EXPECT_DOUBLE_EQ(emb.table().grad()[0], 0.0);
+}
+
+TEST(RMSNormLayer, UnitOutputScale)
+{
+    Rng rng(8);
+    RMSNorm norm(8);
+    Tensor x = Tensor::randn({4, 8}, rng, 5.0);  // Large input scale.
+    Tensor y = norm.forward(x);
+    // Each row of the output has RMS ~= 1 with the unit gain init.
+    for (std::size_t r = 0; r < 4; ++r) {
+        double ss = 0.0;
+        for (std::size_t c = 0; c < 8; ++c)
+            ss += y.at({r, c}) * y.at({r, c});
+        EXPECT_NEAR(std::sqrt(ss / 8.0), 1.0, 1e-6);
+    }
+}
+
+TEST(RMSNormLayer, GainIsTrainable)
+{
+    RMSNorm norm(4);
+    EXPECT_EQ(norm.numTrainableParameters(), 4u);
+    Tensor x = Tensor::full({1, 4}, 2.0);
+    sumAll(norm.forward(x)).backward();
+    EXPECT_TRUE(norm.parameters()[0].hasGrad());
+}
+
+}  // namespace
+}  // namespace ftsim

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for LoRA adapters over frozen bases (QLoRA configuration).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "nn/lora.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+namespace {
+
+LoRALinear
+makeQlora(Rng& rng, std::size_t in = 16, std::size_t out = 8,
+          std::size_t rank = 4)
+{
+    return LoRALinear(std::make_unique<QuantLinear>(in, out, rng), rank,
+                      2.0 * static_cast<Scalar>(rank), rng);
+}
+
+TEST(LoRALinear, StartsAsExactNoOp)
+{
+    // B is zero-initialized, so the adapter contributes nothing at init.
+    Rng rng(1);
+    Tensor w = Tensor::randn({8, 16}, rng, 0.1);
+    auto base = std::make_unique<QuantLinear>(w);
+    Tensor base_out;
+    {
+        Tensor x = Tensor::randn({3, 16}, rng);
+        base_out = base->forward(x).detach();
+        LoRALinear lora(std::move(base), 4, 8.0, rng);
+        Tensor y = lora.forward(x);
+        for (std::size_t i = 0; i < y.numel(); ++i)
+            EXPECT_DOUBLE_EQ(y.data()[i], base_out.data()[i]);
+    }
+}
+
+TEST(LoRALinear, OnlyAdaptersAreTrainable)
+{
+    Rng rng(2);
+    LoRALinear lora = makeQlora(rng);
+    // A [4, 16] + B [8, 4] = 96 trainable.
+    EXPECT_EQ(lora.numTrainableParameters(), 96u);
+    auto trainable = lora.trainableParameters();
+    EXPECT_EQ(trainable.size(), 2u);
+}
+
+TEST(LoRALinear, GradientsReachAdaptersOnly)
+{
+    Rng rng(3);
+    LoRALinear lora = makeQlora(rng);
+    Tensor x = Tensor::randn({2, 16}, rng);
+    sumAll(mul(lora.forward(x), lora.forward(x))).backward();
+    EXPECT_TRUE(lora.loraA().hasGrad());
+    EXPECT_TRUE(lora.loraB().hasGrad());
+    // B was zero at init, so after one backward dA must be zero while
+    // dB is generally nonzero (dL/dB = g down^T).
+    bool b_nonzero = false;
+    for (Scalar g : lora.loraB().grad())
+        b_nonzero |= g != 0.0;
+    EXPECT_TRUE(b_nonzero);
+}
+
+TEST(LoRALinear, TrainingChangesOutput)
+{
+    Rng rng(4);
+    LoRALinear lora = makeQlora(rng);
+    Tensor x = Tensor::randn({2, 16}, rng);
+    Tensor before = lora.forward(x).detach();
+
+    // A couple of SGD steps on sum of squares.
+    for (int iter = 0; iter < 3; ++iter) {
+        lora.zeroGrad();
+        Tensor y = lora.forward(x);
+        sumAll(mul(y, y)).backward();
+        for (auto& p : lora.trainableParameters())
+            for (std::size_t i = 0; i < p.numel(); ++i)
+                p.data()[i] -= 0.05 * p.grad()[i];
+    }
+    Tensor after = lora.forward(x).detach();
+    double diff = 0.0;
+    for (std::size_t i = 0; i < before.numel(); ++i)
+        diff += std::abs(after.data()[i] - before.data()[i]);
+    EXPECT_GT(diff, 0.0);
+}
+
+TEST(LoRALinear, DenseBaseAlsoWorks)
+{
+    Rng rng(5);
+    LoRALinear lora(std::make_unique<DenseLinear>(6, 3, rng), 2, 4.0,
+                    rng);
+    // Dense base is frozen by the adapter: only A [2,6] + B [3,2].
+    EXPECT_EQ(lora.numTrainableParameters(), 2u * 6u + 3u * 2u);
+    EXPECT_EQ(lora.inDim(), 6u);
+    EXPECT_EQ(lora.outDim(), 3u);
+}
+
+TEST(LoRALinear, InvalidConstruction)
+{
+    Rng rng(6);
+    EXPECT_THROW(
+        LoRALinear(std::make_unique<DenseLinear>(4, 4, rng), 0, 1.0, rng),
+        FatalError);
+    EXPECT_THROW(LoRALinear(nullptr, 4, 8.0, rng), FatalError);
+}
+
+}  // namespace
+}  // namespace ftsim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the Module parameter registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+namespace {
+
+/** A two-layer composite used to exercise the registry tree. */
+class TinyMlp : public Module {
+  public:
+    explicit TinyMlp(Rng& rng)
+        : fc1_(4, 8, rng, /*with_bias=*/true), fc2_(8, 2, rng)
+    {
+        registerChild("fc1", &fc1_);
+        registerChild("fc2", &fc2_);
+    }
+
+    Tensor forward(const Tensor& x) const
+    {
+        return fc2_.forward(relu(fc1_.forward(x)));
+    }
+
+  private:
+    Linear fc1_;
+    Linear fc2_;
+};
+
+TEST(Module, NamedParametersWalkTree)
+{
+    Rng rng(1);
+    TinyMlp mlp(rng);
+    auto named = mlp.namedParameters();
+    ASSERT_EQ(named.size(), 3u);  // fc1.weight, fc1.bias, fc2.weight.
+    EXPECT_EQ(named[0].name, "fc1.weight");
+    EXPECT_EQ(named[1].name, "fc1.bias");
+    EXPECT_EQ(named[2].name, "fc2.weight");
+}
+
+TEST(Module, ParameterCounts)
+{
+    Rng rng(2);
+    TinyMlp mlp(rng);
+    // 4*8 + 8 + 8*2 = 56.
+    EXPECT_EQ(mlp.numParameters(), 56u);
+    EXPECT_EQ(mlp.numTrainableParameters(), 56u);
+}
+
+TEST(Module, FreezeRemovesTrainables)
+{
+    Rng rng(3);
+    TinyMlp mlp(rng);
+    mlp.freeze();
+    EXPECT_EQ(mlp.numTrainableParameters(), 0u);
+    EXPECT_EQ(mlp.numParameters(), 56u);
+    EXPECT_TRUE(mlp.trainableParameters().empty());
+}
+
+TEST(Module, ZeroGradClearsAllGradients)
+{
+    Rng rng(4);
+    TinyMlp mlp(rng);
+    Tensor x = Tensor::randn({2, 4}, rng);
+    sumAll(mlp.forward(x)).backward();
+    bool any_nonzero = false;
+    for (auto& p : mlp.parameters())
+        for (Scalar g : p.grad())
+            any_nonzero |= g != 0.0;
+    EXPECT_TRUE(any_nonzero);
+    mlp.zeroGrad();
+    for (auto& p : mlp.parameters())
+        for (Scalar g : p.grad())
+            EXPECT_DOUBLE_EQ(g, 0.0);
+}
+
+TEST(Module, ParametersShareStorageWithModel)
+{
+    Rng rng(5);
+    TinyMlp mlp(rng);
+    auto params = mlp.parameters();
+    const Scalar before = params[0].data()[0];
+    params[0].data()[0] = before + 1.0;
+    // The same storage must be visible through a fresh traversal.
+    EXPECT_DOUBLE_EQ(mlp.parameters()[0].data()[0], before + 1.0);
+}
+
+}  // namespace
+}  // namespace ftsim

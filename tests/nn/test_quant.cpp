@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for 4-bit block quantization (the QLoRA base layer).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "nn/quant.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(Quantize4Bit, RoundTripErrorIsBounded)
+{
+    Rng rng(1);
+    Tensor w = Tensor::randn({8, 64}, rng, 0.1);
+    QuantizedMatrix qm = quantize4Bit(w, 32);
+    Tensor deq = dequantize4Bit(qm);
+    ASSERT_EQ(deq.shape(), w.shape());
+    // Symmetric int4: error per element is at most scale/2, where the
+    // block scale is absmax/7.
+    for (std::size_t r = 0; r < 8; ++r) {
+        for (std::size_t blk = 0; blk < 2; ++blk) {
+            double absmax = 0.0;
+            for (std::size_t c = blk * 32; c < (blk + 1) * 32; ++c)
+                absmax = std::max(absmax,
+                                  std::abs(w.at({r, c})));
+            const double tol = absmax / 7.0 / 2.0 + 1e-12;
+            for (std::size_t c = blk * 32; c < (blk + 1) * 32; ++c)
+                EXPECT_LE(std::abs(w.at({r, c}) - deq.at({r, c})), tol);
+        }
+    }
+}
+
+TEST(Quantize4Bit, CodesAreFourBit)
+{
+    Rng rng(2);
+    Tensor w = Tensor::randn({4, 32}, rng);
+    QuantizedMatrix qm = quantize4Bit(w, 32);
+    for (std::uint8_t code : qm.codes)
+        EXPECT_LE(code, 15);
+}
+
+TEST(Quantize4Bit, ZeroWeightRoundTripsExactly)
+{
+    Tensor w = Tensor::zeros({2, 32});
+    Tensor deq = dequantize4Bit(quantize4Bit(w));
+    for (Scalar v : deq.data())
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Quantize4Bit, RaggedLastBlock)
+{
+    // cols not a multiple of the block size.
+    Rng rng(3);
+    Tensor w = Tensor::randn({2, 40}, rng);
+    QuantizedMatrix qm = quantize4Bit(w, 32);
+    EXPECT_EQ(qm.blocksPerRow(), 2u);
+    Tensor deq = dequantize4Bit(qm);
+    EXPECT_EQ(deq.shape(), w.shape());
+}
+
+TEST(Quantize4Bit, PackedBytesMatchFourBitStorage)
+{
+    Rng rng(4);
+    Tensor w = Tensor::randn({16, 64}, rng);
+    QuantizedMatrix qm = quantize4Bit(w, 32);
+    // 16*64 codes at 2/byte + 16*2 scales at 2 bytes.
+    EXPECT_EQ(qm.packedBytes(), 16u * 64u / 2u + 16u * 2u * 2u);
+}
+
+TEST(QuantLinear, ForwardApproximatesDense)
+{
+    Rng rng(5);
+    Tensor w = Tensor::randn({8, 32}, rng, 0.1);
+    QuantLinear ql(w);
+    Tensor x = Tensor::randn({4, 32}, rng);
+    Tensor y_q = ql.forward(x);
+    Tensor y_d = linearOp(x, w, Tensor());
+    for (std::size_t i = 0; i < y_q.numel(); ++i)
+        EXPECT_NEAR(y_q.data()[i], y_d.data()[i], 0.5);
+    EXPECT_GT(ql.quantizationError(), 0.0);
+    EXPECT_LT(ql.quantizationError(), 0.02);
+}
+
+TEST(QuantLinear, WeightsAreFrozen)
+{
+    Rng rng(6);
+    QuantLinear ql(16, 8, rng);
+    EXPECT_EQ(ql.numTrainableParameters(), 0u);
+    // Gradient still flows to the *input*.
+    Tensor x = Tensor::randn({2, 16}, rng, 1.0, true);
+    sumAll(ql.forward(x)).backward();
+    EXPECT_TRUE(x.hasGrad());
+}
+
+TEST(QuantLinear, DimsExposed)
+{
+    Rng rng(7);
+    QuantLinear ql(16, 8, rng);
+    EXPECT_EQ(ql.inDim(), 16u);
+    EXPECT_EQ(ql.outDim(), 8u);
+}
+
+TEST(DenseLinearLayer, TrainableAndCorrectShape)
+{
+    Rng rng(8);
+    DenseLinear dl(6, 3, rng);
+    EXPECT_EQ(dl.numTrainableParameters(), 18u);
+    Tensor x = Tensor::randn({2, 6}, rng);
+    EXPECT_EQ(dl.forward(x).shape(), Shape({2, 3}));
+}
+
+TEST(Quantize4Bit, NonMatrixIsFatal)
+{
+    EXPECT_THROW(quantize4Bit(Tensor::zeros({4})), FatalError);
+    EXPECT_THROW(quantize4Bit(Tensor::zeros({2, 2}), 0), FatalError);
+}
+
+}  // namespace
+}  // namespace ftsim

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Autograd-graph behaviour tests: composites, known closed-form
+ * gradients, and the cross-entropy training signal.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(Autograd, ProductRule)
+{
+    Tensor a = Tensor::scalar(3.0, true);
+    Tensor b = Tensor::scalar(4.0, true);
+    mul(a, b).backward();
+    EXPECT_DOUBLE_EQ(a.grad()[0], 4.0);
+    EXPECT_DOUBLE_EQ(b.grad()[0], 3.0);
+}
+
+TEST(Autograd, ChainRuleThroughSigmoid)
+{
+    // d/dx sigmoid(2x) = 2 s (1 - s).
+    Tensor x = Tensor::scalar(0.3, true);
+    sigmoid(scale(x, 2.0)).backward();
+    double s = 1.0 / (1.0 + std::exp(-0.6));
+    EXPECT_NEAR(x.grad()[0], 2.0 * s * (1.0 - s), 1e-12);
+}
+
+TEST(Autograd, MatmulGradientClosedForm)
+{
+    // loss = sum(A B); dA = ones * B^T, dB = A^T * ones.
+    Tensor a = Tensor::fromVector({2, 2}, {1, 2, 3, 4}, true);
+    Tensor b = Tensor::fromVector({2, 2}, {5, 6, 7, 8}, true);
+    sumAll(matmul(a, b)).backward();
+    // dA[i][k] = sum_j B[k][j].
+    EXPECT_DOUBLE_EQ(a.grad()[0], 11.0);
+    EXPECT_DOUBLE_EQ(a.grad()[1], 15.0);
+    EXPECT_DOUBLE_EQ(a.grad()[2], 11.0);
+    // dB[k][j] = sum_i A[i][k].
+    EXPECT_DOUBLE_EQ(b.grad()[0], 4.0);
+    EXPECT_DOUBLE_EQ(b.grad()[2], 6.0);
+}
+
+TEST(Autograd, CrossEntropyGradientIsSoftmaxMinusOneHot)
+{
+    Tensor logits = Tensor::fromVector({1, 3}, {1.0, 2.0, 3.0}, true);
+    crossEntropy(logits, {2}).backward();
+    // softmax of (1,2,3).
+    double z = std::exp(1.0) + std::exp(2.0) + std::exp(3.0);
+    EXPECT_NEAR(logits.grad()[0], std::exp(1.0) / z, 1e-12);
+    EXPECT_NEAR(logits.grad()[1], std::exp(2.0) / z, 1e-12);
+    EXPECT_NEAR(logits.grad()[2], std::exp(3.0) / z - 1.0, 1e-12);
+}
+
+TEST(Autograd, IgnoredTargetsGetZeroGradient)
+{
+    Tensor logits = Tensor::fromVector({2, 2}, {1, 2, 3, 4}, true);
+    crossEntropy(logits, {0, -1}, -1).backward();
+    EXPECT_DOUBLE_EQ(logits.grad()[2], 0.0);
+    EXPECT_DOUBLE_EQ(logits.grad()[3], 0.0);
+    EXPECT_NE(logits.grad()[0], 0.0);
+}
+
+TEST(Autograd, GradientDescentReducesQuadratic)
+{
+    // Minimize ||x - c||^2 by hand-rolled SGD over the graph.
+    Rng rng(3);
+    Tensor x = Tensor::randn({4}, rng, 1.0, true);
+    Tensor c = Tensor::fromVector({4}, {1.0, -2.0, 0.5, 3.0});
+    double prev = 1e300;
+    for (int iter = 0; iter < 50; ++iter) {
+        x.zeroGrad();
+        Tensor diff = sub(x, c);
+        Tensor loss = sumAll(mul(diff, diff));
+        EXPECT_LE(loss.item(), prev + 1e-12);
+        prev = loss.item();
+        loss.backward();
+        for (std::size_t i = 0; i < x.numel(); ++i)
+            x.data()[i] -= 0.1 * x.grad()[i];
+    }
+    EXPECT_LT(prev, 1e-3);
+}
+
+TEST(Autograd, MoEGatePathPropagates)
+{
+    // A miniature of the MoE combine: gather -> scale rows -> scatter.
+    Tensor x = Tensor::fromVector({3, 2}, {1, 1, 2, 2, 3, 3}, true);
+    Tensor w = Tensor::fromVector({2}, {0.25, 0.75}, true);
+    Tensor g = gatherRows(x, {0, 2});
+    Tensor s = scaleRows(g, w);
+    Tensor out = scatterAddRows(s, {0, 2}, 3);
+    sumAll(out).backward();
+    // Row 1 of x was never gathered.
+    EXPECT_DOUBLE_EQ(x.grad()[2], 0.0);
+    EXPECT_DOUBLE_EQ(x.grad()[0], 0.25);
+    EXPECT_DOUBLE_EQ(x.grad()[4], 0.75);
+    // dw = sum of gathered row values.
+    EXPECT_DOUBLE_EQ(w.grad()[0], 2.0);
+    EXPECT_DOUBLE_EQ(w.grad()[1], 6.0);
+}
+
+TEST(Autograd, DiamondGraphAccumulates)
+{
+    // y = (x*2) + (x*3): two paths to the same leaf.
+    Tensor x = Tensor::scalar(1.0, true);
+    Tensor y = add(scale(x, 2.0), scale(x, 3.0));
+    y.backward();
+    EXPECT_DOUBLE_EQ(x.grad()[0], 5.0);
+}
+
+TEST(Autograd, DetachBlocksGradient)
+{
+    Tensor x = Tensor::scalar(2.0, true);
+    Tensor d = scale(x, 3.0).detach();
+    Tensor y = mul(d, d);
+    EXPECT_FALSE(y.requiresGrad());
+}
+
+}  // namespace
+}  // namespace ftsim

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Finite-difference gradient verification for every differentiable op.
+ *
+ * Each case builds a small scalar-valued function of random inputs and
+ * compares reverse-mode gradients against central differences. Tensors
+ * are double precision, so tolerances are tight.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <functional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "tensor/grad_check.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+namespace {
+
+/** One named grad-check scenario. */
+struct GradCase {
+    std::string name;
+    /** Builds the input leaves. */
+    std::function<std::vector<Tensor>(Rng&)> make_inputs;
+    /** The scalar function under test. */
+    ScalarFn fn;
+};
+
+class GradCheckSuite : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(GradCheckSuite, AnalyticMatchesNumeric)
+{
+    const GradCase& gc = GetParam();
+    Rng rng(0xfeedULL + std::hash<std::string>{}(gc.name));
+    auto inputs = gc.make_inputs(rng);
+    GradCheckResult result = gradCheck(gc.fn, inputs, 1e-5, 2e-5, 1e-8);
+    EXPECT_TRUE(result.ok) << gc.name << ": " << result.firstFailure
+                           << " (max rel " << result.maxRelError << ")";
+}
+
+std::vector<Tensor>
+two23(Rng& rng)
+{
+    return {Tensor::randn({2, 3}, rng), Tensor::randn({2, 3}, rng)};
+}
+
+std::vector<Tensor>
+one23(Rng& rng)
+{
+    return {Tensor::randn({2, 3}, rng)};
+}
+
+const GradCase kCases[] = {
+    {"add", two23,
+     [](const std::vector<Tensor>& t) {
+         return sumAll(add(t[0], t[1]));
+     }},
+    {"sub", two23,
+     [](const std::vector<Tensor>& t) {
+         return sumAll(mul(sub(t[0], t[1]), sub(t[0], t[1])));
+     }},
+    {"mul", two23,
+     [](const std::vector<Tensor>& t) {
+         return sumAll(mul(t[0], t[1]));
+     }},
+    {"div", [](Rng& rng) -> std::vector<Tensor> {
+         // Keep the denominator away from zero.
+         Tensor b = Tensor::randn({2, 3}, rng);
+         for (auto& v : b.data())
+             v = v > 0 ? v + 1.5 : v - 1.5;
+         return {Tensor::randn({2, 3}, rng), b};
+     },
+     [](const std::vector<Tensor>& t) {
+         return sumAll(div(t[0], t[1]));
+     }},
+    {"scale_addScalar", one23,
+     [](const std::vector<Tensor>& t) {
+         return sumAll(addScalar(scale(t[0], -2.5), 3.0));
+     }},
+    {"relu", [](Rng& rng) -> std::vector<Tensor> {
+         // Nudge values away from the kink at 0.
+         Tensor x = Tensor::randn({2, 3}, rng);
+         for (auto& v : x.data())
+             v += (v >= 0 ? 0.3 : -0.3);
+         return {x};
+     },
+     [](const std::vector<Tensor>& t) { return sumAll(relu(t[0])); }},
+    {"sigmoid", one23,
+     [](const std::vector<Tensor>& t) { return sumAll(sigmoid(t[0])); }},
+    {"tanh", one23,
+     [](const std::vector<Tensor>& t) { return sumAll(tanhAct(t[0])); }},
+    {"silu", one23,
+     [](const std::vector<Tensor>& t) { return sumAll(silu(t[0])); }},
+    {"gelu", one23,
+     [](const std::vector<Tensor>& t) { return sumAll(gelu(t[0])); }},
+    {"softplus", one23,
+     [](const std::vector<Tensor>& t) { return sumAll(softplus(t[0])); }},
+    {"meanAll", one23,
+     [](const std::vector<Tensor>& t) {
+         return meanAll(mul(t[0], t[0]));
+     }},
+    {"reshape", one23,
+     [](const std::vector<Tensor>& t) {
+         return sumAll(mul(reshape(t[0], {3, 2}), reshape(t[0], {3, 2})));
+     }},
+    {"transposeLast", one23,
+     [](const std::vector<Tensor>& t) {
+         Tensor tr = transposeLast(t[0]);
+         return sumAll(mul(tr, tr));
+     }},
+    {"transposeLast3d",
+     [](Rng& rng) -> std::vector<Tensor> {
+         return {Tensor::randn({2, 2, 3}, rng)};
+     },
+     [](const std::vector<Tensor>& t) {
+         Tensor tr = transposeLast(t[0]);
+         return sumAll(mul(tr, tr));
+     }},
+    {"concat_slice", two23,
+     [](const std::vector<Tensor>& t) {
+         Tensor c = concatLastDim({t[0], t[1]});
+         Tensor s = sliceLastDim(c, 1, 4);
+         return sumAll(mul(s, s));
+     }},
+    {"matmul2d",
+     [](Rng& rng) -> std::vector<Tensor> {
+         return {Tensor::randn({2, 3}, rng), Tensor::randn({3, 4}, rng)};
+     },
+     [](const std::vector<Tensor>& t) {
+         Tensor y = matmul(t[0], t[1]);
+         return sumAll(mul(y, y));
+     }},
+    {"matmul3d",
+     [](Rng& rng) -> std::vector<Tensor> {
+         return {Tensor::randn({2, 2, 3}, rng),
+                 Tensor::randn({3, 2}, rng)};
+     },
+     [](const std::vector<Tensor>& t) {
+         Tensor y = matmul(t[0], t[1]);
+         return sumAll(mul(y, y));
+     }},
+    {"bmm",
+     [](Rng& rng) -> std::vector<Tensor> {
+         return {Tensor::randn({2, 2, 3}, rng),
+                 Tensor::randn({2, 3, 2}, rng)};
+     },
+     [](const std::vector<Tensor>& t) {
+         Tensor y = bmm(t[0], t[1]);
+         return sumAll(mul(y, y));
+     }},
+    {"linearOp",
+     [](Rng& rng) -> std::vector<Tensor> {
+         return {Tensor::randn({2, 3}, rng), Tensor::randn({4, 3}, rng),
+                 Tensor::randn({4}, rng)};
+     },
+     [](const std::vector<Tensor>& t) {
+         Tensor y = linearOp(t[0], t[1], t[2]);
+         return sumAll(mul(y, y));
+     }},
+    {"linearOp3d",
+     [](Rng& rng) -> std::vector<Tensor> {
+         return {Tensor::randn({2, 2, 3}, rng),
+                 Tensor::randn({4, 3}, rng)};
+     },
+     [](const std::vector<Tensor>& t) {
+         Tensor y = linearOp(t[0], t[1], Tensor());
+         return sumAll(mul(y, y));
+     }},
+    {"addBias",
+     [](Rng& rng) -> std::vector<Tensor> {
+         return {Tensor::randn({2, 3}, rng), Tensor::randn({3}, rng)};
+     },
+     [](const std::vector<Tensor>& t) {
+         Tensor y = addBias(t[0], t[1]);
+         return sumAll(mul(y, y));
+     }},
+    {"mulLastDim",
+     [](Rng& rng) -> std::vector<Tensor> {
+         return {Tensor::randn({2, 3}, rng), Tensor::randn({3}, rng)};
+     },
+     [](const std::vector<Tensor>& t) {
+         return sumAll(mulLastDim(t[0], t[1]));
+     }},
+    {"scaleRows",
+     [](Rng& rng) -> std::vector<Tensor> {
+         return {Tensor::randn({3, 2}, rng), Tensor::randn({3}, rng)};
+     },
+     [](const std::vector<Tensor>& t) {
+         return sumAll(scaleRows(t[0], t[1]));
+     }},
+    {"rmsNorm",
+     [](Rng& rng) -> std::vector<Tensor> {
+         return {Tensor::randn({2, 4}, rng), Tensor::randn({4}, rng)};
+     },
+     [](const std::vector<Tensor>& t) {
+         Tensor y = rmsNorm(t[0], t[1]);
+         return sumAll(mul(y, y));
+     }},
+    {"softmax", one23,
+     [](const std::vector<Tensor>& t) {
+         Tensor y = softmaxLastDim(t[0]);
+         return sumAll(mul(y, y));
+     }},
+    {"logSoftmax", one23,
+     [](const std::vector<Tensor>& t) {
+         Tensor y = logSoftmaxLastDim(t[0]);
+         return sumAll(mul(y, y));
+     }},
+    {"normalizeLastDim",
+     [](Rng& rng) -> std::vector<Tensor> {
+         // Positive entries, as the MoE gate path guarantees.
+         Tensor x = Tensor::randn({3, 4}, rng);
+         for (auto& v : x.data())
+             v = std::abs(v) + 0.5;
+         return {x};
+     },
+     [](const std::vector<Tensor>& t) {
+         Tensor y = normalizeLastDim(t[0]);
+         return sumAll(mul(y, y));
+     }},
+    {"crossEntropy",
+     [](Rng& rng) -> std::vector<Tensor> {
+         return {Tensor::randn({3, 5}, rng)};
+     },
+     [](const std::vector<Tensor>& t) {
+         return crossEntropy(t[0], {1, 4, -1}, -1);
+     }},
+    {"embedding",
+     [](Rng& rng) -> std::vector<Tensor> {
+         return {Tensor::randn({5, 3}, rng)};
+     },
+     [](const std::vector<Tensor>& t) {
+         Tensor y = embedding(t[0], {1, 1, 4, 0}, {4});
+         return sumAll(mul(y, y));
+     }},
+    {"causalMask_attention",
+     [](Rng& rng) -> std::vector<Tensor> {
+         return {Tensor::randn({2, 3, 3}, rng)};
+     },
+     [](const std::vector<Tensor>& t) {
+         Tensor y = softmaxLastDim(causalMask(t[0]));
+         return sumAll(mul(y, y));
+     }},
+    {"gather_scatter",
+     [](Rng& rng) -> std::vector<Tensor> {
+         return {Tensor::randn({4, 3}, rng)};
+     },
+     [](const std::vector<Tensor>& t) {
+         Tensor g = gatherRows(t[0], {3, 1, 1});
+         Tensor s = scatterAddRows(g, {0, 2, 2}, 4);
+         return sumAll(mul(s, s));
+     }},
+    {"gatherLastDim",
+     [](Rng& rng) -> std::vector<Tensor> {
+         return {Tensor::randn({2, 4}, rng)};
+     },
+     [](const std::vector<Tensor>& t) {
+         Tensor g = gatherLastDim(t[0], {0, 2, 3, 1}, 2);
+         return sumAll(mul(g, g));
+     }},
+    {"splitMergeHeads",
+     [](Rng& rng) -> std::vector<Tensor> {
+         return {Tensor::randn({2, 3, 4}, rng)};
+     },
+     [](const std::vector<Tensor>& t) {
+         Tensor s = splitHeads(t[0], 2);
+         Tensor m = mergeHeads(s, 2);
+         return sumAll(mul(m, m));
+     }},
+    {"conv1d",
+     [](Rng& rng) -> std::vector<Tensor> {
+         return {Tensor::randn({2, 5, 3}, rng),
+                 Tensor::randn({2, 3}, rng)};
+     },
+     [](const std::vector<Tensor>& t) {
+         Tensor y = conv1dDepthwiseCausal(t[0], t[1]);
+         return sumAll(mul(y, y));
+     }},
+    {"selectiveScan",
+     [](Rng& rng) -> std::vector<Tensor> {
+         // Decay in (0, 1) as the Mamba layer produces.
+         Tensor a = Tensor::randn({2, 4, 3}, rng);
+         for (auto& v : a.data())
+             v = 0.5 + 0.4 * std::tanh(v);
+         return {a, Tensor::randn({2, 4, 3}, rng)};
+     },
+     [](const std::vector<Tensor>& t) {
+         Tensor h = selectiveScan(t[0], t[1]);
+         return sumAll(mul(h, h));
+     }},
+    {"full_attention_block",
+     [](Rng& rng) -> std::vector<Tensor> {
+         // q, k, v as separate leaves through a full attention pattern.
+         return {Tensor::randn({2, 3, 4}, rng),
+                 Tensor::randn({2, 3, 4}, rng),
+                 Tensor::randn({2, 3, 4}, rng)};
+     },
+     [](const std::vector<Tensor>& t) {
+         Tensor scores = scale(bmm(t[0], transposeLast(t[1])), 0.5);
+         Tensor probs = softmaxLastDim(causalMask(scores));
+         Tensor ctx = bmm(probs, t[2]);
+         return sumAll(mul(ctx, ctx));
+     }},
+};
+
+INSTANTIATE_TEST_SUITE_P(AllOps, GradCheckSuite,
+                         ::testing::ValuesIn(kCases),
+                         [](const ::testing::TestParamInfo<GradCase>& info) {
+                             return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace ftsim

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Forward-value correctness tests for tensor ops.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(Ops, AddSubMulDiv)
+{
+    Tensor a = Tensor::fromVector({2, 2}, {1.0, 2.0, 3.0, 4.0});
+    Tensor b = Tensor::fromVector({2, 2}, {4.0, 3.0, 2.0, 1.0});
+    EXPECT_DOUBLE_EQ(add(a, b).data()[0], 5.0);
+    EXPECT_DOUBLE_EQ(sub(a, b).data()[0], -3.0);
+    EXPECT_DOUBLE_EQ(mul(a, b).data()[1], 6.0);
+    EXPECT_DOUBLE_EQ(div(a, b).data()[3], 4.0);
+}
+
+TEST(Ops, ShapeMismatchIsFatal)
+{
+    Tensor a = Tensor::zeros({2, 2});
+    Tensor b = Tensor::zeros({2, 3});
+    EXPECT_THROW(add(a, b), FatalError);
+    EXPECT_THROW(mul(a, b), FatalError);
+}
+
+TEST(Ops, ActivationValues)
+{
+    Tensor x = Tensor::fromVector({3}, {-1.0, 0.0, 2.0});
+    EXPECT_DOUBLE_EQ(relu(x).data()[0], 0.0);
+    EXPECT_DOUBLE_EQ(relu(x).data()[2], 2.0);
+    EXPECT_NEAR(sigmoid(x).data()[1], 0.5, 1e-12);
+    EXPECT_NEAR(tanhAct(x).data()[2], std::tanh(2.0), 1e-12);
+    // silu(0) = 0, silu(2) = 2 * sigmoid(2).
+    EXPECT_NEAR(silu(x).data()[1], 0.0, 1e-12);
+    EXPECT_NEAR(silu(x).data()[2], 2.0 / (1.0 + std::exp(-2.0)), 1e-12);
+    // gelu(0) = 0; gelu is ~x for large positive x.
+    EXPECT_NEAR(gelu(x).data()[1], 0.0, 1e-12);
+    EXPECT_NEAR(gelu(Tensor::fromVector({1}, {10.0})).data()[0], 10.0,
+                1e-6);
+    // softplus(0) = ln 2.
+    EXPECT_NEAR(softplus(x).data()[1], std::log(2.0), 1e-12);
+}
+
+TEST(Ops, SoftplusIsOverflowSafe)
+{
+    Tensor x = Tensor::fromVector({2}, {800.0, -800.0});
+    Tensor y = softplus(x);
+    EXPECT_NEAR(y.data()[0], 800.0, 1e-9);
+    EXPECT_NEAR(y.data()[1], 0.0, 1e-9);
+}
+
+TEST(Ops, SumAndMean)
+{
+    Tensor x = Tensor::fromVector({4}, {1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(sumAll(x).item(), 10.0);
+    EXPECT_DOUBLE_EQ(meanAll(x).item(), 2.5);
+}
+
+TEST(Ops, ReshapeAndTranspose)
+{
+    Tensor x = Tensor::fromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+    Tensor r = reshape(x, {3, 2});
+    EXPECT_DOUBLE_EQ(r.at({2, 1}), 6.0);
+    EXPECT_THROW(reshape(x, {4, 2}), FatalError);
+
+    Tensor t = transposeLast(x);
+    EXPECT_EQ(t.shape(), Shape({3, 2}));
+    EXPECT_DOUBLE_EQ(t.at({0, 1}), 4.0);
+    EXPECT_DOUBLE_EQ(t.at({2, 0}), 3.0);
+}
+
+TEST(Ops, TransposeBatched)
+{
+    Tensor x = Tensor::fromVector({2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+    Tensor t = transposeLast(x);
+    EXPECT_DOUBLE_EQ(t.at({0, 0, 1}), 3.0);
+    EXPECT_DOUBLE_EQ(t.at({1, 1, 0}), 6.0);
+}
+
+TEST(Ops, ConcatAndSlice)
+{
+    Tensor a = Tensor::fromVector({2, 2}, {1, 2, 3, 4});
+    Tensor b = Tensor::fromVector({2, 1}, {9, 8});
+    Tensor c = concatLastDim({a, b});
+    EXPECT_EQ(c.shape(), Shape({2, 3}));
+    EXPECT_DOUBLE_EQ(c.at({0, 2}), 9.0);
+    EXPECT_DOUBLE_EQ(c.at({1, 2}), 8.0);
+
+    Tensor s = sliceLastDim(c, 1, 2);
+    EXPECT_EQ(s.shape(), Shape({2, 2}));
+    EXPECT_DOUBLE_EQ(s.at({0, 0}), 2.0);
+    EXPECT_DOUBLE_EQ(s.at({0, 1}), 9.0);
+    EXPECT_THROW(sliceLastDim(c, 2, 2), FatalError);
+}
+
+TEST(Ops, MatmulValues)
+{
+    Tensor a = Tensor::fromVector({2, 2}, {1, 2, 3, 4});
+    Tensor b = Tensor::fromVector({2, 2}, {5, 6, 7, 8});
+    Tensor c = matmul(a, b);
+    EXPECT_DOUBLE_EQ(c.at({0, 0}), 19.0);
+    EXPECT_DOUBLE_EQ(c.at({0, 1}), 22.0);
+    EXPECT_DOUBLE_EQ(c.at({1, 0}), 43.0);
+    EXPECT_DOUBLE_EQ(c.at({1, 1}), 50.0);
+}
+
+TEST(Ops, MatmulBatchedLeft)
+{
+    Tensor a = Tensor::fromVector({2, 1, 2}, {1, 2, 3, 4});
+    Tensor b = Tensor::fromVector({2, 1}, {10, 1});
+    Tensor c = matmul(a, b);
+    EXPECT_EQ(c.shape(), Shape({2, 1, 1}));
+    EXPECT_DOUBLE_EQ(c.data()[0], 12.0);
+    EXPECT_DOUBLE_EQ(c.data()[1], 34.0);
+}
+
+TEST(Ops, BmmValues)
+{
+    Tensor a = Tensor::fromVector({2, 1, 2}, {1, 2, 3, 4});
+    Tensor b = Tensor::fromVector({2, 2, 1}, {1, 1, 2, 2});
+    Tensor c = bmm(a, b);
+    EXPECT_EQ(c.shape(), Shape({2, 1, 1}));
+    EXPECT_DOUBLE_EQ(c.data()[0], 3.0);
+    EXPECT_DOUBLE_EQ(c.data()[1], 14.0);
+}
+
+TEST(Ops, LinearOpMatchesManual)
+{
+    // y = x W^T + b with W [2, 3].
+    Tensor x = Tensor::fromVector({1, 3}, {1, 2, 3});
+    Tensor w = Tensor::fromVector({2, 3}, {1, 0, 0, 0, 1, 1});
+    Tensor b = Tensor::fromVector({2}, {10, 20});
+    Tensor y = linearOp(x, w, b);
+    EXPECT_DOUBLE_EQ(y.at({0, 0}), 11.0);
+    EXPECT_DOUBLE_EQ(y.at({0, 1}), 25.0);
+}
+
+TEST(Ops, LinearOpNoBias)
+{
+    Tensor x = Tensor::fromVector({1, 2}, {3, 4});
+    Tensor w = Tensor::fromVector({1, 2}, {1, 1});
+    EXPECT_DOUBLE_EQ(linearOp(x, w, Tensor()).data()[0], 7.0);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne)
+{
+    Rng rng(3);
+    Tensor x = Tensor::randn({4, 8}, rng);
+    Tensor y = softmaxLastDim(x);
+    for (std::size_t r = 0; r < 4; ++r) {
+        Scalar sum = 0.0;
+        for (std::size_t c = 0; c < 8; ++c)
+            sum += y.at({r, c});
+        EXPECT_NEAR(sum, 1.0, 1e-12);
+    }
+}
+
+TEST(Ops, SoftmaxIsShiftInvariantAndStable)
+{
+    Tensor x = Tensor::fromVector({1, 3}, {1000.0, 1001.0, 1002.0});
+    Tensor y = softmaxLastDim(x);
+    EXPECT_TRUE(std::isfinite(y.data()[0]));
+    Tensor x2 = Tensor::fromVector({1, 3}, {0.0, 1.0, 2.0});
+    Tensor y2 = softmaxLastDim(x2);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_NEAR(y.data()[i], y2.data()[i], 1e-12);
+}
+
+TEST(Ops, LogSoftmaxMatchesLogOfSoftmax)
+{
+    Rng rng(5);
+    Tensor x = Tensor::randn({3, 5}, rng);
+    Tensor ls = logSoftmaxLastDim(x);
+    Tensor s = softmaxLastDim(x);
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        EXPECT_NEAR(ls.data()[i], std::log(s.data()[i]), 1e-9);
+}
+
+TEST(Ops, CrossEntropyKnownValue)
+{
+    // Uniform logits over 4 classes -> loss = ln 4.
+    Tensor logits = Tensor::zeros({2, 4});
+    Tensor loss = crossEntropy(logits, {0, 3});
+    EXPECT_NEAR(loss.item(), std::log(4.0), 1e-12);
+}
+
+TEST(Ops, CrossEntropyIgnoreIndex)
+{
+    Tensor logits = Tensor::fromVector({2, 2}, {100.0, 0.0, 0.0, 100.0});
+    // Second row ignored: loss is only the (correct) first row, ~0.
+    Tensor loss = crossEntropy(logits, {0, -1}, -1);
+    EXPECT_NEAR(loss.item(), 0.0, 1e-9);
+    EXPECT_THROW(crossEntropy(logits, {-1, -1}, -1), FatalError);
+}
+
+TEST(Ops, EmbeddingLooksUpRows)
+{
+    Tensor table = Tensor::fromVector({3, 2}, {0, 0, 1, 1, 2, 2});
+    Tensor out = embedding(table, {2, 0, 1}, {3});
+    EXPECT_EQ(out.shape(), Shape({3, 2}));
+    EXPECT_DOUBLE_EQ(out.at({0, 0}), 2.0);
+    EXPECT_DOUBLE_EQ(out.at({1, 0}), 0.0);
+    EXPECT_THROW(embedding(table, {3}, {1}), FatalError);
+}
+
+TEST(Ops, CausalMaskZeroesUpperTriangleAfterSoftmax)
+{
+    Tensor scores = Tensor::zeros({1, 3, 3});
+    Tensor probs = softmaxLastDim(causalMask(scores));
+    // Row 0 attends only to position 0.
+    EXPECT_NEAR(probs.at({0, 0, 0}), 1.0, 1e-9);
+    EXPECT_NEAR(probs.at({0, 0, 2}), 0.0, 1e-9);
+    // Row 2 attends uniformly to 0..2.
+    EXPECT_NEAR(probs.at({0, 2, 1}), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Ops, GatherScatterRowsRoundTrip)
+{
+    Tensor x = Tensor::fromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+    Tensor g = gatherRows(x, {2, 0});
+    EXPECT_DOUBLE_EQ(g.at({0, 0}), 5.0);
+    EXPECT_DOUBLE_EQ(g.at({1, 1}), 2.0);
+
+    Tensor s = scatterAddRows(g, {2, 0}, 3);
+    EXPECT_DOUBLE_EQ(s.at({2, 0}), 5.0);
+    EXPECT_DOUBLE_EQ(s.at({0, 1}), 2.0);
+    EXPECT_DOUBLE_EQ(s.at({1, 0}), 0.0);
+}
+
+TEST(Ops, ScatterAddAccumulatesDuplicates)
+{
+    Tensor x = Tensor::fromVector({2, 1}, {3.0, 4.0});
+    Tensor s = scatterAddRows(x, {0, 0}, 2);
+    EXPECT_DOUBLE_EQ(s.at({0, 0}), 7.0);
+}
+
+TEST(Ops, TopkSelectsLargestDescending)
+{
+    Tensor x = Tensor::fromVector({1, 4}, {0.1, 0.9, 0.5, 0.3});
+    TopKResult tk = topkLastDim(x, 2);
+    EXPECT_EQ(tk.indices[0], 1);
+    EXPECT_EQ(tk.indices[1], 2);
+    EXPECT_DOUBLE_EQ(tk.values[0], 0.9);
+}
+
+TEST(Ops, TopkTieBreaksByIndex)
+{
+    Tensor x = Tensor::fromVector({1, 3}, {0.5, 0.5, 0.5});
+    TopKResult tk = topkLastDim(x, 2);
+    EXPECT_EQ(tk.indices[0], 0);
+    EXPECT_EQ(tk.indices[1], 1);
+}
+
+TEST(Ops, GatherLastDim)
+{
+    Tensor x = Tensor::fromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+    Tensor g = gatherLastDim(x, {2, 0, 1, 1}, 2);
+    EXPECT_DOUBLE_EQ(g.at({0, 0}), 3.0);
+    EXPECT_DOUBLE_EQ(g.at({0, 1}), 1.0);
+    EXPECT_DOUBLE_EQ(g.at({1, 0}), 5.0);
+}
+
+TEST(Ops, NormalizeLastDim)
+{
+    Tensor x = Tensor::fromVector({1, 2}, {1.0, 3.0});
+    Tensor y = normalizeLastDim(x);
+    EXPECT_DOUBLE_EQ(y.data()[0], 0.25);
+    EXPECT_DOUBLE_EQ(y.data()[1], 0.75);
+}
+
+TEST(Ops, RmsNormUnitGain)
+{
+    Tensor x = Tensor::fromVector({1, 2}, {3.0, 4.0});
+    Tensor w = Tensor::full({2}, 1.0);
+    Tensor y = rmsNorm(x, w, 0.0);
+    // rms = sqrt((9+16)/2); y = x / rms.
+    const double rms = std::sqrt(12.5);
+    EXPECT_NEAR(y.data()[0], 3.0 / rms, 1e-12);
+    EXPECT_NEAR(y.data()[1], 4.0 / rms, 1e-12);
+}
+
+TEST(Ops, SplitMergeHeadsRoundTrip)
+{
+    Rng rng(7);
+    Tensor x = Tensor::randn({2, 3, 8}, rng);
+    Tensor split = splitHeads(x, 4);
+    EXPECT_EQ(split.shape(), Shape({8, 3, 2}));
+    Tensor merged = mergeHeads(split, 4);
+    EXPECT_EQ(merged.shape(), x.shape());
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        EXPECT_DOUBLE_EQ(merged.data()[i], x.data()[i]);
+}
+
+TEST(Ops, ScaleRowsAndMulLastDim)
+{
+    Tensor x = Tensor::fromVector({2, 2}, {1, 2, 3, 4});
+    Tensor w = Tensor::fromVector({2}, {10.0, 0.5});
+    Tensor sr = scaleRows(x, w);
+    EXPECT_DOUBLE_EQ(sr.at({0, 1}), 20.0);
+    EXPECT_DOUBLE_EQ(sr.at({1, 0}), 1.5);
+    Tensor ml = mulLastDim(x, w);
+    EXPECT_DOUBLE_EQ(ml.at({0, 1}), 1.0);
+    EXPECT_DOUBLE_EQ(ml.at({1, 0}), 30.0);
+}
+
+TEST(Ops, Conv1dCausalAlignment)
+{
+    // Identity kernel (only the last tap is 1) must reproduce the input.
+    Tensor x = Tensor::fromVector({1, 3, 1}, {1.0, 2.0, 3.0});
+    Tensor w = Tensor::fromVector({2, 1}, {0.0, 1.0});
+    Tensor y = conv1dDepthwiseCausal(x, w);
+    EXPECT_DOUBLE_EQ(y.data()[0], 1.0);
+    EXPECT_DOUBLE_EQ(y.data()[1], 2.0);
+    EXPECT_DOUBLE_EQ(y.data()[2], 3.0);
+}
+
+TEST(Ops, Conv1dUsesPastOnly)
+{
+    // Kernel [1, 0]: output t = input t-1 (causal shift).
+    Tensor x = Tensor::fromVector({1, 3, 1}, {1.0, 2.0, 3.0});
+    Tensor w = Tensor::fromVector({2, 1}, {1.0, 0.0});
+    Tensor y = conv1dDepthwiseCausal(x, w);
+    EXPECT_DOUBLE_EQ(y.data()[0], 0.0);  // Zero left padding.
+    EXPECT_DOUBLE_EQ(y.data()[1], 1.0);
+    EXPECT_DOUBLE_EQ(y.data()[2], 2.0);
+}
+
+TEST(Ops, SelectiveScanRecurrence)
+{
+    // h_t = a h_{t-1} + x_t with constant a = 0.5, x = 1.
+    Tensor a = Tensor::full({1, 3, 1}, 0.5);
+    Tensor x = Tensor::full({1, 3, 1}, 1.0);
+    Tensor h = selectiveScan(a, x);
+    EXPECT_DOUBLE_EQ(h.data()[0], 1.0);
+    EXPECT_DOUBLE_EQ(h.data()[1], 1.5);
+    EXPECT_DOUBLE_EQ(h.data()[2], 1.75);
+}
+
+TEST(Ops, SelectiveScanIndependentChannels)
+{
+    Tensor a = Tensor::fromVector({1, 2, 2}, {0.0, 1.0, 0.0, 1.0});
+    Tensor x = Tensor::fromVector({1, 2, 2}, {1.0, 1.0, 2.0, 2.0});
+    Tensor h = selectiveScan(a, x);
+    // Channel 0 (a=0): h = x. Channel 1 (a=1): running sum.
+    EXPECT_DOUBLE_EQ(h.at({0, 1, 0}), 2.0);
+    EXPECT_DOUBLE_EQ(h.at({0, 1, 1}), 3.0);
+}
+
+TEST(Ops, ArgmaxLastDim)
+{
+    Tensor x = Tensor::fromVector({2, 3}, {1, 5, 2, 9, 0, 3});
+    auto idx = argmaxLastDim(x);
+    EXPECT_EQ(idx[0], 1);
+    EXPECT_EQ(idx[1], 0);
+}
+
+TEST(Ops, DropoutTrainBehaviour)
+{
+    Rng rng(11);
+    Tensor x = Tensor::full({1000}, 1.0);
+    Tensor y = dropout(x, 0.5, rng);
+    std::size_t zeros = 0;
+    for (Scalar v : y.data()) {
+        EXPECT_TRUE(v == 0.0 || std::abs(v - 2.0) < 1e-12);
+        zeros += v == 0.0 ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(zeros) / 1000.0, 0.5, 0.06);
+    EXPECT_THROW(dropout(x, 1.0, rng), FatalError);
+}
+
+}  // namespace
+}  // namespace ftsim

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the Tensor container and autograd bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(Tensor, ZerosShapeAndValues)
+{
+    Tensor t = Tensor::zeros({2, 3});
+    EXPECT_EQ(t.dim(), 2u);
+    EXPECT_EQ(t.size(0), 2u);
+    EXPECT_EQ(t.size(1), 3u);
+    EXPECT_EQ(t.numel(), 6u);
+    for (Scalar v : t.data())
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Tensor, FromVectorChecksSize)
+{
+    EXPECT_THROW(Tensor::fromVector({2, 2}, {1.0, 2.0}), FatalError);
+    Tensor t = Tensor::fromVector({2, 2}, {1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(t.at({1, 0}), 3.0);
+    EXPECT_DOUBLE_EQ(t.at({1, 1}), 4.0);
+}
+
+TEST(Tensor, ScalarItem)
+{
+    Tensor s = Tensor::scalar(7.5);
+    EXPECT_EQ(s.dim(), 0u);
+    EXPECT_EQ(s.numel(), 1u);
+    EXPECT_DOUBLE_EQ(s.item(), 7.5);
+    Tensor t = Tensor::zeros({2});
+    EXPECT_THROW(t.item(), FatalError);
+}
+
+TEST(Tensor, UndefinedAccessIsFatal)
+{
+    Tensor t;
+    EXPECT_FALSE(t.defined());
+    EXPECT_THROW(t.shape(), FatalError);
+    EXPECT_THROW(t.data(), FatalError);
+}
+
+TEST(Tensor, RandnIsDeterministicPerSeed)
+{
+    Rng r1(5);
+    Rng r2(5);
+    Tensor a = Tensor::randn({4, 4}, r1);
+    Tensor b = Tensor::randn({4, 4}, r2);
+    EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(Tensor, DetachSharesNothing)
+{
+    Tensor a = Tensor::fromVector({2}, {1.0, 2.0}, true);
+    Tensor d = a.detach();
+    EXPECT_FALSE(d.requiresGrad());
+    d.data()[0] = 99.0;
+    EXPECT_DOUBLE_EQ(a.data()[0], 1.0);
+}
+
+TEST(Tensor, BackwardRequiresScalar)
+{
+    Tensor a = Tensor::fromVector({2}, {1.0, 2.0}, true);
+    Tensor y = scale(a, 2.0);
+    EXPECT_THROW(y.backward(), FatalError);
+}
+
+TEST(Tensor, BackwardAccumulatesIntoLeaves)
+{
+    Tensor a = Tensor::fromVector({3}, {1.0, 2.0, 3.0}, true);
+    Tensor loss = sumAll(scale(a, 2.0));
+    loss.backward();
+    ASSERT_TRUE(a.hasGrad());
+    for (Scalar g : a.grad())
+        EXPECT_DOUBLE_EQ(g, 2.0);
+}
+
+TEST(Tensor, FanOutGradientsAdd)
+{
+    // y = a + a -> dy/da = 2.
+    Tensor a = Tensor::fromVector({2}, {1.0, 2.0}, true);
+    Tensor loss = sumAll(add(a, a));
+    loss.backward();
+    for (Scalar g : a.grad())
+        EXPECT_DOUBLE_EQ(g, 2.0);
+}
+
+TEST(Tensor, ZeroGradClears)
+{
+    Tensor a = Tensor::fromVector({2}, {1.0, 2.0}, true);
+    sumAll(a).backward();
+    EXPECT_DOUBLE_EQ(a.grad()[0], 1.0);
+    a.zeroGrad();
+    EXPECT_DOUBLE_EQ(a.grad()[0], 0.0);
+}
+
+TEST(Tensor, SecondBackwardAccumulates)
+{
+    Tensor a = Tensor::fromVector({2}, {1.0, 2.0}, true);
+    sumAll(a).backward();
+    sumAll(a).backward();
+    EXPECT_DOUBLE_EQ(a.grad()[0], 2.0);  // 1 + 1 across two graphs.
+}
+
+TEST(GradModeTest, NoGradGuardStopsRecording)
+{
+    Tensor a = Tensor::fromVector({2}, {1.0, 2.0}, true);
+    {
+        NoGradGuard guard;
+        Tensor y = scale(a, 3.0);
+        EXPECT_FALSE(y.requiresGrad());
+    }
+    Tensor y = scale(a, 3.0);
+    EXPECT_TRUE(y.requiresGrad());
+}
+
+TEST(GradModeTest, GuardNests)
+{
+    EXPECT_TRUE(GradMode::enabled());
+    {
+        NoGradGuard outer;
+        EXPECT_FALSE(GradMode::enabled());
+        {
+            NoGradGuard inner;
+            EXPECT_FALSE(GradMode::enabled());
+        }
+        EXPECT_FALSE(GradMode::enabled());
+    }
+    EXPECT_TRUE(GradMode::enabled());
+}
+
+TEST(Tensor, RequiresGradPropagates)
+{
+    Tensor a = Tensor::fromVector({2}, {1.0, 2.0}, true);
+    Tensor b = Tensor::fromVector({2}, {3.0, 4.0}, false);
+    Tensor y = add(a, b);
+    EXPECT_TRUE(y.requiresGrad());
+    Tensor z = add(b, b);
+    EXPECT_FALSE(z.requiresGrad());
+}
+
+TEST(Tensor, FrozenParentGetsNoGrad)
+{
+    Tensor a = Tensor::fromVector({2}, {1.0, 2.0}, true);
+    Tensor b = Tensor::fromVector({2}, {3.0, 4.0}, false);
+    sumAll(mul(a, b)).backward();
+    EXPECT_TRUE(a.hasGrad());
+    EXPECT_FALSE(b.hasGrad());
+    EXPECT_DOUBLE_EQ(a.grad()[0], 3.0);
+}
+
+TEST(Tensor, DeepChainBackward)
+{
+    // 200 chained ops: the iterative topo sort must not blow the stack.
+    Tensor a = Tensor::scalar(1.0, true);
+    Tensor y = a;
+    for (int i = 0; i < 200; ++i)
+        y = scale(y, 1.01);
+    y.backward();
+    EXPECT_NEAR(a.grad()[0], std::pow(1.01, 200), 1e-9);
+}
+
+TEST(ShapeUtil, NumelAndToString)
+{
+    EXPECT_EQ(shapeNumel({}), 1u);
+    EXPECT_EQ(shapeNumel({2, 3, 4}), 24u);
+    EXPECT_EQ(shapeToString({2, 3}), "[2, 3]");
+    EXPECT_EQ(shapeToString({}), "[]");
+}
+
+}  // namespace
+}  // namespace ftsim

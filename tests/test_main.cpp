@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Shared gtest main: silences the library logger so expected-fatal tests
+ * do not spam the ctest output.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+
+int
+main(int argc, char** argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    ftsim::Logger::instance().setLevel(ftsim::LogLevel::Silent);
+    return RUN_ALL_TESTS();
+}

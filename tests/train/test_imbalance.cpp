@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the expert load-imbalance measurement (Fig. 11).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "train/imbalance.hpp"
+
+namespace ftsim {
+namespace {
+
+MiniModelConfig
+tinyConfig()
+{
+    MiniModelConfig cfg = MiniModelConfig::miniMixtral();
+    cfg.vocab = Vocab::kSize;
+    cfg.dModel = 16;
+    cfg.nLayers = 2;
+    cfg.nHeads = 2;
+    cfg.dFf = 32;
+    cfg.nExperts = 8;
+    cfg.topK = 2;
+    cfg.loraRank = 2;
+    return cfg;
+}
+
+Dataset
+tinyDataset()
+{
+    DatasetSpec spec = DatasetSpec::commonsense15k();
+    spec.numQueries = 32;
+    spec.medianSeqLen = 12.0;
+    return Dataset::generate(spec);
+}
+
+TEST(Imbalance, ProfileShapeAndConservation)
+{
+    MoeLlm model(tinyConfig());
+    Dataset ds = tinyDataset();
+    ExpertLoadProfile profile = measureExpertLoad(model, ds, 8);
+    ASSERT_EQ(profile.avgTokensPerQuery.size(), 8u);
+    EXPECT_EQ(profile.numQueries, 32u);
+
+    // Conservation: sum over experts of tokens/query must equal
+    // topK * (average tokens per query).
+    double total_tokens = 0.0;
+    for (const Query& q : ds.queries())
+        total_tokens += static_cast<double>(q.seqLen());
+    // Collation pads, so routed tokens/query >= raw tokens/query.
+    const double routed = std::accumulate(
+        profile.avgTokensPerQuery.begin(),
+        profile.avgTokensPerQuery.end(), 0.0);
+    EXPECT_GE(routed + 1e-9, 2.0 * total_tokens / 32.0);
+}
+
+TEST(Imbalance, VarianceIsNonNegativeAndFinite)
+{
+    MoeLlm model(tinyConfig());
+    Dataset ds = tinyDataset();
+    ExpertLoadProfile profile = measureExpertLoad(model, ds, 8);
+    EXPECT_GE(profile.varianceAcrossExperts, 0.0);
+}
+
+TEST(Imbalance, DenseRoutingIsPerfectlyBalanced)
+{
+    MoeLlm model(tinyConfig());
+    model.setTopK(8);
+    Dataset ds = tinyDataset();
+    ExpertLoadProfile profile = measureExpertLoad(model, ds, 8);
+    // Dense: every expert sees every token -> zero variance.
+    EXPECT_NEAR(profile.varianceAcrossExperts, 0.0, 1e-9);
+}
+
+TEST(Imbalance, MeasurementIsRepeatable)
+{
+    MoeLlm model(tinyConfig());
+    Dataset ds = tinyDataset();
+    ExpertLoadProfile p1 = measureExpertLoad(model, ds, 8);
+    ExpertLoadProfile p2 = measureExpertLoad(model, ds, 8);
+    ASSERT_EQ(p1.avgTokensPerQuery.size(), p2.avgTokensPerQuery.size());
+    for (std::size_t e = 0; e < p1.avgTokensPerQuery.size(); ++e)
+        EXPECT_DOUBLE_EQ(p1.avgTokensPerQuery[e],
+                         p2.avgTokensPerQuery[e]);
+}
+
+TEST(Imbalance, LimitControlsQueryCount)
+{
+    MoeLlm model(tinyConfig());
+    Dataset ds = tinyDataset();
+    ExpertLoadProfile profile = measureExpertLoad(model, ds, 8, 16);
+    EXPECT_EQ(profile.numQueries, 16u);
+}
+
+}  // namespace
+}  // namespace ftsim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for SGD, AdamW, and the LR schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+#include "train/optimizer.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(SgdTest, SingleStepMatchesClosedForm)
+{
+    Tensor p = Tensor::fromVector({2}, {1.0, 2.0}, true);
+    p.grad() = {0.5, -1.0};
+    Sgd sgd({p}, 0.1);
+    sgd.step();
+    EXPECT_NEAR(p.data()[0], 1.0 - 0.1 * 0.5, 1e-12);
+    EXPECT_NEAR(p.data()[1], 2.0 + 0.1, 1e-12);
+}
+
+TEST(SgdTest, MomentumAccumulates)
+{
+    Tensor p = Tensor::fromVector({1}, {0.0}, true);
+    Sgd sgd({p}, 0.1, 0.9);
+    p.grad() = {1.0};
+    sgd.step();  // v = 1, p = -0.1.
+    EXPECT_NEAR(p.data()[0], -0.1, 1e-12);
+    p.grad() = {1.0};
+    sgd.step();  // v = 1.9, p = -0.29.
+    EXPECT_NEAR(p.data()[0], -0.29, 1e-12);
+}
+
+TEST(AdamWTest, FirstStepIsLrSizedSignedStep)
+{
+    // With bias correction, step 1 moves ~lr * sign(grad).
+    Tensor p = Tensor::fromVector({2}, {1.0, 1.0}, true);
+    p.grad() = {0.3, -0.7};
+    AdamW adam({p}, 0.01);
+    adam.step();
+    EXPECT_NEAR(p.data()[0], 1.0 - 0.01, 1e-5);
+    EXPECT_NEAR(p.data()[1], 1.0 + 0.01, 1e-5);
+    EXPECT_EQ(adam.stepCount(), 1u);
+}
+
+TEST(AdamWTest, WeightDecayIsDecoupled)
+{
+    Tensor p = Tensor::fromVector({1}, {10.0}, true);
+    p.grad() = {0.0};
+    AdamW adam({p}, 0.1, 0.9, 0.999, 1e-8, /*weight_decay=*/0.1);
+    adam.step();
+    // Zero gradient: only decay applies. p -= lr * wd * p.
+    EXPECT_NEAR(p.data()[0], 10.0 * (1.0 - 0.1 * 0.1), 1e-9);
+}
+
+TEST(AdamWTest, ConvergesOnQuadratic)
+{
+    Rng rng(3);
+    Tensor p = Tensor::randn({8}, rng, 1.0, true);
+    Tensor target = Tensor::randn({8}, rng);
+    AdamW adam({p}, 0.05);
+    double loss = 0.0;
+    for (int i = 0; i < 400; ++i) {
+        adam.zeroGrad();
+        Tensor diff = sub(p, target);
+        Tensor l = sumAll(mul(diff, diff));
+        loss = l.item();
+        l.backward();
+        adam.step();
+    }
+    EXPECT_LT(loss, 1e-3);
+}
+
+TEST(AdamWTest, SkipsParamsWithoutGrad)
+{
+    Tensor p = Tensor::fromVector({1}, {5.0}, true);
+    AdamW adam({p}, 0.1);
+    adam.step();  // No backward ran; nothing should change.
+    EXPECT_DOUBLE_EQ(p.data()[0], 5.0);
+}
+
+TEST(OptimizerBase, RejectsFrozenOrEmpty)
+{
+    Tensor frozen = Tensor::fromVector({1}, {1.0}, false);
+    EXPECT_THROW(Sgd({frozen}, 0.1), FatalError);
+    EXPECT_THROW(Sgd({}, 0.1), FatalError);
+}
+
+TEST(OptimizerBase, CountsElements)
+{
+    Tensor a = Tensor::zeros({2, 3}, true);
+    Tensor b = Tensor::zeros({4}, true);
+    Sgd sgd({a, b}, 0.1);
+    EXPECT_EQ(sgd.numParams(), 2u);
+    EXPECT_EQ(sgd.numElements(), 10u);
+}
+
+TEST(LrScheduleTest, WarmupRampsLinearly)
+{
+    LrSchedule sched(1.0, 10, 100);
+    EXPECT_NEAR(sched.lrAt(0), 0.1, 1e-12);
+    EXPECT_NEAR(sched.lrAt(4), 0.5, 1e-12);
+    EXPECT_NEAR(sched.lrAt(9), 1.0, 1e-12);
+}
+
+TEST(LrScheduleTest, CosineDecaysToFloor)
+{
+    LrSchedule sched(1.0, 0, 100, 0.1);
+    EXPECT_NEAR(sched.lrAt(0), 1.0, 1e-12);
+    EXPECT_GT(sched.lrAt(25), sched.lrAt(75));
+    EXPECT_NEAR(sched.lrAt(100), 0.1, 1e-12);
+    EXPECT_NEAR(sched.lrAt(500), 0.1, 1e-12);  // Clamped past horizon.
+}
+
+TEST(LrScheduleTest, InvalidConfigIsFatal)
+{
+    EXPECT_THROW(LrSchedule(0.0, 0, 10), FatalError);
+    EXPECT_THROW(LrSchedule(1.0, 0, 0), FatalError);
+    EXPECT_THROW(LrSchedule(1.0, 0, 10, 2.0), FatalError);
+}
+
+}  // namespace
+}  // namespace ftsim

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for LM pre-training and the pretrain -> quantize -> QLoRA flow.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "models/convert.hpp"
+#include "train/pretrain.hpp"
+#include "train/trainer.hpp"
+
+namespace ftsim {
+namespace {
+
+MiniModelConfig
+tinyConfig()
+{
+    MiniModelConfig cfg = MiniModelConfig::miniMixtral();
+    cfg.vocab = Vocab::kSize;
+    cfg.dModel = 24;
+    cfg.nLayers = 1;
+    cfg.nHeads = 4;
+    cfg.dFf = 48;
+    cfg.nExperts = 4;
+    cfg.topK = 2;
+    cfg.loraRank = 2;
+    return cfg;
+}
+
+Dataset
+corpus()
+{
+    return Dataset::generate(DatasetSpec::genericCorpus(96, 12.0));
+}
+
+TEST(Pretrain, LmLossDecreases)
+{
+    MiniModelConfig cfg = tinyConfig();
+    cfg.useLora = false;
+    MoeLlm model(cfg);
+    PretrainResult result = pretrainLm(model, corpus(), 40, 16, 3e-3);
+    EXPECT_EQ(result.steps, 40u);
+    EXPECT_LT(result.finalLoss, result.initialLoss);
+}
+
+TEST(Pretrain, RejectsFrozenModel)
+{
+    MiniModelConfig cfg = tinyConfig();
+    cfg.useLora = false;
+    MoeLlm model(cfg);
+    model.freeze();
+    EXPECT_THROW(pretrainLm(model, corpus(), 10, 8), FatalError);
+    MoeLlm ok(cfg);
+    EXPECT_THROW(pretrainLm(ok, corpus(), 0, 8), FatalError);
+}
+
+TEST(Pretrain, MakePretrainedQloraProducesAdaptersOnly)
+{
+    auto model = makePretrainedQlora(tinyConfig(), corpus(), 20, 16);
+    ASSERT_NE(model, nullptr);
+    EXPECT_TRUE(model->config().useLora);
+    for (const auto& np : model->namedParameters()) {
+        if (np.tensor.requiresGrad())
+            EXPECT_NE(np.name.find("lora"), std::string::npos) << np.name;
+    }
+}
+
+TEST(Pretrain, QuantizedModelApproximatesDenseBase)
+{
+    // The QLoRA model's function at init = quantized(pretrained dense):
+    // logits must be close (within 4-bit quantization error), and far
+    // from an unrelated random init.
+    MiniModelConfig dense_cfg = tinyConfig();
+    dense_cfg.useLora = false;
+    MoeLlm dense(dense_cfg);
+    pretrainLm(dense, corpus(), 30, 16, 3e-3);
+
+    MiniModelConfig qlora_cfg = tinyConfig();
+    qlora_cfg.useLora = true;
+    MoeLlm qlora(qlora_cfg);
+    initializeQloraFromDense(qlora, dense);
+
+    std::vector<int> ids = {1, 9, 17, 25, 33, 41};
+    NoGradGuard guard;
+    Tensor dense_logits = dense.logits(ids, 1, 6);
+    Tensor qlora_logits = qlora.logits(ids, 1, 6);
+
+    double diff = 0.0;
+    double magnitude = 0.0;
+    for (std::size_t i = 0; i < dense_logits.numel(); ++i) {
+        diff += std::abs(dense_logits.data()[i] - qlora_logits.data()[i]);
+        magnitude += std::abs(dense_logits.data()[i]);
+    }
+    // Relative error well under 100% (quantization is lossy but close).
+    EXPECT_LT(diff, 0.5 * magnitude);
+
+    MoeLlm fresh(qlora_cfg);
+    Tensor fresh_logits = fresh.logits(ids, 1, 6);
+    double fresh_diff = 0.0;
+    for (std::size_t i = 0; i < dense_logits.numel(); ++i)
+        fresh_diff +=
+            std::abs(dense_logits.data()[i] - fresh_logits.data()[i]);
+    EXPECT_LT(diff, fresh_diff);  // Converted is closer than random.
+}
+
+TEST(Convert, RejectsMismatchedPair)
+{
+    MiniModelConfig a = tinyConfig();
+    a.useLora = true;
+    MoeLlm qlora(a);
+
+    MiniModelConfig b = tinyConfig();
+    b.useLora = false;
+    b.dModel = 32;  // Architecture mismatch.
+    MoeLlm dense(b);
+    EXPECT_THROW(initializeQloraFromDense(qlora, dense), FatalError);
+
+    // Swapped roles.
+    MiniModelConfig c = tinyConfig();
+    c.useLora = false;
+    MoeLlm dense2(c);
+    EXPECT_THROW(initializeQloraFromDense(dense2, dense), FatalError);
+}
+
+TEST(Convert, WorksForMambaBackbone)
+{
+    MiniModelConfig cfg = MiniModelConfig::miniBlackMamba();
+    cfg.vocab = Vocab::kSize;
+    cfg.dModel = 16;
+    cfg.nLayers = 1;
+    cfg.dFf = 32;
+    cfg.dInner = 32;
+    cfg.nExperts = 4;
+    cfg.loraRank = 2;
+
+    MiniModelConfig dense_cfg = cfg;
+    dense_cfg.useLora = false;
+    MoeLlm dense(dense_cfg);
+
+    MiniModelConfig qlora_cfg = cfg;
+    qlora_cfg.useLora = true;
+    MoeLlm qlora(qlora_cfg);
+    initializeQloraFromDense(qlora, dense);
+
+    std::vector<int> ids = {1, 9, 17, 25};
+    NoGradGuard guard;
+    Tensor a = dense.logits(ids, 1, 4);
+    Tensor b = qlora.logits(ids, 1, 4);
+    double diff = 0.0, mag = 0.0;
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+        diff += std::abs(a.data()[i] - b.data()[i]);
+        mag += std::abs(a.data()[i]);
+    }
+    EXPECT_LT(diff, 0.5 * mag);
+}
+
+TEST(Pretrain, GenericCorpusTouchesWholeVocabulary)
+{
+    Dataset ds = Dataset::generate(DatasetSpec::genericCorpus(256, 16.0));
+    std::vector<bool> seen(Vocab::kSize, false);
+    for (const Query& q : ds.queries()) {
+        for (int t : q.prompt)
+            seen[static_cast<std::size_t>(t)] = true;
+        for (int t : q.answer)
+            seen[static_cast<std::size_t>(t)] = true;
+    }
+    std::size_t covered = 0;
+    for (std::size_t t = Vocab::kFillerBase; t < Vocab::kSize; ++t)
+        covered += seen[t] ? 1 : 0;
+    // Every non-special token appears somewhere in the corpus.
+    EXPECT_EQ(covered, Vocab::kSize - Vocab::kFillerBase);
+}
+
+TEST(Datasets, MappingVariantsChangeAnswers)
+{
+    EXPECT_NE(TaskOracle::commonsenseAnswer(3, 1, 0),
+              TaskOracle::commonsenseAnswer(3, 1, 1));
+    EXPECT_NE(TaskOracle::mathAnswer(4, 6, 0),
+              TaskOracle::mathAnswer(4, 6, 1));
+    // Variant 0 is the canonical mapping.
+    EXPECT_EQ(TaskOracle::mathAnswer(4, 6, 0),
+              TaskOracle::mathAnswer(4, 6));
+}
+
+TEST(Datasets, MergedConcatenates)
+{
+    Dataset a = Dataset::generate(DatasetSpec::genericCorpus(10, 10.0));
+    Dataset b = Dataset::generate(DatasetSpec::genericCorpus(15, 10.0));
+    Dataset m = Dataset::merged({a, b}, "mix");
+    EXPECT_EQ(m.size(), 25u);
+    EXPECT_EQ(m.name(), "mix");
+    EXPECT_THROW(Dataset::merged({}, "empty"), FatalError);
+}
+
+}  // namespace
+}  // namespace ftsim

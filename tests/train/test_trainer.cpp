@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the Trainer and the exact-match evaluator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "data/batching.hpp"
+#include "models/model.hpp"
+#include "train/trainer.hpp"
+
+namespace ftsim {
+namespace {
+
+MiniModelConfig
+tinyMamba()
+{
+    MiniModelConfig cfg = MiniModelConfig::miniBlackMamba();
+    cfg.vocab = Vocab::kSize;
+    cfg.dModel = 24;
+    cfg.nLayers = 1;
+    cfg.dFf = 48;
+    cfg.dInner = 48;
+    cfg.nExperts = 4;
+    cfg.topK = 2;
+    return cfg;
+}
+
+Dataset
+tinyDataset(std::size_t n = 64)
+{
+    DatasetSpec spec = DatasetSpec::commonsense15k();
+    spec.numQueries = n;
+    spec.medianSeqLen = 12.0;
+    spec.lengthSigma = 0.2;
+    return Dataset::generate(spec);
+}
+
+TEST(TrainerTest, StepReportsAllStages)
+{
+    MoeLlm model(tinyMamba());
+    AdamW opt(model.trainableParameters(), 1e-3);
+    Trainer trainer(model, opt, {});
+    Dataset ds = tinyDataset(8);
+    Batch batch = collate(ds.head(4));
+
+    StepStats stats = trainer.trainStep(batch);
+    EXPECT_GT(stats.loss, 0.0);
+    EXPECT_GT(stats.times.forward, 0.0);
+    EXPECT_GT(stats.times.backward, 0.0);
+    EXPECT_GT(stats.times.optimizer, 0.0);
+    EXPECT_EQ(stats.numQueries, 4u);
+}
+
+TEST(TrainerTest, EpochLossDecreasesOverTraining)
+{
+    MoeLlm model(tinyMamba());
+    AdamW opt(model.trainableParameters(), 3e-3);
+    TrainerOptions options;
+    options.batchSize = 8;
+    Trainer trainer(model, opt, options);
+    Dataset ds = tinyDataset(64);
+
+    auto history = trainer.train(ds, 4);
+    ASSERT_EQ(history.size(), 4u);
+    EXPECT_LT(history.back().meanLoss, history.front().meanLoss);
+}
+
+TEST(TrainerTest, EpochCountsQueries)
+{
+    MoeLlm model(tinyMamba());
+    AdamW opt(model.trainableParameters(), 1e-3);
+    TrainerOptions options;
+    options.batchSize = 8;
+    Trainer trainer(model, opt, options);
+    Dataset ds = tinyDataset(20);
+    EpochStats epoch = trainer.trainEpoch(ds);
+    EXPECT_EQ(epoch.numQueries, 20u);
+    EXPECT_EQ(epoch.steps, 3u);  // ceil(20/8).
+    EXPECT_GT(epoch.queriesPerSecond, 0.0);
+}
+
+TEST(TrainerTest, MaxBatchesCapRespected)
+{
+    MoeLlm model(tinyMamba());
+    AdamW opt(model.trainableParameters(), 1e-3);
+    TrainerOptions options;
+    options.batchSize = 4;
+    options.maxBatchesPerEpoch = 2;
+    Trainer trainer(model, opt, options);
+    Dataset ds = tinyDataset(64);
+    EpochStats epoch = trainer.trainEpoch(ds);
+    EXPECT_EQ(epoch.steps, 2u);
+    EXPECT_EQ(epoch.numQueries, 8u);
+}
+
+TEST(EvaluateTest, UntrainedModelIsNearChance)
+{
+    MoeLlm model(tinyMamba());
+    Dataset ds = tinyDataset(32);
+    EvalResult result = evaluateExactMatch(model, ds, 8);
+    EXPECT_EQ(result.numQueries, 32u);
+    // 64-way vocabulary, two answer tokens: chance is tiny.
+    EXPECT_LT(result.exactMatch, 0.30);
+    EXPECT_GT(result.meanLoss, 0.0);
+}
+
+TEST(EvaluateTest, LimitRestrictsQueries)
+{
+    MoeLlm model(tinyMamba());
+    Dataset ds = tinyDataset(32);
+    EvalResult result = evaluateExactMatch(model, ds, 8, 10);
+    EXPECT_EQ(result.numQueries, 10u);
+}
+
+TEST(EvaluateTest, EvalDoesNotTouchGradientsOrWeights)
+{
+    MoeLlm model(tinyMamba());
+    Dataset ds = tinyDataset(8);
+    auto params = model.trainableParameters();
+    std::vector<Scalar> before = params[0].data();
+    (void)evaluateExactMatch(model, ds, 4);
+    EXPECT_EQ(params[0].data(), before);
+    EXPECT_FALSE(params[0].hasGrad());
+}
+
+TEST(StageTimesTest, Accumulate)
+{
+    StageTimes a{1.0, 2.0, 3.0};
+    StageTimes b{0.5, 0.5, 0.5};
+    a += b;
+    EXPECT_DOUBLE_EQ(a.forward, 1.5);
+    EXPECT_DOUBLE_EQ(a.total(), 7.5);
+}
+
+TEST(TrainerTest, LoraOptimizerStageIsCheaperThanFullFt)
+{
+    // The paper's Fig. 4 contrast: optimizer time scales with trainable
+    // parameters. Mini-Mixtral (LoRA) has far fewer trainables than
+    // mini-BlackMamba (full FT) relative to model size.
+    MiniModelConfig mixtral_cfg = MiniModelConfig::miniMixtral();
+    mixtral_cfg.nLayers = 1;
+    mixtral_cfg.dModel = 32;
+    mixtral_cfg.dFf = 64;
+    mixtral_cfg.nExperts = 4;
+    MoeLlm mixtral(mixtral_cfg);
+
+    MiniModelConfig mamba_cfg = tinyMamba();
+    MoeLlm mamba(mamba_cfg);
+
+    const double mixtral_trainable_frac =
+        static_cast<double>(mixtral.numTrainableParameters()) /
+        static_cast<double>(mixtral.numParameters());
+    const double mamba_trainable_frac =
+        static_cast<double>(mamba.numTrainableParameters()) /
+        static_cast<double>(mamba.numParameters());
+    EXPECT_LT(mixtral_trainable_frac, 0.6);
+    EXPECT_DOUBLE_EQ(mamba_trainable_frac, 1.0);
+}
+
+}  // namespace
+}  // namespace ftsim
