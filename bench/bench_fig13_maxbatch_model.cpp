@@ -9,7 +9,7 @@
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
-#include "core/pipeline.hpp"
+#include "core/planner.hpp"
 
 using namespace ftsim;
 
@@ -20,12 +20,14 @@ main()
                   "Projected maximum batch size of Mixtral vs. GPU "
                   "DRAM capacity (Eq. 1)");
 
-    const ModelSpec spec = ModelSpec::mixtral8x7b();
+    Planner planner(Scenario::gsMath());  // GS median 148, as Table IV.
+    const ModelSpec& spec = planner.scenario().model;
     const double model_mem = spec.weightMemoryBytes() / 1e9;
-    const std::size_t seq = 148;  // GS median, as in Table IV.
+    const std::size_t seq = planner.scenario().medianSeqLen;
 
-    BatchSizeFit fit = ExperimentPipeline::fitBatchSize(
-        spec, GpuSpec::paperGpus(), {79, 128, 148, 174});
+    BatchSizeFit fit =
+        planner.fitBatchSize(GpuSpec::paperGpus(), {79, 128, 148, 174})
+            .valueOrThrow();
     std::cout << "fitted Eq. 1 coefficients: C0 = "
               << Table::fmt(fit.model.c0(), 2)
               << ", C1 = " << Table::fmt(fit.model.c1(), 3)

@@ -9,7 +9,7 @@
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
-#include "core/pipeline.hpp"
+#include "core/planner.hpp"
 
 using namespace ftsim;
 
@@ -37,10 +37,16 @@ main()
     Table table({"Combo", "C2", "C3", "C4", "RMSE", "paper RMSE",
                  "points"});
     for (const Combo& combo : combos) {
-        ModelSpec spec = combo.mixtral ? ModelSpec::mixtral8x7b()
-                                       : ModelSpec::blackMamba2p8b();
-        ThroughputFit fit = ExperimentPipeline::fitThroughput(
-            spec, GpuSpec::a40(), combo.seq, {}, combo.sigma);
+        // One scenario (and planner) per (model, dataset) combo; the
+        // sweep and the per-point predictions below share its cache.
+        Planner planner(Scenario{}
+                            .withModel(combo.mixtral
+                                           ? ModelSpec::mixtral8x7b()
+                                           : ModelSpec::blackMamba2p8b())
+                            .withMedianSeqLen(combo.seq)
+                            .withLengthSigma(combo.sigma));
+        ThroughputFit fit =
+            planner.fitThroughput(GpuSpec::a40()).valueOrThrow();
         table.addRow({combo.label, Table::fmt(fit.model.c2(), 3),
                       Table::fmt(fit.model.c3(), 3),
                       Table::fmt(fit.model.c4(), 3),

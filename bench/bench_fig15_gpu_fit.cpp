@@ -9,7 +9,7 @@
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
-#include "core/pipeline.hpp"
+#include "core/planner.hpp"
 
 using namespace ftsim;
 
@@ -29,11 +29,15 @@ main()
         {GpuSpec::h100_80(), 0.55},
     };
 
+    // One scenario, one planner, three GPUs: the facade shards its
+    // cache per device, so each GPU's sweep is simulated exactly once.
+    Planner planner(Scenario::commonsense15k());
+
     Table table({"GPU", "C2", "C3", "C4", "RMSE", "paper RMSE",
                  "max q/s"});
     for (const Combo& combo : combos) {
-        ThroughputFit fit = ExperimentPipeline::fitThroughput(
-            ModelSpec::mixtral8x7b(), combo.gpu, 79, {}, 0.45);
+        ThroughputFit fit =
+            planner.fitThroughput(combo.gpu).valueOrThrow();
         double max_qps = 0.0;
         for (const auto& obs : fit.observations)
             max_qps = std::max(max_qps, obs.qps);

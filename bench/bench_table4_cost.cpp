@@ -9,7 +9,7 @@
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
-#include "core/pipeline.hpp"
+#include "core/planner.hpp"
 
 using namespace ftsim;
 
@@ -20,14 +20,10 @@ main()
                   "Estimated cost of fine-tuning Mixtral (sparse MoE) "
                   "on the cloud");
 
-    const ModelSpec spec = ModelSpec::mixtral8x7b();
-    const CloudCatalog catalog = CloudCatalog::cudoCompute();
-    const std::size_t seq = 148;  // GS median.
-    const double queries = 14000.0;
-    const double epochs = 10.0;
-
-    auto rows = ExperimentPipeline::costTable(
-        spec, GpuSpec::paperGpus(), catalog, seq, true, queries, epochs);
+    // The Table IV workload (GS median 148, 14k queries, 10 epochs) is
+    // the scenario's canonical defaults.
+    Planner planner(Scenario::gsMath());
+    auto rows = planner.costTable(GpuSpec::paperGpus()).valueOrThrow();
 
     Table table({"GPU", "Mem", "MBS", "Throughput (q/s)", "Cost ($/hr)",
                  "Cost ($)"});
@@ -48,11 +44,15 @@ main()
 
     bench::section("Enterprise-scale projection: OpenOrca (2M queries, "
                    "10 epochs)");
-    CostEstimator estimator(catalog);
+    // Same simulations, bigger dataset: only the cost formula changes,
+    // so reuse the measured throughputs against the OpenOrca scenario.
+    const Scenario orca_scenario = Scenario::openOrca();
+    CostEstimator estimator(planner.catalog());
     Table orca({"GPU", "Throughput (q/s)", "GPU-hours", "Cost ($)"});
     for (const CostRow& row : rows) {
-        CostEstimate est =
-            estimator.estimate(row.gpuName, row.throughputQps, 2e6, 10.0);
+        CostEstimate est = estimator.estimate(
+            row.gpuName, row.throughputQps, orca_scenario.numQueries,
+            orca_scenario.epochs);
         orca.addRow({row.gpuName, Table::fmt(est.throughputQps, 2),
                      Table::fmt(est.gpuHours, 0),
                      Table::fmt(est.totalDollars, 0)});

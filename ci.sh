@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verification: exactly the recipe in ROADMAP.md.
+# Usage: ./ci.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+
+echo "ci.sh: all green"

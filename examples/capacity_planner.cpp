@@ -1,9 +1,10 @@
 /**
  * @file
  * Example: a capacity/cost planner built on the analytical models — the
- * practitioner tool the paper's §V motivates. Fits Eq. 1 and Eq. 2 from
- * simulator sweeps, then answers: for *your* dataset and budget, which
- * GPU should you rent, and what will it cost?
+ * practitioner tool the paper's §V motivates. One `Planner` fits Eq. 1
+ * and Eq. 2 from simulator sweeps (memoized, so re-planning a new
+ * budget on the same scenario is free), then answers: for *your*
+ * dataset and budget, which GPU should you rent, and what will it cost?
  *
  * Run: ./build/examples/capacity_planner [num_queries] [median_seq] [epochs]
  */
@@ -11,65 +12,95 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "common/parallel.hpp"
 #include "common/table.hpp"
-#include "core/pipeline.hpp"
+#include "core/planner.hpp"
 
 using namespace ftsim;
 
 int
 main(int argc, char** argv)
 {
-    const double num_queries =
-        argc > 1 ? std::strtod(argv[1], nullptr) : 50000.0;
-    const std::size_t median_seq =
-        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 200;
-    const double epochs = argc > 3 ? std::strtod(argv[3], nullptr) : 10.0;
+    Scenario scenario = Scenario::gsMath().withNumQueries(
+        argc > 1 ? std::strtod(argv[1], nullptr) : 50000.0);
+    if (argc > 2)
+        scenario.withMedianSeqLen(std::strtoul(argv[2], nullptr, 10));
+    else
+        scenario.withMedianSeqLen(200);
+    if (argc > 3)
+        scenario.withEpochs(std::strtod(argv[3], nullptr));
 
-    const ModelSpec model = ModelSpec::mixtral8x7b();
-    std::cout << "planning: fine-tune " << model.name << " (sparse) on "
-              << num_queries << " queries, median length " << median_seq
-              << ", " << epochs << " epochs\n";
+    std::cout << "planning: fine-tune " << scenario.describe() << '\n';
+
+    Planner planner(scenario, CloudCatalog::cudoCompute());
+    planner.setParallelism(hardwareThreads());
 
     // Fit the paper's analytical models once from simulator sweeps; the
     // fitted coefficients then answer any what-if instantly (§V-D).
-    BatchSizeFit eq1 = ExperimentPipeline::fitBatchSize(
-        model, GpuSpec::paperGpus(), {79, 128, 148, 174, 256});
-    std::cout << "Eq. 1 fit: C0 = " << Table::fmt(eq1.model.c0(), 2)
-              << ", C1 = " << Table::fmt(eq1.model.c1(), 3) << " (RMSE "
-              << Table::fmt(eq1.rmse, 2) << ")\n";
+    Result<BatchSizeFit> eq1 = planner.fitBatchSize(
+        GpuSpec::paperGpus(), {79, 128, 148, 174, 256});
+    if (!eq1) {
+        std::cerr << "Eq. 1 fit failed: " << eq1.error().describe()
+                  << '\n';
+        return 1;
+    }
+    std::cout << "Eq. 1 fit: C0 = "
+              << Table::fmt(eq1.value().model.c0(), 2)
+              << ", C1 = " << Table::fmt(eq1.value().model.c1(), 3)
+              << " (RMSE " << Table::fmt(eq1.value().rmse, 2) << ")\n";
 
-    // Per-GPU recommendation table.
-    CostEstimator estimator(CloudCatalog::cudoCompute());
+    // Per-GPU recommendation table, driven by the fitted equations.
+    const double model_mem = scenario.model.weightMemoryBytes() / 1e9;
+    const double sparsity = scenario.model.sparsity(scenario.sparse);
     Table table({"GPU", "Eq.1 max bsz", "Eq.2 q/s @ max bsz",
                  "GPU-hours", "Cost ($)"});
     std::string best_gpu;
     double best_cost = 1e300;
-    const double model_mem = model.weightMemoryBytes() / 1e9;
     for (const GpuSpec& gpu : GpuSpec::paperGpus()) {
-        if (!estimator.catalog().has(gpu.name))
-            continue;
-        const int bsz = eq1.model.predict(
-            gpu.memGB, model_mem, static_cast<double>(median_seq), 0.25);
+        Result<double> rate = planner.catalog().rate(gpu.name);
+        if (!rate)
+            continue;  // Unpriced GPU: nothing to recommend.
+        const int bsz = eq1.value().model.predict(
+            gpu.memGB, model_mem,
+            static_cast<double>(scenario.medianSeqLen), sparsity);
         if (bsz < 1) {
             table.addRow({gpu.name, "does not fit", "-", "-", "-"});
             continue;
         }
-        ThroughputFit eq2 = ExperimentPipeline::fitThroughput(
-            model, gpu, median_seq, {}, 0.40);
-        const double qps =
-            eq2.model.predict(static_cast<double>(bsz), 0.25);
-        CostEstimate cost =
-            estimator.estimate(gpu.name, qps, num_queries, epochs);
+        Result<ThroughputFit> eq2 = planner.fitThroughput(gpu);
+        if (!eq2) {
+            table.addRow({gpu.name, Table::fmt(
+                              static_cast<long long>(bsz)),
+                          eq2.error().describe(), "-", "-"});
+            continue;
+        }
+        const double qps = eq2.value().model.predict(
+            static_cast<double>(bsz), sparsity);
+        Result<CostEstimate> cost = CostEstimator(planner.catalog())
+                                        .tryEstimate(gpu.name, qps,
+                                                     scenario.numQueries,
+                                                     scenario.epochs);
+        if (!cost)
+            continue;
         table.addRow({gpu.name, Table::fmt(static_cast<long long>(bsz)),
-                      Table::fmt(qps, 2), Table::fmt(cost.gpuHours, 1),
-                      Table::fmt(cost.totalDollars, 1)});
-        if (cost.totalDollars < best_cost) {
-            best_cost = cost.totalDollars;
+                      Table::fmt(qps, 2),
+                      Table::fmt(cost.value().gpuHours, 1),
+                      Table::fmt(cost.value().totalDollars, 1)});
+        if (cost.value().totalDollars < best_cost) {
+            best_cost = cost.value().totalDollars;
             best_gpu = gpu.name;
         }
     }
     std::cout << '\n' << table.render();
     std::cout << "\nrecommendation: rent " << best_gpu << " (~$"
               << Table::fmt(best_cost, 0) << " end-to-end)\n";
+
+    // Cross-check against the simulator-backed plan (not the fitted
+    // equations): the cheapest row of the Table IV comparison.
+    Result<CostRow> simulated = planner.cheapestPlan(GpuSpec::paperGpus());
+    if (simulated)
+        std::cout << "simulator cross-check: " << simulated.value().gpuName
+                  << " ($" << Table::fmt(simulated.value().totalDollars, 0)
+                  << ")\n";
     return 0;
 }

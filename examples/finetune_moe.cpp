@@ -10,6 +10,8 @@
 
 #include <iostream>
 
+#include "common/table.hpp"
+#include "core/planner.hpp"
 #include "train/imbalance.hpp"
 #include "train/pretrain.hpp"
 #include "train/trainer.hpp"
@@ -19,6 +21,18 @@ using namespace ftsim;
 int
 main()
 {
+    // Before training the miniature, ask the Planner what the *real*
+    // run would cost — the paper's workflow is exactly this pairing:
+    // plan on the analytical models, then fine-tune.
+    Planner planner(Scenario::commonsense15k());
+    if (Result<CostRow> plan =
+            planner.cheapestPlan(GpuSpec::paperGpus())) {
+        std::cout << "full-scale plan: " << planner.scenario().describe()
+                  << "\n  cheapest GPU " << plan.value().gpuName << " at $"
+                  << Table::fmt(plan.value().totalDollars, 1)
+                  << " end-to-end\n\n";
+    }
+
     // A miniature Mixtral: attention backbone, 8 SwiGLU experts, top-2
     // routing, QLoRA adapters (rank 4).
     MiniModelConfig cfg = MiniModelConfig::miniMixtral();

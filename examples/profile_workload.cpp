@@ -3,7 +3,9 @@
  * Example: profile a fine-tuning step on the GPU simulator — the
  * Nsight-Compute-style workflow of the paper's characterization study.
  * Shows the stage breakdown, the layer breakdown, and the top MoE
- * kernels with their SM / DRAM utilization for a configuration you pick.
+ * kernels with their SM / DRAM utilization for a configuration you
+ * pick, via `Planner::profileAt` (sigma 0 = profile the exact length,
+ * no padding model).
  *
  * Run: ./build/examples/profile_workload [batch] [seq_len] [sparse01]
  */
@@ -12,35 +14,42 @@
 #include <iostream>
 
 #include "common/table.hpp"
-#include "gpusim/finetune_sim.hpp"
-#include "gpusim/memory_model.hpp"
+#include "core/planner.hpp"
 
 using namespace ftsim;
 
 int
 main(int argc, char** argv)
 {
-    RunConfig config;
-    config.batchSize = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
-    config.seqLen = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 128;
-    config.sparse = argc > 3 ? std::atoi(argv[3]) != 0 : true;
+    const std::size_t batch =
+        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+    const std::size_t seq_len =
+        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 128;
+    const bool sparse = argc > 3 ? std::atoi(argv[3]) != 0 : true;
 
-    const ModelSpec model = ModelSpec::mixtral8x7b();
+    const Scenario scenario = Scenario{}
+                                  .withMedianSeqLen(seq_len)
+                                  .withLengthSigma(0.0)
+                                  .withSparse(sparse);
     const GpuSpec gpu = GpuSpec::a40();
+    Planner planner(scenario);
 
-    const int max_batch = MemoryModel::maxBatchSize(
-        model, gpu, config.seqLen, config.sparse);
-    std::cout << "profiling " << model.name << " on " << gpu.name
-              << ": batch " << config.batchSize << ", seq "
-              << config.seqLen << ", "
-              << (config.sparse ? "sparse (top-2)" : "dense (all 8)")
+    const int max_batch = planner.maxBatch(gpu).valueOr(0);
+    std::cout << "profiling " << scenario.model.name << " on " << gpu.name
+              << ": batch " << batch << ", seq " << seq_len << ", "
+              << (sparse ? "sparse (top-2)" : "dense (all 8)")
               << "  [max batch at this config: " << max_batch << "]\n";
-    if (static_cast<int>(config.batchSize) > max_batch && max_batch > 0)
+    if (static_cast<int>(batch) > max_batch && max_batch > 0)
         std::cout << "warning: this batch would not fit on real "
                      "hardware; simulating anyway.\n";
 
-    FineTuneSim sim(model, gpu);
-    StepProfile p = sim.profileStep(config);
+    Result<StepProfile> profiled = planner.profileAt(gpu, batch);
+    if (!profiled) {
+        std::cerr << "cannot profile: " << profiled.error().describe()
+                  << '\n';
+        return 1;
+    }
+    const StepProfile& p = profiled.value();
 
     std::cout << "\nstep latency " << p.stepSeconds << " s  ("
               << p.throughputQps << " queries/s, "

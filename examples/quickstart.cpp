@@ -1,57 +1,87 @@
 /**
  * @file
  * Quickstart: estimate the cost of fine-tuning a sparse MoE LLM on a
- * cloud GPU in ~20 lines of API use.
+ * cloud GPU through the Planner API.
+ *
+ * The whole paper-§V workflow is three objects:
+ *
+ *   1. `Scenario`   — what run? model + dataset shape + hyper-params
+ *                     (one canonical set of defaults; tweak fields or
+ *                     chain the `with*` setters).
+ *   2. `Planner`    — the queryable facade. Construct it once from the
+ *                     scenario and a price catalog; every question
+ *                     (max batch, throughput, cost, GPU comparison,
+ *                     full report) is a method returning `Result<T>`.
+ *   3. `Result<T>`  — value or typed error ("does not fit", "no price
+ *                     listed"), so a planning miss is a branch, not a
+ *                     process exit.
+ *
+ * Queries memoize: the cost table below simulates each GPU once, and
+ * any later report/sweep on the same planner reuses those steps.
  *
  * Build & run:
- *   cmake -B build -G Ninja && cmake --build build
+ *   cmake -B build -S . && cmake --build build -j
  *   ./build/examples/quickstart
  */
 
 #include <iostream>
 
-#include "core/pipeline.hpp"
+#include "core/planner.hpp"
 
 using namespace ftsim;
 
 int
 main()
 {
-    // 1. Pick a model and a GPU from the built-in catalogs.
-    const ModelSpec model = ModelSpec::mixtral8x7b();
-    const GpuSpec gpu = GpuSpec::a40();
+    // 1. Describe the run: sparse Mixtral on the GS/MATH dataset
+    //    (14k queries, median 148 tokens, 10 epochs) — the paper's
+    //    Table IV scenario, which is exactly the defaults.
+    const Scenario scenario = Scenario::gsMath();
+    std::cout << "planning: " << scenario.describe() << '\n';
 
-    // 2. How large a batch fits? (Eq. 1 territory: memory model.)
-    const std::size_t seq_len = 148;  // Your dataset's median length.
-    const int max_batch =
-        MemoryModel::maxBatchSize(model, gpu, seq_len, /*sparse=*/true);
-    std::cout << model.name << " on " << gpu.name
+    // 2. One planner answers everything, against the CUDO price list.
+    Planner planner(scenario, CloudCatalog::cudoCompute());
+    const GpuSpec a40 = GpuSpec::a40();
+
+    // 3. How large a batch fits? (Eq. 1 territory: memory model.)
+    const int max_batch = planner.maxBatch(a40).valueOr(0);
+    std::cout << scenario.model.name << " on " << a40.name
               << ": max batch size = " << max_batch << '\n';
 
-    // 3. What throughput does that deliver? (GPU simulator.)
-    FineTuneSim sim(model, gpu);
-    const double qps = sim.throughput(
-        static_cast<std::size_t>(max_batch), seq_len, /*sparse=*/true,
-        /*length_sigma=*/0.40);
+    // 4. What throughput does that deliver? (GPU simulator.)
+    const double qps = planner.throughput(a40).valueOr(0.0);
     std::cout << "estimated throughput: " << qps << " queries/second\n";
 
-    // 4. What does the full fine-tuning run cost? (Cost model.)
-    CostEstimator estimator(CloudCatalog::cudoCompute());
-    CostEstimate cost =
-        estimator.estimate(gpu.name, qps, /*num_queries=*/14000.0,
-                           /*epochs=*/10.0);
-    std::cout << "10 epochs over 14k queries: " << cost.gpuHours
-              << " GPU-hours = $" << cost.totalDollars << '\n';
+    // 5. What does the full fine-tuning run cost? (Cost model.)
+    Result<CostEstimate> cost = planner.cost(a40);
+    if (cost) {
+        std::cout << scenario.epochs << " epochs over "
+                  << scenario.numQueries
+                  << " queries: " << cost.value().gpuHours
+                  << " GPU-hours = $" << cost.value().totalDollars
+                  << '\n';
+    } else {
+        std::cout << "cannot cost " << a40.name << ": "
+                  << cost.error().describe() << '\n';
+    }
 
-    // 5. Should you rent a different GPU? Ask the pipeline for the
-    //    whole Table IV-style comparison.
+    // 6. Should you rent a different GPU? Ask for the whole
+    //    Table IV-style comparison (reuses the steps simulated above).
     std::cout << "\nAll priced GPUs:\n";
-    for (const CostRow& row : ExperimentPipeline::costTable(
-             model, GpuSpec::paperGpus(), CloudCatalog::cudoCompute(),
-             seq_len, true, 14000.0, 10.0)) {
+    for (const CostRow& row :
+         planner.costTable(GpuSpec::paperGpus()).valueOr({})) {
         std::cout << "  " << row.gpuName << ": bsz " << row.maxBatchSize
                   << ", " << row.throughputQps << " q/s, $"
                   << row.totalDollars << '\n';
     }
+    Result<CostRow> best = planner.cheapestPlan(GpuSpec::paperGpus());
+    if (best)
+        std::cout << "cheapest end-to-end: " << best.value().gpuName
+                  << '\n';
+
+    PlannerStats stats = planner.stats();
+    std::cout << "\n(" << stats.stepsSimulated
+              << " step simulations for the whole session, "
+              << stats.stepCacheHits << " answered from cache)\n";
     return 0;
 }

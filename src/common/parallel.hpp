@@ -1,0 +1,33 @@
+#ifndef FTSIM_COMMON_PARALLEL_HPP
+#define FTSIM_COMMON_PARALLEL_HPP
+
+/**
+ * @file
+ * Minimal fork-join parallelism for fan-out sweeps.
+ *
+ * `parallelFor` runs `body(i)` for i in [0, n) on up to `threads`
+ * workers pulling indices from a shared atomic counter (work stealing
+ * at index granularity). With `threads <= 1` (or n <= 1) it degrades to
+ * a plain serial loop — callers need no separate code path. Exceptions
+ * escaping `body` are captured and the first one is rethrown on the
+ * calling thread after the join.
+ */
+
+#include <cstddef>
+#include <functional>
+
+namespace ftsim {
+
+/** Hardware concurrency with a sane floor of 1. */
+unsigned hardwareThreads();
+
+/**
+ * Runs @p body over [0, n) on up to @p threads workers and joins.
+ * @p body must be safe to call concurrently for distinct indices.
+ */
+void parallelFor(std::size_t n, unsigned threads,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace ftsim
+
+#endif  // FTSIM_COMMON_PARALLEL_HPP

@@ -27,17 +27,24 @@ CloudCatalog::add(const CloudOffering& offering)
     offerings_.push_back(offering);
 }
 
-double
-CloudCatalog::ratePerHour(const std::string& gpu_name) const
+Result<double>
+CloudCatalog::rate(const std::string& gpu_name) const
 {
     double best = std::numeric_limits<double>::infinity();
     for (const auto& o : offerings_)
         if (o.gpuName == gpu_name)
             best = std::min(best, o.dollarsPerHour);
     if (!std::isfinite(best))
-        fatal(strCat("CloudCatalog: no offering for GPU '", gpu_name,
-                     "'"));
+        return Error{ErrorCode::UnknownGpu,
+                     strCat("CloudCatalog: no offering for GPU '",
+                            gpu_name, "'")};
     return best;
+}
+
+double
+CloudCatalog::ratePerHour(const std::string& gpu_name) const
+{
+    return rate(gpu_name).valueOrThrow();
 }
 
 bool
@@ -54,22 +61,56 @@ CostEstimator::CostEstimator(CloudCatalog catalog)
 {
 }
 
-CostEstimate
-CostEstimator::estimate(const std::string& gpu_name, double qps,
-                        double num_queries, double epochs) const
+Result<CostEstimate>
+CostEstimator::tryEstimate(const std::string& gpu_name, double qps,
+                           double num_queries, double epochs) const
 {
     if (qps <= 0.0)
-        fatal("CostEstimator::estimate: non-positive throughput");
+        return Error{ErrorCode::InvalidArgument,
+                     "CostEstimator::estimate: non-positive throughput"};
     if (num_queries <= 0.0 || epochs <= 0.0)
-        fatal("CostEstimator::estimate: non-positive workload");
+        return Error{ErrorCode::InvalidArgument,
+                     "CostEstimator::estimate: non-positive workload"};
+
+    Result<double> rate = catalog_.rate(gpu_name);
+    if (!rate)
+        return rate.error();
 
     CostEstimate est;
     est.gpuName = gpu_name;
     est.throughputQps = qps;
-    est.dollarsPerHour = catalog_.ratePerHour(gpu_name);
+    est.dollarsPerHour = rate.value();
     est.gpuHours = epochs * num_queries / qps / 3600.0;
     est.totalDollars = est.gpuHours * est.dollarsPerHour;
     return est;
+}
+
+CostEstimate
+CostEstimator::estimate(const std::string& gpu_name, double qps,
+                        double num_queries, double epochs) const
+{
+    return tryEstimate(gpu_name, qps, num_queries, epochs).valueOrThrow();
+}
+
+Result<CostEstimate>
+CostEstimator::tryCheapest(
+    const std::vector<std::pair<std::string, double>>& candidates,
+    double num_queries, double epochs) const
+{
+    if (candidates.empty())
+        return Error{ErrorCode::NoViablePlan,
+                     "CostEstimator::cheapest: no candidates"};
+    CostEstimate best;
+    best.totalDollars = std::numeric_limits<double>::infinity();
+    for (const auto& [gpu, qps] : candidates) {
+        Result<CostEstimate> est =
+            tryEstimate(gpu, qps, num_queries, epochs);
+        if (!est)
+            return est.error();
+        if (est.value().totalDollars < best.totalDollars)
+            best = est.value();
+    }
+    return best;
 }
 
 CostEstimate
@@ -77,16 +118,7 @@ CostEstimator::cheapest(
     const std::vector<std::pair<std::string, double>>& candidates,
     double num_queries, double epochs) const
 {
-    if (candidates.empty())
-        fatal("CostEstimator::cheapest: no candidates");
-    CostEstimate best;
-    best.totalDollars = std::numeric_limits<double>::infinity();
-    for (const auto& [gpu, qps] : candidates) {
-        CostEstimate est = estimate(gpu, qps, num_queries, epochs);
-        if (est.totalDollars < best.totalDollars)
-            best = est;
-    }
-    return best;
+    return tryCheapest(candidates, num_queries, epochs).valueOrThrow();
 }
 
 }  // namespace ftsim

@@ -17,7 +17,10 @@
  */
 
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "core/result.hpp"
 
 namespace ftsim {
 
@@ -48,7 +51,14 @@ class CloudCatalog {
 
     /**
      * Cheapest rate for the GPU name (any provider).
-     * Fatal if the GPU is not listed.
+     * `UnknownGpu` if the GPU is not listed.
+     */
+    Result<double> rate(const std::string& gpu_name) const;
+
+    /**
+     * Cheapest rate for the GPU name (any provider).
+     * Throws FatalError if the GPU is not listed.
+     * @deprecated Legacy shim over rate(); prefer the Result form.
      */
     double ratePerHour(const std::string& gpu_name) const;
 
@@ -75,16 +85,35 @@ class CostEstimator {
 
     /**
      * Estimates fine-tuning cost.
-     * @param gpu_name catalog key.
+     * @param gpu_name catalog key (`UnknownGpu` when unpriced).
      * @param qps estimated throughput in queries/second.
      * @param num_queries dataset size (the paper's "query" = prompt +
      *        ground-truth answer).
      * @param epochs fine-tuning epochs (paper default: 10).
      */
+    Result<CostEstimate> tryEstimate(const std::string& gpu_name,
+                                     double qps, double num_queries,
+                                     double epochs) const;
+
+    /**
+     * Like tryEstimate but throws FatalError on any failure.
+     * @deprecated Legacy shim; prefer the Result form.
+     */
     CostEstimate estimate(const std::string& gpu_name, double qps,
                           double num_queries, double epochs) const;
 
-    /** Cheapest option among the given (gpu, qps) candidates. */
+    /**
+     * Cheapest option among the given (gpu, qps) candidates.
+     * `NoViablePlan` on an empty candidate list.
+     */
+    Result<CostEstimate> tryCheapest(
+        const std::vector<std::pair<std::string, double>>& candidates,
+        double num_queries, double epochs) const;
+
+    /**
+     * Like tryCheapest but throws FatalError on any failure.
+     * @deprecated Legacy shim; prefer the Result form.
+     */
     CostEstimate cheapest(
         const std::vector<std::pair<std::string, double>>& candidates,
         double num_queries, double epochs) const;

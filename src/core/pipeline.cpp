@@ -1,32 +1,33 @@
 #include "core/pipeline.hpp"
 
-#include "common/logging.hpp"
-
 namespace ftsim {
+
+namespace {
+
+/** One-shot planner for a legacy sweep call (no catalog needed). */
+Planner
+plannerFor(const ModelSpec& model, std::size_t seq_len,
+           const SimCalibration& calib, double length_sigma)
+{
+    Scenario scenario;
+    scenario.model = model;
+    scenario.medianSeqLen = seq_len;
+    scenario.lengthSigma = length_sigma;
+    scenario.calibration = calib;
+    return Planner(std::move(scenario), CloudCatalog());
+}
+
+}  // namespace
 
 std::vector<BatchSizeObservation>
 ExperimentPipeline::collectBatchSizeData(
     const ModelSpec& model, const std::vector<GpuSpec>& gpus,
     const std::vector<std::size_t>& seq_lens)
 {
-    if (gpus.empty() || seq_lens.empty())
-        fatal("collectBatchSizeData: empty sweep");
-    std::vector<BatchSizeObservation> out;
-    for (const GpuSpec& gpu : gpus) {
-        for (std::size_t seq : seq_lens) {
-            for (bool sparse : {false, true}) {
-                BatchSizeObservation obs;
-                obs.gpuMemGB = gpu.memGB;
-                obs.modelMemGB = model.weightMemoryBytes() / 1e9;
-                obs.seqLen = static_cast<double>(seq);
-                obs.sparsity = model.sparsity(sparse);
-                obs.maxBatch =
-                    MemoryModel::maxBatchSize(model, gpu, seq, sparse);
-                out.push_back(obs);
-            }
-        }
-    }
-    return out;
+    Scenario scenario;
+    scenario.model = model;
+    Planner planner(std::move(scenario), CloudCatalog());
+    return planner.batchSizeSweep(gpus, seq_lens).valueOrThrow();
 }
 
 BatchSizeFit
@@ -34,11 +35,10 @@ ExperimentPipeline::fitBatchSize(const ModelSpec& model,
                                  const std::vector<GpuSpec>& gpus,
                                  const std::vector<std::size_t>& seq_lens)
 {
-    auto data = collectBatchSizeData(model, gpus, seq_lens);
-    MaxBatchModel fitted = MaxBatchModel::fit(data);
-    BatchSizeFit fit{fitted, std::move(data), 0.0};
-    fit.rmse = fit.model.rmse(fit.observations);
-    return fit;
+    Scenario scenario;
+    scenario.model = model;
+    Planner planner(std::move(scenario), CloudCatalog());
+    return planner.fitBatchSize(gpus, seq_lens).valueOrThrow();
 }
 
 std::vector<ThroughputObservation>
@@ -48,30 +48,9 @@ ExperimentPipeline::collectThroughputData(const ModelSpec& model,
                                           const SimCalibration& calib,
                                           double length_sigma)
 {
-    FineTuneSim sim(model, gpu, calib);
-    std::vector<ThroughputObservation> out;
-    for (bool sparse : {false, true}) {
-        const int max_batch =
-            MemoryModel::maxBatchSize(model, gpu, seq_len, sparse);
-        if (max_batch < 1) {
-            warn(strCat("collectThroughputData: ", model.name,
-                        " does not fit on ", gpu.name,
-                        sparse ? " (sparse)" : " (dense)"));
-            continue;
-        }
-        for (const ThroughputPoint& pt : sim.throughputSweep(
-                 seq_len, sparse, static_cast<std::size_t>(max_batch),
-                 length_sigma)) {
-            ThroughputObservation obs;
-            obs.batchSize = static_cast<double>(pt.batchSize);
-            obs.sparsity = model.sparsity(sparse);
-            obs.qps = pt.qps;
-            out.push_back(obs);
-        }
-    }
-    if (out.empty())
-        fatal("collectThroughputData: model fits on no configuration");
-    return out;
+    return plannerFor(model, seq_len, calib, length_sigma)
+        .throughputObservations(gpu)
+        .valueOrThrow();
 }
 
 ThroughputFit
@@ -80,12 +59,9 @@ ExperimentPipeline::fitThroughput(const ModelSpec& model,
                                   const SimCalibration& calib,
                                   double length_sigma)
 {
-    auto data =
-        collectThroughputData(model, gpu, seq_len, calib, length_sigma);
-    ThroughputModel fitted = ThroughputModel::fit(data);
-    ThroughputFit fit{fitted, std::move(data), 0.0};
-    fit.rmse = fit.model.rmse(fit.observations);
-    return fit;
+    return plannerFor(model, seq_len, calib, length_sigma)
+        .fitThroughput(gpu)
+        .valueOrThrow();
 }
 
 std::vector<CostRow>
@@ -97,27 +73,16 @@ ExperimentPipeline::costTable(const ModelSpec& model,
                               const SimCalibration& calib,
                               double length_sigma)
 {
-    CostEstimator estimator(catalog);
-    std::vector<CostRow> rows;
-    for (const GpuSpec& gpu : gpus) {
-        if (!catalog.has(gpu.name))
-            continue;  // No price -> no row (paper's CUDO list).
-        const int mbs =
-            MemoryModel::maxBatchSize(model, gpu, seq_len, sparse);
-        if (mbs < 1)
-            continue;  // Does not fit.
-        FineTuneSim sim(model, gpu, calib);
-        const double qps =
-            sim.throughput(static_cast<std::size_t>(mbs), seq_len, sparse,
-                           length_sigma);
-        CostEstimate est =
-            estimator.estimate(gpu.name, qps, num_queries, epochs);
-        rows.push_back({gpu.name, gpu.memGB, mbs, qps, est.dollarsPerHour,
-                        est.totalDollars});
-    }
-    if (rows.empty())
-        fatal("costTable: no GPU in the catalog fits the model");
-    return rows;
+    Scenario scenario;
+    scenario.model = model;
+    scenario.medianSeqLen = seq_len;
+    scenario.lengthSigma = length_sigma;
+    scenario.numQueries = num_queries;
+    scenario.epochs = epochs;
+    scenario.sparse = sparse;
+    scenario.calibration = calib;
+    Planner planner(std::move(scenario), catalog);
+    return planner.costTable(gpus).valueOrThrow();
 }
 
 }  // namespace ftsim

@@ -3,49 +3,32 @@
 
 /**
  * @file
- * Experiment orchestration: glue between the GPU simulator (the
- * measurement substrate) and the analytical models (the contribution).
+ * Legacy experiment-recipe entry points.
  *
  * Mirrors the paper's §V workflow: sweep batch sizes on the simulator to
  * collect ground truth, fit Eq. 1 / Eq. 2 coefficients, validate with
  * RMSE (Figs. 13-15), then price full fine-tuning runs (Table IV).
+ *
+ * @deprecated These static helpers are thin shims over the `Planner`
+ * facade (core/planner.hpp), kept for source compatibility. They build
+ * a throwaway planner per call, so nothing is memoized across calls and
+ * domain failures surface as thrown `FatalError`s. New code should
+ * construct a `Scenario` and query a `Planner` instead.
+ *
+ * Behavior note: the default `length_sigma` of collectThroughputData /
+ * fitThroughput used to be 0.45 while costTable's was 0.40; both now
+ * share the one canonical `Scenario::kDefaultLengthSigma` (0.40).
+ * Callers that relied on the old throughput-sweep default should pass
+ * 0.45 explicitly.
  */
 
 #include <cstddef>
 #include <string>
 #include <vector>
 
-#include "core/batch_size_model.hpp"
-#include "core/cost_model.hpp"
-#include "core/throughput_model.hpp"
-#include "gpusim/finetune_sim.hpp"
-#include "gpusim/memory_model.hpp"
+#include "core/planner.hpp"
 
 namespace ftsim {
-
-/** A fitted throughput model plus its training data and error. */
-struct ThroughputFit {
-    ThroughputModel model;
-    std::vector<ThroughputObservation> observations;
-    double rmse = 0.0;
-};
-
-/** A fitted batch-size model plus its training data and error. */
-struct BatchSizeFit {
-    MaxBatchModel model;
-    std::vector<BatchSizeObservation> observations;
-    double rmse = 0.0;
-};
-
-/** One row of the Table IV cost report. */
-struct CostRow {
-    std::string gpuName;
-    double memGB = 0.0;
-    int maxBatchSize = 0;
-    double throughputQps = 0.0;
-    double dollarsPerHour = 0.0;
-    double totalDollars = 0.0;
-};
 
 /** Static helpers implementing the paper's experiment recipes. */
 class ExperimentPipeline {
@@ -53,12 +36,16 @@ class ExperimentPipeline {
     /**
      * Ground-truth maximum batch sizes for a model across GPUs and
      * sequence lengths, both dense and sparse (input to Eq. 1 fitting).
+     * @deprecated Shim over Planner::batchSizeSweep.
      */
     static std::vector<BatchSizeObservation> collectBatchSizeData(
         const ModelSpec& model, const std::vector<GpuSpec>& gpus,
         const std::vector<std::size_t>& seq_lens);
 
-    /** Fits Eq. 1 to simulator ground truth (Fig. 13 recipe). */
+    /**
+     * Fits Eq. 1 to simulator ground truth (Fig. 13 recipe).
+     * @deprecated Shim over Planner::fitBatchSize.
+     */
     static BatchSizeFit fitBatchSize(
         const ModelSpec& model, const std::vector<GpuSpec>& gpus,
         const std::vector<std::size_t>& seq_lens);
@@ -67,29 +54,35 @@ class ExperimentPipeline {
      * Throughput sweep on one GPU: dense batches 1..max_dense and sparse
      * batches 1..max_sparse, limits from the memory model (the paper
      * sweeps to the largest batch that fits).
+     * @deprecated Shim over Planner::throughputObservations.
      */
     static std::vector<ThroughputObservation> collectThroughputData(
         const ModelSpec& model, const GpuSpec& gpu, std::size_t seq_len,
-        const SimCalibration& calib = {}, double length_sigma = 0.45);
+        const SimCalibration& calib = {},
+        double length_sigma = Scenario::kDefaultLengthSigma);
 
-    /** Fits Eq. 2 to simulator ground truth (Figs. 14-15 recipe). */
-    static ThroughputFit fitThroughput(const ModelSpec& model,
-                                       const GpuSpec& gpu,
-                                       std::size_t seq_len,
-                                       const SimCalibration& calib = {},
-                                       double length_sigma = 0.45);
+    /**
+     * Fits Eq. 2 to simulator ground truth (Figs. 14-15 recipe).
+     * @deprecated Shim over Planner::fitThroughput.
+     */
+    static ThroughputFit fitThroughput(
+        const ModelSpec& model, const GpuSpec& gpu, std::size_t seq_len,
+        const SimCalibration& calib = {},
+        double length_sigma = Scenario::kDefaultLengthSigma);
 
     /**
      * Builds the Table IV cost report: for each GPU, the max batch size
      * (memory model), throughput at that batch (simulator), and the
      * end-to-end cost of `epochs` epochs over `num_queries` queries.
      * GPUs missing from the catalog are skipped.
+     * @deprecated Shim over Planner::costTable.
      */
     static std::vector<CostRow> costTable(
         const ModelSpec& model, const std::vector<GpuSpec>& gpus,
         const CloudCatalog& catalog, std::size_t seq_len, bool sparse,
         double num_queries, double epochs,
-        const SimCalibration& calib = {}, double length_sigma = 0.40);
+        const SimCalibration& calib = {},
+        double length_sigma = Scenario::kDefaultLengthSigma);
 };
 
 }  // namespace ftsim

@@ -1,0 +1,371 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+
+namespace ftsim {
+
+namespace {
+
+/**
+ * Cache identity of one GPU. Keyed on the full spec, not just the name,
+ * so a tweaked copy ("A40 with 24 GB") never aliases the preset.
+ */
+std::string
+gpuFingerprint(const GpuSpec& gpu)
+{
+    return strCat(gpu.name, '|', gpu.memGB, '|', gpu.numSms, '|',
+                  gpu.tensorTflops, '|', gpu.vectorTflops, '|',
+                  gpu.dramGBps, '|', gpu.launchUs);
+}
+
+}  // namespace
+
+/** Per-GPU cache shard: one simulator plus every memoized answer. */
+struct Planner::GpuState {
+    using StepKey = std::tuple<std::size_t, std::size_t, bool, int>;
+
+    GpuSpec gpu;
+    FineTuneSim sim;
+    /** Guards every cache container below (not the registry). */
+    std::mutex mutex;
+    std::map<StepKey, StepProfile> steps;
+    std::optional<MemoryBreakdown> mem;
+    std::optional<std::vector<ThroughputObservation>> observations;
+    std::optional<ThroughputFit> fit;
+
+    GpuState(const ModelSpec& model, const GpuSpec& g,
+             const SimCalibration& calib)
+        : gpu(g), sim(model, g, calib)
+    {
+    }
+};
+
+Planner::Planner(Scenario scenario, CloudCatalog catalog)
+    : scenario_(std::move(scenario)), catalog_(std::move(catalog)),
+      estimator_(catalog_)
+{
+}
+
+Planner::~Planner() = default;
+
+Planner&
+Planner::setParallelism(unsigned threads)
+{
+    parallelism_ = threads > 0 ? threads : 1;
+    return *this;
+}
+
+Planner::GpuState&
+Planner::stateFor(const GpuSpec& gpu) const
+{
+    const std::string key = gpuFingerprint(gpu);
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto it = states_.find(key);
+    if (it == states_.end())
+        it = states_
+                 .emplace(key, std::make_unique<GpuState>(
+                                   scenario_.model, gpu,
+                                   scenario_.calibration))
+                 .first;
+    return *it->second;
+}
+
+const StepProfile&
+Planner::profiledStep(GpuState& state, const RunConfig& config) const
+{
+    const GpuState::StepKey key{config.batchSize, config.seqLen,
+                                config.sparse,
+                                config.gradientCheckpointing};
+    std::lock_guard<std::mutex> lock(state.mutex);
+    auto it = state.steps.find(key);
+    if (it != state.steps.end()) {
+        ++step_hits_;
+        return it->second;
+    }
+    ++step_misses_;
+    // Simulate while holding the shard lock: queries for the *same* GPU
+    // serialize, distinct GPUs stay fully parallel.
+    return state.steps.emplace(key, state.sim.profileStep(config))
+        .first->second;
+}
+
+Result<MemoryBreakdown>
+Planner::memory(const GpuSpec& gpu) const
+{
+    Result<Scenario> valid = checked();
+    if (!valid)
+        return valid.error();
+    GpuState& state = stateFor(gpu);
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (!state.mem)
+        state.mem = MemoryModel::analyze(scenario_.model, gpu,
+                                         scenario_.medianSeqLen,
+                                         scenario_.sparse);
+    return *state.mem;
+}
+
+Result<int>
+Planner::maxBatch(const GpuSpec& gpu) const
+{
+    Result<MemoryBreakdown> mem = memory(gpu);
+    if (!mem)
+        return mem.error();
+    if (mem.value().maxBatchSize < 1)
+        return Error{ErrorCode::DoesNotFit,
+                     strCat(scenario_.model.name, " does not fit on ",
+                            gpu.name,
+                            scenario_.sparse ? " (sparse)" : " (dense)")};
+    return mem.value().maxBatchSize;
+}
+
+Result<StepProfile>
+Planner::profileAt(const GpuSpec& gpu, std::size_t batch) const
+{
+    Result<Scenario> valid = checked();
+    if (!valid)
+        return valid.error();
+    if (batch < 1)
+        return Error{ErrorCode::InvalidArgument,
+                     "Planner::profileAt: batch must be >= 1"};
+    GpuState& state = stateFor(gpu);
+    RunConfig config;
+    config.batchSize = batch;
+    config.seqLen = state.sim.paddedSeqLen(scenario_.medianSeqLen, batch,
+                                           scenario_.lengthSigma);
+    config.sparse = scenario_.sparse;
+    return profiledStep(state, config);
+}
+
+Result<StepProfile>
+Planner::profile(const GpuSpec& gpu) const
+{
+    Result<int> mbs = maxBatch(gpu);
+    if (!mbs)
+        return mbs.error();
+    return profileAt(gpu, static_cast<std::size_t>(mbs.value()));
+}
+
+Result<double>
+Planner::throughput(const GpuSpec& gpu) const
+{
+    Result<StepProfile> profile_at_max = profile(gpu);
+    if (!profile_at_max)
+        return profile_at_max.error();
+    return profile_at_max.value().throughputQps;
+}
+
+Result<std::vector<ThroughputObservation>>
+Planner::throughputObservations(const GpuSpec& gpu) const
+{
+    Result<Scenario> valid = checked();
+    if (!valid)
+        return valid.error();
+    GpuState& state = stateFor(gpu);
+    {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (state.observations)
+            return *state.observations;
+    }
+
+    // The fitting set merges both routing modes (the paper fits one
+    // (C2, C3, C4) triple over the dense + sparse sweeps), whatever
+    // mode the scenario itself plans for.
+    std::vector<ThroughputObservation> out;
+    for (bool sparse : {false, true}) {
+        const int max_batch = MemoryModel::maxBatchSize(
+            scenario_.model, gpu, scenario_.medianSeqLen, sparse);
+        if (max_batch < 1) {
+            warn(strCat("Planner::throughputObservations: ",
+                        scenario_.model.name, " does not fit on ",
+                        gpu.name, sparse ? " (sparse)" : " (dense)"));
+            continue;
+        }
+        for (std::size_t b = 1; b <= static_cast<std::size_t>(max_batch);
+             ++b) {
+            RunConfig config;
+            config.batchSize = b;
+            config.seqLen = state.sim.paddedSeqLen(
+                scenario_.medianSeqLen, b, scenario_.lengthSigma);
+            config.sparse = sparse;
+            const StepProfile& profile = profiledStep(state, config);
+            ThroughputObservation obs;
+            obs.batchSize = static_cast<double>(b);
+            obs.sparsity = scenario_.model.sparsity(sparse);
+            obs.qps = profile.throughputQps;
+            out.push_back(obs);
+        }
+    }
+    if (out.empty())
+        return Error{ErrorCode::DoesNotFit,
+                     strCat(scenario_.model.name,
+                            " fits on no configuration of ", gpu.name)};
+
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (!state.observations)
+        state.observations = std::move(out);
+    return *state.observations;
+}
+
+Result<ThroughputFit>
+Planner::fitThroughput(const GpuSpec& gpu) const
+{
+    GpuState& state = stateFor(gpu);
+    {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (state.fit)
+            return *state.fit;
+    }
+    Result<std::vector<ThroughputObservation>> obs =
+        throughputObservations(gpu);
+    if (!obs)
+        return obs.error();
+    if (obs.value().size() < 3)
+        return Error{ErrorCode::DoesNotFit,
+                     strCat("Planner::fitThroughput: only ",
+                            obs.value().size(),
+                            " sweep points on ", gpu.name,
+                            "; Eq. 2 needs at least 3")};
+    ThroughputFit fit{ThroughputModel::fit(obs.value()), obs.value(),
+                      0.0};
+    fit.rmse = fit.model.rmse(fit.observations);
+
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (!state.fit)
+        state.fit = std::move(fit);
+    return *state.fit;
+}
+
+Result<CostEstimate>
+Planner::cost(const GpuSpec& gpu) const
+{
+    Result<double> qps = throughput(gpu);
+    if (!qps)
+        return qps.error();
+    return estimator_.tryEstimate(gpu.name, qps.value(),
+                                  scenario_.numQueries,
+                                  scenario_.epochs);
+}
+
+Result<std::vector<CostRow>>
+Planner::costTable(const std::vector<GpuSpec>& gpus) const
+{
+    Result<Scenario> valid = checked();
+    if (!valid)
+        return valid.error();
+    if (gpus.empty())
+        return Error{ErrorCode::EmptySweep,
+                     "Planner::costTable: empty GPU list"};
+
+    // One slot per GPU keeps the fan-out order-stable under threading.
+    std::vector<std::optional<CostRow>> slots(gpus.size());
+    parallelFor(gpus.size(), parallelism_, [&](std::size_t i) {
+        const GpuSpec& gpu = gpus[i];
+        if (!catalog_.has(gpu.name))
+            return;  // No price -> no row (paper's CUDO list).
+        Result<int> mbs = maxBatch(gpu);
+        if (!mbs)
+            return;  // Does not fit.
+        Result<CostEstimate> est = cost(gpu);
+        if (!est)
+            return;
+        slots[i] = CostRow{gpu.name,
+                           gpu.memGB,
+                           mbs.value(),
+                           est.value().throughputQps,
+                           est.value().dollarsPerHour,
+                           est.value().totalDollars};
+    });
+
+    std::vector<CostRow> rows;
+    for (std::optional<CostRow>& slot : slots)
+        if (slot)
+            rows.push_back(std::move(*slot));
+    if (rows.empty())
+        return Error{ErrorCode::NoViablePlan,
+                     strCat("Planner::costTable: no GPU in the catalog "
+                            "fits ",
+                            scenario_.model.name)};
+    return rows;
+}
+
+Result<CostRow>
+Planner::cheapestPlan(const std::vector<GpuSpec>& gpus) const
+{
+    Result<std::vector<CostRow>> rows = costTable(gpus);
+    if (!rows)
+        return rows.error();
+    const CostRow* best = nullptr;
+    for (const CostRow& row : rows.value())
+        if (best == nullptr || row.totalDollars < best->totalDollars)
+            best = &row;
+    return *best;
+}
+
+Result<std::vector<BatchSizeObservation>>
+Planner::batchSizeSweep(const std::vector<GpuSpec>& gpus,
+                        const std::vector<std::size_t>& seq_lens) const
+{
+    Result<Scenario> valid = checked();
+    if (!valid)
+        return valid.error();
+    if (gpus.empty() || seq_lens.empty())
+        return Error{ErrorCode::EmptySweep,
+                     "Planner::batchSizeSweep: empty sweep"};
+
+    const double model_mem = scenario_.model.weightMemoryBytes() / 1e9;
+    // Pure memory-model arithmetic — per-GPU blocks fan out, then
+    // concatenate in GPU order so the result is deterministic.
+    std::vector<std::vector<BatchSizeObservation>> blocks(gpus.size());
+    parallelFor(gpus.size(), parallelism_, [&](std::size_t i) {
+        const GpuSpec& gpu = gpus[i];
+        for (std::size_t seq : seq_lens) {
+            for (bool sparse : {false, true}) {
+                BatchSizeObservation obs;
+                obs.gpuMemGB = gpu.memGB;
+                obs.modelMemGB = model_mem;
+                obs.seqLen = static_cast<double>(seq);
+                obs.sparsity = scenario_.model.sparsity(sparse);
+                obs.maxBatch = MemoryModel::maxBatchSize(
+                    scenario_.model, gpu, seq, sparse);
+                blocks[i].push_back(obs);
+            }
+        }
+    });
+
+    std::vector<BatchSizeObservation> out;
+    out.reserve(gpus.size() * seq_lens.size() * 2);
+    for (std::vector<BatchSizeObservation>& block : blocks)
+        out.insert(out.end(), block.begin(), block.end());
+    return out;
+}
+
+Result<BatchSizeFit>
+Planner::fitBatchSize(const std::vector<GpuSpec>& gpus,
+                      const std::vector<std::size_t>& seq_lens) const
+{
+    Result<std::vector<BatchSizeObservation>> data =
+        batchSizeSweep(gpus, seq_lens);
+    if (!data)
+        return data.error();
+    BatchSizeFit fit{MaxBatchModel::fit(data.value()), data.value(), 0.0};
+    fit.rmse = fit.model.rmse(fit.observations);
+    return fit;
+}
+
+PlannerStats
+Planner::stats() const
+{
+    PlannerStats out;
+    out.stepCacheHits = step_hits_.load();
+    out.stepCacheMisses = step_misses_.load();
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const auto& [key, state] : states_)
+        out.stepsSimulated += state->sim.stepsSimulated();
+    return out;
+}
+
+}  // namespace ftsim

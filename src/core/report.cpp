@@ -2,50 +2,46 @@
 
 #include <sstream>
 
-#include "common/logging.hpp"
 #include "common/table.hpp"
 
 namespace ftsim {
 
-std::string
-generateCharacterizationReport(const ReportRequest& request)
+Result<std::string>
+Planner::report(const GpuSpec& gpu) const
 {
-    const ModelSpec& model = request.model;
-    const GpuSpec& gpu = request.gpu;
+    Result<MemoryBreakdown> mem_r = memory(gpu);
+    if (!mem_r)
+        return mem_r.error();
+    Result<int> mbs = maxBatch(gpu);
+    if (!mbs)
+        return mbs.error();
+    Result<StepProfile> profile_r = profile(gpu);
+    if (!profile_r)
+        return profile_r.error();
+    Result<ThroughputFit> fit_r = fitThroughput(gpu);
+    if (!fit_r)
+        return fit_r.error();
+    Result<double> qps_r = throughput(gpu);
+    if (!qps_r)
+        return qps_r.error();
 
-    MemoryBreakdown mem = MemoryModel::analyze(
-        model, gpu, request.medianSeqLen, request.sparse);
-    if (mem.maxBatchSize < 1) {
-        fatal(strCat("generateCharacterizationReport: ", model.name,
-                     " does not fit on ", gpu.name,
-                     request.sparse ? " (sparse)" : " (dense)"));
-    }
-
-    FineTuneSim sim(model, gpu, request.calibration);
-    RunConfig config;
-    config.batchSize = static_cast<std::size_t>(mem.maxBatchSize);
-    config.seqLen = sim.paddedSeqLen(request.medianSeqLen,
-                                     config.batchSize,
-                                     request.lengthSigma);
-    config.sparse = request.sparse;
-    StepProfile profile = sim.profileStep(config);
-
-    ThroughputFit fit = ExperimentPipeline::fitThroughput(
-        model, gpu, request.medianSeqLen, request.calibration,
-        request.lengthSigma);
-    const double qps = sim.throughput(config.batchSize,
-                                      request.medianSeqLen, request.sparse,
-                                      request.lengthSigma);
+    const MemoryBreakdown& mem = mem_r.value();
+    const StepProfile& profile = profile_r.value();
+    const ThroughputFit& fit = fit_r.value();
+    const double qps = qps_r.value();
+    const ModelSpec& model = scenario_.model;
 
     std::ostringstream out;
     out << "# Fine-tuning characterization: " << model.name << " on "
         << gpu.name << "\n\n";
-    out << "- mode: " << (request.sparse ? "sparse (top-" : "dense (top-")
-        << model.activeExperts(request.sparse) << " of " << model.nExperts
-        << " experts)\n";
-    out << "- dataset: " << request.numQueries << " queries, median "
-        << request.medianSeqLen << " tokens (sigma "
-        << request.lengthSigma << "), " << request.epochs << " epochs\n\n";
+    out << "- mode: "
+        << (scenario_.sparse ? "sparse (top-" : "dense (top-")
+        << model.activeExperts(scenario_.sparse) << " of "
+        << model.nExperts << " experts)\n";
+    out << "- dataset: " << scenario_.numQueries << " queries, median "
+        << scenario_.medianSeqLen << " tokens (sigma "
+        << scenario_.lengthSigma << "), " << scenario_.epochs
+        << " epochs\n\n";
 
     out << "## Memory (Eq. 1 territory)\n\n";
     Table mem_table({"Component", "GB"});
@@ -92,18 +88,40 @@ generateCharacterizationReport(const ReportRequest& request)
         << " queries/s\n\n";
 
     out << "## Cost\n\n";
-    if (request.catalog.has(gpu.name)) {
-        CostEstimator estimator(request.catalog);
-        CostEstimate cost = estimator.estimate(
-            gpu.name, qps, request.numQueries, request.epochs);
+    Result<CostEstimate> cost_r = cost(gpu);
+    if (cost_r) {
+        const CostEstimate& cost = cost_r.value();
         out << "at $" << Table::fmt(cost.dollarsPerHour, 2) << "/hr: "
             << Table::fmt(cost.gpuHours, 1) << " GPU-hours = **$"
             << Table::fmt(cost.totalDollars, 2) << "**\n";
-    } else {
+    } else if (cost_r.code() == ErrorCode::UnknownGpu) {
         out << "no price listed for " << gpu.name
             << " in the catalog; add a CloudOffering to cost it.\n";
+    } else {
+        return cost_r.error();
     }
     return out.str();
+}
+
+Scenario
+ReportRequest::toScenario() const
+{
+    Scenario s;
+    s.model = model;
+    s.medianSeqLen = medianSeqLen;
+    s.lengthSigma = lengthSigma;
+    s.numQueries = numQueries;
+    s.epochs = epochs;
+    s.sparse = sparse;
+    s.calibration = calibration;
+    return s;
+}
+
+std::string
+generateCharacterizationReport(const ReportRequest& request)
+{
+    Planner planner(request.toScenario(), request.catalog);
+    return planner.report(request.gpu).valueOrThrow();
 }
 
 }  // namespace ftsim

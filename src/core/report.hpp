@@ -5,37 +5,51 @@
  * @file
  * One-call characterization & cost report.
  *
- * Bundles the paper's §IV/§V workflow into a single artifact: given a
- * model, a GPU, and a dataset description, produce a markdown report
- * with the memory accounting, the stage/layer/kernel breakdowns, the
- * throughput sweep with fitted Eq. 2 coefficients, and the end-to-end
- * cost estimate — the deliverable a practitioner budgeting a fine-tuning
- * run actually wants.
+ * The report itself is produced by `Planner::report(gpu)` (see
+ * core/planner.hpp): given a `Scenario` and a price catalog, it renders
+ * a markdown artifact with the memory accounting, the stage/layer/kernel
+ * breakdowns, the throughput sweep with fitted Eq. 2 coefficients, and
+ * the end-to-end cost estimate — the deliverable a practitioner
+ * budgeting a fine-tuning run actually wants. Every expensive quantity
+ * is pulled through the planner's cache, so a report after a cost table
+ * re-simulates nothing.
+ *
+ * This header keeps the legacy free-function entry point as a thin
+ * deprecated shim over the planner.
  */
 
 #include <string>
 
-#include "core/pipeline.hpp"
+#include "core/planner.hpp"
 
 namespace ftsim {
 
-/** Inputs describing one planned fine-tuning run. */
+/**
+ * Inputs describing one planned fine-tuning run.
+ * @deprecated Prefer `Scenario` + `Planner::report`; this struct
+ * remains for source compatibility and mirrors Scenario field-for-field
+ * (plus the target GPU and catalog).
+ */
 struct ReportRequest {
     ModelSpec model = ModelSpec::mixtral8x7b();
     GpuSpec gpu = GpuSpec::a40();
     CloudCatalog catalog = CloudCatalog::cudoCompute();
     /** Dataset description (median length, spread, size). */
-    std::size_t medianSeqLen = 148;
-    double lengthSigma = 0.40;
-    double numQueries = 14000.0;
-    double epochs = 10.0;
+    std::size_t medianSeqLen = Scenario::kDefaultMedianSeqLen;
+    double lengthSigma = Scenario::kDefaultLengthSigma;
+    double numQueries = Scenario::kDefaultNumQueries;
+    double epochs = Scenario::kDefaultEpochs;
     bool sparse = true;
     SimCalibration calibration = {};
+
+    /** The equivalent planning scenario. */
+    Scenario toScenario() const;
 };
 
 /**
- * Generates the full markdown report. Fatal if the model does not fit
- * on the GPU at all.
+ * Generates the full markdown report. Throws FatalError if the model
+ * does not fit on the GPU at all.
+ * @deprecated Shim over `Planner::report`; prefer the Result form.
  */
 std::string generateCharacterizationReport(const ReportRequest& request);
 

@@ -1,0 +1,23 @@
+#include "core/result.hpp"
+
+namespace ftsim {
+
+const char*
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::UnknownGpu:
+        return "UnknownGpu";
+      case ErrorCode::DoesNotFit:
+        return "DoesNotFit";
+      case ErrorCode::EmptySweep:
+        return "EmptySweep";
+      case ErrorCode::InvalidArgument:
+        return "InvalidArgument";
+      case ErrorCode::NoViablePlan:
+        return "NoViablePlan";
+    }
+    return "UnknownError";
+}
+
+}  // namespace ftsim

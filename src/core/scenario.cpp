@@ -1,0 +1,56 @@
+#include "core/scenario.hpp"
+
+namespace ftsim {
+
+Scenario
+Scenario::gsMath()
+{
+    return Scenario{};  // The defaults *are* the GS/MATH run.
+}
+
+Scenario
+Scenario::commonsense15k()
+{
+    Scenario s;
+    s.medianSeqLen = 79;   // CS median (paper Table II).
+    s.lengthSigma = 0.45;  // CS lengths spread wider than GS/MATH.
+    s.numQueries = 15000.0;
+    return s;
+}
+
+Scenario
+Scenario::openOrca()
+{
+    Scenario s;
+    s.numQueries = 2e6;
+    return s;
+}
+
+Result<Scenario>
+Scenario::validated() const
+{
+    if (medianSeqLen < 1)
+        return Error{ErrorCode::InvalidArgument,
+                     "Scenario: medianSeqLen must be >= 1"};
+    if (lengthSigma < 0.0)
+        return Error{ErrorCode::InvalidArgument,
+                     "Scenario: lengthSigma must be >= 0"};
+    if (numQueries <= 0.0)
+        return Error{ErrorCode::InvalidArgument,
+                     "Scenario: numQueries must be > 0"};
+    if (epochs <= 0.0)
+        return Error{ErrorCode::InvalidArgument,
+                     "Scenario: epochs must be > 0"};
+    return *this;
+}
+
+std::string
+Scenario::describe() const
+{
+    return strCat(model.name, sparse ? " (sparse)" : " (dense)", ", ",
+                  numQueries, " queries, median ", medianSeqLen,
+                  " tokens (sigma ", lengthSigma, "), ", epochs,
+                  " epochs");
+}
+
+}  // namespace ftsim

@@ -51,6 +51,7 @@ FineTuneSim::FineTuneSim(const ModelSpec& model, const GpuSpec& gpu,
 StepProfile
 FineTuneSim::profileStep(const RunConfig& config) const
 {
+    ++steps_simulated_;
     StepProfile profile;
     profile.config = config;
 
@@ -145,6 +146,7 @@ FineTuneSim::profileStep(const RunConfig& config) const
 double
 FineTuneSim::stepSeconds(const RunConfig& config) const
 {
+    ++steps_simulated_;
     double total = exec_.calibration().stepOverheadMs * 1e-3;
     for (const KernelDesc& kd : builder_.buildStep(config))
         total += exec_.simulate(kd).seconds;

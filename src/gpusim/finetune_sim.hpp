@@ -16,6 +16,8 @@
  * and queries/second throughput (Fig. 8).
  */
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -121,10 +123,21 @@ class FineTuneSim {
     /** The execution model. */
     const ExecutionModel& exec() const { return exec_; }
 
+    /**
+     * Number of full training steps simulated so far (profileStep or
+     * stepSeconds calls; sweep entry points count once per batch size).
+     * Cache layers above (see core/planner.hpp) use this to prove that
+     * repeated queries do not re-simulate — each step simulation walks
+     * the whole kernel workload and dominates query latency.
+     */
+    std::uint64_t stepsSimulated() const { return steps_simulated_; }
+
   private:
     ModelSpec model_;
     WorkloadBuilder builder_;
     ExecutionModel exec_;
+    /** Instrumentation only; atomic so const queries stay thread-safe. */
+    mutable std::atomic<std::uint64_t> steps_simulated_{0};
 };
 
 /**

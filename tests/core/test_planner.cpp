@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the Planner facade: Result error paths, memoization
+ * semantics (the costTable + report dedup guarantee), parallel fan-out
+ * equivalence, and agreement with the legacy pipeline shims.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pipeline.hpp"
+#include "core/planner.hpp"
+
+namespace ftsim {
+namespace {
+
+GpuSpec
+tooSmallGpu()
+{
+    GpuSpec gpu = GpuSpec::a40();
+    gpu.memGB = 24.0;  // Mixtral cannot fit even at batch 1.
+    return gpu;
+}
+
+TEST(Planner, MaxBatchMatchesMemoryModel)
+{
+    Planner planner(Scenario::gsMath());
+    Result<int> mbs = planner.maxBatch(GpuSpec::a40());
+    ASSERT_TRUE(mbs.ok());
+    EXPECT_EQ(mbs.value(),
+              MemoryModel::maxBatchSize(ModelSpec::mixtral8x7b(),
+                                        GpuSpec::a40(), 148, true));
+}
+
+TEST(Planner, MemorySucceedsEvenWhenModelDoesNotFit)
+{
+    Planner planner(Scenario::gsMath());
+    Result<MemoryBreakdown> mem = planner.memory(tooSmallGpu());
+    ASSERT_TRUE(mem.ok());
+    EXPECT_LT(mem.value().maxBatchSize, 1);
+}
+
+TEST(Planner, DoesNotFitAtBatchOneIsAnError)
+{
+    Planner planner(Scenario::gsMath());
+    const GpuSpec gpu = tooSmallGpu();
+    EXPECT_EQ(planner.maxBatch(gpu).code(), ErrorCode::DoesNotFit);
+    EXPECT_EQ(planner.profile(gpu).code(), ErrorCode::DoesNotFit);
+    EXPECT_EQ(planner.throughput(gpu).code(), ErrorCode::DoesNotFit);
+    EXPECT_EQ(planner.report(gpu).code(), ErrorCode::DoesNotFit);
+}
+
+TEST(Planner, UnknownGpuCostIsAnError)
+{
+    Planner planner(Scenario::gsMath());
+    // A100-40GB fits but has no CUDO price.
+    Result<CostEstimate> cost = planner.cost(GpuSpec::a100_40());
+    ASSERT_FALSE(cost.ok());
+    EXPECT_EQ(cost.code(), ErrorCode::UnknownGpu);
+}
+
+TEST(Planner, InvalidScenarioFailsEveryQuery)
+{
+    Planner planner(Scenario{}.withEpochs(0.0));
+    EXPECT_EQ(planner.maxBatch(GpuSpec::a40()).code(),
+              ErrorCode::InvalidArgument);
+    EXPECT_EQ(planner.costTable(GpuSpec::paperGpus()).code(),
+              ErrorCode::InvalidArgument);
+}
+
+TEST(Planner, ProfileAtRejectsBatchZero)
+{
+    Planner planner(Scenario::gsMath());
+    EXPECT_EQ(planner.profileAt(GpuSpec::a40(), 0).code(),
+              ErrorCode::InvalidArgument);
+}
+
+TEST(Planner, EmptyGpuListIsEmptySweep)
+{
+    Planner planner(Scenario::gsMath());
+    EXPECT_EQ(planner.costTable({}).code(), ErrorCode::EmptySweep);
+    EXPECT_EQ(planner.batchSizeSweep({}, {148}).code(),
+              ErrorCode::EmptySweep);
+    EXPECT_EQ(planner.batchSizeSweep(GpuSpec::paperGpus(), {}).code(),
+              ErrorCode::EmptySweep);
+}
+
+TEST(Planner, NoViablePlanWhenNothingFits)
+{
+    CloudCatalog catalog;
+    catalog.add({"X", "A40", 0.79});  // Priced, but 24 GB is too small.
+    Planner planner(Scenario::gsMath(), catalog);
+    Result<std::vector<CostRow>> rows = planner.costTable({tooSmallGpu()});
+    ASSERT_FALSE(rows.ok());
+    EXPECT_EQ(rows.code(), ErrorCode::NoViablePlan);
+}
+
+TEST(Planner, StepProfileIsCachedAcrossQueries)
+{
+    Planner planner(Scenario::gsMath());
+    PlannerStats before = planner.stats();
+    EXPECT_EQ(before.stepsSimulated, 0u);
+
+    ASSERT_TRUE(planner.profile(GpuSpec::a40()).ok());
+    PlannerStats first = planner.stats();
+    EXPECT_EQ(first.stepCacheMisses, 1u);
+    EXPECT_EQ(first.stepsSimulated, 1u);
+
+    // Same query again: answered from cache, nothing re-simulated.
+    ASSERT_TRUE(planner.profile(GpuSpec::a40()).ok());
+    ASSERT_TRUE(planner.throughput(GpuSpec::a40()).ok());
+    PlannerStats second = planner.stats();
+    EXPECT_EQ(second.stepCacheMisses, 1u);
+    EXPECT_EQ(second.stepsSimulated, 1u);
+    EXPECT_GE(second.stepCacheHits, first.stepCacheHits + 2);
+}
+
+TEST(Planner, CostTablePlusReportPerformsNoDuplicateSimulations)
+{
+    // The acceptance guarantee: Table IV -> report -> sweep on one
+    // Scenario never simulates the same (GPU, config) twice.
+    Planner planner(Scenario::gsMath());
+
+    auto rows = planner.costTable(GpuSpec::paperGpus());
+    ASSERT_TRUE(rows.ok());
+    PlannerStats after_table = planner.stats();
+    // Every simulation so far was a distinct configuration...
+    EXPECT_EQ(after_table.stepsSimulated, after_table.stepCacheMisses);
+
+    auto report = planner.report(GpuSpec::a40());
+    ASSERT_TRUE(report.ok());
+    PlannerStats after_report = planner.stats();
+    EXPECT_EQ(after_report.stepsSimulated, after_report.stepCacheMisses);
+    // ...and the report found the cost table's max-batch profile in
+    // the cache instead of re-simulating it.
+    EXPECT_GT(after_report.stepCacheHits, after_table.stepCacheHits);
+
+    // A second full round is answered entirely from the cache.
+    ASSERT_TRUE(planner.costTable(GpuSpec::paperGpus()).ok());
+    ASSERT_TRUE(planner.report(GpuSpec::a40()).ok());
+    ASSERT_TRUE(planner.fitThroughput(GpuSpec::a40()).ok());
+    PlannerStats final_stats = planner.stats();
+    EXPECT_EQ(final_stats.stepsSimulated, after_report.stepsSimulated);
+    EXPECT_EQ(final_stats.stepCacheMisses, after_report.stepCacheMisses);
+}
+
+TEST(Planner, ParallelCostTableMatchesSerial)
+{
+    Planner serial(Scenario::gsMath());
+    Planner parallel(Scenario::gsMath());
+    parallel.setParallelism(4);
+
+    auto serial_rows = serial.costTable(GpuSpec::paperGpus());
+    auto parallel_rows = parallel.costTable(GpuSpec::paperGpus());
+    ASSERT_TRUE(serial_rows.ok());
+    ASSERT_TRUE(parallel_rows.ok());
+    ASSERT_EQ(serial_rows.value().size(), parallel_rows.value().size());
+    for (std::size_t i = 0; i < serial_rows.value().size(); ++i) {
+        const CostRow& s = serial_rows.value()[i];
+        const CostRow& p = parallel_rows.value()[i];
+        EXPECT_EQ(s.gpuName, p.gpuName);
+        EXPECT_EQ(s.maxBatchSize, p.maxBatchSize);
+        EXPECT_DOUBLE_EQ(s.throughputQps, p.throughputQps);
+        EXPECT_DOUBLE_EQ(s.totalDollars, p.totalDollars);
+    }
+    // Threading must not defeat the cache either.
+    PlannerStats stats = parallel.stats();
+    EXPECT_EQ(stats.stepsSimulated, stats.stepCacheMisses);
+}
+
+TEST(Planner, CheapestPlanIsH100)
+{
+    // Table IV headline: H100 wins end-to-end despite the highest rate.
+    Planner planner(Scenario::gsMath());
+    Result<CostRow> best = planner.cheapestPlan(GpuSpec::paperGpus());
+    ASSERT_TRUE(best.ok());
+    EXPECT_EQ(best.value().gpuName, "H100");
+}
+
+TEST(Planner, AgreesWithLegacyPipelineShims)
+{
+    Planner planner(Scenario::gsMath());
+    auto planner_rows = planner.costTable(GpuSpec::paperGpus());
+    ASSERT_TRUE(planner_rows.ok());
+    auto legacy_rows = ExperimentPipeline::costTable(
+        ModelSpec::mixtral8x7b(), GpuSpec::paperGpus(),
+        CloudCatalog::cudoCompute(), 148, true, 14000.0, 10.0);
+    ASSERT_EQ(planner_rows.value().size(), legacy_rows.size());
+    for (std::size_t i = 0; i < legacy_rows.size(); ++i) {
+        EXPECT_EQ(planner_rows.value()[i].gpuName,
+                  legacy_rows[i].gpuName);
+        EXPECT_DOUBLE_EQ(planner_rows.value()[i].totalDollars,
+                         legacy_rows[i].totalDollars);
+    }
+}
+
+TEST(Planner, FitThroughputIsCached)
+{
+    Planner planner(Scenario::commonsense15k());
+    Result<ThroughputFit> first = planner.fitThroughput(GpuSpec::a40());
+    ASSERT_TRUE(first.ok());
+    const std::uint64_t sims = planner.stats().stepsSimulated;
+    EXPECT_GT(sims, 0u);
+
+    Result<ThroughputFit> second = planner.fitThroughput(GpuSpec::a40());
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(planner.stats().stepsSimulated, sims);
+    EXPECT_DOUBLE_EQ(first.value().model.c2(), second.value().model.c2());
+    EXPECT_DOUBLE_EQ(first.value().model.c4(), second.value().model.c4());
+}
+
+TEST(Planner, TweakedGpuSpecDoesNotAliasThePreset)
+{
+    // Cache identity covers the full spec, not just the name: an "A40"
+    // with a different capacity must get its own max batch.
+    Planner planner(Scenario::gsMath());
+    GpuSpec big_a40 = GpuSpec::a40();
+    big_a40.memGB = 80.0;
+    Result<int> stock = planner.maxBatch(GpuSpec::a40());
+    Result<int> big = planner.maxBatch(big_a40);
+    ASSERT_TRUE(stock.ok());
+    ASSERT_TRUE(big.ok());
+    EXPECT_GT(big.value(), stock.value());
+}
+
+}  // namespace
+}  // namespace ftsim
