@@ -6,8 +6,13 @@ cd "$(dirname "$0")"
 
 BUILD_DIR="${1:-build}"
 
-cmake -B "$BUILD_DIR" -S .
+cmake -B "$BUILD_DIR" -S .   # Default build type is Release (CMakeLists).
 cmake --build "$BUILD_DIR" -j
 (cd "$BUILD_DIR" && ctest --output-on-failure -j)
+
+# Perf smoke: time the planner hot path and emit BENCH_planner.json as
+# a build artifact. Trajectory tracking only — no thresholds (yet).
+"$BUILD_DIR/bench/bench_perf_planner" "$BUILD_DIR/BENCH_planner.json"
+echo "ci.sh: perf smoke artifact at $BUILD_DIR/BENCH_planner.json"
 
 echo "ci.sh: all green"

@@ -1,0 +1,38 @@
+#include "common/interner.hpp"
+
+#include "common/logging.hpp"
+
+namespace ftsim {
+
+std::uint32_t
+StringInterner::intern(std::string_view s)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(s);
+    if (it != index_.end())
+        return it->second;
+    const auto id = static_cast<std::uint32_t>(strings_.size());
+    strings_.emplace_back(s);
+    index_.emplace(std::string_view(strings_.back()), id);
+    return id;
+}
+
+const std::string&
+StringInterner::name(std::uint32_t id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (id >= strings_.size())
+        panic(strCat("StringInterner::name: unknown id ", id));
+    // Safe to hand out past the unlock: deque elements are never
+    // relocated or erased.
+    return strings_[id];
+}
+
+std::size_t
+StringInterner::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return strings_.size();
+}
+
+}  // namespace ftsim

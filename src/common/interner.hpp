@@ -1,0 +1,56 @@
+#ifndef FTSIM_COMMON_INTERNER_HPP
+#define FTSIM_COMMON_INTERNER_HPP
+
+/**
+ * @file
+ * Thread-safe string interning.
+ *
+ * Hot paths that used to carry `std::string` payloads (one heap
+ * allocation per kernel descriptor per simulated step) instead carry a
+ * 32-bit id into a `StringInterner`. Interning is idempotent — the same
+ * spelling always yields the same id — so ids are valid equality keys.
+ *
+ * Storage is a `std::deque`, which never relocates elements: the
+ * `const std::string&` returned by `name()` stays valid for the
+ * interner's lifetime even while other threads intern new strings.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace ftsim {
+
+/** Append-only string pool handing out stable 32-bit ids. */
+class StringInterner {
+  public:
+    StringInterner() = default;
+    StringInterner(const StringInterner&) = delete;
+    StringInterner& operator=(const StringInterner&) = delete;
+
+    /** The id for @p s, interning it on first sight. Thread-safe. */
+    std::uint32_t intern(std::string_view s);
+
+    /**
+     * The spelling behind @p id. The reference is stable for the
+     * interner's lifetime. Panics on an id this interner never issued.
+     */
+    const std::string& name(std::uint32_t id) const;
+
+    /** Number of distinct strings interned so far. */
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    /** Deque: element addresses are stable across push_back. */
+    std::deque<std::string> strings_;
+    /** Views point into strings_ elements (stable, never erased). */
+    std::unordered_map<std::string_view, std::uint32_t> index_;
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_COMMON_INTERNER_HPP

@@ -8,6 +8,13 @@
 
 namespace ftsim {
 
+namespace {
+
+/** True on threads already executing inside a parallelFor region. */
+thread_local bool in_parallel_region = false;
+
+}  // namespace
+
 unsigned
 hardwareThreads()
 {
@@ -21,8 +28,14 @@ parallelFor(std::size_t n, unsigned threads,
 {
     if (n == 0)
         return;
-    const unsigned workers =
+    unsigned workers =
         static_cast<unsigned>(std::min<std::size_t>(threads, n));
+    // A parallelFor nested inside another parallelFor's body degrades
+    // to serial: the outer loop already owns the thread budget, and
+    // multiplying worker counts (outer x inner) would oversubscribe
+    // the machine instead of speeding anything up.
+    if (in_parallel_region)
+        workers = 1;
     if (workers <= 1) {
         for (std::size_t i = 0; i < n; ++i)
             body(i);
@@ -33,6 +46,7 @@ parallelFor(std::size_t n, unsigned threads,
     std::exception_ptr first_error;
     std::mutex error_mutex;
     auto worker = [&] {
+        in_parallel_region = true;
         for (;;) {
             const std::size_t i = next.fetch_add(1);
             if (i >= n)
@@ -58,6 +72,7 @@ parallelFor(std::size_t n, unsigned threads,
     for (unsigned t = 1; t < workers; ++t)
         pool.emplace_back(worker);
     worker();  // The calling thread is worker 0.
+    in_parallel_region = false;  // Pool threads exit; only we persist.
     for (std::thread& t : pool)
         t.join();
     if (first_error)

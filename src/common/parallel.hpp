@@ -24,6 +24,9 @@ unsigned hardwareThreads();
 /**
  * Runs @p body over [0, n) on up to @p threads workers and joins.
  * @p body must be safe to call concurrently for distinct indices.
+ * A parallelFor invoked from inside another parallelFor's body runs
+ * serially (the outer loop owns the thread budget; nesting would
+ * oversubscribe the machine quadratically).
  */
 void parallelFor(std::size_t n, unsigned threads,
                  const std::function<void(std::size_t)>& body);

@@ -1,4 +1,4 @@
-#include "core/result.hpp"
+#include "common/result.hpp"
 
 namespace ftsim {
 

@@ -22,13 +22,22 @@
  * a cost table followed by a report followed by a sweep never simulates
  * the same configuration twice (`stats()` exposes the hit/miss counters
  * and the underlying simulators' step counts for verification). The
- * multi-GPU fan-outs (`costTable`, `cheapestPlan`) optionally run on a
- * thread pool (`setParallelism`); the cache is thread-safe, sharded per
- * GPU so distinct devices never contend.
+ * multi-GPU fan-outs (`costTable`, `cheapestPlan`, `batchSizeSweep`)
+ * and the per-GPU batch sweep (`throughputObservations`) optionally run
+ * on a thread pool (`setParallelism`).
+ *
+ * The cache is thread-safe and sharded per GPU, and within a shard the
+ * entries have shared-future once-semantics: the shard mutex only
+ * guards the map itself, while the simulation runs *outside* the lock.
+ * Concurrent queries against the same GPU therefore compute distinct
+ * configurations in parallel; threads asking for the same in-flight
+ * configuration wait on its future instead of re-simulating, so
+ * `stepsSimulated == stepCacheMisses` holds under any interleaving.
  */
 
 #include <atomic>
 #include <cstdint>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -159,7 +168,13 @@ class Planner {
     /** The per-GPU shard for @p gpu (created on first use). */
     GpuState& stateFor(const GpuSpec& gpu) const;
 
-    /** Cached step profile for @p config on @p state's GPU. */
+    /**
+     * Cached step profile for @p config on @p state's GPU. Simulates
+     * outside the shard lock with per-entry once-semantics: exactly one
+     * thread simulates a given configuration, concurrent requesters for
+     * the same key block on its shared future, and requesters for
+     * *different* keys on the same GPU proceed in parallel.
+     */
     const StepProfile& profiledStep(GpuState& state,
                                     const RunConfig& config) const;
 

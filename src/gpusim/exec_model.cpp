@@ -41,32 +41,40 @@ ExecutionModel::peakFlops(KernelKind kind) const
 KernelMetrics
 ExecutionModel::simulate(const KernelDesc& kernel) const
 {
-    if (kernel.count <= 0.0)
+    return simulate(kernel.kind, kernel.flops, kernel.bytes, kernel.tiles,
+                    kernel.efficiency, kernel.count);
+}
+
+KernelMetrics
+ExecutionModel::simulate(KernelKind kind, double flops, double bytes,
+                         double tiles, double efficiency,
+                         double count) const
+{
+    if (count <= 0.0)
         fatal("ExecutionModel::simulate: non-positive launch count");
 
-    const double occ = occupancy(kernel.tiles);
-    const double eff = std::clamp(kernel.efficiency, 1e-3, 1.0);
-    const double compute_rate = peakFlops(kernel.kind) * occ * eff;
+    const double occ = occupancy(tiles);
+    const double eff = std::clamp(efficiency, 1e-3, 1.0);
+    const double compute_rate = peakFlops(kind) * occ * eff;
     // A handful of thread blocks already saturates DRAM bandwidth
     // (real kernels re-tile to stay occupied); only genuinely tiny
     // launches fall off the saturated rate.
-    const double mem_occ = std::min(1.0, kernel.tiles / 12.0);
+    const double mem_occ = std::min(1.0, tiles / 12.0);
     const double mem_rate = gpu_.dramGBps * 1e9 *
                             calib_.memoryEfficiency *
                             std::max(mem_occ, 0.1);
 
-    const double t_compute =
-        kernel.flops > 0.0 ? kernel.flops / compute_rate : 0.0;
-    const double t_mem = kernel.bytes > 0.0 ? kernel.bytes / mem_rate : 0.0;
+    const double t_compute = flops > 0.0 ? flops / compute_rate : 0.0;
+    const double t_mem = bytes > 0.0 ? bytes / mem_rate : 0.0;
     const double device_time = std::max(t_compute, t_mem);
     const double overhead =
         (gpu_.launchUs + calib_.hostOverheadUs) * 1e-6;
 
     KernelMetrics metrics;
     metrics.memoryBound = t_mem > t_compute;
-    metrics.seconds = (device_time + overhead) * kernel.count;
+    metrics.seconds = (device_time + overhead) * count;
     if (device_time > 0.0) {
-        metrics.achievedFlops = kernel.flops / device_time;
+        metrics.achievedFlops = flops / device_time;
         // SM% ~ how busy the compute pipes are while the kernel runs:
         // occupancy when compute-bound, scaled down by the fraction of
         // time compute actually limits when memory-bound.
@@ -75,7 +83,7 @@ ExecutionModel::simulate(const KernelDesc& kernel) const
             (device_time > 0.0 ? t_compute / device_time : 0.0);
         // DRAM% ~ achieved bandwidth vs peak.
         metrics.dramUtilPct =
-            100.0 * (kernel.bytes / device_time) / (gpu_.dramGBps * 1e9);
+            100.0 * (bytes / device_time) / (gpu_.dramGBps * 1e9);
         metrics.dramUtilPct = std::min(metrics.dramUtilPct, 100.0);
         metrics.smUtilPct = std::min(metrics.smUtilPct, 100.0);
     }

@@ -71,6 +71,16 @@ class ExecutionModel {
     /** Simulates one kernel descriptor (all its `count` launches). */
     KernelMetrics simulate(const KernelDesc& kernel) const;
 
+    /**
+     * Simulates from raw fields — the compiled-plan hot path, which
+     * stores kernels as SoA arrays and never materializes a KernelDesc.
+     * Identical arithmetic to the descriptor overload (which delegates
+     * here), so the two paths agree to the last bit.
+     */
+    KernelMetrics simulate(KernelKind kind, double flops, double bytes,
+                           double tiles, double efficiency,
+                           double count) const;
+
     /** The device being modelled. */
     const GpuSpec& gpu() const { return gpu_; }
 

@@ -6,24 +6,24 @@
 
 #include "common/logging.hpp"
 #include "common/math_util.hpp"
+#include "common/parallel.hpp"
+#include "gpusim/memory_model.hpp"
 
 namespace ftsim {
 
-std::string
-normalizeKernelName(const std::string& name)
-{
-    std::string out = name;
-    const std::string recompute = " (recompute)";
-    if (out.size() > recompute.size() &&
-        out.compare(out.size() - recompute.size(), recompute.size(),
-                    recompute) == 0)
-        out.erase(out.size() - recompute.size());
-    // "matmul(w1_bwd)" -> "matmul(w1)"; "softmax_bwd" -> "softmax".
-    auto pos = out.find("_bwd");
-    if (pos != std::string::npos)
-        out.erase(pos, 4);
-    return out;
-}
+namespace {
+
+/** Per-aggregate accumulator shared by both profile paths. */
+struct NamedAgg {
+    double seconds = 0.0;
+    double launches = 0.0;
+    double flops = 0.0;
+    double bytes = 0.0;
+    double sm_weighted = 0.0;
+    double dram_weighted = 0.0;
+};
+
+}  // namespace
 
 double
 StepProfile::moeFractionOfStep() const
@@ -52,18 +52,114 @@ StepProfile
 FineTuneSim::profileStep(const RunConfig& config) const
 {
     ++steps_simulated_;
+    const StepPlan& plan = builder_.stepPlan(config);
+    // Reusable per-thread buffers keep the hot path allocation-free.
+    static thread_local EvaluatedStep eval;
+    plan.evaluate(config.batchSize, config.seqLen, eval);
+
+    StepProfile profile;
+    profile.config = config;
+
+    double layer_seconds[kLayerClassCount] = {};
+    static thread_local std::vector<NamedAgg> moe_aggs;
+    moe_aggs.assign(plan.moeAggNames.size(), NamedAgg{});
+
+    const std::size_t n = plan.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const KernelMetrics m =
+            exec_.simulate(plan.kinds[i], eval.flops[i], eval.bytes[i],
+                           eval.tiles[i], plan.efficiencies[i],
+                           plan.counts[i]);
+        switch (plan.stages[i]) {
+          case Stage::Forward:
+            profile.forwardSeconds += m.seconds;
+            break;
+          case Stage::Backward:
+            profile.backwardSeconds += m.seconds;
+            break;
+          case Stage::Optimizer:
+            profile.optimizerSeconds += m.seconds;
+            break;
+        }
+        layer_seconds[static_cast<std::size_t>(plan.layers[i])] +=
+            m.seconds;
+        profile.kernelLaunches += plan.counts[i];
+
+        const std::int32_t slot = plan.moeSlot[i];
+        if (slot >= 0) {
+            NamedAgg& agg = moe_aggs[static_cast<std::size_t>(slot)];
+            agg.seconds += m.seconds;
+            agg.launches += plan.counts[i];
+            agg.flops += eval.flops[i] * plan.counts[i];
+            agg.bytes += eval.bytes[i] * plan.counts[i];
+            agg.sm_weighted += m.smUtilPct * m.seconds;
+            agg.dram_weighted += m.dramUtilPct * m.seconds;
+        }
+    }
+
+    // Emission order below (layersPresent ascending, MoE slots in
+    // lexicographic name order) replicates the reference path's
+    // std::map iteration, so the sorted outputs match bit-for-bit.
+    for (LayerClass layer : plan.layersPresent)
+        profile.byLayer.push_back(
+            {layer, layer_seconds[static_cast<std::size_t>(layer)]});
+    std::sort(profile.byLayer.begin(), profile.byLayer.end(),
+              [](const LayerAggregate& a, const LayerAggregate& b) {
+                  return a.seconds > b.seconds;
+              });
+
+    double moe_total = 0.0;
+    double moe_sm = 0.0;
+    double moe_dram = 0.0;
+    for (std::size_t slot = 0; slot < moe_aggs.size(); ++slot) {
+        const NamedAgg& agg = moe_aggs[slot];
+        KernelAggregate ka;
+        ka.name = plan.moeAggNames[slot];
+        ka.seconds = agg.seconds;
+        ka.launches = agg.launches;
+        ka.flops = agg.flops;
+        ka.bytes = agg.bytes;
+        // Clamp: the time-weighted mean of values <= 100 can exceed 100
+        // by floating-point round-off.
+        ka.smUtilPct = agg.seconds > 0.0
+                           ? std::min(agg.sm_weighted / agg.seconds, 100.0)
+                           : 0.0;
+        ka.dramUtilPct =
+            agg.seconds > 0.0
+                ? std::min(agg.dram_weighted / agg.seconds, 100.0)
+                : 0.0;
+        profile.moeKernels.push_back(std::move(ka));
+        moe_total += agg.seconds;
+        moe_sm += agg.sm_weighted;
+        moe_dram += agg.dram_weighted;
+    }
+    std::sort(profile.moeKernels.begin(), profile.moeKernels.end(),
+              [](const KernelAggregate& a, const KernelAggregate& b) {
+                  return a.seconds > b.seconds;
+              });
+    if (moe_total > 0.0) {
+        profile.moeTimeWeightedSmPct = moe_sm / moe_total;
+        profile.moeTimeWeightedDramPct = moe_dram / moe_total;
+    }
+
+    profile.overheadSeconds = exec_.calibration().stepOverheadMs * 1e-3;
+    profile.stepSeconds = profile.forwardSeconds +
+                          profile.backwardSeconds +
+                          profile.optimizerSeconds +
+                          profile.overheadSeconds;
+    profile.throughputQps =
+        static_cast<double>(config.batchSize) / profile.stepSeconds;
+    return profile;
+}
+
+StepProfile
+FineTuneSim::profileStepReference(const RunConfig& config) const
+{
+    ++steps_simulated_;
     StepProfile profile;
     profile.config = config;
 
     std::map<LayerClass, double> layer_seconds;
-    struct NamedAgg {
-        double seconds = 0.0;
-        double launches = 0.0;
-        double flops = 0.0;
-        double bytes = 0.0;
-        double sm_weighted = 0.0;
-        double dram_weighted = 0.0;
-    };
     std::map<std::string, NamedAgg> moe_aggs;
 
     for (const KernelDesc& kd : builder_.buildStep(config)) {
@@ -147,6 +243,24 @@ double
 FineTuneSim::stepSeconds(const RunConfig& config) const
 {
     ++steps_simulated_;
+    const StepPlan& plan = builder_.stepPlan(config);
+    static thread_local EvaluatedStep eval;
+    plan.evaluate(config.batchSize, config.seqLen, eval);
+    double total = exec_.calibration().stepOverheadMs * 1e-3;
+    const std::size_t n = plan.size();
+    for (std::size_t i = 0; i < n; ++i)
+        total += exec_
+                     .simulate(plan.kinds[i], eval.flops[i],
+                               eval.bytes[i], eval.tiles[i],
+                               plan.efficiencies[i], plan.counts[i])
+                     .seconds;
+    return total;
+}
+
+double
+FineTuneSim::stepSecondsReference(const RunConfig& config) const
+{
+    ++steps_simulated_;
     double total = exec_.calibration().stepOverheadMs * 1e-3;
     for (const KernelDesc& kd : builder_.buildStep(config))
         total += exec_.simulate(kd).seconds;
@@ -162,6 +276,27 @@ FineTuneSim::paddedSeqLen(std::size_t seq_len, std::size_t batch,
         std::lround(static_cast<double>(seq_len) * factor));
 }
 
+std::vector<RunConfig>
+FineTuneSim::sweepConfigs(std::size_t median_seq_len,
+                          double length_sigma) const
+{
+    std::vector<RunConfig> configs;
+    for (bool sparse : {false, true}) {
+        const int max_batch = MemoryModel::maxBatchSize(
+            model_, exec_.gpu(), median_seq_len, sparse);
+        for (int b = 1; b <= max_batch; ++b) {
+            RunConfig config;
+            config.batchSize = static_cast<std::size_t>(b);
+            config.seqLen = paddedSeqLen(median_seq_len,
+                                         static_cast<std::size_t>(b),
+                                         length_sigma);
+            config.sparse = sparse;
+            configs.push_back(config);
+        }
+    }
+    return configs;
+}
+
 double
 FineTuneSim::throughput(std::size_t batch, std::size_t seq_len,
                         bool sparse, double length_sigma) const
@@ -173,16 +308,19 @@ FineTuneSim::throughput(std::size_t batch, std::size_t seq_len,
     return static_cast<double>(batch) / stepSeconds(config);
 }
 
-std::vector<ThroughputPoint>
+Result<std::vector<ThroughputPoint>>
 FineTuneSim::throughputSweep(std::size_t seq_len, bool sparse,
-                             std::size_t max_batch,
-                             double length_sigma) const
+                             std::size_t max_batch, double length_sigma,
+                             unsigned threads) const
 {
     if (max_batch == 0)
-        fatal("FineTuneSim::throughputSweep: zero max batch");
-    std::vector<ThroughputPoint> points;
-    points.reserve(max_batch);
-    for (std::size_t b = 1; b <= max_batch; ++b) {
+        return Error{ErrorCode::InvalidArgument,
+                     "FineTuneSim::throughputSweep: zero max batch"};
+    std::vector<ThroughputPoint> points(max_batch);
+    // Each point is an independent deterministic simulation: the sweep
+    // parallelizes across batch sizes without changing any value.
+    parallelFor(max_batch, threads, [&](std::size_t i) {
+        const std::size_t b = i + 1;
         RunConfig config;
         config.batchSize = b;
         config.seqLen = paddedSeqLen(seq_len, b, length_sigma);
@@ -191,8 +329,8 @@ FineTuneSim::throughputSweep(std::size_t seq_len, bool sparse,
         pt.batchSize = b;
         pt.stepSeconds = stepSeconds(config);
         pt.qps = static_cast<double>(b) / pt.stepSeconds;
-        points.push_back(pt);
-    }
+        points[i] = pt;
+    });
     return points;
 }
 

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.hpp"
 #include "gpusim/exec_model.hpp"
 #include "gpusim/workload.hpp"
 
@@ -86,11 +87,28 @@ class FineTuneSim {
     FineTuneSim(const ModelSpec& model, const GpuSpec& gpu,
                 const SimCalibration& calib = {});
 
-    /** Profiles one training step in full detail. */
+    /**
+     * Profiles one training step in full detail. Runs on the compiled
+     * `StepPlan` path: the kernel graph is compiled once per config
+     * shape and only the batch/seq-dependent terms are re-evaluated, so
+     * repeated profiles (sweeps) do not rebuild the workload.
+     */
     StepProfile profileStep(const RunConfig& config) const;
 
-    /** Step latency only (cheaper call sites). */
+    /** Step latency only (cheaper call sites); compiled-plan path. */
     double stepSeconds(const RunConfig& config) const;
+
+    /**
+     * The retained reference implementation of profileStep: rebuilds
+     * the full `KernelDesc` workload on every call, exactly as the
+     * pre-compiled-plan code did. Bit-identical to profileStep — golden
+     * tests pin the equality, and the perf bench uses it as the
+     * baseline. Counts toward stepsSimulated().
+     */
+    StepProfile profileStepReference(const RunConfig& config) const;
+
+    /** Reference twin of stepSeconds (per-call workload rebuild). */
+    double stepSecondsReference(const RunConfig& config) const;
 
     /**
      * Queries/second at the given configuration. @p seq_len is the
@@ -102,14 +120,30 @@ class FineTuneSim {
     double throughput(std::size_t batch, std::size_t seq_len, bool sparse,
                       double length_sigma = 0.0) const;
 
-    /** Throughput at batch sizes 1..max_batch (Figs. 8, 14, 15). */
-    std::vector<ThroughputPoint> throughputSweep(
+    /**
+     * Throughput at batch sizes 1..max_batch (Figs. 8, 14, 15).
+     * `InvalidArgument` when max_batch is 0. With @p threads > 1 the
+     * batch sizes are simulated in parallel (each point is independent
+     * and deterministic, so the result does not depend on threading).
+     */
+    Result<std::vector<ThroughputPoint>> throughputSweep(
         std::size_t seq_len, bool sparse, std::size_t max_batch,
-        double length_sigma = 0.0) const;
+        double length_sigma = 0.0, unsigned threads = 1) const;
 
     /** Effective (padding-amplified) sequence length for a batch. */
     std::size_t paddedSeqLen(std::size_t seq_len, std::size_t batch,
                              double length_sigma) const;
+
+    /**
+     * The dense + sparse full-sweep grid on this sim's GPU: for each
+     * routing mode that fits at batch 1, configs at batch 1..max with
+     * padding-amplified sequence lengths. This is the single
+     * definition of the sweep `Planner::throughputObservations`
+     * simulates (and the perf bench times) — keep them in lockstep by
+     * construction, not by copy.
+     */
+    std::vector<RunConfig> sweepConfigs(std::size_t median_seq_len,
+                                        double length_sigma) const;
 
     /** The model spec. */
     const ModelSpec& model() const { return model_; }
@@ -140,12 +174,8 @@ class FineTuneSim {
     mutable std::atomic<std::uint64_t> steps_simulated_{0};
 };
 
-/**
- * Normalizes a kernel name for cross-stage aggregation: strips the
- * " (recompute)" suffix and "_bwd" markers so "matmul(w1_bwd)" folds
- * into "matmul(w1)" (the paper's Fig. 6 merges passes the same way).
- */
-std::string normalizeKernelName(const std::string& name);
+// normalizeKernelName moved to gpusim/kernel.hpp (it is a kernel-name
+// utility shared with the plan compiler); still visible via this header.
 
 }  // namespace ftsim
 

@@ -60,6 +60,24 @@ layerClassName(LayerClass layer)
     return "unknown";
 }
 
+std::string
+normalizeKernelName(const std::string& name)
+{
+    std::string out = name;
+    const std::string recompute = " (recompute)";
+    if (out.size() > recompute.size() &&
+        out.compare(out.size() - recompute.size(), recompute.size(),
+                    recompute) == 0)
+        out.erase(out.size() - recompute.size());
+    // "matmul(w1_bwd)" -> "matmul(w1)"; "softmax_bwd" -> "softmax".
+    // Erase every marker, re-scanning from the start so markers formed
+    // by the join of two fragments are caught too.
+    for (auto pos = out.find("_bwd"); pos != std::string::npos;
+         pos = out.find("_bwd"))
+        out.erase(pos, 4);
+    return out;
+}
+
 const char*
 stageName(Stage stage)
 {

@@ -12,6 +12,7 @@
  * what the paper's three breakdown levels aggregate over (Figs. 4-6).
  */
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -49,6 +50,12 @@ enum class LayerClass : std::uint8_t {
     OptimizerState, ///< Optimizer update work.
 };
 
+/** Number of LayerClass values (dense array sizing). */
+inline constexpr std::size_t kLayerClassCount = 8;
+static_assert(static_cast<std::size_t>(LayerClass::OptimizerState) + 1 ==
+                  kLayerClassCount,
+              "update kLayerClassCount when extending LayerClass");
+
 /** Human-readable name of a layer class. */
 const char* layerClassName(LayerClass layer);
 
@@ -80,6 +87,14 @@ struct KernelDesc {
     /** Static multiplicity: identical launches this desc stands for. */
     double count = 1.0;
 };
+
+/**
+ * Normalizes a kernel name for cross-stage aggregation: strips the
+ * " (recompute)" suffix and every "_bwd" marker so "matmul(w1_bwd)"
+ * folds into "matmul(w1)" (the paper's Fig. 6 merges passes the same
+ * way).
+ */
+std::string normalizeKernelName(const std::string& name);
 
 /** Simulated execution metrics of one kernel (ncu-style counters). */
 struct KernelMetrics {

@@ -1,0 +1,221 @@
+#include "gpusim/step_plan.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hpp"
+
+namespace ftsim {
+
+KernelFormula
+KernelFormula::gemm(RowsKind rows, double k, double n, double weight_bytes,
+                    double flops_scale, double bytes_extra)
+{
+    KernelFormula f;
+    f.eval = EvalKind::Gemm;
+    f.rows = rows;
+    f.a = k;
+    f.b = n;
+    f.c = weight_bytes;
+    f.d = flops_scale;
+    f.e = bytes_extra;
+    return f;
+}
+
+KernelFormula
+KernelFormula::rowwise(RowsKind rows, double width, double ops_per_element)
+{
+    KernelFormula f;
+    f.eval = EvalKind::Rowwise;
+    f.rows = rows;
+    f.a = width;
+    f.b = ops_per_element;
+    return f;
+}
+
+KernelFormula
+KernelFormula::attention(double flops_coef, double bytes_coef,
+                         double d_model, double heads)
+{
+    KernelFormula f;
+    f.eval = EvalKind::Attention;
+    f.a = flops_coef;
+    f.b = bytes_coef;
+    f.c = d_model;
+    f.d = heads;
+    return f;
+}
+
+KernelFormula
+KernelFormula::conv(double flops_coef, double bytes_coef, double d_inner,
+                    double conv_k)
+{
+    KernelFormula f;
+    f.eval = EvalKind::Conv;
+    f.a = flops_coef;
+    f.b = bytes_coef;
+    f.c = d_inner;
+    f.d = conv_k;
+    return f;
+}
+
+KernelFormula
+KernelFormula::scan(double flops_coef, double bytes_coef, double d_inner,
+                    double tiles_per_row)
+{
+    KernelFormula f;
+    f.eval = EvalKind::Scan;
+    f.a = flops_coef;
+    f.b = bytes_coef;
+    f.c = d_inner;
+    f.d = tiles_per_row;
+    return f;
+}
+
+KernelFormula
+KernelFormula::lora(RowsKind rows, double rank, double d_sum,
+                    double bytes_tail)
+{
+    KernelFormula f;
+    f.eval = EvalKind::Lora;
+    f.rows = rows;
+    f.a = rank;
+    f.b = d_sum;
+    f.c = bytes_tail;
+    return f;
+}
+
+KernelFormula
+KernelFormula::fixed(double flops, double bytes, double tiles)
+{
+    KernelFormula f;
+    f.eval = EvalKind::Fixed;
+    f.a = flops;
+    f.b = bytes;
+    f.c = tiles;
+    return f;
+}
+
+void
+KernelFormula::apply(double batch, double seq, double n_tok,
+                     double tok_per_expert, double& flops, double& bytes,
+                     double& tiles) const
+{
+    // Every expression below replicates the reference emission in
+    // workload.cpp term-for-term, in the same evaluation order — the
+    // bit-identity contract (see file comment in step_plan.hpp).
+    const double m =
+        rows == RowsKind::Tokens ? n_tok : tok_per_expert;
+    switch (eval) {
+      case EvalKind::Fixed:
+        flops = a;
+        bytes = b;
+        tiles = c;
+        break;
+      case EvalKind::Gemm:
+        // gemm(): 2 * paddedRows(m) * k * n, optionally scaled for
+        // full-FT dX+dW; activation traffic + weight read (+ gradient
+        // write when full-FT).
+        flops = 2.0 * paddedRows(m) * a * b;
+        flops *= d;
+        bytes = kActBytes * (m * a + m * b) + c;
+        bytes += e;
+        tiles = ceilDivD(m, 32.0) * ceilDivD(b, 128.0);
+        break;
+      case EvalKind::Rowwise:
+        // rowwise(): ops * rows * width; read + write.
+        flops = b * m * a;
+        bytes = 2.0 * kActBytes * m * a;
+        tiles = m;
+        break;
+      case EvalKind::Attention:
+        flops = a * n_tok * seq * c;
+        bytes = b * kActBytes * n_tok * c;
+        tiles = batch * d * ceilDivD(seq, 64.0);
+        break;
+      case EvalKind::Conv:
+        flops = a * n_tok * c * d;
+        bytes = b * kActBytes * n_tok * c;
+        tiles = ceilDivD(n_tok * c, 4096.0);
+        break;
+      case EvalKind::Scan:
+        flops = a * n_tok * c;
+        bytes = b * kActBytes * n_tok * c;
+        tiles = batch * d;
+        break;
+      case EvalKind::Lora:
+        flops = paddedRows(m) * a * b;
+        bytes = kActBytes * m * b / 2.0 + c;
+        tiles = ceilDivD(m, 32.0);
+        break;
+    }
+}
+
+void
+StepPlan::push(std::uint32_t name_id, KernelKind kind, LayerClass layer,
+               Stage stage, double count, const KernelFormula& formula,
+               double efficiency)
+{
+    nameIds.push_back(name_id);
+    kinds.push_back(kind);
+    layers.push_back(layer);
+    stages.push_back(stage);
+    counts.push_back(count);
+    efficiencies.push_back(efficiency);
+    formulas.push_back(formula);
+}
+
+void
+StepPlan::finalize(const StringInterner& names)
+{
+    // MoE aggregation slots: lexicographic name order reproduces the
+    // iteration order of the std::map the reference profile path uses.
+    std::map<std::string, std::int32_t> slot_of;
+    for (std::size_t i = 0; i < size(); ++i)
+        if (layers[i] == LayerClass::MoE)
+            slot_of.emplace(normalizeKernelName(names.name(nameIds[i])),
+                            0);
+    moeAggNames.clear();
+    moeAggNames.reserve(slot_of.size());
+    for (auto& [name, slot] : slot_of) {
+        slot = static_cast<std::int32_t>(moeAggNames.size());
+        moeAggNames.push_back(name);
+    }
+    moeSlot.assign(size(), -1);
+    for (std::size_t i = 0; i < size(); ++i)
+        if (layers[i] == LayerClass::MoE)
+            moeSlot[i] =
+                slot_of[normalizeKernelName(names.name(nameIds[i]))];
+
+    // Distinct layer classes in ascending enum order (map iteration
+    // order of the reference path).
+    layersPresent.clear();
+    for (LayerClass layer : layers)
+        if (std::find(layersPresent.begin(), layersPresent.end(),
+                      layer) == layersPresent.end())
+            layersPresent.push_back(layer);
+    std::sort(layersPresent.begin(), layersPresent.end(),
+              [](LayerClass x, LayerClass y) {
+                  return static_cast<std::uint8_t>(x) <
+                         static_cast<std::uint8_t>(y);
+              });
+}
+
+void
+StepPlan::evaluate(std::size_t batch, std::size_t seq,
+                   EvaluatedStep& out) const
+{
+    if (batch == 0 || seq == 0)
+        fatal("WorkloadBuilder: zero batch or sequence length");
+    const double b = static_cast<double>(batch);
+    const double s = static_cast<double>(seq);
+    const double n_tok = b * s;
+    const double tok_per_expert = n_tok * activeExperts / nExperts;
+    const std::size_t n = size();
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        formulas[i].apply(b, s, n_tok, tok_per_expert, out.flops[i],
+                          out.bytes[i], out.tiles[i]);
+}
+
+}  // namespace ftsim

@@ -16,10 +16,17 @@
  * correct.
  */
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "common/interner.hpp"
 #include "gpusim/kernel.hpp"
+#include "gpusim/step_plan.hpp"
 #include "models/spec.hpp"
 
 namespace ftsim {
@@ -37,16 +44,49 @@ struct RunConfig {
     int gradientCheckpointing = -1;  ///< -1 = strategy default.
 };
 
-/** Builds kernel workloads from a model spec. */
+/**
+ * Builds kernel workloads from a model spec.
+ *
+ * Two emission paths produce identical numbers:
+ *
+ *  - `buildStep` / `buildForward` — the retained *reference* path,
+ *    materializing a fresh `std::vector<KernelDesc>` per call. It is
+ *    the golden oracle for tests and the pre-optimization baseline the
+ *    perf bench compares against.
+ *  - `stepPlan` — the compiled path: one `StepPlan` per config shape
+ *    (sparse x checkpointing), cached for the builder's lifetime, with
+ *    interned kernel names and per-kernel formulas evaluated per
+ *    (batch, seq). This is what the simulation hot path uses.
+ *
+ * Any change to one path must be mirrored in the other; the golden
+ * tests in tests/gpusim/test_step_plan.cpp enforce bit-equality.
+ */
 class WorkloadBuilder {
   public:
     explicit WorkloadBuilder(const ModelSpec& spec);
+
+    // Plan slots hold std::once_flag: no copies.
+    WorkloadBuilder(const WorkloadBuilder&) = delete;
+    WorkloadBuilder& operator=(const WorkloadBuilder&) = delete;
 
     /** Kernels of a full step: forward + backward + optimizer. */
     std::vector<KernelDesc> buildStep(const RunConfig& config) const;
 
     /** Kernels of the forward pass only. */
     std::vector<KernelDesc> buildForward(const RunConfig& config) const;
+
+    /**
+     * The compiled plan for @p config's shape. Compiled on first use
+     * and cached; batch size and sequence length do not participate in
+     * the cache key (they are `StepPlan::evaluate` inputs). Thread-safe.
+     */
+    const StepPlan& stepPlan(const RunConfig& config) const;
+
+    /** The interner backing the plans' kernel-name ids. */
+    const StringInterner& kernelNames() const { return names_; }
+
+    /** Plans compiled so far (at most 4; tests pin the reuse). */
+    std::uint32_t plansCompiled() const { return plans_compiled_.load(); }
 
     /** The spec being lowered. */
     const ModelSpec& spec() const { return spec_; }
@@ -90,7 +130,34 @@ class WorkloadBuilder {
                        LayerClass layer, double rows, double width,
                        double ops_per_element, double count) const;
 
+    // -- compiled-plan path ----------------------------------------------
+
+    /** Compiles the plan for one shape; mirrors the reference path. */
+    StepPlan compilePlan(bool sparse, bool checkpointing) const;
+
+    /** Mirrors addLayerForward (names get " (recompute)" suffixed). */
+    void compileLayerForward(StepPlan& plan, Stage stage,
+                             bool recompute) const;
+
+    /** Mirrors addLayerBackward. */
+    void compileLayerBackward(StepPlan& plan) const;
+
+    /** Mirrors addHead. */
+    void compileHead(StepPlan& plan, Stage stage) const;
+
+    /** Mirrors addOptimizer. */
+    void compileOptimizer(StepPlan& plan) const;
+
     ModelSpec spec_;
+
+    /** One lazily-compiled plan per (sparse, checkpointing) shape. */
+    struct PlanSlot {
+        std::once_flag once;
+        std::unique_ptr<StepPlan> plan;
+    };
+    mutable std::array<PlanSlot, 4> plans_;
+    mutable StringInterner names_;
+    mutable std::atomic<std::uint32_t> plans_compiled_{0};
 };
 
 }  // namespace ftsim

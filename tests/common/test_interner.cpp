@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the string interner: id stability, dedup, and thread
+ * safety under concurrent interning (the workload builder's plans for
+ * different shapes may compile from different threads).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/interner.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(StringInterner, SameSpellingSameId)
+{
+    StringInterner interner;
+    const auto a = interner.intern("matmul(w1)");
+    const auto b = interner.intern("matmul(w2)");
+    const auto a2 = interner.intern("matmul(w1)");
+    EXPECT_EQ(a, a2);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(StringInterner, NameRoundTrips)
+{
+    StringInterner interner;
+    const auto id = interner.intern("attention(flash)");
+    EXPECT_EQ(interner.name(id), "attention(flash)");
+}
+
+TEST(StringInterner, ReferencesStayValidWhileInterning)
+{
+    StringInterner interner;
+    const auto first = interner.intern("first");
+    const std::string& ref = interner.name(first);
+    // Force growth well past any SSO/vector-reallocation boundary.
+    for (int i = 0; i < 1000; ++i)
+        interner.intern("kernel_" + std::to_string(i));
+    EXPECT_EQ(ref, "first");
+    EXPECT_EQ(interner.size(), 1001u);
+}
+
+TEST(StringInterner, ConcurrentInterningIsConsistent)
+{
+    StringInterner interner;
+    constexpr int kThreads = 8;
+    constexpr int kNames = 64;
+    std::vector<std::vector<std::uint32_t>> ids(kThreads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t)
+        pool.emplace_back([&interner, &ids, t] {
+            for (int i = 0; i < kNames; ++i)
+                ids[t].push_back(
+                    interner.intern("name_" + std::to_string(i)));
+        });
+    for (auto& thread : pool)
+        thread.join();
+
+    // Every thread must have resolved each spelling to the same id.
+    EXPECT_EQ(interner.size(), static_cast<std::size_t>(kNames));
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(ids[t], ids[0]);
+    for (int i = 0; i < kNames; ++i)
+        EXPECT_EQ(interner.name(ids[0][i]),
+                  "name_" + std::to_string(i));
+}
+
+}  // namespace
+}  // namespace ftsim

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <thread>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "core/planner.hpp"
@@ -165,6 +167,112 @@ TEST(Planner, ParallelCostTableMatchesSerial)
         EXPECT_DOUBLE_EQ(s.totalDollars, p.totalDollars);
     }
     // Threading must not defeat the cache either.
+    PlannerStats stats = parallel.stats();
+    EXPECT_EQ(stats.stepsSimulated, stats.stepCacheMisses);
+}
+
+TEST(Planner, ProfileMatchesReferenceSimulatorBitExact)
+{
+    // The acceptance bar for the compiled-plan rewrite: every simulated
+    // second/QPS the planner reports is unchanged from the retained
+    // pre-optimization path, to the last bit.
+    Planner planner(Scenario::gsMath());
+    Result<StepProfile> p = planner.profileAt(GpuSpec::a40(), 4);
+    ASSERT_TRUE(p.ok());
+
+    const Scenario sc = Scenario::gsMath();
+    FineTuneSim sim(sc.model, GpuSpec::a40(), sc.calibration);
+    RunConfig config;
+    config.batchSize = 4;
+    config.seqLen = sim.paddedSeqLen(sc.medianSeqLen, 4, sc.lengthSigma);
+    config.sparse = sc.sparse;
+    const StepProfile ref = sim.profileStepReference(config);
+
+    EXPECT_EQ(p.value().forwardSeconds, ref.forwardSeconds);
+    EXPECT_EQ(p.value().backwardSeconds, ref.backwardSeconds);
+    EXPECT_EQ(p.value().optimizerSeconds, ref.optimizerSeconds);
+    EXPECT_EQ(p.value().stepSeconds, ref.stepSeconds);
+    EXPECT_EQ(p.value().throughputQps, ref.throughputQps);
+}
+
+TEST(Planner, ConcurrentSameConfigSimulatesExactlyOnce)
+{
+    // Once-semantics of the lock-free step cache: a thundering herd on
+    // one (GPU, config) pair performs one simulation; everyone else
+    // waits on the shared future and reads the same answer.
+    Planner planner(Scenario::gsMath());
+    constexpr int kThreads = 16;
+    std::vector<StepProfile> profiles(kThreads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t)
+        pool.emplace_back([&planner, &profiles, t] {
+            Result<StepProfile> p = planner.profileAt(GpuSpec::a40(), 2);
+            ASSERT_TRUE(p.ok());
+            profiles[t] = p.value();
+        });
+    for (auto& thread : pool)
+        thread.join();
+
+    PlannerStats stats = planner.stats();
+    EXPECT_EQ(stats.stepCacheMisses, 1u);
+    EXPECT_EQ(stats.stepsSimulated, 1u);
+    EXPECT_EQ(stats.stepCacheHits,
+              static_cast<std::uint64_t>(kThreads - 1));
+    for (int t = 1; t < kThreads; ++t) {
+        EXPECT_EQ(profiles[t].stepSeconds, profiles[0].stepSeconds);
+        EXPECT_EQ(profiles[t].throughputQps, profiles[0].throughputQps);
+    }
+}
+
+TEST(Planner, ConcurrentSameGpuStressKeepsCacheInvariants)
+{
+    // Mixed same-GPU load from many threads: distinct configs simulate
+    // exactly once each (stepsSimulated == stepCacheMisses), and the
+    // shard no longer serializes whole simulations behind its mutex.
+    Planner planner(Scenario::gsMath());
+    constexpr int kThreads = 8;
+    constexpr int kRounds = 4;
+    constexpr std::size_t kDistinctBatches = 5;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t)
+        pool.emplace_back([&planner, t] {
+            for (int r = 0; r < kRounds; ++r) {
+                const std::size_t batch =
+                    1 + static_cast<std::size_t>(t + r) %
+                            kDistinctBatches;
+                ASSERT_TRUE(
+                    planner.profileAt(GpuSpec::a40(), batch).ok());
+                ASSERT_TRUE(planner.throughput(GpuSpec::a40()).ok());
+            }
+        });
+    for (auto& thread : pool)
+        thread.join();
+
+    PlannerStats stats = planner.stats();
+    EXPECT_EQ(stats.stepsSimulated, stats.stepCacheMisses);
+    // At most one miss per distinct configuration: the 5 explicit
+    // batches plus the max-batch profile behind throughput().
+    EXPECT_LE(stats.stepCacheMisses, kDistinctBatches + 1);
+    EXPECT_EQ(stats.stepCacheHits + stats.stepCacheMisses,
+              static_cast<std::uint64_t>(kThreads * kRounds * 2));
+}
+
+TEST(Planner, ParallelObservationsMatchSerialBitExact)
+{
+    Planner serial(Scenario::gsMath());
+    Planner parallel(Scenario::gsMath());
+    parallel.setParallelism(8);
+    auto s = serial.throughputObservations(GpuSpec::a40());
+    auto p = parallel.throughputObservations(GpuSpec::a40());
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE(p.ok());
+    ASSERT_EQ(s.value().size(), p.value().size());
+    for (std::size_t i = 0; i < s.value().size(); ++i) {
+        EXPECT_EQ(s.value()[i].batchSize, p.value()[i].batchSize);
+        EXPECT_EQ(s.value()[i].sparsity, p.value()[i].sparsity);
+        EXPECT_EQ(s.value()[i].qps, p.value()[i].qps);
+    }
+    // The parallel sweep must not defeat the cache either.
     PlannerStats stats = parallel.stats();
     EXPECT_EQ(stats.stepsSimulated, stats.stepCacheMisses);
 }

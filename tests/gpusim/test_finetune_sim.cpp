@@ -108,10 +108,31 @@ TEST(FineTuneSim, ThroughputGrowsSublinearly)
 TEST(FineTuneSim, ThroughputMonotonicInBatch)
 {
     FineTuneSim sim(ModelSpec::blackMamba2p8b(), GpuSpec::a40());
-    auto sweep = sim.throughputSweep(79, true, 20);
+    auto sweep_result = sim.throughputSweep(79, true, 20);
+    ASSERT_TRUE(sweep_result.ok());
+    const auto& sweep = sweep_result.value();
     ASSERT_EQ(sweep.size(), 20u);
     for (std::size_t i = 1; i < sweep.size(); ++i)
         EXPECT_GE(sweep[i].qps, sweep[i - 1].qps * 0.999);
+}
+
+TEST(FineTuneSim, ParallelSweepMatchesSerialBitExact)
+{
+    // The sweep parallelizes across batch sizes; every point must be
+    // byte-for-byte what the serial sweep computes.
+    FineTuneSim sim(ModelSpec::mixtral8x7b(), GpuSpec::a40());
+    auto serial = sim.throughputSweep(79, true, 16, 0.4, 1);
+    auto parallel = sim.throughputSweep(79, true, 16, 0.4, 8);
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(parallel.ok());
+    ASSERT_EQ(serial.value().size(), parallel.value().size());
+    for (std::size_t i = 0; i < serial.value().size(); ++i) {
+        EXPECT_EQ(serial.value()[i].batchSize,
+                  parallel.value()[i].batchSize);
+        EXPECT_EQ(serial.value()[i].qps, parallel.value()[i].qps);
+        EXPECT_EQ(serial.value()[i].stepSeconds,
+                  parallel.value()[i].stepSeconds);
+    }
 }
 
 TEST(FineTuneSim, SmUtilRisesWithBatch)
@@ -197,10 +218,35 @@ TEST(NormalizeKernelNameTest, FoldsBackwardAndRecompute)
     EXPECT_EQ(normalizeKernelName("topk"), "topk");
 }
 
+TEST(NormalizeKernelNameTest, ErasesEveryBackwardMarker)
+{
+    // The historical bug: only the first find() hit was erased.
+    EXPECT_EQ(normalizeKernelName("matmul(w1_bwd)_bwd"), "matmul(w1)");
+    EXPECT_EQ(normalizeKernelName("a_bwd_b_bwd_c"), "a_b_c");
+    EXPECT_EQ(normalizeKernelName("_bwd"), "");
+    // Markers formed by the join of two fragments are caught too.
+    EXPECT_EQ(normalizeKernelName("x_b_bwdwd"), "x");
+}
+
+TEST(NormalizeKernelNameTest, RecomputeSuffixCombinesWithBackward)
+{
+    // Recompute kernels are re-emitted forward kernels, but aggregation
+    // must fold a hypothetical combined spelling all the same.
+    EXPECT_EQ(normalizeKernelName("matmul(w1_bwd) (recompute)"),
+              "matmul(w1)");
+    EXPECT_EQ(normalizeKernelName("silu_bwd (recompute)"), "silu");
+    // The suffix is only stripped at the very end of the name.
+    EXPECT_EQ(normalizeKernelName("a (recompute) b"), "a (recompute) b");
+}
+
 TEST(FineTuneSim, SweepRejectsZeroMax)
 {
+    // Migrated from fatal() to the Result/InvalidArgument error path:
+    // a zero sweep is a domain failure callers branch on, not an abort.
     FineTuneSim sim(ModelSpec::mixtral8x7b(), GpuSpec::a40());
-    EXPECT_THROW(sim.throughputSweep(128, true, 0), FatalError);
+    auto sweep = sim.throughputSweep(128, true, 0);
+    ASSERT_FALSE(sweep.ok());
+    EXPECT_EQ(sweep.code(), ErrorCode::InvalidArgument);
 }
 
 }  // namespace
