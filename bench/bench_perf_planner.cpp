@@ -33,13 +33,7 @@ using namespace ftsim;
 
 namespace {
 
-double
-nowMs()
-{
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
-}
+using bench::nowMs;
 
 /**
  * Best-of-@p reps wall time of @p inner consecutive runs of @p body,

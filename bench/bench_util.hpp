@@ -9,10 +9,21 @@
  * paper's reference values where applicable.
  */
 
+#include <chrono>
 #include <iostream>
 #include <string>
 
 namespace ftsim::bench {
+
+/** Monotonic wall clock in milliseconds — the perf harnesses' shared
+ *  timing primitive. */
+inline double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
 
 /** Prints the standard banner for one reproduced artifact. */
 inline void

@@ -15,4 +15,16 @@ cmake --build "$BUILD_DIR" -j
 "$BUILD_DIR/bench/bench_perf_planner" "$BUILD_DIR/BENCH_planner.json"
 echo "ci.sh: perf smoke artifact at $BUILD_DIR/BENCH_planner.json"
 
+# Serve perf smoke: replay the duplicate-heavy multi-tenant trace and
+# emit BENCH_serve.json. The binary itself fails (non-zero exit) when
+# the coalesced PlanService answers the trace slower than the naive
+# one-planner-per-request baseline, or when any answer diverges.
+"$BUILD_DIR/bench/bench_serve_load" "$BUILD_DIR/BENCH_serve.json"
+echo "ci.sh: serve smoke artifact at $BUILD_DIR/BENCH_serve.json"
+
+# Protocol smoke: the mixed example request file must parse cleanly —
+# ftsim_serve exits non-zero on any protocol error.
+"$BUILD_DIR/ftsim_serve" examples/serve_requests.jsonl > /dev/null
+echo "ci.sh: ftsim_serve answered examples/serve_requests.jsonl with zero protocol errors"
+
 echo "ci.sh: all green"

@@ -1,20 +1,22 @@
 /**
  * @file
- * Example: a capacity/cost planner built on the analytical models — the
- * practitioner tool the paper's §V motivates. One `Planner` fits Eq. 1
- * and Eq. 2 from simulator sweeps (memoized, so re-planning a new
- * budget on the same scenario is free), then answers: for *your*
- * dataset and budget, which GPU should you rent, and what will it cost?
+ * Example: a capacity/cost planner as a *client of the plan service* —
+ * the practitioner tool the paper's §V motivates, reworked as the
+ * reference `PlanService` client. Instead of looping single `Planner`
+ * calls, it batches every question (per-GPU probes, the cost table,
+ * what-if budget variants) as `PlanRequest`s, submits them all up
+ * front, and lets the service coalesce duplicates, share planners
+ * across the what-ifs, and answer concurrently.
  *
  * Run: ./build/examples/capacity_planner [num_queries] [median_seq] [epochs]
  */
 
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
-#include "common/parallel.hpp"
 #include "common/table.hpp"
-#include "core/planner.hpp"
+#include "serve/plan_service.hpp"
 
 using namespace ftsim;
 
@@ -32,75 +34,106 @@ main(int argc, char** argv)
 
     std::cout << "planning: fine-tune " << scenario.describe() << '\n';
 
-    Planner planner(scenario, CloudCatalog::cudoCompute());
-    planner.setParallelism(hardwareThreads());
+    PlanService service;  // Hardware workers, CUDO prices.
 
-    // Fit the paper's analytical models once from simulator sweeps; the
-    // fitted coefficients then answer any what-if instantly (§V-D).
-    Result<BatchSizeFit> eq1 = planner.fitBatchSize(
-        GpuSpec::paperGpus(), {79, 128, 148, 174, 256});
-    if (!eq1) {
-        std::cerr << "Eq. 1 fit failed: " << eq1.error().describe()
-                  << '\n';
-        return 1;
+    // Build the whole question batch first: one max-batch and one
+    // throughput probe per GPU, the Table IV cost table, and the
+    // cheapest plan for three what-if dataset sizes (which all share
+    // planners and step caches inside the service).
+    const std::vector<GpuSpec> gpus = GpuSpec::paperGpus();
+    std::vector<PlanRequest> batch;
+    for (const GpuSpec& gpu : gpus) {
+        PlanRequest probe;
+        probe.query = QueryKind::MaxBatch;
+        probe.gpu = gpu.name;
+        probe.scenario = scenario;
+        probe.id = "maxbatch/" + gpu.name;
+        batch.push_back(probe);
+        probe.query = QueryKind::Throughput;
+        probe.id = "throughput/" + gpu.name;
+        batch.push_back(probe);
     }
-    std::cout << "Eq. 1 fit: C0 = "
-              << Table::fmt(eq1.value().model.c0(), 2)
-              << ", C1 = " << Table::fmt(eq1.value().model.c1(), 3)
-              << " (RMSE " << Table::fmt(eq1.value().rmse, 2) << ")\n";
-
-    // Per-GPU recommendation table, driven by the fitted equations.
-    const double model_mem = scenario.model.weightMemoryBytes() / 1e9;
-    const double sparsity = scenario.model.sparsity(scenario.sparse);
-    Table table({"GPU", "Eq.1 max bsz", "Eq.2 q/s @ max bsz",
-                 "GPU-hours", "Cost ($)"});
-    std::string best_gpu;
-    double best_cost = 1e300;
-    for (const GpuSpec& gpu : GpuSpec::paperGpus()) {
-        Result<double> rate = planner.catalog().rate(gpu.name);
-        if (!rate)
-            continue;  // Unpriced GPU: nothing to recommend.
-        const int bsz = eq1.value().model.predict(
-            gpu.memGB, model_mem,
-            static_cast<double>(scenario.medianSeqLen), sparsity);
-        if (bsz < 1) {
-            table.addRow({gpu.name, "does not fit", "-", "-", "-"});
-            continue;
-        }
-        Result<ThroughputFit> eq2 = planner.fitThroughput(gpu);
-        if (!eq2) {
-            table.addRow({gpu.name, Table::fmt(
-                              static_cast<long long>(bsz)),
-                          eq2.error().describe(), "-", "-"});
-            continue;
-        }
-        const double qps = eq2.value().model.predict(
-            static_cast<double>(bsz), sparsity);
-        Result<CostEstimate> cost = CostEstimator(planner.catalog())
-                                        .tryEstimate(gpu.name, qps,
-                                                     scenario.numQueries,
-                                                     scenario.epochs);
-        if (!cost)
-            continue;
-        table.addRow({gpu.name, Table::fmt(static_cast<long long>(bsz)),
-                      Table::fmt(qps, 2),
-                      Table::fmt(cost.value().gpuHours, 1),
-                      Table::fmt(cost.value().totalDollars, 1)});
-        if (cost.value().totalDollars < best_cost) {
-            best_cost = cost.value().totalDollars;
-            best_gpu = gpu.name;
-        }
+    PlanRequest table;
+    table.query = QueryKind::CostTable;
+    table.scenario = scenario;
+    table.id = "cost_table";
+    batch.push_back(table);
+    const std::vector<double> what_if_queries = {
+        scenario.numQueries, 4.0 * scenario.numQueries,
+        Scenario::openOrca().numQueries};
+    for (double queries : what_if_queries) {
+        PlanRequest cheapest;
+        cheapest.query = QueryKind::CheapestPlan;
+        cheapest.scenario = scenario;
+        cheapest.scenario.withNumQueries(queries);
+        cheapest.id = strCat("cheapest/", queries);
+        batch.push_back(cheapest);
     }
-    std::cout << '\n' << table.render();
-    std::cout << "\nrecommendation: rent " << best_gpu << " (~$"
-              << Table::fmt(best_cost, 0) << " end-to-end)\n";
 
-    // Cross-check against the simulator-backed plan (not the fitted
-    // equations): the cheapest row of the Table IV comparison.
-    Result<CostRow> simulated = planner.cheapestPlan(GpuSpec::paperGpus());
-    if (simulated)
-        std::cout << "simulator cross-check: " << simulated.value().gpuName
-                  << " ($" << Table::fmt(simulated.value().totalDollars, 0)
-                  << ")\n";
-    return 0;
+    // Submit everything, then collect: the service answers out of
+    // order and dedups; futures hand each answer back exactly once.
+    std::vector<std::shared_future<PlanResponse>> futures;
+    for (const PlanRequest& request : batch)
+        futures.push_back(service.submit(request));
+    std::vector<PlanResponse> answers;
+    for (auto& future : futures)
+        answers.push_back(future.get());
+
+    // Per-GPU probe table (slots 0..2*gpus-1, interleaved).
+    Table probe_table({"GPU", "max bsz", "q/s @ max bsz"});
+    for (std::size_t i = 0; i < gpus.size(); ++i) {
+        const PlanResponse& mbs = answers[2 * i];
+        const PlanResponse& qps = answers[2 * i + 1];
+        probe_table.addRow(
+            {gpus[i].name,
+             mbs.ok ? Table::fmt(static_cast<long long>(mbs.value))
+                    : mbs.errorCode,
+             qps.ok ? Table::fmt(qps.value, 2) : qps.errorCode});
+    }
+    std::cout << '\n' << probe_table.render();
+
+    // The Table IV comparison for the requested budget.
+    const PlanResponse& cost_table = answers[2 * gpus.size()];
+    if (cost_table.ok) {
+        Table rows({"GPU", "max bsz", "q/s", "$/hr", "total $"});
+        for (const CostRow& row : cost_table.rows)
+            rows.addRow({row.gpuName,
+                         Table::fmt(static_cast<long long>(
+                             row.maxBatchSize)),
+                         Table::fmt(row.throughputQps, 2),
+                         Table::fmt(row.dollarsPerHour, 2),
+                         Table::fmt(row.totalDollars, 1)});
+        std::cout << '\n' << rows.render();
+    } else {
+        std::cout << "\ncost table failed: " << cost_table.errorCode
+                  << ": " << cost_table.errorMessage << '\n';
+    }
+
+    // What-if growth: where does the recommendation move as the
+    // dataset scales? (All three share one throughput sweep cache.)
+    std::cout << '\n';
+    for (std::size_t i = 0; i < what_if_queries.size(); ++i) {
+        const PlanResponse& best =
+            answers[2 * gpus.size() + 1 + i];
+        if (best.ok && !best.rows.empty())
+            std::cout << "at " << what_if_queries[i]
+                      << " queries: rent " << best.rows[0].gpuName
+                      << " (~$" << Table::fmt(best.rows[0].totalDollars, 0)
+                      << " end-to-end)\n";
+        else
+            std::cout << "at " << what_if_queries[i]
+                      << " queries: no viable plan ("
+                      << best.errorCode << ")\n";
+    }
+
+    const ServiceStats stats = service.stats();
+    std::cout << "\nservice: " << stats.requests << " requests, "
+              << stats.coalesced << " coalesced, "
+              << stats.plannersCreated << " planners ("
+              << stats.plannerReuses << " reuses), "
+              << stats.stepsSimulated << " steps simulated, p99 "
+              << Table::fmt(stats.p99LatencyMs, 1) << " ms\n";
+    // An unplannable scenario (e.g. num_queries 0) is a failed run,
+    // same contract as the pre-service version of this example.
+    return cost_table.ok ? 0 : 1;
 }

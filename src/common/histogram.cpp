@@ -78,6 +78,28 @@ Histogram::modeBin() const
         std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
 }
 
+double
+Histogram::quantile(double q) const
+{
+    if (q < 0.0 || q > 1.0)
+        fatal("Histogram::quantile: q must be in [0, 1]");
+    if (count_ == 0)
+        return 0.0;
+    const double target = q * static_cast<double>(count_);
+    double seen = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double c = static_cast<double>(counts_[i]);
+        if (seen + c >= target && c > 0.0) {
+            // Interpolate the rank's position inside this bin.
+            const double frac =
+                std::min(1.0, std::max(0.0, (target - seen) / c));
+            return binLo(i) + frac * binWidth_;
+        }
+        seen += c;
+    }
+    return binHi(counts_.size() - 1);
+}
+
 std::string
 Histogram::render(std::size_t width) const
 {

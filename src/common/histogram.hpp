@@ -59,6 +59,15 @@ class Histogram {
     std::size_t modeBin() const;
 
     /**
+     * Estimated value at quantile @p q in [0, 1], linearly interpolated
+     * inside the bin that crosses the target rank (the standard
+     * histogram-quantile estimate; resolution is one bin width).
+     * Serving-latency p50/p99 read this. Returns 0 on an empty
+     * histogram; fatal on q outside [0, 1].
+     */
+    double quantile(double q) const;
+
+    /**
      * Renders the histogram as rows of `[lo, hi) count |#####`.
      * @param width maximum number of '#' characters for the fullest bin.
      */

@@ -13,6 +13,7 @@
  */
 
 #include <cstdint>
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -94,6 +95,20 @@ strCat(Args&&... args)
     std::ostringstream oss;
     (oss << ... << std::forward<Args>(args));
     return oss.str();
+}
+
+/**
+ * Lossless double-to-string for cache keys and fingerprints. strCat's
+ * default ostream precision keeps only 6 significant digits, so two
+ * values differing past the 6th digit would collide as keys — %.17g
+ * round-trips every distinct double to a distinct spelling.
+ */
+inline std::string
+strExact(double x)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", x);
+    return buf;
 }
 
 }  // namespace ftsim

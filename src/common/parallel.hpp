@@ -13,8 +13,13 @@
  * calling thread after the join.
  */
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace ftsim {
 
@@ -30,6 +35,48 @@ unsigned hardwareThreads();
  */
 void parallelFor(std::size_t n, unsigned threads,
                  const std::function<void(std::size_t)>& body);
+
+/**
+ * Persistent FIFO worker pool for request-serving workloads.
+ *
+ * `parallelFor` is fork-join: it owns its workers for one bounded
+ * sweep and then tears them down. A server instead admits an unbounded
+ * stream of independent tasks, so `WorkerPool` keeps its threads alive
+ * and feeds them from a mutex-guarded queue. Tasks must not throw
+ * (wrap fallible work and encode failure in the task's own result
+ * channel); an escaping exception terminates the process, as it would
+ * from any detached thread. The destructor drains every queued task
+ * before joining, so submitted work is never silently dropped.
+ */
+class WorkerPool {
+  public:
+    /** Starts @p threads workers (floored at 1). */
+    explicit WorkerPool(unsigned threads);
+
+    /** Finishes all queued tasks, then joins the workers. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool&) = delete;
+    WorkerPool& operator=(const WorkerPool&) = delete;
+
+    /** Enqueues @p task; fatal if called during destruction. */
+    void submit(std::function<void()> task);
+
+    /** Number of worker threads. */
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
 
 }  // namespace ftsim
 

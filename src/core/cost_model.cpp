@@ -47,6 +47,23 @@ CloudCatalog::ratePerHour(const std::string& gpu_name) const
     return rate(gpu_name).valueOrThrow();
 }
 
+CloudCatalog&
+CloudCatalog::withRate(const std::string& gpu_name, double usd_per_hour)
+{
+    add({"user", gpu_name, usd_per_hour});
+    return *this;
+}
+
+std::string
+CloudCatalog::fingerprint() const
+{
+    std::string out;
+    for (const auto& o : offerings_)
+        out += strCat(o.provider, '=', o.gpuName, '@',
+                      strExact(o.dollarsPerHour), ';');
+    return out;
+}
+
 bool
 CloudCatalog::has(const std::string& gpu_name) const
 {

@@ -43,6 +43,18 @@ class CloudCatalog {
     /** Adds an offering. */
     void add(const CloudOffering& offering);
 
+    /**
+     * Fluently adds (or overrides downward) a rate for @p gpu_name at
+     * @p usd_per_hour under the "user" provider and returns *this* —
+     * the extension point for GPUs missing from the built-in CUDO
+     * list, e.g. `CloudCatalog::cudoCompute().withRate("L40S", 1.05)`.
+     * Serve requests use it to price otherwise-`UnknownGpu` devices.
+     * Fatal on a non-positive rate or empty name (same contract as
+     * add(); validate first when the inputs are untrusted).
+     */
+    CloudCatalog& withRate(const std::string& gpu_name,
+                           double usd_per_hour);
+
     /** All offerings. */
     const std::vector<CloudOffering>& offerings() const
     {
@@ -64,6 +76,13 @@ class CloudCatalog {
 
     /** True if any offering covers the GPU. */
     bool has(const std::string& gpu_name) const;
+
+    /**
+     * Canonical cache identity: every offering serialized in insertion
+     * order. Serving layers fold this into their planner keys so two
+     * requests with different rate overrides never share a planner.
+     */
+    std::string fingerprint() const;
 
   private:
     std::vector<CloudOffering> offerings_;

@@ -40,15 +40,17 @@ struct Planner::GpuState {
     std::optional<ThroughputFit> fit;
 
     GpuState(const ModelSpec& model, const GpuSpec& g,
-             const SimCalibration& calib)
-        : gpu(g), sim(model, g, calib)
+             const SimCalibration& calib,
+             std::shared_ptr<PlanRegistry> registry)
+        : gpu(g), sim(model, g, calib, std::move(registry))
     {
     }
 };
 
-Planner::Planner(Scenario scenario, CloudCatalog catalog)
+Planner::Planner(Scenario scenario, CloudCatalog catalog,
+                 std::shared_ptr<PlanRegistry> registry)
     : scenario_(std::move(scenario)), catalog_(std::move(catalog)),
-      estimator_(catalog_)
+      estimator_(catalog_), registry_(std::move(registry))
 {
 }
 
@@ -71,7 +73,7 @@ Planner::stateFor(const GpuSpec& gpu) const
         it = states_
                  .emplace(key, std::make_unique<GpuState>(
                                    scenario_.model, gpu,
-                                   scenario_.calibration))
+                                   scenario_.calibration, registry_))
                  .first;
     return *it->second;
 }
@@ -381,13 +383,37 @@ Planner::fitBatchSize(const std::vector<GpuSpec>& gpus,
 PlannerStats
 Planner::stats() const
 {
+    // Counters are monotonic; clamped subtraction keeps a snapshot
+    // that raced a concurrent resetStats() at zero instead of wrapping.
+    const auto since = [](std::uint64_t now, std::uint64_t base) {
+        return now > base ? now - base : 0;
+    };
     PlannerStats out;
-    out.stepCacheHits = step_hits_.load();
-    out.stepCacheMisses = step_misses_.load();
-    std::lock_guard<std::mutex> lock(registry_mutex_);
-    for (const auto& [key, state] : states_)
-        out.stepsSimulated += state->sim.stepsSimulated();
+    out.stepCacheHits = since(step_hits_.load(), hits_base_.load());
+    out.stepCacheMisses =
+        since(step_misses_.load(), misses_base_.load());
+    std::uint64_t simulated = 0;
+    {
+        std::lock_guard<std::mutex> lock(registry_mutex_);
+        for (const auto& [key, state] : states_)
+            simulated += state->sim.stepsSimulated();
+    }
+    out.stepsSimulated = since(simulated, steps_base_.load());
     return out;
+}
+
+void
+Planner::resetStats()
+{
+    hits_base_.store(step_hits_.load());
+    misses_base_.store(step_misses_.load());
+    std::uint64_t simulated = 0;
+    {
+        std::lock_guard<std::mutex> lock(registry_mutex_);
+        for (const auto& [key, state] : states_)
+            simulated += state->sim.stepsSimulated();
+    }
+    steps_base_.store(simulated);
 }
 
 }  // namespace ftsim

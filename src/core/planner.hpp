@@ -51,6 +51,7 @@
 #include "core/scenario.hpp"
 #include "gpusim/finetune_sim.hpp"
 #include "gpusim/memory_model.hpp"
+#include "gpusim/plan_registry.hpp"
 
 namespace ftsim {
 
@@ -68,9 +69,17 @@ struct PlannerStats {
 /** Scenario-driven planning facade (see file comment). */
 class Planner {
   public:
-    /** Plans @p scenario against @p catalog prices. */
+    /**
+     * Plans @p scenario against @p catalog prices.
+     * @param registry optional fleet-wide compiled-plan cache shared
+     *        with other planners (see gpusim/plan_registry.hpp); the
+     *        serving layer passes one registry to every planner so a
+     *        fleet of scenarios on one model compiles each step-plan
+     *        shape exactly once. Null keeps plans planner-local.
+     */
     explicit Planner(Scenario scenario,
-                     CloudCatalog catalog = CloudCatalog::cudoCompute());
+                     CloudCatalog catalog = CloudCatalog::cudoCompute(),
+                     std::shared_ptr<PlanRegistry> registry = nullptr);
 
     ~Planner();
     Planner(const Planner&) = delete;
@@ -159,8 +168,40 @@ class Planner {
 
     // ----- Introspection -----
 
-    /** Snapshot of the cache counters. */
+    /**
+     * Snapshot of the cache counters since construction (or the last
+     * resetStats()).
+     *
+     * Memory-order contract: each counter is a monotonic atomic, so a
+     * snapshot taken *while queries are in flight* reads each counter
+     * exactly as of some moment during the call, but the counters are
+     * not mutually atomic — a miss is counted before its simulation
+     * runs, so a concurrent snapshot may briefly observe
+     * `stepsSimulated < stepCacheMisses`. Any happens-before edge that
+     * orders the queries before the snapshot (joining the querying
+     * threads, `.get()` on their futures, or a mutex handoff) makes
+     * the next snapshot exact, and at any quiescent point the invariant
+     * `stepsSimulated == stepCacheMisses` holds (no query bypasses the
+     * cache).
+     */
     PlannerStats stats() const;
+
+    /**
+     * Re-zeroes the stats() window: subsequent snapshots count from
+     * here, so per-window deltas (a serving stats endpoint, a bench
+     * phase) are meaningful without tracking baselines externally.
+     * Call at a quiescent point (no queries in flight) for an exact
+     * zero; a concurrent reset is safe but may leave a few in-flight
+     * increments in the new window.
+     */
+    void resetStats();
+
+    /** The fleet-wide plan registry this planner was built with (may
+     *  be null). */
+    const std::shared_ptr<PlanRegistry>& planRegistry() const
+    {
+        return registry_;
+    }
 
   private:
     struct GpuState;
@@ -186,12 +227,17 @@ class Planner {
     /** One estimator for the planner's lifetime (catalog_ must precede
      *  it: CostEstimator snapshots the catalog at construction). */
     CostEstimator estimator_;
+    std::shared_ptr<PlanRegistry> registry_;
     unsigned parallelism_ = 1;
 
     mutable std::mutex registry_mutex_;
     mutable std::map<std::string, std::unique_ptr<GpuState>> states_;
     mutable std::atomic<std::uint64_t> step_hits_{0};
     mutable std::atomic<std::uint64_t> step_misses_{0};
+    // resetStats() baselines: stats() reports counters minus these.
+    mutable std::atomic<std::uint64_t> hits_base_{0};
+    mutable std::atomic<std::uint64_t> misses_base_{0};
+    mutable std::atomic<std::uint64_t> steps_base_{0};
 };
 
 }  // namespace ftsim

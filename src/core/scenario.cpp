@@ -53,4 +53,25 @@ Scenario::describe() const
                   " epochs");
 }
 
+std::string
+Scenario::canonicalKey() const
+{
+    // strExact throughout: keys must distinguish doubles past the 6
+    // significant digits strCat would keep, or two tenants' distinct
+    // scenarios would alias one cached answer.
+    return strCat(model.fingerprint(), "|seq=", medianSeqLen,
+                  "|sigma=", strExact(lengthSigma),
+                  "|q=", strExact(numQueries),
+                  "|ep=", strExact(epochs), "|sparse=", sparse,
+                  "|cal=", strExact(calibration.hostOverheadUs), ',',
+                  strExact(calibration.matmulEfficiency), ',',
+                  strExact(calibration.vectorEfficiency), ',',
+                  strExact(calibration.dequantEfficiency), ',',
+                  strExact(calibration.memoryEfficiency), ',',
+                  strExact(calibration.blocksPerSm), ',',
+                  strExact(calibration.minOccupancy), ',',
+                  strExact(calibration.stepOverheadMs), ',',
+                  strExact(calibration.optimizerPasses));
+}
+
 }  // namespace ftsim

@@ -115,6 +115,16 @@ struct Scenario {
 
     /** Human-readable one-liner for logs and report headers. */
     std::string describe() const;
+
+    /**
+     * Canonical cache identity: every field that affects any planning
+     * answer — the full model fingerprint, the dataset shape, the
+     * hyper-parameters, and the simulator calibration — serialized.
+     * Serving layers key shared `Planner` instances on this, so two
+     * tenants planning the same run (however they spelled it) land on
+     * one planner and one step cache.
+     */
+    std::string canonicalKey() const;
 };
 
 }  // namespace ftsim

@@ -43,8 +43,10 @@ StepProfile::moeFractionOfStep() const
 }
 
 FineTuneSim::FineTuneSim(const ModelSpec& model, const GpuSpec& gpu,
-                         const SimCalibration& calib)
-    : model_(model), builder_(model), exec_(gpu, calib)
+                         const SimCalibration& calib,
+                         std::shared_ptr<PlanRegistry> registry)
+    : model_(model), builder_(model, std::move(registry)),
+      exec_(gpu, calib)
 {
 }
 

@@ -84,8 +84,14 @@ struct ThroughputPoint {
 /** Simulator facade: one model on one GPU. */
 class FineTuneSim {
   public:
+    /**
+     * @param registry optional fleet-wide compiled-plan cache, handed
+     *        through to the workload builder (see
+     *        gpusim/plan_registry.hpp). Null keeps plans builder-local.
+     */
     FineTuneSim(const ModelSpec& model, const GpuSpec& gpu,
-                const SimCalibration& calib = {});
+                const SimCalibration& calib = {},
+                std::shared_ptr<PlanRegistry> registry = nullptr);
 
     /**
      * Profiles one training step in full detail. Runs on the compiled

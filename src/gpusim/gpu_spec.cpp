@@ -78,4 +78,16 @@ GpuSpec::paperGpus()
     return {a40(), a100_40(), a100_80(), h100_80()};
 }
 
+const GpuSpec*
+GpuSpec::byName(const std::string& name)
+{
+    // Function-local static: initialized once, thread-safe, and the
+    // returned pointers stay valid for the program's lifetime.
+    static const std::vector<GpuSpec> presets = paperGpus();
+    for (const GpuSpec& gpu : presets)
+        if (gpu.name == name)
+            return &gpu;
+    return nullptr;
+}
+
 }  // namespace ftsim

@@ -58,6 +58,13 @@ struct GpuSpec {
 
     /** All four real presets, A40 first. */
     static std::vector<GpuSpec> paperGpus();
+
+    /**
+     * The paper preset named @p name, or nullptr when unknown — the
+     * one wire-name-to-spec lookup the serving layer and benches
+     * share. The pointee lives for the program's lifetime.
+     */
+    static const GpuSpec* byName(const std::string& name);
 };
 
 }  // namespace ftsim

@@ -1,0 +1,36 @@
+#include "gpusim/plan_registry.hpp"
+
+namespace ftsim {
+
+std::shared_ptr<const StepPlan>
+PlanRegistry::plan(const std::string& key,
+                   const std::function<StepPlan()>& compile)
+{
+    std::packaged_task<std::shared_ptr<const StepPlan>()> task;
+    std::shared_future<std::shared_ptr<const StepPlan>> future;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = plans_.find(key);
+        if (it != plans_.end()) {
+            hits_.fetch_add(1);
+            future = it->second;
+        } else {
+            task = std::packaged_task<
+                std::shared_ptr<const StepPlan>()>([&compile] {
+                return std::make_shared<const StepPlan>(compile());
+            });
+            future = task.get_future().share();
+            plans_.emplace(key, future);
+        }
+    }
+    // Compile *outside* the registry lock (same discipline as the
+    // planner's step cache): other keys proceed in parallel, racers on
+    // this key wait on the shared future.
+    if (task.valid()) {
+        task();
+        compiled_.fetch_add(1);
+    }
+    return future.get();
+}
+
+}  // namespace ftsim

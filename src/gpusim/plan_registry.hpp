@@ -1,0 +1,85 @@
+#ifndef FTSIM_GPUSIM_PLAN_REGISTRY_HPP
+#define FTSIM_GPUSIM_PLAN_REGISTRY_HPP
+
+/**
+ * @file
+ * Fleet-wide sharing of compiled step plans.
+ *
+ * A `StepPlan` is immutable after `finalize()` and depends only on the
+ * (model, config shape) pair — not on the GPU, the dataset, or the
+ * planner that asked for it. A single `WorkloadBuilder` already reuses
+ * its own plans across batch sizes, but a serving fleet creates one
+ * builder per (scenario, GPU) simulator, and without sharing every one
+ * of them recompiles the identical kernel graph.
+ *
+ * `PlanRegistry` is the cross-builder cache: builders constructed with
+ * a shared registry intern their kernel names into the registry's
+ * interner and look plans up by (model fingerprint, shape) before
+ * compiling. Entries have the same shared-future once-semantics as the
+ * planner's step cache — one compiler per key, concurrent requesters
+ * wait, compilation runs outside the registry lock — so a service
+ * spinning up N planners on one model compiles each shape exactly once
+ * fleet-wide (`plansCompiled()` / `planHits()` instrument the claim).
+ *
+ * Thread-safety: all members are safe to call concurrently. Returned
+ * plan pointers are shared and immutable; they outlive the registry if
+ * callers retain them.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/interner.hpp"
+#include "gpusim/step_plan.hpp"
+
+namespace ftsim {
+
+/** Cross-builder cache of compiled step plans (see file comment). */
+class PlanRegistry {
+  public:
+    PlanRegistry() = default;
+    PlanRegistry(const PlanRegistry&) = delete;
+    PlanRegistry& operator=(const PlanRegistry&) = delete;
+
+    /**
+     * The shared kernel-name interner. Every builder attached to this
+     * registry must intern through it so plan name ids resolve
+     * identically across the fleet.
+     */
+    StringInterner& names() { return names_; }
+    const StringInterner& names() const { return names_; }
+
+    /**
+     * The plan for @p key, compiling it via @p compile on first sight.
+     * Exactly one caller runs @p compile per key (outside the registry
+     * lock); concurrent requesters for the same key block on its shared
+     * future. @p compile must intern names through names().
+     */
+    std::shared_ptr<const StepPlan> plan(
+        const std::string& key,
+        const std::function<StepPlan()>& compile);
+
+    /** Distinct keys compiled so far. */
+    std::uint64_t plansCompiled() const { return compiled_.load(); }
+
+    /** Lookups answered by an existing (or in-flight) entry. */
+    std::uint64_t planHits() const { return hits_.load(); }
+
+  private:
+    StringInterner names_;
+    std::mutex mutex_;
+    std::map<std::string,
+             std::shared_future<std::shared_ptr<const StepPlan>>>
+        plans_;
+    std::atomic<std::uint64_t> compiled_{0};
+    std::atomic<std::uint64_t> hits_{0};
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_GPUSIM_PLAN_REGISTRY_HPP

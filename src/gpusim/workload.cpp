@@ -9,8 +9,9 @@ namespace ftsim {
 // kActBytes / ceilDivD / paddedRows live in step_plan.hpp, shared with
 // the compiled-plan evaluator so the two paths cannot drift apart.
 
-WorkloadBuilder::WorkloadBuilder(const ModelSpec& spec)
-    : spec_(spec)
+WorkloadBuilder::WorkloadBuilder(const ModelSpec& spec,
+                                 std::shared_ptr<PlanRegistry> registry)
+    : spec_(spec), registry_(std::move(registry))
 {
     if (spec_.nLayers == 0 || spec_.dModel == 0)
         fatal("WorkloadBuilder: incomplete model spec");
@@ -544,9 +545,23 @@ WorkloadBuilder::stepPlan(const RunConfig& config) const
         (config.sparse ? 1u : 0u) | (ckpt ? 2u : 0u);
     PlanSlot& entry = plans_[slot];
     std::call_once(entry.once, [&] {
-        entry.plan =
-            std::make_unique<StepPlan>(compilePlan(config.sparse, ckpt));
-        plans_compiled_.fetch_add(1);
+        if (registry_) {
+            // Fleet-wide lookup: whichever builder on this model gets
+            // here first compiles; everyone else shares its plan (name
+            // ids resolve because all of them intern into the
+            // registry's interner).
+            entry.plan = registry_->plan(
+                strCat(spec_.fingerprint(), "|sparse=", config.sparse,
+                       "|ckpt=", ckpt),
+                [&] {
+                    plans_compiled_.fetch_add(1);
+                    return compilePlan(config.sparse, ckpt);
+                });
+        } else {
+            entry.plan = std::make_shared<const StepPlan>(
+                compilePlan(config.sparse, ckpt));
+            plans_compiled_.fetch_add(1);
+        }
     });
     return *entry.plan;
 }
@@ -565,7 +580,7 @@ WorkloadBuilder::compilePlan(bool sparse, bool checkpointing) const
     compileLayerBackward(plan);
     compileHead(plan, Stage::Backward);
     compileOptimizer(plan);
-    plan.finalize(names_);
+    plan.finalize(interner());
     return plan;
 }
 
@@ -582,7 +597,7 @@ WorkloadBuilder::compileLayerForward(StepPlan& plan, Stage stage,
 
     auto emit = [&](const char* name, KernelKind kind, LayerClass layer,
                     double count, const KernelFormula& f) {
-        plan.push(names_.intern(planKernelName(name, recompute)), kind,
+        plan.push(interner().intern(planKernelName(name, recompute)), kind,
                   layer, stage, count, f);
     };
 
@@ -724,7 +739,7 @@ WorkloadBuilder::compileLayerBackward(StepPlan& plan) const
 
     auto emit = [&](const char* name, KernelKind kind, LayerClass layer,
                     double count, const KernelFormula& f) {
-        plan.push(names_.intern(name), kind, layer, stage, count, f);
+        plan.push(interner().intern(name), kind, layer, stage, count, f);
     };
 
     if (spec_.backbone == BackboneKind::Attention) {
@@ -839,7 +854,7 @@ WorkloadBuilder::compileHead(StepPlan& plan, Stage stage) const
 
     auto emit = [&](const char* name, KernelKind kind, double count,
                     const KernelFormula& f) {
-        plan.push(names_.intern(name), kind, LayerClass::Head, stage,
+        plan.push(interner().intern(name), kind, LayerClass::Head, stage,
                   count, f);
     };
 
@@ -883,7 +898,7 @@ WorkloadBuilder::compileOptimizer(StepPlan& plan) const
     const double tiles = ceilDivD(p, 4096.0);
     flops /= kPasses;
     bytes /= kPasses;
-    plan.push(names_.intern("adamw"), KernelKind::Optimizer,
+    plan.push(interner().intern("adamw"), KernelKind::Optimizer,
               LayerClass::OptimizerState, Stage::Optimizer, kPasses,
               KernelFormula::fixed(flops, bytes, tiles));
 }

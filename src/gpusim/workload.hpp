@@ -26,6 +26,7 @@
 
 #include "common/interner.hpp"
 #include "gpusim/kernel.hpp"
+#include "gpusim/plan_registry.hpp"
 #include "gpusim/step_plan.hpp"
 #include "models/spec.hpp"
 
@@ -63,7 +64,16 @@ struct RunConfig {
  */
 class WorkloadBuilder {
   public:
-    explicit WorkloadBuilder(const ModelSpec& spec);
+    /**
+     * @param registry optional fleet-wide plan cache: when set, kernel
+     *        names intern into the registry's interner and `stepPlan`
+     *        looks shapes up there before compiling, so builders for
+     *        the same model (different GPUs, different planners) share
+     *        one compiled plan per shape.
+     */
+    explicit WorkloadBuilder(const ModelSpec& spec,
+                             std::shared_ptr<PlanRegistry> registry =
+                                 nullptr);
 
     // Plan slots hold std::once_flag: no copies.
     WorkloadBuilder(const WorkloadBuilder&) = delete;
@@ -82,11 +92,19 @@ class WorkloadBuilder {
      */
     const StepPlan& stepPlan(const RunConfig& config) const;
 
-    /** The interner backing the plans' kernel-name ids. */
-    const StringInterner& kernelNames() const { return names_; }
+    /** The interner backing the plans' kernel-name ids (the attached
+     *  registry's interner when one is set, else builder-local). */
+    const StringInterner& kernelNames() const { return interner(); }
 
-    /** Plans compiled so far (at most 4; tests pin the reuse). */
+    /** Plans *this builder* compiled (at most 4; tests pin the reuse).
+     *  Shapes answered by the attached registry do not count. */
     std::uint32_t plansCompiled() const { return plans_compiled_.load(); }
+
+    /** The attached fleet-wide plan registry (may be null). */
+    const std::shared_ptr<PlanRegistry>& planRegistry() const
+    {
+        return registry_;
+    }
 
     /** The spec being lowered. */
     const ModelSpec& spec() const { return spec_; }
@@ -148,12 +166,20 @@ class WorkloadBuilder {
     /** Mirrors addOptimizer. */
     void compileOptimizer(StepPlan& plan) const;
 
-    ModelSpec spec_;
+    /** The interner in use: the registry's when attached, else ours. */
+    StringInterner& interner() const
+    {
+        return registry_ ? registry_->names() : names_;
+    }
 
-    /** One lazily-compiled plan per (sparse, checkpointing) shape. */
+    ModelSpec spec_;
+    std::shared_ptr<PlanRegistry> registry_;
+
+    /** One lazily-resolved plan per (sparse, checkpointing) shape; the
+     *  pointee is owned here or shared out of the registry. */
     struct PlanSlot {
         std::once_flag once;
-        std::unique_ptr<StepPlan> plan;
+        std::shared_ptr<const StepPlan> plan;
     };
     mutable std::array<PlanSlot, 4> plans_;
     mutable StringInterner names_;

@@ -112,6 +112,18 @@ ModelSpec::sparsity(bool sparse) const
            static_cast<double>(nExperts);
 }
 
+std::string
+ModelSpec::fingerprint() const
+{
+    return strCat(name, '|', static_cast<int>(backbone), '|',
+                  static_cast<int>(expertKind), '|', nLayers, '|',
+                  dModel, '|', nHeads, '|', nKvHeads, '|', dFf, '|',
+                  nExperts, '|', topKSparse, '|', vocab, '|', dInner,
+                  '|', dState, '|', convK, '|',
+                  static_cast<int>(strategy), '|', loraRank, '|',
+                  strExact(bytesPerParam));
+}
+
 ModelSpec
 ModelSpec::mixtral8x7b()
 {

@@ -95,6 +95,15 @@ struct ModelSpec {
     /** Fraction of experts active (the paper's "sparsity" knob). */
     double sparsity(bool sparse) const;
 
+    /**
+     * Canonical cache identity: every field that affects the lowered
+     * kernel workload, serialized. Two specs with equal fingerprints
+     * compile to bit-identical step plans, so plan registries and
+     * serving layers key on this (a tweaked copy never aliases a
+     * preset, same contract as the planner's GPU fingerprint).
+     */
+    std::string fingerprint() const;
+
     // ----- The two models of the paper (Table I) -----
 
     /** Mixtral-8x7B: 32 layers, 8 experts, SwiGLU, QLoRA 4-bit. */

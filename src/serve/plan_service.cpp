@@ -1,0 +1,237 @@
+#include "serve/plan_service.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "gpusim/gpu_spec.hpp"
+
+namespace ftsim {
+
+namespace {
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace
+
+PlanService::PlanService(ServiceConfig config)
+    : config_(std::move(config)),
+      registry_(std::make_shared<PlanRegistry>()),
+      catalog_fingerprint_(config_.catalog.fingerprint()),
+      latency_(0.0, config_.latencyMaxMs > 0.0 ? config_.latencyMaxMs
+                                               : 10000.0,
+               4096),
+      pool_(config_.workers > 0 ? config_.workers : hardwareThreads())
+{
+}
+
+PlanService::~PlanService() = default;
+
+std::shared_future<PlanResponse>
+PlanService::submit(const PlanRequest& request)
+{
+    requests_.fetch_add(1);
+    const std::string key = request.canonicalKey();
+    const double enqueued_ms = nowMs();
+
+    std::shared_ptr<std::packaged_task<PlanResponse()>> task;
+    std::shared_future<PlanResponse> future;
+    {
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        auto it = inflight_.find(key);
+        if (it != inflight_.end()) {
+            // In flight or already answered: share the one execution.
+            coalesced_.fetch_add(1);
+            return it->second;
+        }
+        task = std::make_shared<std::packaged_task<PlanResponse()>>(
+            [this, request, enqueued_ms] {
+                PlanResponse response = execute(request);
+                recordLatencyMs(nowMs() - enqueued_ms);
+                executed_.fetch_add(1);
+                return response;
+            });
+        future = task->get_future().share();
+        inflight_.emplace(key, future);
+    }
+    pool_.submit([task] { (*task)(); });
+    return future;
+}
+
+PlanResponse
+PlanService::ask(const PlanRequest& request)
+{
+    PlanResponse response = submit(request).get();
+    response.id = request.id;
+    return response;
+}
+
+std::shared_ptr<Planner>
+PlanService::plannerFor(const PlanRequest& request)
+{
+    // Fold the base catalog's identity in alongside the request's
+    // (scenario, rates): cached planners must not survive into a
+    // different price list should two services ever share a map.
+    const std::string key =
+        strCat(request.plannerKey(), '|', catalog_fingerprint_);
+    std::lock_guard<std::mutex> lock(planners_mutex_);
+    auto it = planners_.find(key);
+    if (it != planners_.end()) {
+        planner_reuses_.fetch_add(1);
+        return it->second;
+    }
+    CloudCatalog catalog = config_.catalog;
+    for (const CloudOffering& rate : request.rates)
+        catalog.withRate(rate.gpuName, rate.dollarsPerHour);
+    auto planner = std::make_shared<Planner>(request.scenario,
+                                             std::move(catalog),
+                                             registry_);
+    planner->setParallelism(config_.plannerParallelism);
+    planners_created_.fetch_add(1);
+    planners_.emplace(key, planner);
+    return planner;
+}
+
+Result<GpuSpec>
+PlanService::resolveGpu(const std::string& name) const
+{
+    if (const GpuSpec* gpu = GpuSpec::byName(name))
+        return *gpu;
+    return Error{ErrorCode::UnknownGpu,
+                 strCat("unknown GPU '", name,
+                        "' (known: A40, A100-40GB, A100-80GB, H100)")};
+}
+
+PlanResponse
+PlanService::execute(const PlanRequest& request)
+{
+    PlanResponse response = answer(request);
+    // Coalesced futures are shared: the id slot belongs to whichever
+    // caller copies the response out, never to the executed request —
+    // on *every* path, or an error answer would leak the first
+    // submitter's id to every coalesced tenant.
+    response.id.clear();
+    return response;
+}
+
+PlanResponse
+PlanService::answer(const PlanRequest& request)
+{
+    PlanResponse response;
+    response.query = request.query;
+
+    // Rates arriving via parsePlanRequest are already validated; a
+    // programmatically built request must not be able to fatal() the
+    // service through CloudCatalog::add.
+    for (const CloudOffering& rate : request.rates)
+        if (rate.gpuName.empty() || rate.dollarsPerHour <= 0.0)
+            return errorResponse(
+                request, Error{ErrorCode::InvalidArgument,
+                               "rates must name a GPU and be > 0"});
+
+    const std::shared_ptr<Planner> planner = plannerFor(request);
+
+    switch (request.query) {
+    case QueryKind::MaxBatch: {
+        Result<GpuSpec> gpu = resolveGpu(request.gpu);
+        if (!gpu)
+            return errorResponse(request, gpu.error());
+        Result<int> mbs = planner->maxBatch(gpu.value());
+        if (!mbs)
+            return errorResponse(request, mbs.error());
+        response.ok = true;
+        response.value = static_cast<double>(mbs.value());
+        break;
+    }
+    case QueryKind::Throughput: {
+        Result<GpuSpec> gpu = resolveGpu(request.gpu);
+        if (!gpu)
+            return errorResponse(request, gpu.error());
+        Result<double> qps = planner->throughput(gpu.value());
+        if (!qps)
+            return errorResponse(request, qps.error());
+        response.ok = true;
+        response.value = qps.value();
+        break;
+    }
+    case QueryKind::CostTable:
+    case QueryKind::CheapestPlan: {
+        std::vector<GpuSpec> gpus;
+        if (request.gpus.empty()) {
+            gpus = GpuSpec::paperGpus();
+        } else {
+            for (const std::string& name : request.gpus) {
+                Result<GpuSpec> gpu = resolveGpu(name);
+                if (!gpu)
+                    return errorResponse(request, gpu.error());
+                gpus.push_back(gpu.value());
+            }
+        }
+        if (request.query == QueryKind::CostTable) {
+            Result<std::vector<CostRow>> rows =
+                planner->costTable(gpus);
+            if (!rows)
+                return errorResponse(request, rows.error());
+            response.rows = rows.value();
+        } else {
+            Result<CostRow> best = planner->cheapestPlan(gpus);
+            if (!best)
+                return errorResponse(request, best.error());
+            response.rows.push_back(best.value());
+        }
+        response.ok = true;
+        break;
+    }
+    case QueryKind::Report: {
+        Result<GpuSpec> gpu = resolveGpu(request.gpu);
+        if (!gpu)
+            return errorResponse(request, gpu.error());
+        Result<std::string> report = planner->report(gpu.value());
+        if (!report)
+            return errorResponse(request, report.error());
+        response.ok = true;
+        response.report = report.value();
+        break;
+    }
+    }
+    return response;
+}
+
+void
+PlanService::recordLatencyMs(double ms)
+{
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    latency_.add(ms);
+}
+
+ServiceStats
+PlanService::stats() const
+{
+    ServiceStats out;
+    out.requests = requests_.load();
+    out.coalesced = coalesced_.load();
+    out.executed = executed_.load();
+    out.plannersCreated = planners_created_.load();
+    out.plannerReuses = planner_reuses_.load();
+    out.plansCompiled = registry_->plansCompiled();
+    out.planRegistryHits = registry_->planHits();
+    {
+        std::lock_guard<std::mutex> lock(planners_mutex_);
+        for (const auto& [key, planner] : planners_)
+            out.stepsSimulated += planner->stats().stepsSimulated;
+    }
+    {
+        std::lock_guard<std::mutex> lock(latency_mutex_);
+        out.p50LatencyMs = latency_.quantile(0.5);
+        out.p99LatencyMs = latency_.quantile(0.99);
+    }
+    return out;
+}
+
+}  // namespace ftsim

@@ -1,0 +1,179 @@
+#ifndef FTSIM_SERVE_PLAN_SERVICE_HPP
+#define FTSIM_SERVE_PLAN_SERVICE_HPP
+
+/**
+ * @file
+ * The multi-tenant, in-process plan-serving service.
+ *
+ * `PlanService` brokers concurrent `PlanRequest`s across a fleet of
+ * `Planner`s behind an admission queue and worker pool. Three layers of
+ * deduplication make a duplicate-heavy multi-tenant load cheap:
+ *
+ *  1. **Request coalescing.** Identical requests (same canonicalKey —
+ *     everything but the client id) share one execution with
+ *     shared-future once-semantics: the first submit runs, every
+ *     racer and every later duplicate waits on (or instantly reads)
+ *     the same future. This is the planner step cache's trick lifted
+ *     one level, from step profiles to whole answers.
+ *  2. **Planner sharing.** Requests whose (scenario, rates) agree —
+ *     whatever question they ask — are routed to one `Planner` keyed
+ *     by `Scenario::canonicalKey()`, so tenants planning the same run
+ *     share its memoized step cache.
+ *  3. **Plan-registry sharing.** All planners are constructed over one
+ *     `PlanRegistry`, so a fleet of scenarios on the same model
+ *     compiles each `StepPlan` shape exactly once service-wide.
+ *
+ * The result: a thundering herd of N tenants probing one scenario x GPU
+ * grid performs exactly distinct-config-many step simulations
+ * (`ServiceStats::stepsSimulated`), however large N is — the
+ * thundering-herd test in tests/serve/test_plan_service.cpp pins it.
+ *
+ * Coalescing and the response id: the shared response cannot carry
+ * every duplicate's client id, so `submit()` futures resolve with an
+ * *empty* id and callers stamp their own onto their copy (`ask()` does
+ * this for you).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/histogram.hpp"
+#include "common/parallel.hpp"
+#include "core/planner.hpp"
+#include "gpusim/plan_registry.hpp"
+#include "serve/protocol.hpp"
+
+namespace ftsim {
+
+/** Construction knobs for a PlanService. */
+struct ServiceConfig {
+    /** Worker threads draining the admission queue; 0 = hardware. */
+    unsigned workers = 0;
+    /** Threads each planner may use for its own fan-outs. Keep at 1
+     *  when workers saturate the machine already (the default). */
+    unsigned plannerParallelism = 1;
+    /** Base price list; request `rates` extend a copy per planner. */
+    CloudCatalog catalog = CloudCatalog::cudoCompute();
+    /** Upper edge of the latency histogram (10s of headroom). */
+    double latencyMaxMs = 10000.0;
+};
+
+/** One stats() snapshot; deltas between snapshots are meaningful. */
+struct ServiceStats {
+    /** Requests submitted. */
+    std::uint64_t requests = 0;
+    /** Requests answered by an existing (in-flight or completed)
+     *  identical execution. */
+    std::uint64_t coalesced = 0;
+    /** Requests that actually executed (requests - coalesced, once
+     *  the queue drains). */
+    std::uint64_t executed = 0;
+    /** Distinct planners constructed. */
+    std::uint64_t plannersCreated = 0;
+    /** Requests routed to an already-existing planner. */
+    std::uint64_t plannerReuses = 0;
+    /** Step-plan shapes compiled fleet-wide (registry). */
+    std::uint64_t plansCompiled = 0;
+    /** Builder plan lookups answered by the shared registry. */
+    std::uint64_t planRegistryHits = 0;
+    /** Step simulations across every planner in the service. */
+    std::uint64_t stepsSimulated = 0;
+    /** Median / 99th-percentile submit-to-answer latency of executed
+     *  requests, ms (histogram estimate; see common/histogram). */
+    double p50LatencyMs = 0.0;
+    double p99LatencyMs = 0.0;
+};
+
+/** Concurrent plan-serving facade (see file comment). */
+class PlanService {
+  public:
+    explicit PlanService(ServiceConfig config = {});
+
+    /** Drains the admission queue, then joins the workers. */
+    ~PlanService();
+
+    PlanService(const PlanService&) = delete;
+    PlanService& operator=(const PlanService&) = delete;
+
+    /**
+     * Admits @p request and returns the future of its answer. Safe to
+     * call from any thread. Identical in-flight or completed requests
+     * coalesce onto one future; its response carries an empty id —
+     * stamp your own onto your copy (or use ask()).
+     */
+    std::shared_future<PlanResponse> submit(const PlanRequest& request);
+
+    /** submit() + wait, with the response id restored to @p request's. */
+    PlanResponse ask(const PlanRequest& request);
+
+    /** Snapshot of the service counters (see ServiceStats). */
+    ServiceStats stats() const;
+
+    /** The fleet-wide compiled-plan registry. */
+    const std::shared_ptr<PlanRegistry>& planRegistry() const
+    {
+        return registry_;
+    }
+
+    /** The base catalog (request rates extend copies, not this). */
+    const CloudCatalog& catalog() const { return config_.catalog; }
+
+    /** Worker threads serving the admission queue. */
+    unsigned workers() const { return pool_.threadCount(); }
+
+  private:
+    /** The shared planner for @p request's (scenario, rates). */
+    std::shared_ptr<Planner> plannerFor(const PlanRequest& request);
+
+    /** Runs one request to completion; never throws (errors become
+     *  ok=false responses). The returned id is empty on every path —
+     *  the answer is shared across coalesced submitters. */
+    PlanResponse execute(const PlanRequest& request);
+
+    /** execute()'s body; may leave a request id on error responses
+     *  (execute strips it). */
+    PlanResponse answer(const PlanRequest& request);
+
+    /** Resolves a wire GPU name against the known specs. */
+    Result<GpuSpec> resolveGpu(const std::string& name) const;
+
+    void recordLatencyMs(double ms);
+
+    ServiceConfig config_;
+    std::shared_ptr<PlanRegistry> registry_;
+    /** Cached catalog().fingerprint(), folded into planner keys. */
+    std::string catalog_fingerprint_;
+
+    mutable std::mutex inflight_mutex_;
+    /** canonicalKey -> the one execution every duplicate shares.
+     *  Entries are retained after completion (answer cache): a planner
+     *  answer is deterministic for a fixed scenario, so staleness
+     *  cannot occur within one service lifetime. */
+    std::map<std::string, std::shared_future<PlanResponse>> inflight_;
+
+    mutable std::mutex planners_mutex_;
+    /** plannerKey -> shared planner. */
+    std::map<std::string, std::shared_ptr<Planner>> planners_;
+
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> coalesced_{0};
+    std::atomic<std::uint64_t> executed_{0};
+    std::atomic<std::uint64_t> planners_created_{0};
+    std::atomic<std::uint64_t> planner_reuses_{0};
+
+    mutable std::mutex latency_mutex_;
+    Histogram latency_;
+
+    /** Last member: destroyed (drained + joined) first, while the
+     *  maps and registry its tasks touch are still alive. */
+    WorkerPool pool_;
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_SERVE_PLAN_SERVICE_HPP

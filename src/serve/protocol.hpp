@@ -1,0 +1,138 @@
+#ifndef FTSIM_SERVE_PROTOCOL_HPP
+#define FTSIM_SERVE_PROTOCOL_HPP
+
+/**
+ * @file
+ * The plan-serving wire protocol: line-oriented JSON requests and
+ * responses.
+ *
+ * One request per line, one response per line — the format `ftsim_serve`
+ * reads from a file or stdin and the load bench replays. A request names
+ * a query kind, the GPU(s) it targets, an optional scenario override,
+ * and optional extra rental rates:
+ *
+ *   {"id":"t1-q1","query":"max_batch","gpu":"A40"}
+ *   {"id":"t1-q2","query":"throughput","gpu":"H100",
+ *    "scenario":{"preset":"commonsense15k","epochs":3}}
+ *   {"id":"t2-q1","query":"cost_table","gpus":["A40","A100-40GB"],
+ *    "rates":{"A100-40GB":1.20}}
+ *   {"id":"t2-q2","query":"cheapest_plan"}
+ *   {"id":"t3-q1","query":"report","gpu":"A40",
+ *    "scenario":{"model":"blackmamba2p8b","num_queries":2e6}}
+ *
+ * The parser/writer are hand-rolled (in the spirit of `common/table`:
+ * small, dependency-free, diff-friendly) and strict: unknown keys,
+ * wrong types, missing required fields, and out-of-domain values all
+ * come back as `InvalidArgument` — a service must reject, not guess.
+ *
+ * Scenario objects accept `preset` (gs_math | commonsense15k |
+ * open_orca), `model` (mixtral8x7b | blackmamba2p8b), and the scalar
+ * overrides `median_seq_len`, `length_sigma`, `num_queries`, `epochs`,
+ * `sparse`; overrides apply on top of the preset. `rates` maps GPU
+ * names to positive $/hr added to the service catalog via
+ * `CloudCatalog::withRate`, so requests can price GPUs the built-in
+ * CUDO *price list* does not know. The GPU must still have a known
+ * spec to simulate — today that means the paper presets, of which
+ * A100-40GB is the one that ships unpriced; a rate for a spec-less
+ * name parses fine but any query targeting it answers `UnknownGpu`.
+ */
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/cost_model.hpp"
+#include "core/pipeline_types.hpp"
+#include "core/scenario.hpp"
+
+namespace ftsim {
+
+/** The query surface of the plan service. */
+enum class QueryKind {
+    MaxBatch,      ///< Eq. 1 answer on one GPU -> integer value.
+    Throughput,    ///< Queries/second at max batch on one GPU.
+    CostTable,     ///< Table IV rows over a GPU list.
+    CheapestPlan,  ///< The cheapest CostTable row.
+    Report,        ///< Full markdown characterization of one GPU.
+};
+
+/** Wire name of a query kind ("max_batch", ...). */
+const char* queryKindName(QueryKind kind);
+
+/** Parses a wire name; `InvalidArgument` on an unknown kind. */
+Result<QueryKind> parseQueryKind(const std::string& name);
+
+/** One parsed plan query. */
+struct PlanRequest {
+    /** Client-chosen correlation id, echoed on the response. */
+    std::string id;
+    QueryKind query = QueryKind::MaxBatch;
+    /** Target GPU name for the per-GPU kinds. */
+    std::string gpu;
+    /** GPU list for cost_table / cheapest_plan; empty = paper set. */
+    std::vector<std::string> gpus;
+    /** The run being planned (protocol default: the GS/MATH preset). */
+    Scenario scenario = Scenario::gsMath();
+    /** Extra rental rates applied on top of the service catalog. */
+    std::vector<CloudOffering> rates;
+
+    /**
+     * Request identity *excluding* the id: two tenants asking the same
+     * question coalesce onto one execution keyed by this string.
+     */
+    std::string canonicalKey() const;
+
+    /**
+     * The (scenario, rates) part of the identity: requests with equal
+     * planner keys share one `Planner` (and its step cache) even when
+     * they ask different questions.
+     */
+    std::string plannerKey() const;
+};
+
+/** One answer, mirroring the request's kind. */
+struct PlanResponse {
+    std::string id;
+    QueryKind query = QueryKind::MaxBatch;
+    bool ok = false;
+    /** errorCodeName() of the failure when !ok. */
+    std::string errorCode;
+    std::string errorMessage;
+    /** max_batch / throughput scalar answer. */
+    double value = 0.0;
+    /** cost_table rows (cheapest_plan: exactly one). */
+    std::vector<CostRow> rows;
+    /** report markdown. */
+    std::string report;
+};
+
+/**
+ * Parses one request line. `InvalidArgument` on malformed JSON, unknown
+ * keys/kinds, wrong types, or out-of-domain values (batch of the
+ * strictness tests in tests/serve/test_protocol.cpp).
+ */
+Result<PlanRequest> parsePlanRequest(const std::string& line);
+
+/** Serializes a request to its canonical single-line JSON form. */
+std::string writePlanRequest(const PlanRequest& request);
+
+/** Serializes a response to one JSON line. */
+std::string writePlanResponse(const PlanResponse& response);
+
+/**
+ * The response line for input that failed to parse. Unlike
+ * writePlanResponse it carries no "query" field — the request kind was
+ * never established, so echoing a default would mislead clients that
+ * correlate on it. @p id may be empty (an unparsed line usually
+ * yielded none).
+ */
+std::string writeProtocolError(const std::string& id,
+                               const std::string& message);
+
+/** Builds the failure response for @p request carrying @p error. */
+PlanResponse errorResponse(const PlanRequest& request,
+                           const Error& error);
+
+}  // namespace ftsim
+
+#endif  // FTSIM_SERVE_PROTOCOL_HPP

@@ -88,5 +88,35 @@ TEST(Histogram, AddAll)
     EXPECT_EQ(h.binCount(1), 1u);
 }
 
+TEST(Histogram, QuantileInterpolatesWithinBins)
+{
+    // Uniform 1..100 into unit bins: the q-quantile sits at ~100q,
+    // within one bin width of the exact order statistic.
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 1; i <= 100; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.0), 1.0, 1.0);
+    EXPECT_NEAR(h.quantile(1.0), 100.0, 1.0);
+    // Monotone in q.
+    EXPECT_LE(h.quantile(0.25), h.quantile(0.75));
+}
+
+TEST(Histogram, QuantileEdgeCases)
+{
+    Histogram empty(0.0, 10.0, 4);
+    EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+    // A single sample lands every quantile inside its bin.
+    Histogram one(0.0, 10.0, 4);
+    one.add(6.0);
+    EXPECT_GE(one.quantile(0.5), 5.0);
+    EXPECT_LE(one.quantile(0.5), 7.5);
+
+    EXPECT_THROW(one.quantile(-0.1), FatalError);
+    EXPECT_THROW(one.quantile(1.1), FatalError);
+}
+
 }  // namespace
 }  // namespace ftsim

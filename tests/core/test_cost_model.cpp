@@ -91,5 +91,44 @@ TEST(CostEstimatorTest, InvalidInputsAreFatal)
     EXPECT_THROW(est.cheapest({}, 1.0, 1.0), FatalError);
 }
 
+TEST(CloudCatalogTest, WithRatePricesMissingGpus)
+{
+    // The serve extension point: price a GPU the CUDO list lacks
+    // instead of failing the whole request with UnknownGpu.
+    CloudCatalog catalog = CloudCatalog::cudoCompute()
+                               .withRate("L40S", 1.05)
+                               .withRate("A100-40GB", 1.20);
+    ASSERT_TRUE(catalog.has("L40S"));
+    Result<double> rate = catalog.rate("L40S");
+    ASSERT_TRUE(rate.ok());
+    EXPECT_DOUBLE_EQ(rate.value(), 1.05);
+    // Built-in offerings are untouched.
+    EXPECT_DOUBLE_EQ(catalog.rate("A40").value(), 0.79);
+    // A second offering for a priced GPU: rate() keeps the cheapest.
+    catalog.withRate("A40", 0.50);
+    EXPECT_DOUBLE_EQ(catalog.rate("A40").value(), 0.50);
+    // Estimators see the extension like any other offering.
+    Result<CostEstimate> est = CostEstimator(catalog).tryEstimate(
+        "L40S", 2.0, 14000.0, 10.0);
+    ASSERT_TRUE(est.ok());
+    EXPECT_DOUBLE_EQ(est.value().dollarsPerHour, 1.05);
+}
+
+TEST(CloudCatalogTest, WithRateRejectsBadInput)
+{
+    CloudCatalog catalog;
+    EXPECT_THROW(catalog.withRate("L40S", 0.0), FatalError);
+    EXPECT_THROW(catalog.withRate("", 1.0), FatalError);
+}
+
+TEST(CloudCatalogTest, FingerprintTracksOfferings)
+{
+    CloudCatalog a = CloudCatalog::cudoCompute();
+    CloudCatalog b = CloudCatalog::cudoCompute();
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    b.withRate("L40S", 1.05);
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
 }  // namespace
 }  // namespace ftsim

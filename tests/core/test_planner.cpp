@@ -318,6 +318,56 @@ TEST(Planner, FitThroughputIsCached)
     EXPECT_DOUBLE_EQ(first.value().model.c4(), second.value().model.c4());
 }
 
+TEST(Planner, ResetStatsStartsAFreshWindow)
+{
+    // Serving stats are per-window deltas: after resetStats() the
+    // counters read zero, cached answers stay cached (hits count in
+    // the new window, no re-simulation), and new configs count from
+    // the reset point.
+    Planner planner(Scenario::gsMath());
+    ASSERT_TRUE(planner.profile(GpuSpec::a40()).ok());
+    ASSERT_TRUE(planner.profileAt(GpuSpec::a40(), 2).ok());
+    PlannerStats warmup = planner.stats();
+    EXPECT_EQ(warmup.stepCacheMisses, 2u);
+    EXPECT_EQ(warmup.stepsSimulated, 2u);
+
+    planner.resetStats();
+    PlannerStats zero = planner.stats();
+    EXPECT_EQ(zero.stepCacheHits, 0u);
+    EXPECT_EQ(zero.stepCacheMisses, 0u);
+    EXPECT_EQ(zero.stepsSimulated, 0u);
+
+    ASSERT_TRUE(planner.profile(GpuSpec::a40()).ok());   // Cached.
+    ASSERT_TRUE(planner.profileAt(GpuSpec::a40(), 3).ok());  // New.
+    PlannerStats window = planner.stats();
+    EXPECT_EQ(window.stepCacheHits, 1u);
+    EXPECT_EQ(window.stepCacheMisses, 1u);
+    EXPECT_EQ(window.stepsSimulated, 1u);
+}
+
+TEST(Planner, SharedRegistryKeepsAnswersBitExact)
+{
+    auto registry = std::make_shared<PlanRegistry>();
+    Planner shared_a(Scenario::gsMath(), CloudCatalog::cudoCompute(),
+                     registry);
+    Planner shared_b(Scenario::commonsense15k(),
+                     CloudCatalog::cudoCompute(), registry);
+    Planner lone(Scenario::gsMath());
+
+    Result<StepProfile> a = shared_a.profileAt(GpuSpec::a40(), 4);
+    Result<StepProfile> reference = lone.profileAt(GpuSpec::a40(), 4);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(reference.ok());
+    EXPECT_EQ(a.value().stepSeconds, reference.value().stepSeconds);
+    EXPECT_EQ(a.value().throughputQps,
+              reference.value().throughputQps);
+
+    // The second planner's builder reuses the registry's plan.
+    ASSERT_TRUE(shared_b.profileAt(GpuSpec::a40(), 4).ok());
+    EXPECT_EQ(registry->plansCompiled(), 1u);
+    EXPECT_GE(registry->planHits(), 1u);
+}
+
 TEST(Planner, TweakedGpuSpecDoesNotAliasThePreset)
 {
     // Cache identity covers the full spec, not just the name: an "A40"

@@ -98,5 +98,31 @@ TEST(Scenario, DescribeNamesModelAndWorkload)
     EXPECT_NE(text.find("sparse"), std::string::npos);
 }
 
+TEST(Scenario, CanonicalKeyCoversEveryFieldLosslessly)
+{
+    const Scenario base = Scenario::gsMath();
+    EXPECT_EQ(base.canonicalKey(), Scenario::gsMath().canonicalKey());
+
+    // Doubles must distinguish past 6 significant digits: two tenants
+    // with nearly identical datasets are still different tenants.
+    EXPECT_NE(Scenario::gsMath().withNumQueries(1234567.0).canonicalKey(),
+              Scenario::gsMath().withNumQueries(1234568.0).canonicalKey());
+    EXPECT_NE(Scenario::gsMath().withLengthSigma(0.4000001).canonicalKey(),
+              base.canonicalKey());
+
+    // Every field class participates.
+    EXPECT_NE(Scenario::gsMath().withSparse(false).canonicalKey(),
+              base.canonicalKey());
+    EXPECT_NE(Scenario::gsMath().withMedianSeqLen(149).canonicalKey(),
+              base.canonicalKey());
+    EXPECT_NE(Scenario::gsMath()
+                  .withModel(ModelSpec::blackMamba2p8b())
+                  .canonicalKey(),
+              base.canonicalKey());
+    Scenario calibrated = Scenario::gsMath();
+    calibrated.calibration.matmulEfficiency = 0.2000001;
+    EXPECT_NE(calibrated.canonicalKey(), base.canonicalKey());
+}
+
 }  // namespace
 }  // namespace ftsim

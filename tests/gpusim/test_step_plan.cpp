@@ -216,5 +216,57 @@ TEST(StepPlan, MoeSlotsCoverExactlyMoeKernels)
         EXPECT_LT(plan.moeAggNames[i - 1], plan.moeAggNames[i]);
 }
 
+TEST(PlanRegistry, SharesOnePlanAcrossBuilders)
+{
+    auto registry = std::make_shared<PlanRegistry>();
+    WorkloadBuilder first(ModelSpec::mixtral8x7b(), registry);
+    WorkloadBuilder second(ModelSpec::mixtral8x7b(), registry);
+
+    const RunConfig c = config(4, 128, true, 1);
+    const StepPlan& a = first.stepPlan(c);
+    const StepPlan& b = second.stepPlan(c);
+    // Literally the same compiled object, not an equal copy.
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(registry->plansCompiled(), 1u);
+    EXPECT_EQ(registry->planHits(), 1u);
+    // Exactly one of the builders did the compiling.
+    EXPECT_EQ(first.plansCompiled() + second.plansCompiled(), 1u);
+    // Name ids resolve through the one shared interner.
+    EXPECT_EQ(&first.kernelNames(), &second.kernelNames());
+    EXPECT_EQ(&first.kernelNames(), &registry->names());
+}
+
+TEST(PlanRegistry, DistinctModelsAndShapesDoNotAlias)
+{
+    auto registry = std::make_shared<PlanRegistry>();
+    WorkloadBuilder mixtral(ModelSpec::mixtral8x7b(), registry);
+    WorkloadBuilder mamba(ModelSpec::blackMamba2p8b(), registry);
+
+    const StepPlan& sparse = mixtral.stepPlan(config(2, 64, true, 1));
+    const StepPlan& dense = mixtral.stepPlan(config(2, 64, false, 1));
+    const StepPlan& other = mamba.stepPlan(config(2, 64, true, 1));
+    EXPECT_NE(&sparse, &dense);
+    EXPECT_NE(&sparse, &other);
+    EXPECT_EQ(registry->plansCompiled(), 3u);
+}
+
+TEST(PlanRegistry, RegistryBackedSimMatchesStandaloneBitExact)
+{
+    // Sharing plans must not change a single bit of any profile.
+    auto registry = std::make_shared<PlanRegistry>();
+    FineTuneSim shared(ModelSpec::mixtral8x7b(), GpuSpec::a40(), {},
+                       registry);
+    FineTuneSim standalone(ModelSpec::mixtral8x7b(), GpuSpec::a40());
+    for (const RunConfig& c :
+         {config(1, 128, true, 1), config(6, 256, false, 0)}) {
+        const StepProfile a = shared.profileStep(c);
+        const StepProfile b = standalone.profileStep(c);
+        EXPECT_EQ(a.stepSeconds, b.stepSeconds);
+        EXPECT_EQ(a.throughputQps, b.throughputQps);
+        EXPECT_EQ(a.forwardSeconds, b.forwardSeconds);
+        EXPECT_EQ(a.backwardSeconds, b.backwardSeconds);
+    }
+}
+
 }  // namespace
 }  // namespace ftsim

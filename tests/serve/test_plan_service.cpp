@@ -1,0 +1,219 @@
+/**
+ * @file
+ * PlanService tests: thundering-herd coalescing (the ISSUE-3
+ * acceptance bar: stepsSimulated == distinct configs however many
+ * tenants ask), planner sharing, fleet-wide plan-registry sharing,
+ * rate overrides, and error surfacing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "serve/plan_service.hpp"
+
+namespace ftsim {
+namespace {
+
+PlanRequest
+throughputRequest(const std::string& gpu,
+                  Scenario scenario = Scenario::gsMath())
+{
+    PlanRequest req;
+    req.query = QueryKind::Throughput;
+    req.gpu = gpu;
+    req.scenario = scenario;
+    return req;
+}
+
+TEST(PlanService, ThunderingHerdSimulatesEachDistinctConfigOnce)
+{
+    // 32 tenants each submit the same 4 questions: three throughput
+    // probes (one step simulation each — the profile at max batch)
+    // and one max_batch probe (memory arithmetic, no simulation).
+    // 128 submissions, 3 distinct step configs -> exactly 3 sims.
+    PlanService service;
+    const std::vector<PlanRequest> probes = {
+        throughputRequest("A40"),
+        throughputRequest("H100"),
+        throughputRequest("A40", Scenario::commonsense15k()),
+        [] {
+            PlanRequest req;
+            req.query = QueryKind::MaxBatch;
+            req.gpu = "A40";
+            return req;
+        }(),
+    };
+
+    constexpr int kTenants = 32;
+    std::vector<std::vector<PlanResponse>> answers(kTenants);
+    std::vector<std::thread> tenants;
+    for (int t = 0; t < kTenants; ++t)
+        tenants.emplace_back([&service, &probes, &answers, t] {
+            for (const PlanRequest& probe : probes)
+                answers[t].push_back(service.ask(probe));
+        });
+    for (std::thread& tenant : tenants)
+        tenant.join();
+
+    const ServiceStats stats = service.stats();
+    // The acceptance assertion: duplicate-heavy concurrent load
+    // simulates only the distinct configurations.
+    EXPECT_EQ(stats.stepsSimulated, 3u);
+    EXPECT_EQ(stats.requests,
+              static_cast<std::uint64_t>(kTenants * probes.size()));
+    EXPECT_EQ(stats.executed, probes.size());
+    EXPECT_EQ(stats.coalesced, stats.requests - stats.executed);
+    // Two scenarios -> two planners, every other request reused one.
+    EXPECT_EQ(stats.plannersCreated, 2u);
+
+    // Every tenant got the same (successful) answers.
+    for (int t = 0; t < kTenants; ++t) {
+        ASSERT_EQ(answers[t].size(), probes.size());
+        for (std::size_t i = 0; i < probes.size(); ++i) {
+            EXPECT_TRUE(answers[t][i].ok);
+            EXPECT_EQ(answers[t][i].value, answers[0][i].value);
+        }
+    }
+}
+
+TEST(PlanService, AnswersMatchADirectPlanner)
+{
+    PlanService service;
+    PlanRequest table;
+    table.query = QueryKind::CostTable;
+    PlanResponse response = service.ask(table);
+    ASSERT_TRUE(response.ok);
+
+    Planner planner(Scenario::gsMath());
+    auto rows = planner.costTable(GpuSpec::paperGpus());
+    ASSERT_TRUE(rows.ok());
+    ASSERT_EQ(response.rows.size(), rows.value().size());
+    for (std::size_t i = 0; i < response.rows.size(); ++i) {
+        EXPECT_EQ(response.rows[i].gpuName, rows.value()[i].gpuName);
+        EXPECT_EQ(response.rows[i].totalDollars,
+                  rows.value()[i].totalDollars);
+    }
+}
+
+TEST(PlanService, SharesOnePlannerAcrossQueryKinds)
+{
+    PlanService service;
+    PlanRequest throughput = throughputRequest("A40");
+    PlanRequest table;
+    table.query = QueryKind::CostTable;
+    PlanRequest cheapest;
+    cheapest.query = QueryKind::CheapestPlan;
+
+    ASSERT_TRUE(service.ask(throughput).ok);
+    ASSERT_TRUE(service.ask(table).ok);
+    ASSERT_TRUE(service.ask(cheapest).ok);
+
+    const ServiceStats stats = service.stats();
+    // Same scenario -> one planner; the later kinds reused it (and
+    // its step cache: the A40 max-batch profile simulated once).
+    EXPECT_EQ(stats.plannersCreated, 1u);
+    EXPECT_EQ(stats.plannerReuses, 2u);
+}
+
+TEST(PlanService, RegistrySharesPlansAcrossPlanners)
+{
+    // Two scenarios on the same model: two planners, two simulators
+    // per GPU — but the compiled step-plan shape is shared through
+    // the service's registry instead of recompiled per builder.
+    PlanService service;
+    ASSERT_TRUE(service.ask(throughputRequest("A40")).ok);
+    ASSERT_TRUE(
+        service.ask(throughputRequest("A40", Scenario::commonsense15k()))
+            .ok);
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.plannersCreated, 2u);
+    // Both probes plan sparse Mixtral with checkpointing: one shape.
+    EXPECT_EQ(stats.plansCompiled, 1u);
+    EXPECT_GE(stats.planRegistryHits, 1u);
+    EXPECT_EQ(service.planRegistry()->plansCompiled(), 1u);
+}
+
+TEST(PlanService, CoalescedFutureCarriesBlankIdAndAskRestoresIt)
+{
+    PlanService service;
+    PlanRequest first = throughputRequest("A40");
+    first.id = "alice";
+    PlanRequest second = throughputRequest("A40");
+    second.id = "bob";
+
+    PlanResponse shared = service.submit(first).get();
+    EXPECT_TRUE(shared.id.empty());  // Shared answers own no id.
+    PlanResponse bobs = service.ask(second);
+    EXPECT_EQ(bobs.id, "bob");
+    EXPECT_EQ(bobs.value, shared.value);
+    EXPECT_EQ(service.stats().executed, 1u);
+    EXPECT_EQ(service.stats().coalesced, 1u);
+}
+
+TEST(PlanService, RateOverridesPriceUnpricedGpus)
+{
+    // A100-40GB has a spec but no CUDO price: without a rate override
+    // the cost table skips it, with one it appears.
+    PlanService service;
+    PlanRequest bare;
+    bare.query = QueryKind::CostTable;
+    bare.gpus = {"A40", "A100-40GB"};
+    PlanResponse without = service.ask(bare);
+    ASSERT_TRUE(without.ok);
+    EXPECT_EQ(without.rows.size(), 1u);
+
+    PlanRequest priced = bare;
+    priced.rates = {{"user", "A100-40GB", 1.20}};
+    PlanResponse with = service.ask(priced);
+    ASSERT_TRUE(with.ok);
+    ASSERT_EQ(with.rows.size(), 2u);
+    EXPECT_EQ(with.rows[1].gpuName, "A100-40GB");
+    EXPECT_DOUBLE_EQ(with.rows[1].dollarsPerHour, 1.20);
+    // Different rates -> different planner identity (no false share).
+    EXPECT_EQ(service.stats().plannersCreated, 2u);
+}
+
+TEST(PlanService, SurfacesDomainErrorsAsResponses)
+{
+    PlanService service;
+
+    PlanRequest unknown = throughputRequest("B300");
+    unknown.id = "alice";
+    // The shared (coalescable) future must not leak the submitter's id
+    // on the error path either.
+    PlanResponse shared_err = service.submit(unknown).get();
+    EXPECT_FALSE(shared_err.ok);
+    EXPECT_TRUE(shared_err.id.empty());
+    PlanResponse resp = service.ask(unknown);
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.errorCode, "UnknownGpu");
+    EXPECT_EQ(resp.id, "alice");
+
+    PlanRequest bad_rate = throughputRequest("A40");
+    bad_rate.rates = {{"user", "", -1.0}};
+    resp = service.ask(bad_rate);
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.errorCode, "InvalidArgument");
+
+    PlanRequest dense_small = throughputRequest("A100-40GB");
+    dense_small.scenario.withSparse(false);  // Does not fit dense.
+    resp = service.ask(dense_small);
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.errorCode, "DoesNotFit");
+}
+
+TEST(PlanService, StatsExposeLatencyQuantiles)
+{
+    PlanService service;
+    ASSERT_TRUE(service.ask(throughputRequest("A40")).ok);
+    const ServiceStats stats = service.stats();
+    EXPECT_GT(stats.p99LatencyMs, 0.0);
+    EXPECT_LE(stats.p50LatencyMs, stats.p99LatencyMs);
+}
+
+}  // namespace
+}  // namespace ftsim

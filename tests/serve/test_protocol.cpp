@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Wire-protocol tests: a write->parse round-trip for every request
+ * kind, and strict rejection of malformed input (the service must
+ * answer garbage with InvalidArgument, never guess or crash).
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.hpp"
+
+namespace ftsim {
+namespace {
+
+PlanRequest
+requestOfKind(QueryKind kind)
+{
+    PlanRequest req;
+    req.id = "tenant-7";
+    req.query = kind;
+    switch (kind) {
+    case QueryKind::MaxBatch:
+    case QueryKind::Throughput:
+    case QueryKind::Report:
+        req.gpu = "A40";
+        break;
+    case QueryKind::CostTable:
+    case QueryKind::CheapestPlan:
+        req.gpus = {"A40", "H100"};
+        break;
+    }
+    req.scenario = Scenario::commonsense15k().withEpochs(3.0);
+    req.rates = {{"user", "L40S", 1.05}};
+    return req;
+}
+
+TEST(Protocol, RoundTripsEveryRequestKind)
+{
+    for (QueryKind kind :
+         {QueryKind::MaxBatch, QueryKind::Throughput,
+          QueryKind::CostTable, QueryKind::CheapestPlan,
+          QueryKind::Report}) {
+        const PlanRequest original = requestOfKind(kind);
+        const std::string line = writePlanRequest(original);
+        Result<PlanRequest> parsed = parsePlanRequest(line);
+        ASSERT_TRUE(parsed.ok()) << line << " -> "
+                                 << parsed.error().describe();
+        EXPECT_EQ(parsed.value().id, original.id);
+        EXPECT_EQ(parsed.value().query, original.query);
+        EXPECT_EQ(parsed.value().gpu, original.gpu);
+        EXPECT_EQ(parsed.value().gpus, original.gpus);
+        // Identity is what the service coalesces on: it must survive
+        // the wire exactly, scenario scalars and rates included.
+        EXPECT_EQ(parsed.value().canonicalKey(),
+                  original.canonicalKey());
+    }
+}
+
+TEST(Protocol, RoundTripsBothModels)
+{
+    PlanRequest req = requestOfKind(QueryKind::Throughput);
+    req.scenario.withModel(ModelSpec::blackMamba2p8b());
+    Result<PlanRequest> parsed =
+        parsePlanRequest(writePlanRequest(req));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().scenario.model.name, "BlackMamba-2.8B");
+    EXPECT_EQ(parsed.value().canonicalKey(), req.canonicalKey());
+}
+
+TEST(Protocol, ParsesPresetsAndOverrides)
+{
+    Result<PlanRequest> parsed = parsePlanRequest(
+        R"({"query":"throughput","gpu":"H100",)"
+        R"("scenario":{"preset":"commonsense15k","epochs":3}})");
+    ASSERT_TRUE(parsed.ok());
+    const Scenario& s = parsed.value().scenario;
+    EXPECT_EQ(s.medianSeqLen, 79u);       // From the preset.
+    EXPECT_DOUBLE_EQ(s.epochs, 3.0);      // Overridden.
+    EXPECT_DOUBLE_EQ(s.numQueries, 15000.0);
+}
+
+TEST(Protocol, DefaultsToGsMathScenario)
+{
+    Result<PlanRequest> parsed =
+        parsePlanRequest(R"({"query":"max_batch","gpu":"A40"})");
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().scenario.canonicalKey(),
+              Scenario::gsMath().canonicalKey());
+    EXPECT_TRUE(parsed.value().id.empty());
+}
+
+TEST(Protocol, DecodesStringEscapes)
+{
+    Result<PlanRequest> parsed = parsePlanRequest(
+        R"({"id":"a\"b\\cA\n","query":"max_batch","gpu":"A40"})");
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().id, "a\"b\\cA\n");
+}
+
+TEST(Protocol, RoundTripsFullDoublePrecision)
+{
+    // 0.1 + 0.2 needs all 17 significant digits: a re-serialized
+    // request must keep its coalescing identity to the last bit.
+    PlanRequest req = requestOfKind(QueryKind::Throughput);
+    req.scenario.withLengthSigma(0.1 + 0.2);
+    req.scenario.withNumQueries(1234567.0);
+    Result<PlanRequest> parsed =
+        parsePlanRequest(writePlanRequest(req));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().scenario.lengthSigma,
+              req.scenario.lengthSigma);
+    EXPECT_EQ(parsed.value().canonicalKey(), req.canonicalKey());
+}
+
+TEST(Protocol, KeySeparatorsCannotBeInjected)
+{
+    // Wire names are arbitrary strings; joined lists must frame each
+    // element so one crafted name cannot impersonate two.
+    PlanRequest one;
+    one.query = QueryKind::CostTable;
+    one.gpus = {"A40,H100"};
+    PlanRequest two;
+    two.query = QueryKind::CostTable;
+    two.gpus = {"A40", "H100"};
+    EXPECT_NE(one.canonicalKey(), two.canonicalKey());
+
+    PlanRequest crafted;
+    crafted.query = QueryKind::MaxBatch;
+    crafted.gpu = "A40";
+    crafted.rates = {{"user", "X@2;Y", 3.0}};
+    PlanRequest honest = crafted;
+    honest.rates = {{"user", "X", 2.0}, {"user", "Y", 3.0}};
+    EXPECT_NE(crafted.plannerKey(), honest.plannerKey());
+}
+
+TEST(Protocol, ProtocolErrorLineOmitsQuery)
+{
+    const std::string line =
+        writeProtocolError("t9", "bad request: unterminated string");
+    EXPECT_EQ(line.find("\"query\""), std::string::npos);
+    EXPECT_NE(line.find("\"id\":\"t9\""), std::string::npos);
+    EXPECT_NE(line.find("\"ok\":false"), std::string::npos);
+    EXPECT_NE(line.find("\"error\":\"InvalidArgument\""),
+              std::string::npos);
+    // And with no id, the field disappears entirely.
+    EXPECT_EQ(writeProtocolError("", "x").find("\"id\""),
+              std::string::npos);
+}
+
+TEST(Protocol, CoalescingKeyIgnoresIdOnly)
+{
+    PlanRequest a = requestOfKind(QueryKind::Throughput);
+    PlanRequest b = a;
+    b.id = "someone-else";
+    EXPECT_EQ(a.canonicalKey(), b.canonicalKey());
+    b.gpu = "H100";
+    EXPECT_NE(a.canonicalKey(), b.canonicalKey());
+    PlanRequest c = requestOfKind(QueryKind::Throughput);
+    c.scenario.withEpochs(4.0);
+    EXPECT_NE(a.canonicalKey(), c.canonicalKey());
+    PlanRequest d = requestOfKind(QueryKind::Throughput);
+    d.rates[0].dollarsPerHour = 2.0;
+    EXPECT_NE(a.canonicalKey(), d.canonicalKey());
+}
+
+TEST(Protocol, MalformedInputIsInvalidArgument)
+{
+    const char* cases[] = {
+        // Not JSON at all / wrong top-level shape.
+        "hello",
+        "",
+        "[1,2]",
+        "42",
+        R"({"query":"max_batch","gpu":"A40"} trailing)",
+        // Broken JSON.
+        R"({"query":"max_batch","gpu":"A40")",
+        R"({"query":"max_batch",})",
+        R"({"query":"max_batch","gpu":"A40)",
+        R"({"query":"max_batch","gpu":"A\x40"})",
+        R"({"id":"a	b","query":"max_batch","gpu":"A40"})",  // Raw tab.
+        R"({"query":"max_batch","query":"report","gpu":"A40"})",
+        // Missing / unknown / mistyped fields.
+        R"({"gpu":"A40"})",
+        R"({"query":"resize_cluster","gpu":"A40"})",
+        R"({"query":"max_batch"})",
+        R"({"query":"max_batch","gpu":42})",
+        R"({"query":"max_batch","gpu":""})",
+        R"({"query":"max_batch","gpu":"A40","shard":3})",
+        R"({"query":"max_batch","gpus":["A40"]})",
+        R"({"query":"cost_table","gpu":"A40"})",
+        R"({"query":"cost_table","gpus":["A40",7]})",
+        R"({"query":"max_batch","gpu":"A40","id":7})",
+        // Scenario strictness.
+        R"({"query":"max_batch","gpu":"A40","scenario":{"preset":"imagenet"}})",
+        R"({"query":"max_batch","gpu":"A40","scenario":{"model":"gpt5"}})",
+        R"({"query":"max_batch","gpu":"A40","scenario":{"batch":8}})",
+        R"({"query":"max_batch","gpu":"A40","scenario":{"median_seq_len":0}})",
+        R"({"query":"max_batch","gpu":"A40","scenario":{"median_seq_len":1.5}})",
+        R"({"query":"max_batch","gpu":"A40","scenario":{"length_sigma":-1}})",
+        R"({"query":"max_batch","gpu":"A40","scenario":{"epochs":0}})",
+        R"({"query":"max_batch","gpu":"A40","scenario":{"num_queries":-5}})",
+        R"({"query":"max_batch","gpu":"A40","scenario":{"sparse":"yes"}})",
+        // Rates strictness.
+        R"({"query":"max_batch","gpu":"A40","rates":{"L40S":0}})",
+        R"({"query":"max_batch","gpu":"A40","rates":{"L40S":-1.0}})",
+        R"({"query":"max_batch","gpu":"A40","rates":{"L40S":"cheap"}})",
+        R"({"query":"max_batch","gpu":"A40","rates":[1.0]})",
+    };
+    for (const char* line : cases) {
+        Result<PlanRequest> parsed = parsePlanRequest(line);
+        ASSERT_FALSE(parsed.ok()) << "accepted: " << line;
+        EXPECT_EQ(parsed.code(), ErrorCode::InvalidArgument) << line;
+    }
+}
+
+TEST(Protocol, ResponsesSerializeBothOutcomes)
+{
+    PlanResponse ok;
+    ok.id = "r1";
+    ok.query = QueryKind::MaxBatch;
+    ok.ok = true;
+    ok.value = 4.0;
+    EXPECT_EQ(writePlanResponse(ok),
+              R"({"id":"r1","query":"max_batch","ok":true,"value":4})");
+
+    PlanResponse err = errorResponse(
+        requestOfKind(QueryKind::Report),
+        Error{ErrorCode::UnknownGpu, "no offering for \"B300\""});
+    const std::string line = writePlanResponse(err);
+    EXPECT_NE(line.find(R"("ok":false)"), std::string::npos);
+    EXPECT_NE(line.find(R"("error":"UnknownGpu")"), std::string::npos);
+    // The message's quotes must arrive escaped.
+    EXPECT_NE(line.find(R"(no offering for \"B300\")"),
+              std::string::npos);
+}
+
+TEST(Protocol, ReportResponseEscapesNewlines)
+{
+    PlanResponse resp;
+    resp.query = QueryKind::Report;
+    resp.ok = true;
+    resp.report = "# line1\nline2";
+    const std::string line = writePlanResponse(resp);
+    // One physical line on the wire, newline escaped inside.
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    EXPECT_NE(line.find(R"(# line1\nline2)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftsim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * `ftsim_serve` — the plan service behind a JSON-lines pipe.
+ *
+ * Reads one `PlanRequest` per line from a file (or stdin), admits all
+ * of them to a concurrent `PlanService`, and prints one `PlanResponse`
+ * per line to stdout *in input order* (answers compute out of order;
+ * printing re-sequences them). Lines that fail to parse produce an
+ * ok=false InvalidArgument response in the same slot and count as
+ * protocol errors.
+ *
+ * A summary (request count, protocol errors, coalescing and latency
+ * stats) goes to stderr, and the exit status is non-zero when any
+ * protocol error occurred — which lets CI assert "this request file is
+ * answered with zero protocol errors" by just running the binary.
+ *
+ * Usage: ftsim_serve [requests.jsonl|-] [workers]
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "serve/plan_service.hpp"
+
+using namespace ftsim;
+
+int
+main(int argc, char** argv)
+{
+    const std::string path = argc > 1 ? argv[1] : "-";
+    ServiceConfig config;
+    if (argc > 2)
+        config.workers =
+            static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10));
+
+    std::ifstream file;
+    if (path != "-") {
+        file.open(path);
+        if (!file) {
+            std::cerr << "ftsim_serve: cannot open " << path << '\n';
+            return 2;
+        }
+    }
+    std::istream& in = path == "-" ? std::cin : file;
+
+    // Keep stdout pure protocol; sim warnings go through the logger.
+    Logger::instance().setLevel(LogLevel::Error);
+
+    PlanService service(config);
+
+    // Admit everything up front (the service coalesces duplicates),
+    // then resolve in input order.
+    struct Slot {
+        std::string id;
+        bool parsed = false;
+        std::string parseError;
+        std::shared_future<PlanResponse> future;
+    };
+    std::vector<Slot> slots;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;  // Blank lines are not requests.
+        Slot slot;
+        Result<PlanRequest> request = parsePlanRequest(line);
+        if (request) {
+            slot.id = request.value().id;
+            slot.parsed = true;
+            slot.future = service.submit(request.value());
+        } else {
+            slot.parseError = request.error().message;
+        }
+        slots.push_back(std::move(slot));
+    }
+
+    std::size_t protocol_errors = 0;
+    std::size_t failed_queries = 0;
+    for (Slot& slot : slots) {
+        if (!slot.parsed) {
+            ++protocol_errors;
+            ++failed_queries;
+            std::cout << writeProtocolError(slot.id, slot.parseError)
+                      << '\n';
+            continue;
+        }
+        PlanResponse response = slot.future.get();
+        response.id = slot.id;  // Coalesced answers share a future.
+        if (!response.ok)
+            ++failed_queries;
+        std::cout << writePlanResponse(response) << '\n';
+    }
+
+    const ServiceStats stats = service.stats();
+    std::cerr << "ftsim_serve: " << slots.size() << " lines, "
+              << protocol_errors << " protocol errors, "
+              << failed_queries << " failed queries\n"
+              << "ftsim_serve: requests=" << stats.requests
+              << " coalesced=" << stats.coalesced
+              << " executed=" << stats.executed
+              << " planners=" << stats.plannersCreated
+              << " planner_reuses=" << stats.plannerReuses
+              << " plans_compiled=" << stats.plansCompiled
+              << " steps_simulated=" << stats.stepsSimulated << '\n'
+              << "ftsim_serve: latency p50=" << stats.p50LatencyMs
+              << "ms p99=" << stats.p99LatencyMs << "ms over "
+              << service.workers() << " workers\n";
+    return protocol_errors > 0 ? 1 : 0;
+}
