@@ -20,6 +20,13 @@
  * ci.sh perf-smoke gate). The ISSUE-3 acceptance floor is 5x on this
  * 256-request trace.
  *
+ * A second, eviction-pressure trace (ISSUE-4) replays more distinct
+ * questions than a capacity-bounded service can cache, twice, and
+ * asserts the governance invariants: the answer cache never exceeds
+ * its configured capacity (peak-size audit), eviction actually
+ * happened, and every answer stays bit-identical to an unbounded
+ * service's — eviction may cost recomputation, never correctness.
+ *
  * Usage: bench_serve_load [output.json]   (default: BENCH_serve.json)
  */
 
@@ -230,6 +237,57 @@ main(int argc, char** argv)
     const double speedup =
         coalesced_ms > 0.0 ? serial_ms / coalesced_ms : 0.0;
 
+    // ---- Eviction pressure: bounded caches vs. an unbounded twin. ---
+    // 64 distinct questions, replayed twice, against a service that can
+    // cache only 16 answers / 8 planners: the second pass recomputes
+    // what the LRU dropped. Deterministic serial replay so the
+    // eviction order (and thus the stats) is reproducible.
+    constexpr std::size_t kDistinctEviction = 64;
+    constexpr std::size_t kMaxAnswers = 16;
+    constexpr std::size_t kMaxPlanners = 8;
+    std::vector<PlanRequest> pressure;
+    for (std::size_t pass = 0; pass < 2; ++pass)
+        for (std::size_t i = 0; i < kDistinctEviction; ++i) {
+            PlanRequest request;
+            request.query = QueryKind::MaxBatch;
+            request.gpu = "A40";
+            // Distinct num_queries -> distinct answer + planner keys
+            // (the answer itself only depends on the memory model, so
+            // the trace stays cheap however large it grows).
+            request.scenario = Scenario::gsMath().withNumQueries(
+                10000.0 + static_cast<double>(i));
+            request.id = strCat("p", pass, "-", i);
+            pressure.push_back(std::move(request));
+        }
+
+    ServiceConfig bounded_config;
+    bounded_config.maxAnswers = kMaxAnswers;
+    bounded_config.maxPlanners = kMaxPlanners;
+    PlanService bounded(bounded_config);
+    PlanService unbounded;
+
+    const double eviction_start = nowMs();
+    std::vector<PlanResponse> bounded_answers;
+    bounded_answers.reserve(pressure.size());
+    for (const PlanRequest& request : pressure)
+        bounded_answers.push_back(bounded.ask(request));
+    const double eviction_ms = nowMs() - eviction_start;
+
+    std::size_t eviction_mismatches = 0;
+    for (std::size_t i = 0; i < pressure.size(); ++i)
+        if (!sameAnswer(bounded_answers[i], unbounded.ask(pressure[i])))
+            ++eviction_mismatches;
+
+    const ServiceStats bounded_stats = bounded.stats();
+    const bool capacity_respected =
+        bounded_stats.answersCachedPeak <= kMaxAnswers &&
+        bounded_stats.answersCached <= kMaxAnswers &&
+        bounded_stats.plannersCached <= kMaxPlanners;
+    // 128 requests over 64 distinct questions with 16 slots must
+    // churn: if nothing was evicted the bound is not actually applied.
+    const bool eviction_exercised = bounded_stats.answersEvicted > 0 &&
+                                    bounded_stats.plannersEvicted > 0;
+
     bench::section("Results");
     std::cout << "serial (fresh planner per request): " << serial_ms
               << " ms\n"
@@ -247,6 +305,22 @@ main(int argc, char** argv)
               << "answer mismatches: " << mismatches << '\n';
     bench::note("acceptance floor: coalesced >= 5x serial on this "
                 "duplicate-heavy trace; ci.sh fails below 1x");
+
+    bench::section("Eviction pressure");
+    std::cout << pressure.size() << " requests over "
+              << kDistinctEviction << " distinct questions, caps "
+              << kMaxAnswers << " answers / " << kMaxPlanners
+              << " planners: " << eviction_ms << " ms\n"
+              << "answers cached=" << bounded_stats.answersCached
+              << " peak=" << bounded_stats.answersCachedPeak
+              << " evicted=" << bounded_stats.answersEvicted
+              << "; planners cached=" << bounded_stats.plannersCached
+              << " evicted=" << bounded_stats.plannersEvicted << '\n'
+              << "capacity respected: "
+              << (capacity_respected ? "yes" : "NO") << ", eviction "
+              << "exercised: " << (eviction_exercised ? "yes" : "NO")
+              << ", mismatches vs unbounded: " << eviction_mismatches
+              << '\n';
 
     std::ofstream out(out_path);
     if (!out) {
@@ -277,6 +351,24 @@ main(int argc, char** argv)
         << "    \"steps_simulated\": " << stats.stepsSimulated << ",\n"
         << "    \"p50_latency_ms\": " << stats.p50LatencyMs << ",\n"
         << "    \"p99_latency_ms\": " << stats.p99LatencyMs << "\n"
+        << "  },\n"
+        << "  \"eviction_pressure\": {\n"
+        << "    \"trace_requests\": " << pressure.size() << ",\n"
+        << "    \"distinct_requests\": " << kDistinctEviction << ",\n"
+        << "    \"max_answers\": " << kMaxAnswers << ",\n"
+        << "    \"max_planners\": " << kMaxPlanners << ",\n"
+        << "    \"timing_ms\": " << eviction_ms << ",\n"
+        << "    \"answers_cached\": " << bounded_stats.answersCached
+        << ",\n"
+        << "    \"answers_cached_peak\": "
+        << bounded_stats.answersCachedPeak << ",\n"
+        << "    \"answers_evicted\": " << bounded_stats.answersEvicted
+        << ",\n"
+        << "    \"planners_cached\": " << bounded_stats.plannersCached
+        << ",\n"
+        << "    \"planners_evicted\": "
+        << bounded_stats.plannersEvicted << ",\n"
+        << "    \"answer_mismatches\": " << eviction_mismatches << "\n"
         << "  }\n"
         << "}\n";
     bench::note("wrote " + out_path);
@@ -290,6 +382,21 @@ main(int argc, char** argv)
         std::cerr << "bench_serve_load: coalesced service slower than "
                      "serial baseline ("
                   << speedup << "x)\n";
+        return 1;
+    }
+    if (!capacity_respected) {
+        std::cerr << "bench_serve_load: bounded service exceeded its "
+                     "configured cache capacity\n";
+        return 1;
+    }
+    if (!eviction_exercised) {
+        std::cerr << "bench_serve_load: eviction trace produced no "
+                     "evictions (bound not applied?)\n";
+        return 1;
+    }
+    if (eviction_mismatches > 0) {
+        std::cerr << "bench_serve_load: bounded answers diverge from "
+                     "the unbounded service\n";
         return 1;
     }
     return 0;

@@ -27,4 +27,25 @@ echo "ci.sh: serve smoke artifact at $BUILD_DIR/BENCH_serve.json"
 "$BUILD_DIR/ftsim_serve" examples/serve_requests.jsonl > /dev/null
 echo "ci.sh: ftsim_serve answered examples/serve_requests.jsonl with zero protocol errors"
 
+# E2E golden: the governed service (bounded caches + tenant quotas)
+# must answer the example + governance fixtures byte-exactly. The same
+# golden is checked in-process by tests/integration/test_serve_e2e.cpp;
+# this run pins the CLI to it, flags included.
+cat examples/serve_requests.jsonl examples/serve_requests_governed.jsonl \
+  | "$BUILD_DIR/ftsim_serve" - --max-answers 4 --max-planners 2 \
+      --tenant-rps 0.000001 2> /dev/null \
+  | diff -u tests/integration/golden_serve_e2e.jsonl -
+echo "ci.sh: ftsim_serve output matches the e2e golden (quotas + eviction)"
+
+# Sanitizer job: rebuild the library + tests with ASan/UBSan and run
+# the serving, protocol-fuzz, LRU, and histogram suites — the fuzz
+# corpus under sanitizers is the ISSUE-4 "no UB on hostile input" gate.
+SAN_DIR="${BUILD_DIR}-asan"
+cmake -B "$SAN_DIR" -S . -DFTSIM_SANITIZE=ON \
+      -DFTSIM_BUILD_BENCH=OFF -DFTSIM_BUILD_EXAMPLES=OFF > /dev/null
+cmake --build "$SAN_DIR" -j --target ftsim_tests
+"$SAN_DIR/ftsim_tests" \
+    --gtest_filter='Protocol*:PlanService*:LruCache*:ServeE2E*:Histogram*'
+echo "ci.sh: ASan+UBSan serve/fuzz suites green"
+
 echo "ci.sh: all green"

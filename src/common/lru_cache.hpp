@@ -1,0 +1,137 @@
+#ifndef FTSIM_COMMON_LRU_CACHE_HPP
+#define FTSIM_COMMON_LRU_CACHE_HPP
+
+/**
+ * @file
+ * Capacity-bounded least-recently-used cache.
+ *
+ * The serving layer's answer cache and planner pool were unbounded maps
+ * until ISSUE-4: a hostile tenant streaming distinct requests could grow
+ * them without limit. `LruCache` is the bounded replacement — a plain
+ * map plus a recency list, evicting the least-recently-touched entry
+ * once `capacity()` is exceeded. `Planner`'s per-GPU step-cache shards
+ * can adopt it later, which is why it lives in common/ rather than
+ * serve/.
+ *
+ * Not internally synchronized: callers guard it with their own mutex
+ * (the service already holds one around each cache). Capacity 0 means
+ * unbounded — the pre-ISSUE-4 behavior, and the default for embedded
+ * uses that know their key population is small.
+ *
+ * Eviction hands the displaced entries *back to the caller* instead of
+ * destroying them under the hood, because evicted values can carry
+ * state the owner must account for before letting go (the service folds
+ * an evicted planner's step counter into its retired-steps total).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ftsim {
+
+/** Bounded LRU map from K to V (see file comment). */
+template <typename K, typename V>
+class LruCache {
+  public:
+    /** @param capacity maximum entries; 0 = unbounded. */
+    explicit LruCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+    /** Entries currently cached. */
+    std::size_t size() const { return items_.size(); }
+
+    /** Largest size() ever reached (capacity-bound audits read this). */
+    std::size_t peakSize() const { return peak_; }
+
+    /** Maximum entries (0 = unbounded). */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Entries evicted over the cache's lifetime. */
+    std::uint64_t evictions() const { return evictions_; }
+
+    /**
+     * The value for @p key, or nullptr. A hit marks the entry
+     * most-recently-used; the pointer is valid until the next mutation.
+     */
+    V* get(const K& key)
+    {
+        auto it = index_.find(key);
+        if (it == index_.end())
+            return nullptr;
+        items_.splice(items_.begin(), items_, it->second);
+        return &it->second->second;
+    }
+
+    /** get() without the recency touch (introspection only). */
+    const V* peek(const K& key) const
+    {
+        auto it = index_.find(key);
+        return it == index_.end() ? nullptr : &it->second->second;
+    }
+
+    /**
+     * Inserts @p value under @p key (overwriting any existing entry,
+     * which counts as a touch, not an eviction) and evicts
+     * least-recently-used entries until size() <= capacity(). Returns
+     * the evicted entries, oldest last, for the caller to account for.
+     */
+    std::vector<std::pair<K, V>> put(const K& key, V value)
+    {
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            it->second->second = std::move(value);
+            items_.splice(items_.begin(), items_, it->second);
+            return {};
+        }
+        // Trim before inserting so the bound holds at every instant —
+        // the peak audit must never see capacity+1, even transiently.
+        std::vector<std::pair<K, V>> evicted;
+        if (capacity_ > 0) {
+            while (items_.size() >= capacity_) {
+                evicted.push_back(std::move(items_.back()));
+                index_.erase(evicted.back().first);
+                items_.pop_back();
+                ++evictions_;
+            }
+        }
+        items_.emplace_front(key, std::move(value));
+        index_.emplace(key, items_.begin());
+        peak_ = items_.size() > peak_ ? items_.size() : peak_;
+        return evicted;
+    }
+
+    /** Removes @p key if present (not counted as an eviction). */
+    bool erase(const K& key)
+    {
+        auto it = index_.find(key);
+        if (it == index_.end())
+            return false;
+        items_.erase(it->second);
+        index_.erase(it);
+        return true;
+    }
+
+    /** Visits every entry, most-recently-used first, without touching. */
+    template <typename Fn>
+    void forEach(Fn&& fn) const
+    {
+        for (const auto& [key, value] : items_)
+            fn(key, value);
+    }
+
+  private:
+    std::size_t capacity_;
+    /** Front = most recently used. */
+    std::list<std::pair<K, V>> items_;
+    std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator>
+        index_;
+    std::size_t peak_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_COMMON_LRU_CACHE_HPP

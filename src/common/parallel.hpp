@@ -68,10 +68,21 @@ class WorkerPool {
         return static_cast<unsigned>(workers_.size());
     }
 
+    /**
+     * Tasks queued but not yet picked up by a worker — the admission
+     * backlog a serving stats endpoint reports. A task being executed
+     * right now is counted by neither this nor any other accessor.
+     */
+    std::size_t pendingTasks() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return queue_.size();
+    }
+
   private:
     void workerLoop();
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::deque<std::function<void()>> queue_;
     bool stopping_ = false;

@@ -16,6 +16,8 @@ errorCodeName(ErrorCode code)
         return "InvalidArgument";
       case ErrorCode::NoViablePlan:
         return "NoViablePlan";
+      case ErrorCode::RateLimited:
+        return "RateLimited";
     }
     return "UnknownError";
 }

@@ -37,6 +37,9 @@ enum class ErrorCode {
     InvalidArgument,
     /** No (GPU, price) combination yields a feasible plan. */
     NoViablePlan,
+    /** Admission control rejected the request (tenant quota exceeded);
+     *  retriable, unlike the other codes — back off and resubmit. */
+    RateLimited,
 };
 
 /** Stable identifier string for an error code (logs, tests). */

@@ -1,5 +1,6 @@
 #include "serve/plan_service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -22,8 +23,13 @@ nowMs()
 
 PlanService::PlanService(ServiceConfig config)
     : config_(std::move(config)),
+      tenant_burst_(config_.tenantBurst > 0.0
+                        ? config_.tenantBurst
+                        : std::max(1.0, config_.tenantRps)),
       registry_(std::make_shared<PlanRegistry>()),
       catalog_fingerprint_(config_.catalog.fingerprint()),
+      answers_(config_.maxAnswers),
+      planners_(config_.maxPlanners),
       latency_(0.0, config_.latencyMaxMs > 0.0 ? config_.latencyMaxMs
                                                : 10000.0,
                4096),
@@ -33,10 +39,136 @@ PlanService::PlanService(ServiceConfig config)
 
 PlanService::~PlanService() = default;
 
+Result<bool>
+PlanService::admitTenant(const std::string& tenant)
+{
+    const double now = nowMs();
+    std::lock_guard<std::mutex> lock(tenants_mutex_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) {
+        // A fresh (unauthenticated) name: bound the table before
+        // tracking it, or name rotation grows the service without
+        // limit — the traffic class the caches are bounded against.
+        if (config_.maxTenants > 0 &&
+            tenants_.size() >= config_.maxTenants) {
+            // O(maxTenants) victim scan, deliberately: it only runs
+            // for a NEW name with the table already full, and a few
+            // thousand map nodes cost ~tens of µs — noise next to the
+            // request it admits. Revisit with a recency list if caps
+            // grow past ~10^5.
+            auto victim = tenants_.end();
+            for (auto i = tenants_.begin(); i != tenants_.end(); ++i)
+                if (i->second.inflight == 0 &&
+                    (victim == tenants_.end() ||
+                     i->second.lastSeenMs < victim->second.lastSeenMs))
+                    victim = i;
+            if (victim == tenants_.end())
+                return Error{
+                    ErrorCode::RateLimited,
+                    strCat("tenant table full (", config_.maxTenants,
+                           " tenants, all with requests in flight)")};
+            tenants_.erase(victim);
+        }
+        it = tenants_.emplace(tenant, TenantState{}).first;
+    }
+    TenantState& state = it->second;
+    state.lastSeenMs = now;
+    if (config_.tenantRps > 0.0) {
+        if (!state.seen) {
+            // A new tenant starts with a full bucket.
+            state.tokens = tenant_burst_;
+            state.seen = true;
+        } else {
+            state.tokens = std::min(
+                tenant_burst_,
+                state.tokens +
+                    (now - state.lastRefillMs) / 1000.0 *
+                        config_.tenantRps);
+        }
+        state.lastRefillMs = now;
+    }
+    if (config_.tenantMaxInflight > 0 &&
+        state.inflight >= config_.tenantMaxInflight) {
+        ++state.rejectedInflight;
+        return Error{ErrorCode::RateLimited,
+                     strCat("tenant \"", tenant, "\" has ",
+                            state.inflight,
+                            " requests in flight (limit ",
+                            config_.tenantMaxInflight, ")")};
+    }
+    if (config_.tenantRps > 0.0) {
+        if (state.tokens < 1.0) {
+            ++state.rejectedRate;
+            return Error{
+                ErrorCode::RateLimited,
+                strCat("tenant \"", tenant, "\" exceeded ",
+                       config_.tenantRps, " requests/s (burst ",
+                       tenant_burst_, ")")};
+        }
+        state.tokens -= 1.0;
+    }
+    ++state.admitted;
+    ++state.inflight;
+    return true;
+}
+
+void
+PlanService::releaseTenant(const std::string& tenant)
+{
+    if (tenant.empty() || !quotasEnabled())
+        return;
+    std::lock_guard<std::mutex> lock(tenants_mutex_);
+    auto it = tenants_.find(tenant);
+    if (it != tenants_.end() && it->second.inflight > 0)
+        --it->second.inflight;
+}
+
+void
+PlanService::finishExecution(const std::string& key, bool cacheable)
+{
+    std::vector<std::string> waiters;
+    {
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        auto it = inflight_.find(key);
+        if (it == inflight_.end())
+            return;  // Unreachable: one finish per execution.
+        waiters = std::move(it->second->waitingTenants);
+        // Promote to the bounded answer cache. Evicted futures die
+        // here, but any waiter still blocked on one holds its own
+        // shared_future copy — eviction can never orphan it.
+        // Guard-path failures are not promoted at all (@p cacheable):
+        // their waiters still resolve, but the next identical request
+        // recomputes.
+        if (cacheable)
+            answers_.put(key, it->second->future);
+        inflight_.erase(it);
+    }
+    for (const std::string& tenant : waiters)
+        releaseTenant(tenant);
+}
+
 std::shared_future<PlanResponse>
 PlanService::submit(const PlanRequest& request)
 {
     requests_.fetch_add(1);
+
+    // Admission control at the door, before any cache lookup: quotas
+    // meter request pressure per tenant, cached or not, so the
+    // rejection pattern is deterministic for a serial submitter.
+    const bool governed = !request.tenant.empty() && quotasEnabled();
+    if (governed) {
+        Result<bool> admitted = admitTenant(request.tenant);
+        if (!admitted) {
+            rate_limited_.fetch_add(1);
+            PlanResponse rejection =
+                errorResponse(request, admitted.error());
+            rejection.id.clear();  // Shared-future id convention.
+            std::promise<PlanResponse> ready;
+            ready.set_value(std::move(rejection));
+            return ready.get_future().share();
+        }
+    }
+
     const std::string key = request.canonicalKey();
     const double enqueued_ms = nowMs();
 
@@ -44,23 +176,76 @@ PlanService::submit(const PlanRequest& request)
     std::shared_future<PlanResponse> future;
     {
         std::lock_guard<std::mutex> lock(inflight_mutex_);
-        auto it = inflight_.find(key);
-        if (it != inflight_.end()) {
-            // In flight or already answered: share the one execution.
+        if (std::shared_future<PlanResponse>* cached =
+                answers_.get(key)) {
+            // Answered before: share the completed execution.
             coalesced_.fetch_add(1);
-            return it->second;
+            future = *cached;
+        } else if (auto it = inflight_.find(key);
+                   it != inflight_.end()) {
+            // In flight: share the running execution. The tenant's
+            // inflight slot is held until that execution finishes.
+            coalesced_.fetch_add(1);
+            if (governed)
+                it->second->waitingTenants.push_back(request.tenant);
+            return it->second->future;
+        } else {
+            auto entry = std::make_shared<InflightEntry>();
+            // NB: the lambda must not capture `entry` — the task's
+            // shared state owns the lambda AND is owned by entry's
+            // future, so that capture would be a reference cycle
+            // (ASan-visible leak). Cacheability travels by value.
+            task = std::make_shared<std::packaged_task<PlanResponse()>>(
+                [this, request, key, enqueued_ms] {
+                    // execute() is designed not to throw, but if
+                    // anything below it does (bad_alloc, a fatal() on
+                    // a crafted programmatic scenario), the future
+                    // must still resolve with a response and
+                    // finishExecution must still run — otherwise the
+                    // key stays poisoned in inflight_ forever and
+                    // every admitted tenant's slot leaks. Guard
+                    // answers are marked non-cacheable: a transient
+                    // failure must not become the key's permanent
+                    // cached answer.
+                    PlanResponse response;
+                    bool cacheable = true;
+                    try {
+                        response = execute(request);
+                    } catch (const std::exception& e) {
+                        cacheable = false;
+                        response = errorResponse(
+                            request,
+                            Error{ErrorCode::InvalidArgument,
+                                  strCat("execution failed: ",
+                                         e.what())});
+                        response.id.clear();
+                    } catch (...) {
+                        cacheable = false;
+                        response = errorResponse(
+                            request,
+                            Error{ErrorCode::InvalidArgument,
+                                  "execution failed: unknown error"});
+                        response.id.clear();
+                    }
+                    finishExecution(key, cacheable);
+                    recordLatencyMs(nowMs() - enqueued_ms);
+                    executed_.fetch_add(1);
+                    return response;
+                });
+            entry->future = task->get_future().share();
+            if (governed)
+                entry->waitingTenants.push_back(request.tenant);
+            future = entry->future;
+            inflight_.emplace(key, std::move(entry));
         }
-        task = std::make_shared<std::packaged_task<PlanResponse()>>(
-            [this, request, enqueued_ms] {
-                PlanResponse response = execute(request);
-                recordLatencyMs(nowMs() - enqueued_ms);
-                executed_.fetch_add(1);
-                return response;
-            });
-        future = task->get_future().share();
-        inflight_.emplace(key, future);
     }
-    pool_.submit([task] { (*task)(); });
+    if (task) {
+        pool_.submit([task] { (*task)(); });
+    } else if (governed) {
+        // Served straight from the answer cache: the admission slot
+        // was only held across this call.
+        releaseTenant(request.tenant);
+    }
     return future;
 }
 
@@ -81,10 +266,9 @@ PlanService::plannerFor(const PlanRequest& request)
     const std::string key =
         strCat(request.plannerKey(), '|', catalog_fingerprint_);
     std::lock_guard<std::mutex> lock(planners_mutex_);
-    auto it = planners_.find(key);
-    if (it != planners_.end()) {
+    if (std::shared_ptr<Planner>* pooled = planners_.get(key)) {
         planner_reuses_.fetch_add(1);
-        return it->second;
+        return *pooled;
     }
     CloudCatalog catalog = config_.catalog;
     for (const CloudOffering& rate : request.rates)
@@ -94,7 +278,14 @@ PlanService::plannerFor(const PlanRequest& request)
                                              registry_);
     planner->setParallelism(config_.plannerParallelism);
     planners_created_.fetch_add(1);
-    planners_.emplace(key, planner);
+    // Freeze an evicted planner's step count into the retired total —
+    // the fleet-wide stepsSimulated must not forget work just because
+    // its planner aged out. (A request still holding the shared_ptr
+    // keeps the planner alive; steps it simulates after this snapshot
+    // are the documented undercount.)
+    for (auto& [evicted_key, evicted] : planners_.put(key, planner))
+        retired_planner_steps_.fetch_add(
+            evicted->stats().stepsSimulated);
     return planner;
 }
 
@@ -217,14 +408,39 @@ PlanService::stats() const
     out.requests = requests_.load();
     out.coalesced = coalesced_.load();
     out.executed = executed_.load();
+    out.rateLimited = rate_limited_.load();
     out.plannersCreated = planners_created_.load();
     out.plannerReuses = planner_reuses_.load();
     out.plansCompiled = registry_->plansCompiled();
     out.planRegistryHits = registry_->planHits();
+    out.queueDepth = pool_.pendingTasks();
     {
         std::lock_guard<std::mutex> lock(planners_mutex_);
-        for (const auto& [key, planner] : planners_)
-            out.stepsSimulated += planner->stats().stepsSimulated;
+        out.plannersCached = planners_.size();
+        out.plannersEvicted = planners_.evictions();
+        out.stepsSimulated = retired_planner_steps_.load();
+        planners_.forEach(
+            [&out](const std::string&,
+                   const std::shared_ptr<Planner>& planner) {
+                out.stepsSimulated += planner->stats().stepsSimulated;
+            });
+    }
+    {
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        out.answersCached = answers_.size();
+        out.answersCachedPeak = answers_.peakSize();
+        out.answersEvicted = answers_.evictions();
+    }
+    {
+        std::lock_guard<std::mutex> lock(tenants_mutex_);
+        for (const auto& [name, state] : tenants_) {
+            TenantStats row;
+            row.admitted = state.admitted;
+            row.rejectedInflight = state.rejectedInflight;
+            row.rejectedRate = state.rejectedRate;
+            row.inflight = state.inflight;
+            out.tenants.emplace(name, row);
+        }
     }
     {
         std::lock_guard<std::mutex> lock(latency_mutex_);

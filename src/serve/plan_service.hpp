@@ -10,7 +10,7 @@
  * deduplication make a duplicate-heavy multi-tenant load cheap:
  *
  *  1. **Request coalescing.** Identical requests (same canonicalKey —
- *     everything but the client id) share one execution with
+ *     everything but the client id and tenant) share one execution with
  *     shared-future once-semantics: the first submit runs, every
  *     racer and every later duplicate waits on (or instantly reads)
  *     the same future. This is the planner step cache's trick lifted
@@ -28,6 +28,31 @@
  * (`ServiceStats::stepsSimulated`), however large N is — the
  * thundering-herd test in tests/serve/test_plan_service.cpp pins it.
  *
+ * **Resource governance (ISSUE-4).** Hostile traffic must not grow the
+ * service without bound, so both memoization layers are now
+ * capacity-limited and admission is quota-gated:
+ *
+ *  - The *answer cache* (completed executions) and the *planner pool*
+ *    are `LruCache`s (`common/lru_cache.hpp`) bounded by
+ *    `ServiceConfig::maxAnswers` / `maxPlanners`. In-flight executions
+ *    live in a separate transient map that eviction never touches, so
+ *    a coalesced waiter can never lose its future mid-wait and a
+ *    thundering herd still simulates distinct-config-many steps as
+ *    long as the distinct answers fit the capacity. A capacity-1
+ *    service stays *correct* — evicted answers are recomputed
+ *    (deterministically identical), just slower.
+ *  - Requests carrying a `tenant` pass per-tenant admission control: a
+ *    max-inflight gate (`tenantMaxInflight`) and a token bucket
+ *    (`tenantRps` / `tenantBurst`). Overflow is rejected with a
+ *    ready future answering `ErrorCode::RateLimited` — on the wire,
+ *    `{"ok":false,"error":"RateLimited",...}`. Untenanted requests are
+ *    quota-exempt. Admission happens *before* coalescing: a duplicate
+ *    of a cached answer still spends a token, so the quota meters
+ *    request pressure, not compute. The admission table itself is
+ *    bounded too (`maxTenants`): a fresh name evicts the oldest idle
+ *    tenant's state, and when every tracked tenant is busy, new
+ *    names are rejected rather than tracked.
+ *
  * Coalescing and the response id: the shared response cannot carry
  * every duplicate's client id, so `submit()` futures resolve with an
  * *empty* id and callers stamp their own onto their copy (`ask()` does
@@ -41,8 +66,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/histogram.hpp"
+#include "common/lru_cache.hpp"
 #include "common/parallel.hpp"
 #include "core/planner.hpp"
 #include "gpusim/plan_registry.hpp"
@@ -61,32 +88,94 @@ struct ServiceConfig {
     CloudCatalog catalog = CloudCatalog::cudoCompute();
     /** Upper edge of the latency histogram (10s of headroom). */
     double latencyMaxMs = 10000.0;
+
+    // ----- Resource governance (0 = unbounded/disabled; only
+    // maxTenants defaults to a real bound) --------------------------
+
+    /** Completed answers retained for coalescing; LRU-evicted past
+     *  this. In-flight executions are pinned outside this budget. */
+    std::size_t maxAnswers = 0;
+    /** Planners retained in the pool; LRU-evicted past this. A planner
+     *  still referenced by an in-flight request stays alive (shared
+     *  ownership) — eviction only forgets the pooled entry. */
+    std::size_t maxPlanners = 0;
+    /** Per-tenant cap on requests admitted but not yet answered. */
+    std::uint64_t tenantMaxInflight = 0;
+    /** Per-tenant steady-state admission rate, requests/second. */
+    double tenantRps = 0.0;
+    /** Token-bucket depth (burst allowance); 0 = max(1, tenantRps).
+     *  Only meaningful when tenantRps > 0. */
+    double tenantBurst = 0.0;
+    /**
+     * Tenant names tracked at once (0 = unbounded). The tenant field
+     * is unauthenticated wire input, so without a cap a client
+     * rotating fresh names per request would grow the admission table
+     * without limit. At the cap, admitting a *new* name evicts the
+     * least-recently-seen idle (zero-inflight) tenant — its counters
+     * and token debt are forgotten, the price of bounded memory — and
+     * if every tracked tenant has requests in flight, the new name is
+     * rejected RateLimited until a slot frees. Only consulted when
+     * quotas are enabled (no quotas, no tracking).
+     */
+    std::size_t maxTenants = 4096;
+};
+
+/** Per-tenant admission counters (one stats() row per tenant seen). */
+struct TenantStats {
+    /** Requests that passed admission control. */
+    std::uint64_t admitted = 0;
+    /** Rejections by the max-inflight gate. */
+    std::uint64_t rejectedInflight = 0;
+    /** Rejections by the token bucket. */
+    std::uint64_t rejectedRate = 0;
+    /** Admitted requests whose answer is still pending right now. */
+    std::uint64_t inflight = 0;
 };
 
 /** One stats() snapshot; deltas between snapshots are meaningful. */
 struct ServiceStats {
-    /** Requests submitted. */
+    /** Requests submitted (admitted or not). */
     std::uint64_t requests = 0;
     /** Requests answered by an existing (in-flight or completed)
      *  identical execution. */
     std::uint64_t coalesced = 0;
-    /** Requests that actually executed (requests - coalesced, once
-     *  the queue drains). */
+    /** Requests that actually executed (requests - coalesced -
+     *  rateLimited, once the queue drains). */
     std::uint64_t executed = 0;
+    /** Requests rejected by admission control (all tenants). */
+    std::uint64_t rateLimited = 0;
     /** Distinct planners constructed. */
     std::uint64_t plannersCreated = 0;
     /** Requests routed to an already-existing planner. */
     std::uint64_t plannerReuses = 0;
+    /** Planners LRU-evicted from the pool. */
+    std::uint64_t plannersEvicted = 0;
+    /** Planners currently pooled. */
+    std::uint64_t plannersCached = 0;
+    /** Completed answers currently cached. */
+    std::uint64_t answersCached = 0;
+    /** Largest answersCached ever reached — must never exceed
+     *  ServiceConfig::maxAnswers when that is set (bench-asserted). */
+    std::uint64_t answersCachedPeak = 0;
+    /** Completed answers LRU-evicted from the cache. */
+    std::uint64_t answersEvicted = 0;
     /** Step-plan shapes compiled fleet-wide (registry). */
     std::uint64_t plansCompiled = 0;
     /** Builder plan lookups answered by the shared registry. */
     std::uint64_t planRegistryHits = 0;
-    /** Step simulations across every planner in the service. */
+    /** Step simulations across every planner in the service. Evicted
+     *  planners contribute their count as of eviction; steps a planner
+     *  simulates *after* leaving the pool (while finishing an in-flight
+     *  request) are not re-read. */
     std::uint64_t stepsSimulated = 0;
+    /** Tasks queued behind the workers right now. */
+    std::uint64_t queueDepth = 0;
     /** Median / 99th-percentile submit-to-answer latency of executed
      *  requests, ms (histogram estimate; see common/histogram). */
     double p50LatencyMs = 0.0;
     double p99LatencyMs = 0.0;
+    /** Admission counters per tenant name seen so far. */
+    std::map<std::string, TenantStats> tenants;
 };
 
 /** Concurrent plan-serving facade (see file comment). */
@@ -104,7 +193,9 @@ class PlanService {
      * Admits @p request and returns the future of its answer. Safe to
      * call from any thread. Identical in-flight or completed requests
      * coalesce onto one future; its response carries an empty id —
-     * stamp your own onto your copy (or use ask()).
+     * stamp your own onto your copy (or use ask()). A request rejected
+     * by admission control returns an already-ready future answering
+     * `RateLimited`.
      */
     std::shared_future<PlanResponse> submit(const PlanRequest& request);
 
@@ -127,6 +218,50 @@ class PlanService {
     unsigned workers() const { return pool_.threadCount(); }
 
   private:
+    /** Per-tenant admission state (token bucket + inflight gate). */
+    struct TenantState {
+        double tokens = 0.0;
+        double lastRefillMs = 0.0;
+        /** Last admission attempt — the maxTenants eviction order. */
+        double lastSeenMs = 0.0;
+        bool seen = false;
+        std::uint64_t inflight = 0;
+        std::uint64_t admitted = 0;
+        std::uint64_t rejectedInflight = 0;
+        std::uint64_t rejectedRate = 0;
+    };
+
+    /** One execution in flight: the shared answer plus the tenants
+     *  whose inflight slots it releases on completion. */
+    struct InflightEntry {
+        std::shared_future<PlanResponse> future;
+        std::vector<std::string> waitingTenants;
+    };
+
+    /** True when any tenant quota is configured. */
+    bool quotasEnabled() const
+    {
+        return config_.tenantMaxInflight > 0 || config_.tenantRps > 0.0;
+    }
+
+    /** Admission decision for @p tenant; on success the tenant's
+     *  inflight slot is held until releaseTenant(). */
+    Result<bool> admitTenant(const std::string& tenant);
+
+    /** Returns @p tenant's inflight slot (no-op for empty names). */
+    void releaseTenant(const std::string& tenant);
+
+    /** Moves a finished execution from the in-flight map into the
+     *  bounded answer cache and releases its tenants' slots.
+     *  @param cacheable false when the answer came from the exception
+     *         guard rather than answer(): a transient failure
+     *         (bad_alloc under pressure) must not be promoted into
+     *         the answer cache as the key's permanent answer —
+     *         duplicates after the failure recompute instead.
+     *         Deterministic domain errors (ok=false responses from
+     *         answer()) stay cacheable. */
+    void finishExecution(const std::string& key, bool cacheable);
+
     /** The shared planner for @p request's (scenario, rates). */
     std::shared_ptr<Planner> plannerFor(const PlanRequest& request);
 
@@ -145,24 +280,36 @@ class PlanService {
     void recordLatencyMs(double ms);
 
     ServiceConfig config_;
+    /** Effective token-bucket depth (tenantBurst with its default). */
+    double tenant_burst_ = 0.0;
     std::shared_ptr<PlanRegistry> registry_;
     /** Cached catalog().fingerprint(), folded into planner keys. */
     std::string catalog_fingerprint_;
 
     mutable std::mutex inflight_mutex_;
-    /** canonicalKey -> the one execution every duplicate shares.
-     *  Entries are retained after completion (answer cache): a planner
-     *  answer is deterministic for a fixed scenario, so staleness
-     *  cannot occur within one service lifetime. */
-    std::map<std::string, std::shared_future<PlanResponse>> inflight_;
+    /** canonicalKey -> the one execution every duplicate shares, for
+     *  executions still running. Transient and unbounded on purpose:
+     *  its size is capped by in-flight work, and keeping it out of the
+     *  LRU means eviction can never orphan a coalesced waiter. */
+    std::map<std::string, std::shared_ptr<InflightEntry>> inflight_;
+    /** canonicalKey -> completed answer, LRU-bounded (maxAnswers).
+     *  A planner answer is deterministic for a fixed scenario, so
+     *  recomputing an evicted entry returns the identical response. */
+    LruCache<std::string, std::shared_future<PlanResponse>> answers_;
 
     mutable std::mutex planners_mutex_;
-    /** plannerKey -> shared planner. */
-    std::map<std::string, std::shared_ptr<Planner>> planners_;
+    /** plannerKey -> shared planner, LRU-bounded (maxPlanners). */
+    LruCache<std::string, std::shared_ptr<Planner>> planners_;
+    /** stepsSimulated of evicted planners, frozen at eviction. */
+    std::atomic<std::uint64_t> retired_planner_steps_{0};
+
+    mutable std::mutex tenants_mutex_;
+    std::map<std::string, TenantState> tenants_;
 
     std::atomic<std::uint64_t> requests_{0};
     std::atomic<std::uint64_t> coalesced_{0};
     std::atomic<std::uint64_t> executed_{0};
+    std::atomic<std::uint64_t> rate_limited_{0};
     std::atomic<std::uint64_t> planners_created_{0};
     std::atomic<std::uint64_t> planner_reuses_{0};
 

@@ -109,10 +109,16 @@ class JsonParser {
     {
         skipWs();
         const char c = peek();
-        if (c == '{')
-            return parseObject();
-        if (c == '[')
-            return parseArray();
+        if (c == '{' || c == '[') {
+            // Containers recurse; a hostile line of 100k brackets must
+            // be a parse error, not a stack overflow (fuzz-pinned).
+            if (depth_ >= kMaxDepth)
+                bad(strCat("nesting deeper than ", kMaxDepth));
+            ++depth_;
+            JsonValue v = c == '{' ? parseObject() : parseArray();
+            --depth_;
+            return v;
+        }
         if (c == '"') {
             JsonValue v;
             v.type = JsonValue::Type::String;
@@ -275,8 +281,12 @@ class JsonParser {
         return v;
     }
 
+    /** No real request nests past ~3 levels; 64 is pure headroom. */
+    static constexpr int kMaxDepth = 64;
+
     const std::string& s_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
 };
 
 // ---- Field extraction helpers ----------------------------------------
@@ -510,14 +520,24 @@ parsePlanRequest(const std::string& line)
         const JsonValue doc = parser.parseDocument();
         if (doc.type != JsonValue::Type::Object)
             bad("request must be a JSON object");
-        rejectUnknownKeys(
-            doc, {"id", "query", "gpu", "gpus", "scenario", "rates"},
-            "request");
+        rejectUnknownKeys(doc,
+                          {"id", "tenant", "query", "gpu", "gpus",
+                           "scenario", "rates"},
+                          "request");
 
         PlanRequest req;
         if (const JsonValue* id =
                 optional(doc, "id", JsonValue::Type::String))
             req.id = id->string;
+
+        if (const JsonValue* tenant =
+                optional(doc, "tenant", JsonValue::Type::String)) {
+            // Empty would silently mean "untenanted" (quota-exempt);
+            // make the caller say what they meant.
+            if (tenant->string.empty())
+                bad("\"tenant\" must not be empty (omit it instead)");
+            req.tenant = tenant->string;
+        }
 
         const JsonValue& query =
             require(doc, "query", JsonValue::Type::String);
@@ -579,6 +599,8 @@ writePlanRequest(const PlanRequest& request)
     std::string out = "{";
     if (!request.id.empty())
         out += strCat("\"id\":", quoted(request.id), ',');
+    if (!request.tenant.empty())
+        out += strCat("\"tenant\":", quoted(request.tenant), ',');
     out += strCat("\"query\":", quoted(queryKindName(request.query)));
     if (!request.gpu.empty())
         out += strCat(",\"gpu\":", quoted(request.gpu));

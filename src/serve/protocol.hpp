@@ -9,7 +9,9 @@
  * One request per line, one response per line — the format `ftsim_serve`
  * reads from a file or stdin and the load bench replays. A request names
  * a query kind, the GPU(s) it targets, an optional scenario override,
- * and optional extra rental rates:
+ * optional extra rental rates, and an optional `tenant` the service
+ * bills admission quotas against (see serve/plan_service.hpp; quota
+ * overflow answers `ok:false` with the `RateLimited` error code):
  *
  *   {"id":"t1-q1","query":"max_batch","gpu":"A40"}
  *   {"id":"t1-q2","query":"throughput","gpu":"H100",
@@ -66,6 +68,14 @@ Result<QueryKind> parseQueryKind(const std::string& name);
 struct PlanRequest {
     /** Client-chosen correlation id, echoed on the response. */
     std::string id;
+    /**
+     * Tenant the request is billed to; empty = untenanted (exempt from
+     * admission quotas). Like the id, the tenant is identity *around*
+     * the question, not part of it: requests from different tenants
+     * still coalesce onto one execution, and the tenant never appears
+     * in canonicalKey() / plannerKey().
+     */
+    std::string tenant;
     QueryKind query = QueryKind::MaxBatch;
     /** Target GPU name for the per-GPU kinds. */
     std::string gpu;
@@ -77,8 +87,9 @@ struct PlanRequest {
     std::vector<CloudOffering> rates;
 
     /**
-     * Request identity *excluding* the id: two tenants asking the same
-     * question coalesce onto one execution keyed by this string.
+     * Request identity *excluding* the id and tenant: two tenants
+     * asking the same question coalesce onto one execution keyed by
+     * this string.
      */
     std::string canonicalKey() const;
 

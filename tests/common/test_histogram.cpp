@@ -118,5 +118,70 @@ TEST(Histogram, QuantileEdgeCases)
     EXPECT_THROW(one.quantile(1.1), FatalError);
 }
 
+TEST(Histogram, QuantileOfEmptyHistogramIsZeroForEveryQ)
+{
+    Histogram empty(5.0, 10.0, 4);  // lo > 0: the 0 is a sentinel,
+    for (double q : {0.0, 0.25, 0.5, 1.0})  // not a bin edge.
+        EXPECT_DOUBLE_EQ(empty.quantile(q), 0.0);
+}
+
+TEST(Histogram, QuantileExtremesSpanTheSingleSampleBin)
+{
+    // One sample in bin [5, 7.5): q=0 pins the bin's lower edge,
+    // q=1 its upper — not the neighbouring bins', and in particular
+    // not off by one bin in either direction.
+    Histogram one(0.0, 10.0, 4);
+    one.add(6.0);
+    EXPECT_DOUBLE_EQ(one.quantile(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(one.quantile(1.0), 7.5);
+    EXPECT_DOUBLE_EQ(one.quantile(0.5), 6.25);  // Interpolated middle.
+}
+
+TEST(Histogram, QuantileExtremesSkipEmptyEdgeBins)
+{
+    // Leading and trailing empty bins must not drag q=0 toward lo or
+    // q=1 toward hi: the estimate stays on the occupied bins.
+    Histogram h(0.0, 10.0, 5);
+    h.add(4.1);  // bin 2 = [4, 6)
+    h.add(4.9);
+    h.add(5.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 4.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 6.0);
+}
+
+TEST(Histogram, QuantileIsMonotoneAndBoundedOnClampedData)
+{
+    // Out-of-range samples clamp into the edge bins; quantiles must
+    // stay inside [lo, hi] and monotone in q regardless.
+    Histogram h(0.0, 10.0, 5);
+    h.add(-100.0);
+    h.add(3.0);
+    h.add(7.0);
+    h.add(1000.0);
+    double prev = -1.0;
+    for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+        const double v = h.quantile(q);
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 10.0);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);   // Underflow bin's edge.
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);  // Overflow bin's edge.
+}
+
+TEST(Histogram, QuantileTargetOnCumulativeBoundaryIsTheSharedEdge)
+{
+    // Two samples in adjacent bins: the median rank lands exactly on
+    // the boundary between them, which both bins agree is 2.0 — the
+    // classic off-by-one spot for histogram quantiles.
+    Histogram h(0.0, 4.0, 2);
+    h.add(1.0);
+    h.add(3.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.75), 3.0);
+}
+
 }  // namespace
 }  // namespace ftsim

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the bounded LRU cache (common/lru_cache) — recency
+ * order, capacity-1 behavior, eviction hand-back, and the peak-size
+ * audit counter the serve bench asserts against.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/lru_cache.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(LruCache, EvictsLeastRecentlyUsedFirst)
+{
+    LruCache<std::string, int> cache(2);
+    EXPECT_TRUE(cache.put("a", 1).empty());
+    EXPECT_TRUE(cache.put("b", 2).empty());
+
+    auto evicted = cache.put("c", 3);  // "a" is oldest.
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0].first, "a");
+    EXPECT_EQ(evicted[0].second, 1);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.peek("a"), nullptr);
+    ASSERT_NE(cache.peek("b"), nullptr);
+    ASSERT_NE(cache.peek("c"), nullptr);
+}
+
+TEST(LruCache, GetRefreshesRecency)
+{
+    LruCache<std::string, int> cache(2);
+    cache.put("a", 1);
+    cache.put("b", 2);
+    ASSERT_NE(cache.get("a"), nullptr);  // "a" becomes MRU.
+
+    auto evicted = cache.put("c", 3);
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0].first, "b");
+    EXPECT_NE(cache.peek("a"), nullptr);
+}
+
+TEST(LruCache, PeekDoesNotRefreshRecency)
+{
+    LruCache<std::string, int> cache(2);
+    cache.put("a", 1);
+    cache.put("b", 2);
+    ASSERT_NE(cache.peek("a"), nullptr);  // No touch.
+
+    auto evicted = cache.put("c", 3);
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0].first, "a");
+}
+
+TEST(LruCache, OverwriteTouchesInsteadOfEvicting)
+{
+    LruCache<std::string, int> cache(2);
+    cache.put("a", 1);
+    cache.put("b", 2);
+    EXPECT_TRUE(cache.put("a", 10).empty());  // Overwrite, no evict.
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(*cache.peek("a"), 10);
+
+    auto evicted = cache.put("c", 3);  // "a" was refreshed; "b" goes.
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0].first, "b");
+    EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(LruCache, CapacityOneHoldsExactlyTheLastEntry)
+{
+    LruCache<int, int> cache(1);
+    for (int i = 0; i < 10; ++i) {
+        auto evicted = cache.put(i, i * i);
+        EXPECT_EQ(cache.size(), 1u);
+        if (i > 0) {
+            ASSERT_EQ(evicted.size(), 1u);
+            EXPECT_EQ(evicted[0].first, i - 1);
+        }
+        ASSERT_NE(cache.get(i), nullptr);
+        EXPECT_EQ(*cache.get(i), i * i);
+    }
+    EXPECT_EQ(cache.evictions(), 9u);
+    EXPECT_EQ(cache.peakSize(), 1u);
+}
+
+TEST(LruCache, ZeroCapacityIsUnbounded)
+{
+    LruCache<int, int> cache(0);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(cache.put(i, i).empty());
+    EXPECT_EQ(cache.size(), 1000u);
+    EXPECT_EQ(cache.evictions(), 0u);
+    EXPECT_EQ(cache.peakSize(), 1000u);
+}
+
+TEST(LruCache, PeakSizeNeverExceedsCapacity)
+{
+    // The serve bench's capacity audit: however many distinct keys
+    // stream through, the bound holds at every instant.
+    LruCache<int, int> cache(4);
+    for (int i = 0; i < 100; ++i) {
+        cache.put(i, i);
+        EXPECT_LE(cache.size(), 4u);
+    }
+    EXPECT_EQ(cache.peakSize(), 4u);
+    EXPECT_EQ(cache.evictions(), 96u);
+}
+
+TEST(LruCache, EraseRemovesWithoutCountingEviction)
+{
+    LruCache<std::string, int> cache(4);
+    cache.put("a", 1);
+    EXPECT_TRUE(cache.erase("a"));
+    EXPECT_FALSE(cache.erase("a"));
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.evictions(), 0u);
+    EXPECT_EQ(cache.get("a"), nullptr);
+}
+
+TEST(LruCache, ForEachVisitsMostRecentFirst)
+{
+    LruCache<std::string, int> cache(3);
+    cache.put("a", 1);
+    cache.put("b", 2);
+    cache.put("c", 3);
+    cache.get("a");
+
+    std::string order;
+    cache.forEach([&order](const std::string& key, int) { order += key; });
+    EXPECT_EQ(order, "acb");
+}
+
+TEST(LruCache, MoveOnlyValuesSurviveEviction)
+{
+    // The service caches shared_ptr/shared_future values; eviction
+    // must hand the value back intact, not copy-destroy it.
+    LruCache<int, std::unique_ptr<int>> cache(1);
+    cache.put(1, std::make_unique<int>(11));
+    auto evicted = cache.put(2, std::make_unique<int>(22));
+    ASSERT_EQ(evicted.size(), 1u);
+    ASSERT_NE(evicted[0].second, nullptr);
+    EXPECT_EQ(*evicted[0].second, 11);
+}
+
+}  // namespace
+}  // namespace ftsim

@@ -3,7 +3,10 @@
  * PlanService tests: thundering-herd coalescing (the ISSUE-3
  * acceptance bar: stepsSimulated == distinct configs however many
  * tenants ask), planner sharing, fleet-wide plan-registry sharing,
- * rate overrides, and error surfacing.
+ * rate overrides, error surfacing — and the ISSUE-4 governance layer:
+ * per-tenant admission quotas (token bucket + max-inflight) and
+ * LRU-bounded answer/planner caches (capacity-1 stays correct,
+ * evicted answers recompute identically and re-simulate).
  */
 
 #include <gtest/gtest.h>
@@ -34,7 +37,14 @@ TEST(PlanService, ThunderingHerdSimulatesEachDistinctConfigOnce)
     // probes (one step simulation each — the profile at max batch)
     // and one max_batch probe (memory arithmetic, no simulation).
     // 128 submissions, 3 distinct step configs -> exactly 3 sims.
-    PlanService service;
+    // One extra "greedy" tenant hammers the same probes under a
+    // token-bucket quota: its overflow is RateLimited, and neither
+    // its admitted nor its rejected traffic perturbs the herd's
+    // simulate-once guarantee (untenanted requests are quota-exempt).
+    ServiceConfig config;
+    config.tenantRps = 1e-9;  // Effectively burst-only: 2 then reject.
+    config.tenantBurst = 2.0;
+    PlanService service(config);
     const std::vector<PlanRequest> probes = {
         throughputRequest("A40"),
         throughputRequest("H100"),
@@ -48,13 +58,22 @@ TEST(PlanService, ThunderingHerdSimulatesEachDistinctConfigOnce)
     };
 
     constexpr int kTenants = 32;
+    constexpr std::uint64_t kGreedySubmits = 8;
     std::vector<std::vector<PlanResponse>> answers(kTenants);
+    std::vector<PlanResponse> greedy_answers;
     std::vector<std::thread> tenants;
     for (int t = 0; t < kTenants; ++t)
         tenants.emplace_back([&service, &probes, &answers, t] {
             for (const PlanRequest& probe : probes)
                 answers[t].push_back(service.ask(probe));
         });
+    tenants.emplace_back([&service, &probes, &greedy_answers] {
+        for (std::uint64_t i = 0; i < kGreedySubmits; ++i) {
+            PlanRequest probe = probes[i % probes.size()];
+            probe.tenant = "greedy";
+            greedy_answers.push_back(service.ask(probe));
+        }
+    });
     for (std::thread& tenant : tenants)
         tenant.join();
 
@@ -63,9 +82,12 @@ TEST(PlanService, ThunderingHerdSimulatesEachDistinctConfigOnce)
     // simulates only the distinct configurations.
     EXPECT_EQ(stats.stepsSimulated, 3u);
     EXPECT_EQ(stats.requests,
-              static_cast<std::uint64_t>(kTenants * probes.size()));
+              static_cast<std::uint64_t>(kTenants * probes.size()) +
+                  kGreedySubmits);
     EXPECT_EQ(stats.executed, probes.size());
-    EXPECT_EQ(stats.coalesced, stats.requests - stats.executed);
+    EXPECT_EQ(stats.rateLimited, kGreedySubmits - 2);
+    EXPECT_EQ(stats.coalesced,
+              stats.requests - stats.executed - stats.rateLimited);
     // Two scenarios -> two planners, every other request reused one.
     EXPECT_EQ(stats.plannersCreated, 2u);
 
@@ -77,6 +99,27 @@ TEST(PlanService, ThunderingHerdSimulatesEachDistinctConfigOnce)
             EXPECT_EQ(answers[t][i].value, answers[0][i].value);
         }
     }
+
+    // The greedy tenant: burst admitted (with the herd's answers),
+    // the rest rejected — deterministically, since it submits
+    // serially against a bucket only it drains.
+    ASSERT_EQ(greedy_answers.size(), kGreedySubmits);
+    for (std::size_t i = 0; i < greedy_answers.size(); ++i) {
+        if (i < 2) {
+            EXPECT_TRUE(greedy_answers[i].ok);
+            EXPECT_EQ(greedy_answers[i].value,
+                      answers[0][i % probes.size()].value);
+        } else {
+            EXPECT_FALSE(greedy_answers[i].ok);
+            EXPECT_EQ(greedy_answers[i].errorCode, "RateLimited");
+        }
+    }
+    const auto greedy = stats.tenants.find("greedy");
+    ASSERT_NE(greedy, stats.tenants.end());
+    EXPECT_EQ(greedy->second.admitted, 2u);
+    EXPECT_EQ(greedy->second.rejectedRate, kGreedySubmits - 2);
+    EXPECT_EQ(greedy->second.rejectedInflight, 0u);
+    EXPECT_EQ(greedy->second.inflight, 0u);
 }
 
 TEST(PlanService, AnswersMatchADirectPlanner)
@@ -213,6 +256,348 @@ TEST(PlanService, StatsExposeLatencyQuantiles)
     const ServiceStats stats = service.stats();
     EXPECT_GT(stats.p99LatencyMs, 0.0);
     EXPECT_LE(stats.p50LatencyMs, stats.p99LatencyMs);
+}
+
+// ---- ISSUE-4 resource governance ------------------------------------
+
+TEST(PlanService, EvictedAnswerRecomputesIdenticallyAndResimulates)
+{
+    // Capacity-1 caches: asking A, then B, then A again must evict
+    // and rebuild at every step — the third answer is a fresh planner
+    // and a fresh simulation, yet bit-identical to the first.
+    ServiceConfig config;
+    config.maxAnswers = 1;
+    config.maxPlanners = 1;
+    PlanService service(config);
+
+    const PlanRequest a = throughputRequest("A40");
+    const PlanRequest b =
+        throughputRequest("A40", Scenario::commonsense15k());
+
+    const PlanResponse first = service.ask(a);
+    ASSERT_TRUE(first.ok);
+    EXPECT_EQ(service.stats().stepsSimulated, 1u);
+
+    ASSERT_TRUE(service.ask(b).ok);  // Evicts a's answer AND planner.
+    EXPECT_EQ(service.stats().stepsSimulated, 2u);
+
+    const PlanResponse again = service.ask(a);
+    ASSERT_TRUE(again.ok);
+    EXPECT_EQ(again.value, first.value);  // Eviction never changes answers.
+
+    const ServiceStats stats = service.stats();
+    // The recomputation is real work: a third simulation (the planner
+    // holding a's step cache was evicted too), not a coalesced hit.
+    EXPECT_EQ(stats.stepsSimulated, 3u);
+    EXPECT_EQ(stats.executed, 3u);
+    EXPECT_EQ(stats.coalesced, 0u);
+    EXPECT_EQ(stats.answersEvicted, 2u);
+    EXPECT_EQ(stats.plannersEvicted, 2u);
+    EXPECT_EQ(stats.plannersCreated, 3u);
+    EXPECT_EQ(stats.answersCached, 1u);
+    EXPECT_EQ(stats.answersCachedPeak, 1u);
+    EXPECT_LE(stats.plannersCached, 1u);
+}
+
+TEST(PlanService, CachedAnswersStillCoalesceWithinCapacity)
+{
+    // Within capacity the bounded service behaves exactly like the
+    // unbounded one: duplicates coalesce, nothing re-simulates.
+    ServiceConfig config;
+    config.maxAnswers = 8;
+    config.maxPlanners = 8;
+    PlanService service(config);
+
+    const PlanRequest a = throughputRequest("A40");
+    const PlanResponse first = service.ask(a);
+    ASSERT_TRUE(first.ok);
+    const PlanResponse second = service.ask(a);
+    ASSERT_TRUE(second.ok);
+    EXPECT_EQ(second.value, first.value);
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.executed, 1u);
+    EXPECT_EQ(stats.coalesced, 1u);
+    EXPECT_EQ(stats.stepsSimulated, 1u);
+    EXPECT_EQ(stats.answersEvicted, 0u);
+}
+
+TEST(PlanService, CapacityOneServiceAnswersConcurrentHerdCorrectly)
+{
+    // The hardest governance invariant: a capacity-1 service under a
+    // concurrent multi-question herd must answer *everything*
+    // correctly — eviction may cost recomputation, but a coalesced
+    // waiter can never lose its future (in-flight entries live
+    // outside the LRU) and answers never change.
+    ServiceConfig config;
+    config.maxAnswers = 1;
+    config.maxPlanners = 1;
+    PlanService service(config);
+
+    PlanService reference;  // Unbounded twin for expected values.
+    const std::vector<PlanRequest> probes = {
+        throughputRequest("A40"),
+        throughputRequest("H100"),
+        throughputRequest("A40", Scenario::commonsense15k()),
+    };
+    std::vector<PlanResponse> expected;
+    for (const PlanRequest& probe : probes)
+        expected.push_back(reference.ask(probe));
+
+    constexpr int kThreads = 8;
+    constexpr int kRounds = 3;
+    std::vector<std::vector<PlanResponse>> answers(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&service, &probes, &answers, t] {
+            for (int round = 0; round < kRounds; ++round)
+                for (const PlanRequest& probe : probes)
+                    answers[t].push_back(service.ask(probe));
+        });
+    for (std::thread& thread : threads)
+        thread.join();
+
+    for (int t = 0; t < kThreads; ++t) {
+        ASSERT_EQ(answers[t].size(), probes.size() * kRounds);
+        for (std::size_t i = 0; i < answers[t].size(); ++i) {
+            const PlanResponse& got = answers[t][i];
+            const PlanResponse& want = expected[i % probes.size()];
+            ASSERT_TRUE(got.ok);
+            EXPECT_EQ(got.value, want.value);
+        }
+    }
+
+    const ServiceStats stats = service.stats();
+    // Everyone answered: nothing lost to eviction...
+    EXPECT_EQ(stats.requests,
+              static_cast<std::uint64_t>(kThreads * kRounds) *
+                  probes.size());
+    EXPECT_EQ(stats.coalesced + stats.executed, stats.requests);
+    // ...and the capacity bound held at every instant.
+    EXPECT_EQ(stats.answersCachedPeak, 1u);
+    EXPECT_LE(stats.answersCached, 1u);
+    EXPECT_GE(stats.stepsSimulated, 2u);  // Distinct configs at least.
+}
+
+TEST(PlanService, TokenBucketRejectsPerTenantIndependently)
+{
+    ServiceConfig config;
+    config.tenantRps = 1e-9;  // Burst-only in test timescales.
+    config.tenantBurst = 2.0;
+    PlanService service(config);
+
+    // Distinct cheap questions so nothing coalesces: the quota, not
+    // the cache, must be what rejects.
+    auto probe = [](int i) {
+        PlanRequest req;
+        req.query = QueryKind::MaxBatch;
+        req.gpu = "A40";
+        req.scenario =
+            Scenario::gsMath().withNumQueries(10000.0 + i);
+        return req;
+    };
+
+    int alice_ok = 0, alice_limited = 0;
+    for (int i = 0; i < 5; ++i) {
+        PlanRequest req = probe(i);
+        req.tenant = "alice";
+        req.id = strCat("alice-", i);
+        const PlanResponse resp = service.ask(req);
+        EXPECT_EQ(resp.id, req.id);  // ask() restamps rejections too.
+        if (resp.ok) {
+            ++alice_ok;
+        } else {
+            EXPECT_EQ(resp.errorCode, "RateLimited");
+            ++alice_limited;
+        }
+    }
+    EXPECT_EQ(alice_ok, 2);
+    EXPECT_EQ(alice_limited, 3);
+
+    // Bob has his own bucket; alice draining hers costs him nothing.
+    PlanRequest bobs = probe(100);
+    bobs.tenant = "bob";
+    EXPECT_TRUE(service.ask(bobs).ok);
+
+    // Untenanted traffic is quota-exempt however much there is.
+    for (int i = 200; i < 210; ++i)
+        EXPECT_TRUE(service.ask(probe(i)).ok);
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.rateLimited, 3u);
+    EXPECT_EQ(stats.tenants.at("alice").admitted, 2u);
+    EXPECT_EQ(stats.tenants.at("alice").rejectedRate, 3u);
+    EXPECT_EQ(stats.tenants.at("bob").admitted, 1u);
+    EXPECT_EQ(stats.tenants.at("bob").rejectedRate, 0u);
+}
+
+TEST(PlanService, InflightGateCapsConcurrentRequestsPerTenant)
+{
+    // One worker, inflight limit 1: the first (slow, report-sized)
+    // request occupies the tenant's only slot; duplicates submitted
+    // while it runs are rejected, and the slot frees once it answers.
+    ServiceConfig config;
+    config.workers = 1;
+    config.tenantMaxInflight = 1;
+    PlanService service(config);
+
+    PlanRequest heavy;
+    heavy.query = QueryKind::Report;  // Sweep + fits: >> submit cost.
+    heavy.gpu = "A40";
+    heavy.tenant = "carol";
+
+    std::shared_future<PlanResponse> slow = service.submit(heavy);
+
+    // Submitted microseconds into a report-sized execution: the slot
+    // is still held, so a second (distinct) request bounces.
+    PlanRequest second = throughputRequest("A40");
+    second.tenant = "carol";
+    const PlanResponse bounced = service.submit(second).get();
+    EXPECT_FALSE(bounced.ok);
+    EXPECT_EQ(bounced.errorCode, "RateLimited");
+
+    EXPECT_TRUE(slow.get().ok);
+    // The answer resolved, so the slot is free again — and the retry
+    // coalesces onto the cached report without consuming new work.
+    PlanRequest retry = heavy;
+    EXPECT_TRUE(service.ask(retry).ok);
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.tenants.at("carol").rejectedInflight, 1u);
+    EXPECT_EQ(stats.tenants.at("carol").admitted, 2u);
+    EXPECT_EQ(stats.tenants.at("carol").inflight, 0u);
+    EXPECT_EQ(stats.rateLimited, 1u);
+}
+
+TEST(PlanService, CoalescedDuplicatesHoldInflightSlotsUntilAnswered)
+{
+    // Duplicates coalesce onto one execution but each admitted copy
+    // holds its own tenant slot until the shared answer resolves —
+    // otherwise a tenant could multiply pressure through duplicates.
+    ServiceConfig config;
+    config.workers = 1;
+    config.tenantMaxInflight = 2;
+    PlanService service(config);
+
+    PlanRequest heavy;
+    heavy.query = QueryKind::Report;
+    heavy.gpu = "A40";
+    heavy.tenant = "dave";
+
+    std::shared_future<PlanResponse> first = service.submit(heavy);
+    std::shared_future<PlanResponse> duplicate = service.submit(heavy);
+    const PlanResponse third = service.submit(heavy).get();
+    EXPECT_FALSE(third.ok);  // Two slots held by the shared execution.
+    EXPECT_EQ(third.errorCode, "RateLimited");
+
+    EXPECT_TRUE(first.get().ok);
+    EXPECT_TRUE(duplicate.get().ok);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.tenants.at("dave").inflight, 0u);
+    EXPECT_EQ(stats.tenants.at("dave").rejectedInflight, 1u);
+    EXPECT_EQ(stats.executed, 1u);  // Still one execution.
+}
+
+TEST(PlanService, TenantTableIsBoundedUnderNameRotation)
+{
+    // The tenant field is unauthenticated wire input: a client
+    // rotating fresh names must not grow the admission table without
+    // limit. Idle states are evicted oldest-first to make room.
+    ServiceConfig config;
+    config.tenantRps = 1e9;  // Quotas on, but never the rejector here.
+    config.maxTenants = 2;
+    PlanService service(config);
+
+    for (int i = 0; i < 10; ++i) {
+        PlanRequest req = throughputRequest("A40");
+        req.tenant = strCat("rotating-", i);
+        EXPECT_TRUE(service.ask(req).ok);  // Idle olds evict fine.
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_LE(stats.tenants.size(), 2u);
+    EXPECT_EQ(stats.rateLimited, 0u);
+}
+
+TEST(PlanService, FullTenantTableOfBusyTenantsRejectsNewNames)
+{
+    // When every tracked tenant has work in flight, there is nothing
+    // safe to evict: a fresh name is rejected instead of tracked.
+    ServiceConfig config;
+    config.workers = 1;
+    config.tenantRps = 1e9;
+    config.maxTenants = 1;
+    PlanService service(config);
+
+    PlanRequest heavy;
+    heavy.query = QueryKind::Report;  // Holds its slot while running.
+    heavy.gpu = "A40";
+    heavy.tenant = "resident";
+    std::shared_future<PlanResponse> slow = service.submit(heavy);
+
+    PlanRequest newcomer = throughputRequest("A40");
+    newcomer.tenant = "newcomer";
+    const PlanResponse bounced = service.submit(newcomer).get();
+    EXPECT_FALSE(bounced.ok);
+    EXPECT_EQ(bounced.errorCode, "RateLimited");
+
+    EXPECT_TRUE(slow.get().ok);
+    // Resident is idle now: the newcomer takes its slot.
+    EXPECT_TRUE(service.ask(newcomer).ok);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.tenants.size(), 1u);
+    EXPECT_EQ(stats.tenants.count("newcomer"), 1u);
+}
+
+TEST(PlanService, ExecutionThrowBecomesAnErrorResponseNotAPoisonedKey)
+{
+    // A crafted programmatic scenario (incomplete model spec) makes
+    // the simulator fatal() mid-execution. The future must resolve
+    // with an error response, the key must leave the in-flight map
+    // (later duplicates recompute, not rethrow — and the guard answer
+    // is never cached), and the tenant's inflight slot must come back.
+    ServiceConfig config;
+    config.tenantMaxInflight = 1;
+    PlanService service(config);
+
+    PlanRequest poison = throughputRequest("A40");
+    poison.tenant = "edgar";
+    poison.scenario.model.nLayers = 0;  // WorkloadBuilder fatals.
+
+    const PlanResponse first = service.ask(poison);
+    EXPECT_FALSE(first.ok);
+    EXPECT_EQ(first.errorCode, "InvalidArgument");
+    EXPECT_NE(first.errorMessage.find("execution failed"),
+              std::string::npos);
+
+    // Same question again: guard answers are NOT promoted to the
+    // answer cache (a transient failure must not become the key's
+    // permanent answer), so the retry re-executes — through a freed
+    // key and a freed tenant slot — and fails the same way.
+    const PlanResponse again = service.ask(poison);
+    EXPECT_FALSE(again.ok);
+    EXPECT_EQ(again.errorCode, first.errorCode);
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.tenants.at("edgar").inflight, 0u);
+    EXPECT_EQ(stats.executed, 2u);
+    EXPECT_EQ(stats.coalesced, 0u);
+    EXPECT_EQ(stats.rateLimited, 0u);
+
+    // And the service keeps serving healthy requests afterwards.
+    EXPECT_TRUE(service.ask(throughputRequest("A40")).ok);
+}
+
+TEST(PlanService, QuotasDisabledByDefaultEvenForTenantedRequests)
+{
+    PlanService service;  // Default config: no quotas.
+    for (int i = 0; i < 8; ++i) {
+        PlanRequest req = throughputRequest("A40");
+        req.tenant = "free";
+        EXPECT_TRUE(service.ask(req).ok);
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.rateLimited, 0u);
+    EXPECT_TRUE(stats.tenants.empty());  // No tracking when disabled.
 }
 
 }  // namespace

@@ -147,6 +147,59 @@ TEST(Protocol, ProtocolErrorLineOmitsQuery)
               std::string::npos);
 }
 
+TEST(Protocol, RoundTripsTenant)
+{
+    PlanRequest req = requestOfKind(QueryKind::Throughput);
+    req.tenant = "acme-corp";
+    Result<PlanRequest> parsed =
+        parsePlanRequest(writePlanRequest(req));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().tenant, "acme-corp");
+    EXPECT_EQ(parsed.value().canonicalKey(), req.canonicalKey());
+}
+
+TEST(Protocol, TenantIsNotPartOfTheCoalescingKey)
+{
+    // Like the id, the tenant is billing identity around the
+    // question: two tenants asking the same thing must coalesce.
+    PlanRequest a = requestOfKind(QueryKind::Throughput);
+    a.tenant = "acme";
+    PlanRequest b = a;
+    b.tenant = "globex";
+    EXPECT_EQ(a.canonicalKey(), b.canonicalKey());
+    EXPECT_EQ(a.plannerKey(), b.plannerKey());
+}
+
+TEST(Protocol, DeepNestingIsAParseErrorNotAStackOverflow)
+{
+    // Nesting budget: a hostile bracket bomb must answer
+    // InvalidArgument instead of recursing the parser off the stack.
+    std::string bomb(100000, '[');
+    Result<PlanRequest> parsed = parsePlanRequest(bomb);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.code(), ErrorCode::InvalidArgument);
+
+    std::string object_bomb;
+    for (int i = 0; i < 5000; ++i)
+        object_bomb += "{\"scenario\":";
+    parsed = parsePlanRequest(object_bomb);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.code(), ErrorCode::InvalidArgument);
+}
+
+TEST(Protocol, RateLimitedSerializesOnTheWire)
+{
+    PlanRequest req = requestOfKind(QueryKind::Throughput);
+    req.tenant = "acme";
+    PlanResponse resp = errorResponse(
+        req, Error{ErrorCode::RateLimited,
+                   "tenant \"acme\" exceeded 2 requests/s"});
+    const std::string line = writePlanResponse(resp);
+    EXPECT_NE(line.find(R"("ok":false)"), std::string::npos);
+    EXPECT_NE(line.find(R"("error":"RateLimited")"),
+              std::string::npos);
+}
+
 TEST(Protocol, CoalescingKeyIgnoresIdOnly)
 {
     PlanRequest a = requestOfKind(QueryKind::Throughput);
@@ -190,6 +243,8 @@ TEST(Protocol, MalformedInputIsInvalidArgument)
         R"({"query":"cost_table","gpu":"A40"})",
         R"({"query":"cost_table","gpus":["A40",7]})",
         R"({"query":"max_batch","gpu":"A40","id":7})",
+        R"({"query":"max_batch","gpu":"A40","tenant":7})",
+        R"({"query":"max_batch","gpu":"A40","tenant":""})",
         // Scenario strictness.
         R"({"query":"max_batch","gpu":"A40","scenario":{"preset":"imagenet"}})",
         R"({"query":"max_batch","gpu":"A40","scenario":{"model":"gpt5"}})",

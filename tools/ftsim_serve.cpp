@@ -9,14 +9,32 @@
  * ok=false InvalidArgument response in the same slot and count as
  * protocol errors.
  *
- * A summary (request count, protocol errors, coalescing and latency
- * stats) goes to stderr, and the exit status is non-zero when any
- * protocol error occurred — which lets CI assert "this request file is
- * answered with zero protocol errors" by just running the binary.
+ * Resource governance maps straight onto `ServiceConfig`:
+ * `--max-answers` / `--max-planners` bound the LRU caches, and
+ * `--tenant-inflight` / `--tenant-rps` / `--tenant-burst` gate
+ * admission per request `tenant`. Quota overflow answers
+ * `{"ok":false,"error":"RateLimited",...}` in the request's slot —
+ * a quota rejection is a well-formed answer, not a protocol error.
+ * Requests are admitted in input order from one thread, so with
+ * token-bucket quotas only (`--tenant-rps`, the configuration the e2e
+ * golden uses) the rejection pattern is deterministic for a given
+ * input. `--tenant-inflight` rejections additionally depend on how
+ * fast the workers drain earlier requests — don't bake them into
+ * goldens.
+ *
+ * A summary (request count, protocol errors, coalescing, governance
+ * and latency stats) goes to stderr, and the exit status is non-zero
+ * when any protocol error occurred — which lets CI assert "this
+ * request file is answered with zero protocol errors" by just running
+ * the binary.
  *
  * Usage: ftsim_serve [requests.jsonl|-] [workers]
+ *                    [--workers N] [--max-answers N] [--max-planners N]
+ *                    [--tenant-inflight N] [--tenant-rps X]
+ *                    [--tenant-burst X] [--max-tenants N]
  */
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -28,14 +46,80 @@
 
 using namespace ftsim;
 
+namespace {
+
+[[noreturn]] void
+usage(const std::string& problem)
+{
+    std::cerr << "ftsim_serve: " << problem << "\n"
+              << "usage: ftsim_serve [requests.jsonl|-] [workers]\n"
+              << "                   [--workers N] [--max-answers N]\n"
+              << "                   [--max-planners N]"
+                 " [--tenant-inflight N]\n"
+              << "                   [--tenant-rps X]"
+                 " [--tenant-burst X] [--max-tenants N]\n";
+    std::exit(2);
+}
+
+double
+numberArg(const std::string& flag, const char* text)
+{
+    char* end = nullptr;
+    const double value = std::strtod(text, &end);
+    // isfinite: "nan"/"inf" parse but would silently disable (or
+    // un-bound) the quota the operator explicitly asked for.
+    if (end == text || *end != '\0' || !std::isfinite(value) ||
+        value < 0.0)
+        usage(strCat(flag, " needs a non-negative finite number, got '",
+                     text, "'"));
+    return value;
+}
+
+}  // namespace
+
 int
 main(int argc, char** argv)
 {
-    const std::string path = argc > 1 ? argv[1] : "-";
+    std::string path = "-";
     ServiceConfig config;
-    if (argc > 2)
-        config.workers =
-            static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10));
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc)
+                usage(strCat(arg, " needs a value"));
+            return argv[++i];
+        };
+        if (arg == "--workers")
+            config.workers = static_cast<unsigned>(numberArg(arg, value()));
+        else if (arg == "--max-answers")
+            config.maxAnswers =
+                static_cast<std::size_t>(numberArg(arg, value()));
+        else if (arg == "--max-planners")
+            config.maxPlanners =
+                static_cast<std::size_t>(numberArg(arg, value()));
+        else if (arg == "--tenant-inflight")
+            config.tenantMaxInflight =
+                static_cast<std::uint64_t>(numberArg(arg, value()));
+        else if (arg == "--tenant-rps")
+            config.tenantRps = numberArg(arg, value());
+        else if (arg == "--tenant-burst")
+            config.tenantBurst = numberArg(arg, value());
+        else if (arg == "--max-tenants")
+            config.maxTenants =
+                static_cast<std::size_t>(numberArg(arg, value()));
+        else if (arg.size() > 2 && arg.compare(0, 2, "--") == 0)
+            usage(strCat("unknown flag ", arg));
+        else
+            positional.push_back(arg);
+    }
+    if (!positional.empty())
+        path = positional[0];
+    if (positional.size() > 1)  // Legacy: ftsim_serve FILE WORKERS.
+        config.workers = static_cast<unsigned>(
+            numberArg("workers", positional[1].c_str()));
+    if (positional.size() > 2)
+        usage("too many positional arguments");
 
     std::ifstream file;
     if (path != "-") {
@@ -101,11 +185,22 @@ main(int argc, char** argv)
               << "ftsim_serve: requests=" << stats.requests
               << " coalesced=" << stats.coalesced
               << " executed=" << stats.executed
+              << " rate_limited=" << stats.rateLimited
               << " planners=" << stats.plannersCreated
               << " planner_reuses=" << stats.plannerReuses
               << " plans_compiled=" << stats.plansCompiled
               << " steps_simulated=" << stats.stepsSimulated << '\n'
-              << "ftsim_serve: latency p50=" << stats.p50LatencyMs
+              << "ftsim_serve: answers_cached=" << stats.answersCached
+              << " (peak " << stats.answersCachedPeak << ", evicted "
+              << stats.answersEvicted << ")"
+              << " planners_cached=" << stats.plannersCached
+              << " (evicted " << stats.plannersEvicted << ")\n";
+    for (const auto& [tenant, row] : stats.tenants)
+        std::cerr << "ftsim_serve: tenant " << tenant << ": admitted="
+                  << row.admitted
+                  << " rejected_inflight=" << row.rejectedInflight
+                  << " rejected_rate=" << row.rejectedRate << '\n';
+    std::cerr << "ftsim_serve: latency p50=" << stats.p50LatencyMs
               << "ms p99=" << stats.p99LatencyMs << "ms over "
               << service.workers() << " workers\n";
     return protocol_errors > 0 ? 1 : 0;
