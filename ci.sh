@@ -11,7 +11,7 @@ cmake --build "$BUILD_DIR" -j
 (cd "$BUILD_DIR" && ctest --output-on-failure -j)
 
 # Perf smoke: time the planner hot path and emit BENCH_planner.json as
-# a build artifact. Trajectory tracking only — no thresholds (yet).
+# a build artifact. Gated against bench/baselines by bench_check below.
 "$BUILD_DIR/bench/bench_perf_planner" "$BUILD_DIR/BENCH_planner.json"
 echo "ci.sh: perf smoke artifact at $BUILD_DIR/BENCH_planner.json"
 
@@ -21,6 +21,20 @@ echo "ci.sh: perf smoke artifact at $BUILD_DIR/BENCH_planner.json"
 # one-planner-per-request baseline, or when any answer diverges.
 "$BUILD_DIR/bench/bench_serve_load" "$BUILD_DIR/BENCH_serve.json"
 echo "ci.sh: serve smoke artifact at $BUILD_DIR/BENCH_serve.json"
+
+# Net soak: 64 concurrent socket connections replay the duplicate-heavy
+# trace against a NetServer and emit BENCH_net.json. The binary fails
+# when any wire answer diverges from the in-process PlanService or the
+# fleet simulates more than distinct-config-many steps.
+"$BUILD_DIR/bench/bench_net_load" "$BUILD_DIR/BENCH_net.json"
+echo "ci.sh: net soak artifact at $BUILD_DIR/BENCH_net.json"
+
+# Bench-regression gate: fresh artifacts vs. checked-in baselines.
+# Deterministic counters must match exactly; speedup ratios may drop
+# at most 25% (override with BENCH_CHECK_TOLERANCE). Refresh after an
+# intentional change: python3 tools/bench_check.py --update
+python3 tools/bench_check.py --fresh-dir "$BUILD_DIR"
+echo "ci.sh: bench regression gates green"
 
 # Protocol smoke: the mixed example request file must parse cleanly —
 # ftsim_serve exits non-zero on any protocol error.
@@ -37,15 +51,44 @@ cat examples/serve_requests.jsonl examples/serve_requests_governed.jsonl \
   | diff -u tests/integration/golden_serve_e2e.jsonl -
 echo "ci.sh: ftsim_serve output matches the e2e golden (quotas + eviction)"
 
+# Socket golden e2e: the same fixtures through the ftsim_served daemon
+# and the ftsim_client pipelining client must produce the same golden
+# bytes — the TCP hop adds transport, never semantics. Port 0 lets the
+# kernel pick (announced on the daemon's stderr); SIGTERM must drain
+# gracefully and exit 0.
+SERVED_LOG="$BUILD_DIR/ftsim_served.ci.log"
+"$BUILD_DIR/ftsim_served" --port 0 --max-answers 4 --max-planners 2 \
+    --tenant-rps 0.000001 2> "$SERVED_LOG" &
+SERVED_PID=$!
+# set -e aborts mid-block on any failure below; without the trap that
+# would orphan the daemon (holding its port) past the script's death.
+trap 'kill -TERM "$SERVED_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$SERVED_LOG" 2>/dev/null && break
+  sleep 0.1
+done
+SERVED_PORT=$(sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' \
+              "$SERVED_LOG" | head -1)
+[ -n "$SERVED_PORT" ] || { echo "ci.sh: ftsim_served did not start"; exit 1; }
+cat examples/serve_requests.jsonl examples/serve_requests_governed.jsonl \
+  | "$BUILD_DIR/ftsim_client" - --port "$SERVED_PORT" \
+  | diff -u tests/integration/golden_serve_e2e.jsonl -
+kill -TERM "$SERVED_PID"
+wait "$SERVED_PID"   # Graceful drain must exit 0.
+trap - EXIT
+echo "ci.sh: ftsim_served/ftsim_client socket e2e matches the golden (clean SIGTERM drain)"
+
 # Sanitizer job: rebuild the library + tests with ASan/UBSan and run
-# the serving, protocol-fuzz, LRU, and histogram suites — the fuzz
-# corpus under sanitizers is the ISSUE-4 "no UB on hostile input" gate.
+# the serving, protocol-fuzz, LRU, histogram, and network suites — the
+# fuzz corpus under sanitizers is the ISSUE-4 "no UB on hostile input"
+# gate, and the Net* suites put real sockets (framing fuzz included)
+# under the same instrumentation.
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$SAN_DIR" -S . -DFTSIM_SANITIZE=ON \
       -DFTSIM_BUILD_BENCH=OFF -DFTSIM_BUILD_EXAMPLES=OFF > /dev/null
 cmake --build "$SAN_DIR" -j --target ftsim_tests
 "$SAN_DIR/ftsim_tests" \
-    --gtest_filter='Protocol*:PlanService*:LruCache*:ServeE2E*:Histogram*'
-echo "ci.sh: ASan+UBSan serve/fuzz suites green"
+    --gtest_filter='Protocol*:PlanService*:LruCache*:ServeE2E*:Histogram*:Net*'
+echo "ci.sh: ASan+UBSan serve/fuzz/net suites green"
 
 echo "ci.sh: all green"

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/logging.hpp"
+#include "common/lru_cache.hpp"
 #include "common/parallel.hpp"
 
 namespace ftsim {
@@ -26,24 +27,35 @@ gpuFingerprint(const GpuSpec& gpu)
 
 /** Per-GPU cache shard: one simulator plus every memoized answer. */
 struct Planner::GpuState {
-    using StepKey = std::tuple<std::size_t, std::size_t, bool, int>;
-
     GpuSpec gpu;
     FineTuneSim sim;
     /** Guards the cache containers below (not the registry) — but NOT
      *  the simulations themselves: step entries are shared futures and
      *  the owning thread fulfills them outside the lock. */
     std::mutex mutex;
-    std::map<StepKey, std::shared_future<StepProfile>> steps;
+    /** Memoized step profiles, LRU-bounded when the planner's
+     *  step-cache capacity is set (0 = unbounded). Values are shared
+     *  futures, so evicting an entry mid-simulation never orphans a
+     *  waiter — every waiter holds its own copy of the shared state. */
+    LruCache<std::string, std::shared_future<StepProfile>> steps;
     std::optional<MemoryBreakdown> mem;
     std::optional<std::vector<ThroughputObservation>> observations;
     std::optional<ThroughputFit> fit;
 
     GpuState(const ModelSpec& model, const GpuSpec& g,
              const SimCalibration& calib,
-             std::shared_ptr<PlanRegistry> registry)
-        : gpu(g), sim(model, g, calib, std::move(registry))
+             std::shared_ptr<PlanRegistry> registry,
+             std::size_t step_capacity)
+        : gpu(g), sim(model, g, calib, std::move(registry)),
+          steps(step_capacity)
     {
+    }
+
+    static std::string stepKey(const RunConfig& config)
+    {
+        return strCat(config.batchSize, '|', config.seqLen, '|',
+                      config.sparse ? 1 : 0, '|',
+                      config.gradientCheckpointing);
     }
 };
 
@@ -63,6 +75,13 @@ Planner::setParallelism(unsigned threads)
     return *this;
 }
 
+Planner&
+Planner::setStepCacheCapacity(std::size_t entries)
+{
+    step_cache_capacity_ = entries;
+    return *this;
+}
+
 Planner::GpuState&
 Planner::stateFor(const GpuSpec& gpu) const
 {
@@ -73,32 +92,36 @@ Planner::stateFor(const GpuSpec& gpu) const
         it = states_
                  .emplace(key, std::make_unique<GpuState>(
                                    scenario_.model, gpu,
-                                   scenario_.calibration, registry_))
+                                   scenario_.calibration, registry_,
+                                   step_cache_capacity_))
                  .first;
     return *it->second;
 }
 
-const StepProfile&
+StepProfile
 Planner::profiledStep(GpuState& state, const RunConfig& config) const
 {
-    const GpuState::StepKey key{config.batchSize, config.seqLen,
-                                config.sparse,
-                                config.gradientCheckpointing};
+    const std::string key = GpuState::stepKey(config);
     std::packaged_task<StepProfile()> task;
     std::shared_future<StepProfile> future;
     {
         std::lock_guard<std::mutex> lock(state.mutex);
-        auto it = state.steps.find(key);
-        if (it != state.steps.end()) {
+        if (std::shared_future<StepProfile>* cached =
+                state.steps.get(key)) {
             ++step_hits_;
-            future = it->second;
+            future = *cached;
         } else {
             ++step_misses_;
             task = std::packaged_task<StepProfile()>([&state, config] {
                 return state.sim.profileStep(config);
             });
             future = task.get_future().share();
-            state.steps.emplace(key, future);
+            // A bounded shard may evict here; displaced futures are
+            // simply dropped — any thread still waiting on one holds
+            // its own shared_future copy, and a later query for the
+            // evicted key re-simulates (a fresh miss, identical
+            // profile).
+            state.steps.put(key, future);
         }
     }
     // Simulate *outside* the shard lock: concurrent queries for the
@@ -107,8 +130,6 @@ Planner::profiledStep(GpuState& state, const RunConfig& config) const
     // re-simulating (once-semantics: misses == simulations).
     if (task.valid())
         task();
-    // The map retains a copy of the shared state, so the reference
-    // stays valid for the planner's lifetime.
     return future.get();
 }
 
@@ -393,12 +414,19 @@ Planner::stats() const
     out.stepCacheMisses =
         since(step_misses_.load(), misses_base_.load());
     std::uint64_t simulated = 0;
+    std::uint64_t evicted = 0;
     {
         std::lock_guard<std::mutex> lock(registry_mutex_);
-        for (const auto& [key, state] : states_)
+        for (const auto& [key, state] : states_) {
             simulated += state->sim.stepsSimulated();
+            // The shard lock, not registry_mutex_, guards the step
+            // cache — take it briefly for a coherent eviction count.
+            std::lock_guard<std::mutex> shard(state->mutex);
+            evicted += state->steps.evictions();
+        }
     }
     out.stepsSimulated = since(simulated, steps_base_.load());
+    out.stepCacheEvictions = since(evicted, evictions_base_.load());
     return out;
 }
 
@@ -408,12 +436,17 @@ Planner::resetStats()
     hits_base_.store(step_hits_.load());
     misses_base_.store(step_misses_.load());
     std::uint64_t simulated = 0;
+    std::uint64_t evicted = 0;
     {
         std::lock_guard<std::mutex> lock(registry_mutex_);
-        for (const auto& [key, state] : states_)
+        for (const auto& [key, state] : states_) {
             simulated += state->sim.stepsSimulated();
+            std::lock_guard<std::mutex> shard(state->mutex);
+            evicted += state->steps.evictions();
+        }
     }
     steps_base_.store(simulated);
+    evictions_base_.store(evicted);
 }
 
 }  // namespace ftsim

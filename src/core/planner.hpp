@@ -42,7 +42,6 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <tuple>
 #include <vector>
 
 #include "core/cost_model.hpp"
@@ -64,6 +63,9 @@ struct PlannerStats {
     /** Steps actually simulated, summed over the per-GPU simulators.
      *  Equals stepCacheMisses when no query bypassed the cache. */
     std::uint64_t stepsSimulated = 0;
+    /** Step-cache entries LRU-evicted, summed over the per-GPU shards
+     *  (0 unless setStepCacheCapacity bounded them). */
+    std::uint64_t stepCacheEvictions = 0;
 };
 
 /** Scenario-driven planning facade (see file comment). */
@@ -96,6 +98,18 @@ class Planner {
      * cheapestPlan, batchSizeSweep). 0 or 1 = serial. Returns *this.
      */
     Planner& setParallelism(unsigned threads);
+
+    /**
+     * Bounds each per-GPU step-cache shard to @p entries memoized
+     * profiles (LRU-evicted past that; `common/lru_cache.hpp`).
+     * 0 = unbounded, the default and the pre-bound behavior. An
+     * evicted configuration re-simulates on its next query —
+     * deterministically identical, just recounted as a miss — so the
+     * bound trades recomputation for memory, never correctness.
+     * Applies to shards created after the call: set it before the
+     * first query (shards materialize lazily per GPU). Returns *this.
+     */
+    Planner& setStepCacheCapacity(std::size_t entries);
 
     // ----- Per-GPU queries (memoized) -----
 
@@ -214,10 +228,12 @@ class Planner {
      * outside the shard lock with per-entry once-semantics: exactly one
      * thread simulates a given configuration, concurrent requesters for
      * the same key block on its shared future, and requesters for
-     * *different* keys on the same GPU proceed in parallel.
+     * *different* keys on the same GPU proceed in parallel. Returns by
+     * value: with a bounded shard a reference into the cache could be
+     * evicted (and its shared state dropped) while the caller reads it.
      */
-    const StepProfile& profiledStep(GpuState& state,
-                                    const RunConfig& config) const;
+    StepProfile profiledStep(GpuState& state,
+                             const RunConfig& config) const;
 
     /** Scenario field validation shared by every query. */
     Result<Scenario> checked() const { return scenario_.validated(); }
@@ -229,6 +245,9 @@ class Planner {
     CostEstimator estimator_;
     std::shared_ptr<PlanRegistry> registry_;
     unsigned parallelism_ = 1;
+    /** Per-shard step-cache bound (0 = unbounded); see
+     *  setStepCacheCapacity. */
+    std::size_t step_cache_capacity_ = 0;
 
     mutable std::mutex registry_mutex_;
     mutable std::map<std::string, std::unique_ptr<GpuState>> states_;
@@ -238,6 +257,7 @@ class Planner {
     mutable std::atomic<std::uint64_t> hits_base_{0};
     mutable std::atomic<std::uint64_t> misses_base_{0};
     mutable std::atomic<std::uint64_t> steps_base_{0};
+    mutable std::atomic<std::uint64_t> evictions_base_{0};
 };
 
 }  // namespace ftsim

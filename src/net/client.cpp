@@ -1,0 +1,87 @@
+#include "net/client.hpp"
+
+#include <sys/socket.h>
+
+#include "common/logging.hpp"
+
+namespace ftsim {
+
+Result<NetClient>
+NetClient::connectTo(const std::string& host, std::uint16_t port)
+{
+    Result<Connection> connection = Connection::connectTo(host, port);
+    if (!connection)
+        return connection.error();
+    NetClient client;
+    client.connection_ = std::move(connection.value());
+    return client;
+}
+
+Result<bool>
+NetClient::sendLine(const std::string& line)
+{
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const IoResult io =
+            connection_.writeSome(framed.data() + sent,
+                                  framed.size() - sent);
+        if (io.status == IoStatus::Ok) {
+            sent += io.bytes;
+        } else if (io.status == IoStatus::WouldBlock) {
+            continue;  // Blocking fd: only transient EINTR lands here.
+        } else {
+            return Error{ErrorCode::InvalidArgument,
+                         "connection closed while sending"};
+        }
+    }
+    return true;
+}
+
+Result<std::string>
+NetClient::recvLine()
+{
+    while (true) {
+        const std::size_t newline = buffer_.find('\n');
+        if (newline != std::string::npos) {
+            std::string line = buffer_.substr(0, newline);
+            buffer_.erase(0, newline + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return line;
+        }
+        char chunk[4096];
+        const IoResult io = connection_.readSome(chunk, sizeof(chunk));
+        if (io.status == IoStatus::Ok) {
+            buffer_.append(chunk, io.bytes);
+        } else if (io.status == IoStatus::WouldBlock) {
+            continue;  // Blocking fd: only transient EINTR lands here.
+        } else if (io.status == IoStatus::Eof) {
+            return Error{ErrorCode::InvalidArgument,
+                         "connection closed before a full response "
+                         "line arrived"};
+        } else {
+            return Error{ErrorCode::InvalidArgument,
+                         "socket error while reading"};
+        }
+    }
+}
+
+Result<std::string>
+NetClient::ask(const std::string& line)
+{
+    Result<bool> sent = sendLine(line);
+    if (!sent)
+        return sent.error();
+    return recvLine();
+}
+
+void
+NetClient::finishSending()
+{
+    if (connection_.valid())
+        ::shutdown(connection_.fd(), SHUT_WR);
+}
+
+}  // namespace ftsim

@@ -1,0 +1,66 @@
+#ifndef FTSIM_NET_CLIENT_HPP
+#define FTSIM_NET_CLIENT_HPP
+
+/**
+ * @file
+ * Blocking JSON-lines client for `ftsim_served`.
+ *
+ * One `NetClient` is one TCP connection speaking the serve protocol:
+ * send request lines, read response lines. The server answers each
+ * connection's requests *in request order*, so a client may pipeline —
+ * send N lines, then read N responses — which is exactly what the
+ * `ftsim_client` tool, the socket tests, and `bench_net_load` do.
+ *
+ * Deliberately blocking and single-threaded: the poll-based machinery
+ * lives server-side; a client that wants concurrency opens more
+ * connections (the bench opens 64).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+#include "net/socket.hpp"
+
+namespace ftsim {
+
+/** Blocking line-protocol client (see file comment). */
+class NetClient {
+  public:
+    NetClient() = default;
+
+    /** Connects to @p host:@p port (blocking). */
+    static Result<NetClient> connectTo(const std::string& host,
+                                       std::uint16_t port);
+
+    bool connected() const { return connection_.valid(); }
+
+    /** Sends @p line plus the '\n' terminator (blocking, full). */
+    Result<bool> sendLine(const std::string& line);
+
+    /**
+     * Blocks until one full response line arrives and returns it
+     * without the terminator. `InvalidArgument` on EOF or a socket
+     * error — for a pipelined exchange EOF mid-read means the server
+     * dropped the connection.
+     */
+    Result<std::string> recvLine();
+
+    /** sendLine + recvLine: one synchronous request/response. */
+    Result<std::string> ask(const std::string& line);
+
+    /** Half-closes the write side (server sees EOF, finishes pending
+     *  answers, then closes). recvLine still works afterwards. */
+    void finishSending();
+
+    /** Closes the connection. */
+    void close() { connection_.close(); }
+
+  private:
+    Connection connection_;
+    std::string buffer_;  ///< Bytes read past the last returned line.
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_NET_CLIENT_HPP

@@ -1,0 +1,62 @@
+#include "net/framing.hpp"
+
+#include <cstring>
+
+namespace ftsim {
+
+void
+LineFramer::feed(const char* data, std::size_t n)
+{
+    std::size_t pos = 0;
+    while (pos < n) {
+        const char* newline = static_cast<const char*>(
+            std::memchr(data + pos, '\n', n - pos));
+        const std::size_t chunk_end =
+            newline != nullptr
+                ? static_cast<std::size_t>(newline - data)
+                : n;
+
+        if (discarding_) {
+            // Tail of an oversized line: drop bytes until its newline.
+            if (newline != nullptr)
+                discarding_ = false;
+        } else {
+            const std::size_t take = chunk_end - pos;
+            if (partial_.size() + take > max_line_) {
+                // Crossed the cap mid-line: one overflow frame, then
+                // discard the rest of the line (bounded memory — the
+                // partial buffer never exceeds the cap).
+                Frame frame;
+                frame.overflow = true;
+                ready_.push_back(std::move(frame));
+                partial_.clear();
+                // If this chunk already contains the newline, the
+                // discard ends here; otherwise keep discarding.
+                discarding_ = newline == nullptr;
+            } else {
+                partial_.append(data + pos, take);
+                if (newline != nullptr) {
+                    if (!partial_.empty() && partial_.back() == '\r')
+                        partial_.pop_back();
+                    Frame frame;
+                    frame.line = std::move(partial_);
+                    ready_.push_back(std::move(frame));
+                    partial_.clear();
+                }
+            }
+        }
+        pos = newline != nullptr ? chunk_end + 1 : n;
+    }
+}
+
+bool
+LineFramer::next(Frame& out)
+{
+    if (ready_.empty())
+        return false;
+    out = std::move(ready_.front());
+    ready_.pop_front();
+    return true;
+}
+
+}  // namespace ftsim

@@ -1,0 +1,73 @@
+#ifndef FTSIM_NET_FRAMING_HPP
+#define FTSIM_NET_FRAMING_HPP
+
+/**
+ * @file
+ * Newline framing for the JSON-lines wire protocol.
+ *
+ * TCP is a byte stream: one read may carry half a request, three
+ * requests, or a request split across a dozen packets. `LineFramer`
+ * reassembles that stream into the protocol's frames — one line per
+ * request, terminated by '\n' (an optional preceding '\r' is stripped
+ * so netcat/telnet clients work).
+ *
+ * The cap: a line longer than `maxLineBytes` can never become a valid
+ * request, so the framer emits one `overflow` frame the moment the cap
+ * is crossed, discards the rest of that line as it streams in (bounded
+ * memory however many gigabytes the peer sends), and resumes framing
+ * at the next newline. The server answers an overflow frame with a
+ * protocol error — the line is poisoned, the connection (and process)
+ * are not.
+ *
+ * Deliberately IO-free (bytes in, frames out) so the fuzz tests in
+ * tests/net/test_framing.cpp can drive every split/overflow
+ * interleaving without a socket.
+ */
+
+#include <cstddef>
+#include <deque>
+#include <string>
+
+namespace ftsim {
+
+/** Reassembles a byte stream into newline-terminated frames. */
+class LineFramer {
+  public:
+    /** One reassembled frame: a complete line, or an overflow marker
+     *  for a line that crossed the cap (its bytes are discarded). */
+    struct Frame {
+        bool overflow = false;
+        /** The line without its terminator (empty for overflow). */
+        std::string line;
+    };
+
+    /** @param max_line_bytes cap on one line, terminator excluded;
+     *         0 is reserved and treated as 1 (a cap is the point). */
+    explicit LineFramer(std::size_t max_line_bytes)
+        : max_line_(max_line_bytes > 0 ? max_line_bytes : 1)
+    {
+    }
+
+    /** Feeds @p n bytes; completed frames queue up for next(). */
+    void feed(const char* data, std::size_t n);
+
+    /** Pops the next completed frame; false when none is ready. */
+    bool next(Frame& out);
+
+    /** Bytes of the current *partial* line buffered (audits the
+     *  memory bound: never exceeds the cap). */
+    std::size_t partialBytes() const { return partial_.size(); }
+
+    /** True while discarding the tail of an oversized line. */
+    bool discarding() const { return discarding_; }
+
+  private:
+    std::size_t max_line_;
+    std::string partial_;
+    bool discarding_ = false;
+    std::deque<Frame> ready_;
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_NET_FRAMING_HPP

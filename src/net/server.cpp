@@ -1,0 +1,462 @@
+#include "net/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <deque>
+#include <poll.h>
+#include <unistd.h>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+
+namespace ftsim {
+
+namespace {
+
+double
+monotonicMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+bool
+futureReady(const std::shared_future<PlanResponse>& future)
+{
+    return future.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+}
+
+/** Blank lines are not requests (mirrors ftsim_serve). */
+bool
+isBlank(const std::string& line)
+{
+    return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+}  // namespace
+
+/** Poll-loop internals: every member is loop-thread-owned except the
+ *  stop flag, the wake pipe's write end, and the atomics. */
+struct NetServer::Impl {
+    /** One response slot awaiting write-back, in request order. */
+    struct Pending {
+        std::string id;
+        /** True for answers produced without the service (protocol
+         *  errors): the line is ready at enqueue time. */
+        bool immediate = false;
+        std::string immediateLine;
+        std::shared_future<PlanResponse> future;
+    };
+
+    /** One open connection and its per-connection state. */
+    struct Conn {
+        Connection socket;
+        /** SubmitOptions::source label ("peer#n") — the service's
+         *  per-connection stats bucket. */
+        std::string label;
+        LineFramer framer;
+        /** Answers owed to this connection, oldest first. Write-back
+         *  order == request order, whatever order workers finish in. */
+        std::deque<Pending> pending;
+        std::string out;
+        std::size_t outOff = 0;
+        bool inputClosed = false;
+        bool closeAfterFlush = false;
+        /** Hard socket error: remove without flushing. */
+        bool dead = false;
+        double lastActiveMs = 0.0;
+
+        Conn(Connection s, std::string l, std::size_t max_line,
+             double now)
+            : socket(std::move(s)), label(std::move(l)),
+              framer(max_line), lastActiveMs(now)
+        {
+        }
+
+        bool flushed() const { return outOff >= out.size(); }
+
+        bool drained() const { return pending.empty() && flushed(); }
+    };
+
+    explicit Impl(NetServerConfig cfg)
+        : config(std::move(cfg)),
+          service(std::make_unique<PlanService>(config.service))
+    {
+        int fds[2] = {-1, -1};
+        if (::pipe(fds) != 0)
+            fatal("NetServer: cannot create wake pipe");
+        setNonBlocking(fds[0]);
+        setNonBlocking(fds[1]);
+        wakeRead = fds[0];
+        wakeWrite = fds[1];
+    }
+
+    ~Impl()
+    {
+        // Drain the service *before* closing the wake pipe: worker
+        // tasks still finishing (a dead connection's orphaned
+        // requests) fire notify callbacks that write to it.
+        service.reset();
+        if (wakeRead >= 0)
+            ::close(wakeRead);
+        if (wakeWrite >= 0)
+            ::close(wakeWrite);
+    }
+
+    /** Async-signal-safe: one non-blocking write; a full pipe means a
+     *  wake is already pending, so EAGAIN is success. */
+    void wake()
+    {
+        const char byte = 1;
+        [[maybe_unused]] ssize_t n = ::write(wakeWrite, &byte, 1);
+    }
+
+    void drainWakePipe()
+    {
+        char buf[256];
+        while (::read(wakeRead, buf, sizeof(buf)) > 0) {
+        }
+    }
+
+    void acceptPending(double now)
+    {
+        while (conns.size() < config.maxConnections) {
+            Connection socket = listener.accept();
+            if (!socket.valid())
+                break;
+            accepted.fetch_add(1);
+            const std::string label =
+                strCat(socket.peer(), '#', accepted.load());
+            conns.push_back(std::make_unique<Conn>(
+                std::move(socket), label, config.maxLineBytes, now));
+        }
+    }
+
+    void handleFrame(Conn& conn, LineFramer::Frame& frame)
+    {
+        if (frame.overflow) {
+            oversized.fetch_add(1);
+            protocolErrors.fetch_add(1);
+            Pending slot;
+            slot.immediate = true;
+            slot.immediateLine = writeProtocolError(
+                "", strCat("request line exceeds ",
+                           config.maxLineBytes, " bytes"));
+            conn.pending.push_back(std::move(slot));
+            return;
+        }
+        if (isBlank(frame.line))
+            return;
+        Result<PlanRequest> request = parsePlanRequest(frame.line);
+        if (!request) {
+            protocolErrors.fetch_add(1);
+            Pending slot;
+            slot.immediate = true;
+            slot.immediateLine =
+                writeProtocolError("", request.error().message);
+            conn.pending.push_back(std::move(slot));
+            return;
+        }
+        requests.fetch_add(1);
+        SubmitOptions options;
+        options.source = conn.label;
+        options.notify = [this] { wake(); };
+        Pending slot;
+        slot.id = request.value().id;
+        slot.future = service->submit(request.value(), options);
+        conn.pending.push_back(std::move(slot));
+    }
+
+    void readInput(Conn& conn, double now)
+    {
+        char buf[16384];
+        while (!conn.inputClosed && !conn.dead) {
+            const IoResult io = conn.socket.readSome(buf, sizeof(buf));
+            if (io.status == IoStatus::Ok) {
+                conn.lastActiveMs = now;
+                conn.framer.feed(buf, io.bytes);
+                LineFramer::Frame frame;
+                while (conn.framer.next(frame))
+                    handleFrame(conn, frame);
+            } else if (io.status == IoStatus::WouldBlock) {
+                break;
+            } else if (io.status == IoStatus::Eof) {
+                // Half-close: the peer finished sending; answer
+                // everything already admitted, flush, then close.
+                conn.inputClosed = true;
+                conn.closeAfterFlush = true;
+            } else {
+                conn.dead = true;
+            }
+        }
+    }
+
+    /** Moves ready answers (in request order) into the write buffer. */
+    void pump(Conn& conn, double now)
+    {
+        while (!conn.pending.empty()) {
+            Pending& slot = conn.pending.front();
+            std::string line;
+            if (slot.immediate) {
+                line = std::move(slot.immediateLine);
+            } else if (futureReady(slot.future)) {
+                PlanResponse response = slot.future.get();
+                response.id = slot.id;  // Coalesced futures share ids.
+                line = writePlanResponse(response);
+            } else {
+                break;  // Request order: never skip past a slot.
+            }
+            conn.out += line;
+            conn.out += '\n';
+            conn.pending.pop_front();
+            conn.lastActiveMs = now;
+            responses.fetch_add(1);
+        }
+    }
+
+    void flush(Conn& conn)
+    {
+        while (!conn.flushed() && !conn.dead) {
+            const IoResult io =
+                conn.socket.writeSome(conn.out.data() + conn.outOff,
+                                      conn.out.size() - conn.outOff);
+            if (io.status == IoStatus::Ok) {
+                conn.outOff += io.bytes;
+            } else if (io.status == IoStatus::WouldBlock) {
+                return;  // POLLOUT will resume this.
+            } else {
+                conn.dead = true;  // Peer is gone; answers die with it.
+            }
+        }
+        if (conn.flushed()) {
+            conn.out.clear();
+            conn.outOff = 0;
+        }
+    }
+
+    void loop()
+    {
+        std::vector<pollfd> fds;
+        std::vector<Conn*> polled;
+        bool stop_seen = false;
+        while (true) {
+            const bool stopping = stopRequested.load();
+            if (stopping && !stop_seen) {
+                stop_seen = true;
+                // Graceful drain: no new connections, no new input —
+                // but every admitted request still answers and every
+                // answer still flushes before its connection closes.
+                listener.close();
+                for (auto& conn : conns) {
+                    conn->inputClosed = true;
+                    conn->closeAfterFlush = true;
+                }
+            }
+
+            // Sweep closed connections.
+            for (auto it = conns.begin(); it != conns.end();) {
+                Conn& conn = **it;
+                const bool done =
+                    conn.dead ||
+                    (conn.closeAfterFlush && conn.drained());
+                if (done) {
+                    closed.fetch_add(1);
+                    it = conns.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            if (stop_seen && conns.empty())
+                break;
+
+            fds.clear();
+            polled.clear();
+            fds.push_back({wakeRead, POLLIN, 0});
+            const bool accepting = !stop_seen && listener.valid() &&
+                                   conns.size() < config.maxConnections;
+            if (accepting)
+                fds.push_back({listener.fd(), POLLIN, 0});
+            for (auto& conn : conns) {
+                short events = 0;
+                if (!conn->inputClosed)
+                    events |= POLLIN;
+                if (!conn->flushed())
+                    events |= POLLOUT;
+                fds.push_back({conn->socket.fd(), events, 0});
+                polled.push_back(conn.get());
+            }
+
+            int timeout = -1;
+            if (config.idleTimeoutMs > 0.0 && !stop_seen) {
+                const double now = monotonicMs();
+                double nearest = -1.0;
+                for (auto& conn : conns) {
+                    if (!conn->drained())
+                        continue;  // Busy connections never idle out.
+                    const double deadline =
+                        conn->lastActiveMs + config.idleTimeoutMs;
+                    if (nearest < 0.0 || deadline < nearest)
+                        nearest = deadline;
+                }
+                if (nearest >= 0.0)
+                    timeout = static_cast<int>(
+                        std::max(1.0, nearest - now + 1.0));
+            }
+
+            const int rc = ::poll(fds.data(),
+                                  static_cast<nfds_t>(fds.size()),
+                                  timeout);
+            const double now = monotonicMs();
+            if (rc < 0 && errno != EINTR)
+                fatal("NetServer: poll() failed");
+
+            std::size_t index = 0;
+            if (fds[index].revents & POLLIN)
+                drainWakePipe();
+            ++index;
+            if (accepting) {
+                if (fds[index].revents & POLLIN)
+                    acceptPending(now);
+                ++index;
+            }
+            for (std::size_t c = 0; c < polled.size(); ++c, ++index) {
+                Conn& conn = *polled[c];
+                const short revents = fds[index].revents;
+                if (revents & (POLLERR | POLLNVAL))
+                    conn.dead = true;
+                if (!conn.dead && (revents & (POLLIN | POLLHUP)))
+                    readInput(conn, now);
+            }
+
+            // Pump + flush every connection each round: the wake pipe
+            // says "some answer somewhere is ready", not which one.
+            for (auto& conn : conns) {
+                if (conn->dead)
+                    continue;
+                pump(*conn, now);
+                flush(*conn);
+            }
+
+            // Idle sweep (only quiet, fully-drained connections).
+            if (config.idleTimeoutMs > 0.0 && !stop_seen) {
+                for (auto& conn : conns) {
+                    if (conn->dead || conn->closeAfterFlush ||
+                        !conn->drained())
+                        continue;
+                    if (now - conn->lastActiveMs >=
+                        config.idleTimeoutMs) {
+                        idleClosed.fetch_add(1);
+                        conn->closeAfterFlush = true;
+                        conn->inputClosed = true;
+                    }
+                }
+            }
+        }
+        listener.close();
+    }
+
+    NetServerConfig config;
+    /** unique_ptr so ~Impl can drain it before the wake pipe closes. */
+    std::unique_ptr<PlanService> service;
+    TcpListener listener;
+    int wakeRead = -1;
+    int wakeWrite = -1;
+    std::atomic<bool> stopRequested{false};
+    std::vector<std::unique_ptr<Conn>> conns;
+
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> closed{0};
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> responses{0};
+    std::atomic<std::uint64_t> protocolErrors{0};
+    std::atomic<std::uint64_t> oversized{0};
+    std::atomic<std::uint64_t> idleClosed{0};
+};
+
+NetServer::NetServer(NetServerConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config)))
+{
+}
+
+NetServer::~NetServer()
+{
+    stop();
+}
+
+Result<bool>
+NetServer::bindListener()
+{
+    Result<TcpListener> listener =
+        TcpListener::bind(impl_->config.host, impl_->config.port);
+    if (!listener)
+        return listener.error();
+    impl_->listener = std::move(listener.value());
+    return true;
+}
+
+std::uint16_t
+NetServer::port() const
+{
+    return impl_->listener.port();
+}
+
+void
+NetServer::run()
+{
+    impl_->loop();
+    loop_done_.store(true);
+}
+
+Result<bool>
+NetServer::start()
+{
+    Result<bool> bound = bindListener();
+    if (!bound)
+        return bound;
+    loop_thread_ = std::thread([this] { run(); });
+    return true;
+}
+
+void
+NetServer::requestStop()
+{
+    impl_->stopRequested.store(true);
+    impl_->wake();
+}
+
+void
+NetServer::stop()
+{
+    requestStop();
+    if (loop_thread_.joinable())
+        loop_thread_.join();
+}
+
+PlanService&
+NetServer::service()
+{
+    return *impl_->service;
+}
+
+NetServerStats
+NetServer::stats() const
+{
+    NetServerStats out;
+    out.connectionsAccepted = impl_->accepted.load();
+    out.connectionsClosed = impl_->closed.load();
+    out.connectionsOpen =
+        out.connectionsAccepted - out.connectionsClosed;
+    out.requests = impl_->requests.load();
+    out.responses = impl_->responses.load();
+    out.protocolErrors = impl_->protocolErrors.load();
+    out.oversizedLines = impl_->oversized.load();
+    out.idleClosed = impl_->idleClosed.load();
+    return out;
+}
+
+}  // namespace ftsim

@@ -1,0 +1,144 @@
+#ifndef FTSIM_NET_SOCKET_HPP
+#define FTSIM_NET_SOCKET_HPP
+
+/**
+ * @file
+ * Dependency-free POSIX TCP primitives for the serving front end.
+ *
+ * Two small RAII types wrap the raw socket API the way `common/table`
+ * wraps formatting: no external library, no exceptions on the data
+ * path, everything a `Result` or a status enum the caller branches on.
+ *
+ *  - `TcpListener` binds/listens on a host:port (port 0 = ephemeral;
+ *    `port()` reports the kernel's pick) and accepts non-blocking
+ *    `Connection`s.
+ *  - `Connection` is one accepted (or connected) stream. `readSome` /
+ *    `writeSome` never block: they return `IoStatus::WouldBlock` when
+ *    the kernel buffer is empty/full, which is the poll loop's cue to
+ *    wait for readiness. Blocking callers (the client) use
+ *    `Connection::connectTo`, which leaves the fd in blocking mode.
+ *
+ * Both types are move-only; destruction closes the fd. Network errors
+ * surface as `ErrorCode::InvalidArgument` results (the service's
+ * catch-all for "the caller's environment is wrong") with the errno
+ * text attached — callers treat any error as fatal for that socket,
+ * never for the process.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/result.hpp"
+
+namespace ftsim {
+
+/** Outcome of one non-blocking read/write attempt. */
+enum class IoStatus {
+    Ok,          ///< `bytes` were transferred (> 0).
+    WouldBlock,  ///< Kernel buffer empty/full; poll for readiness.
+    Eof,         ///< Peer closed its end (reads only).
+    Error,       ///< Hard socket error; close the connection.
+};
+
+/** Result of Connection::readSome / writeSome. */
+struct IoResult {
+    IoStatus status = IoStatus::Error;
+    std::size_t bytes = 0;
+};
+
+/** One TCP stream (accepted or connected); move-only RAII fd. */
+class Connection {
+  public:
+    Connection() = default;
+    /** Adopts @p fd (takes ownership). @p peer is a display label. */
+    Connection(int fd, std::string peer);
+    ~Connection();
+
+    Connection(Connection&& other) noexcept;
+    Connection& operator=(Connection&& other) noexcept;
+    Connection(const Connection&) = delete;
+    Connection& operator=(const Connection&) = delete;
+
+    /**
+     * Blocking connect to @p host:@p port (numeric IPv4 or a name
+     * resolvable via getaddrinfo, e.g. "localhost"). The returned
+     * connection stays in blocking mode — it is the client-side
+     * constructor; servers get non-blocking fds from TcpListener.
+     */
+    static Result<Connection> connectTo(const std::string& host,
+                                        std::uint16_t port);
+
+    /** True while the fd is open. */
+    bool valid() const { return fd_ >= 0; }
+
+    int fd() const { return fd_; }
+
+    /** "ip:port" of the remote end (best effort). */
+    const std::string& peer() const { return peer_; }
+
+    /** One read(2); at most @p cap bytes into @p buf. */
+    IoResult readSome(char* buf, std::size_t cap);
+
+    /** One write(2); at most @p len bytes from @p buf. */
+    IoResult writeSome(const char* buf, std::size_t len);
+
+    /** Closes the fd now (destructor-safe to call again). */
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string peer_;
+};
+
+/** Listening TCP socket; accepts non-blocking Connections. */
+class TcpListener {
+  public:
+    TcpListener() = default;
+    ~TcpListener();
+
+    TcpListener(TcpListener&& other) noexcept;
+    TcpListener& operator=(TcpListener&& other) noexcept;
+    TcpListener(const TcpListener&) = delete;
+    TcpListener& operator=(const TcpListener&) = delete;
+
+    /**
+     * Binds and listens on @p host:@p port with SO_REUSEADDR. Port 0
+     * asks the kernel for an ephemeral port — read it back via
+     * `port()` (how the tests and ci.sh avoid fixed-port collisions).
+     * The listening fd is non-blocking.
+     */
+    static Result<TcpListener> bind(const std::string& host,
+                                    std::uint16_t port,
+                                    int backlog = 128);
+
+    bool valid() const { return fd_ >= 0; }
+
+    int fd() const { return fd_; }
+
+    /** The bound port (the kernel's pick when bind asked for 0). */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Accepts one pending connection, non-blocking fd, or an
+     * invalid Connection when none is pending (the poll loop's
+     * "drained the backlog" signal). Hard accept errors also return
+     * invalid — the listener itself stays usable.
+     */
+    Connection accept();
+
+    /** Stops listening (closes the fd; pending connects are reset). */
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+/** Sets O_NONBLOCK on @p fd; returns false on fcntl failure. */
+bool setNonBlocking(int fd);
+
+}  // namespace ftsim
+
+#endif  // FTSIM_NET_SOCKET_HPP

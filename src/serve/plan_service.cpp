@@ -30,6 +30,7 @@ PlanService::PlanService(ServiceConfig config)
       catalog_fingerprint_(config_.catalog.fingerprint()),
       answers_(config_.maxAnswers),
       planners_(config_.maxPlanners),
+      sources_(config_.maxSources),
       latency_(0.0, config_.latencyMaxMs > 0.0 ? config_.latencyMaxMs
                                                : 10000.0,
                4096),
@@ -39,10 +40,33 @@ PlanService::PlanService(ServiceConfig config)
 
 PlanService::~PlanService() = default;
 
+double
+PlanService::clockMs() const
+{
+    return config_.clock ? config_.clock() : nowMs();
+}
+
+void
+PlanService::noteSource(const std::string& source, bool coalesced,
+                        bool rate_limited)
+{
+    if (source.empty())
+        return;
+    std::lock_guard<std::mutex> lock(sources_mutex_);
+    SourceStats* row = sources_.get(source);
+    if (row == nullptr) {
+        sources_.put(source, SourceStats{});
+        row = sources_.get(source);
+    }
+    ++row->requests;
+    row->coalesced += coalesced ? 1 : 0;
+    row->rateLimited += rate_limited ? 1 : 0;
+}
+
 Result<bool>
 PlanService::admitTenant(const std::string& tenant)
 {
-    const double now = nowMs();
+    const double now = clockMs();
     std::lock_guard<std::mutex> lock(tenants_mutex_);
     auto it = tenants_.find(tenant);
     if (it == tenants_.end()) {
@@ -124,15 +148,17 @@ PlanService::releaseTenant(const std::string& tenant)
 }
 
 void
-PlanService::finishExecution(const std::string& key, bool cacheable)
+PlanService::finishExecution(const std::string& key, bool cacheable,
+                             std::promise<PlanResponse>& promise,
+                             PlanResponse&& response)
 {
-    std::vector<std::string> waiters;
+    std::vector<std::function<void()>> notifies;
     {
         std::lock_guard<std::mutex> lock(inflight_mutex_);
         auto it = inflight_.find(key);
         if (it == inflight_.end())
             return;  // Unreachable: one finish per execution.
-        waiters = std::move(it->second->waitingTenants);
+        notifies = std::move(it->second->notifies);
         // Promote to the bounded answer cache. Evicted futures die
         // here, but any waiter still blocked on one holds its own
         // shared_future copy — eviction can never orphan it.
@@ -141,14 +167,37 @@ PlanService::finishExecution(const std::string& key, bool cacheable)
         // recomputes.
         if (cacheable)
             answers_.put(key, it->second->future);
+        // Release the coalesced tenants' slots *before* resolving
+        // (tenants_mutex_ nests under inflight_mutex_ here and
+        // nowhere else): a serial caller that .get()s an answer and
+        // immediately retries must find its slot free.
+        for (const std::string& tenant : it->second->waitingTenants)
+            releaseTenant(tenant);
         inflight_.erase(it);
+        // Resolve *inside* the lock, last among the state changes:
+        // any thread that finds the promoted entry in answers_ (the
+        // same lock) sees a ready future, so the cached path's
+        // synchronous notify never announces an unready answer — and
+        // a caller unblocked by get() observes every cache/quota/
+        // counter effect of its request already applied, the serial
+        // determinism the golden e2e pins.
+        promise.set_value(std::move(response));
     }
-    for (const std::string& tenant : waiters)
-        releaseTenant(tenant);
+    // Completion callbacks run unlocked, after readiness — the
+    // SubmitOptions contract.
+    for (const std::function<void()>& notify : notifies)
+        notify();
 }
 
 std::shared_future<PlanResponse>
 PlanService::submit(const PlanRequest& request)
+{
+    return submit(request, SubmitOptions{});
+}
+
+std::shared_future<PlanResponse>
+PlanService::submit(const PlanRequest& request,
+                    const SubmitOptions& options)
 {
     requests_.fetch_add(1);
 
@@ -160,20 +209,26 @@ PlanService::submit(const PlanRequest& request)
         Result<bool> admitted = admitTenant(request.tenant);
         if (!admitted) {
             rate_limited_.fetch_add(1);
+            noteSource(options.source, false, true);
             PlanResponse rejection =
                 errorResponse(request, admitted.error());
             rejection.id.clear();  // Shared-future id convention.
             std::promise<PlanResponse> ready;
             ready.set_value(std::move(rejection));
-            return ready.get_future().share();
+            std::shared_future<PlanResponse> future =
+                ready.get_future().share();
+            if (options.notify)
+                options.notify();  // Ready now: notify synchronously.
+            return future;
         }
     }
 
     const std::string key = request.canonicalKey();
-    const double enqueued_ms = nowMs();
+    const double enqueued_ms = clockMs();
 
-    std::shared_ptr<std::packaged_task<PlanResponse()>> task;
+    std::function<void()> task;
     std::shared_future<PlanResponse> future;
+    bool ready_now = false;
     {
         std::lock_guard<std::mutex> lock(inflight_mutex_);
         if (std::shared_future<PlanResponse>* cached =
@@ -181,70 +236,88 @@ PlanService::submit(const PlanRequest& request)
             // Answered before: share the completed execution.
             coalesced_.fetch_add(1);
             future = *cached;
+            ready_now = true;
         } else if (auto it = inflight_.find(key);
                    it != inflight_.end()) {
             // In flight: share the running execution. The tenant's
-            // inflight slot is held until that execution finishes.
+            // inflight slot is held until that execution finishes,
+            // and the entry carries this submission's completion
+            // callback alongside the earlier ones.
             coalesced_.fetch_add(1);
             if (governed)
                 it->second->waitingTenants.push_back(request.tenant);
+            if (options.notify)
+                it->second->notifies.push_back(options.notify);
+            noteSource(options.source, true, false);
             return it->second->future;
         } else {
             auto entry = std::make_shared<InflightEntry>();
-            // NB: the lambda must not capture `entry` — the task's
-            // shared state owns the lambda AND is owned by entry's
-            // future, so that capture would be a reference cycle
-            // (ASan-visible leak). Cacheability travels by value.
-            task = std::make_shared<std::packaged_task<PlanResponse()>>(
-                [this, request, key, enqueued_ms] {
-                    // execute() is designed not to throw, but if
-                    // anything below it does (bad_alloc, a fatal() on
-                    // a crafted programmatic scenario), the future
-                    // must still resolve with a response and
-                    // finishExecution must still run — otherwise the
-                    // key stays poisoned in inflight_ forever and
-                    // every admitted tenant's slot leaks. Guard
-                    // answers are marked non-cacheable: a transient
-                    // failure must not become the key's permanent
-                    // cached answer.
-                    PlanResponse response;
-                    bool cacheable = true;
-                    try {
-                        response = execute(request);
-                    } catch (const std::exception& e) {
-                        cacheable = false;
-                        response = errorResponse(
-                            request,
-                            Error{ErrorCode::InvalidArgument,
-                                  strCat("execution failed: ",
-                                         e.what())});
-                        response.id.clear();
-                    } catch (...) {
-                        cacheable = false;
-                        response = errorResponse(
-                            request,
-                            Error{ErrorCode::InvalidArgument,
-                                  "execution failed: unknown error"});
-                        response.id.clear();
-                    }
-                    finishExecution(key, cacheable);
-                    recordLatencyMs(nowMs() - enqueued_ms);
-                    executed_.fetch_add(1);
-                    return response;
-                });
-            entry->future = task->get_future().share();
+            // An explicit promise, not a packaged_task: the future
+            // must resolve inside finishExecution (after the cache
+            // promotion, before the completion callbacks) — a
+            // packaged_task resolves only on task return, after the
+            // callbacks, and a notified poll loop would find the
+            // answer not ready and sleep forever.
+            auto promise =
+                std::make_shared<std::promise<PlanResponse>>();
+            // NB: the lambda must not capture `entry` — the entry owns
+            // the future whose shared state would own the lambda, a
+            // reference cycle (ASan-visible leak). Cacheability
+            // travels by value.
+            task = [this, request, key, enqueued_ms, promise] {
+                // execute() is designed not to throw, but if anything
+                // below it does (bad_alloc, a fatal() on a crafted
+                // programmatic scenario), the future must still
+                // resolve with a response and finishExecution must
+                // still run — otherwise the key stays poisoned in
+                // inflight_ forever and every admitted tenant's slot
+                // leaks. Guard answers are marked non-cacheable: a
+                // transient failure must not become the key's
+                // permanent cached answer.
+                PlanResponse response;
+                bool cacheable = true;
+                try {
+                    response = execute(request);
+                } catch (const std::exception& e) {
+                    cacheable = false;
+                    response = errorResponse(
+                        request,
+                        Error{ErrorCode::InvalidArgument,
+                              strCat("execution failed: ", e.what())});
+                    response.id.clear();
+                } catch (...) {
+                    cacheable = false;
+                    response = errorResponse(
+                        request,
+                        Error{ErrorCode::InvalidArgument,
+                              "execution failed: unknown error"});
+                    response.id.clear();
+                }
+                recordLatencyMs(clockMs() - enqueued_ms);
+                executed_.fetch_add(1);
+                finishExecution(key, cacheable, *promise,
+                                std::move(response));
+            };
+            entry->future = promise->get_future().share();
             if (governed)
                 entry->waitingTenants.push_back(request.tenant);
+            if (options.notify)
+                entry->notifies.push_back(options.notify);
             future = entry->future;
             inflight_.emplace(key, std::move(entry));
         }
     }
+    noteSource(options.source, ready_now, false);
     if (task) {
-        pool_.submit([task] { (*task)(); });
-    } else if (governed) {
-        // Served straight from the answer cache: the admission slot
-        // was only held across this call.
-        releaseTenant(request.tenant);
+        pool_.submit(std::move(task));
+    } else {
+        if (governed) {
+            // Served straight from the answer cache: the admission
+            // slot was only held across this call.
+            releaseTenant(request.tenant);
+        }
+        if (options.notify)
+            options.notify();  // Cached: ready before submit returned.
     }
     return future;
 }
@@ -441,6 +514,13 @@ PlanService::stats() const
             row.inflight = state.inflight;
             out.tenants.emplace(name, row);
         }
+    }
+    {
+        std::lock_guard<std::mutex> lock(sources_mutex_);
+        sources_.forEach(
+            [&out](const std::string& name, const SourceStats& row) {
+                out.sources.emplace(name, row);
+            });
     }
     {
         std::lock_guard<std::mutex> lock(latency_mutex_);

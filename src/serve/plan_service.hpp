@@ -61,6 +61,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -118,6 +119,59 @@ struct ServiceConfig {
      * quotas are enabled (no quotas, no tracking).
      */
     std::size_t maxTenants = 4096;
+    /**
+     * Submission sources (connections) whose per-source counters are
+     * retained; least-recently-active sources are forgotten past this.
+     * Source labels come from SubmitOptions::source — the network
+     * front end stamps one per connection — so like tenant names they
+     * are unauthenticated churn and must not grow the service.
+     */
+    std::size_t maxSources = 4096;
+    /**
+     * Virtual clock in milliseconds for admission control (token-bucket
+     * refill, tenant-table recency, submit-to-answer latency). Null =
+     * the real steady clock. Tests inject a controllable clock here to
+     * drive the refill path deterministically; production leaves it
+     * unset.
+     */
+    std::function<double()> clock;
+};
+
+/**
+ * Per-submission options around a PlanRequest — identity *about the
+ * caller*, never part of the question (like id and tenant, neither
+ * field affects coalescing).
+ */
+struct SubmitOptions {
+    /**
+     * Stats bucket this submission is counted under (a connection
+     * label, a shard name); empty = untracked. Appears in
+     * `ServiceStats::sources`.
+     */
+    std::string source;
+    /**
+     * Invoked exactly once when the returned future is ready —
+     * *after* the response is observable through it. For answers that
+     * are ready at submit time (cache hits, quota rejections) the
+     * callback runs synchronously on the submitting thread before
+     * submit() returns; otherwise it runs on the worker that resolved
+     * the execution (shared by every coalesced submission, each of
+     * which registered its own callback). Must be cheap and must not
+     * call back into the service (it runs under no lock, but on the
+     * worker's critical path). The poll-loop front end uses this to
+     * kick its wake pipe.
+     */
+    std::function<void()> notify;
+};
+
+/** Per-source submission counters (one stats() row per source seen). */
+struct SourceStats {
+    /** Requests submitted under this source label. */
+    std::uint64_t requests = 0;
+    /** Of those, answered by an existing execution. */
+    std::uint64_t coalesced = 0;
+    /** Of those, rejected by admission control. */
+    std::uint64_t rateLimited = 0;
 };
 
 /** Per-tenant admission counters (one stats() row per tenant seen). */
@@ -176,6 +230,9 @@ struct ServiceStats {
     double p99LatencyMs = 0.0;
     /** Admission counters per tenant name seen so far. */
     std::map<std::string, TenantStats> tenants;
+    /** Submission counters per SubmitOptions::source label (bounded by
+     *  ServiceConfig::maxSources; idle labels age out). */
+    std::map<std::string, SourceStats> sources;
 };
 
 /** Concurrent plan-serving facade (see file comment). */
@@ -198,6 +255,16 @@ class PlanService {
      * `RateLimited`.
      */
     std::shared_future<PlanResponse> submit(const PlanRequest& request);
+
+    /**
+     * submit() with caller identity: @p options.source buckets the
+     * submission in `ServiceStats::sources`, and @p options.notify is
+     * invoked once the future is ready (see SubmitOptions). The
+     * network front end submits through this overload so its poll
+     * loop can sleep until an answer (not a socket) wakes it.
+     */
+    std::shared_future<PlanResponse> submit(const PlanRequest& request,
+                                            const SubmitOptions& options);
 
     /** submit() + wait, with the response id restored to @p request's. */
     PlanResponse ask(const PlanRequest& request);
@@ -232,10 +299,12 @@ class PlanService {
     };
 
     /** One execution in flight: the shared answer plus the tenants
-     *  whose inflight slots it releases on completion. */
+     *  whose inflight slots it releases on completion and the
+     *  completion callbacks of every coalesced submission. */
     struct InflightEntry {
         std::shared_future<PlanResponse> future;
         std::vector<std::string> waitingTenants;
+        std::vector<std::function<void()>> notifies;
     };
 
     /** True when any tenant quota is configured. */
@@ -251,8 +320,19 @@ class PlanService {
     /** Returns @p tenant's inflight slot (no-op for empty names). */
     void releaseTenant(const std::string& tenant);
 
+    /** The admission/latency clock: ServiceConfig::clock or the real
+     *  steady clock. */
+    double clockMs() const;
+
+    /** Bumps @p source's SourceStats row (no-op for empty labels). */
+    void noteSource(const std::string& source, bool coalesced,
+                    bool rate_limited);
+
     /** Moves a finished execution from the in-flight map into the
-     *  bounded answer cache and releases its tenants' slots.
+     *  bounded answer cache, releases its tenants' slots, resolves
+     *  @p promise with @p response (inside the cache lock, last among
+     *  the state changes — see the .cpp comment), then fires the
+     *  entry's completion callbacks.
      *  @param cacheable false when the answer came from the exception
      *         guard rather than answer(): a transient failure
      *         (bad_alloc under pressure) must not be promoted into
@@ -260,7 +340,9 @@ class PlanService {
      *         duplicates after the failure recompute instead.
      *         Deterministic domain errors (ok=false responses from
      *         answer()) stay cacheable. */
-    void finishExecution(const std::string& key, bool cacheable);
+    void finishExecution(const std::string& key, bool cacheable,
+                         std::promise<PlanResponse>& promise,
+                         PlanResponse&& response);
 
     /** The shared planner for @p request's (scenario, rates). */
     std::shared_ptr<Planner> plannerFor(const PlanRequest& request);
@@ -305,6 +387,10 @@ class PlanService {
 
     mutable std::mutex tenants_mutex_;
     std::map<std::string, TenantState> tenants_;
+
+    mutable std::mutex sources_mutex_;
+    /** SubmitOptions::source -> counters, LRU-bounded (maxSources). */
+    LruCache<std::string, SourceStats> sources_;
 
     std::atomic<std::uint64_t> requests_{0};
     std::atomic<std::uint64_t> coalesced_{0};

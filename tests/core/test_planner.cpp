@@ -368,6 +368,49 @@ TEST(Planner, SharedRegistryKeepsAnswersBitExact)
     EXPECT_GE(registry->planHits(), 1u);
 }
 
+TEST(Planner, StepCacheShardEvictionRecomputesIdentically)
+{
+    // A capacity-1 shard (setStepCacheCapacity) churns on alternating
+    // configs: every probe is a miss and a fresh simulation, yet the
+    // recomputed profile is bit-identical to the first — the LRU bound
+    // trades recomputation for memory, never correctness.
+    Planner bounded(Scenario::gsMath());
+    bounded.setStepCacheCapacity(1);
+
+    Result<StepProfile> first = bounded.profileAt(GpuSpec::a40(), 1);
+    ASSERT_TRUE(first.ok());
+    Result<StepProfile> other = bounded.profileAt(GpuSpec::a40(), 2);
+    ASSERT_TRUE(other.ok());  // Evicts batch-1's entry.
+    Result<StepProfile> again = bounded.profileAt(GpuSpec::a40(), 1);
+    ASSERT_TRUE(again.ok());  // Recomputes, evicting batch-2's.
+
+    EXPECT_EQ(again.value().stepSeconds, first.value().stepSeconds);
+    EXPECT_EQ(again.value().throughputQps,
+              first.value().throughputQps);
+
+    const PlannerStats stats = bounded.stats();
+    EXPECT_EQ(stats.stepCacheMisses, 3u);  // No hit survived the churn.
+    EXPECT_EQ(stats.stepCacheHits, 0u);
+    EXPECT_EQ(stats.stepsSimulated, 3u);
+    EXPECT_EQ(stats.stepCacheEvictions, 2u);
+
+    // The unbounded default still memoizes: same probes, one recompute
+    // fewer.
+    Planner unbounded(Scenario::gsMath());
+    ASSERT_TRUE(unbounded.profileAt(GpuSpec::a40(), 1).ok());
+    ASSERT_TRUE(unbounded.profileAt(GpuSpec::a40(), 2).ok());
+    ASSERT_TRUE(unbounded.profileAt(GpuSpec::a40(), 1).ok());
+    EXPECT_EQ(unbounded.stats().stepCacheMisses, 2u);
+    EXPECT_EQ(unbounded.stats().stepCacheHits, 1u);
+    EXPECT_EQ(unbounded.stats().stepCacheEvictions, 0u);
+
+    // And the bounded planner's answers match the unbounded one's.
+    EXPECT_EQ(first.value().stepSeconds,
+              unbounded.profileAt(GpuSpec::a40(), 1)
+                  .value()
+                  .stepSeconds);
+}
+
 TEST(Planner, TweakedGpuSpecDoesNotAliasThePreset)
 {
     // Cache identity covers the full spec, not just the name: an "A40"

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * LineFramer tests: the net layer's byte-stream reassembly contract.
+ *
+ * TCP hands the server arbitrary fragments, so the framer must produce
+ * the *same frames for every split* of the same byte stream — the fuzz
+ * tests below replay one stream under thousands of seeded random
+ * fragmentations and compare against the whole-stream reference.
+ * Oversized lines must cost one overflow frame and bounded memory
+ * (partialBytes() never exceeds the cap), never a crash or a stall.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/framing.hpp"
+
+namespace ftsim {
+namespace {
+
+/** Feeds @p stream in one call and collects every frame. */
+std::vector<LineFramer::Frame>
+frameAll(LineFramer& framer, const std::string& stream)
+{
+    framer.feed(stream.data(), stream.size());
+    std::vector<LineFramer::Frame> frames;
+    LineFramer::Frame frame;
+    while (framer.next(frame))
+        frames.push_back(frame);
+    return frames;
+}
+
+TEST(NetFraming, SplitsLinesOnNewlines)
+{
+    LineFramer framer(1024);
+    const auto frames = frameAll(framer, "alpha\nbeta\ngamma\n");
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].line, "alpha");
+    EXPECT_EQ(frames[1].line, "beta");
+    EXPECT_EQ(frames[2].line, "gamma");
+    for (const auto& frame : frames)
+        EXPECT_FALSE(frame.overflow);
+}
+
+TEST(NetFraming, HoldsPartialLineUntilTerminated)
+{
+    LineFramer framer(1024);
+    framer.feed("hel", 3);
+    LineFramer::Frame frame;
+    EXPECT_FALSE(framer.next(frame));
+    EXPECT_EQ(framer.partialBytes(), 3u);
+    framer.feed("lo\n", 3);
+    ASSERT_TRUE(framer.next(frame));
+    EXPECT_EQ(frame.line, "hello");
+    EXPECT_EQ(framer.partialBytes(), 0u);
+}
+
+TEST(NetFraming, StripsCarriageReturns)
+{
+    LineFramer framer(1024);
+    const auto frames = frameAll(framer, "one\r\ntwo\n");
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_EQ(frames[0].line, "one");
+    EXPECT_EQ(frames[1].line, "two");
+}
+
+TEST(NetFraming, EmptyLinesAreFrames)
+{
+    // The framer reports them; skipping blanks is protocol policy
+    // (the server's), not framing policy.
+    LineFramer framer(1024);
+    const auto frames = frameAll(framer, "\n\nx\n");
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].line, "");
+    EXPECT_EQ(frames[1].line, "");
+    EXPECT_EQ(frames[2].line, "x");
+}
+
+TEST(NetFraming, OversizedLineYieldsOneOverflowFrameAndRecovers)
+{
+    LineFramer framer(8);
+    const auto frames =
+        frameAll(framer, "0123456789abcdef\nshort\n");
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_TRUE(frames[0].overflow);
+    EXPECT_FALSE(frames[1].overflow);
+    EXPECT_EQ(frames[1].line, "short");
+    EXPECT_FALSE(framer.discarding());
+}
+
+TEST(NetFraming, ExactlyCapSizedLinePasses)
+{
+    LineFramer framer(8);
+    const auto frames = frameAll(framer, "12345678\n");
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_FALSE(frames[0].overflow);
+    EXPECT_EQ(frames[0].line, "12345678");
+}
+
+TEST(NetFraming, OversizedTailStreamedByteByByteStaysBounded)
+{
+    // A peer streaming an unterminated gigabyte must cost one overflow
+    // frame and O(cap) memory, however the bytes arrive.
+    constexpr std::size_t kCap = 16;
+    LineFramer framer(kCap);
+    std::size_t overflows = 0;
+    for (int i = 0; i < 4096; ++i) {
+        const char byte = 'x';
+        framer.feed(&byte, 1);
+        EXPECT_LE(framer.partialBytes(), kCap);
+        LineFramer::Frame frame;
+        while (framer.next(frame)) {
+            EXPECT_TRUE(frame.overflow);
+            ++overflows;
+        }
+    }
+    EXPECT_EQ(overflows, 1u);
+    EXPECT_TRUE(framer.discarding());
+    // The newline ends the discard; framing resumes cleanly.
+    framer.feed("\nok\n", 4);
+    LineFramer::Frame frame;
+    ASSERT_TRUE(framer.next(frame));
+    EXPECT_EQ(frame.line, "ok");
+}
+
+TEST(NetFraming, EverySplitOfAStreamYieldsIdenticalFrames)
+{
+    // The core contract: frames depend on the byte stream, never on
+    // how reads fragmented it. 2000 seeded random fragmentations of a
+    // stream mixing short lines, empty lines, CRLF, an oversized line,
+    // and a trailing partial — all must match the one-shot reference.
+    std::string stream;
+    stream += "{\"q\":1}\n";
+    stream += "\n";
+    stream += "second line\r\n";
+    stream += std::string(300, 'A') + "\n";  // Oversized at cap 64.
+    stream += "after-overflow\n";
+    stream += "{\"q\":2}\n";
+    stream += "trailing-partial-without-newline";
+
+    LineFramer reference(64);
+    reference.feed(stream.data(), stream.size());
+    std::vector<LineFramer::Frame> expected;
+    LineFramer::Frame frame;
+    while (reference.next(frame))
+        expected.push_back(frame);
+    ASSERT_EQ(expected.size(), 6u);
+    EXPECT_TRUE(expected[3].overflow);
+
+    std::mt19937 rng(20260730);
+    for (int round = 0; round < 2000; ++round) {
+        LineFramer framer(64);
+        std::vector<LineFramer::Frame> got;
+        std::size_t pos = 0;
+        while (pos < stream.size()) {
+            const std::size_t chunk = std::uniform_int_distribution<
+                std::size_t>(1, 17)(rng);
+            const std::size_t take =
+                std::min(chunk, stream.size() - pos);
+            framer.feed(stream.data() + pos, take);
+            pos += take;
+            while (framer.next(frame))
+                got.push_back(frame);
+        }
+        ASSERT_EQ(got.size(), expected.size()) << "round " << round;
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].overflow, expected[i].overflow)
+                << "round " << round << " frame " << i;
+            EXPECT_EQ(got[i].line, expected[i].line)
+                << "round " << round << " frame " << i;
+        }
+        EXPECT_EQ(framer.partialBytes(),
+                  std::string("trailing-partial-without-newline")
+                      .size());
+    }
+}
+
+TEST(NetFraming, InterleavedFeedsAcrossFramersStayIndependent)
+{
+    // Two connections share nothing: interleaving their partial writes
+    // through separate framers must reassemble each stream intact
+    // (the per-connection isolation the server relies on).
+    LineFramer a(64);
+    LineFramer b(64);
+    a.feed("first-half-", 11);
+    b.feed("other{", 6);
+    a.feed("of-a\n", 5);
+    b.feed("}conn\n", 6);
+    LineFramer::Frame frame;
+    ASSERT_TRUE(a.next(frame));
+    EXPECT_EQ(frame.line, "first-half-of-a");
+    ASSERT_TRUE(b.next(frame));
+    EXPECT_EQ(frame.line, "other{}conn");
+}
+
+}  // namespace
+}  // namespace ftsim

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * `ftsim_client` — pipelining JSON-lines client for `ftsim_served`.
+ *
+ * Reads request lines from a file (or stdin), sends them all down one
+ * TCP connection, then reads one response per non-blank request line
+ * and prints it to stdout. The server answers each connection in
+ * request order, so the pipelined exchange preserves input order —
+ * `cat requests.jsonl | ftsim_client - --port P` is the socket-hop
+ * equivalent of `ftsim_serve requests.jsonl`, and ci.sh diffs the two
+ * against the same golden file.
+ *
+ * Blank lines are skipped (they are not requests; the server skips
+ * them too, so sending them would desynchronize the response count).
+ * Exits non-zero when the connection fails or the server closes
+ * before every response arrives.
+ *
+ * Usage: ftsim_client [requests.jsonl|-] [--host H] [--port P]
+ */
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "net/client.hpp"
+
+using namespace ftsim;
+
+namespace {
+
+[[noreturn]] void
+usage(const std::string& problem)
+{
+    std::cerr << "ftsim_client: " << problem << "\n"
+              << "usage: ftsim_client [requests.jsonl|-]"
+                 " [--host H] [--port P]\n";
+    std::exit(2);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string path = "-";
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc)
+                usage(strCat(arg, " needs a value"));
+            return argv[++i];
+        };
+        if (arg == "--host") {
+            host = value();
+        } else if (arg == "--port") {
+            char* end = nullptr;
+            const double parsed = std::strtod(value(), &end);
+            if (*end != '\0' || parsed < 1.0 || parsed > 65535.0)
+                usage("--port needs a port number");
+            port = static_cast<std::uint16_t>(parsed);
+        } else if (arg.size() > 2 && arg.compare(0, 2, "--") == 0) {
+            usage(strCat("unknown flag ", arg));
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (port == 0)
+        usage("--port is required");
+    if (!positional.empty())
+        path = positional[0];
+    if (positional.size() > 1)
+        usage("too many positional arguments");
+
+    std::ifstream file;
+    if (path != "-") {
+        file.open(path);
+        if (!file) {
+            std::cerr << "ftsim_client: cannot open " << path << '\n';
+            return 2;
+        }
+    }
+    std::istream& in = path == "-" ? std::cin : file;
+
+    std::vector<std::string> requests;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;  // Blank lines are not requests.
+        requests.push_back(line);
+    }
+
+    Result<NetClient> connected = NetClient::connectTo(host, port);
+    if (!connected) {
+        std::cerr << "ftsim_client: " << connected.error().message
+                  << '\n';
+        return 2;
+    }
+    NetClient client = std::move(connected.value());
+
+    // Pipeline: all requests out, then all responses back (the server
+    // preserves per-connection request order).
+    for (const std::string& request : requests) {
+        Result<bool> sent = client.sendLine(request);
+        if (!sent) {
+            std::cerr << "ftsim_client: " << sent.error().message
+                      << '\n';
+            return 1;
+        }
+    }
+    client.finishSending();
+
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        Result<std::string> response = client.recvLine();
+        if (!response) {
+            std::cerr << "ftsim_client: after " << i << " of "
+                      << requests.size()
+                      << " responses: " << response.error().message
+                      << '\n';
+            return 1;
+        }
+        std::cout << response.value() << '\n';
+    }
+    return 0;
+}

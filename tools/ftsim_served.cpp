@@ -1,0 +1,188 @@
+/**
+ * @file
+ * `ftsim_served` — the plan service behind a TCP socket.
+ *
+ * Where `ftsim_serve` answers a request *file*, `ftsim_served` is the
+ * deployable daemon: it binds a TCP port and serves the same JSON-lines
+ * protocol to many concurrent connections through the poll-based
+ * `NetServer` (src/net/server.hpp). Per connection, responses come
+ * back in request order, so clients may pipeline (`ftsim_client`
+ * does); across connections the service coalesces duplicates exactly
+ * as in-process callers see — N connections asking the same question
+ * cost one execution.
+ *
+ * Governance flags mirror `ftsim_serve` (they configure the same
+ * `ServiceConfig`): `--max-answers`/`--max-planners` bound the LRU
+ * caches, `--tenant-*` gate admission per request tenant, quota
+ * overflow answers `{"ok":false,"error":"RateLimited",...}` on the
+ * wire. Front-end knobs are new: `--host`/`--port` (port 0 = kernel-
+ * assigned, announced on stderr — how scripts avoid port collisions),
+ * `--max-connections` (beyond it, connects wait in the TCP backlog),
+ * `--idle-timeout` (seconds; quiet connections are closed), and
+ * `--max-line` (bytes; longer request lines answer a protocol error).
+ *
+ * Shutdown: SIGTERM or SIGINT triggers a graceful drain — stop
+ * accepting, stop reading, answer and flush everything already
+ * admitted, then exit 0 with a stats summary on stderr. The summary
+ * includes per-connection and per-tenant service counters.
+ *
+ * Usage: ftsim_served [--host H] [--port P] [--max-connections N]
+ *                     [--idle-timeout SEC] [--max-line BYTES]
+ *                     [--workers N] [--max-answers N] [--max-planners N]
+ *                     [--tenant-inflight N] [--tenant-rps X]
+ *                     [--tenant-burst X] [--max-tenants N]
+ */
+
+#include <atomic>
+#include <cmath>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hpp"
+#include "net/server.hpp"
+
+using namespace ftsim;
+
+namespace {
+
+std::atomic<NetServer*> g_server{nullptr};
+
+/** SIGTERM/SIGINT: requestStop is async-signal-safe by contract
+ *  (atomic store + one write(2), no locks). */
+void
+onSignal(int)
+{
+    if (NetServer* server = g_server.load())
+        server->requestStop();
+}
+
+[[noreturn]] void
+usage(const std::string& problem)
+{
+    std::cerr
+        << "ftsim_served: " << problem << "\n"
+        << "usage: ftsim_served [--host H] [--port P]"
+           " [--max-connections N]\n"
+        << "                    [--idle-timeout SEC] [--max-line BYTES]\n"
+        << "                    [--workers N] [--max-answers N]"
+           " [--max-planners N]\n"
+        << "                    [--tenant-inflight N] [--tenant-rps X]\n"
+        << "                    [--tenant-burst X] [--max-tenants N]\n";
+    std::exit(2);
+}
+
+double
+numberArg(const std::string& flag, const char* text)
+{
+    char* end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0' || !std::isfinite(value) ||
+        value < 0.0)
+        usage(strCat(flag, " needs a non-negative finite number, got '",
+                     text, "'"));
+    return value;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    NetServerConfig config;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc)
+                usage(strCat(arg, " needs a value"));
+            return argv[++i];
+        };
+        if (arg == "--host") {
+            config.host = value();
+        } else if (arg == "--port") {
+            // Range-check before the uint16_t cast: --port 70000 must
+            // be an error, not a silent bind of port 4464.
+            const double port = numberArg(arg, value());
+            if (port > 65535.0)
+                usage(strCat("--port must be 0..65535, got ", port));
+            config.port = static_cast<std::uint16_t>(port);
+        }
+        else if (arg == "--max-connections")
+            config.maxConnections =
+                static_cast<std::size_t>(numberArg(arg, value()));
+        else if (arg == "--idle-timeout")
+            config.idleTimeoutMs = numberArg(arg, value()) * 1000.0;
+        else if (arg == "--max-line")
+            config.maxLineBytes =
+                static_cast<std::size_t>(numberArg(arg, value()));
+        else if (arg == "--workers")
+            config.service.workers =
+                static_cast<unsigned>(numberArg(arg, value()));
+        else if (arg == "--max-answers")
+            config.service.maxAnswers =
+                static_cast<std::size_t>(numberArg(arg, value()));
+        else if (arg == "--max-planners")
+            config.service.maxPlanners =
+                static_cast<std::size_t>(numberArg(arg, value()));
+        else if (arg == "--tenant-inflight")
+            config.service.tenantMaxInflight =
+                static_cast<std::uint64_t>(numberArg(arg, value()));
+        else if (arg == "--tenant-rps")
+            config.service.tenantRps = numberArg(arg, value());
+        else if (arg == "--tenant-burst")
+            config.service.tenantBurst = numberArg(arg, value());
+        else if (arg == "--max-tenants")
+            config.service.maxTenants =
+                static_cast<std::size_t>(numberArg(arg, value()));
+        else
+            usage(strCat("unknown flag ", arg));
+    }
+
+    // Socket fds carry the protocol; sim warnings go through stderr.
+    Logger::instance().setLevel(LogLevel::Error);
+
+    const std::string host = config.host;
+    NetServer server(std::move(config));
+    Result<bool> bound = server.bindListener();
+    if (!bound) {
+        std::cerr << "ftsim_served: " << bound.error().message << '\n';
+        return 2;
+    }
+
+    g_server.store(&server);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    // Scripts parse this line for the kernel-assigned port (--port 0).
+    std::cerr << "ftsim_served: listening on " << host << ':'
+              << server.port() << std::endl;
+    server.run();
+    g_server.store(nullptr);
+
+    const NetServerStats net = server.stats();
+    const ServiceStats stats = server.service().stats();
+    std::cerr << "ftsim_served: drained; " << net.connectionsAccepted
+              << " connections, " << net.requests << " requests, "
+              << net.responses << " responses, " << net.protocolErrors
+              << " protocol errors (" << net.oversizedLines
+              << " oversized), " << net.idleClosed << " idle-closed\n"
+              << "ftsim_served: coalesced=" << stats.coalesced
+              << " executed=" << stats.executed
+              << " rate_limited=" << stats.rateLimited
+              << " planners=" << stats.plannersCreated
+              << " steps_simulated=" << stats.stepsSimulated
+              << " latency p50=" << stats.p50LatencyMs
+              << "ms p99=" << stats.p99LatencyMs << "ms\n";
+    for (const auto& [source, row] : stats.sources)
+        std::cerr << "ftsim_served: connection " << source
+                  << ": requests=" << row.requests
+                  << " coalesced=" << row.coalesced
+                  << " rate_limited=" << row.rateLimited << '\n';
+    for (const auto& [tenant, row] : stats.tenants)
+        std::cerr << "ftsim_served: tenant " << tenant
+                  << ": admitted=" << row.admitted
+                  << " rejected_inflight=" << row.rejectedInflight
+                  << " rejected_rate=" << row.rejectedRate << '\n';
+    return 0;
+}
