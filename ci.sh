@@ -29,6 +29,14 @@ echo "ci.sh: serve smoke artifact at $BUILD_DIR/BENCH_serve.json"
 "$BUILD_DIR/bench/bench_net_load" "$BUILD_DIR/BENCH_net.json"
 echo "ci.sh: net soak artifact at $BUILD_DIR/BENCH_net.json"
 
+# Fleet soak: a consistent-hash router over 2 shard workers replays the
+# trace and emits BENCH_fleet.json. The binary fails when any routed
+# answer diverges from the in-process PlanService, the fleet simulates
+# more than distinct-config-many steps, or a shard warm-started from
+# the fleet's PlanRegistry snapshots compiles any plan.
+"$BUILD_DIR/bench/bench_fleet_load" "$BUILD_DIR/BENCH_fleet.json"
+echo "ci.sh: fleet soak artifact at $BUILD_DIR/BENCH_fleet.json"
+
 # Bench-regression gate: fresh artifacts vs. checked-in baselines.
 # Deterministic counters must match exactly; speedup ratios may drop
 # at most 25% (override with BENCH_CHECK_TOLERANCE). Refresh after an
@@ -78,17 +86,74 @@ wait "$SERVED_PID"   # Graceful drain must exit 0.
 trap - EXIT
 echo "ci.sh: ftsim_served/ftsim_client socket e2e matches the golden (clean SIGTERM drain)"
 
+# Router golden e2e: the same client bytes through ftsim_router and two
+# real ftsim_served shard processes. The router must be protocol-
+# invisible: the ungoverned example requests answer byte-exactly the
+# golden prefix (governed fixtures are excluded — per-shard token
+# buckets are not portable across sharding). Afterwards a third shard
+# warm-starts from a busy shard's snapshot over the wire, and all four
+# processes must drain cleanly on SIGTERM.
+SHARD1_LOG="$BUILD_DIR/ftsim_shard1.ci.log"
+SHARD2_LOG="$BUILD_DIR/ftsim_shard2.ci.log"
+ROUTER_LOG="$BUILD_DIR/ftsim_router.ci.log"
+WARMED_LOG="$BUILD_DIR/ftsim_warmed.ci.log"
+"$BUILD_DIR/ftsim_served" --port 0 2> "$SHARD1_LOG" &
+SHARD1_PID=$!
+"$BUILD_DIR/ftsim_served" --port 0 2> "$SHARD2_LOG" &
+SHARD2_PID=$!
+trap 'kill -TERM "$SHARD1_PID" "$SHARD2_PID" 2>/dev/null || true' EXIT
+port_from_log() {
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "$1" 2>/dev/null && break
+    sleep 0.1
+  done
+  sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' "$1" | head -1
+}
+SHARD1_PORT=$(port_from_log "$SHARD1_LOG")
+SHARD2_PORT=$(port_from_log "$SHARD2_LOG")
+[ -n "$SHARD1_PORT" ] && [ -n "$SHARD2_PORT" ] \
+  || { echo "ci.sh: fleet shards did not start"; exit 1; }
+"$BUILD_DIR/ftsim_router" --port 0 \
+    --shard "127.0.0.1:$SHARD1_PORT" --shard "127.0.0.1:$SHARD2_PORT" \
+    2> "$ROUTER_LOG" &
+ROUTER_PID=$!
+trap 'kill -TERM "$ROUTER_PID" "$SHARD1_PID" "$SHARD2_PID" 2>/dev/null || true' EXIT
+ROUTER_PORT=$(port_from_log "$ROUTER_LOG")
+[ -n "$ROUTER_PORT" ] || { echo "ci.sh: ftsim_router did not start"; exit 1; }
+UNGOVERNED_LINES=$(grep -c '[^[:space:]]' examples/serve_requests.jsonl)
+"$BUILD_DIR/ftsim_client" examples/serve_requests.jsonl \
+    --port "$ROUTER_PORT" \
+  | diff -u <(head -n "$UNGOVERNED_LINES" \
+              tests/integration/golden_serve_e2e.jsonl) -
+# Warm start over the wire: a fresh shard pulls shard 1's PlanRegistry
+# snapshot at boot and must announce the loaded plans.
+"$BUILD_DIR/ftsim_served" --port 0 --warm-from "127.0.0.1:$SHARD1_PORT" \
+    2> "$WARMED_LOG" &
+WARMED_PID=$!
+trap 'kill -TERM "$WARMED_PID" "$ROUTER_PID" "$SHARD1_PID" "$SHARD2_PID" 2>/dev/null || true' EXIT
+WARMED_PORT=$(port_from_log "$WARMED_LOG")
+[ -n "$WARMED_PORT" ] || { echo "ci.sh: warm-started shard did not start"; exit 1; }
+grep -q "warm-started" "$WARMED_LOG" \
+  || { echo "ci.sh: warm start did not load any plans"; exit 1; }
+kill -TERM "$WARMED_PID" "$ROUTER_PID" "$SHARD1_PID" "$SHARD2_PID"
+wait "$WARMED_PID" && wait "$ROUTER_PID" \
+  && wait "$SHARD1_PID" && wait "$SHARD2_PID"   # All drain to exit 0.
+trap - EXIT
+echo "ci.sh: ftsim_router fleet e2e matches the golden prefix (warm start + clean drains)"
+
 # Sanitizer job: rebuild the library + tests with ASan/UBSan and run
-# the serving, protocol-fuzz, LRU, histogram, and network suites — the
-# fuzz corpus under sanitizers is the ISSUE-4 "no UB on hostile input"
-# gate, and the Net* suites put real sockets (framing fuzz included)
-# under the same instrumentation.
+# the serving, protocol-fuzz, LRU, histogram, network, router, and
+# snapshot suites — the fuzz corpus under sanitizers is the ISSUE-4
+# "no UB on hostile input" gate, the Net* suites put real sockets
+# (framing fuzz included) under the same instrumentation, and the
+# RegistrySnapshot*/Base64* suites cover the ISSUE-6 hostile-snapshot
+# bytes (truncation/corruption sweeps).
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$SAN_DIR" -S . -DFTSIM_SANITIZE=ON \
       -DFTSIM_BUILD_BENCH=OFF -DFTSIM_BUILD_EXAMPLES=OFF > /dev/null
 cmake --build "$SAN_DIR" -j --target ftsim_tests
 "$SAN_DIR/ftsim_tests" \
-    --gtest_filter='Protocol*:PlanService*:LruCache*:ServeE2E*:Histogram*:Net*'
-echo "ci.sh: ASan+UBSan serve/fuzz/net suites green"
+    --gtest_filter='Protocol*:PlanService*:LruCache*:ServeE2E*:Histogram*:Net*:Router*:HashRing*:RegistrySnapshot*:Base64*'
+echo "ci.sh: ASan+UBSan serve/fuzz/net/fleet suites green"
 
 echo "ci.sh: all green"

@@ -1,0 +1,107 @@
+#include "common/base64.hpp"
+
+#include <array>
+#include <cstdint>
+
+namespace ftsim {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/** 0..63 for alphabet bytes, -1 otherwise ('=' included). */
+std::array<std::int8_t, 256>
+buildReverse()
+{
+    std::array<std::int8_t, 256> table{};
+    table.fill(-1);
+    for (int i = 0; i < 64; ++i)
+        table[static_cast<unsigned char>(kAlphabet[i])] =
+            static_cast<std::int8_t>(i);
+    return table;
+}
+
+const std::array<std::int8_t, 256> kReverse = buildReverse();
+
+}  // namespace
+
+std::string
+base64Encode(std::string_view bytes)
+{
+    std::string out;
+    out.reserve((bytes.size() + 2) / 3 * 4);
+    std::size_t i = 0;
+    for (; i + 3 <= bytes.size(); i += 3) {
+        const std::uint32_t group =
+            (static_cast<unsigned char>(bytes[i]) << 16) |
+            (static_cast<unsigned char>(bytes[i + 1]) << 8) |
+            static_cast<unsigned char>(bytes[i + 2]);
+        out += kAlphabet[(group >> 18) & 0x3F];
+        out += kAlphabet[(group >> 12) & 0x3F];
+        out += kAlphabet[(group >> 6) & 0x3F];
+        out += kAlphabet[group & 0x3F];
+    }
+    const std::size_t rest = bytes.size() - i;
+    if (rest == 1) {
+        const std::uint32_t group =
+            static_cast<unsigned char>(bytes[i]) << 16;
+        out += kAlphabet[(group >> 18) & 0x3F];
+        out += kAlphabet[(group >> 12) & 0x3F];
+        out += "==";
+    } else if (rest == 2) {
+        const std::uint32_t group =
+            (static_cast<unsigned char>(bytes[i]) << 16) |
+            (static_cast<unsigned char>(bytes[i + 1]) << 8);
+        out += kAlphabet[(group >> 18) & 0x3F];
+        out += kAlphabet[(group >> 12) & 0x3F];
+        out += kAlphabet[(group >> 6) & 0x3F];
+        out += '=';
+    }
+    return out;
+}
+
+Result<std::string>
+base64Decode(std::string_view text)
+{
+    if (text.size() % 4 != 0)
+        return Error{ErrorCode::InvalidArgument,
+                     "base64 length must be a multiple of 4"};
+    std::string out;
+    out.reserve(text.size() / 4 * 3);
+    for (std::size_t i = 0; i < text.size(); i += 4) {
+        const bool last = i + 4 == text.size();
+        int pad = 0;
+        std::uint32_t group = 0;
+        for (int j = 0; j < 4; ++j) {
+            const char c = text[i + j];
+            if (c == '=') {
+                // Padding is only legal as the last one or two
+                // characters of the whole string.
+                if (!last || j < 2)
+                    return Error{ErrorCode::InvalidArgument,
+                                 "misplaced '=' padding"};
+                ++pad;
+                group <<= 6;
+                continue;
+            }
+            if (pad > 0)
+                return Error{ErrorCode::InvalidArgument,
+                             "data after '=' padding"};
+            const std::int8_t v =
+                kReverse[static_cast<unsigned char>(c)];
+            if (v < 0)
+                return Error{ErrorCode::InvalidArgument,
+                             "invalid base64 character"};
+            group = (group << 6) | static_cast<std::uint32_t>(v);
+        }
+        out += static_cast<char>((group >> 16) & 0xFF);
+        if (pad < 2)
+            out += static_cast<char>((group >> 8) & 0xFF);
+        if (pad < 1)
+            out += static_cast<char>(group & 0xFF);
+    }
+    return out;
+}
+
+}  // namespace ftsim

@@ -1,0 +1,34 @@
+#ifndef FTSIM_COMMON_BASE64_HPP
+#define FTSIM_COMMON_BASE64_HPP
+
+/**
+ * @file
+ * Standard base64 (RFC 4648, '=' padded) for binary payloads on the
+ * JSON-lines wire — the `snapshot` protocol query ships a binary
+ * `PlanRegistry` snapshot inside a JSON string field, and JSON strings
+ * cannot carry raw bytes.
+ *
+ * Hand-rolled like the rest of the wire layer (common/table spirit):
+ * dependency-free, strict on decode — non-alphabet characters,
+ * misplaced padding, and truncated groups are errors, not guesses,
+ * because decoded snapshots feed a length-checked binary parser that
+ * deserves well-formed input or a typed failure.
+ */
+
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+
+namespace ftsim {
+
+/** Encodes @p bytes as padded base64. */
+std::string base64Encode(std::string_view bytes);
+
+/** Decodes padded base64; `InvalidArgument` on any malformed input
+ *  (bad character, bad padding, truncated final group). */
+Result<std::string> base64Decode(std::string_view text);
+
+}  // namespace ftsim
+
+#endif  // FTSIM_COMMON_BASE64_HPP

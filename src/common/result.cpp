@@ -18,6 +18,8 @@ errorCodeName(ErrorCode code)
         return "NoViablePlan";
       case ErrorCode::RateLimited:
         return "RateLimited";
+      case ErrorCode::Unavailable:
+        return "Unavailable";
     }
     return "UnknownError";
 }

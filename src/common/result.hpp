@@ -40,6 +40,10 @@ enum class ErrorCode {
     /** Admission control rejected the request (tenant quota exceeded);
      *  retriable, unlike the other codes — back off and resubmit. */
     RateLimited,
+    /** A required backend (an upstream shard) is down or unreachable;
+     *  retriable once the fleet recovers. Surfaced by the router when
+     *  a shard dies with requests in flight. */
+    Unavailable,
 };
 
 /** Stable identifier string for an error code (logs, tests). */

@@ -1,5 +1,7 @@
 #include "gpusim/plan_registry.hpp"
 
+#include <chrono>
+
 namespace ftsim {
 
 std::shared_ptr<const StepPlan>
@@ -31,6 +33,35 @@ PlanRegistry::plan(const std::string& key,
         compiled_.fetch_add(1);
     }
     return future.get();
+}
+
+bool
+PlanRegistry::insertLoaded(const std::string& key,
+                           std::shared_ptr<const StepPlan> plan)
+{
+    std::promise<std::shared_ptr<const StepPlan>> ready;
+    ready.set_value(std::move(plan));
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool inserted =
+        plans_.emplace(key, ready.get_future().share()).second;
+    if (inserted)
+        loaded_.fetch_add(1);
+    return inserted;
+}
+
+void
+PlanRegistry::forEachReadyPlan(
+    const std::function<void(const std::string&,
+                             const std::shared_ptr<const StepPlan>&)>&
+        visit) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, future] : plans_) {
+        if (future.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready)
+            continue;  // Mid-compile: the snapshot skips it.
+        visit(key, future.get());
+    }
 }
 
 }  // namespace ftsim

@@ -64,19 +64,43 @@ class PlanRegistry {
         const std::string& key,
         const std::function<StepPlan()>& compile);
 
-    /** Distinct keys compiled so far. */
+    /**
+     * Inserts an already-compiled plan (a snapshot entry) under @p key.
+     * Returns false — and changes nothing — when the key already has an
+     * entry: a live compile always wins over a warm-start, so loading a
+     * snapshot over a busy registry is safe at any time. Counted under
+     * plansLoaded(), never plansCompiled().
+     */
+    bool insertLoaded(const std::string& key,
+                      std::shared_ptr<const StepPlan> plan);
+
+    /**
+     * Visits every *completed* entry as (key, plan) — entries whose
+     * compile is still running are skipped (a snapshot wants plans, not
+     * blocking). Ordered by key, so snapshot bytes are deterministic.
+     */
+    void forEachReadyPlan(
+        const std::function<void(const std::string&,
+                                 const std::shared_ptr<const StepPlan>&)>&
+            visit) const;
+
+    /** Distinct keys compiled so far (loads excluded). */
     std::uint64_t plansCompiled() const { return compiled_.load(); }
+
+    /** Entries adopted from snapshots via insertLoaded(). */
+    std::uint64_t plansLoaded() const { return loaded_.load(); }
 
     /** Lookups answered by an existing (or in-flight) entry. */
     std::uint64_t planHits() const { return hits_.load(); }
 
   private:
     StringInterner names_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::map<std::string,
              std::shared_future<std::shared_ptr<const StepPlan>>>
         plans_;
     std::atomic<std::uint64_t> compiled_{0};
+    std::atomic<std::uint64_t> loaded_{0};
     std::atomic<std::uint64_t> hits_{0};
 };
 

@@ -1,0 +1,70 @@
+#ifndef FTSIM_GPUSIM_REGISTRY_SNAPSHOT_HPP
+#define FTSIM_GPUSIM_REGISTRY_SNAPSHOT_HPP
+
+/**
+ * @file
+ * Versioned binary snapshots of a `PlanRegistry` — compiled state that
+ * ships between processes instead of being recompiled.
+ *
+ * A fleet shard that has served traffic holds a registry full of
+ * compiled `StepPlan`s. `saveRegistrySnapshot` serializes every
+ * completed entry — key, SoA kernel arrays, per-kernel formulas — into
+ * one self-describing byte string; `loadRegistrySnapshot` rebuilds the
+ * plans inside another registry, re-interning kernel names into the
+ * *target* interner (name ids are interner-local and never serialized),
+ * re-deriving the aggregation tables via `StepPlan::finalize`, and
+ * skipping keys the target already has (a live compile always wins).
+ * A warm-started shard therefore compiles zero plans for every config
+ * the donor had seen — the `stepPlan` path finds them in the registry.
+ *
+ * Wire format (little-endian, fixed-width):
+ *
+ *     "FTSNAP"  u32 version   u64 payloadBytes   u64 fnv1a(payload)
+ *     payload := u32 planCount, then per plan:
+ *         str key, f64 activeExperts, f64 nExperts, u32 kernelCount,
+ *         then per kernel: str name, u8 kind, u8 layer, u8 stage,
+ *         f64 count, f64 efficiency, u8 eval, u8 rows, f64 a..e
+ *     str := u32 length + bytes
+ *
+ * Hostile-input contract: snapshot bytes arrive over the wire (the
+ * `snapshot` protocol query) or from disk (`--warm-from`), so the
+ * loader trusts nothing — every read is bounds-checked, the checksum
+ * and declared payload length must match, enum bytes must be in range,
+ * and any violation is a typed `InvalidArgument`, never UB (the
+ * truncation/corruption tests in tests/gpusim/test_registry_snapshot
+ * .cpp sweep this). Doubles round-trip by bit pattern, so a loaded
+ * plan evaluates bit-identically to its donor.
+ */
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+#include "gpusim/plan_registry.hpp"
+
+namespace ftsim {
+
+/** What loadRegistrySnapshot did. */
+struct SnapshotLoadInfo {
+    /** Plans adopted into the target registry. */
+    std::uint64_t plansLoaded = 0;
+    /** Snapshot entries skipped because the key already existed. */
+    std::uint64_t plansSkipped = 0;
+};
+
+/** Serializes every completed plan in @p registry (see file comment). */
+std::string saveRegistrySnapshot(const PlanRegistry& registry);
+
+/**
+ * Rebuilds @p snapshot's plans inside @p registry. All-or-nothing per
+ * call: the snapshot is fully validated (checksum, lengths, enum
+ * domains) before the first plan is inserted, so a malformed blob
+ * leaves the registry untouched.
+ */
+Result<SnapshotLoadInfo> loadRegistrySnapshot(PlanRegistry& registry,
+                                              std::string_view snapshot);
+
+}  // namespace ftsim
+
+#endif  // FTSIM_GPUSIM_REGISTRY_SNAPSHOT_HPP

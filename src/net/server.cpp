@@ -5,6 +5,7 @@
 #include <chrono>
 #include <deque>
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 #include <vector>
 
@@ -123,12 +124,23 @@ struct NetServer::Impl {
         }
     }
 
+    /** The loop's timer clock: injected (tests) or real monotonic. */
+    double clockMs() const
+    {
+        return config.clock ? config.clock() : monotonicMs();
+    }
+
     void acceptPending(double now)
     {
         while (conns.size() < config.maxConnections) {
             Connection socket = listener.accept();
             if (!socket.valid())
                 break;
+            if (config.sendBufferBytes > 0) {
+                const int bytes = config.sendBufferBytes;
+                ::setsockopt(socket.fd(), SOL_SOCKET, SO_SNDBUF,
+                             &bytes, sizeof(bytes));
+            }
             accepted.fetch_add(1);
             const std::string label =
                 strCat(socket.peer(), '#', accepted.load());
@@ -244,10 +256,12 @@ struct NetServer::Impl {
         std::vector<pollfd> fds;
         std::vector<Conn*> polled;
         bool stop_seen = false;
+        double drain_start_ms = 0.0;
         while (true) {
             const bool stopping = stopRequested.load();
             if (stopping && !stop_seen) {
                 stop_seen = true;
+                drain_start_ms = clockMs();
                 // Graceful drain: no new connections, no new input —
                 // but every admitted request still answers and every
                 // answer still flushes before its connection closes.
@@ -292,8 +306,13 @@ struct NetServer::Impl {
             }
 
             int timeout = -1;
+            // A drained peer that stopped reading never raises a
+            // poll event, so the deadline must be re-checked on a
+            // short real-time tick (the clock itself may be virtual).
+            if (stop_seen && config.drainDeadlineMs > 0.0)
+                timeout = 20;
             if (config.idleTimeoutMs > 0.0 && !stop_seen) {
-                const double now = monotonicMs();
+                const double now = clockMs();
                 double nearest = -1.0;
                 for (auto& conn : conns) {
                     if (!conn->drained())
@@ -311,7 +330,7 @@ struct NetServer::Impl {
             const int rc = ::poll(fds.data(),
                                   static_cast<nfds_t>(fds.size()),
                                   timeout);
-            const double now = monotonicMs();
+            const double now = clockMs();
             if (rc < 0 && errno != EINTR)
                 fatal("NetServer: poll() failed");
 
@@ -340,6 +359,21 @@ struct NetServer::Impl {
                     continue;
                 pump(*conn, now);
                 flush(*conn);
+            }
+
+            // Drain deadline: connections that still owe bytes (or
+            // answers) this long after the stop request are cut off —
+            // after the flush above gave them one more chance. Their
+            // unflushed answers die with them; the alternative is a
+            // shutdown a stalled peer controls.
+            if (stop_seen && config.drainDeadlineMs > 0.0 &&
+                now - drain_start_ms >= config.drainDeadlineMs) {
+                for (auto& conn : conns) {
+                    if (conn->dead || conn->drained())
+                        continue;
+                    forcedClosed.fetch_add(1);
+                    conn->dead = true;
+                }
             }
 
             // Idle sweep (only quiet, fully-drained connections).
@@ -376,6 +410,7 @@ struct NetServer::Impl {
     std::atomic<std::uint64_t> protocolErrors{0};
     std::atomic<std::uint64_t> oversized{0};
     std::atomic<std::uint64_t> idleClosed{0};
+    std::atomic<std::uint64_t> forcedClosed{0};
 };
 
 NetServer::NetServer(NetServerConfig config)
@@ -456,6 +491,7 @@ NetServer::stats() const
     out.protocolErrors = impl_->protocolErrors.load();
     out.oversizedLines = impl_->oversized.load();
     out.idleClosed = impl_->idleClosed.load();
+    out.forcedClosed = impl_->forcedClosed.load();
     return out;
 }
 

@@ -41,6 +41,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -69,6 +70,28 @@ struct NetServerConfig {
     double idleTimeoutMs = 0.0;
     /** Frame cap: longest accepted request line, bytes. */
     std::size_t maxLineBytes = 1 << 20;
+    /**
+     * Graceful-shutdown patience, ms: once a stop is requested, a
+     * connection that still has unflushed output (or unanswered
+     * requests) after this long is force-closed instead of holding
+     * the drain hostage — a stalled peer that never reads must not
+     * turn SIGTERM into a hang. 0 = wait forever (the pre-deadline
+     * behavior). Counted in NetServerStats::forcedClosed.
+     */
+    double drainDeadlineMs = 0.0;
+    /**
+     * SO_SNDBUF for accepted connections, bytes; 0 = kernel default.
+     * Mainly a test knob: a tiny buffer makes "peer stopped reading"
+     * reproducible without megabytes of traffic.
+     */
+    int sendBufferBytes = 0;
+    /**
+     * Virtual clock in ms for the loop's timers (idle timeout, drain
+     * deadline); null = the real monotonic clock. Tests inject a
+     * controllable clock to cross the drain deadline deterministically.
+     * Independent of ServiceConfig::clock (admission timing).
+     */
+    std::function<double()> clock;
     /** The in-process service being fronted (governance included). */
     ServiceConfig service;
 };
@@ -89,6 +112,9 @@ struct NetServerStats {
     std::uint64_t oversizedLines = 0;
     /** Connections closed by the idle timeout. */
     std::uint64_t idleClosed = 0;
+    /** Connections force-closed at the drain deadline with answers
+     *  still unflushed. */
+    std::uint64_t forcedClosed = 0;
 };
 
 /** Poll-based TCP front end over a PlanService (see file comment). */

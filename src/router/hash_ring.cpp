@@ -1,0 +1,72 @@
+#include "router/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace ftsim {
+
+std::uint64_t
+fnv1a64(std::string_view bytes)
+{
+    std::uint64_t hash = 14695981039346656037ull;
+    for (char c : bytes) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+void
+HashRing::addShard(std::size_t shard, std::string_view name)
+{
+    for (std::size_t v = 0; v < virtual_nodes_; ++v) {
+        const std::uint64_t hash =
+            fnv1a64(strCat(name, '#', v));
+        ring_.push_back({hash, shard});
+    }
+    std::sort(ring_.begin(), ring_.end(),
+              [](const Point& a, const Point& b) {
+                  return a.hash != b.hash ? a.hash < b.hash
+                                          : a.shard < b.shard;
+              });
+}
+
+void
+HashRing::removeShard(std::size_t shard)
+{
+    ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                               [shard](const Point& p) {
+                                   return p.shard == shard;
+                               }),
+                ring_.end());
+}
+
+int
+HashRing::shardFor(std::string_view key) const
+{
+    if (ring_.empty())
+        return -1;
+    const std::uint64_t hash = fnv1a64(key);
+    // First point clockwise from the key; wrap to the ring start.
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), hash,
+        [](const Point& p, std::uint64_t h) { return p.hash < h; });
+    if (it == ring_.end())
+        it = ring_.begin();
+    return static_cast<int>(it->shard);
+}
+
+std::size_t
+HashRing::liveShards() const
+{
+    // Count distinct shard values; the ring holds a handful of shards,
+    // so a linear membership scan beats building a set.
+    std::vector<std::size_t> seen;
+    for (const Point& p : ring_)
+        if (std::find(seen.begin(), seen.end(), p.shard) == seen.end())
+            seen.push_back(p.shard);
+    return seen.size();
+}
+
+}  // namespace ftsim

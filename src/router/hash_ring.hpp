@@ -1,0 +1,82 @@
+#ifndef FTSIM_ROUTER_HASH_RING_HPP
+#define FTSIM_ROUTER_HASH_RING_HPP
+
+/**
+ * @file
+ * Consistent hashing for the fleet router.
+ *
+ * The router's whole value proposition is that duplicate requests land
+ * on the same shard — the fleet then coalesces exactly like one big
+ * service (distinct-config-many steps, however many clients ask). A
+ * modulo hash would satisfy that too, but the first dead shard would
+ * remap *every* key and scatter previously-coalesced duplicates across
+ * the fleet. A consistent-hash ring remaps only the dead shard's keys
+ * (onto their ring successors), so resharding perturbs the fleet's
+ * dedup as little as topology allows.
+ *
+ * Mechanics: each shard contributes `virtualNodes` points to the ring,
+ * hashed from "<name>#<replica>" with FNV-1a 64 (the same hash family
+ * the snapshot checksum uses — small, dependency-free, well understood).
+ * A key is owned by the first point clockwise from its hash. Points are
+ * derived from the shard *name*, so a shard's placement is stable
+ * across router restarts and across reorderings of the shard list.
+ *
+ * Not thread-safe: the router's single poll loop is the only caller.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftsim {
+
+/** FNV-1a 64-bit (the ring's point + key hash). */
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/** Consistent-hash ring over shard indices (see file comment). */
+class HashRing {
+  public:
+    /** @param virtual_nodes ring points per shard; more points = finer
+     *         balance, linearly slower rebuilds. 0 is treated as 1. */
+    explicit HashRing(std::size_t virtual_nodes = 64)
+        : virtual_nodes_(virtual_nodes > 0 ? virtual_nodes : 1)
+    {
+    }
+
+    /** Adds @p shard (an index the caller dereferences) under
+     *  @p name. Names must be unique per ring — placement identity. */
+    void addShard(std::size_t shard, std::string_view name);
+
+    /** Removes every point of @p shard; its keys fall to their ring
+     *  successors, everyone else's keys stay put. */
+    void removeShard(std::size_t shard);
+
+    /**
+     * The shard owning @p key, or -1 when the ring is empty. Equal
+     * keys always agree while membership is unchanged — the router's
+     * coalescing invariant.
+     */
+    int shardFor(std::string_view key) const;
+
+    /** Shards currently contributing points. */
+    std::size_t liveShards() const;
+
+    std::size_t points() const { return ring_.size(); }
+
+  private:
+    struct Point {
+        std::uint64_t hash;
+        std::size_t shard;
+    };
+
+    std::size_t virtual_nodes_;
+    /** Sorted by (hash, shard): the tie order must be deterministic
+     *  or two routers with colliding points could disagree. */
+    std::vector<Point> ring_;
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_ROUTER_HASH_RING_HPP

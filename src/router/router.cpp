@@ -1,0 +1,647 @@
+#include "router/router.hpp"
+
+#include <cerrno>
+#include <deque>
+#include <poll.h>
+#include <unistd.h>
+
+#include "common/logging.hpp"
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+#include "router/hash_ring.hpp"
+#include "serve/protocol.hpp"
+
+namespace ftsim {
+
+namespace {
+
+/** Blank lines are not requests (mirrors NetServer / ftsim_serve). */
+bool
+isBlank(const std::string& line)
+{
+    return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+}  // namespace
+
+/** Poll-loop internals: every member is loop-thread-owned except the
+ *  stop flag, the wake pipe's write end, and the atomics. */
+struct RouterServer::Impl {
+    /**
+     * One answer owed to a client, shared between the client
+     * connection's pending queue (write-back order) and — while the
+     * request is upstream — its shard's outstanding queue (fill
+     * order). The shared_ptr is the lifetime glue: a client that
+     * disconnects mid-flight just drops its queue, and the shard-side
+     * fill lands in an orphaned slot instead of freed memory.
+     */
+    struct Slot {
+        std::string id;
+        QueryKind query = QueryKind::MaxBatch;
+        bool ready = false;
+        /** The response line (no terminator) once ready. */
+        std::string line;
+    };
+
+    /** One open client connection (the NetServer per-conn shape). */
+    struct Conn {
+        Connection socket;
+        LineFramer framer;
+        std::deque<std::shared_ptr<Slot>> pending;
+        std::string out;
+        std::size_t outOff = 0;
+        bool inputClosed = false;
+        bool closeAfterFlush = false;
+        bool dead = false;
+
+        Conn(Connection s, std::size_t max_line)
+            : socket(std::move(s)), framer(max_line)
+        {
+        }
+
+        bool flushed() const { return outOff >= out.size(); }
+
+        bool drained() const { return pending.empty() && flushed(); }
+    };
+
+    /** One upstream shard and its persistent pipelined connection. */
+    struct Shard {
+        ShardEndpoint endpoint;
+        Connection socket;
+        LineFramer framer;
+        /** Requests sent (or queued to send), oldest first. The shard
+         *  answers per connection in request order, so each response
+         *  line fills the front slot — no correlation ids needed. */
+        std::deque<std::shared_ptr<Slot>> outstanding;
+        std::string out;
+        std::size_t outOff = 0;
+        std::atomic<bool> alive{false};
+        std::atomic<std::uint64_t> routed{0};
+
+        Shard(ShardEndpoint e, std::size_t max_line)
+            : endpoint(std::move(e)), framer(max_line)
+        {
+        }
+
+        bool flushed() const { return outOff >= out.size(); }
+    };
+
+    explicit Impl(RouterConfig cfg)
+        : config(std::move(cfg)), ring(config.virtualNodes)
+    {
+        int fds[2] = {-1, -1};
+        if (::pipe(fds) != 0)
+            fatal("RouterServer: cannot create wake pipe");
+        setNonBlocking(fds[0]);
+        setNonBlocking(fds[1]);
+        wakeRead = fds[0];
+        wakeWrite = fds[1];
+        for (ShardEndpoint endpoint : config.shards) {
+            if (endpoint.name.empty())
+                endpoint.name =
+                    strCat(endpoint.host, ':', endpoint.port);
+            shards.push_back(std::make_unique<Shard>(
+                std::move(endpoint), config.maxShardLineBytes));
+        }
+    }
+
+    ~Impl()
+    {
+        if (wakeRead >= 0)
+            ::close(wakeRead);
+        if (wakeWrite >= 0)
+            ::close(wakeWrite);
+    }
+
+    /** Async-signal-safe (one non-blocking write; EAGAIN = a wake is
+     *  already pending). */
+    void wake()
+    {
+        const char byte = 1;
+        [[maybe_unused]] ssize_t n = ::write(wakeWrite, &byte, 1);
+    }
+
+    void drainWakePipe()
+    {
+        char buf[256];
+        while (::read(wakeRead, buf, sizeof(buf)) > 0) {
+        }
+    }
+
+    Result<bool> connectShards()
+    {
+        for (std::size_t i = 0; i < shards.size(); ++i)
+            for (std::size_t j = i + 1; j < shards.size(); ++j)
+                if (shards[i]->endpoint.name ==
+                    shards[j]->endpoint.name)
+                    return Error{ErrorCode::InvalidArgument,
+                                 strCat("duplicate shard name \"",
+                                        shards[i]->endpoint.name,
+                                        '"')};
+        if (shards.empty())
+            return Error{ErrorCode::InvalidArgument,
+                         "router needs at least one shard"};
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+            Shard& shard = *shards[i];
+            Result<Connection> conn = Connection::connectTo(
+                shard.endpoint.host, shard.endpoint.port);
+            if (!conn)
+                return Error{
+                    ErrorCode::Unavailable,
+                    strCat("shard \"", shard.endpoint.name,
+                           "\" unreachable: ", conn.error().message)};
+            shard.socket = std::move(conn.value());
+            // connectTo leaves the fd blocking (the client-side
+            // contract); the poll loop needs it non-blocking.
+            setNonBlocking(shard.socket.fd());
+            shard.alive.store(true);
+            ring.addShard(i, shard.endpoint.name);
+        }
+        return true;
+    }
+
+    /** Fills @p slot with a typed error response — the only answers
+     *  the router composes (everything else is shard bytes). */
+    void answerError(Slot& slot, ErrorCode code, std::string message)
+    {
+        PlanRequest request;
+        request.id = slot.id;
+        request.query = slot.query;
+        slot.line = writePlanResponse(
+            errorResponse(request, Error{code, std::move(message)}));
+        slot.ready = true;
+    }
+
+    /**
+     * Takes @p shard out of the fleet: close the socket, drop its ring
+     * points (only *its* keys re-route — consistent hashing's whole
+     * point), and answer every outstanding request `Unavailable`, in
+     * order, in its slot. The router keeps serving on the survivors.
+     */
+    void markShardDead(Shard& shard, std::size_t index,
+                       const std::string& why)
+    {
+        if (!shard.alive.load())
+            return;
+        shard.alive.store(false);
+        shard.socket.close();
+        shard.out.clear();
+        shard.outOff = 0;
+        ring.removeShard(index);
+        while (!shard.outstanding.empty()) {
+            const std::shared_ptr<Slot> slot =
+                shard.outstanding.front();
+            shard.outstanding.pop_front();
+            shardFailures.fetch_add(1);
+            answerError(*slot, ErrorCode::Unavailable,
+                        strCat("shard \"", shard.endpoint.name,
+                               "\" ", why));
+        }
+    }
+
+    /** The router's own `fleet` answer: shard health + routing. */
+    void answerFleet(Slot& slot)
+    {
+        fleetQueries.fetch_add(1);
+        PlanResponse response;
+        response.id = slot.id;
+        response.query = QueryKind::Fleet;
+        response.ok = true;
+        std::size_t alive = 0;
+        for (const auto& shard : shards)
+            alive += shard->alive.load() ? 1 : 0;
+        response.value = static_cast<double>(alive);
+        response.report =
+            strCat("router: shards=", shards.size(), " alive=", alive);
+        for (const auto& shard : shards)
+            response.report += strCat(
+                "; ", shard->endpoint.name, '=',
+                shard->alive.load() ? "alive" : "dead",
+                " routed=", shard->routed.load());
+        slot.line = writePlanResponse(response);
+        slot.ready = true;
+    }
+
+    void handleFrame(Conn& conn, LineFramer::Frame& frame)
+    {
+        if (frame.overflow) {
+            oversized.fetch_add(1);
+            protocolErrors.fetch_add(1);
+            auto slot = std::make_shared<Slot>();
+            slot->line = writeProtocolError(
+                "", strCat("request line exceeds ",
+                           config.maxLineBytes, " bytes"));
+            slot->ready = true;
+            conn.pending.push_back(std::move(slot));
+            return;
+        }
+        if (isBlank(frame.line))
+            return;
+        // Parse locally even though the shard will parse again: the
+        // canonical key IS the routing decision, and a malformed line
+        // must be answered here (there is no shard for it).
+        Result<PlanRequest> request = parsePlanRequest(frame.line);
+        if (!request) {
+            protocolErrors.fetch_add(1);
+            auto slot = std::make_shared<Slot>();
+            slot->line =
+                writeProtocolError("", request.error().message);
+            slot->ready = true;
+            conn.pending.push_back(std::move(slot));
+            return;
+        }
+        auto slot = std::make_shared<Slot>();
+        slot->id = request.value().id;
+        slot->query = request.value().query;
+        if (slot->query == QueryKind::Fleet) {
+            // Intercepted: the fleet question is about the router's
+            // view. (Ask a shard's own port for per-shard counters.)
+            answerFleet(*slot);
+            conn.pending.push_back(std::move(slot));
+            return;
+        }
+        const int target =
+            ring.shardFor(request.value().canonicalKey());
+        if (target < 0) {
+            shardFailures.fetch_add(1);
+            answerError(*slot, ErrorCode::Unavailable,
+                        "no live shards");
+            conn.pending.push_back(std::move(slot));
+            return;
+        }
+        Shard& shard = *shards[static_cast<std::size_t>(target)];
+        // Forward the original line byte-verbatim: the shard stamps
+        // the echoed id itself, and re-serializing here could only
+        // risk perturbing the bytes the golden gate diffs.
+        shard.out += frame.line;
+        shard.out += '\n';
+        shard.outstanding.push_back(slot);
+        shard.routed.fetch_add(1);
+        forwarded.fetch_add(1);
+        conn.pending.push_back(std::move(slot));
+    }
+
+    void readClient(Conn& conn)
+    {
+        char buf[16384];
+        while (!conn.inputClosed && !conn.dead) {
+            const IoResult io = conn.socket.readSome(buf, sizeof(buf));
+            if (io.status == IoStatus::Ok) {
+                conn.framer.feed(buf, io.bytes);
+                LineFramer::Frame frame;
+                while (conn.framer.next(frame))
+                    handleFrame(conn, frame);
+            } else if (io.status == IoStatus::WouldBlock) {
+                break;
+            } else if (io.status == IoStatus::Eof) {
+                conn.inputClosed = true;
+                conn.closeAfterFlush = true;
+            } else {
+                conn.dead = true;
+            }
+        }
+    }
+
+    void readShard(Shard& shard, std::size_t index)
+    {
+        char buf[16384];
+        while (shard.alive.load()) {
+            const IoResult io =
+                shard.socket.readSome(buf, sizeof(buf));
+            if (io.status == IoStatus::Ok) {
+                shard.framer.feed(buf, io.bytes);
+                LineFramer::Frame frame;
+                while (shard.framer.next(frame)) {
+                    if (frame.overflow) {
+                        // A response we cannot frame poisons the
+                        // pipelined stream — nothing after it can be
+                        // matched to a slot.
+                        markShardDead(shard, index,
+                                      "answered an oversized line");
+                        return;
+                    }
+                    if (isBlank(frame.line))
+                        continue;
+                    if (shard.outstanding.empty()) {
+                        markShardDead(shard, index,
+                                      "sent an unsolicited response");
+                        return;
+                    }
+                    Slot& slot = *shard.outstanding.front();
+                    slot.line = std::move(frame.line);
+                    slot.ready = true;
+                    shard.outstanding.pop_front();
+                }
+            } else if (io.status == IoStatus::WouldBlock) {
+                return;
+            } else {
+                markShardDead(shard, index,
+                              io.status == IoStatus::Eof
+                                  ? "closed the connection"
+                                  : "died with the request in flight");
+                return;
+            }
+        }
+    }
+
+    void flushShard(Shard& shard, std::size_t index)
+    {
+        while (shard.alive.load() && !shard.flushed()) {
+            const IoResult io = shard.socket.writeSome(
+                shard.out.data() + shard.outOff,
+                shard.out.size() - shard.outOff);
+            if (io.status == IoStatus::Ok) {
+                shard.outOff += io.bytes;
+            } else if (io.status == IoStatus::WouldBlock) {
+                return;
+            } else {
+                markShardDead(shard, index,
+                              "died with the request in flight");
+                return;
+            }
+        }
+        if (shard.flushed()) {
+            shard.out.clear();
+            shard.outOff = 0;
+        }
+    }
+
+    /** Moves ready answers (in request order) into the write buffer. */
+    void pump(Conn& conn)
+    {
+        while (!conn.pending.empty() && conn.pending.front()->ready) {
+            conn.out += conn.pending.front()->line;
+            conn.out += '\n';
+            conn.pending.pop_front();
+            responses.fetch_add(1);
+        }
+    }
+
+    void flush(Conn& conn)
+    {
+        while (!conn.flushed() && !conn.dead) {
+            const IoResult io =
+                conn.socket.writeSome(conn.out.data() + conn.outOff,
+                                      conn.out.size() - conn.outOff);
+            if (io.status == IoStatus::Ok) {
+                conn.outOff += io.bytes;
+            } else if (io.status == IoStatus::WouldBlock) {
+                return;
+            } else {
+                conn.dead = true;
+            }
+        }
+        if (conn.flushed()) {
+            conn.out.clear();
+            conn.outOff = 0;
+        }
+    }
+
+    void acceptPending()
+    {
+        while (conns.size() < config.maxConnections) {
+            Connection socket = listener.accept();
+            if (!socket.valid())
+                break;
+            accepted.fetch_add(1);
+            conns.push_back(std::make_unique<Conn>(
+                std::move(socket), config.maxLineBytes));
+        }
+    }
+
+    void loop()
+    {
+        std::vector<pollfd> fds;
+        std::vector<Conn*> polledConns;
+        std::vector<std::size_t> polledShards;
+        bool stop_seen = false;
+        while (true) {
+            if (stopRequested.load() && !stop_seen) {
+                stop_seen = true;
+                // Graceful drain, the NetServer contract: no new
+                // clients, no new input, but every forwarded request
+                // still answers (or fails typed) and flushes.
+                listener.close();
+                for (auto& conn : conns) {
+                    conn->inputClosed = true;
+                    conn->closeAfterFlush = true;
+                }
+            }
+
+            for (auto it = conns.begin(); it != conns.end();) {
+                Conn& conn = **it;
+                const bool done =
+                    conn.dead ||
+                    (conn.closeAfterFlush && conn.drained());
+                if (done) {
+                    closed.fetch_add(1);
+                    it = conns.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            if (stop_seen && conns.empty())
+                break;
+
+            fds.clear();
+            polledConns.clear();
+            polledShards.clear();
+            fds.push_back({wakeRead, POLLIN, 0});
+            const bool accepting = !stop_seen && listener.valid() &&
+                                   conns.size() < config.maxConnections;
+            if (accepting)
+                fds.push_back({listener.fd(), POLLIN, 0});
+            for (auto& conn : conns) {
+                short events = 0;
+                if (!conn->inputClosed)
+                    events |= POLLIN;
+                if (!conn->flushed())
+                    events |= POLLOUT;
+                fds.push_back({conn->socket.fd(), events, 0});
+                polledConns.push_back(conn.get());
+            }
+            for (std::size_t i = 0; i < shards.size(); ++i) {
+                Shard& shard = *shards[i];
+                if (!shard.alive.load())
+                    continue;
+                // Always POLLIN: shard death must surface even while
+                // nothing is outstanding.
+                short events = POLLIN;
+                if (!shard.flushed())
+                    events |= POLLOUT;
+                fds.push_back({shard.socket.fd(), events, 0});
+                polledShards.push_back(i);
+            }
+
+            const int rc = ::poll(fds.data(),
+                                  static_cast<nfds_t>(fds.size()), -1);
+            if (rc < 0 && errno != EINTR)
+                fatal("RouterServer: poll() failed");
+
+            std::size_t index = 0;
+            if (fds[index].revents & POLLIN)
+                drainWakePipe();
+            ++index;
+            if (accepting) {
+                if (fds[index].revents & POLLIN)
+                    acceptPending();
+                ++index;
+            }
+            for (std::size_t c = 0; c < polledConns.size();
+                 ++c, ++index) {
+                Conn& conn = *polledConns[c];
+                const short revents = fds[index].revents;
+                if (revents & (POLLERR | POLLNVAL))
+                    conn.dead = true;
+                if (!conn.dead && (revents & (POLLIN | POLLHUP)))
+                    readClient(conn);
+            }
+            for (std::size_t s = 0; s < polledShards.size();
+                 ++s, ++index) {
+                const std::size_t i = polledShards[s];
+                Shard& shard = *shards[i];
+                const short revents = fds[index].revents;
+                if (revents & (POLLERR | POLLNVAL)) {
+                    markShardDead(shard, i,
+                                  "died with the request in flight");
+                    continue;
+                }
+                if (revents & (POLLIN | POLLHUP))
+                    readShard(shard, i);
+                if (shard.alive.load() && (revents & POLLOUT))
+                    flushShard(shard, i);
+            }
+
+            // New work may have been queued onto shards this round;
+            // try the write now instead of waiting a poll cycle.
+            for (std::size_t i = 0; i < shards.size(); ++i)
+                if (shards[i]->alive.load() && !shards[i]->flushed())
+                    flushShard(*shards[i], i);
+
+            for (auto& conn : conns) {
+                if (conn->dead)
+                    continue;
+                pump(*conn);
+                flush(*conn);
+            }
+        }
+        listener.close();
+        for (auto& shard : shards) {
+            shard->alive.store(false);
+            shard->socket.close();
+        }
+    }
+
+    RouterConfig config;
+    TcpListener listener;
+    HashRing ring;
+    int wakeRead = -1;
+    int wakeWrite = -1;
+    std::atomic<bool> stopRequested{false};
+    std::vector<std::unique_ptr<Conn>> conns;
+    std::vector<std::unique_ptr<Shard>> shards;
+
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> closed{0};
+    std::atomic<std::uint64_t> forwarded{0};
+    std::atomic<std::uint64_t> responses{0};
+    std::atomic<std::uint64_t> protocolErrors{0};
+    std::atomic<std::uint64_t> oversized{0};
+    std::atomic<std::uint64_t> shardFailures{0};
+    std::atomic<std::uint64_t> fleetQueries{0};
+};
+
+RouterServer::RouterServer(RouterConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config)))
+{
+}
+
+RouterServer::~RouterServer()
+{
+    stop();
+}
+
+Result<bool>
+RouterServer::bindListener()
+{
+    Result<TcpListener> listener =
+        TcpListener::bind(impl_->config.host, impl_->config.port);
+    if (!listener)
+        return listener.error();
+    impl_->listener = std::move(listener.value());
+    return true;
+}
+
+std::uint16_t
+RouterServer::port() const
+{
+    return impl_->listener.port();
+}
+
+Result<bool>
+RouterServer::connectShards()
+{
+    return impl_->connectShards();
+}
+
+void
+RouterServer::run()
+{
+    impl_->loop();
+    loop_done_.store(true);
+}
+
+Result<bool>
+RouterServer::start()
+{
+    Result<bool> bound = bindListener();
+    if (!bound)
+        return bound;
+    Result<bool> shards = connectShards();
+    if (!shards)
+        return shards;
+    loop_thread_ = std::thread([this] { run(); });
+    return true;
+}
+
+void
+RouterServer::requestStop()
+{
+    impl_->stopRequested.store(true);
+    impl_->wake();
+}
+
+void
+RouterServer::stop()
+{
+    requestStop();
+    if (loop_thread_.joinable())
+        loop_thread_.join();
+}
+
+RouterStats
+RouterServer::stats() const
+{
+    RouterStats out;
+    out.connectionsAccepted = impl_->accepted.load();
+    out.connectionsClosed = impl_->closed.load();
+    out.connectionsOpen =
+        out.connectionsAccepted - out.connectionsClosed;
+    out.forwarded = impl_->forwarded.load();
+    out.responses = impl_->responses.load();
+    out.protocolErrors = impl_->protocolErrors.load();
+    out.oversizedLines = impl_->oversized.load();
+    out.shardFailures = impl_->shardFailures.load();
+    out.fleetQueries = impl_->fleetQueries.load();
+    for (const auto& shard : impl_->shards) {
+        ShardHealth row;
+        row.name = shard->endpoint.name;
+        row.alive = shard->alive.load();
+        row.routed = shard->routed.load();
+        out.shardsAlive += row.alive ? 1 : 0;
+        out.shards.push_back(std::move(row));
+    }
+    return out;
+}
+
+}  // namespace ftsim

@@ -1,0 +1,173 @@
+#ifndef FTSIM_ROUTER_ROUTER_HPP
+#define FTSIM_ROUTER_ROUTER_HPP
+
+/**
+ * @file
+ * The fleet front door: a consistent-hash router over shard workers.
+ *
+ * `RouterServer` accepts client connections on the same JSON-lines
+ * protocol the shards speak, and forwards every request — the original
+ * line, byte-verbatim — to one of N upstream `ftsim_served` shards
+ * chosen by consistent-hashing the request's `canonicalKey()` (the
+ * tenant-excluded identity; see serve/protocol.hpp). Duplicate requests
+ * therefore always land on the same shard, where the PlanService
+ * coalesces them, so the whole fleet simulates exactly
+ * distinct-config-many steps — the single-service thundering-herd
+ * guarantee, preserved across processes (the fleet bench pins it).
+ *
+ * Topology and data flow, one poll(2) loop for everything:
+ *
+ *     clients --> RouterServer --> shard 0 (ftsim_served)
+ *                     |----------> shard 1
+ *                     `----------> shard N-1
+ *
+ *  - One persistent pipelined connection per shard, opened at start.
+ *  - Each forwarded request pushes a shared answer *slot* onto both
+ *    its client connection's pending queue and its shard connection's
+ *    outstanding queue. Shards answer per connection in request order
+ *    (the NetServer re-sequencing contract), so each shard response
+ *    line fills that shard's oldest outstanding slot — no id matching
+ *    needed, and the router never reparses responses.
+ *  - Client write-back happens in per-connection request order, exactly
+ *    like the shards themselves re-sequence: ready slots drain from the
+ *    front of the pending queue only.
+ *
+ * Requests the router answers itself:
+ *  - lines that fail to parse (typed protocol error, connection lives);
+ *  - `fleet` queries (shard health + per-shard routed counters — ask a
+ *    shard's port directly for *its* counters);
+ *  - anything routed while no shard is alive (`Unavailable`).
+ *
+ * Shard failure: a shard dying mid-request poisons only the requests
+ * outstanding on it — each gets a typed `Unavailable` error response,
+ * in order, in its slot. The dead shard's ring points are removed, so
+ * subsequent requests re-route to the survivors (consistent hashing
+ * moves only the dead shard's keys), and the router keeps serving with
+ * whatever is left. Only when *every* shard is down do new requests
+ * answer `Unavailable` wholesale.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ftsim {
+
+/** One upstream shard address. */
+struct ShardEndpoint {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /** Ring placement identity; defaults to "host:port". Must be
+     *  unique across the fleet. */
+    std::string name;
+};
+
+/** Construction knobs for a RouterServer. */
+struct RouterConfig {
+    /** Bind address for the client-facing listener. */
+    std::string host = "127.0.0.1";
+    /** Bind port; 0 = kernel-assigned (read back via port()). */
+    std::uint16_t port = 0;
+    /** Upstream shards; all must connect at start(). */
+    std::vector<ShardEndpoint> shards;
+    /** Open client connections served at once (cap as NetServer). */
+    std::size_t maxConnections = 64;
+    /** Frame cap on client request lines, bytes. */
+    std::size_t maxLineBytes = 1 << 20;
+    /** Frame cap on shard *response* lines — reports and snapshots
+     *  are far larger than any request. */
+    std::size_t maxShardLineBytes = 1 << 26;
+    /** Ring points per shard (see router/hash_ring.hpp). */
+    std::size_t virtualNodes = 64;
+};
+
+/** Per-shard health row in RouterStats. */
+struct ShardHealth {
+    std::string name;
+    bool alive = false;
+    /** Requests forwarded to this shard (dead shards keep their
+     *  count — the ledger survives the shard). */
+    std::uint64_t routed = 0;
+};
+
+/** Aggregate router counters (loop-thread maintained). */
+struct RouterStats {
+    std::uint64_t connectionsAccepted = 0;
+    std::uint64_t connectionsClosed = 0;
+    std::uint64_t connectionsOpen = 0;
+    /** Client request lines forwarded upstream. */
+    std::uint64_t forwarded = 0;
+    /** Response lines written back to clients. */
+    std::uint64_t responses = 0;
+    /** Lines answered with a typed protocol error. */
+    std::uint64_t protocolErrors = 0;
+    /** Lines that crossed the client frame cap. */
+    std::uint64_t oversizedLines = 0;
+    /** Requests answered `Unavailable` because their shard died (or
+     *  none was alive to take them). */
+    std::uint64_t shardFailures = 0;
+    /** `fleet` queries answered by the router itself. */
+    std::uint64_t fleetQueries = 0;
+    std::size_t shardsAlive = 0;
+    std::vector<ShardHealth> shards;
+};
+
+/** Consistent-hash fleet router (see file comment). */
+class RouterServer {
+  public:
+    explicit RouterServer(RouterConfig config);
+
+    /** Stops the loop (dropping unflushed writes), joins, closes. */
+    ~RouterServer();
+
+    RouterServer(const RouterServer&) = delete;
+    RouterServer& operator=(const RouterServer&) = delete;
+
+    /** Binds + listens the client-facing socket. */
+    Result<bool> bindListener();
+
+    /** The bound client-facing port (after bindListener; 0 before). */
+    std::uint16_t port() const;
+
+    /**
+     * Opens the persistent upstream connection to every configured
+     * shard. Fails — naming the shard — if any is unreachable: a
+     * router told to front N shards should not quietly start with
+     * fewer (mid-flight deaths are handled; a bad config is not).
+     */
+    Result<bool> connectShards();
+
+    /** Runs the event loop on this thread until requestStop(). */
+    void run();
+
+    /** bindListener() + connectShards() + run() on a background
+     *  thread. */
+    Result<bool> start();
+
+    /** Graceful stop: no new clients, no new input, every outstanding
+     *  answer (or shard-death error) still flushes. Signal-safe. */
+    void requestStop();
+
+    /** requestStop() + join the start() thread (no-op without one). */
+    void stop();
+
+    /** True once run() has returned. */
+    bool stopped() const { return loop_done_.load(); }
+
+    RouterStats stats() const;
+
+  private:
+    struct Impl;  ///< Poll loop internals.
+    std::unique_ptr<Impl> impl_;
+    std::thread loop_thread_;
+    std::atomic<bool> loop_done_{false};
+};
+
+}  // namespace ftsim
+
+#endif  // FTSIM_ROUTER_ROUTER_HPP

@@ -6,6 +6,7 @@
 
 #include "common/logging.hpp"
 #include "gpusim/gpu_spec.hpp"
+#include "gpusim/registry_snapshot.hpp"
 
 namespace ftsim {
 
@@ -201,6 +202,25 @@ PlanService::submit(const PlanRequest& request,
 {
     requests_.fetch_add(1);
 
+    // Live introspection answers synchronously from current state:
+    // caching a snapshot would serve stale bytes the moment another
+    // plan compiles, and coalescing two fleet queries would hide the
+    // work between them. Quota-exempt by construction — the parser
+    // rejects a tenant on these kinds. Counted under executed so the
+    // requests = executed + coalesced + rateLimited ledger holds.
+    if (request.query == QueryKind::Snapshot ||
+        request.query == QueryKind::Fleet) {
+        executed_.fetch_add(1);
+        noteSource(options.source, false, false);
+        std::promise<PlanResponse> ready;
+        ready.set_value(liveAnswer(request.query));
+        std::shared_future<PlanResponse> future =
+            ready.get_future().share();
+        if (options.notify)
+            options.notify();
+        return future;
+    }
+
     // Admission control at the door, before any cache lookup: quotas
     // meter request pressure per tenant, cached or not, so the
     // rejection pattern is deterministic for a serial submitter.
@@ -320,6 +340,34 @@ PlanService::submit(const PlanRequest& request,
             options.notify();  // Cached: ready before submit returned.
     }
     return future;
+}
+
+PlanResponse
+PlanService::liveAnswer(QueryKind kind) const
+{
+    PlanResponse response;
+    response.query = kind;
+    response.ok = true;
+    if (kind == QueryKind::Snapshot) {
+        response.snapshot = saveRegistrySnapshot(*registry_);
+        response.value =
+            static_cast<double>(response.snapshot.size());
+        return response;
+    }
+    // Fleet health: value carries stepsSimulated — the thundering-herd
+    // counter the fleet bench asserts over the wire — and the report
+    // line the rest of the ledger.
+    const ServiceStats s = stats();
+    response.value = static_cast<double>(s.stepsSimulated);
+    response.report =
+        strCat("requests=", s.requests, " executed=", s.executed,
+               " coalesced=", s.coalesced,
+               " rate_limited=", s.rateLimited,
+               " steps_simulated=", s.stepsSimulated,
+               " plans_compiled=", s.plansCompiled,
+               " plans_loaded=", s.plansLoaded,
+               " answers_cached=", s.answersCached);
+    return response;
 }
 
 PlanResponse
@@ -463,6 +511,13 @@ PlanService::answer(const PlanRequest& request)
         response.report = report.value();
         break;
     }
+    case QueryKind::Snapshot:
+    case QueryKind::Fleet:
+        // Intercepted in submit() before execution; reaching the
+        // planner path would mean a bug, not a bad request.
+        return errorResponse(
+            request, Error{ErrorCode::InvalidArgument,
+                           "live queries have no planner answer"});
     }
     return response;
 }
@@ -485,6 +540,7 @@ PlanService::stats() const
     out.plannersCreated = planners_created_.load();
     out.plannerReuses = planner_reuses_.load();
     out.plansCompiled = registry_->plansCompiled();
+    out.plansLoaded = registry_->plansLoaded();
     out.planRegistryHits = registry_->planHits();
     out.queueDepth = pool_.pendingTasks();
     {

@@ -215,6 +215,9 @@ struct ServiceStats {
     std::uint64_t answersEvicted = 0;
     /** Step-plan shapes compiled fleet-wide (registry). */
     std::uint64_t plansCompiled = 0;
+    /** Step-plan shapes adopted from a warm-start snapshot instead of
+     *  compiled (registry; see gpusim/registry_snapshot.hpp). */
+    std::uint64_t plansLoaded = 0;
     /** Builder plan lookups answered by the shared registry. */
     std::uint64_t planRegistryHits = 0;
     /** Step simulations across every planner in the service. Evicted
@@ -327,6 +330,10 @@ class PlanService {
     /** Bumps @p source's SourceStats row (no-op for empty labels). */
     void noteSource(const std::string& source, bool coalesced,
                     bool rate_limited);
+
+    /** The synchronous answer to a live (snapshot / fleet) query —
+     *  current state, so never cached, coalesced, or billed. */
+    PlanResponse liveAnswer(QueryKind kind) const;
 
     /** Moves a finished execution from the in-flight map into the
      *  bounded answer cache, releases its tenants' slots, resolves

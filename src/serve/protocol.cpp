@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "common/base64.hpp"
 #include "common/logging.hpp"
 
 namespace ftsim {
@@ -447,6 +448,15 @@ isPerGpuKind(QueryKind kind)
            kind == QueryKind::Throughput || kind == QueryKind::Report;
 }
 
+/** Introspection kinds: answered from live service state, so they take
+ *  no target GPU, no scenario, no rates — just an id (and a tenant
+ *  would be meaningless: they are never billed or coalesced). */
+bool
+isLiveKind(QueryKind kind)
+{
+    return kind == QueryKind::Snapshot || kind == QueryKind::Fleet;
+}
+
 }  // namespace
 
 const char*
@@ -458,6 +468,8 @@ queryKindName(QueryKind kind)
     case QueryKind::CostTable: return "cost_table";
     case QueryKind::CheapestPlan: return "cheapest_plan";
     case QueryKind::Report: return "report";
+    case QueryKind::Snapshot: return "snapshot";
+    case QueryKind::Fleet: return "fleet";
     }
     return "?";
 }
@@ -468,7 +480,7 @@ parseQueryKind(const std::string& name)
     for (QueryKind kind :
          {QueryKind::MaxBatch, QueryKind::Throughput,
           QueryKind::CostTable, QueryKind::CheapestPlan,
-          QueryKind::Report})
+          QueryKind::Report, QueryKind::Snapshot, QueryKind::Fleet})
         if (name == queryKindName(kind))
             return kind;
     return Error{ErrorCode::InvalidArgument,
@@ -546,6 +558,17 @@ parsePlanRequest(const std::string& line)
             bad(kind.error().message);
         req.query = kind.value();
 
+        if (isLiveKind(req.query)) {
+            // Live queries are about the service, not a workload: any
+            // of the workload-shaped keys on one is a confused caller.
+            for (const char* key :
+                 {"tenant", "gpu", "gpus", "scenario", "rates"})
+                if (doc.find(key) != nullptr)
+                    bad(strCat('"', key,
+                               "\" is not valid for query \"",
+                               query.string, '"'));
+        }
+
         if (const JsonValue* gpu =
                 optional(doc, "gpu", JsonValue::Type::String)) {
             if (!isPerGpuKind(req.query))
@@ -610,6 +633,12 @@ writePlanRequest(const PlanRequest& request)
             out += strCat(i ? "," : "", quoted(request.gpus[i]));
         out += "]";
     }
+    // Live kinds carry no workload fields; writing the default scenario
+    // anyway would produce a line the (strict) parser rejects.
+    if (isLiveKind(request.query)) {
+        out += "}";
+        return out;
+    }
     // The scenario serializes as explicit scalars (no preset needed:
     // the scalars fully determine it). Only preset models have a wire
     // spelling; a foreign ModelSpec cannot round-trip and is omitted.
@@ -672,6 +701,20 @@ writePlanResponse(const PlanResponse& response)
     }
     case QueryKind::Report:
         out += strCat(",\"report\":", quoted(response.report));
+        break;
+    case QueryKind::Snapshot:
+        // value = raw byte count, so a client can sanity-check the
+        // decode without understanding the payload.
+        out += strCat(",\"value\":", fmtNumber(
+                          static_cast<double>(response.snapshot.size())),
+                      ",\"snapshot\":",
+                      quoted(base64Encode(response.snapshot)));
+        break;
+    case QueryKind::Fleet:
+        // value = steps simulated (the thundering-herd counter the
+        // fleet bench asserts over the wire); report = status text.
+        out += strCat(",\"value\":", fmtNumber(response.value),
+                      ",\"report\":", quoted(response.report));
         break;
     }
     out += "}";

@@ -56,6 +56,12 @@ enum class QueryKind {
     CostTable,     ///< Table IV rows over a GPU list.
     CheapestPlan,  ///< The cheapest CostTable row.
     Report,        ///< Full markdown characterization of one GPU.
+    // -- Live fleet introspection (ISSUE-6). Answered from current
+    // service state, so never cached or coalesced, and quota-exempt
+    // like untenanted traffic. The router intercepts `fleet`; a shard
+    // answers both about itself.
+    Snapshot,      ///< Binary PlanRegistry snapshot, base64 on the wire.
+    Fleet,         ///< Shard/fleet health counters.
 };
 
 /** Wire name of a query kind ("max_batch", ...). */
@@ -113,8 +119,11 @@ struct PlanResponse {
     double value = 0.0;
     /** cost_table rows (cheapest_plan: exactly one). */
     std::vector<CostRow> rows;
-    /** report markdown. */
+    /** report markdown; fleet answers reuse it for their status text. */
     std::string report;
+    /** snapshot payload, *raw* bytes (the writer base64-encodes; see
+     *  gpusim/registry_snapshot.hpp for the format inside). */
+    std::string snapshot;
 };
 
 /**

@@ -74,6 +74,21 @@ CHECKS = {
         ("service_stats.steps_simulated", "exact"),
         ("service_stats.executed", "exact"),
     ],
+    # BENCH_fleet.json also self-gates (bench_fleet_load exits non-zero
+    # on divergence); the baseline pins the deterministic fleet shape:
+    # sharded coalescing, zero warm-start compiles, zero failures.
+    "BENCH_fleet.json": [
+        ("requests", "exact"),
+        ("distinct_step_configs", "exact"),
+        ("byte_mismatches", "exact"),
+        ("failed_connections", "exact"),
+        ("fleet_stats.steps_simulated", "exact"),
+        ("fleet_stats.executed", "exact"),
+        ("router_stats.forwarded", "exact"),
+        ("router_stats.shard_failures", "exact"),
+        ("warm_start.plans_compiled", "exact"),
+        ("warm_start.byte_mismatches", "exact"),
+    ],
 }
 
 

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * `ftsim_router` — the fleet front door over `ftsim_served` shards.
+ *
+ * Binds a client-facing port and routes every JSON-lines request to
+ * one of the `--shard HOST:PORT` upstreams by consistent-hashing its
+ * canonical (tenant-excluded) identity — duplicate requests always
+ * land on the same shard, so the fleet coalesces exactly like one big
+ * service (src/router/router.hpp has the full contract). Clients speak
+ * to the router exactly as they would to a single `ftsim_served`:
+ * pipelined lines, answers per connection in request order.
+ *
+ * The router answers `fleet` queries itself (shard health + per-shard
+ * routed counters); everything else is forwarded byte-verbatim. A
+ * shard dying mid-request answers its in-flight requests with a typed
+ * `Unavailable` error and the survivors keep serving.
+ *
+ * Shutdown mirrors `ftsim_served`: SIGTERM/SIGINT drains gracefully —
+ * every forwarded request still answers (or fails typed) and flushes —
+ * then exits 0 with a stats summary on stderr.
+ *
+ * Usage: ftsim_router --shard HOST:PORT [--shard HOST:PORT ...]
+ *                     [--host H] [--port P] [--max-connections N]
+ *                     [--max-line BYTES] [--virtual-nodes N]
+ */
+
+#include <atomic>
+#include <cmath>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hpp"
+#include "router/router.hpp"
+
+using namespace ftsim;
+
+namespace {
+
+std::atomic<RouterServer*> g_router{nullptr};
+
+/** SIGTERM/SIGINT: requestStop is async-signal-safe by contract. */
+void
+onSignal(int)
+{
+    if (RouterServer* router = g_router.load())
+        router->requestStop();
+}
+
+[[noreturn]] void
+usage(const std::string& problem)
+{
+    std::cerr
+        << "ftsim_router: " << problem << "\n"
+        << "usage: ftsim_router --shard HOST:PORT"
+           " [--shard HOST:PORT ...]\n"
+        << "                    [--host H] [--port P]"
+           " [--max-connections N]\n"
+        << "                    [--max-line BYTES] [--virtual-nodes N]\n";
+    std::exit(2);
+}
+
+double
+numberArg(const std::string& flag, const char* text)
+{
+    char* end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0' || !std::isfinite(value) ||
+        value < 0.0)
+        usage(strCat(flag, " needs a non-negative finite number, got '",
+                     text, "'"));
+    return value;
+}
+
+ShardEndpoint
+parseShard(const std::string& text)
+{
+    const std::size_t colon = text.rfind(':');
+    if (colon == std::string::npos || colon == 0)
+        usage(strCat("--shard needs HOST:PORT, got '", text, "'"));
+    const double port =
+        numberArg("--shard", text.c_str() + colon + 1);
+    if (port < 1.0 || port > 65535.0)
+        usage(strCat("--shard port must be 1..65535, got '", text,
+                     "'"));
+    ShardEndpoint endpoint;
+    endpoint.host = text.substr(0, colon);
+    endpoint.port = static_cast<std::uint16_t>(port);
+    return endpoint;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    RouterConfig config;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc)
+                usage(strCat(arg, " needs a value"));
+            return argv[++i];
+        };
+        if (arg == "--host") {
+            config.host = value();
+        } else if (arg == "--port") {
+            const double port = numberArg(arg, value());
+            if (port > 65535.0)
+                usage(strCat("--port must be 0..65535, got ", port));
+            config.port = static_cast<std::uint16_t>(port);
+        } else if (arg == "--shard") {
+            config.shards.push_back(parseShard(value()));
+        } else if (arg == "--max-connections") {
+            config.maxConnections =
+                static_cast<std::size_t>(numberArg(arg, value()));
+        } else if (arg == "--max-line") {
+            config.maxLineBytes =
+                static_cast<std::size_t>(numberArg(arg, value()));
+        } else if (arg == "--virtual-nodes") {
+            config.virtualNodes =
+                static_cast<std::size_t>(numberArg(arg, value()));
+        } else {
+            usage(strCat("unknown flag ", arg));
+        }
+    }
+    if (config.shards.empty())
+        usage("at least one --shard HOST:PORT is required");
+
+    Logger::instance().setLevel(LogLevel::Error);
+
+    const std::string host = config.host;
+    RouterServer router(std::move(config));
+    Result<bool> bound = router.bindListener();
+    if (!bound) {
+        std::cerr << "ftsim_router: " << bound.error().message << '\n';
+        return 2;
+    }
+    Result<bool> shards = router.connectShards();
+    if (!shards) {
+        std::cerr << "ftsim_router: " << shards.error().message
+                  << '\n';
+        return 2;
+    }
+
+    g_router.store(&router);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    // Scripts parse this line for the kernel-assigned port (--port 0).
+    std::cerr << "ftsim_router: listening on " << host << ':'
+              << router.port() << std::endl;
+    router.run();
+    g_router.store(nullptr);
+
+    const RouterStats stats = router.stats();
+    std::cerr << "ftsim_router: drained; " << stats.connectionsAccepted
+              << " connections, " << stats.forwarded << " forwarded, "
+              << stats.responses << " responses, "
+              << stats.protocolErrors << " protocol errors ("
+              << stats.oversizedLines << " oversized), "
+              << stats.shardFailures << " shard failures, "
+              << stats.fleetQueries << " fleet queries\n";
+    for (const ShardHealth& shard : stats.shards)
+        std::cerr << "ftsim_router: shard " << shard.name << ": "
+                  << (shard.alive ? "alive" : "dead")
+                  << " routed=" << shard.routed << '\n';
+    return 0;
+}

@@ -26,21 +26,39 @@
  * admitted, then exit 0 with a stats summary on stderr. The summary
  * includes per-connection and per-tenant service counters.
  *
+ * Fleet duty (ISSUE-6): `--warm-from SOURCE` warm-starts the shard's
+ * `PlanRegistry` before it starts serving. SOURCE containing a colon
+ * is a peer shard's `host:port` — the tool connects, sends one
+ * `{"query":"snapshot"}`, and loads the answer; otherwise SOURCE is a
+ * file holding snapshot bytes (raw or base64). A warm-started shard
+ * compiles zero plans for every config the donor had seen. A SOURCE
+ * that cannot be fetched or fails validation is a startup error (exit
+ * 2), never a silent cold start. `--drain-deadline SEC` bounds the
+ * graceful SIGTERM drain: connections that still owe bytes after the
+ * deadline are force-closed (see NetServerConfig::drainDeadlineMs).
+ *
  * Usage: ftsim_served [--host H] [--port P] [--max-connections N]
  *                     [--idle-timeout SEC] [--max-line BYTES]
  *                     [--workers N] [--max-answers N] [--max-planners N]
  *                     [--tenant-inflight N] [--tenant-rps X]
  *                     [--tenant-burst X] [--max-tenants N]
+ *                     [--warm-from HOST:PORT|FILE]
+ *                     [--drain-deadline SEC]
  */
 
 #include <atomic>
 #include <cmath>
 #include <csignal>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "common/base64.hpp"
 #include "common/logging.hpp"
+#include "gpusim/registry_snapshot.hpp"
+#include "net/client.hpp"
 #include "net/server.hpp"
 
 using namespace ftsim;
@@ -69,7 +87,9 @@ usage(const std::string& problem)
         << "                    [--workers N] [--max-answers N]"
            " [--max-planners N]\n"
         << "                    [--tenant-inflight N] [--tenant-rps X]\n"
-        << "                    [--tenant-burst X] [--max-tenants N]\n";
+        << "                    [--tenant-burst X] [--max-tenants N]\n"
+        << "                    [--warm-from HOST:PORT|FILE]"
+           " [--drain-deadline SEC]\n";
     std::exit(2);
 }
 
@@ -85,12 +105,73 @@ numberArg(const std::string& flag, const char* text)
     return value;
 }
 
+/**
+ * Fetches warm-start snapshot bytes from @p source: "host:port" asks a
+ * peer shard the `snapshot` query; anything else is a file of raw or
+ * base64 snapshot bytes.
+ */
+Result<std::string>
+fetchSnapshot(const std::string& source)
+{
+    const std::size_t colon = source.rfind(':');
+    if (colon != std::string::npos) {
+        const std::string host = source.substr(0, colon);
+        const double port =
+            numberArg("--warm-from", source.c_str() + colon + 1);
+        if (host.empty() || port < 1.0 || port > 65535.0)
+            return Error{ErrorCode::InvalidArgument,
+                         strCat("bad peer address '", source, "'")};
+        Result<NetClient> client = NetClient::connectTo(
+            host, static_cast<std::uint16_t>(port));
+        if (!client)
+            return client.error();
+        Result<std::string> line =
+            client.value().ask("{\"query\":\"snapshot\"}");
+        if (!line)
+            return line.error();
+        // The payload is the "snapshot" field's base64 value — no
+        // quotes or escapes inside, so a find/slice beats hauling in
+        // a response parser for one field.
+        const std::string marker = "\"snapshot\":\"";
+        const std::size_t begin = line.value().find(marker);
+        const std::size_t end =
+            begin == std::string::npos
+                ? std::string::npos
+                : line.value().find('"', begin + marker.size());
+        if (begin == std::string::npos || end == std::string::npos)
+            return Error{ErrorCode::InvalidArgument,
+                         strCat("peer ", source,
+                                " answered without a snapshot: ",
+                                line.value())};
+        return base64Decode(std::string_view(line.value()).substr(
+            begin + marker.size(), end - begin - marker.size()));
+    }
+    std::ifstream file(source, std::ios::binary);
+    if (!file)
+        return Error{ErrorCode::InvalidArgument,
+                     strCat("cannot open snapshot file '", source,
+                            "'")};
+    std::ostringstream bytes;
+    bytes << file.rdbuf();
+    std::string content = bytes.str();
+    if (content.compare(0, 6, "FTSNAP") == 0)
+        return content;  // Raw snapshot bytes.
+    // Otherwise base64 text (what a client captured off the wire);
+    // tolerate trailing whitespace from shell redirection.
+    while (!content.empty() &&
+           (content.back() == '\n' || content.back() == '\r' ||
+            content.back() == ' '))
+        content.pop_back();
+    return base64Decode(content);
+}
+
 }  // namespace
 
 int
 main(int argc, char** argv)
 {
     NetServerConfig config;
+    std::string warm_from;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> const char* {
@@ -135,6 +216,10 @@ main(int argc, char** argv)
         else if (arg == "--max-tenants")
             config.service.maxTenants =
                 static_cast<std::size_t>(numberArg(arg, value()));
+        else if (arg == "--warm-from")
+            warm_from = value();
+        else if (arg == "--drain-deadline")
+            config.drainDeadlineMs = numberArg(arg, value()) * 1000.0;
         else
             usage(strCat("unknown flag ", arg));
     }
@@ -148,6 +233,28 @@ main(int argc, char** argv)
     if (!bound) {
         std::cerr << "ftsim_served: " << bound.error().message << '\n';
         return 2;
+    }
+
+    // Warm-start before serving (and before the "listening" announce,
+    // so scripts that wait for it observe a fully warmed shard).
+    if (!warm_from.empty()) {
+        Result<std::string> bytes = fetchSnapshot(warm_from);
+        if (!bytes) {
+            std::cerr << "ftsim_served: --warm-from " << warm_from
+                      << ": " << bytes.error().message << '\n';
+            return 2;
+        }
+        Result<SnapshotLoadInfo> loaded = loadRegistrySnapshot(
+            *server.service().planRegistry(), bytes.value());
+        if (!loaded) {
+            std::cerr << "ftsim_served: --warm-from " << warm_from
+                      << ": " << loaded.error().message << '\n';
+            return 2;
+        }
+        std::cerr << "ftsim_served: warm-started "
+                  << loaded.value().plansLoaded << " plans ("
+                  << loaded.value().plansSkipped << " already known) from "
+                  << warm_from << '\n';
     }
 
     g_server.store(&server);
@@ -172,6 +279,8 @@ main(int argc, char** argv)
               << " rate_limited=" << stats.rateLimited
               << " planners=" << stats.plannersCreated
               << " steps_simulated=" << stats.stepsSimulated
+              << " plans_compiled=" << stats.plansCompiled
+              << " plans_loaded=" << stats.plansLoaded
               << " latency p50=" << stats.p50LatencyMs
               << "ms p99=" << stats.p99LatencyMs << "ms\n";
     for (const auto& [source, row] : stats.sources)
