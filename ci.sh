@@ -37,6 +37,15 @@ echo "ci.sh: net soak artifact at $BUILD_DIR/BENCH_net.json"
 "$BUILD_DIR/bench/bench_fleet_load" "$BUILD_DIR/BENCH_fleet.json"
 echo "ci.sh: fleet soak artifact at $BUILD_DIR/BENCH_fleet.json"
 
+# Chaos soak: 3 shards behind the router, shard 0 behind a
+# deterministic fault proxy. The bench stalls the shard mid-flight,
+# kills it, checks every doomed request fails over byte-exactly, then
+# warm-rejoins a replacement and emits BENCH_chaos.json. The binary
+# fails on any wrong byte, any Unavailable answer, a retry ledger that
+# differs from the doomed set, or a rejoin that compiles plans.
+"$BUILD_DIR/bench/bench_chaos_load" "$BUILD_DIR/BENCH_chaos.json"
+echo "ci.sh: chaos soak artifact at $BUILD_DIR/BENCH_chaos.json"
+
 # Bench-regression gate: fresh artifacts vs. checked-in baselines.
 # Deterministic counters must match exactly; speedup ratios may drop
 # at most 25% (override with BENCH_CHECK_TOLERANCE). Refresh after an
@@ -79,7 +88,7 @@ SERVED_PORT=$(sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' \
               "$SERVED_LOG" | head -1)
 [ -n "$SERVED_PORT" ] || { echo "ci.sh: ftsim_served did not start"; exit 1; }
 cat examples/serve_requests.jsonl examples/serve_requests_governed.jsonl \
-  | "$BUILD_DIR/ftsim_client" - --port "$SERVED_PORT" \
+  | "$BUILD_DIR/ftsim_client" - --port "$SERVED_PORT" --timeout-ms 30000 \
   | diff -u tests/integration/golden_serve_e2e.jsonl -
 kill -TERM "$SERVED_PID"
 wait "$SERVED_PID"   # Graceful drain must exit 0.
@@ -122,7 +131,7 @@ ROUTER_PORT=$(port_from_log "$ROUTER_LOG")
 [ -n "$ROUTER_PORT" ] || { echo "ci.sh: ftsim_router did not start"; exit 1; }
 UNGOVERNED_LINES=$(grep -c '[^[:space:]]' examples/serve_requests.jsonl)
 "$BUILD_DIR/ftsim_client" examples/serve_requests.jsonl \
-    --port "$ROUTER_PORT" \
+    --port "$ROUTER_PORT" --timeout-ms 30000 \
   | diff -u <(head -n "$UNGOVERNED_LINES" \
               tests/integration/golden_serve_e2e.jsonl) -
 # Warm start over the wire: a fresh shard pulls shard 1's PlanRegistry
@@ -141,19 +150,105 @@ wait "$WARMED_PID" && wait "$ROUTER_PID" \
 trap - EXIT
 echo "ci.sh: ftsim_router fleet e2e matches the golden prefix (warm start + clean drains)"
 
+# Governed single-shard fleet: with exactly one shard the per-shard
+# token buckets and caches see every request, so the FULL governed
+# golden (quotas + eviction included) must survive the router hop
+# byte-exactly — the strongest router-is-invisible check we can state.
+GOV_SHARD_LOG="$BUILD_DIR/ftsim_govshard.ci.log"
+GOV_ROUTER_LOG="$BUILD_DIR/ftsim_govrouter.ci.log"
+"$BUILD_DIR/ftsim_served" --port 0 --max-answers 4 --max-planners 2 \
+    --tenant-rps 0.000001 2> "$GOV_SHARD_LOG" &
+GOV_SHARD_PID=$!
+trap 'kill -TERM "$GOV_SHARD_PID" 2>/dev/null || true' EXIT
+GOV_SHARD_PORT=$(port_from_log "$GOV_SHARD_LOG")
+[ -n "$GOV_SHARD_PORT" ] \
+  || { echo "ci.sh: governed shard did not start"; exit 1; }
+"$BUILD_DIR/ftsim_router" --port 0 \
+    --shard "127.0.0.1:$GOV_SHARD_PORT" 2> "$GOV_ROUTER_LOG" &
+GOV_ROUTER_PID=$!
+trap 'kill -TERM "$GOV_ROUTER_PID" "$GOV_SHARD_PID" 2>/dev/null || true' EXIT
+GOV_ROUTER_PORT=$(port_from_log "$GOV_ROUTER_LOG")
+[ -n "$GOV_ROUTER_PORT" ] \
+  || { echo "ci.sh: governed router did not start"; exit 1; }
+cat examples/serve_requests.jsonl examples/serve_requests_governed.jsonl \
+  | "$BUILD_DIR/ftsim_client" - --port "$GOV_ROUTER_PORT" --timeout-ms 30000 \
+  | diff -u tests/integration/golden_serve_e2e.jsonl -
+kill -TERM "$GOV_ROUTER_PID" "$GOV_SHARD_PID"
+wait "$GOV_ROUTER_PID" && wait "$GOV_SHARD_PID"
+trap - EXIT
+echo "ci.sh: governed single-shard fleet matches the FULL golden through the router"
+
+# Self-healing e2e: kill -9 a live shard under a router started with
+# --respawn. The router must fork a replacement ftsim_served on the
+# dead shard's endpoint, warm-start it from the survivor's snapshot,
+# report healed=1 respawned=1 in the fleet query, and keep answering
+# the golden prefix byte-exactly. Everything drains cleanly.
+HEAL1_LOG="$BUILD_DIR/ftsim_heal1.ci.log"
+HEAL2_LOG="$BUILD_DIR/ftsim_heal2.ci.log"
+HEAL_ROUTER_LOG="$BUILD_DIR/ftsim_healrouter.ci.log"
+"$BUILD_DIR/ftsim_served" --port 0 2> "$HEAL1_LOG" &
+HEAL1_PID=$!
+"$BUILD_DIR/ftsim_served" --port 0 2> "$HEAL2_LOG" &
+HEAL2_PID=$!
+trap 'kill -TERM "$HEAL1_PID" "$HEAL2_PID" 2>/dev/null || true' EXIT
+HEAL1_PORT=$(port_from_log "$HEAL1_LOG")
+HEAL2_PORT=$(port_from_log "$HEAL2_LOG")
+[ -n "$HEAL1_PORT" ] && [ -n "$HEAL2_PORT" ] \
+  || { echo "ci.sh: heal shards did not start"; exit 1; }
+"$BUILD_DIR/ftsim_router" --port 0 \
+    --shard "127.0.0.1:$HEAL1_PORT" --shard "127.0.0.1:$HEAL2_PORT" \
+    --retry-budget 2 --reconnect-backoff-ms 50 \
+    --reconnect-backoff-max-ms 500 --heal-timeout-ms 5000 \
+    --respawn "$BUILD_DIR/ftsim_served" 2> "$HEAL_ROUTER_LOG" &
+HEAL_ROUTER_PID=$!
+trap 'kill -TERM "$HEAL_ROUTER_PID" "$HEAL1_PID" "$HEAL2_PID" 2>/dev/null || true' EXIT
+HEAL_ROUTER_PORT=$(port_from_log "$HEAL_ROUTER_LOG")
+[ -n "$HEAL_ROUTER_PORT" ] \
+  || { echo "ci.sh: healing router did not start"; exit 1; }
+"$BUILD_DIR/ftsim_client" examples/serve_requests.jsonl \
+    --port "$HEAL_ROUTER_PORT" --timeout-ms 30000 \
+  | diff -u <(head -n "$UNGOVERNED_LINES" \
+              tests/integration/golden_serve_e2e.jsonl) -
+kill -KILL "$HEAL1_PID"
+wait "$HEAL1_PID" || true   # SIGKILL: non-zero by design.
+HEALED=""
+for _ in $(seq 1 100); do
+  if echo '{"query":"fleet"}' \
+      | "$BUILD_DIR/ftsim_client" - --port "$HEAL_ROUTER_PORT" \
+          --timeout-ms 2000 2> /dev/null \
+      | grep -q 'healed=1 respawned=1'; then
+    HEALED=yes
+    break
+  fi
+  sleep 0.1
+done
+[ -n "$HEALED" ] \
+  || { echo "ci.sh: router did not respawn+heal the killed shard"; exit 1; }
+# The replacement (the router's own child) must answer the same bytes.
+"$BUILD_DIR/ftsim_client" examples/serve_requests.jsonl \
+    --port "$HEAL_ROUTER_PORT" --timeout-ms 30000 \
+  | diff -u <(head -n "$UNGOVERNED_LINES" \
+              tests/integration/golden_serve_e2e.jsonl) -
+kill -TERM "$HEAL_ROUTER_PID" "$HEAL2_PID"
+wait "$HEAL_ROUTER_PID" && wait "$HEAL2_PID"   # Router reaps its child.
+trap - EXIT
+echo "ci.sh: kill -9 shard healed via respawn + warm rejoin, answers stayed golden"
+
 # Sanitizer job: rebuild the library + tests with ASan/UBSan and run
 # the serving, protocol-fuzz, LRU, histogram, network, router, and
 # snapshot suites — the fuzz corpus under sanitizers is the ISSUE-4
 # "no UB on hostile input" gate, the Net* suites put real sockets
 # (framing fuzz included) under the same instrumentation, and the
 # RegistrySnapshot*/Base64* suites cover the ISSUE-6 hostile-snapshot
-# bytes (truncation/corruption sweeps).
+# bytes (truncation/corruption sweeps). Router* also matches the
+# RouterHeal kill/rejoin suite, and FaultProxy* puts the chaos proxy's
+# byte accounting under the same instrumentation.
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$SAN_DIR" -S . -DFTSIM_SANITIZE=ON \
       -DFTSIM_BUILD_BENCH=OFF -DFTSIM_BUILD_EXAMPLES=OFF > /dev/null
 cmake --build "$SAN_DIR" -j --target ftsim_tests
 "$SAN_DIR/ftsim_tests" \
-    --gtest_filter='Protocol*:PlanService*:LruCache*:ServeE2E*:Histogram*:Net*:Router*:HashRing*:RegistrySnapshot*:Base64*'
+    --gtest_filter='Protocol*:PlanService*:LruCache*:ServeE2E*:Histogram*:Net*:Router*:HashRing*:RegistrySnapshot*:Base64*:FaultProxy*'
 echo "ci.sh: ASan+UBSan serve/fuzz/net/fleet suites green"
 
 echo "ci.sh: all green"

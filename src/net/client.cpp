@@ -1,20 +1,80 @@
 #include "net/client.hpp"
 
+#include <chrono>
+#include <cmath>
+#include <poll.h>
 #include <sys/socket.h>
 
 #include "common/logging.hpp"
 
 namespace ftsim {
 
-Result<NetClient>
-NetClient::connectTo(const std::string& host, std::uint16_t port)
+namespace {
+
+double
+monotonicMs()
 {
-    Result<Connection> connection = Connection::connectTo(host, port);
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace
+
+Result<NetClient>
+NetClient::connectTo(const std::string& host, std::uint16_t port,
+                     double timeoutMs)
+{
+    NetClient client;
+    client.timeout_ms_ = timeoutMs;
+    if (timeoutMs <= 0.0) {
+        Result<Connection> connection =
+            Connection::connectTo(host, port);
+        if (!connection)
+            return connection.error();
+        client.connection_ = std::move(connection.value());
+        return client;
+    }
+    // Bounded connect: non-blocking handshake + poll. The fd stays
+    // non-blocking afterwards — sendLine/recvLine poll with the same
+    // deadline instead of relying on blocking reads.
+    Result<Connection> connection =
+        Connection::connectStart(host, port);
     if (!connection)
         return connection.error();
-    NetClient client;
     client.connection_ = std::move(connection.value());
+    pollfd pfd{client.connection_.fd(), POLLOUT, 0};
+    const int rc =
+        ::poll(&pfd, 1, static_cast<int>(std::ceil(timeoutMs)));
+    if (rc <= 0)
+        return Error{ErrorCode::Unavailable,
+                     strCat("connect to ", host, ':', port,
+                            " timed out after ", timeoutMs, " ms")};
+    Result<bool> finished = client.connection_.finishConnect();
+    if (!finished)
+        return finished.error();
     return client;
+}
+
+Result<bool>
+NetClient::waitReady(short events, double deadlineMs)
+{
+    const double remaining = deadlineMs - monotonicMs();
+    if (remaining <= 0.0)
+        return Error{ErrorCode::Unavailable,
+                     strCat("operation timed out after ", timeout_ms_,
+                            " ms")};
+    pollfd pfd{connection_.fd(), events, 0};
+    const int rc =
+        ::poll(&pfd, 1, static_cast<int>(std::ceil(remaining)));
+    if (rc == 0)
+        return Error{ErrorCode::Unavailable,
+                     strCat("operation timed out after ", timeout_ms_,
+                            " ms")};
+    if (rc < 0 && errno != EINTR)
+        return Error{ErrorCode::InvalidArgument,
+                     "poll() failed while waiting on the socket"};
+    return true;
 }
 
 Result<bool>
@@ -22,6 +82,7 @@ NetClient::sendLine(const std::string& line)
 {
     std::string framed = line;
     framed.push_back('\n');
+    const double deadline = monotonicMs() + timeout_ms_;
     std::size_t sent = 0;
     while (sent < framed.size()) {
         const IoResult io =
@@ -30,7 +91,15 @@ NetClient::sendLine(const std::string& line)
         if (io.status == IoStatus::Ok) {
             sent += io.bytes;
         } else if (io.status == IoStatus::WouldBlock) {
-            continue;  // Blocking fd: only transient EINTR lands here.
+            // Blocking fd: only transient EINTR lands here. With a
+            // timeout the fd is non-blocking and the deadline gates
+            // the poll.
+            if (timeout_ms_ > 0.0) {
+                Result<bool> ready = waitReady(POLLOUT, deadline);
+                if (!ready)
+                    return ready.error();
+            }
+            continue;
         } else {
             return Error{ErrorCode::InvalidArgument,
                          "connection closed while sending"};
@@ -42,6 +111,7 @@ NetClient::sendLine(const std::string& line)
 Result<std::string>
 NetClient::recvLine()
 {
+    const double deadline = monotonicMs() + timeout_ms_;
     while (true) {
         const std::size_t newline = buffer_.find('\n');
         if (newline != std::string::npos) {
@@ -50,6 +120,14 @@ NetClient::recvLine()
             if (!line.empty() && line.back() == '\r')
                 line.pop_back();
             return line;
+        }
+        if (timeout_ms_ > 0.0) {
+            // A wedged peer must yield a typed error, not an infinite
+            // block: wait for readability within the deadline before
+            // touching the (possibly blocking) fd.
+            Result<bool> ready = waitReady(POLLIN, deadline);
+            if (!ready)
+                return ready.error();
         }
         char chunk[4096];
         const IoResult io = connection_.readSome(chunk, sizeof(chunk));

@@ -29,9 +29,20 @@ class NetClient {
   public:
     NetClient() = default;
 
-    /** Connects to @p host:@p port (blocking). */
+    /**
+     * Connects to @p host:@p port. @p timeoutMs > 0 bounds the connect
+     * handshake AND becomes the per-operation deadline for every later
+     * sendLine/recvLine (a wedged peer yields a typed `Unavailable`
+     * instead of an infinite block — how ci.sh e2e scripts can never
+     * hang). 0 keeps the legacy fully-blocking behavior.
+     */
     static Result<NetClient> connectTo(const std::string& host,
-                                       std::uint16_t port);
+                                       std::uint16_t port,
+                                       double timeoutMs = 0.0);
+
+    /** Per-operation deadline for sendLine/recvLine; <= 0 = block
+     *  forever (the pre-timeout contract). */
+    void setTimeout(double timeoutMs) { timeout_ms_ = timeoutMs; }
 
     bool connected() const { return connection_.valid(); }
 
@@ -57,8 +68,13 @@ class NetClient {
     void close() { connection_.close(); }
 
   private:
+    /** Waits for @p events on the socket within the remaining slice of
+     *  this operation's deadline; typed error on timeout. */
+    Result<bool> waitReady(short events, double deadlineMs);
+
     Connection connection_;
     std::string buffer_;  ///< Bytes read past the last returned line.
+    double timeout_ms_ = 0.0;
 };
 
 }  // namespace ftsim

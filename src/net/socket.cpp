@@ -114,6 +114,53 @@ Connection::connectTo(const std::string& host, std::uint16_t port)
     return Connection(fd, strCat(host, ':', port));
 }
 
+Result<Connection>
+Connection::connectStart(const std::string& host, std::uint16_t port)
+{
+    Result<sockaddr_in> addr = resolve(host, port);
+    if (!addr)
+        return addr.error();
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return Error{ErrorCode::InvalidArgument,
+                     strCat("socket(): ", errnoText())};
+    if (!setNonBlocking(fd)) {
+        ::close(fd);
+        return Error{ErrorCode::InvalidArgument,
+                     "cannot make socket non-blocking"};
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr.value()),
+                  sizeof(addr.value())) != 0 &&
+        errno != EINPROGRESS) {
+        const std::string text = errnoText();
+        ::close(fd);
+        return Error{ErrorCode::Unavailable,
+                     strCat("cannot connect to ", host, ':', port, ": ",
+                            text)};
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Connection(fd, strCat(host, ':', port));
+}
+
+Result<bool>
+Connection::finishConnect()
+{
+    if (fd_ < 0)
+        return Error{ErrorCode::Unavailable, "connection not open"};
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) != 0)
+        err = errno;
+    if (err != 0) {
+        close();
+        return Error{ErrorCode::Unavailable,
+                     strCat("cannot connect to ", peer_, ": ",
+                            std::strerror(err))};
+    }
+    return true;
+}
+
 IoResult
 Connection::readSome(char* buf, std::size_t cap)
 {

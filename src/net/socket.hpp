@@ -70,6 +70,23 @@ class Connection {
     static Result<Connection> connectTo(const std::string& host,
                                         std::uint16_t port);
 
+    /**
+     * Begins a *non-blocking* connect to @p host:@p port and returns
+     * with the handshake still in flight (the fd is non-blocking).
+     * Poll the fd for POLLOUT, then call finishConnect() for the
+     * outcome — how the router's heal loop re-dials dead shards
+     * without ever blocking its event loop.
+     */
+    static Result<Connection> connectStart(const std::string& host,
+                                           std::uint16_t port);
+
+    /**
+     * Resolves a connectStart() handshake once the fd polls POLLOUT
+     * (or POLLERR): true when the connection is established, the
+     * peer's refusal as a typed error (fd closed) otherwise.
+     */
+    Result<bool> finishConnect();
+
     /** True while the fd is open. */
     bool valid() const { return fd_ >= 0; }
 

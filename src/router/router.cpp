@@ -1,8 +1,12 @@
 #include "router/router.hpp"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <deque>
 #include <poll.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "common/logging.hpp"
@@ -22,7 +26,28 @@ isBlank(const std::string& line)
     return line.find_first_not_of(" \t\r") == std::string::npos;
 }
 
+double
+monotonicMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
 }  // namespace
+
+const char*
+shardStateName(ShardState state)
+{
+    switch (state) {
+    case ShardState::Alive: return "alive";
+    case ShardState::Backoff: return "backoff";
+    case ShardState::Connecting: return "connecting";
+    case ShardState::Warming: return "warming";
+    case ShardState::Down: return "down";
+    }
+    return "?";
+}
 
 /** Poll-loop internals: every member is loop-thread-owned except the
  *  stop flag, the wake pipe's write end, and the atomics. */
@@ -34,10 +59,39 @@ struct RouterServer::Impl {
      * order). The shared_ptr is the lifetime glue: a client that
      * disconnects mid-flight just drops its queue, and the shard-side
      * fill lands in an orphaned slot instead of freed memory.
+     *
+     * ISSUE-7: the slot also *retains* the original request line and
+     * its routing key until the answer arrives — planning queries are
+     * pure, so a dead shard's outstanding slots re-forward verbatim to
+     * the surviving ring owner instead of failing. Router-originated
+     * heal traffic (survivor snapshot fetches, warm pushes to a
+     * rejoiner) rides the same outstanding queues as internal slots
+     * that never touch a client connection.
      */
     struct Slot {
+        /** Who consumes the answer. */
+        enum class Purpose {
+            Client,         ///< A client connection's pending queue.
+            SnapshotFetch,  ///< Heal: survivor `snapshot` probe.
+            WarmPush,       ///< Heal: `load_snapshot` to the rejoiner.
+        };
+
         std::string id;
         QueryKind query = QueryKind::MaxBatch;
+        Purpose purpose = Purpose::Client;
+        /** The original request line, byte-verbatim — the failover
+         *  replay payload. */
+        std::string requestLine;
+        /** canonicalKey(): where the ring re-routes it. */
+        std::string key;
+        /** Forward attempts so far (1 = first send). */
+        std::size_t attempts = 0;
+        /** Injectable-clock deadline of the current attempt; 0 = none. */
+        double deadlineAt = 0.0;
+        /** Internal slots: which shard this heal step is for, and the
+         *  heal attempt it belongs to (stale probes are dropped). */
+        std::size_t healTarget = 0;
+        std::uint64_t healGen = 0;
         bool ready = false;
         /** The response line (no terminator) once ready. */
         std::string line;
@@ -64,7 +118,8 @@ struct RouterServer::Impl {
         bool drained() const { return pending.empty() && flushed(); }
     };
 
-    /** One upstream shard and its persistent pipelined connection. */
+    /** One upstream shard, its persistent pipelined connection, and
+     *  its death/heal lifecycle state. */
     struct Shard {
         ShardEndpoint endpoint;
         Connection socket;
@@ -75,8 +130,20 @@ struct RouterServer::Impl {
         std::deque<std::shared_ptr<Slot>> outstanding;
         std::string out;
         std::size_t outOff = 0;
-        std::atomic<bool> alive{false};
+        std::atomic<ShardState> state{ShardState::Down};
         std::atomic<std::uint64_t> routed{0};
+        std::atomic<std::uint64_t> dialAttempts{0};
+        std::atomic<std::uint64_t> heals{0};
+        // Heal bookkeeping, loop-thread-owned:
+        double backoffMs = 0.0;       ///< Current re-dial delay.
+        double nextDialAtMs = 0.0;    ///< Backoff: when to dial.
+        double healDeadlineMs = 0.0;  ///< Whole-attempt abort time.
+        std::uint64_t healGen = 0;    ///< Bumped per heal attempt.
+        std::size_t snapshotsAwaited = 0;  ///< Survivor fetches open.
+        std::size_t pushesAwaited = 0;     ///< Warm pushes unacked.
+        /** Survivor snapshots (base64, verbatim off the wire) waiting
+         *  to be pushed. */
+        std::vector<std::string> snapshots;
 
         Shard(ShardEndpoint e, std::size_t max_line)
             : endpoint(std::move(e)), framer(max_line)
@@ -84,6 +151,13 @@ struct RouterServer::Impl {
         }
 
         bool flushed() const { return outOff >= out.size(); }
+
+        /** The socket carries protocol traffic (vs. dialing/dead). */
+        bool active() const
+        {
+            const ShardState s = state.load();
+            return s == ShardState::Alive || s == ShardState::Warming;
+        }
     };
 
     explicit Impl(RouterConfig cfg)
@@ -111,6 +185,11 @@ struct RouterServer::Impl {
             ::close(wakeRead);
         if (wakeWrite >= 0)
             ::close(wakeWrite);
+    }
+
+    double clockMs() const
+    {
+        return config.clock ? config.clock() : monotonicMs();
     }
 
     /** Async-signal-safe (one non-blocking write; EAGAIN = a wake is
@@ -154,7 +233,7 @@ struct RouterServer::Impl {
             // connectTo leaves the fd blocking (the client-side
             // contract); the poll loop needs it non-blocking.
             setNonBlocking(shard.socket.fd());
-            shard.alive.store(true);
+            shard.state.store(ShardState::Alive);
             ring.addShard(i, shard.endpoint.name);
         }
         return true;
@@ -172,34 +251,288 @@ struct RouterServer::Impl {
         slot.ready = true;
     }
 
+    /** Queues @p slot's retained request line on @p shard. Client
+     *  slots get a fresh per-attempt deadline; internal slots keep the
+     *  heal deadline their caller stamped. */
+    void enqueueSlot(Shard& shard, const std::shared_ptr<Slot>& slot)
+    {
+        shard.out += slot->requestLine;
+        shard.out += '\n';
+        ++slot->attempts;
+        if (slot->purpose == Slot::Purpose::Client)
+            slot->deadlineAt =
+                config.requestDeadlineMs > 0.0
+                    ? clockMs() + config.requestDeadlineMs
+                    : 0.0;
+        shard.outstanding.push_back(slot);
+    }
+
     /**
-     * Takes @p shard out of the fleet: close the socket, drop its ring
-     * points (only *its* keys re-route — consistent hashing's whole
-     * point), and answer every outstanding request `Unavailable`, in
-     * order, in its slot. The router keeps serving on the survivors.
+     * Failover for one orphaned client slot: planning queries are pure
+     * and the slot kept its request line, so re-forward it to the
+     * surviving ring owner of its key — until the retry budget or the
+     * fleet runs out, which is the only remaining `Unavailable`.
+     */
+    void retryOrFail(const std::shared_ptr<Slot>& slot,
+                     const Shard& deadShard, const std::string& why)
+    {
+        const bool budgetLeft =
+            slot->attempts < 1 + config.retryBudget;
+        const int target =
+            budgetLeft ? ring.shardFor(slot->key) : -1;
+        if (budgetLeft && target >= 0) {
+            Shard& next = *shards[static_cast<std::size_t>(target)];
+            enqueueSlot(next, slot);
+            next.routed.fetch_add(1);
+            retried.fetch_add(1);
+            return;
+        }
+        shardFailures.fetch_add(1);
+        answerError(*slot, ErrorCode::Unavailable,
+                    strCat("shard \"", deadShard.endpoint.name, "\" ",
+                           why,
+                           budgetLeft ? " (no live shards)"
+                                      : " (retry budget exhausted)"));
+    }
+
+    /**
+     * Takes an alive @p shard out of the fleet: close the socket, drop
+     * its ring points (only *its* keys re-route — consistent hashing's
+     * whole point), fail its outstanding requests over to the
+     * survivors, and hand it to the heal machinery (respawn + backoff
+     * re-dial) when that is enabled.
      */
     void markShardDead(Shard& shard, std::size_t index,
                        const std::string& why)
     {
-        if (!shard.alive.load())
+        if (shard.state.load() != ShardState::Alive)
             return;
-        shard.alive.store(false);
+        shard.state.store(ShardState::Down);
         shard.socket.close();
         shard.out.clear();
         shard.outOff = 0;
+        shard.framer = LineFramer(config.maxShardLineBytes);
         ring.removeShard(index);
-        while (!shard.outstanding.empty()) {
-            const std::shared_ptr<Slot> slot =
-                shard.outstanding.front();
-            shard.outstanding.pop_front();
-            shardFailures.fetch_add(1);
-            answerError(*slot, ErrorCode::Unavailable,
-                        strCat("shard \"", shard.endpoint.name,
-                               "\" ", why));
+        std::deque<std::shared_ptr<Slot>> orphans;
+        orphans.swap(shard.outstanding);
+        for (const std::shared_ptr<Slot>& slot : orphans) {
+            if (slot->purpose == Slot::Purpose::Client) {
+                retryOrFail(slot, shard, why);
+            } else if (slot->healGen ==
+                       shards[slot->healTarget]->healGen) {
+                // A heal probe was riding this (now dead) survivor:
+                // that heal attempt cannot complete.
+                failHeal(*shards[slot->healTarget], slot->healTarget);
+            }
+        }
+        if (!config.respawnCommand.empty())
+            spawnReplacement(shard);
+        scheduleHeal(shard, /*firstDeath=*/true);
+    }
+
+    /** Routes a broken-socket event by lifecycle state: an alive shard
+     *  dies (failover), a dialing/warming one aborts to backoff. */
+    void shardBroken(Shard& shard, std::size_t index,
+                     const std::string& why)
+    {
+        if (shard.state.load() == ShardState::Alive)
+            markShardDead(shard, index, why);
+        else
+            failHeal(shard, index);
+    }
+
+    // ---- Heal machinery (ISSUE-7) ------------------------------------
+
+    /** Parks @p shard in Backoff for its next re-dial (exponential,
+     *  capped), or Down when healing is disabled. */
+    void scheduleHeal(Shard& shard, bool firstDeath)
+    {
+        if (config.reconnectBackoffMs <= 0.0) {
+            shard.state.store(ShardState::Down);
+            return;
+        }
+        shard.backoffMs =
+            firstDeath || shard.backoffMs <= 0.0
+                ? config.reconnectBackoffMs
+                : std::min(shard.backoffMs * 2.0,
+                           config.reconnectBackoffMaxMs);
+        shard.nextDialAtMs = clockMs() + shard.backoffMs;
+        shard.state.store(ShardState::Backoff);
+    }
+
+    /** Aborts the in-flight heal attempt and schedules the next one
+     *  (backoff doubled). Stale survivor probes are stranded by the
+     *  healGen bump and dropped on arrival. */
+    void failHeal(Shard& shard, std::size_t index)
+    {
+        (void)index;
+        const ShardState st = shard.state.load();
+        if (st != ShardState::Connecting && st != ShardState::Warming)
+            return;
+        shard.socket.close();
+        shard.out.clear();
+        shard.outOff = 0;
+        shard.outstanding.clear();  // Unacked warm pushes, ours only.
+        ++shard.healGen;
+        shard.snapshots.clear();
+        shard.snapshotsAwaited = 0;
+        shard.pushesAwaited = 0;
+        scheduleHeal(shard, /*firstDeath=*/false);
+    }
+
+    /** Backoff expired: begin the non-blocking re-dial. */
+    void startDial(Shard& shard)
+    {
+        shard.dialAttempts.fetch_add(1);
+        Result<Connection> conn = Connection::connectStart(
+            shard.endpoint.host, shard.endpoint.port);
+        if (!conn) {
+            scheduleHeal(shard, /*firstDeath=*/false);
+            return;
+        }
+        shard.socket = std::move(conn.value());
+        shard.healDeadlineMs = clockMs() + config.healTimeoutMs;
+        shard.state.store(ShardState::Connecting);
+    }
+
+    /**
+     * Dial landed: warm the rejoiner before its ring points return.
+     * Fetch a live `snapshot` from every alive survivor (their union
+     * covers every fleet-seen config), then push each payload as a
+     * `load_snapshot`; ring re-entry waits for the acks. No survivors
+     * = nothing to warm from: a cold rejoin beats no fleet.
+     */
+    void beginWarm(Shard& shard, std::size_t index)
+    {
+        shard.framer = LineFramer(config.maxShardLineBytes);
+        shard.out.clear();
+        shard.outOff = 0;
+        shard.outstanding.clear();
+        ++shard.healGen;
+        shard.snapshots.clear();
+        shard.snapshotsAwaited = 0;
+        shard.pushesAwaited = 0;
+        shard.state.store(ShardState::Warming);
+        for (std::size_t j = 0; j < shards.size(); ++j) {
+            if (j == index ||
+                shards[j]->state.load() != ShardState::Alive)
+                continue;
+            auto fetch = std::make_shared<Slot>();
+            fetch->purpose = Slot::Purpose::SnapshotFetch;
+            fetch->healTarget = index;
+            fetch->healGen = shard.healGen;
+            fetch->deadlineAt = shard.healDeadlineMs;
+            fetch->requestLine = "{\"query\":\"snapshot\"}";
+            enqueueSlot(*shards[j], fetch);
+            ++shard.snapshotsAwaited;
+        }
+        if (shard.snapshotsAwaited == 0)
+            completeHeal(shard, index);
+    }
+
+    /** Warm pushes acked: the shard rejoins the ring. */
+    void completeHeal(Shard& shard, std::size_t index)
+    {
+        shard.state.store(ShardState::Alive);
+        ring.addShard(index, shard.endpoint.name);
+        shard.backoffMs = 0.0;
+        shard.heals.fetch_add(1);
+        healed.fetch_add(1);
+        lastHealMs.store(clockMs());
+    }
+
+    /**
+     * A response line filled an internal (heal) slot. The base64
+     * snapshot payload is sliced out of the survivor's response and
+     * re-sent verbatim — the router never decodes registry bytes.
+     */
+    void onInternalResponse(const Slot& slot, const std::string& line)
+    {
+        Shard& target = *shards[slot.healTarget];
+        if (slot.healGen != target.healGen ||
+            target.state.load() != ShardState::Warming)
+            return;  // A stale probe from an abandoned heal attempt.
+        const bool ok =
+            line.find("\"ok\":true") != std::string::npos;
+        if (slot.purpose == Slot::Purpose::SnapshotFetch) {
+            std::string payload;
+            if (ok) {
+                // base64 never contains escapes, so the quote after
+                // the key closes the payload.
+                static const std::string kField = "\"snapshot\":\"";
+                const std::size_t at = line.find(kField);
+                if (at != std::string::npos) {
+                    const std::size_t start = at + kField.size();
+                    const std::size_t end = line.find('"', start);
+                    if (end != std::string::npos)
+                        payload = line.substr(start, end - start);
+                }
+            }
+            if (!ok || payload.empty()) {
+                failHeal(target, slot.healTarget);
+                return;
+            }
+            target.snapshots.push_back(std::move(payload));
+            if (--target.snapshotsAwaited > 0)
+                return;
+            target.pushesAwaited = target.snapshots.size();
+            for (const std::string& b64 : target.snapshots) {
+                auto push = std::make_shared<Slot>();
+                push->purpose = Slot::Purpose::WarmPush;
+                push->healTarget = slot.healTarget;
+                push->healGen = target.healGen;
+                push->deadlineAt = target.healDeadlineMs;
+                push->requestLine =
+                    strCat("{\"query\":\"load_snapshot\","
+                           "\"snapshot\":\"",
+                           b64, "\"}");
+                enqueueSlot(target, push);
+            }
+            target.snapshots.clear();
+            return;
+        }
+        // WarmPush ack.
+        if (!ok) {
+            failHeal(target, slot.healTarget);
+            return;
+        }
+        if (--target.pushesAwaited == 0)
+            completeHeal(target, slot.healTarget);
+    }
+
+    /** fork/execs `respawnCommand --host H --port P` to replace a
+     *  dead shard on its own endpoint (the supervisor mode). */
+    void spawnReplacement(const Shard& shard)
+    {
+        const std::string port = std::to_string(shard.endpoint.port);
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            return;  // Reconnect alone still heals a restarted shard.
+        if (pid == 0) {
+            ::execl(config.respawnCommand.c_str(),
+                    config.respawnCommand.c_str(), "--host",
+                    shard.endpoint.host.c_str(), "--port",
+                    port.c_str(), static_cast<char*>(nullptr));
+            ::_exit(127);  // Post-fork: only exec or die is safe.
+        }
+        children.push_back(pid);
+        respawned.fetch_add(1);
+    }
+
+    void reapChildren()
+    {
+        for (auto it = children.begin(); it != children.end();) {
+            int status = 0;
+            it = ::waitpid(*it, &status, WNOHANG) == *it
+                     ? children.erase(it)
+                     : it + 1;
         }
     }
 
-    /** The router's own `fleet` answer: shard health + routing. */
+    // ---- Event handlers -----------------------------------------------
+
+    /** The router's own `fleet` answer: lifecycle state, routing, and
+     *  the ISSUE-7 failover/heal ledger. */
     void answerFleet(Slot& slot)
     {
         fleetQueries.fetch_add(1);
@@ -209,15 +542,22 @@ struct RouterServer::Impl {
         response.ok = true;
         std::size_t alive = 0;
         for (const auto& shard : shards)
-            alive += shard->alive.load() ? 1 : 0;
+            alive +=
+                shard->state.load() == ShardState::Alive ? 1 : 0;
         response.value = static_cast<double>(alive);
-        response.report =
-            strCat("router: shards=", shards.size(), " alive=", alive);
+        response.report = strCat(
+            "router: shards=", shards.size(), " alive=", alive,
+            " retried=", retried.load(),
+            " unavailable=", shardFailures.load(),
+            " healed=", healed.load(),
+            " respawned=", respawned.load(),
+            " last_heal_ms=", strExact(lastHealMs.load()));
         for (const auto& shard : shards)
             response.report += strCat(
                 "; ", shard->endpoint.name, '=',
-                shard->alive.load() ? "alive" : "dead",
-                " routed=", shard->routed.load());
+                shardStateName(shard->state.load()),
+                " routed=", shard->routed.load(),
+                " heals=", shard->heals.load());
         slot.line = writePlanResponse(response);
         slot.ready = true;
     }
@@ -260,8 +600,9 @@ struct RouterServer::Impl {
             conn.pending.push_back(std::move(slot));
             return;
         }
-        const int target =
-            ring.shardFor(request.value().canonicalKey());
+        slot->key = request.value().canonicalKey();
+        slot->requestLine = std::move(frame.line);
+        const int target = ring.shardFor(slot->key);
         if (target < 0) {
             shardFailures.fetch_add(1);
             answerError(*slot, ErrorCode::Unavailable,
@@ -273,9 +614,7 @@ struct RouterServer::Impl {
         // Forward the original line byte-verbatim: the shard stamps
         // the echoed id itself, and re-serializing here could only
         // risk perturbing the bytes the golden gate diffs.
-        shard.out += frame.line;
-        shard.out += '\n';
-        shard.outstanding.push_back(slot);
+        enqueueSlot(shard, slot);
         shard.routed.fetch_add(1);
         forwarded.fetch_add(1);
         conn.pending.push_back(std::move(slot));
@@ -305,7 +644,7 @@ struct RouterServer::Impl {
     void readShard(Shard& shard, std::size_t index)
     {
         char buf[16384];
-        while (shard.alive.load()) {
+        while (shard.active()) {
             const IoResult io =
                 shard.socket.readSome(buf, sizeof(buf));
             if (io.status == IoStatus::Ok) {
@@ -316,29 +655,36 @@ struct RouterServer::Impl {
                         // A response we cannot frame poisons the
                         // pipelined stream — nothing after it can be
                         // matched to a slot.
-                        markShardDead(shard, index,
-                                      "answered an oversized line");
+                        shardBroken(shard, index,
+                                    "answered an oversized line");
                         return;
                     }
                     if (isBlank(frame.line))
                         continue;
                     if (shard.outstanding.empty()) {
-                        markShardDead(shard, index,
-                                      "sent an unsolicited response");
+                        shardBroken(shard, index,
+                                    "sent an unsolicited response");
                         return;
                     }
-                    Slot& slot = *shard.outstanding.front();
-                    slot.line = std::move(frame.line);
-                    slot.ready = true;
+                    const std::shared_ptr<Slot> slot =
+                        shard.outstanding.front();
                     shard.outstanding.pop_front();
+                    if (slot->purpose == Slot::Purpose::Client) {
+                        slot->line = std::move(frame.line);
+                        slot->ready = true;
+                    } else {
+                        onInternalResponse(*slot, frame.line);
+                        if (!shard.active())
+                            return;  // This shard's heal just failed.
+                    }
                 }
             } else if (io.status == IoStatus::WouldBlock) {
                 return;
             } else {
-                markShardDead(shard, index,
-                              io.status == IoStatus::Eof
-                                  ? "closed the connection"
-                                  : "died with the request in flight");
+                shardBroken(shard, index,
+                            io.status == IoStatus::Eof
+                                ? "closed the connection"
+                                : "died with the request in flight");
                 return;
             }
         }
@@ -346,7 +692,7 @@ struct RouterServer::Impl {
 
     void flushShard(Shard& shard, std::size_t index)
     {
-        while (shard.alive.load() && !shard.flushed()) {
+        while (shard.active() && !shard.flushed()) {
             const IoResult io = shard.socket.writeSome(
                 shard.out.data() + shard.outOff,
                 shard.out.size() - shard.outOff);
@@ -355,8 +701,8 @@ struct RouterServer::Impl {
             } else if (io.status == IoStatus::WouldBlock) {
                 return;
             } else {
-                markShardDead(shard, index,
-                              "died with the request in flight");
+                shardBroken(shard, index,
+                            "died with the request in flight");
                 return;
             }
         }
@@ -407,6 +753,67 @@ struct RouterServer::Impl {
             conns.push_back(std::make_unique<Conn>(
                 std::move(socket), config.maxLineBytes));
         }
+    }
+
+    /** Deadline/backoff timers, on the injectable clock. */
+    void runTimers(bool stop_seen)
+    {
+        const double now = clockMs();
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+            Shard& shard = *shards[i];
+            switch (shard.state.load()) {
+            case ShardState::Alive:
+                if (!shard.outstanding.empty()) {
+                    const Slot& front = *shard.outstanding.front();
+                    // Fill order = enqueue order, so deadlines are
+                    // monotonic per shard: the front slot is always
+                    // the next to expire.
+                    if (front.deadlineAt > 0.0 &&
+                        now >= front.deadlineAt) {
+                        deadlineExpired.fetch_add(1);
+                        markShardDead(
+                            shard, i,
+                            "missed its answer deadline (wedged)");
+                    }
+                }
+                break;
+            case ShardState::Backoff:
+                if (!stop_seen && now >= shard.nextDialAtMs)
+                    startDial(shard);
+                break;
+            case ShardState::Connecting:
+            case ShardState::Warming:
+                if (now >= shard.healDeadlineMs)
+                    failHeal(shard, i);
+                break;
+            case ShardState::Down:
+                break;
+            }
+        }
+        reapChildren();
+    }
+
+    /** True while any deadline/backoff timer is armed — the loop then
+     *  polls with a short tick so injectable clocks get re-read (the
+     *  NetServer drain-deadline idiom). */
+    bool timersArmed() const
+    {
+        for (const auto& shard : shards) {
+            switch (shard->state.load()) {
+            case ShardState::Backoff:
+            case ShardState::Connecting:
+            case ShardState::Warming:
+                return true;
+            case ShardState::Alive:
+                if (!shard->outstanding.empty() &&
+                    shard->outstanding.front()->deadlineAt > 0.0)
+                    return true;
+                break;
+            case ShardState::Down:
+                break;
+            }
+        }
+        return false;
     }
 
     void loop()
@@ -462,19 +869,27 @@ struct RouterServer::Impl {
             }
             for (std::size_t i = 0; i < shards.size(); ++i) {
                 Shard& shard = *shards[i];
-                if (!shard.alive.load())
-                    continue;
-                // Always POLLIN: shard death must surface even while
-                // nothing is outstanding.
-                short events = POLLIN;
-                if (!shard.flushed())
-                    events |= POLLOUT;
+                const ShardState st = shard.state.load();
+                short events = 0;
+                if (st == ShardState::Alive ||
+                    st == ShardState::Warming) {
+                    // Always POLLIN: shard death must surface even
+                    // while nothing is outstanding.
+                    events = POLLIN;
+                    if (!shard.flushed())
+                        events |= POLLOUT;
+                } else if (st == ShardState::Connecting) {
+                    events = POLLOUT;
+                } else {
+                    continue;  // Backoff/Down: no socket to watch.
+                }
                 fds.push_back({shard.socket.fd(), events, 0});
                 polledShards.push_back(i);
             }
 
-            const int rc = ::poll(fds.data(),
-                                  static_cast<nfds_t>(fds.size()), -1);
+            const int rc =
+                ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                       timersArmed() ? 10 : -1);
             if (rc < 0 && errno != EINTR)
                 fatal("RouterServer: poll() failed");
 
@@ -501,21 +916,34 @@ struct RouterServer::Impl {
                 const std::size_t i = polledShards[s];
                 Shard& shard = *shards[i];
                 const short revents = fds[index].revents;
+                if (shard.state.load() == ShardState::Connecting) {
+                    if (revents & (POLLOUT | POLLERR | POLLHUP)) {
+                        Result<bool> up = shard.socket.finishConnect();
+                        if (!up)
+                            failHeal(shard, i);
+                        else
+                            beginWarm(shard, i);
+                    }
+                    continue;
+                }
                 if (revents & (POLLERR | POLLNVAL)) {
-                    markShardDead(shard, i,
-                                  "died with the request in flight");
+                    shardBroken(shard, i,
+                                "died with the request in flight");
                     continue;
                 }
                 if (revents & (POLLIN | POLLHUP))
                     readShard(shard, i);
-                if (shard.alive.load() && (revents & POLLOUT))
+                if (shard.active() && (revents & POLLOUT))
                     flushShard(shard, i);
             }
 
-            // New work may have been queued onto shards this round;
-            // try the write now instead of waiting a poll cycle.
+            runTimers(stop_seen);
+
+            // New work may have been queued onto shards this round
+            // (client requests, failover replays, heal probes); try
+            // the write now instead of waiting a poll cycle.
             for (std::size_t i = 0; i < shards.size(); ++i)
-                if (shards[i]->alive.load() && !shards[i]->flushed())
+                if (shards[i]->active() && !shards[i]->flushed())
                     flushShard(*shards[i], i);
 
             for (auto& conn : conns) {
@@ -527,9 +955,17 @@ struct RouterServer::Impl {
         }
         listener.close();
         for (auto& shard : shards) {
-            shard->alive.store(false);
+            shard->state.store(ShardState::Down);
             shard->socket.close();
         }
+        // The supervisor owns its respawned workers: take them along.
+        for (pid_t pid : children)
+            ::kill(pid, SIGTERM);
+        for (pid_t pid : children) {
+            int status = 0;
+            ::waitpid(pid, &status, 0);
+        }
+        children.clear();
     }
 
     RouterConfig config;
@@ -540,6 +976,7 @@ struct RouterServer::Impl {
     std::atomic<bool> stopRequested{false};
     std::vector<std::unique_ptr<Conn>> conns;
     std::vector<std::unique_ptr<Shard>> shards;
+    std::vector<pid_t> children;  ///< Respawned workers (loop-owned).
 
     std::atomic<std::uint64_t> accepted{0};
     std::atomic<std::uint64_t> closed{0};
@@ -548,6 +985,11 @@ struct RouterServer::Impl {
     std::atomic<std::uint64_t> protocolErrors{0};
     std::atomic<std::uint64_t> oversized{0};
     std::atomic<std::uint64_t> shardFailures{0};
+    std::atomic<std::uint64_t> retried{0};
+    std::atomic<std::uint64_t> deadlineExpired{0};
+    std::atomic<std::uint64_t> healed{0};
+    std::atomic<std::uint64_t> respawned{0};
+    std::atomic<double> lastHealMs{-1.0};
     std::atomic<std::uint64_t> fleetQueries{0};
 };
 
@@ -632,12 +1074,20 @@ RouterServer::stats() const
     out.protocolErrors = impl_->protocolErrors.load();
     out.oversizedLines = impl_->oversized.load();
     out.shardFailures = impl_->shardFailures.load();
+    out.retried = impl_->retried.load();
+    out.deadlineExpired = impl_->deadlineExpired.load();
+    out.healed = impl_->healed.load();
+    out.respawned = impl_->respawned.load();
+    out.lastHealMs = impl_->lastHealMs.load();
     out.fleetQueries = impl_->fleetQueries.load();
     for (const auto& shard : impl_->shards) {
         ShardHealth row;
         row.name = shard->endpoint.name;
-        row.alive = shard->alive.load();
+        row.state = shard->state.load();
+        row.alive = row.state == ShardState::Alive;
         row.routed = shard->routed.load();
+        row.dialAttempts = shard->dialAttempts.load();
+        row.heals = shard->heals.load();
         out.shardsAlive += row.alive ? 1 : 0;
         out.shards.push_back(std::move(row));
     }

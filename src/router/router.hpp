@@ -38,17 +38,43 @@
  *    shard's port directly for *its* counters);
  *  - anything routed while no shard is alive (`Unavailable`).
  *
- * Shard failure: a shard dying mid-request poisons only the requests
- * outstanding on it — each gets a typed `Unavailable` error response,
- * in order, in its slot. The dead shard's ring points are removed, so
- * subsequent requests re-route to the survivors (consistent hashing
- * moves only the dead shard's keys), and the router keeps serving with
- * whatever is left. Only when *every* shard is down do new requests
- * answer `Unavailable` wholesale.
+ * Shard failure — retry/failover (ISSUE-7): every planning query is
+ * pure and replayable, and each slot retains its original request
+ * line, so a dying shard no longer poisons its in-flight requests.
+ * The dead shard's ring points are removed (consistent hashing moves
+ * only its keys) and every outstanding slot is *re-forwarded* to the
+ * surviving owner of its key — bounded by `retryBudget` attempts per
+ * request — so a kill mid-pipeline yields zero wrong and zero lost
+ * answers, byte-identical to a single-service run. A typed
+ * `Unavailable` remains only for budget exhaustion or an empty fleet.
+ * `requestDeadlineMs` arms a per-attempt answer deadline: an alive
+ * shard that sits on a request longer is declared wedged and handled
+ * exactly like a death (failover included).
+ *
+ * Shard healing — supervised reconnect and warm rejoin: with
+ * `reconnectBackoffMs` set, a dead shard enters a heartbeat loop
+ * (exponential backoff, capped, driven by the injectable `clock`) that
+ * re-dials its endpoint without ever blocking the event loop
+ * (non-blocking connect + POLLOUT). Once the dial lands, the shard is
+ * *warmed before it serves*: the router fetches a live `snapshot` from
+ * every survivor and pushes each to the rejoiner as a `load_snapshot`
+ * query, so the rejoined shard compiles zero plans for fleet-seen
+ * configs. Only then do its ring points return. `respawnCommand`
+ * optionally fork/execs a replacement worker process on the dead
+ * endpoint (children are reaped while running and SIGTERM'd at
+ * shutdown) — the `ftsim_router --respawn` supervisor mode.
+ * Shard lifecycle:
+ *
+ *     alive --death--> backoff --dial--> connecting --> warming
+ *       ^                 ^-------------- any failure ----|
+ *       `----------------- warm pushes acked -------------'
+ *
+ * (`down` is terminal when healing is disabled.)
  */
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -84,15 +110,56 @@ struct RouterConfig {
     std::size_t maxShardLineBytes = 1 << 26;
     /** Ring points per shard (see router/hash_ring.hpp). */
     std::size_t virtualNodes = 64;
+    /** Extra forwarding attempts per request after its shard dies;
+     *  each re-route lands on the surviving ring owner of the key.
+     *  0 restores the pre-ISSUE-7 answer-`Unavailable` behavior. */
+    std::size_t retryBudget = 2;
+    /** Per-attempt answer deadline, ms (0 = none): an alive shard
+     *  holding a request longer is declared wedged and its outstanding
+     *  requests fail over, exactly as if it had died. */
+    double requestDeadlineMs = 0.0;
+    /** First re-dial delay after a shard death, ms; doubles per failed
+     *  heal up to reconnectBackoffMaxMs. <= 0 disables healing (a dead
+     *  shard stays down, the pre-ISSUE-7 contract). */
+    double reconnectBackoffMs = 0.0;
+    /** Backoff ceiling for the heal heartbeat, ms. */
+    double reconnectBackoffMaxMs = 5000.0;
+    /** Deadline for one whole heal attempt — dial + snapshot fetches +
+     *  warm pushes — before it aborts back to backoff, ms. */
+    double healTimeoutMs = 5000.0;
+    /** Executable fork/exec'd as `cmd --host H --port P` to replace a
+     *  dead shard on its endpoint (empty = reconnect-only). Spawned
+     *  children are reaped while running and SIGTERM'd at shutdown. */
+    std::string respawnCommand;
+    /** Monotonic clock in ms for deadlines/backoff; unset = wall
+     *  steady_clock. Tests inject virtual time here. */
+    std::function<double()> clock;
 };
+
+/** Where a shard is in its death/heal lifecycle (see file comment). */
+enum class ShardState {
+    Alive,       ///< Serving; ring points placed.
+    Backoff,     ///< Dead; next re-dial scheduled.
+    Connecting,  ///< Non-blocking dial in flight.
+    Warming,     ///< Connected; survivor snapshots being pushed.
+    Down,        ///< Dead with healing disabled (terminal).
+};
+
+/** Wire/report spelling of a ShardState ("alive", "backoff", ...). */
+const char* shardStateName(ShardState state);
 
 /** Per-shard health row in RouterStats. */
 struct ShardHealth {
     std::string name;
     bool alive = false;
+    ShardState state = ShardState::Down;
     /** Requests forwarded to this shard (dead shards keep their
      *  count — the ledger survives the shard). */
     std::uint64_t routed = 0;
+    /** Heal re-dials attempted (the heartbeat's pulse count). */
+    std::uint64_t dialAttempts = 0;
+    /** Completed warm rejoins. */
+    std::uint64_t heals = 0;
 };
 
 /** Aggregate router counters (loop-thread maintained). */
@@ -108,9 +175,20 @@ struct RouterStats {
     std::uint64_t protocolErrors = 0;
     /** Lines that crossed the client frame cap. */
     std::uint64_t oversizedLines = 0;
-    /** Requests answered `Unavailable` because their shard died (or
-     *  none was alive to take them). */
+    /** Requests answered `Unavailable`: shard death with the retry
+     *  budget exhausted, or no live shard to take them. */
     std::uint64_t shardFailures = 0;
+    /** Requests re-forwarded to a survivor after their shard died. */
+    std::uint64_t retried = 0;
+    /** Shards declared wedged by the per-request answer deadline. */
+    std::uint64_t deadlineExpired = 0;
+    /** Completed warm rejoins, fleet-wide. */
+    std::uint64_t healed = 0;
+    /** Replacement workers fork/exec'd (respawnCommand). */
+    std::uint64_t respawned = 0;
+    /** Injectable-clock timestamp of the last completed heal; < 0
+     *  when no shard has ever rejoined. */
+    double lastHealMs = -1.0;
     /** `fleet` queries answered by the router itself. */
     std::uint64_t fleetQueries = 0;
     std::size_t shardsAlive = 0;

@@ -208,12 +208,11 @@ PlanService::submit(const PlanRequest& request,
     // work between them. Quota-exempt by construction — the parser
     // rejects a tenant on these kinds. Counted under executed so the
     // requests = executed + coalesced + rateLimited ledger holds.
-    if (request.query == QueryKind::Snapshot ||
-        request.query == QueryKind::Fleet) {
+    if (isLiveKind(request.query)) {
         executed_.fetch_add(1);
         noteSource(options.source, false, false);
         std::promise<PlanResponse> ready;
-        ready.set_value(liveAnswer(request.query));
+        ready.set_value(liveAnswer(request));
         std::shared_future<PlanResponse> future =
             ready.get_future().share();
         if (options.notify)
@@ -343,8 +342,9 @@ PlanService::submit(const PlanRequest& request,
 }
 
 PlanResponse
-PlanService::liveAnswer(QueryKind kind) const
+PlanService::liveAnswer(const PlanRequest& request) const
 {
+    const QueryKind kind = request.query;
     PlanResponse response;
     response.query = kind;
     response.ok = true;
@@ -352,6 +352,21 @@ PlanService::liveAnswer(QueryKind kind) const
         response.snapshot = saveRegistrySnapshot(*registry_);
         response.value =
             static_cast<double>(response.snapshot.size());
+        return response;
+    }
+    if (kind == QueryKind::LoadSnapshot) {
+        // Warm-start push (the router heals a rejoining shard with a
+        // survivor's snapshot). Hostile bytes are the typed errors of
+        // loadRegistrySnapshot — all-or-nothing, never a partial load.
+        Result<SnapshotLoadInfo> loaded =
+            loadRegistrySnapshot(*registry_, request.snapshot);
+        if (!loaded)
+            return errorResponse(request, loaded.error());
+        response.value =
+            static_cast<double>(loaded.value().plansLoaded);
+        response.report = strCat("loaded=", loaded.value().plansLoaded,
+                                 " skipped=",
+                                 loaded.value().plansSkipped);
         return response;
     }
     // Fleet health: value carries stepsSimulated — the thundering-herd
@@ -513,6 +528,7 @@ PlanService::answer(const PlanRequest& request)
     }
     case QueryKind::Snapshot:
     case QueryKind::Fleet:
+    case QueryKind::LoadSnapshot:
         // Intercepted in submit() before execution; reaching the
         // planner path would mean a bug, not a bad request.
         return errorResponse(

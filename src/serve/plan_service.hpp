@@ -331,9 +331,10 @@ class PlanService {
     void noteSource(const std::string& source, bool coalesced,
                     bool rate_limited);
 
-    /** The synchronous answer to a live (snapshot / fleet) query —
-     *  current state, so never cached, coalesced, or billed. */
-    PlanResponse liveAnswer(QueryKind kind) const;
+    /** The synchronous answer to a live (snapshot / fleet /
+     *  load_snapshot) query — current state, so never cached,
+     *  coalesced, or billed. */
+    PlanResponse liveAnswer(const PlanRequest& request) const;
 
     /** Moves a finished execution from the in-flight map into the
      *  bounded answer cache, releases its tenants' slots, resolves

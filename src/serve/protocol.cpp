@@ -448,16 +448,14 @@ isPerGpuKind(QueryKind kind)
            kind == QueryKind::Throughput || kind == QueryKind::Report;
 }
 
-/** Introspection kinds: answered from live service state, so they take
- *  no target GPU, no scenario, no rates — just an id (and a tenant
- *  would be meaningless: they are never billed or coalesced). */
+}  // namespace
+
 bool
 isLiveKind(QueryKind kind)
 {
-    return kind == QueryKind::Snapshot || kind == QueryKind::Fleet;
+    return kind == QueryKind::Snapshot || kind == QueryKind::Fleet ||
+           kind == QueryKind::LoadSnapshot;
 }
-
-}  // namespace
 
 const char*
 queryKindName(QueryKind kind)
@@ -470,6 +468,7 @@ queryKindName(QueryKind kind)
     case QueryKind::Report: return "report";
     case QueryKind::Snapshot: return "snapshot";
     case QueryKind::Fleet: return "fleet";
+    case QueryKind::LoadSnapshot: return "load_snapshot";
     }
     return "?";
 }
@@ -480,7 +479,8 @@ parseQueryKind(const std::string& name)
     for (QueryKind kind :
          {QueryKind::MaxBatch, QueryKind::Throughput,
           QueryKind::CostTable, QueryKind::CheapestPlan,
-          QueryKind::Report, QueryKind::Snapshot, QueryKind::Fleet})
+          QueryKind::Report, QueryKind::Snapshot, QueryKind::Fleet,
+          QueryKind::LoadSnapshot})
         if (name == queryKindName(kind))
             return kind;
     return Error{ErrorCode::InvalidArgument,
@@ -534,7 +534,7 @@ parsePlanRequest(const std::string& line)
             bad("request must be a JSON object");
         rejectUnknownKeys(doc,
                           {"id", "tenant", "query", "gpu", "gpus",
-                           "scenario", "rates"},
+                           "scenario", "rates", "snapshot"},
                           "request");
 
         PlanRequest req;
@@ -567,6 +567,18 @@ parsePlanRequest(const std::string& line)
                     bad(strCat('"', key,
                                "\" is not valid for query \"",
                                query.string, '"'));
+        }
+
+        if (req.query == QueryKind::LoadSnapshot) {
+            const JsonValue& payload =
+                require(doc, "snapshot", JsonValue::Type::String);
+            Result<std::string> raw = base64Decode(payload.string);
+            if (!raw)
+                bad(raw.error().message);
+            req.snapshot = std::move(raw.value());
+        } else if (doc.find("snapshot") != nullptr) {
+            bad(strCat("\"snapshot\" is not valid for query \"",
+                       query.string, '"'));
         }
 
         if (const JsonValue* gpu =
@@ -636,6 +648,9 @@ writePlanRequest(const PlanRequest& request)
     // Live kinds carry no workload fields; writing the default scenario
     // anyway would produce a line the (strict) parser rejects.
     if (isLiveKind(request.query)) {
+        if (request.query == QueryKind::LoadSnapshot)
+            out += strCat(",\"snapshot\":",
+                          quoted(base64Encode(request.snapshot)));
         out += "}";
         return out;
     }
@@ -711,8 +726,10 @@ writePlanResponse(const PlanResponse& response)
                       quoted(base64Encode(response.snapshot)));
         break;
     case QueryKind::Fleet:
-        // value = steps simulated (the thundering-herd counter the
-        // fleet bench asserts over the wire); report = status text.
+    case QueryKind::LoadSnapshot:
+        // fleet: value = steps simulated (the thundering-herd counter
+        // the fleet bench asserts over the wire); load_snapshot: value
+        // = plans adopted from the payload. report = status text.
         out += strCat(",\"value\":", fmtNumber(response.value),
                       ",\"report\":", quoted(response.report));
         break;

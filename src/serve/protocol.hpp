@@ -62,10 +62,24 @@ enum class QueryKind {
     // answers both about itself.
     Snapshot,      ///< Binary PlanRegistry snapshot, base64 on the wire.
     Fleet,         ///< Shard/fleet health counters.
+    /** Push a PlanRegistry snapshot *into* the service (ISSUE-7): the
+     *  router warms a rejoining shard from a survivor's `snapshot`
+     *  before its ring points return. Carries the payload in the
+     *  request's `snapshot` field (base64 on the wire); hostile bytes
+     *  answer the typed errors of gpusim/registry_snapshot.hpp. */
+    LoadSnapshot,
 };
 
 /** Wire name of a query kind ("max_batch", ...). */
 const char* queryKindName(QueryKind kind);
+
+/**
+ * True for the introspection kinds (snapshot / fleet / load_snapshot):
+ * answered synchronously from live service state, never cached,
+ * coalesced, or billed, and they take no workload fields (gpu /
+ * scenario / rates / tenant).
+ */
+bool isLiveKind(QueryKind kind);
 
 /** Parses a wire name; `InvalidArgument` on an unknown kind. */
 Result<QueryKind> parseQueryKind(const std::string& name);
@@ -91,6 +105,9 @@ struct PlanRequest {
     Scenario scenario = Scenario::gsMath();
     /** Extra rental rates applied on top of the service catalog. */
     std::vector<CloudOffering> rates;
+    /** load_snapshot payload, *raw* bytes (base64 on the wire — the
+     *  same encoding the snapshot *response* uses). */
+    std::string snapshot;
 
     /**
      * Request identity *excluding* the id and tenant: two tenants

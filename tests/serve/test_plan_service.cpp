@@ -691,5 +691,52 @@ TEST(PlanService, QuotasDisabledByDefaultEvenForTenantedRequests)
     EXPECT_TRUE(stats.tenants.empty());  // No tracking when disabled.
 }
 
+TEST(PlanService, LoadSnapshotWarmsTheRegistryWithoutCompiling)
+{
+    // A donor service compiles two configs; its live snapshot pushed
+    // into a cold service via the `load_snapshot` query must make the
+    // same questions registry hits — zero compiles on the receiver.
+    PlanService donor;
+    donor.ask(throughputRequest("A40"));
+    donor.ask(throughputRequest("A40", Scenario::commonsense15k()));
+    const std::uint64_t donorPlans =
+        donor.planRegistry()->plansCompiled();
+    ASSERT_GT(donorPlans, 0u);
+    const PlanResponse snap = donor.ask([] {
+        PlanRequest req;
+        req.query = QueryKind::Snapshot;
+        return req;
+    }());
+    ASSERT_TRUE(snap.ok) << snap.errorMessage;
+
+    PlanService cold;
+    PlanRequest load;
+    load.query = QueryKind::LoadSnapshot;
+    // Raw bytes end to end in-process; base64 exists only on the wire.
+    load.snapshot = snap.snapshot;
+    const PlanResponse loaded = cold.ask(load);
+    ASSERT_TRUE(loaded.ok) << loaded.errorMessage;
+    // plansLoaded is echoed back as the answer's value.
+    EXPECT_EQ(loaded.value, static_cast<double>(donorPlans));
+
+    cold.ask(throughputRequest("A40"));
+    cold.ask(throughputRequest("A40", Scenario::commonsense15k()));
+    EXPECT_EQ(cold.planRegistry()->plansCompiled(), 0u);
+    EXPECT_EQ(cold.planRegistry()->plansLoaded(), donorPlans);
+}
+
+TEST(PlanService, LoadSnapshotRejectsHostileBytesTyped)
+{
+    PlanService service;
+    PlanRequest load;
+    load.query = QueryKind::LoadSnapshot;
+    load.snapshot = "not a snapshot at all";
+    const PlanResponse response = service.ask(load);
+    EXPECT_FALSE(response.ok);
+    EXPECT_FALSE(response.errorMessage.empty());
+    // And the service is unharmed: it still answers.
+    EXPECT_TRUE(service.ask(throughputRequest("A40")).ok);
+}
+
 }  // namespace
 }  // namespace ftsim

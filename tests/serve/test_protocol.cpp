@@ -301,5 +301,51 @@ TEST(Protocol, ReportResponseEscapesNewlines)
     EXPECT_NE(line.find(R"(# line1\nline2)"), std::string::npos);
 }
 
+TEST(Protocol, LoadSnapshotRoundTripsRawBytes)
+{
+    // The payload is *raw* bytes in the struct and base64 on the wire
+    // — registry snapshots are binary ("FTSNAP"), and JSON strings
+    // cannot carry them unencoded.
+    PlanRequest req;
+    req.id = "warm-1";
+    req.query = QueryKind::LoadSnapshot;
+    req.snapshot = std::string("FTSNAP\x00\x01\xff binary\n bytes", 23);
+    const std::string line = writePlanRequest(req);
+    EXPECT_NE(line.find(R"("query":"load_snapshot")"),
+              std::string::npos)
+        << line;
+    EXPECT_EQ(line.find("FTSNAP"), std::string::npos)
+        << "raw bytes leaked onto the wire: " << line;
+    Result<PlanRequest> parsed = parsePlanRequest(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().describe();
+    EXPECT_EQ(parsed.value().id, req.id);
+    EXPECT_EQ(parsed.value().query, QueryKind::LoadSnapshot);
+    EXPECT_EQ(parsed.value().snapshot, req.snapshot);
+}
+
+TEST(Protocol, LoadSnapshotRejectsGarbageBase64)
+{
+    Result<PlanRequest> parsed = parsePlanRequest(
+        R"({"query":"load_snapshot","snapshot":"!!not-base64!!"})");
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error().code, ErrorCode::InvalidArgument);
+}
+
+TEST(Protocol, LoadSnapshotRequiresThePayload)
+{
+    Result<PlanRequest> parsed =
+        parsePlanRequest(R"({"query":"load_snapshot"})");
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error().code, ErrorCode::InvalidArgument);
+}
+
+TEST(Protocol, SnapshotFieldIsRejectedOnOtherKinds)
+{
+    Result<PlanRequest> parsed = parsePlanRequest(
+        R"({"query":"max_batch","gpu":"A40","snapshot":"QQ=="})");
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error().code, ErrorCode::InvalidArgument);
+}
+
 }  // namespace
 }  // namespace ftsim

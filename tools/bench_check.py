@@ -89,6 +89,21 @@ CHECKS = {
         ("warm_start.plans_compiled", "exact"),
         ("warm_start.byte_mismatches", "exact"),
     ],
+    # BENCH_chaos.json also self-gates (bench_chaos_load exits non-zero
+    # on divergence); the baseline pins the deterministic kill/heal
+    # ledger: zero wrong answers, zero Unavailable, failover replays
+    # exactly the doomed set, one warm rejoin that compiles nothing.
+    "BENCH_chaos.json": [
+        ("requests", "exact"),
+        ("byte_mismatches", "exact"),
+        ("doomed", "exact"),
+        ("router_stats.retried", "exact"),
+        ("router_stats.unavailable", "exact"),
+        ("router_stats.deadline_expired", "exact"),
+        ("router_stats.healed", "exact"),
+        ("rejoin.plans_loaded", "exact"),
+        ("rejoin.plans_compiled", "exact"),
+    ],
 }
 
 

@@ -15,7 +15,13 @@
  * Exits non-zero when the connection fails or the server closes
  * before every response arrives.
  *
+ * `--timeout-ms N` bounds the connect and every send/receive: a downed
+ * or wedged server yields a typed error and a non-zero exit instead of
+ * blocking forever (ci.sh runs every invocation with a timeout so a
+ * hung fixture fails the gate rather than the build).
+ *
  * Usage: ftsim_client [requests.jsonl|-] [--host H] [--port P]
+ *                     [--timeout-ms N]
  */
 
 #include <cmath>
@@ -37,7 +43,7 @@ usage(const std::string& problem)
 {
     std::cerr << "ftsim_client: " << problem << "\n"
               << "usage: ftsim_client [requests.jsonl|-]"
-                 " [--host H] [--port P]\n";
+                 " [--host H] [--port P] [--timeout-ms N]\n";
     std::exit(2);
 }
 
@@ -49,6 +55,7 @@ main(int argc, char** argv)
     std::string path = "-";
     std::string host = "127.0.0.1";
     std::uint16_t port = 0;
+    double timeoutMs = 0.0;
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -65,6 +72,12 @@ main(int argc, char** argv)
             if (*end != '\0' || parsed < 1.0 || parsed > 65535.0)
                 usage("--port needs a port number");
             port = static_cast<std::uint16_t>(parsed);
+        } else if (arg == "--timeout-ms") {
+            char* end = nullptr;
+            const double parsed = std::strtod(value(), &end);
+            if (*end != '\0' || !std::isfinite(parsed) || parsed < 0.0)
+                usage("--timeout-ms needs a non-negative number");
+            timeoutMs = parsed;
         } else if (arg.size() > 2 && arg.compare(0, 2, "--") == 0) {
             usage(strCat("unknown flag ", arg));
         } else {
@@ -96,7 +109,8 @@ main(int argc, char** argv)
         requests.push_back(line);
     }
 
-    Result<NetClient> connected = NetClient::connectTo(host, port);
+    Result<NetClient> connected =
+        NetClient::connectTo(host, port, timeoutMs);
     if (!connected) {
         std::cerr << "ftsim_client: " << connected.error().message
                   << '\n';

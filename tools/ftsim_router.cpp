@@ -10,18 +10,28 @@
  * to the router exactly as they would to a single `ftsim_served`:
  * pipelined lines, answers per connection in request order.
  *
- * The router answers `fleet` queries itself (shard health + per-shard
- * routed counters); everything else is forwarded byte-verbatim. A
- * shard dying mid-request answers its in-flight requests with a typed
- * `Unavailable` error and the survivors keep serving.
+ * The router answers `fleet` queries itself (shard lifecycle states +
+ * failover/heal counters); everything else is forwarded byte-verbatim.
+ * A shard dying mid-request no longer fails its in-flight requests:
+ * they are replayed on the surviving shards (`--retry-budget` attempts
+ * each), and with `--reconnect-backoff-ms` the router heartbeats the
+ * dead endpoint, warm-starts the rejoiner from survivor snapshots, and
+ * returns it to the ring. `--respawn BIN` additionally fork/execs
+ * `BIN --host H --port P` to replace the dead worker process — the
+ * supervisor mode. See src/router/router.hpp for the full contract.
  *
  * Shutdown mirrors `ftsim_served`: SIGTERM/SIGINT drains gracefully —
  * every forwarded request still answers (or fails typed) and flushes —
- * then exits 0 with a stats summary on stderr.
+ * then exits 0 with a stats summary on stderr (respawned workers are
+ * SIGTERM'd too; the supervisor owns them).
  *
  * Usage: ftsim_router --shard HOST:PORT [--shard HOST:PORT ...]
  *                     [--host H] [--port P] [--max-connections N]
  *                     [--max-line BYTES] [--virtual-nodes N]
+ *                     [--retry-budget N] [--deadline-ms N]
+ *                     [--reconnect-backoff-ms N]
+ *                     [--reconnect-backoff-max-ms N]
+ *                     [--heal-timeout-ms N] [--respawn BIN]
  */
 
 #include <atomic>
@@ -57,7 +67,11 @@ usage(const std::string& problem)
            " [--shard HOST:PORT ...]\n"
         << "                    [--host H] [--port P]"
            " [--max-connections N]\n"
-        << "                    [--max-line BYTES] [--virtual-nodes N]\n";
+        << "                    [--max-line BYTES] [--virtual-nodes N]\n"
+        << "                    [--retry-budget N] [--deadline-ms N]\n"
+        << "                    [--reconnect-backoff-ms N]"
+           " [--reconnect-backoff-max-ms N]\n"
+        << "                    [--heal-timeout-ms N] [--respawn BIN]\n";
     std::exit(2);
 }
 
@@ -121,6 +135,19 @@ main(int argc, char** argv)
         } else if (arg == "--virtual-nodes") {
             config.virtualNodes =
                 static_cast<std::size_t>(numberArg(arg, value()));
+        } else if (arg == "--retry-budget") {
+            config.retryBudget =
+                static_cast<std::size_t>(numberArg(arg, value()));
+        } else if (arg == "--deadline-ms") {
+            config.requestDeadlineMs = numberArg(arg, value());
+        } else if (arg == "--reconnect-backoff-ms") {
+            config.reconnectBackoffMs = numberArg(arg, value());
+        } else if (arg == "--reconnect-backoff-max-ms") {
+            config.reconnectBackoffMaxMs = numberArg(arg, value());
+        } else if (arg == "--heal-timeout-ms") {
+            config.healTimeoutMs = numberArg(arg, value());
+        } else if (arg == "--respawn") {
+            config.respawnCommand = value();
         } else {
             usage(strCat("unknown flag ", arg));
         }
@@ -161,10 +188,16 @@ main(int argc, char** argv)
               << stats.protocolErrors << " protocol errors ("
               << stats.oversizedLines << " oversized), "
               << stats.shardFailures << " shard failures, "
+              << stats.retried << " retried, "
+              << stats.deadlineExpired << " deadline expiries, "
+              << stats.healed << " healed, "
+              << stats.respawned << " respawned, "
               << stats.fleetQueries << " fleet queries\n";
     for (const ShardHealth& shard : stats.shards)
         std::cerr << "ftsim_router: shard " << shard.name << ": "
-                  << (shard.alive ? "alive" : "dead")
-                  << " routed=" << shard.routed << '\n';
+                  << shardStateName(shard.state)
+                  << " routed=" << shard.routed
+                  << " dials=" << shard.dialAttempts
+                  << " heals=" << shard.heals << '\n';
     return 0;
 }
