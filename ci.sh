@@ -53,10 +53,28 @@ echo "ci.sh: chaos soak artifact at $BUILD_DIR/BENCH_chaos.json"
 python3 tools/bench_check.py --fresh-dir "$BUILD_DIR"
 echo "ci.sh: bench regression gates green"
 
+# Trend history: append this run's BENCH_*.json artifacts (stamped with
+# the git SHA) to the append-only bench/history.jsonl ledger, so perf
+# drift is visible across commits, not just against the last baseline.
+python3 tools/bench_history.py --fresh-dir "$BUILD_DIR"
+
 # Protocol smoke: the mixed example request file must parse cleanly —
-# ftsim_serve exits non-zero on any protocol error.
-"$BUILD_DIR/ftsim_serve" examples/serve_requests.jsonl > /dev/null
-echo "ci.sh: ftsim_serve answered examples/serve_requests.jsonl with zero protocol errors"
+# ftsim_serve exits non-zero on any protocol error. The run also dumps
+# its registry snapshot, which must be valid JSON whose serve.requests
+# counter equals the number of request lines in the file.
+STATS_DUMP="$BUILD_DIR/ftsim_serve.stats.json"
+"$BUILD_DIR/ftsim_serve" examples/serve_requests.jsonl \
+    --stats-json "$STATS_DUMP" > /dev/null
+EXAMPLE_LINES=$(grep -c '[^[:space:]]' examples/serve_requests.jsonl)
+python3 - "$STATS_DUMP" "$EXAMPLE_LINES" <<'PY'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+want = int(sys.argv[2])
+got = stats.get("serve.requests")
+assert got == want, f"serve.requests={got}, want {want}"
+assert stats.get("cli.lines_read") == want, stats.get("cli.lines_read")
+PY
+echo "ci.sh: ftsim_serve answered examples/serve_requests.jsonl with zero protocol errors (--stats-json dump valid)"
 
 # E2E golden: the governed service (bounded caches + tenant quotas)
 # must answer the example + governance fixtures byte-exactly. The same
@@ -134,6 +152,32 @@ UNGOVERNED_LINES=$(grep -c '[^[:space:]]' examples/serve_requests.jsonl)
     --port "$ROUTER_PORT" --timeout-ms 30000 \
   | diff -u <(head -n "$UNGOVERNED_LINES" \
               tests/integration/golden_serve_e2e.jsonl) -
+# Live stats scrape: one {"query":"stats"} line against the running
+# fleet must return the router's own registry plus a namespaced piece
+# per shard, and the scraped counters must agree with what the golden
+# replay just pinned: router.forwarded equals the replayed line count
+# (the scrape itself is never counted as forwarded), and the shards'
+# serve.requests sum to the same replay — plus one stats probe each,
+# because a live scrape observes itself.
+FLEET_STATS="$BUILD_DIR/fleet_stats.ci.json"
+echo '{"query":"stats"}' \
+  | "$BUILD_DIR/ftsim_client" - --port "$ROUTER_PORT" --timeout-ms 30000 \
+  > "$FLEET_STATS"
+python3 - "$FLEET_STATS" "$UNGOVERNED_LINES" <<'PY'
+import json, sys
+resp = json.load(open(sys.argv[1]))
+want = int(sys.argv[2])
+assert resp["ok"] is True, resp
+stats = resp["stats"]
+fwd = stats["router"]["router.forwarded"]
+assert fwd == want, f"router.forwarded={fwd}, want {want}"
+shards = stats["shards"]
+alive = {name: s for name, s in shards.items() if s is not None}
+assert len(alive) == 2, sorted(shards)
+total = sum(s["serve.requests"] for s in alive.values())
+assert total == want + len(alive), f"shard serve.requests sum={total}"
+PY
+echo "ci.sh: live fleet stats scrape agrees with the golden replay counters"
 # Warm start over the wire: a fresh shard pulls shard 1's PlanRegistry
 # snapshot at boot and must announce the loaded plans.
 "$BUILD_DIR/ftsim_served" --port 0 --warm-from "127.0.0.1:$SHARD1_PORT" \
@@ -241,14 +285,38 @@ echo "ci.sh: kill -9 shard healed via respawn + warm rejoin, answers stayed gold
 # (framing fuzz included) under the same instrumentation, and the
 # RegistrySnapshot*/Base64* suites cover the ISSUE-6 hostile-snapshot
 # bytes (truncation/corruption sweeps). Router* also matches the
-# RouterHeal kill/rejoin suite, and FaultProxy* puts the chaos proxy's
-# byte accounting under the same instrumentation.
+# RouterHeal kill/rejoin suite, FaultProxy* puts the chaos proxy's
+# byte accounting under the same instrumentation, and StatsRegistry*
+# (with the Histogram* concurrency suites) is the ISSUE-8 16-thread
+# registration/publish/snapshot herd.
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$SAN_DIR" -S . -DFTSIM_SANITIZE=ON \
       -DFTSIM_BUILD_BENCH=OFF -DFTSIM_BUILD_EXAMPLES=OFF > /dev/null
 cmake --build "$SAN_DIR" -j --target ftsim_tests
 "$SAN_DIR/ftsim_tests" \
-    --gtest_filter='Protocol*:PlanService*:LruCache*:ServeE2E*:Histogram*:Net*:Router*:HashRing*:RegistrySnapshot*:Base64*:FaultProxy*'
-echo "ci.sh: ASan+UBSan serve/fuzz/net/fleet suites green"
+    --gtest_filter='Protocol*:PlanService*:LruCache*:ServeE2E*:Histogram*:Net*:Router*:HashRing*:RegistrySnapshot*:Base64*:FaultProxy*:StatsRegistry*'
+echo "ci.sh: ASan+UBSan serve/fuzz/net/fleet/stats suites green"
+
+# Optional TSan job: the stats registry's whole point is lock-free
+# publishing on hot paths, so put the herd and histogram quantile
+# suites under ThreadSanitizer when the toolchain supports it. Probe
+# first — some images ship compilers without TSan runtimes — and skip
+# with a note rather than fail when the probe cannot link or run.
+TSAN_PROBE_DIR=$(mktemp -d)
+if echo 'int main() { return 0; }' > "$TSAN_PROBE_DIR/probe.cpp" \
+   && c++ -fsanitize=thread "$TSAN_PROBE_DIR/probe.cpp" \
+        -o "$TSAN_PROBE_DIR/probe" 2> /dev/null \
+   && "$TSAN_PROBE_DIR/probe" 2> /dev/null; then
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  cmake -B "$TSAN_DIR" -S . -DFTSIM_TSAN=ON \
+        -DFTSIM_BUILD_BENCH=OFF -DFTSIM_BUILD_EXAMPLES=OFF > /dev/null
+  cmake --build "$TSAN_DIR" -j --target ftsim_tests
+  "$TSAN_DIR/ftsim_tests" \
+      --gtest_filter='StatsRegistry*:Histogram*'
+  echo "ci.sh: TSan stats-registry/histogram herd suites green"
+else
+  echo "ci.sh: TSan unavailable in this toolchain, skipping (probe failed)"
+fi
+rm -rf "$TSAN_PROBE_DIR"
 
 echo "ci.sh: all green"

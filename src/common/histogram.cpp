@@ -17,25 +17,66 @@ Histogram::Histogram(double lo, double hi, std::size_t num_bins)
     if (num_bins == 0)
         fatal("Histogram: need at least one bin");
     binWidth_ = (hi - lo) / static_cast<double>(num_bins);
-    counts_.assign(num_bins, 0);
+    // Value-initialization zeroes the atomics.
+    counts_ = std::vector<std::atomic<std::uint64_t>>(num_bins);
+}
+
+Histogram::Histogram(const Histogram& other)
+    : lo_(other.lo_), hi_(other.hi_), binWidth_(other.binWidth_),
+      counts_(other.counts_.size())
+{
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i].store(other.counts_[i].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    count_.store(other.count_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    underflow_.store(other.underflow_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    overflow_.store(other.overflow_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+}
+
+Histogram&
+Histogram::operator=(const Histogram& other)
+{
+    if (this == &other)
+        return *this;
+    lo_ = other.lo_;
+    hi_ = other.hi_;
+    binWidth_ = other.binWidth_;
+    if (counts_.size() != other.counts_.size())
+        counts_ = std::vector<std::atomic<std::uint64_t>>(
+            other.counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i].store(other.counts_[i].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    count_.store(other.count_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    underflow_.store(other.underflow_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    overflow_.store(other.overflow_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    return *this;
 }
 
 void
 Histogram::add(double x)
 {
-    ++count_;
     std::size_t idx;
     if (x < lo_) {
-        ++underflow_;
+        underflow_.fetch_add(1, std::memory_order_relaxed);
         idx = 0;
     } else if (x >= hi_) {
-        ++overflow_;
+        overflow_.fetch_add(1, std::memory_order_relaxed);
         idx = counts_.size() - 1;
     } else {
         idx = static_cast<std::size_t>((x - lo_) / binWidth_);
         idx = std::min(idx, counts_.size() - 1);
     }
-    ++counts_[idx];
+    // Bin before total: a concurrent quantile() that sees the new total
+    // must also see a bin population covering it (release/acquire pair).
+    counts_[idx].fetch_add(1, std::memory_order_release);
+    count_.fetch_add(1, std::memory_order_release);
 }
 
 void
@@ -45,12 +86,30 @@ Histogram::addAll(const std::vector<double>& xs)
         add(x);
 }
 
+void
+Histogram::merge(const Histogram& other)
+{
+    if (lo_ != other.lo_ || hi_ != other.hi_ ||
+        counts_.size() != other.counts_.size())
+        fatal("Histogram::merge: shape mismatch (lo/hi/bins must agree)");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i].fetch_add(
+            other.counts_[i].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+    underflow_.fetch_add(other.underflow_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    overflow_.fetch_add(other.overflow_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
 std::size_t
 Histogram::binCount(std::size_t i) const
 {
     if (i >= counts_.size())
         panic("Histogram::binCount: index out of range");
-    return counts_[i];
+    return counts_[i].load(std::memory_order_relaxed);
 }
 
 double
@@ -74,8 +133,16 @@ Histogram::binCenter(std::size_t i) const
 std::size_t
 Histogram::modeBin() const
 {
-    return static_cast<std::size_t>(
-        std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+    std::size_t best = 0;
+    std::uint64_t peak = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const std::uint64_t c = counts_[i].load(std::memory_order_relaxed);
+        if (c > peak) {
+            peak = c;
+            best = i;
+        }
+    }
+    return best;
 }
 
 double
@@ -83,12 +150,16 @@ Histogram::quantile(double q) const
 {
     if (q < 0.0 || q > 1.0)
         fatal("Histogram::quantile: q must be in [0, 1]");
-    if (count_ == 0)
+    // Acquire pairs with add()'s bin-then-total release ordering: every
+    // sample inside this total is already visible in some bin below.
+    const std::uint64_t total = count_.load(std::memory_order_acquire);
+    if (total == 0)
         return 0.0;
-    const double target = q * static_cast<double>(count_);
+    const double target = q * static_cast<double>(total);
     double seen = 0.0;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
-        const double c = static_cast<double>(counts_[i]);
+        const double c = static_cast<double>(
+            counts_[i].load(std::memory_order_acquire));
         if (seen + c >= target && c > 0.0) {
             // Interpolate the rank's position inside this bin.
             const double frac =
@@ -103,15 +174,17 @@ Histogram::quantile(double q) const
 std::string
 Histogram::render(std::size_t width) const
 {
-    std::size_t peak = counts_.empty() ? 0 : counts_[modeBin()];
+    std::uint64_t peak =
+        counts_.empty() ? 0 : binCount(modeBin());
     std::ostringstream oss;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const std::uint64_t c = counts_[i].load(std::memory_order_relaxed);
         std::size_t bar =
-            peak ? (counts_[i] * width + peak - 1) / peak : 0;
+            peak ? static_cast<std::size_t>((c * width + peak - 1) / peak)
+                 : 0;
         oss << '[' << std::setw(7) << std::fixed << std::setprecision(1)
             << binLo(i) << ", " << std::setw(7) << binHi(i) << ") "
-            << std::setw(7) << counts_[i] << " |"
-            << std::string(bar, '#') << '\n';
+            << std::setw(7) << c << " |" << std::string(bar, '#') << '\n';
     }
     return oss.str();
 }

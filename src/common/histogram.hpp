@@ -6,10 +6,24 @@
  * Fixed-bin histogram with an ASCII renderer.
  *
  * Used to regenerate Fig. 2 (sequence-length distributions of the CS and
- * MATH datasets) and for ad-hoc inspection of simulator counters.
+ * MATH datasets), for ad-hoc inspection of simulator counters, and as the
+ * histogram value type of `common/stats_registry`.
+ *
+ * Concurrency contract: `add()` is lock-free (relaxed atomic increments)
+ * and may race freely with every read accessor — `count()`, `binCount()`,
+ * `quantile()`, `render()` never observe torn values. Reads are
+ * individually atomic but NOT mutually consistent: a `quantile()` taken
+ * mid-publish may lag concurrent `add()`s by the handful of samples still
+ * in flight. `add()` publishes the bin before the total, so `count()` is
+ * never ahead of the bins a concurrent `quantile()` walks — the estimate
+ * always lands inside the populated range. Copy/assignment/`merge()` read
+ * the source atomically under the same transient-skew caveat; they are
+ * not atomic with respect to writes on the *destination*.
  */
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,20 +39,40 @@ class Histogram {
      */
     Histogram(double lo, double hi, std::size_t num_bins);
 
-    /** Adds one sample. */
+    /** Snapshot copy; sees the source per-bin atomically (see @file). */
+    Histogram(const Histogram& other);
+    Histogram& operator=(const Histogram& other);
+
+    /** Adds one sample. Lock-free; safe to race with reads. */
     void add(double x);
 
     /** Adds every sample of a vector. */
     void addAll(const std::vector<double>& xs);
 
+    /**
+     * Adds every bucket of @p other into this histogram. The two must
+     * share [lo, hi) and the bin count (fatal otherwise) — merging
+     * rebuckets nothing, it just sums counts.
+     */
+    void merge(const Histogram& other);
+
     /** Total number of samples added (including clamped ones). */
-    std::size_t count() const { return count_; }
+    std::size_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
 
     /** Number of samples that fell below the range. */
-    std::size_t underflow() const { return underflow_; }
+    std::size_t underflow() const
+    {
+        return underflow_.load(std::memory_order_relaxed);
+    }
 
     /** Number of samples that fell above the range. */
-    std::size_t overflow() const { return overflow_; }
+    std::size_t overflow() const
+    {
+        return overflow_.load(std::memory_order_relaxed);
+    }
 
     /** Number of bins. */
     std::size_t numBins() const { return counts_.size(); }
@@ -55,6 +89,12 @@ class Histogram {
     /** Center of bin @p i. */
     double binCenter(std::size_t i) const;
 
+    /** Inclusive lower edge of the whole range. */
+    double lo() const { return lo_; }
+
+    /** Exclusive upper edge of the whole range. */
+    double hi() const { return hi_; }
+
     /** Index of the fullest bin (0 if empty). */
     std::size_t modeBin() const;
 
@@ -63,7 +103,8 @@ class Histogram {
      * inside the bin that crosses the target rank (the standard
      * histogram-quantile estimate; resolution is one bin width).
      * Serving-latency p50/p99 read this. Returns 0 on an empty
-     * histogram; fatal on q outside [0, 1].
+     * histogram; fatal on q outside [0, 1]. Safe to call concurrently
+     * with `add()` (see the @file contract).
      */
     double quantile(double q) const;
 
@@ -77,10 +118,10 @@ class Histogram {
     double lo_;
     double hi_;
     double binWidth_;
-    std::vector<std::size_t> counts_;
-    std::size_t count_ = 0;
-    std::size_t underflow_ = 0;
-    std::size_t overflow_ = 0;
+    std::vector<std::atomic<std::uint64_t>> counts_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> underflow_{0};
+    std::atomic<std::uint64_t> overflow_{0};
 };
 
 }  // namespace ftsim

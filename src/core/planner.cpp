@@ -82,6 +82,27 @@ Planner::setStepCacheCapacity(std::size_t entries)
     return *this;
 }
 
+Planner&
+Planner::bindStats(std::shared_ptr<StatsRegistry> registry,
+                   const std::string& prefix)
+{
+    StatsCounter& hits =
+        registry->counter(strCat(prefix, ".step_cache_hits"));
+    StatsCounter& misses =
+        registry->counter(strCat(prefix, ".step_cache_misses"));
+    return bindStats(std::move(registry), hits, misses);
+}
+
+Planner&
+Planner::bindStats(std::shared_ptr<StatsRegistry> registry,
+                   StatsCounter& hits, StatsCounter& misses)
+{
+    stats_registry_ = std::move(registry);
+    shared_hits_ = &hits;
+    shared_misses_ = &misses;
+    return *this;
+}
+
 Planner::GpuState&
 Planner::stateFor(const GpuSpec& gpu) const
 {
@@ -109,9 +130,13 @@ Planner::profiledStep(GpuState& state, const RunConfig& config) const
         if (std::shared_future<StepProfile>* cached =
                 state.steps.get(key)) {
             ++step_hits_;
+            if (shared_hits_)
+                shared_hits_->inc();
             future = *cached;
         } else {
             ++step_misses_;
+            if (shared_misses_)
+                shared_misses_->inc();
             task = std::packaged_task<StepProfile()>([&state, config] {
                 return state.sim.profileStep(config);
             });

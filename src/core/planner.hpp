@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats_registry.hpp"
 #include "core/cost_model.hpp"
 #include "core/pipeline_types.hpp"
 #include "core/result.hpp"
@@ -110,6 +111,28 @@ class Planner {
      * first query (shards materialize lazily per GPU). Returns *this.
      */
     Planner& setStepCacheCapacity(std::size_t entries);
+
+    /**
+     * Additionally publishes step-cache traffic into @p registry
+     * (`<prefix>.step_cache_hits` / `<prefix>.step_cache_misses`) at
+     * the exact increment sites stats() counts — the fleet-wide cells
+     * the live `stats` scrape reads. The planner keeps @p registry
+     * alive. Setup-time only: bind before the first query (the serving
+     * layer binds at planner construction); not bound = zero overhead,
+     * which is how the perf benches construct planners. Returns *this.
+     */
+    Planner& bindStats(std::shared_ptr<StatsRegistry> registry,
+                       const std::string& prefix = "planner");
+
+    /**
+     * Cell-level bindStats: the caller already registered @p hits and
+     * @p misses in @p registry. Takes no registry lock, so it is safe
+     * under component locks (PlanService binds planners it constructs
+     * inside its planner-pool mutex through this overload; the
+     * registry mutex must never nest inside a component mutex).
+     */
+    Planner& bindStats(std::shared_ptr<StatsRegistry> registry,
+                       StatsCounter& hits, StatsCounter& misses);
 
     // ----- Per-GPU queries (memoized) -----
 
@@ -253,6 +276,11 @@ class Planner {
     mutable std::map<std::string, std::unique_ptr<GpuState>> states_;
     mutable std::atomic<std::uint64_t> step_hits_{0};
     mutable std::atomic<std::uint64_t> step_misses_{0};
+    // Optional shared registry cells, bumped alongside the atomics
+    // above (bindStats); the shared_ptr pins their storage.
+    std::shared_ptr<StatsRegistry> stats_registry_;
+    StatsCounter* shared_hits_ = nullptr;
+    StatsCounter* shared_misses_ = nullptr;
     // resetStats() baselines: stats() reports counters minus these.
     mutable std::atomic<std::uint64_t> hits_base_{0};
     mutable std::atomic<std::uint64_t> misses_base_{0};

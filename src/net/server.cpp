@@ -86,8 +86,24 @@ struct NetServer::Impl {
 
     explicit Impl(NetServerConfig cfg)
         : config(std::move(cfg)),
-          service(std::make_unique<PlanService>(config.service))
+          stats(config.service.statsRegistry
+                    ? config.service.statsRegistry
+                    : std::make_shared<StatsRegistry>()),
+          accepted(stats->counter("net.conn.accepted")),
+          closed(stats->counter("net.conn.closed")),
+          requests(stats->counter("net.requests")),
+          responses(stats->counter("net.responses")),
+          protocolErrors(stats->counter("net.protocol_errors")),
+          oversized(stats->counter("net.oversized_lines")),
+          idleClosed(stats->counter("net.idle_closed")),
+          forcedClosed(stats->counter("net.forced_closed"))
     {
+        // One registry covers both layers of a shard: the service
+        // publishes serve.*/planner.* into the same instance this
+        // front end publishes net.* into, so a single `stats` scrape
+        // (or dump file) is the whole process.
+        config.service.statsRegistry = stats;
+        service = std::make_unique<PlanService>(config.service);
         int fds[2] = {-1, -1};
         if (::pipe(fds) != 0)
             fatal("NetServer: cannot create wake pipe");
@@ -141,7 +157,7 @@ struct NetServer::Impl {
                 ::setsockopt(socket.fd(), SOL_SOCKET, SO_SNDBUF,
                              &bytes, sizeof(bytes));
             }
-            accepted.fetch_add(1);
+            accepted.inc();
             const std::string label =
                 strCat(socket.peer(), '#', accepted.load());
             conns.push_back(std::make_unique<Conn>(
@@ -152,8 +168,8 @@ struct NetServer::Impl {
     void handleFrame(Conn& conn, LineFramer::Frame& frame)
     {
         if (frame.overflow) {
-            oversized.fetch_add(1);
-            protocolErrors.fetch_add(1);
+            oversized.inc();
+            protocolErrors.inc();
             Pending slot;
             slot.immediate = true;
             slot.immediateLine = writeProtocolError(
@@ -166,7 +182,7 @@ struct NetServer::Impl {
             return;
         Result<PlanRequest> request = parsePlanRequest(frame.line);
         if (!request) {
-            protocolErrors.fetch_add(1);
+            protocolErrors.inc();
             Pending slot;
             slot.immediate = true;
             slot.immediateLine =
@@ -174,7 +190,7 @@ struct NetServer::Impl {
             conn.pending.push_back(std::move(slot));
             return;
         }
-        requests.fetch_add(1);
+        requests.inc();
         SubmitOptions options;
         options.source = conn.label;
         options.notify = [this] { wake(); };
@@ -227,7 +243,7 @@ struct NetServer::Impl {
             conn.out += '\n';
             conn.pending.pop_front();
             conn.lastActiveMs = now;
-            responses.fetch_add(1);
+            responses.inc();
         }
     }
 
@@ -279,7 +295,7 @@ struct NetServer::Impl {
                     conn.dead ||
                     (conn.closeAfterFlush && conn.drained());
                 if (done) {
-                    closed.fetch_add(1);
+                    closed.inc();
                     it = conns.erase(it);
                 } else {
                     ++it;
@@ -371,7 +387,7 @@ struct NetServer::Impl {
                 for (auto& conn : conns) {
                     if (conn->dead || conn->drained())
                         continue;
-                    forcedClosed.fetch_add(1);
+                    forcedClosed.inc();
                     conn->dead = true;
                 }
             }
@@ -384,7 +400,7 @@ struct NetServer::Impl {
                         continue;
                     if (now - conn->lastActiveMs >=
                         config.idleTimeoutMs) {
-                        idleClosed.fetch_add(1);
+                        idleClosed.inc();
                         conn->closeAfterFlush = true;
                         conn->inputClosed = true;
                     }
@@ -395,6 +411,9 @@ struct NetServer::Impl {
     }
 
     NetServerConfig config;
+    /** Shard-wide registry, shared with the fronted service (declared
+     *  before the cells below that reference into it). */
+    std::shared_ptr<StatsRegistry> stats;
     /** unique_ptr so ~Impl can drain it before the wake pipe closes. */
     std::unique_ptr<PlanService> service;
     TcpListener listener;
@@ -403,14 +422,17 @@ struct NetServer::Impl {
     std::atomic<bool> stopRequested{false};
     std::vector<std::unique_ptr<Conn>> conns;
 
-    std::atomic<std::uint64_t> accepted{0};
-    std::atomic<std::uint64_t> closed{0};
-    std::atomic<std::uint64_t> requests{0};
-    std::atomic<std::uint64_t> responses{0};
-    std::atomic<std::uint64_t> protocolErrors{0};
-    std::atomic<std::uint64_t> oversized{0};
-    std::atomic<std::uint64_t> idleClosed{0};
-    std::atomic<std::uint64_t> forcedClosed{0};
+    // Registry cells under `net.*`, bumped at the same program points
+    // as the pre-registry atomics they replace (NetServerStats is a
+    // view over them, so pinned values are unchanged).
+    StatsCounter& accepted;
+    StatsCounter& closed;
+    StatsCounter& requests;
+    StatsCounter& responses;
+    StatsCounter& protocolErrors;
+    StatsCounter& oversized;
+    StatsCounter& idleClosed;
+    StatsCounter& forcedClosed;
 };
 
 NetServer::NetServer(NetServerConfig config)
@@ -476,6 +498,12 @@ PlanService&
 NetServer::service()
 {
     return *impl_->service;
+}
+
+const std::shared_ptr<StatsRegistry>&
+NetServer::statsRegistry() const
+{
+    return impl_->stats;
 }
 
 NetServerStats

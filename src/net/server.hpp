@@ -96,7 +96,9 @@ struct NetServerConfig {
     ServiceConfig service;
 };
 
-/** Aggregate front-end counters (service stats live one level down). */
+/** Aggregate front-end counters (service stats live one level down).
+ *  A view over the server's StatsRegistry `net.*` cells since ISSUE-8:
+ *  the live `stats` scrape and this struct always agree. */
 struct NetServerStats {
     std::uint64_t connectionsAccepted = 0;
     std::uint64_t connectionsClosed = 0;
@@ -156,6 +158,12 @@ class NetServer {
 
     /** The fronted service (stats, registry). */
     PlanService& service();
+
+    /** The shard-wide stats registry: this front end's `net.*` cells
+     *  and the fronted service's `serve.*`/`planner.*` cells live in
+     *  the same instance (one `stats` scrape covers the process).
+     *  Shared from NetServerConfig::service.statsRegistry when set. */
+    const std::shared_ptr<StatsRegistry>& statsRegistry() const;
 
     /** Front-end counters (loop-thread maintained; read after stop()
      *  for exact values, mid-run for a live approximation). */

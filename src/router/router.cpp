@@ -5,6 +5,7 @@
 #include <chrono>
 #include <csignal>
 #include <deque>
+#include <map>
 #include <poll.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -68,12 +69,15 @@ struct RouterServer::Impl {
      * rejoiner) rides the same outstanding queues as internal slots
      * that never touch a client connection.
      */
+    struct StatsGather;
+
     struct Slot {
         /** Who consumes the answer. */
         enum class Purpose {
             Client,         ///< A client connection's pending queue.
             SnapshotFetch,  ///< Heal: survivor `snapshot` probe.
             WarmPush,       ///< Heal: `load_snapshot` to the rejoiner.
+            StatsFetch,     ///< Scrape: `stats` probe for a gather.
         };
 
         std::string id;
@@ -92,9 +96,29 @@ struct RouterServer::Impl {
          *  heal attempt it belongs to (stale probes are dropped). */
         std::size_t healTarget = 0;
         std::uint64_t healGen = 0;
+        /** StatsFetch slots: the scrape this probe reports into, and
+         *  the shard name its piece files under. */
+        std::shared_ptr<StatsGather> gather;
+        std::string shardName;
         bool ready = false;
         /** The response line (no terminator) once ready. */
         std::string line;
+    };
+
+    /**
+     * One in-flight fleet-wide `stats` scrape (ISSUE-8). The client's
+     * slot stays unready until every alive shard's probe reports back
+     * — with its sliced stats object, or empty if the shard died
+     * mid-scrape (rendered as `null`; a scrape must never hang on a
+     * death the router already failed over). Multiple scrapes coexist:
+     * each probe slot holds a shared_ptr to its own gather.
+     */
+    struct StatsGather {
+        std::shared_ptr<Slot> client;
+        /** Shard name -> sliced flat stats JSON ("" = unreachable).
+         *  std::map so the merged document lists shards sorted. */
+        std::map<std::string, std::string> pieces;
+        std::size_t awaited = 0;
     };
 
     /** One open client connection (the NetServer per-conn shape). */
@@ -161,8 +185,27 @@ struct RouterServer::Impl {
     };
 
     explicit Impl(RouterConfig cfg)
-        : config(std::move(cfg)), ring(config.virtualNodes)
+        : config(std::move(cfg)),
+          stats(config.statsRegistry
+                    ? config.statsRegistry
+                    : std::make_shared<StatsRegistry>()),
+          ring(config.virtualNodes),
+          accepted(stats->counter("router.conn.accepted")),
+          closed(stats->counter("router.conn.closed")),
+          forwarded(stats->counter("router.forwarded")),
+          responses(stats->counter("router.responses")),
+          protocolErrors(stats->counter("router.protocol_errors")),
+          oversized(stats->counter("router.oversized_lines")),
+          shardFailures(stats->counter("router.shard_failures")),
+          retried(stats->counter("router.retried")),
+          deadlineExpired(stats->counter("router.deadline_expired")),
+          healed(stats->counter("router.healed")),
+          respawned(stats->counter("router.respawned")),
+          fleetQueries(stats->counter("router.fleet_queries")),
+          statsQueries(stats->counter("router.stats_queries")),
+          lastHealMs(stats->gauge("router.last_heal_ms"))
     {
+        lastHealMs.set(-1.0);
         int fds[2] = {-1, -1};
         if (::pipe(fds) != 0)
             fatal("RouterServer: cannot create wake pipe");
@@ -177,14 +220,41 @@ struct RouterServer::Impl {
             shards.push_back(std::make_unique<Shard>(
                 std::move(endpoint), config.maxShardLineBytes));
         }
+        // The shards vector is fixed from here on, and the rows read
+        // only atomics — safe from any snapshotting thread.
+        statsProvider =
+            stats->addProvider([this](StatsRegistry::Sink& sink) {
+                publishShardRows(sink);
+            });
     }
 
     ~Impl()
     {
+        stats->removeProvider(statsProvider);
         if (wakeRead >= 0)
             ::close(wakeRead);
         if (wakeWrite >= 0)
             ::close(wakeWrite);
+    }
+
+    /** Per-shard health rows, contributed to every snapshot. */
+    void publishShardRows(StatsRegistry::Sink& sink) const
+    {
+        std::size_t alive = 0;
+        for (const auto& shard : shards) {
+            const std::string base =
+                strCat("router.shard.", shard->endpoint.name, '.');
+            const bool up =
+                shard->state.load() == ShardState::Alive;
+            alive += up ? 1 : 0;
+            sink.counter(base + "routed", shard->routed.load());
+            sink.counter(base + "dials",
+                         shard->dialAttempts.load());
+            sink.counter(base + "heals", shard->heals.load());
+            sink.gauge(base + "alive", up ? 1.0 : 0.0);
+        }
+        sink.gauge("router.shards_alive",
+                   static_cast<double>(alive));
     }
 
     double clockMs() const
@@ -259,7 +329,11 @@ struct RouterServer::Impl {
         shard.out += slot->requestLine;
         shard.out += '\n';
         ++slot->attempts;
-        if (slot->purpose == Slot::Purpose::Client)
+        // Client and stats-scrape slots get a fresh per-attempt
+        // deadline (a wedged shard must not hang a scrape either);
+        // heal slots keep the heal deadline their caller stamped.
+        if (slot->purpose == Slot::Purpose::Client ||
+            slot->purpose == Slot::Purpose::StatsFetch)
             slot->deadlineAt =
                 config.requestDeadlineMs > 0.0
                     ? clockMs() + config.requestDeadlineMs
@@ -284,10 +358,10 @@ struct RouterServer::Impl {
             Shard& next = *shards[static_cast<std::size_t>(target)];
             enqueueSlot(next, slot);
             next.routed.fetch_add(1);
-            retried.fetch_add(1);
+            retried.inc();
             return;
         }
-        shardFailures.fetch_add(1);
+        shardFailures.inc();
         answerError(*slot, ErrorCode::Unavailable,
                     strCat("shard \"", deadShard.endpoint.name, "\" ",
                            why,
@@ -318,6 +392,10 @@ struct RouterServer::Impl {
         for (const std::shared_ptr<Slot>& slot : orphans) {
             if (slot->purpose == Slot::Purpose::Client) {
                 retryOrFail(slot, shard, why);
+            } else if (slot->purpose == Slot::Purpose::StatsFetch) {
+                // The scrape reports this shard as null rather than
+                // hanging on (or failing) the whole document.
+                noteStatsPiece(*slot, std::string());
             } else if (slot->healGen ==
                        shards[slot->healTarget]->healGen) {
                 // A heal probe was riding this (now dead) survivor:
@@ -437,8 +515,8 @@ struct RouterServer::Impl {
         ring.addShard(index, shard.endpoint.name);
         shard.backoffMs = 0.0;
         shard.heals.fetch_add(1);
-        healed.fetch_add(1);
-        lastHealMs.store(clockMs());
+        healed.inc();
+        lastHealMs.set(clockMs());
     }
 
     /**
@@ -448,6 +526,12 @@ struct RouterServer::Impl {
      */
     void onInternalResponse(const Slot& slot, const std::string& line)
     {
+        if (slot.purpose == Slot::Purpose::StatsFetch) {
+            // Before the heal bookkeeping: a stats probe has no heal
+            // target, so slot.healTarget must not be dereferenced.
+            noteStatsPiece(slot, sliceStatsObject(line));
+            return;
+        }
         Shard& target = *shards[slot.healTarget];
         if (slot.healGen != target.healGen ||
             target.state.load() != ShardState::Warming)
@@ -516,7 +600,7 @@ struct RouterServer::Impl {
             ::_exit(127);  // Post-fork: only exec or die is safe.
         }
         children.push_back(pid);
-        respawned.fetch_add(1);
+        respawned.inc();
     }
 
     void reapChildren()
@@ -529,13 +613,124 @@ struct RouterServer::Impl {
         }
     }
 
+    // ---- Fleet-wide stats scrape (ISSUE-8) ----------------------------
+
+    /**
+     * Slices the flat `"stats":{...}` object out of a shard's `stats`
+     * response line, byte-verbatim. Unlike the snapshot payload
+     * (base64), stats JSON contains quoted names that may hold escapes,
+     * so this is a string-aware brace matcher, not a find('}'). Returns
+     * "" when the line carries no well-formed stats object (e.g. the
+     * shard answered an error) — rendered as `null` in the merge.
+     */
+    static std::string sliceStatsObject(const std::string& line)
+    {
+        static const std::string kField = "\"stats\":";
+        const std::size_t at = line.find(kField);
+        if (at == std::string::npos)
+            return std::string();
+        const std::size_t open = at + kField.size();
+        if (open >= line.size() || line[open] != '{')
+            return std::string();
+        bool inString = false;
+        bool escaped = false;
+        int depth = 0;
+        for (std::size_t i = open; i < line.size(); ++i) {
+            const char c = line[i];
+            if (inString) {
+                if (escaped)
+                    escaped = false;
+                else if (c == '\\')
+                    escaped = true;
+                else if (c == '"')
+                    inString = false;
+            } else if (c == '"') {
+                inString = true;
+            } else if (c == '{') {
+                ++depth;
+            } else if (c == '}' && --depth == 0) {
+                return line.substr(open, i - open + 1);
+            }
+        }
+        return std::string();
+    }
+
+    /**
+     * Fans `{"query":"stats"}` to every alive shard and parks the
+     * client's slot on the resulting gather. Probes ride the normal
+     * outstanding queues (request-order fill, shard-death orphaning,
+     * answer deadlines) but are *not* client traffic: they bump neither
+     * `forwarded` nor the per-shard `routed` ledger — a scrape must
+     * never perturb the counters it reads. An empty fleet answers
+     * immediately with only the router's own registry.
+     */
+    void beginStatsGather(const std::shared_ptr<Slot>& slot)
+    {
+        statsQueries.inc();
+        auto gather = std::make_shared<StatsGather>();
+        gather->client = slot;
+        for (const auto& shard : shards) {
+            if (shard->state.load() != ShardState::Alive)
+                continue;
+            auto fetch = std::make_shared<Slot>();
+            fetch->purpose = Slot::Purpose::StatsFetch;
+            fetch->gather = gather;
+            fetch->shardName = shard->endpoint.name;
+            fetch->requestLine = "{\"query\":\"stats\"}";
+            enqueueSlot(*shard, fetch);
+            ++gather->awaited;
+        }
+        if (gather->awaited == 0)
+            finishStatsGather(*gather);
+    }
+
+    /** One probe reported (piece, or "" for a shard lost mid-scrape);
+     *  the last one in completes the client's answer. */
+    void noteStatsPiece(const Slot& probe, std::string piece)
+    {
+        StatsGather& gather = *probe.gather;
+        gather.pieces[probe.shardName] = std::move(piece);
+        if (--gather.awaited == 0)
+            finishStatsGather(gather);
+    }
+
+    /** Composes the merged scrape document and readies the client's
+     *  slot: the router's own registry snapshot under "router", each
+     *  shard's sliced stats object (or null) under "shards". */
+    void finishStatsGather(StatsGather& gather)
+    {
+        std::string merged =
+            strCat("{\"router\":", stats->snapshot().toJson(),
+                   ",\"shards\":{");
+        bool first = true;
+        for (const auto& [name, piece] : gather.pieces) {
+            if (!first)
+                merged += ',';
+            first = false;
+            merged += jsonQuote(name);
+            merged += ':';
+            merged += piece.empty() ? "null" : piece;
+        }
+        merged += "}}";
+        Slot& slot = *gather.client;
+        PlanResponse response;
+        response.id = slot.id;
+        response.query = QueryKind::Stats;
+        response.ok = true;
+        response.value =
+            static_cast<double>(gather.pieces.size());
+        response.statsJson = std::move(merged);
+        slot.line = writePlanResponse(response);
+        slot.ready = true;
+    }
+
     // ---- Event handlers -----------------------------------------------
 
     /** The router's own `fleet` answer: lifecycle state, routing, and
      *  the ISSUE-7 failover/heal ledger. */
     void answerFleet(Slot& slot)
     {
-        fleetQueries.fetch_add(1);
+        fleetQueries.inc();
         PlanResponse response;
         response.id = slot.id;
         response.query = QueryKind::Fleet;
@@ -565,8 +760,8 @@ struct RouterServer::Impl {
     void handleFrame(Conn& conn, LineFramer::Frame& frame)
     {
         if (frame.overflow) {
-            oversized.fetch_add(1);
-            protocolErrors.fetch_add(1);
+            oversized.inc();
+            protocolErrors.inc();
             auto slot = std::make_shared<Slot>();
             slot->line = writeProtocolError(
                 "", strCat("request line exceeds ",
@@ -582,7 +777,7 @@ struct RouterServer::Impl {
         // must be answered here (there is no shard for it).
         Result<PlanRequest> request = parsePlanRequest(frame.line);
         if (!request) {
-            protocolErrors.fetch_add(1);
+            protocolErrors.inc();
             auto slot = std::make_shared<Slot>();
             slot->line =
                 writeProtocolError("", request.error().message);
@@ -600,11 +795,18 @@ struct RouterServer::Impl {
             conn.pending.push_back(std::move(slot));
             return;
         }
+        if (slot->query == QueryKind::Stats) {
+            // Intercepted: scatter-gathered across the fleet instead
+            // of routed to one shard (see beginStatsGather).
+            beginStatsGather(slot);
+            conn.pending.push_back(std::move(slot));
+            return;
+        }
         slot->key = request.value().canonicalKey();
         slot->requestLine = std::move(frame.line);
         const int target = ring.shardFor(slot->key);
         if (target < 0) {
-            shardFailures.fetch_add(1);
+            shardFailures.inc();
             answerError(*slot, ErrorCode::Unavailable,
                         "no live shards");
             conn.pending.push_back(std::move(slot));
@@ -616,7 +818,7 @@ struct RouterServer::Impl {
         // risk perturbing the bytes the golden gate diffs.
         enqueueSlot(shard, slot);
         shard.routed.fetch_add(1);
-        forwarded.fetch_add(1);
+        forwarded.inc();
         conn.pending.push_back(std::move(slot));
     }
 
@@ -719,7 +921,7 @@ struct RouterServer::Impl {
             conn.out += conn.pending.front()->line;
             conn.out += '\n';
             conn.pending.pop_front();
-            responses.fetch_add(1);
+            responses.inc();
         }
     }
 
@@ -749,7 +951,7 @@ struct RouterServer::Impl {
             Connection socket = listener.accept();
             if (!socket.valid())
                 break;
-            accepted.fetch_add(1);
+            accepted.inc();
             conns.push_back(std::make_unique<Conn>(
                 std::move(socket), config.maxLineBytes));
         }
@@ -770,7 +972,7 @@ struct RouterServer::Impl {
                     // the next to expire.
                     if (front.deadlineAt > 0.0 &&
                         now >= front.deadlineAt) {
-                        deadlineExpired.fetch_add(1);
+                        deadlineExpired.inc();
                         markShardDead(
                             shard, i,
                             "missed its answer deadline (wedged)");
@@ -841,7 +1043,7 @@ struct RouterServer::Impl {
                     conn.dead ||
                     (conn.closeAfterFlush && conn.drained());
                 if (done) {
-                    closed.fetch_add(1);
+                    closed.inc();
                     it = conns.erase(it);
                 } else {
                     ++it;
@@ -969,6 +1171,9 @@ struct RouterServer::Impl {
     }
 
     RouterConfig config;
+    /** The registry behind every counter below (+ provider rows);
+     *  shared with the daemon when RouterConfig supplied one. */
+    std::shared_ptr<StatsRegistry> stats;
     TcpListener listener;
     HashRing ring;
     int wakeRead = -1;
@@ -977,20 +1182,25 @@ struct RouterServer::Impl {
     std::vector<std::unique_ptr<Conn>> conns;
     std::vector<std::unique_ptr<Shard>> shards;
     std::vector<pid_t> children;  ///< Respawned workers (loop-owned).
+    std::size_t statsProvider = 0;
 
-    std::atomic<std::uint64_t> accepted{0};
-    std::atomic<std::uint64_t> closed{0};
-    std::atomic<std::uint64_t> forwarded{0};
-    std::atomic<std::uint64_t> responses{0};
-    std::atomic<std::uint64_t> protocolErrors{0};
-    std::atomic<std::uint64_t> oversized{0};
-    std::atomic<std::uint64_t> shardFailures{0};
-    std::atomic<std::uint64_t> retried{0};
-    std::atomic<std::uint64_t> deadlineExpired{0};
-    std::atomic<std::uint64_t> healed{0};
-    std::atomic<std::uint64_t> respawned{0};
-    std::atomic<double> lastHealMs{-1.0};
-    std::atomic<std::uint64_t> fleetQueries{0};
+    // Registry-backed cells (ISSUE-8). Same increment sites as the
+    // pre-registry atomics, so every pinned BENCH counter keeps its
+    // exact value; RouterStats is now a view over these.
+    StatsCounter& accepted;
+    StatsCounter& closed;
+    StatsCounter& forwarded;
+    StatsCounter& responses;
+    StatsCounter& protocolErrors;
+    StatsCounter& oversized;
+    StatsCounter& shardFailures;
+    StatsCounter& retried;
+    StatsCounter& deadlineExpired;
+    StatsCounter& healed;
+    StatsCounter& respawned;
+    StatsCounter& fleetQueries;
+    StatsCounter& statsQueries;
+    StatsGauge& lastHealMs;
 };
 
 RouterServer::RouterServer(RouterConfig config)
@@ -1061,6 +1271,12 @@ RouterServer::stop()
         loop_thread_.join();
 }
 
+const std::shared_ptr<StatsRegistry>&
+RouterServer::statsRegistry() const
+{
+    return impl_->stats;
+}
+
 RouterStats
 RouterServer::stats() const
 {
@@ -1080,6 +1296,7 @@ RouterServer::stats() const
     out.respawned = impl_->respawned.load();
     out.lastHealMs = impl_->lastHealMs.load();
     out.fleetQueries = impl_->fleetQueries.load();
+    out.statsQueries = impl_->statsQueries.load();
     for (const auto& shard : impl_->shards) {
         ShardHealth row;
         row.name = shard->endpoint.name;

@@ -36,6 +36,13 @@
  *  - lines that fail to parse (typed protocol error, connection lives);
  *  - `fleet` queries (shard health + per-shard routed counters — ask a
  *    shard's port directly for *its* counters);
+ *  - `stats` queries (ISSUE-8): scatter-gathered, not routed. The
+ *    router fans `{"query":"stats"}` to every alive shard over the
+ *    normal outstanding queues, slices the flat stats object out of
+ *    each response byte-verbatim, and answers one merged document —
+ *    `{"router":{...own registry...},"shards":{"<name>":{...},...}}` —
+ *    with `null` for a shard that died mid-scrape. Internal stats
+ *    fetches never count as forwarded/routed traffic;
  *  - anything routed while no shard is alive (`Unavailable`).
  *
  * Shard failure — retry/failover (ISSUE-7): every planning query is
@@ -81,6 +88,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/stats_registry.hpp"
 
 namespace ftsim {
 
@@ -134,6 +142,11 @@ struct RouterConfig {
     /** Monotonic clock in ms for deadlines/backoff; unset = wall
      *  steady_clock. Tests inject virtual time here. */
     std::function<double()> clock;
+    /** Registry the router publishes its `router.*` cells into; null =
+     *  the server creates a private one (statsRegistry() exposes it).
+     *  Per-shard health rows join every snapshot as
+     *  `router.shard.<name>.routed/dials/heals/alive` provider rows. */
+    std::shared_ptr<StatsRegistry> statsRegistry;
 };
 
 /** Where a shard is in its death/heal lifecycle (see file comment). */
@@ -162,7 +175,9 @@ struct ShardHealth {
     std::uint64_t heals = 0;
 };
 
-/** Aggregate router counters (loop-thread maintained). */
+/** Aggregate router counters (loop-thread maintained). A view over
+ *  the router's StatsRegistry `router.*` cells since ISSUE-8: the
+ *  live `stats` scrape and this struct always agree. */
 struct RouterStats {
     std::uint64_t connectionsAccepted = 0;
     std::uint64_t connectionsClosed = 0;
@@ -191,6 +206,8 @@ struct RouterStats {
     double lastHealMs = -1.0;
     /** `fleet` queries answered by the router itself. */
     std::uint64_t fleetQueries = 0;
+    /** `stats` queries scatter-gathered across the fleet. */
+    std::uint64_t statsQueries = 0;
     std::size_t shardsAlive = 0;
     std::vector<ShardHealth> shards;
 };
@@ -236,6 +253,11 @@ class RouterServer {
 
     /** True once run() has returned. */
     bool stopped() const { return loop_done_.load(); }
+
+    /** The router's stats registry (`router.*` cells + per-shard
+     *  provider rows). Shared from RouterConfig::statsRegistry when
+     *  set; otherwise a private instance. */
+    const std::shared_ptr<StatsRegistry>& statsRegistry() const;
 
     RouterStats stats() const;
 

@@ -32,14 +32,36 @@ PlanService::PlanService(ServiceConfig config)
       answers_(config_.maxAnswers),
       planners_(config_.maxPlanners),
       sources_(config_.maxSources),
-      latency_(0.0, config_.latencyMaxMs > 0.0 ? config_.latencyMaxMs
-                                               : 10000.0,
-               4096),
+      stats_(config_.statsRegistry
+                 ? config_.statsRegistry
+                 : std::make_shared<StatsRegistry>()),
+      requests_(stats_->counter("serve.requests")),
+      coalesced_(stats_->counter("serve.coalesced")),
+      executed_(stats_->counter("serve.executed")),
+      rate_limited_(stats_->counter("serve.rate_limited")),
+      planners_created_(stats_->counter("serve.planners.created")),
+      planner_reuses_(stats_->counter("serve.planners.reuses")),
+      planner_hits_(stats_->counter("planner.step_cache_hits")),
+      planner_misses_(stats_->counter("planner.step_cache_misses")),
+      latency_(stats_->histogram("serve.latency_ms", 0.0,
+                                 config_.latencyMaxMs > 0.0
+                                     ? config_.latencyMaxMs
+                                     : 10000.0,
+                                 4096)),
       pool_(config_.workers > 0 ? config_.workers : hardwareThreads())
 {
+    stats_provider_ = stats_->addProvider(
+        [this](StatsRegistry::Sink& sink) { publishDynamicStats(sink); });
 }
 
-PlanService::~PlanService() = default;
+PlanService::~PlanService()
+{
+    // The registry may outlive this service (it is shared with the
+    // network front end); unhook the snapshot provider before the
+    // members it reads are torn down. The cells themselves stay valid
+    // until stats_ releases its reference, after pool_ joins.
+    stats_->removeProvider(stats_provider_);
+}
 
 double
 PlanService::clockMs() const
@@ -200,7 +222,7 @@ std::shared_future<PlanResponse>
 PlanService::submit(const PlanRequest& request,
                     const SubmitOptions& options)
 {
-    requests_.fetch_add(1);
+    requests_.inc();
 
     // Live introspection answers synchronously from current state:
     // caching a snapshot would serve stale bytes the moment another
@@ -209,7 +231,7 @@ PlanService::submit(const PlanRequest& request,
     // rejects a tenant on these kinds. Counted under executed so the
     // requests = executed + coalesced + rateLimited ledger holds.
     if (isLiveKind(request.query)) {
-        executed_.fetch_add(1);
+        executed_.inc();
         noteSource(options.source, false, false);
         std::promise<PlanResponse> ready;
         ready.set_value(liveAnswer(request));
@@ -227,7 +249,7 @@ PlanService::submit(const PlanRequest& request,
     if (governed) {
         Result<bool> admitted = admitTenant(request.tenant);
         if (!admitted) {
-            rate_limited_.fetch_add(1);
+            rate_limited_.inc();
             noteSource(options.source, false, true);
             PlanResponse rejection =
                 errorResponse(request, admitted.error());
@@ -253,7 +275,7 @@ PlanService::submit(const PlanRequest& request,
         if (std::shared_future<PlanResponse>* cached =
                 answers_.get(key)) {
             // Answered before: share the completed execution.
-            coalesced_.fetch_add(1);
+            coalesced_.inc();
             future = *cached;
             ready_now = true;
         } else if (auto it = inflight_.find(key);
@@ -262,7 +284,7 @@ PlanService::submit(const PlanRequest& request,
             // inflight slot is held until that execution finishes,
             // and the entry carries this submission's completion
             // callback alongside the earlier ones.
-            coalesced_.fetch_add(1);
+            coalesced_.inc();
             if (governed)
                 it->second->waitingTenants.push_back(request.tenant);
             if (options.notify)
@@ -313,7 +335,7 @@ PlanService::submit(const PlanRequest& request,
                     response.id.clear();
                 }
                 recordLatencyMs(clockMs() - enqueued_ms);
-                executed_.fetch_add(1);
+                executed_.inc();
                 finishExecution(key, cacheable, *promise,
                                 std::move(response));
             };
@@ -352,6 +374,15 @@ PlanService::liveAnswer(const PlanRequest& request) const
         response.snapshot = saveRegistrySnapshot(*registry_);
         response.value =
             static_cast<double>(response.snapshot.size());
+        return response;
+    }
+    if (kind == QueryKind::Stats) {
+        // Live registry scrape: every cell read atomically, providers
+        // contribute the dynamic rows (tenants, sources, LRU sizes),
+        // serialized once here so the wire payload is self-contained.
+        const StatsSnapshot snap = stats_->snapshot();
+        response.value = static_cast<double>(snap.entries.size());
+        response.statsJson = snap.toJson();
         return response;
     }
     if (kind == QueryKind::LoadSnapshot) {
@@ -403,7 +434,7 @@ PlanService::plannerFor(const PlanRequest& request)
         strCat(request.plannerKey(), '|', catalog_fingerprint_);
     std::lock_guard<std::mutex> lock(planners_mutex_);
     if (std::shared_ptr<Planner>* pooled = planners_.get(key)) {
-        planner_reuses_.fetch_add(1);
+        planner_reuses_.inc();
         return *pooled;
     }
     CloudCatalog catalog = config_.catalog;
@@ -413,7 +444,11 @@ PlanService::plannerFor(const PlanRequest& request)
                                              std::move(catalog),
                                              registry_);
     planner->setParallelism(config_.plannerParallelism);
-    planners_created_.fetch_add(1);
+    // Cell-level bind: we hold planners_mutex_, so the registry mutex
+    // must not be taken here (the snapshot provider acquires them in
+    // the opposite order).
+    planner->bindStats(stats_, planner_hits_, planner_misses_);
+    planners_created_.inc();
     // Freeze an evicted planner's step count into the retired total —
     // the fleet-wide stepsSimulated must not forget work just because
     // its planner aged out. (A request still holding the shared_ptr
@@ -529,6 +564,7 @@ PlanService::answer(const PlanRequest& request)
     case QueryKind::Snapshot:
     case QueryKind::Fleet:
     case QueryKind::LoadSnapshot:
+    case QueryKind::Stats:
         // Intercepted in submit() before execution; reaching the
         // planner path would mean a bug, not a bad request.
         return errorResponse(
@@ -541,7 +577,8 @@ PlanService::answer(const PlanRequest& request)
 void
 PlanService::recordLatencyMs(double ms)
 {
-    std::lock_guard<std::mutex> lock(latency_mutex_);
+    // Lock-free: the histogram is internally atomic (torn-free
+    // concurrent quantiles), so the old latency mutex is gone.
     latency_.add(ms);
 }
 
@@ -594,12 +631,61 @@ PlanService::stats() const
                 out.sources.emplace(name, row);
             });
     }
-    {
-        std::lock_guard<std::mutex> lock(latency_mutex_);
-        out.p50LatencyMs = latency_.quantile(0.5);
-        out.p99LatencyMs = latency_.quantile(0.99);
-    }
+    out.p50LatencyMs = latency_.quantile(0.5);
+    out.p99LatencyMs = latency_.quantile(0.99);
     return out;
+}
+
+void
+PlanService::publishDynamicStats(StatsRegistry::Sink& sink) const
+{
+    sink.counter("serve.plans.compiled", registry_->plansCompiled());
+    sink.counter("serve.plans.loaded", registry_->plansLoaded());
+    sink.counter("serve.plans.registry_hits", registry_->planHits());
+    sink.counter("serve.queue_depth", pool_.pendingTasks());
+    {
+        std::lock_guard<std::mutex> lock(planners_mutex_);
+        sink.counter("serve.planners.cached", planners_.size());
+        sink.counter("serve.planners.evicted", planners_.evictions());
+        std::uint64_t steps = retired_planner_steps_.load();
+        planners_.forEach(
+            [&steps](const std::string&,
+                     const std::shared_ptr<Planner>& planner) {
+                steps += planner->stats().stepsSimulated;
+            });
+        sink.counter("serve.steps_simulated", steps);
+    }
+    {
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        sink.counter("serve.answers.cached", answers_.size());
+        sink.counter("serve.answers.peak", answers_.peakSize());
+        sink.counter("serve.answers.evicted", answers_.evictions());
+        sink.counter("serve.answers.inflight", inflight_.size());
+    }
+    {
+        std::lock_guard<std::mutex> lock(tenants_mutex_);
+        for (const auto& [name, state] : tenants_) {
+            const std::string prefix = strCat("serve.tenant.", name, '.');
+            sink.counter(strCat(prefix, "admitted"), state.admitted);
+            sink.counter(strCat(prefix, "rejected_inflight"),
+                         state.rejectedInflight);
+            sink.counter(strCat(prefix, "rejected_rate"),
+                         state.rejectedRate);
+            sink.counter(strCat(prefix, "inflight"), state.inflight);
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(sources_mutex_);
+        sources_.forEach(
+            [&sink](const std::string& name, const SourceStats& row) {
+                const std::string prefix =
+                    strCat("serve.source.", name, '.');
+                sink.counter(strCat(prefix, "requests"), row.requests);
+                sink.counter(strCat(prefix, "coalesced"), row.coalesced);
+                sink.counter(strCat(prefix, "rate_limited"),
+                             row.rateLimited);
+            });
+    }
 }
 
 }  // namespace ftsim

@@ -71,6 +71,7 @@
 
 #include "common/histogram.hpp"
 #include "common/lru_cache.hpp"
+#include "common/stats_registry.hpp"
 #include "common/parallel.hpp"
 #include "core/planner.hpp"
 #include "gpusim/plan_registry.hpp"
@@ -89,6 +90,14 @@ struct ServiceConfig {
     CloudCatalog catalog = CloudCatalog::cudoCompute();
     /** Upper edge of the latency histogram (10s of headroom). */
     double latencyMaxMs = 10000.0;
+    /**
+     * Registry every service counter is published into under `serve.*`
+     * (and `planner.*` for the shared step-cache cells); the `stats`
+     * live query scrapes it. Null = the service creates a private one.
+     * The network front end passes its own so one registry covers both
+     * layers of a shard (see net/server.hpp).
+     */
+    std::shared_ptr<StatsRegistry> statsRegistry;
 
     // ----- Resource governance (0 = unbounded/disabled; only
     // maxTenants defaults to a real bound) --------------------------
@@ -186,7 +195,12 @@ struct TenantStats {
     std::uint64_t inflight = 0;
 };
 
-/** One stats() snapshot; deltas between snapshots are meaningful. */
+/**
+ * One stats() snapshot; deltas between snapshots are meaningful.
+ * Since ISSUE-8 this struct is a *view* over the service's
+ * StatsRegistry: every scalar below reads the same registry cell the
+ * live `stats` scrape serializes, so both surfaces always agree.
+ */
 struct ServiceStats {
     /** Requests submitted (admitted or not). */
     std::uint64_t requests = 0;
@@ -281,6 +295,13 @@ class PlanService {
         return registry_;
     }
 
+    /** The stats registry this service publishes into (never null;
+     *  ServiceConfig::statsRegistry or a private one). */
+    const std::shared_ptr<StatsRegistry>& statsRegistry() const
+    {
+        return stats_;
+    }
+
     /** The base catalog (request rates extend copies, not this). */
     const CloudCatalog& catalog() const { return config_.catalog; }
 
@@ -369,6 +390,13 @@ class PlanService {
 
     void recordLatencyMs(double ms);
 
+    /** Snapshot-time provider: contributes the derived and dynamic
+     *  rows (LRU sizes, aggregate steps, per-tenant/per-source tables)
+     *  that have no fixed cell to publish into. Runs under the
+     *  registry mutex and takes the component mutexes below — the
+     *  registry -> service lock order nothing may invert. */
+    void publishDynamicStats(StatsRegistry::Sink& sink) const;
+
     ServiceConfig config_;
     /** Effective token-bucket depth (tenantBurst with its default). */
     double tenant_burst_ = 0.0;
@@ -400,15 +428,30 @@ class PlanService {
     /** SubmitOptions::source -> counters, LRU-bounded (maxSources). */
     LruCache<std::string, SourceStats> sources_;
 
-    std::atomic<std::uint64_t> requests_{0};
-    std::atomic<std::uint64_t> coalesced_{0};
-    std::atomic<std::uint64_t> executed_{0};
-    std::atomic<std::uint64_t> rate_limited_{0};
-    std::atomic<std::uint64_t> planners_created_{0};
-    std::atomic<std::uint64_t> planner_reuses_{0};
+    /** The registry every counter below lives in (declared before the
+     *  cell references it hands out; never reseated). */
+    std::shared_ptr<StatsRegistry> stats_;
+    /** publishDynamicStats registration, removed in the destructor. */
+    std::size_t stats_provider_ = 0;
 
-    mutable std::mutex latency_mutex_;
-    Histogram latency_;
+    // Registry cells under `serve.*`; bumped at the same program points
+    // as the pre-registry atomics they replace, so every pinned
+    // counter value is unchanged. Publishing is lock-free relaxed.
+    StatsCounter& requests_;
+    StatsCounter& coalesced_;
+    StatsCounter& executed_;
+    StatsCounter& rate_limited_;
+    StatsCounter& planners_created_;
+    StatsCounter& planner_reuses_;
+    /** Shared `planner.*` step-cache cells, registered once here so
+     *  plannerFor can bind new planners while holding its pool lock
+     *  (the registry mutex never nests inside a component mutex). */
+    StatsCounter& planner_hits_;
+    StatsCounter& planner_misses_;
+
+    /** Submit-to-answer latency; internally atomic (lock-free adds and
+     *  torn-free quantiles — see common/histogram.hpp). */
+    Histogram& latency_;
 
     /** Last member: destroyed (drained + joined) first, while the
      *  maps and registry its tasks touch are still alive. */

@@ -454,7 +454,7 @@ bool
 isLiveKind(QueryKind kind)
 {
     return kind == QueryKind::Snapshot || kind == QueryKind::Fleet ||
-           kind == QueryKind::LoadSnapshot;
+           kind == QueryKind::LoadSnapshot || kind == QueryKind::Stats;
 }
 
 const char*
@@ -469,6 +469,7 @@ queryKindName(QueryKind kind)
     case QueryKind::Snapshot: return "snapshot";
     case QueryKind::Fleet: return "fleet";
     case QueryKind::LoadSnapshot: return "load_snapshot";
+    case QueryKind::Stats: return "stats";
     }
     return "?";
 }
@@ -480,7 +481,7 @@ parseQueryKind(const std::string& name)
          {QueryKind::MaxBatch, QueryKind::Throughput,
           QueryKind::CostTable, QueryKind::CheapestPlan,
           QueryKind::Report, QueryKind::Snapshot, QueryKind::Fleet,
-          QueryKind::LoadSnapshot})
+          QueryKind::LoadSnapshot, QueryKind::Stats})
         if (name == queryKindName(kind))
             return kind;
     return Error{ErrorCode::InvalidArgument,
@@ -732,6 +733,15 @@ writePlanResponse(const PlanResponse& response)
         // = plans adopted from the payload. report = status text.
         out += strCat(",\"value\":", fmtNumber(response.value),
                       ",\"report\":", quoted(response.report));
+        break;
+    case QueryKind::Stats:
+        // value = entry count; statsJson is already a serialized JSON
+        // object (StatsSnapshot::toJson() or the router aggregate) and
+        // embeds verbatim so shard payloads forward byte-identically.
+        out += strCat(",\"value\":", fmtNumber(response.value),
+                      ",\"stats\":",
+                      response.statsJson.empty() ? "{}"
+                                                 : response.statsJson);
         break;
     }
     out += "}";

@@ -68,14 +68,19 @@ enum class QueryKind {
      *  request's `snapshot` field (base64 on the wire); hostile bytes
      *  answer the typed errors of gpusim/registry_snapshot.hpp. */
     LoadSnapshot,
+    /** Live scrape of the serving stack's StatsRegistry (ISSUE-8):
+     *  answers the full counter/gauge/histogram snapshot as a flat
+     *  JSON object under `stats`. The router intercepts it and
+     *  aggregates every shard's answer under per-shard namespacing. */
+    Stats,
 };
 
 /** Wire name of a query kind ("max_batch", ...). */
 const char* queryKindName(QueryKind kind);
 
 /**
- * True for the introspection kinds (snapshot / fleet / load_snapshot):
- * answered synchronously from live service state, never cached,
+ * True for the introspection kinds (snapshot / fleet / load_snapshot /
+ * stats): answered synchronously from live service state, never cached,
  * coalesced, or billed, and they take no workload fields (gpu /
  * scenario / rates / tenant).
  */
@@ -141,6 +146,11 @@ struct PlanResponse {
     /** snapshot payload, *raw* bytes (the writer base64-encodes; see
      *  gpusim/registry_snapshot.hpp for the format inside). */
     std::string snapshot;
+    /** stats answers: the registry snapshot, pre-serialized as one flat
+     *  JSON object (StatsSnapshot::toJson(), or the router's
+     *  {"router":{...},"shards":{...}} aggregate). Embedded verbatim by
+     *  the writer, so shard payloads forward byte-identically. */
+    std::string statsJson;
 };
 
 /**

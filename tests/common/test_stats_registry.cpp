@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Unit tests for the fleet-wide stats registry (ISSUE-8): cell
+ * registration and stability, provider rows, snapshot consistency
+ * under a publishing herd, JSON/CSV rendering (escaping included),
+ * and the torn-value-free concurrent Histogram contract the registry
+ * leans on for latency quantiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats_registry.hpp"
+
+namespace ftsim {
+namespace {
+
+TEST(StatsRegistry, CountersAndGaugesRoundTrip)
+{
+    StatsRegistry registry;
+    StatsCounter& requests = registry.counter("serve.requests");
+    StatsGauge& depth = registry.gauge("serve.queue_depth");
+    requests.add(3);
+    requests.inc();
+    depth.set(7.5);
+
+    const StatsSnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counter("serve.requests"), 4u);
+    const StatEntry* gauge = snap.find("serve.queue_depth");
+    ASSERT_NE(gauge, nullptr);
+    EXPECT_FALSE(gauge->integral);
+    EXPECT_DOUBLE_EQ(gauge->value, 7.5);
+    // Absent names read as zero / null, never throw.
+    EXPECT_EQ(snap.counter("no.such.cell"), 0u);
+    EXPECT_EQ(snap.find("no.such.cell"), nullptr);
+}
+
+TEST(StatsRegistry, SameNameReturnsSameCell)
+{
+    StatsRegistry registry;
+    StatsCounter& a = registry.counter("x.hits");
+    StatsCounter& b = registry.counter("x.hits");
+    EXPECT_EQ(&a, &b);
+    a.inc();
+    EXPECT_EQ(b.load(), 1u);
+    StatsGauge& g1 = registry.gauge("x.level");
+    StatsGauge& g2 = registry.gauge("x.level");
+    EXPECT_EQ(&g1, &g2);
+    Histogram& h1 = registry.histogram("x.lat", 0.0, 10.0, 8);
+    Histogram& h2 = registry.histogram("x.lat", 0.0, 99.0, 4);
+    EXPECT_EQ(&h1, &h2);  // Shape applies on first registration only.
+    EXPECT_EQ(h2.numBins(), 8u);
+}
+
+TEST(StatsRegistry, SnapshotIsSortedByName)
+{
+    StatsRegistry registry;
+    registry.counter("z.last").inc();
+    registry.counter("a.first").inc();
+    registry.counter("m.middle").inc();
+    const StatsSnapshot snap = registry.snapshot();
+    ASSERT_GE(snap.entries.size(), 3u);
+    for (std::size_t i = 1; i < snap.entries.size(); ++i)
+        EXPECT_LT(snap.entries[i - 1].name, snap.entries[i].name);
+}
+
+TEST(StatsRegistry, HistogramCellExposesCountAndQuantiles)
+{
+    StatsRegistry registry;
+    Histogram& lat = registry.histogram("rpc.ms", 0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        lat.add(static_cast<double>(i));
+    const StatsSnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counter("rpc.ms.count"), 100u);
+    const StatEntry* p50 = snap.find("rpc.ms.p50");
+    const StatEntry* p99 = snap.find("rpc.ms.p99");
+    ASSERT_NE(p50, nullptr);
+    ASSERT_NE(p99, nullptr);
+    EXPECT_NEAR(p50->value, 50.0, 2.0);
+    EXPECT_NEAR(p99->value, 99.0, 2.0);
+}
+
+TEST(StatsRegistry, ProvidersContributeRowsAndUnregister)
+{
+    StatsRegistry registry;
+    const std::size_t token =
+        registry.addProvider([](StatsRegistry::Sink& sink) {
+            sink.counter("dyn.rows", 42);
+            sink.gauge("dyn.level", -1.5);
+        });
+    StatsSnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counter("dyn.rows"), 42u);
+    const StatEntry* level = snap.find("dyn.level");
+    ASSERT_NE(level, nullptr);
+    EXPECT_DOUBLE_EQ(level->value, -1.5);
+
+    registry.removeProvider(token);
+    snap = registry.snapshot();
+    EXPECT_EQ(snap.find("dyn.rows"), nullptr);
+}
+
+TEST(StatsRegistry, JsonIsFlatAndEscaped)
+{
+    StatsRegistry registry;
+    registry.counter("a.count").add(7);
+    registry.gauge("weird\"name\\with\ttabs").set(1.5);
+    const std::string json = registry.snapshot().toJson();
+    EXPECT_NE(json.find("\"a.count\":7"), std::string::npos);
+    // Quote, backslash, and tab all escape into valid JSON.
+    EXPECT_NE(json.find("\"weird\\\"name\\\\with\\ttabs\":1.5"),
+              std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST(StatsRegistry, JsonQuoteEscapesControlBytes)
+{
+    EXPECT_EQ(jsonQuote("plain"), "\"plain\"");
+    EXPECT_EQ(jsonQuote("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(jsonQuote("a\\b"), "\"a\\\\b\"");
+    EXPECT_EQ(jsonQuote(std::string("a\x01z")), "\"a\\u0001z\"");
+    EXPECT_EQ(jsonQuote("line\nbreak"), "\"line\\nbreak\"");
+}
+
+TEST(StatsRegistry, CsvQuotesOnlyWhenNeeded)
+{
+    StatsRegistry registry;
+    registry.counter("plain.count").add(1);
+    registry.counter("comma,name").add(2);
+    registry.counter("quote\"name").add(3);
+    const std::string csv = registry.snapshot().toCsv();
+    EXPECT_NE(csv.find("name,value"), std::string::npos);
+    EXPECT_NE(csv.find("plain.count,1"), std::string::npos);
+    EXPECT_NE(csv.find("\"comma,name\",2"), std::string::npos);
+    EXPECT_NE(csv.find("\"quote\"\"name\",3"), std::string::npos);
+}
+
+TEST(StatsRegistry, SummaryGroupsByFirstDottedSegment)
+{
+    StatsRegistry registry;
+    registry.counter("serve.requests").add(5);
+    registry.counter("serve.executed").add(4);
+    registry.counter("net.requests").add(9);
+    const std::string summary =
+        formatStatsSummary(registry.snapshot(), "tooltest");
+    // One line per group, each prefixed "<tool>: <group>:".
+    EXPECT_NE(summary.find("tooltest: net: requests=9"),
+              std::string::npos);
+    EXPECT_NE(summary.find("tooltest: serve: "), std::string::npos);
+    EXPECT_NE(summary.find("executed=4"), std::string::npos);
+    EXPECT_NE(summary.find("requests=5"), std::string::npos);
+}
+
+/**
+ * The 16-thread herd the satellite pins: concurrent registration of
+ * overlapping names, hot publishing, and snapshots taken mid-flight.
+ * Under ASan+UBSan (and optionally TSan) in ci.sh, this is the "no
+ * torn reads, no invalidated references" proof; the final quiesced
+ * snapshot must also be exact.
+ */
+TEST(StatsRegistry, SnapshotHerd16Threads)
+{
+    StatsRegistry registry;
+    constexpr int kThreads = 16;
+    constexpr int kIncrements = 5000;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> herd;
+    herd.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        herd.emplace_back([&registry, &go, t] {
+            while (!go.load())
+                std::this_thread::yield();
+            // Half the herd shares one cell; the rest own one each —
+            // both through registration (mutex) and publish (atomic).
+            StatsCounter& shared =
+                registry.counter("herd.shared");
+            StatsCounter& own = registry.counter(
+                "herd.thread." + std::to_string(t % 8));
+            Histogram& lat =
+                registry.histogram("herd.lat", 0.0, 100.0, 64);
+            for (int i = 0; i < kIncrements; ++i) {
+                shared.inc();
+                own.inc();
+                lat.add(static_cast<double>(i % 100));
+                if (i % 1000 == 0) {
+                    const StatsSnapshot mid = registry.snapshot();
+                    // Mid-flight totals are monotonic, never torn.
+                    EXPECT_LE(mid.counter("herd.shared"),
+                              static_cast<std::uint64_t>(kThreads) *
+                                  kIncrements);
+                }
+            }
+        });
+    }
+    go.store(true);
+    for (std::thread& t : herd)
+        t.join();
+    const StatsSnapshot final = registry.snapshot();
+    EXPECT_EQ(final.counter("herd.shared"),
+              static_cast<std::uint64_t>(kThreads) * kIncrements);
+    EXPECT_EQ(final.counter("herd.lat.count"),
+              static_cast<std::uint64_t>(kThreads) * kIncrements);
+    std::uint64_t perThread = 0;
+    for (int t = 0; t < 8; ++t)
+        perThread += final.counter("herd.thread." + std::to_string(t));
+    EXPECT_EQ(perThread,
+              static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+/** add() publishes the bin before the total, so a concurrent
+ *  quantile() never sees a count ahead of the bins it walks — the
+ *  estimate stays inside the populated range at every interleaving. */
+TEST(HistogramConcurrency, QuantileNeverTearsUnderConcurrentAdds)
+{
+    Histogram h(0.0, 100.0, 100);
+    std::atomic<bool> stop{false};
+    std::thread reader([&h, &stop] {
+        while (!stop.load()) {
+            const double p50 = h.quantile(0.5);
+            const double p99 = h.quantile(0.99);
+            // Writers only ever add values in [10, 90): any estimate
+            // outside the histogram's own range would be a torn walk.
+            EXPECT_GE(p50, 0.0);
+            EXPECT_LE(p50, 100.0);
+            EXPECT_GE(p99, 0.0);
+            EXPECT_LE(p99, 100.0);
+        }
+    });
+    std::vector<std::thread> writers;
+    for (int w = 0; w < 4; ++w)
+        writers.emplace_back([&h, w] {
+            for (int i = 0; i < 50000; ++i)
+                h.add(10.0 + ((w * 50000 + i) % 80));
+        });
+    for (std::thread& t : writers)
+        t.join();
+    stop.store(true);
+    reader.join();
+    EXPECT_EQ(h.count(), 200000u);
+    const double p50 = h.quantile(0.5);
+    EXPECT_GE(p50, 10.0);
+    EXPECT_LE(p50, 91.0);
+}
+
+TEST(HistogramConcurrency, MergeAndCopyPreserveCounts)
+{
+    Histogram a(0.0, 10.0, 10);
+    Histogram b(0.0, 10.0, 10);
+    a.add(1.0);
+    a.add(2.0);
+    b.add(8.0);
+    b.add(-5.0);  // Underflow.
+    b.add(99.0);  // Overflow.
+    a.merge(b);
+    // count() tallies every add, out-of-range samples included.
+    EXPECT_EQ(a.count(), 5u);
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.binCount(8), 1u);
+
+    Histogram copy(a);
+    EXPECT_EQ(copy.count(), a.count());
+    EXPECT_EQ(copy.binCount(8), 1u);
+    copy.add(3.0);
+    EXPECT_EQ(copy.count(), 6u);
+    EXPECT_EQ(a.count(), 5u);  // Deep copy, not a shared view.
+}
+
+}  // namespace
+}  // namespace ftsim

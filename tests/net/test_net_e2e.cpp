@@ -290,6 +290,54 @@ TEST(NetE2E, GracefulStopDrainsInflightAnswers)
     EXPECT_FALSE(refused.ok());
 }
 
+TEST(NetE2E, StatsQueryScrapesTheLiveRegistryOverTheWire)
+{
+    NetServer server;
+    ASSERT_TRUE(server.start().ok());
+    NetClient client = connectLoopback(server.port());
+
+    Result<std::string> first = client.ask(
+        R"({"id":"q1","query":"max_batch","gpu":"A40"})");
+    ASSERT_TRUE(first.ok());
+    Result<std::string> second = client.ask(
+        R"({"id":"q2","query":"max_batch","gpu":"H100"})");
+    ASSERT_TRUE(second.ok());
+
+    Result<std::string> scrape =
+        client.ask(R"({"id":"s1","query":"stats"})");
+    ASSERT_TRUE(scrape.ok()) << scrape.error().message;
+    const std::string& line = scrape.value();
+    EXPECT_NE(line.find("\"ok\":true"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"id\":\"s1\""), std::string::npos);
+    EXPECT_NE(line.find("\"stats\":{"), std::string::npos);
+    // One registry covers both layers: the front end's net.* cells
+    // and the service's serve.* cells arrive in the same scrape, and
+    // the scrape observes itself (requests count before answering).
+    EXPECT_NE(line.find("\"net.conn.accepted\":1"), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"net.requests\":3"), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"serve.requests\":3"), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"serve.executed\":"), std::string::npos);
+
+    // A second scrape is answered fresh, never cached: it must see
+    // the first one in the request counters.
+    Result<std::string> again =
+        client.ask(R"({"id":"s2","query":"stats"})");
+    ASSERT_TRUE(again.ok());
+    EXPECT_NE(again.value().find("\"net.requests\":4"),
+              std::string::npos)
+        << again.value();
+
+    server.stop();
+    // The legacy stats struct is a view over the same cells.
+    EXPECT_EQ(server.stats().requests, 4u);
+    EXPECT_EQ(server.statsRegistry()->snapshot().counter(
+                  "net.requests"),
+              4u);
+}
+
 TEST(NetE2E, IdleTimeoutReapsQuietConnections)
 {
     NetServerConfig config;

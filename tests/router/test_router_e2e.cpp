@@ -190,6 +190,48 @@ TEST(Router, FleetQueryIsAnsweredByTheRouter)
     EXPECT_EQ(stats.shardsAlive, 2u);
 }
 
+TEST(Router, StatsQueryAggregatesEveryShardWithRouterNamespace)
+{
+    FleetFixture fleet;
+    const std::vector<PlanRequest> requests = fleetTraffic();
+    NetClient client = connectLoopback(fleet.router().port());
+    for (const PlanRequest& req : requests) {
+        Result<std::string> answer =
+            client.ask(writePlanRequest(req));
+        ASSERT_TRUE(answer.ok()) << answer.error().message;
+    }
+
+    Result<std::string> scrape =
+        client.ask("{\"id\":\"s1\",\"query\":\"stats\"}");
+    ASSERT_TRUE(scrape.ok()) << scrape.error().message;
+    const std::string& line = scrape.value();
+    EXPECT_NE(line.find("\"ok\":true"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"id\":\"s1\""), std::string::npos);
+    // The merged document: the router's own registry under "router",
+    // each shard's live scrape under "shards" keyed by ring name.
+    EXPECT_NE(line.find("\"router\":{"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"shards\":{"), std::string::npos);
+    EXPECT_NE(line.find("\"127.0.0.1:"), std::string::npos);
+    // An internal probe is not client traffic: forwarded stays at
+    // the 18 planning requests, and the scrape sees that exactly.
+    EXPECT_NE(line.find(strCat("\"router.forwarded\":",
+                               requests.size())),
+              std::string::npos)
+        << line;
+    // Both shards answered with their own serve.* cells; combined
+    // they executed the 6 distinct identities.
+    EXPECT_NE(line.find("\"serve.executed\":"), std::string::npos);
+    EXPECT_NE(line.find("\"router.shard."), std::string::npos);
+
+    const RouterStats stats = fleet.router().stats();
+    EXPECT_EQ(stats.statsQueries, 1u);
+    EXPECT_EQ(stats.forwarded, requests.size());
+    EXPECT_EQ(stats.shardFailures, 0u);
+
+    // value = number of shard pieces gathered.
+    EXPECT_NE(line.find("\"value\":2"), std::string::npos) << line;
+}
+
 TEST(Router, MalformedLinePoisonsOnlyItself)
 {
     FleetFixture fleet;

@@ -725,6 +725,47 @@ TEST(PlanService, LoadSnapshotWarmsTheRegistryWithoutCompiling)
     EXPECT_EQ(cold.planRegistry()->plansLoaded(), donorPlans);
 }
 
+TEST(PlanService, StatsQueryIsLiveNeverCoalescedAndRegistryBacked)
+{
+    PlanService service;
+    service.ask(throughputRequest("A40"));
+    service.ask(throughputRequest("H100"));
+
+    PlanRequest scrape;
+    scrape.query = QueryKind::Stats;
+    const PlanResponse first = service.ask(scrape);
+    ASSERT_TRUE(first.ok) << first.errorMessage;
+    EXPECT_GT(first.value, 0.0);  // value = entry count.
+    // The flat snapshot carries the service's own cells.
+    EXPECT_NE(first.statsJson.find("\"serve.requests\":"),
+              std::string::npos)
+        << first.statsJson;
+    EXPECT_NE(first.statsJson.find("\"planner.step_cache_misses\":"),
+              std::string::npos);
+
+    // Live contract: identical scrapes are answered fresh — never
+    // cached, never coalesced — and each counts as executed.
+    const ServiceStats before = service.stats();
+    const PlanResponse second = service.ask(scrape);
+    ASSERT_TRUE(second.ok);
+    const ServiceStats after = service.stats();
+    EXPECT_EQ(after.coalesced, before.coalesced);
+    EXPECT_EQ(after.executed, before.executed + 1);
+    // The second scrape observed the first in its own counters.
+    EXPECT_GT(second.value, 0.0);
+
+    // ServiceStats is a view over the same registry cells: the
+    // pinned counters and the scrape must agree exactly once the
+    // service is quiet.
+    const StatsSnapshot snap = service.statsRegistry()->snapshot();
+    EXPECT_EQ(snap.counter("serve.requests"), after.requests);
+    EXPECT_EQ(snap.counter("serve.executed"), after.executed);
+    EXPECT_EQ(snap.counter("serve.coalesced"), after.coalesced);
+    EXPECT_GT(snap.counter("planner.step_cache_misses"), 0u);
+    EXPECT_EQ(snap.counter("serve.steps_simulated"),
+              after.stepsSimulated);
+}
+
 TEST(PlanService, LoadSnapshotRejectsHostileBytesTyped)
 {
     PlanService service;

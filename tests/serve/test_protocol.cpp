@@ -347,5 +347,66 @@ TEST(Protocol, SnapshotFieldIsRejectedOnOtherKinds)
     EXPECT_EQ(parsed.error().code, ErrorCode::InvalidArgument);
 }
 
+TEST(Protocol, StatsRequestRoundTrips)
+{
+    Result<PlanRequest> parsed =
+        parsePlanRequest(R"({"id":"s1","query":"stats"})");
+    ASSERT_TRUE(parsed.ok()) << parsed.error().describe();
+    EXPECT_EQ(parsed.value().query, QueryKind::Stats);
+    EXPECT_EQ(parsed.value().id, "s1");
+    EXPECT_TRUE(isLiveKind(QueryKind::Stats));
+
+    const std::string rewritten = writePlanRequest(parsed.value());
+    Result<PlanRequest> reparsed = parsePlanRequest(rewritten);
+    ASSERT_TRUE(reparsed.ok())
+        << rewritten << ": " << reparsed.error().describe();
+    EXPECT_EQ(reparsed.value().query, QueryKind::Stats);
+    EXPECT_EQ(reparsed.value().canonicalKey(),
+              parsed.value().canonicalKey());
+}
+
+TEST(Protocol, StatsRejectsWorkloadKeys)
+{
+    // A scrape is about the service, not a workload: every
+    // workload-shaped key on it is a confused caller.
+    const char* cases[] = {
+        R"({"query":"stats","tenant":"acme"})",
+        R"({"query":"stats","gpu":"A40"})",
+        R"({"query":"stats","gpus":["A40"]})",
+        R"({"query":"stats","scenario":{"epochs":1}})",
+        R"({"query":"stats","rates":{"A40":1.0}})",
+        R"({"query":"stats","snapshot":"QQ=="})",
+    };
+    for (const char* line : cases) {
+        Result<PlanRequest> parsed = parsePlanRequest(line);
+        ASSERT_FALSE(parsed.ok()) << "accepted: " << line;
+        EXPECT_EQ(parsed.code(), ErrorCode::InvalidArgument) << line;
+    }
+}
+
+TEST(Protocol, StatsResponseEmbedsTheSnapshotVerbatim)
+{
+    PlanResponse resp;
+    resp.id = "s1";
+    resp.query = QueryKind::Stats;
+    resp.ok = true;
+    resp.value = 3.0;
+    resp.statsJson = R"({"serve.requests":7,"net.requests":7})";
+    const std::string line = writePlanResponse(resp);
+    EXPECT_NE(line.find(R"("query":"stats")"), std::string::npos)
+        << line;
+    // The pre-serialized object lands byte-verbatim, not re-escaped.
+    EXPECT_NE(
+        line.find(R"("stats":{"serve.requests":7,"net.requests":7})"),
+        std::string::npos)
+        << line;
+
+    PlanResponse empty;
+    empty.query = QueryKind::Stats;
+    empty.ok = true;
+    EXPECT_NE(writePlanResponse(empty).find(R"("stats":{})"),
+              std::string::npos);
+}
+
 }  // namespace
 }  // namespace ftsim

@@ -45,12 +45,15 @@ seedCorpus()
         R"({"tenant":"acme","query":"throughput","gpu":"A40",)"
         R"("scenario":{"median_seq_len":256,"length_sigma":0.45,)"
         R"("sparse":false}})",
+        // The live scrape (ISSUE-8): mutants graft scenario/gpu/
+        // snapshot keys onto it, which the parser must reject.
+        R"({"id":"s1","query":"stats"})",
     };
     // Plus the writer's own spelling of every request kind.
     for (QueryKind kind :
          {QueryKind::MaxBatch, QueryKind::Throughput,
           QueryKind::CostTable, QueryKind::CheapestPlan,
-          QueryKind::Report}) {
+          QueryKind::Report, QueryKind::Stats}) {
         PlanRequest req;
         req.id = "fuzz";
         req.tenant = "fuzz-tenant";
@@ -58,8 +61,8 @@ seedCorpus()
         if (kind == QueryKind::CostTable ||
             kind == QueryKind::CheapestPlan)
             req.gpus = {"A40", "H100"};
-        else
-            req.gpu = "A40";
+        else if (!isLiveKind(kind))
+            req.gpu = "A40";  // Live kinds carry no workload fields.
         req.rates = {{"user", "L40S", 1.05}};
         corpus.push_back(writePlanRequest(req));
     }

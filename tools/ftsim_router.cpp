@@ -25,6 +25,13 @@
  * then exits 0 with a stats summary on stderr (respawned workers are
  * SIGTERM'd too; the supervisor owns them).
  *
+ * Observability (ISSUE-8): the router answers `{"query":"stats"}` by
+ * scatter-gathering a live scrape across every alive shard and
+ * merging it with its own `router.*` registry — one query reads the
+ * whole fleet. The shutdown summary is that registry rendered by the
+ * shared `formatStatsSummary`; `--stats-json PATH` /
+ * `--stats-csv PATH` dump the same final snapshot to a file on exit.
+ *
  * Usage: ftsim_router --shard HOST:PORT [--shard HOST:PORT ...]
  *                     [--host H] [--port P] [--max-connections N]
  *                     [--max-line BYTES] [--virtual-nodes N]
@@ -32,6 +39,7 @@
  *                     [--reconnect-backoff-ms N]
  *                     [--reconnect-backoff-max-ms N]
  *                     [--heal-timeout-ms N] [--respawn BIN]
+ *                     [--stats-json PATH] [--stats-csv PATH]
  */
 
 #include <atomic>
@@ -71,7 +79,9 @@ usage(const std::string& problem)
         << "                    [--retry-budget N] [--deadline-ms N]\n"
         << "                    [--reconnect-backoff-ms N]"
            " [--reconnect-backoff-max-ms N]\n"
-        << "                    [--heal-timeout-ms N] [--respawn BIN]\n";
+        << "                    [--heal-timeout-ms N] [--respawn BIN]\n"
+        << "                    [--stats-json PATH]"
+           " [--stats-csv PATH]\n";
     std::exit(2);
 }
 
@@ -110,6 +120,8 @@ int
 main(int argc, char** argv)
 {
     RouterConfig config;
+    std::string stats_json_path;
+    std::string stats_csv_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> const char* {
@@ -148,6 +160,10 @@ main(int argc, char** argv)
             config.healTimeoutMs = numberArg(arg, value());
         } else if (arg == "--respawn") {
             config.respawnCommand = value();
+        } else if (arg == "--stats-json") {
+            stats_json_path = value();
+        } else if (arg == "--stats-csv") {
+            stats_csv_path = value();
         } else {
             usage(strCat("unknown flag ", arg));
         }
@@ -181,23 +197,24 @@ main(int argc, char** argv)
     router.run();
     g_router.store(nullptr);
 
-    const RouterStats stats = router.stats();
-    std::cerr << "ftsim_router: drained; " << stats.connectionsAccepted
-              << " connections, " << stats.forwarded << " forwarded, "
-              << stats.responses << " responses, "
-              << stats.protocolErrors << " protocol errors ("
-              << stats.oversizedLines << " oversized), "
-              << stats.shardFailures << " shard failures, "
-              << stats.retried << " retried, "
-              << stats.deadlineExpired << " deadline expiries, "
-              << stats.healed << " healed, "
-              << stats.respawned << " respawned, "
-              << stats.fleetQueries << " fleet queries\n";
-    for (const ShardHealth& shard : stats.shards)
-        std::cerr << "ftsim_router: shard " << shard.name << ": "
-                  << shardStateName(shard.state)
-                  << " routed=" << shard.routed
-                  << " dials=" << shard.dialAttempts
-                  << " heals=" << shard.heals << '\n';
+    const StatsSnapshot snapshot = router.statsRegistry()->snapshot();
+    std::cerr << "ftsim_router: drained\n"
+              << formatStatsSummary(snapshot, "ftsim_router");
+    if (!stats_json_path.empty()) {
+        Result<bool> wrote = writeStatsJson(snapshot, stats_json_path);
+        if (!wrote) {
+            std::cerr << "ftsim_router: " << wrote.error().message
+                      << '\n';
+            return 2;
+        }
+    }
+    if (!stats_csv_path.empty()) {
+        Result<bool> wrote = writeStatsCsv(snapshot, stats_csv_path);
+        if (!wrote) {
+            std::cerr << "ftsim_router: " << wrote.error().message
+                      << '\n';
+            return 2;
+        }
+    }
     return 0;
 }

@@ -22,16 +22,21 @@
  * fast the workers drain earlier requests — don't bake them into
  * goldens.
  *
- * A summary (request count, protocol errors, coalescing, governance
- * and latency stats) goes to stderr, and the exit status is non-zero
- * when any protocol error occurred — which lets CI assert "this
- * request file is answered with zero protocol errors" by just running
- * the binary.
+ * Observability (ISSUE-8): every counter lives in the service's
+ * `StatsRegistry` — including this front end's own `cli.*` rows — so
+ * the stderr summary is one registry snapshot rendered by the shared
+ * `formatStatsSummary`, identical in shape across ftsim_serve,
+ * ftsim_served, and ftsim_router. `--stats-json PATH` /
+ * `--stats-csv PATH` dump the same final snapshot to a file on exit,
+ * and the exit status is non-zero when any protocol error occurred —
+ * which lets CI assert "this request file is answered with zero
+ * protocol errors" by just running the binary.
  *
  * Usage: ftsim_serve [requests.jsonl|-] [workers]
  *                    [--workers N] [--max-answers N] [--max-planners N]
  *                    [--tenant-inflight N] [--tenant-rps X]
  *                    [--tenant-burst X] [--max-tenants N]
+ *                    [--stats-json PATH] [--stats-csv PATH]
  */
 
 #include <cmath>
@@ -57,7 +62,9 @@ usage(const std::string& problem)
               << "                   [--max-planners N]"
                  " [--tenant-inflight N]\n"
               << "                   [--tenant-rps X]"
-                 " [--tenant-burst X] [--max-tenants N]\n";
+                 " [--tenant-burst X] [--max-tenants N]\n"
+              << "                   [--stats-json PATH]"
+                 " [--stats-csv PATH]\n";
     std::exit(2);
 }
 
@@ -81,6 +88,8 @@ int
 main(int argc, char** argv)
 {
     std::string path = "-";
+    std::string stats_json_path;
+    std::string stats_csv_path;
     ServiceConfig config;
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
@@ -108,6 +117,10 @@ main(int argc, char** argv)
         else if (arg == "--max-tenants")
             config.maxTenants =
                 static_cast<std::size_t>(numberArg(arg, value()));
+        else if (arg == "--stats-json")
+            stats_json_path = value();
+        else if (arg == "--stats-csv")
+            stats_csv_path = value();
         else if (arg.size() > 2 && arg.compare(0, 2, "--") == 0)
             usage(strCat("unknown flag ", arg));
         else
@@ -161,12 +174,20 @@ main(int argc, char** argv)
         slots.push_back(std::move(slot));
     }
 
-    std::size_t protocol_errors = 0;
-    std::size_t failed_queries = 0;
+    // The front end's own ledger lives in the same registry the
+    // service publishes into: one snapshot covers the whole process,
+    // and a `stats` query through the service sees these rows too.
+    StatsRegistry& registry = *service.statsRegistry();
+    StatsCounter& lines_read = registry.counter("cli.lines_read");
+    StatsCounter& protocol_errors =
+        registry.counter("cli.protocol_errors");
+    StatsCounter& failed_queries =
+        registry.counter("cli.failed_queries");
+    lines_read.add(slots.size());
     for (Slot& slot : slots) {
         if (!slot.parsed) {
-            ++protocol_errors;
-            ++failed_queries;
+            protocol_errors.inc();
+            failed_queries.inc();
             std::cout << writeProtocolError(slot.id, slot.parseError)
                       << '\n';
             continue;
@@ -174,34 +195,27 @@ main(int argc, char** argv)
         PlanResponse response = slot.future.get();
         response.id = slot.id;  // Coalesced answers share a future.
         if (!response.ok)
-            ++failed_queries;
+            failed_queries.inc();
         std::cout << writePlanResponse(response) << '\n';
     }
 
-    const ServiceStats stats = service.stats();
-    std::cerr << "ftsim_serve: " << slots.size() << " lines, "
-              << protocol_errors << " protocol errors, "
-              << failed_queries << " failed queries\n"
-              << "ftsim_serve: requests=" << stats.requests
-              << " coalesced=" << stats.coalesced
-              << " executed=" << stats.executed
-              << " rate_limited=" << stats.rateLimited
-              << " planners=" << stats.plannersCreated
-              << " planner_reuses=" << stats.plannerReuses
-              << " plans_compiled=" << stats.plansCompiled
-              << " steps_simulated=" << stats.stepsSimulated << '\n'
-              << "ftsim_serve: answers_cached=" << stats.answersCached
-              << " (peak " << stats.answersCachedPeak << ", evicted "
-              << stats.answersEvicted << ")"
-              << " planners_cached=" << stats.plannersCached
-              << " (evicted " << stats.plannersEvicted << ")\n";
-    for (const auto& [tenant, row] : stats.tenants)
-        std::cerr << "ftsim_serve: tenant " << tenant << ": admitted="
-                  << row.admitted
-                  << " rejected_inflight=" << row.rejectedInflight
-                  << " rejected_rate=" << row.rejectedRate << '\n';
-    std::cerr << "ftsim_serve: latency p50=" << stats.p50LatencyMs
-              << "ms p99=" << stats.p99LatencyMs << "ms over "
-              << service.workers() << " workers\n";
-    return protocol_errors > 0 ? 1 : 0;
+    const StatsSnapshot snapshot = registry.snapshot();
+    std::cerr << formatStatsSummary(snapshot, "ftsim_serve");
+    if (!stats_json_path.empty()) {
+        Result<bool> wrote = writeStatsJson(snapshot, stats_json_path);
+        if (!wrote) {
+            std::cerr << "ftsim_serve: " << wrote.error().message
+                      << '\n';
+            return 2;
+        }
+    }
+    if (!stats_csv_path.empty()) {
+        Result<bool> wrote = writeStatsCsv(snapshot, stats_csv_path);
+        if (!wrote) {
+            std::cerr << "ftsim_serve: " << wrote.error().message
+                      << '\n';
+            return 2;
+        }
+    }
+    return protocol_errors.load() > 0 ? 1 : 0;
 }

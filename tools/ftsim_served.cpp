@@ -37,6 +37,13 @@
  * graceful SIGTERM drain: connections that still owe bytes after the
  * deadline are force-closed (see NetServerConfig::drainDeadlineMs).
  *
+ * Observability (ISSUE-8): the front end's `net.*` counters and the
+ * service's `serve.*`/`planner.*` counters share one `StatsRegistry`,
+ * scrapeable live over the wire with `{"query":"stats"}`. The
+ * shutdown summary is that registry rendered by the shared
+ * `formatStatsSummary`; `--stats-json PATH` / `--stats-csv PATH`
+ * dump the same final snapshot to a file on exit.
+ *
  * Usage: ftsim_served [--host H] [--port P] [--max-connections N]
  *                     [--idle-timeout SEC] [--max-line BYTES]
  *                     [--workers N] [--max-answers N] [--max-planners N]
@@ -44,6 +51,7 @@
  *                     [--tenant-burst X] [--max-tenants N]
  *                     [--warm-from HOST:PORT|FILE]
  *                     [--drain-deadline SEC]
+ *                     [--stats-json PATH] [--stats-csv PATH]
  */
 
 #include <atomic>
@@ -89,7 +97,9 @@ usage(const std::string& problem)
         << "                    [--tenant-inflight N] [--tenant-rps X]\n"
         << "                    [--tenant-burst X] [--max-tenants N]\n"
         << "                    [--warm-from HOST:PORT|FILE]"
-           " [--drain-deadline SEC]\n";
+           " [--drain-deadline SEC]\n"
+        << "                    [--stats-json PATH]"
+           " [--stats-csv PATH]\n";
     std::exit(2);
 }
 
@@ -172,6 +182,8 @@ main(int argc, char** argv)
 {
     NetServerConfig config;
     std::string warm_from;
+    std::string stats_json_path;
+    std::string stats_csv_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> const char* {
@@ -220,6 +232,10 @@ main(int argc, char** argv)
             warm_from = value();
         else if (arg == "--drain-deadline")
             config.drainDeadlineMs = numberArg(arg, value()) * 1000.0;
+        else if (arg == "--stats-json")
+            stats_json_path = value();
+        else if (arg == "--stats-csv")
+            stats_csv_path = value();
         else
             usage(strCat("unknown flag ", arg));
     }
@@ -267,31 +283,24 @@ main(int argc, char** argv)
     server.run();
     g_server.store(nullptr);
 
-    const NetServerStats net = server.stats();
-    const ServiceStats stats = server.service().stats();
-    std::cerr << "ftsim_served: drained; " << net.connectionsAccepted
-              << " connections, " << net.requests << " requests, "
-              << net.responses << " responses, " << net.protocolErrors
-              << " protocol errors (" << net.oversizedLines
-              << " oversized), " << net.idleClosed << " idle-closed\n"
-              << "ftsim_served: coalesced=" << stats.coalesced
-              << " executed=" << stats.executed
-              << " rate_limited=" << stats.rateLimited
-              << " planners=" << stats.plannersCreated
-              << " steps_simulated=" << stats.stepsSimulated
-              << " plans_compiled=" << stats.plansCompiled
-              << " plans_loaded=" << stats.plansLoaded
-              << " latency p50=" << stats.p50LatencyMs
-              << "ms p99=" << stats.p99LatencyMs << "ms\n";
-    for (const auto& [source, row] : stats.sources)
-        std::cerr << "ftsim_served: connection " << source
-                  << ": requests=" << row.requests
-                  << " coalesced=" << row.coalesced
-                  << " rate_limited=" << row.rateLimited << '\n';
-    for (const auto& [tenant, row] : stats.tenants)
-        std::cerr << "ftsim_served: tenant " << tenant
-                  << ": admitted=" << row.admitted
-                  << " rejected_inflight=" << row.rejectedInflight
-                  << " rejected_rate=" << row.rejectedRate << '\n';
+    const StatsSnapshot snapshot = server.statsRegistry()->snapshot();
+    std::cerr << "ftsim_served: drained\n"
+              << formatStatsSummary(snapshot, "ftsim_served");
+    if (!stats_json_path.empty()) {
+        Result<bool> wrote = writeStatsJson(snapshot, stats_json_path);
+        if (!wrote) {
+            std::cerr << "ftsim_served: " << wrote.error().message
+                      << '\n';
+            return 2;
+        }
+    }
+    if (!stats_csv_path.empty()) {
+        Result<bool> wrote = writeStatsCsv(snapshot, stats_csv_path);
+        if (!wrote) {
+            std::cerr << "ftsim_served: " << wrote.error().message
+                      << '\n';
+            return 2;
+        }
+    }
     return 0;
 }
