@@ -15,6 +15,13 @@ cmake --build "$BUILD_DIR" -j
 "$BUILD_DIR/bench/bench_perf_planner" "$BUILD_DIR/BENCH_planner.json"
 echo "ci.sh: perf smoke artifact at $BUILD_DIR/BENCH_planner.json"
 
+# Sweep perf smoke: time the vectorized 1..max_batch sweep against the
+# per-batch compiled loop on warm plans and emit BENCH_sweep.json. The
+# binary itself fails (non-zero exit) on any vectorized-vs-scalar
+# divergence or a speedup below the 1.5x acceptance floor.
+"$BUILD_DIR/bench/bench_sweep" "$BUILD_DIR/BENCH_sweep.json"
+echo "ci.sh: sweep smoke artifact at $BUILD_DIR/BENCH_sweep.json"
+
 # Serve perf smoke: replay the duplicate-heavy multi-tenant trace and
 # emit BENCH_serve.json. The binary itself fails (non-zero exit) when
 # the coalesced PlanService answers the trace slower than the naive
@@ -288,13 +295,15 @@ echo "ci.sh: kill -9 shard healed via respawn + warm rejoin, answers stayed gold
 # RouterHeal kill/rejoin suite, FaultProxy* puts the chaos proxy's
 # byte accounting under the same instrumentation, and StatsRegistry*
 # (with the Histogram* concurrency suites) is the ISSUE-8 16-thread
-# registration/publish/snapshot herd.
+# registration/publish/snapshot herd. StepPlanSweep* runs the ISSUE-9
+# vectorized-sweep identity suite (kernel-major plane indexing) under
+# the same instrumentation.
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$SAN_DIR" -S . -DFTSIM_SANITIZE=ON \
       -DFTSIM_BUILD_BENCH=OFF -DFTSIM_BUILD_EXAMPLES=OFF > /dev/null
 cmake --build "$SAN_DIR" -j --target ftsim_tests
 "$SAN_DIR/ftsim_tests" \
-    --gtest_filter='Protocol*:PlanService*:LruCache*:ServeE2E*:Histogram*:Net*:Router*:HashRing*:RegistrySnapshot*:Base64*:FaultProxy*:StatsRegistry*'
+    --gtest_filter='Protocol*:PlanService*:LruCache*:ServeE2E*:Histogram*:Net*:Router*:HashRing*:RegistrySnapshot*:Base64*:FaultProxy*:StatsRegistry*:StepPlanSweep*'
 echo "ci.sh: ASan+UBSan serve/fuzz/net/fleet/stats suites green"
 
 # Optional TSan job: the stats registry's whole point is lock-free

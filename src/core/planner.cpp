@@ -260,19 +260,62 @@ Planner::throughputObservations(const GpuSpec& gpu) const
                      strCat(scenario_.model.name,
                             " fits on no configuration of ", gpu.name)};
 
-    // Fan the sweep out across batch sizes: every point is independent
-    // and deterministic, and the lock-free step cache lets same-GPU
-    // simulations run concurrently, so the observation values (and
-    // their order) do not depend on the parallelism.
+    // Resolve the whole grid against the step cache in one pass under
+    // the shard lock: cached jobs capture their futures (hits), missing
+    // jobs insert *promised* entries (misses, counted once each). The
+    // vectorized sweep below then simulates exactly the missing set and
+    // fulfills the promises — per-entry once-semantics, cache
+    // population, and `stepsSimulated == stepCacheMisses` all hold
+    // exactly as they did under the per-batch fan-out, but the misses
+    // run as one `profileSweep` pass instead of per-point evaluate()
+    // calls.
+    std::vector<std::shared_future<StepProfile>> futures(jobs.size());
+    std::vector<std::size_t> missing;
+    std::vector<std::promise<StepProfile>> promises;
+    {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const std::string key = GpuState::stepKey(jobs[i]);
+            if (std::shared_future<StepProfile>* cached =
+                    state.steps.get(key)) {
+                ++step_hits_;
+                if (shared_hits_)
+                    shared_hits_->inc();
+                futures[i] = *cached;
+            } else {
+                ++step_misses_;
+                if (shared_misses_)
+                    shared_misses_->inc();
+                promises.emplace_back();
+                futures[i] = promises.back().get_future().share();
+                state.steps.put(key, futures[i]);
+                missing.push_back(i);
+            }
+        }
+    }
+    if (!missing.empty()) {
+        std::vector<RunConfig> miss_jobs;
+        miss_jobs.reserve(missing.size());
+        for (std::size_t idx : missing)
+            miss_jobs.push_back(jobs[idx]);
+        std::vector<StepProfile> profiles =
+            state.sim.profileSweep(miss_jobs);
+        for (std::size_t k = 0; k < profiles.size(); ++k)
+            promises[k].set_value(std::move(profiles[k]));
+    }
+
     std::vector<ThroughputObservation> out(jobs.size());
-    parallelFor(jobs.size(), parallelism_, [&](std::size_t i) {
-        const StepProfile& profile = profiledStep(state, jobs[i]);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        // A hit's future may still be in flight (its owner simulates
+        // outside the shard lock); get() waits exactly like the old
+        // per-point path did.
+        const StepProfile& profile = futures[i].get();
         ThroughputObservation obs;
         obs.batchSize = static_cast<double>(jobs[i].batchSize);
         obs.sparsity = scenario_.model.sparsity(jobs[i].sparse);
         obs.qps = profile.throughputQps;
         out[i] = obs;
-    });
+    }
 
     std::lock_guard<std::mutex> lock(state.mutex);
     if (!state.observations)

@@ -23,8 +23,13 @@
  * the same configuration twice (`stats()` exposes the hit/miss counters
  * and the underlying simulators' step counts for verification). The
  * multi-GPU fan-outs (`costTable`, `cheapestPlan`, `batchSizeSweep`)
- * and the per-GPU batch sweep (`throughputObservations`) optionally run
- * on a thread pool (`setParallelism`).
+ * optionally run on a thread pool (`setParallelism`). The per-GPU
+ * batch sweep (`throughputObservations`) instead runs its cache misses
+ * as one vectorized `FineTuneSim::profileSweep` pass — a single
+ * `StepPlan::evaluateSweep` walk per plan shape beats any per-batch
+ * fan-out, and `costTable`'s per-GPU profile (max batch only) reads
+ * the same promised-future step cache, so a sweep that already ran
+ * makes the cost table's profile a cache hit.
  *
  * The cache is thread-safe and sharded per GPU, and within a shard the
  * entries have shared-future once-semantics: the shard mutex only

@@ -6,7 +6,6 @@
 
 #include "common/logging.hpp"
 #include "common/math_util.hpp"
-#include "common/parallel.hpp"
 #include "gpusim/memory_model.hpp"
 
 namespace ftsim {
@@ -58,7 +57,16 @@ FineTuneSim::profileStep(const RunConfig& config) const
     // Reusable per-thread buffers keep the hot path allocation-free.
     static thread_local EvaluatedStep eval;
     plan.evaluate(config.batchSize, config.seqLen, eval);
+    return profileFromEval(plan, config, eval.flops.data(),
+                           eval.bytes.data(), eval.tiles.data(), 1);
+}
 
+StepProfile
+FineTuneSim::profileFromEval(const StepPlan& plan, const RunConfig& config,
+                             const double* flops, const double* bytes,
+                             const double* tiles,
+                             std::size_t stride) const
+{
     StepProfile profile;
     profile.config = config;
 
@@ -69,9 +77,9 @@ FineTuneSim::profileStep(const RunConfig& config) const
     const std::size_t n = plan.size();
     for (std::size_t i = 0; i < n; ++i) {
         const KernelMetrics m =
-            exec_.simulate(plan.kinds[i], eval.flops[i], eval.bytes[i],
-                           eval.tiles[i], plan.efficiencies[i],
-                           plan.counts[i]);
+            exec_.simulate(plan.kinds[i], flops[i * stride],
+                           bytes[i * stride], tiles[i * stride],
+                           plan.efficiencies[i], plan.counts[i]);
         switch (plan.stages[i]) {
           case Stage::Forward:
             profile.forwardSeconds += m.seconds;
@@ -92,8 +100,8 @@ FineTuneSim::profileStep(const RunConfig& config) const
             NamedAgg& agg = moe_aggs[static_cast<std::size_t>(slot)];
             agg.seconds += m.seconds;
             agg.launches += plan.counts[i];
-            agg.flops += eval.flops[i] * plan.counts[i];
-            agg.bytes += eval.bytes[i] * plan.counts[i];
+            agg.flops += flops[i * stride] * plan.counts[i];
+            agg.bytes += bytes[i * stride] * plan.counts[i];
             agg.sm_weighted += m.smUtilPct * m.seconds;
             agg.dram_weighted += m.dramUtilPct * m.seconds;
         }
@@ -241,6 +249,44 @@ FineTuneSim::profileStepReference(const RunConfig& config) const
     return profile;
 }
 
+std::vector<StepProfile>
+FineTuneSim::profileSweep(const std::vector<RunConfig>& configs) const
+{
+    std::vector<StepProfile> out;
+    out.reserve(configs.size());
+    static thread_local SweepBuffers buf;
+    std::vector<std::size_t> batches;
+    std::vector<std::size_t> seqs;
+
+    // Group consecutive configs that compile to the same plan (the
+    // plan cache keys on shape only, so a whole 1..max run shares one
+    // plan) and evaluate each group in a single vectorized pass.
+    std::size_t lo = 0;
+    while (lo < configs.size()) {
+        const StepPlan& plan = builder_.stepPlan(configs[lo]);
+        std::size_t hi = lo + 1;
+        while (hi < configs.size() &&
+               &builder_.stepPlan(configs[hi]) == &plan)
+            ++hi;
+        const std::size_t np = hi - lo;
+        batches.resize(np);
+        seqs.resize(np);
+        for (std::size_t j = 0; j < np; ++j) {
+            batches[j] = configs[lo + j].batchSize;
+            seqs[j] = configs[lo + j].seqLen;
+        }
+        plan.evaluateSweep(batches.data(), seqs.data(), np, buf);
+        for (std::size_t j = 0; j < np; ++j) {
+            ++steps_simulated_;
+            out.push_back(profileFromEval(
+                plan, configs[lo + j], buf.flops.data() + j,
+                buf.bytes.data() + j, buf.tiles.data() + j, np));
+        }
+        lo = hi;
+    }
+    return out;
+}
+
 double
 FineTuneSim::stepSeconds(const RunConfig& config) const
 {
@@ -318,21 +364,40 @@ FineTuneSim::throughputSweep(std::size_t seq_len, bool sparse,
     if (max_batch == 0)
         return Error{ErrorCode::InvalidArgument,
                      "FineTuneSim::throughputSweep: zero max batch"};
+    // One vectorized pass over the compiled plan replaces the old
+    // per-batch fan-out; the results were always thread-count
+    // independent and stay bit-identical to a per-batch stepSeconds
+    // loop (evaluateSweep + accumulateSweepSeconds both preserve the
+    // scalar evaluation order).
+    (void)threads;
+
+    RunConfig shape;
+    shape.sparse = sparse;
+    const StepPlan& plan = builder_.stepPlan(shape);
+
+    std::vector<std::size_t> batches(max_batch);
+    std::vector<std::size_t> seqs(max_batch);
+    for (std::size_t i = 0; i < max_batch; ++i) {
+        batches[i] = i + 1;
+        seqs[i] = paddedSeqLen(seq_len, i + 1, length_sigma);
+    }
+    static thread_local SweepBuffers buf;
+    plan.evaluateSweep(batches.data(), seqs.data(), max_batch, buf);
+
+    std::vector<double> totals(
+        max_batch, exec_.calibration().stepOverheadMs * 1e-3);
+    exec_.accumulateSweepSeconds(
+        plan.kinds.data(), plan.efficiencies.data(), plan.counts.data(),
+        plan.size(), buf.flops.data(), buf.bytes.data(),
+        buf.tiles.data(), max_batch, totals.data());
+    steps_simulated_ += max_batch;
+
     std::vector<ThroughputPoint> points(max_batch);
-    // Each point is an independent deterministic simulation: the sweep
-    // parallelizes across batch sizes without changing any value.
-    parallelFor(max_batch, threads, [&](std::size_t i) {
-        const std::size_t b = i + 1;
-        RunConfig config;
-        config.batchSize = b;
-        config.seqLen = paddedSeqLen(seq_len, b, length_sigma);
-        config.sparse = sparse;
-        ThroughputPoint pt;
-        pt.batchSize = b;
-        pt.stepSeconds = stepSeconds(config);
-        pt.qps = static_cast<double>(b) / pt.stepSeconds;
-        points[i] = pt;
-    });
+    for (std::size_t i = 0; i < max_batch; ++i) {
+        points[i].batchSize = i + 1;
+        points[i].stepSeconds = totals[i];
+        points[i].qps = static_cast<double>(i + 1) / totals[i];
+    }
     return points;
 }
 

@@ -105,6 +105,19 @@ class FineTuneSim {
     double stepSeconds(const RunConfig& config) const;
 
     /**
+     * Full profiles for a whole batch sweep in one vectorized pass:
+     * `StepPlan::evaluateSweep` fills the kernel-major planes for every
+     * config, then each profile aggregates from its plane column.
+     * Configs are grouped by compiled plan (consecutive configs sharing
+     * a shape evaluate together), so a mixed dense+sparse grid like
+     * `sweepConfigs()` still works. Element i is bit-identical to
+     * `profileStep(configs[i])`; counts toward stepsSimulated() once
+     * per config.
+     */
+    std::vector<StepProfile> profileSweep(
+        const std::vector<RunConfig>& configs) const;
+
+    /**
      * The retained reference implementation of profileStep: rebuilds
      * the full `KernelDesc` workload on every call, exactly as the
      * pre-compiled-plan code did. Bit-identical to profileStep — golden
@@ -128,9 +141,13 @@ class FineTuneSim {
 
     /**
      * Throughput at batch sizes 1..max_batch (Figs. 8, 14, 15).
-     * `InvalidArgument` when max_batch is 0. With @p threads > 1 the
-     * batch sizes are simulated in parallel (each point is independent
-     * and deterministic, so the result does not depend on threading).
+     * `InvalidArgument` when max_batch is 0. Runs as one vectorized
+     * pass over the compiled plan (`StepPlan::evaluateSweep` + the
+     * execution model's sweep accumulator) — every point is
+     * deterministic and bit-identical to a per-batch `stepSeconds`
+     * loop. @p threads is retained for API compatibility: the single
+     * pass is cheaper than any per-batch fan-out, so the value no
+     * longer affects execution (and never affected the results).
      */
     Result<std::vector<ThroughputPoint>> throughputSweep(
         std::size_t seq_len, bool sparse, std::size_t max_batch,
@@ -173,6 +190,18 @@ class FineTuneSim {
     std::uint64_t stepsSimulated() const { return steps_simulated_; }
 
   private:
+    /**
+     * Aggregates one step profile from per-kernel FLOPs/bytes/tiles at
+     * stride @p stride (1 for an `EvaluatedStep`, n_points for a column
+     * of `SweepBuffers` planes). The single source of the aggregation
+     * arithmetic for profileStep and profileSweep.
+     */
+    StepProfile profileFromEval(const StepPlan& plan,
+                                const RunConfig& config,
+                                const double* flops, const double* bytes,
+                                const double* tiles,
+                                std::size_t stride) const;
+
     ModelSpec model_;
     WorkloadBuilder builder_;
     ExecutionModel exec_;

@@ -218,4 +218,115 @@ StepPlan::evaluate(std::size_t batch, std::size_t seq,
                           out.bytes[i], out.tiles[i]);
 }
 
+void
+StepPlan::evaluateSweep(const std::size_t* batches,
+                        const std::size_t* seqs, std::size_t n_points,
+                        SweepBuffers& out) const
+{
+    const std::size_t n = size();
+    out.resize(n, n_points);
+
+    // Per-point inputs, hoisted once for the whole sweep. The
+    // tok_per_expert expression keeps the reference multiply-then-divide
+    // order (see evaluate()).
+    for (std::size_t j = 0; j < n_points; ++j) {
+        if (batches[j] == 0 || seqs[j] == 0)
+            fatal("WorkloadBuilder: zero batch or sequence length");
+        const double b = static_cast<double>(batches[j]);
+        const double s = static_cast<double>(seqs[j]);
+        out.batches[j] = b;
+        out.seqs[j] = s;
+        out.nTok[j] = b * s;
+        out.tokPerExpert[j] = out.nTok[j] * activeExperts / nExperts;
+    }
+
+    // Kernel-outer / point-inner: one formula dispatch per kernel, then
+    // a straight-line loop over contiguous lanes. Every expression
+    // below replicates KernelFormula::apply term-for-term in the same
+    // evaluation order — the bit-identity contract (this TU is built
+    // with -ffp-contract=off so no lane picks up an FMA).
+    const double* n_tok = out.nTok.data();
+    for (std::size_t i = 0; i < n; ++i) {
+        const KernelFormula& f = formulas[i];
+        double* F = out.flops.data() + i * n_points;
+        double* B = out.bytes.data() + i * n_points;
+        double* T = out.tiles.data() + i * n_points;
+        const double* M = f.rows == RowsKind::Tokens
+                              ? out.nTok.data()
+                              : out.tokPerExpert.data();
+        switch (f.eval) {
+          case EvalKind::Fixed:
+            for (std::size_t j = 0; j < n_points; ++j) {
+                F[j] = f.a;
+                B[j] = f.b;
+                T[j] = f.c;
+            }
+            break;
+          case EvalKind::Gemm:
+            for (std::size_t j = 0; j < n_points; ++j) {
+                const double m = M[j];
+                double flops = 2.0 * paddedRows(m) * f.a * f.b;
+                flops *= f.d;
+                double bytes = kActBytes * (m * f.a + m * f.b) + f.c;
+                bytes += f.e;
+                F[j] = flops;
+                B[j] = bytes;
+                T[j] = ceilDivD(m, 32.0) * ceilDivD(f.b, 128.0);
+            }
+            break;
+          case EvalKind::Rowwise:
+            for (std::size_t j = 0; j < n_points; ++j) {
+                const double m = M[j];
+                F[j] = f.b * m * f.a;
+                B[j] = 2.0 * kActBytes * m * f.a;
+                T[j] = m;
+            }
+            break;
+          case EvalKind::Attention:
+            for (std::size_t j = 0; j < n_points; ++j) {
+                F[j] = f.a * n_tok[j] * out.seqs[j] * f.c;
+                B[j] = f.b * kActBytes * n_tok[j] * f.c;
+                T[j] = out.batches[j] * f.d * ceilDivD(out.seqs[j], 64.0);
+            }
+            break;
+          case EvalKind::Conv:
+            for (std::size_t j = 0; j < n_points; ++j) {
+                F[j] = f.a * n_tok[j] * f.c * f.d;
+                B[j] = f.b * kActBytes * n_tok[j] * f.c;
+                T[j] = ceilDivD(n_tok[j] * f.c, 4096.0);
+            }
+            break;
+          case EvalKind::Scan:
+            for (std::size_t j = 0; j < n_points; ++j) {
+                F[j] = f.a * n_tok[j] * f.c;
+                B[j] = f.b * kActBytes * n_tok[j] * f.c;
+                T[j] = out.batches[j] * f.d;
+            }
+            break;
+          case EvalKind::Lora:
+            for (std::size_t j = 0; j < n_points; ++j) {
+                const double m = M[j];
+                F[j] = paddedRows(m) * f.a * f.b;
+                B[j] = kActBytes * m * f.b / 2.0 + f.c;
+                T[j] = ceilDivD(m, 32.0);
+            }
+            break;
+        }
+    }
+}
+
+void
+StepPlan::evaluateSweep(std::size_t batch_lo, std::size_t batch_hi,
+                        std::size_t seq, SweepBuffers& out) const
+{
+    if (batch_lo == 0 || batch_hi < batch_lo)
+        fatal("StepPlan::evaluateSweep: bad batch range");
+    const std::size_t n_points = batch_hi - batch_lo + 1;
+    std::vector<std::size_t> batches(n_points);
+    std::vector<std::size_t> seqs(n_points, seq);
+    for (std::size_t j = 0; j < n_points; ++j)
+        batches[j] = batch_lo + j;
+    evaluateSweep(batches.data(), seqs.data(), n_points, out);
+}
+
 }  // namespace ftsim

@@ -138,6 +138,39 @@ struct EvaluatedStep {
 };
 
 /**
+ * Reusable buffers for `StepPlan::evaluateSweep`: the per-point inputs
+ * plus kernel-major FLOPs/bytes/tiles planes. Element (kernel i,
+ * sweep point j) lives at index `i * points() + j`, so the batch-inner
+ * loops walk unit-stride memory. One set per thread suffices.
+ */
+struct SweepBuffers {
+    // Per sweep point (batch 1..max in a full sweep).
+    std::vector<double> batches;
+    std::vector<double> seqs;
+    std::vector<double> nTok;          ///< batch * seq.
+    std::vector<double> tokPerExpert;  ///< nTok * active / experts.
+
+    // Kernel-major planes, size() == n_kernels * points().
+    std::vector<double> flops;
+    std::vector<double> bytes;
+    std::vector<double> tiles;
+
+    /** Number of sweep points the buffers currently hold. */
+    std::size_t points() const { return batches.size(); }
+
+    void resize(std::size_t n_kernels, std::size_t n_points)
+    {
+        batches.resize(n_points);
+        seqs.resize(n_points);
+        nTok.resize(n_points);
+        tokPerExpert.resize(n_points);
+        flops.resize(n_kernels * n_points);
+        bytes.resize(n_kernels * n_points);
+        tiles.resize(n_kernels * n_points);
+    }
+};
+
+/**
  * One compiled training step: SoA arrays of the batch-independent
  * kernel fields plus one formula per kernel. Kernels appear in the
  * exact order the reference `buildStep` emits them.
@@ -188,6 +221,29 @@ struct StepPlan {
      */
     void evaluate(std::size_t batch, std::size_t seq,
                   EvaluatedStep& out) const;
+
+    /**
+     * Evaluates every kernel at *all* @p n_points sweep points in one
+     * pass: the loops run kernel-outer / point-inner with the per-kernel
+     * formula dispatch hoisted out of the inner loop, so each EvalKind
+     * body is a straight-line loop over contiguous arrays that the
+     * compiler can auto-vectorize. @p batches and @p seqs are parallel
+     * arrays (a full sweep pads the sequence length per batch, so seq
+     * varies along the sweep). Bit-identity contract: point j of the
+     * output planes equals `evaluate(batches[j], seqs[j], ...)` to the
+     * last bit — the per-kind expressions are the same terms in the
+     * same order, and this TU is compiled with `-ffp-contract=off` so
+     * no FMA contraction can perturb a lane.
+     */
+    void evaluateSweep(const std::size_t* batches, const std::size_t* seqs,
+                       std::size_t n_points, SweepBuffers& out) const;
+
+    /**
+     * Convenience overload: the contiguous batch range
+     * [batch_lo, batch_hi] at one fixed sequence length.
+     */
+    void evaluateSweep(std::size_t batch_lo, std::size_t batch_hi,
+                       std::size_t seq, SweepBuffers& out) const;
 };
 
 }  // namespace ftsim

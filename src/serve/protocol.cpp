@@ -1,6 +1,5 @@
 #include "serve/protocol.hpp"
 
-#include <cctype>
 #include <cmath>
 #include <cstdlib>
 
@@ -226,8 +225,8 @@ class JsonParser {
         }
     }
 
-    /** Decodes \uXXXX (basic plane only) to UTF-8. */
-    std::string parseUnicodeEscape()
+    /** Reads exactly four hex digits of a \u escape. */
+    unsigned parseHex4()
     {
         if (pos_ + 4 > s_.size())
             bad("truncated \\u escape");
@@ -244,14 +243,46 @@ class JsonParser {
             else
                 bad("non-hex digit in \\u escape");
         }
+        return code;
+    }
+
+    /**
+     * Decodes \uXXXX to UTF-8. A UTF-16 high surrogate
+     * (\uD800-\uDBFF) must be followed by a low surrogate
+     * (\uDC00-\uDFFF); the pair combines into one astral-plane code
+     * point encoded as four UTF-8 bytes. A lone or unpaired surrogate
+     * is a parse error — encoding the surrogate code point itself
+     * would produce invalid UTF-8 that escapeJson later re-emits as
+     * garbage, violating the valid-request-or-typed-error invariant.
+     */
+    std::string parseUnicodeEscape()
+    {
+        unsigned code = parseHex4();
+        if (code >= 0xDC00 && code <= 0xDFFF)
+            bad("lone low surrogate in \\u escape");
+        if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > s_.size() || s_[pos_] != '\\' ||
+                s_[pos_ + 1] != 'u')
+                bad("unpaired high surrogate in \\u escape");
+            pos_ += 2;
+            const unsigned low = parseHex4();
+            if (low < 0xDC00 || low > 0xDFFF)
+                bad("unpaired high surrogate in \\u escape");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+        }
         std::string out;
         if (code < 0x80) {
             out += static_cast<char>(code);
         } else if (code < 0x800) {
             out += static_cast<char>(0xC0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3F));
-        } else {
+        } else if (code < 0x10000) {
             out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
             out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
             out += static_cast<char>(0x80 | (code & 0x3F));
         }
@@ -260,17 +291,49 @@ class JsonParser {
 
     JsonValue parseNumber()
     {
+        // Strict JSON number grammar:
+        //   -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+        // Enforced here rather than deferred to strtod, which also
+        // accepts "+5", ".5", "5.", "01", hex, and "inf"/"nan" —
+        // spellings fmtNumber never emits and strict JSON rejects.
         const std::size_t start = pos_;
+        const auto isDigit = [this](std::size_t p) {
+            return p < s_.size() && s_[p] >= '0' && s_[p] <= '9';
+        };
         if (peek() == '-')
             ++pos_;
-        while (pos_ < s_.size() &&
-               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-                s_[pos_] == '+' || s_[pos_] == '-'))
-            ++pos_;
-        if (pos_ == start)
-            bad(strCat("unexpected character '", s_[start],
+        if (!isDigit(pos_))
+            bad(strCat("unexpected character '",
+                       pos_ < s_.size() ? s_[pos_] : s_[start],
                        "' at offset ", start));
+        if (s_[pos_] == '0') {
+            ++pos_;
+            if (isDigit(pos_))
+                bad(strCat("leading zero in number at offset ", start));
+        } else {
+            while (isDigit(pos_))
+                ++pos_;
+        }
+        if (pos_ < s_.size() && s_[pos_] == '.') {
+            ++pos_;
+            if (!isDigit(pos_))
+                bad(strCat("digit required after decimal point at "
+                           "offset ",
+                           start));
+            while (isDigit(pos_))
+                ++pos_;
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < s_.size() &&
+                (s_[pos_] == '+' || s_[pos_] == '-'))
+                ++pos_;
+            if (!isDigit(pos_))
+                bad(strCat("digit required in exponent at offset ",
+                           start));
+            while (isDigit(pos_))
+                ++pos_;
+        }
         const std::string text = s_.substr(start, pos_ - start);
         char* end = nullptr;
         const double num = std::strtod(text.c_str(), &end);

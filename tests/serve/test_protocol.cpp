@@ -97,6 +97,41 @@ TEST(Protocol, DecodesStringEscapes)
     EXPECT_EQ(parsed.value().id, "a\"b\\cA\n");
 }
 
+TEST(Protocol, DecodesAstralPlaneEscapes)
+{
+    // "\uD83D\uDE00" is U+1F600 (grinning face): the surrogate pair
+    // must combine into one 4-byte UTF-8 sequence, not two 3-byte
+    // sequences that each encode a surrogate code point (invalid
+    // UTF-8 which would then round-trip through escapeJson as
+    // garbage).
+    Result<PlanRequest> parsed = parsePlanRequest(
+        R"({"id":"\uD83D\uDE00","query":"max_batch","gpu":"A40"})");
+    ASSERT_TRUE(parsed.ok()) << parsed.error().describe();
+    EXPECT_EQ(parsed.value().id, "\xF0\x9F\x98\x80");
+
+    // The astral-plane bytes must survive write + reparse with the
+    // coalescing identity intact (the reparse-identity contract the
+    // fuzz suite pins for every accepted line).
+    const std::string rewritten = writePlanRequest(parsed.value());
+    Result<PlanRequest> reparsed = parsePlanRequest(rewritten);
+    ASSERT_TRUE(reparsed.ok())
+        << rewritten << ": " << reparsed.error().describe();
+    EXPECT_EQ(reparsed.value().id, "\xF0\x9F\x98\x80");
+    EXPECT_EQ(reparsed.value().canonicalKey(),
+              parsed.value().canonicalKey());
+
+    // The extremes of the astral range: U+10000 and U+10FFFF, plus
+    // lowercase hex digits.
+    Result<PlanRequest> lo = parsePlanRequest(
+        R"({"id":"\uD800\uDC00","query":"max_batch","gpu":"A40"})");
+    ASSERT_TRUE(lo.ok());
+    EXPECT_EQ(lo.value().id, "\xF0\x90\x80\x80");
+    Result<PlanRequest> hi = parsePlanRequest(
+        R"({"id":"\udbff\udfff","query":"max_batch","gpu":"A40"})");
+    ASSERT_TRUE(hi.ok());
+    EXPECT_EQ(hi.value().id, "\xF4\x8F\xBF\xBF");
+}
+
 TEST(Protocol, RoundTripsFullDoublePrecision)
 {
     // 0.1 + 0.2 needs all 17 significant digits: a re-serialized
@@ -260,6 +295,25 @@ TEST(Protocol, MalformedInputIsInvalidArgument)
         R"({"query":"max_batch","gpu":"A40","rates":{"L40S":-1.0}})",
         R"({"query":"max_batch","gpu":"A40","rates":{"L40S":"cheap"}})",
         R"({"query":"max_batch","gpu":"A40","rates":[1.0]})",
+        // Unicode strictness: lone / unpaired surrogates would decode
+        // to invalid UTF-8, so they are typed errors instead.
+        R"({"query":"max_batch","gpu":"A40","id":"\uD800"})",
+        R"({"query":"max_batch","gpu":"A40","id":"\uDC00"})",
+        R"({"query":"max_batch","gpu":"A40","id":"\uDE00\uD83D"})",
+        R"({"query":"max_batch","gpu":"A40","id":"\uD83D x"})",
+        R"({"query":"max_batch","gpu":"A40","id":"\uD83DA"})",
+        R"({"query":"max_batch","gpu":"A40","id":"\uD83D\uD83D"})",
+        // Number strictness: strtod-isms strict JSON rejects.
+        R"({"query":"max_batch","gpu":"A40","scenario":{"epochs":+5}})",
+        R"({"query":"max_batch","gpu":"A40","scenario":{"epochs":.5}})",
+        R"({"query":"max_batch","gpu":"A40","scenario":{"epochs":5.}})",
+        R"({"query":"max_batch","gpu":"A40","scenario":{"epochs":01}})",
+        R"({"query":"max_batch","gpu":"A40","scenario":{"epochs":1.}})",
+        R"({"query":"max_batch","gpu":"A40","scenario":{"epochs":1e}})",
+        R"({"query":"max_batch","gpu":"A40","scenario":{"epochs":1e+}})",
+        R"({"query":"max_batch","gpu":"A40","scenario":{"epochs":0x5}})",
+        R"({"query":"max_batch","gpu":"A40","scenario":{"epochs":--5}})",
+        R"({"query":"max_batch","gpu":"A40","scenario":{"epochs":1e99999}})",
     };
     for (const char* line : cases) {
         Result<PlanRequest> parsed = parsePlanRequest(line);

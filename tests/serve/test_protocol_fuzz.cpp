@@ -48,6 +48,17 @@ seedCorpus()
         // The live scrape (ISSUE-8): mutants graft scenario/gpu/
         // snapshot keys onto it, which the parser must reject.
         R"({"id":"s1","query":"stats"})",
+        // Astral-plane and surrogate seeds (ISSUE-9): a valid pair
+        // (U+1F600), a lone high surrogate, a lone low surrogate, and
+        // lax number spellings. The first must parse and round-trip
+        // its 4-byte UTF-8 identity; the rest are typed errors the
+        // mutator then explores around.
+        R"({"id":"\uD83D\uDE00","query":"max_batch","gpu":"A40"})",
+        R"({"id":"\uDBFF\uDFFF x \u0041","query":"cheapest_plan"})",
+        R"({"id":"\uD800","query":"max_batch","gpu":"A40"})",
+        R"({"id":"\uDC00","query":"max_batch","gpu":"A40"})",
+        R"({"query":"max_batch","gpu":"A40","scenario":{"epochs":+5}})",
+        R"({"query":"max_batch","gpu":"A40","scenario":{"epochs":.5}})",
     };
     // Plus the writer's own spelling of every request kind.
     for (QueryKind kind :
@@ -76,7 +87,7 @@ mutate(std::string line, std::mt19937& rng)
     auto pick = [&rng](std::size_t n) {
         return std::uniform_int_distribution<std::size_t>(0, n - 1)(rng);
     };
-    switch (pick(8)) {
+    switch (pick(9)) {
     case 0:  // Truncate at a random byte.
         return line.substr(0, pick(line.size() + 1));
     case 1: {  // Flip one byte to an arbitrary value.
@@ -115,8 +126,9 @@ mutate(std::string line, std::mt19937& rng)
             "1e309",  "-1e309", "1e-400", "9999999999999999999999",
             "-0.0",   "1e99999", "0x10",  "1..2",
             "--5",    "1e+",     "NaN",   "Infinity",
+            "+5",     ".5",      "5.",    "01",
         };
-        const std::string number = numbers[pick(12)];
+        const std::string number = numbers[pick(16)];
         if (line.empty())
             return number;
         const std::size_t start = pick(line.size());
@@ -132,6 +144,15 @@ mutate(std::string line, std::mt19937& rng)
             R"("gpu":"A40",)",         R"("tenant":"dup",)",
         };
         return line.insert(brace + 1, keys[pick(4)]);
+    }
+    case 7: {  // Inject a \u escape (pairs, lone surrogates, junk).
+        static const char* escapes[] = {
+            "\\uD83D\\uDE00", "\\uD800",  "\\uDC00", "\\uDBFF\\uDFFF",
+            "\\u0041",       "\\u00e9",  "\\uFFFF", "\\uD83D\\u0041",
+            "\\uEFFF",       "\\uD8ZZ",
+        };
+        line.insert(pick(line.size() + 1), escapes[pick(10)]);
+        return line;
     }
     default:  // Concatenate with itself (trailing-garbage shape).
         return line + " " + line;

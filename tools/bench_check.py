@@ -104,6 +104,18 @@ CHECKS = {
         ("rejoin.plans_loaded", "exact"),
         ("rejoin.plans_compiled", "exact"),
     ],
+    # BENCH_sweep.json also self-gates (bench_sweep exits non-zero on
+    # any vectorized-vs-scalar mismatch or a speedup below 1.5x); the
+    # baseline pins the catalog shape, the zero-mismatch ledger, and
+    # the vectorization speedup ratio.
+    "BENCH_sweep.json": [
+        ("gpu_count", "exact"),
+        ("sweep_lanes", "exact"),
+        ("sweep_points", "exact"),
+        ("identity.points_compared", "exact"),
+        ("identity.mismatches", "exact"),
+        ("speedups.vectorized_vs_per_batch", "min_ratio"),
+    ],
 }
 
 
