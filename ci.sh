@@ -53,12 +53,26 @@ echo "ci.sh: fleet soak artifact at $BUILD_DIR/BENCH_fleet.json"
 "$BUILD_DIR/bench/bench_chaos_load" "$BUILD_DIR/BENCH_chaos.json"
 echo "ci.sh: chaos soak artifact at $BUILD_DIR/BENCH_chaos.json"
 
+# Wire-format smoke: the same pipelined trace in JSON lines and in
+# binary frames against one warm NetServer, emitting BENCH_wire.json.
+# The binary fails when any answer in either format diverges byte-wise
+# from the in-process PlanService or the binary phase runs below 1.3x
+# the JSON phase's request rate.
+"$BUILD_DIR/bench/bench_wire" "$BUILD_DIR/BENCH_wire.json"
+echo "ci.sh: wire smoke artifact at $BUILD_DIR/BENCH_wire.json"
+
 # Bench-regression gate: fresh artifacts vs. checked-in baselines.
 # Deterministic counters must match exactly; speedup ratios may drop
 # at most 25% (override with BENCH_CHECK_TOLERANCE). Refresh after an
 # intentional change: python3 tools/bench_check.py --update
 python3 tools/bench_check.py --fresh-dir "$BUILD_DIR"
 echo "ci.sh: bench regression gates green"
+
+# Docs drift gate: docs/PROTOCOL.md is the normative wire spec, so it
+# must mention every query kind, error code, and wire constant the
+# sources actually ship (scraped from the authoritative switches in
+# serve/protocol.cpp, common/result.cpp, and serve/wire.hpp).
+python3 tools/check_docs.py
 
 # Trend history: append this run's BENCH_*.json artifacts (stamped with
 # the git SHA) to the append-only bench/history.jsonl ledger, so perf
@@ -119,6 +133,34 @@ kill -TERM "$SERVED_PID"
 wait "$SERVED_PID"   # Graceful drain must exit 0.
 trap - EXIT
 echo "ci.sh: ftsim_served/ftsim_client socket e2e matches the golden (clean SIGTERM drain)"
+
+# Binary wire golden e2e: the same governed fixtures as binary frames
+# (ftsim_client --wire binary encodes each parsed line as a frame and
+# prints the decoded answers through the JSON writer). Token buckets
+# are stateful, so the replay gets its own daemon — and must produce
+# the SAME golden bytes: the wire format changes encoding, never
+# semantics. See docs/PROTOCOL.md for the frame layout.
+WIRED_LOG="$BUILD_DIR/ftsim_served_wire.ci.log"
+"$BUILD_DIR/ftsim_served" --port 0 --max-answers 4 --max-planners 2 \
+    --tenant-rps 0.000001 2> "$WIRED_LOG" &
+WIRED_PID=$!
+trap 'kill -TERM "$WIRED_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$WIRED_LOG" 2>/dev/null && break
+  sleep 0.1
+done
+WIRED_PORT=$(sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' \
+             "$WIRED_LOG" | head -1)
+[ -n "$WIRED_PORT" ] \
+  || { echo "ci.sh: binary-wire daemon did not start"; exit 1; }
+cat examples/serve_requests.jsonl examples/serve_requests_governed.jsonl \
+  | "$BUILD_DIR/ftsim_client" - --port "$WIRED_PORT" --timeout-ms 30000 \
+      --wire binary \
+  | diff -u tests/integration/golden_serve_e2e.jsonl -
+kill -TERM "$WIRED_PID"
+wait "$WIRED_PID"
+trap - EXIT
+echo "ci.sh: binary wire replay matches the SAME golden byte-for-byte"
 
 # Router golden e2e: the same client bytes through ftsim_router and two
 # real ftsim_served shard processes. The router must be protocol-
@@ -185,6 +227,15 @@ total = sum(s["serve.requests"] for s in alive.values())
 assert total == want + len(alive), f"shard serve.requests sum={total}"
 PY
 echo "ci.sh: live fleet stats scrape agrees with the golden replay counters"
+# Binary frames through the fleet: the router forwards frames byte-
+# verbatim to the shards, so the binary replay of the same ungoverned
+# fixtures must decode to the same golden prefix. (After the stats
+# scrape on purpose — the scrape pinned the JSON-replay counters.)
+"$BUILD_DIR/ftsim_client" examples/serve_requests.jsonl \
+    --port "$ROUTER_PORT" --timeout-ms 30000 --wire binary \
+  | diff -u <(head -n "$UNGOVERNED_LINES" \
+              tests/integration/golden_serve_e2e.jsonl) -
+echo "ci.sh: binary wire replay through the router matches the golden prefix"
 # Warm start over the wire: a fresh shard pulls shard 1's PlanRegistry
 # snapshot at boot and must announce the loaded plans.
 "$BUILD_DIR/ftsim_served" --port 0 --warm-from "127.0.0.1:$SHARD1_PORT" \
@@ -297,13 +348,16 @@ echo "ci.sh: kill -9 shard healed via respawn + warm rejoin, answers stayed gold
 # (with the Histogram* concurrency suites) is the ISSUE-8 16-thread
 # registration/publish/snapshot herd. StepPlanSweep* runs the ISSUE-9
 # vectorized-sweep identity suite (kernel-major plane indexing) under
-# the same instrumentation.
+# the same instrumentation. Wire* adds the ISSUE-10 binary codec,
+# framing, and frame-fuzz suites (hostile length prefixes and tag
+# soup must be typed errors, never UB); Net*/Router* already match
+# the NetWireE2E/RouterWire socket suites.
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$SAN_DIR" -S . -DFTSIM_SANITIZE=ON \
       -DFTSIM_BUILD_BENCH=OFF -DFTSIM_BUILD_EXAMPLES=OFF > /dev/null
 cmake --build "$SAN_DIR" -j --target ftsim_tests
 "$SAN_DIR/ftsim_tests" \
-    --gtest_filter='Protocol*:PlanService*:LruCache*:ServeE2E*:Histogram*:Net*:Router*:HashRing*:RegistrySnapshot*:Base64*:FaultProxy*:StatsRegistry*:StepPlanSweep*'
+    --gtest_filter='Protocol*:PlanService*:LruCache*:ServeE2E*:Histogram*:Net*:Router*:HashRing*:RegistrySnapshot*:Base64*:FaultProxy*:StatsRegistry*:StepPlanSweep*:Wire*'
 echo "ci.sh: ASan+UBSan serve/fuzz/net/fleet/stats suites green"
 
 # Optional TSan job: the stats registry's whole point is lock-free

@@ -82,12 +82,18 @@ NetClient::sendLine(const std::string& line)
 {
     std::string framed = line;
     framed.push_back('\n');
+    return sendBytes(framed);
+}
+
+Result<bool>
+NetClient::sendBytes(const std::string& bytes)
+{
     const double deadline = monotonicMs() + timeout_ms_;
     std::size_t sent = 0;
-    while (sent < framed.size()) {
+    while (sent < bytes.size()) {
         const IoResult io =
-            connection_.writeSome(framed.data() + sent,
-                                  framed.size() - sent);
+            connection_.writeSome(bytes.data() + sent,
+                                  bytes.size() - sent);
         if (io.status == IoStatus::Ok) {
             sent += io.bytes;
         } else if (io.status == IoStatus::WouldBlock) {
@@ -139,6 +145,43 @@ NetClient::recvLine()
             return Error{ErrorCode::InvalidArgument,
                          "connection closed before a full response "
                          "line arrived"};
+        } else {
+            return Error{ErrorCode::InvalidArgument,
+                         "socket error while reading"};
+        }
+    }
+}
+
+Result<WireFramer::Frame>
+NetClient::recvFrame()
+{
+    const double deadline = monotonicMs() + timeout_ms_;
+    while (true) {
+        WireFramer::Frame frame;
+        if (framer_.next(frame))
+            return frame;
+        if (framer_.poisoned())
+            return Error{ErrorCode::InvalidArgument,
+                         strCat("bad frame from server: ",
+                                framer_.poisonReason())};
+        if (timeout_ms_ > 0.0) {
+            Result<bool> ready = waitReady(POLLIN, deadline);
+            if (!ready)
+                return ready.error();
+        }
+        char chunk[4096];
+        const IoResult io = connection_.readSome(chunk, sizeof(chunk));
+        if (io.status == IoStatus::Ok) {
+            framer_.feed(chunk, io.bytes);
+        } else if (io.status == IoStatus::WouldBlock) {
+            continue;  // Blocking fd: only transient EINTR lands here.
+        } else if (io.status == IoStatus::Eof) {
+            if (framer_.midBinaryFrame())
+                return Error{ErrorCode::InvalidArgument,
+                             "connection closed mid-frame"};
+            return Error{ErrorCode::InvalidArgument,
+                         "connection closed before a full response "
+                         "frame arrived"};
         } else {
             return Error{ErrorCode::InvalidArgument,
                          "socket error while reading"};

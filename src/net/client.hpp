@@ -20,6 +20,7 @@
 #include <string>
 
 #include "common/result.hpp"
+#include "net/framing.hpp"
 #include "net/socket.hpp"
 
 namespace ftsim {
@@ -60,6 +61,22 @@ class NetClient {
     /** sendLine + recvLine: one synchronous request/response. */
     Result<std::string> ask(const std::string& line);
 
+    /** Sends @p bytes verbatim — a pre-encoded binary frame (see
+     *  serve/wire.hpp) or any raw payload. Same deadline semantics
+     *  as sendLine. */
+    Result<bool> sendBytes(const std::string& bytes);
+
+    /**
+     * Blocks until one full response frame arrives — binary (payload
+     * is the frame payload, header stripped) or JSON (payload is the
+     * line sans '\n'), per the frame's own first byte. Use *either*
+     * recvLine or recvFrame on a connection, not both: each maintains
+     * its own reassembly buffer. `InvalidArgument` on EOF (naming
+     * mid-frame truncation when the server died inside a frame) or a
+     * damaged binary header.
+     */
+    Result<WireFramer::Frame> recvFrame();
+
     /** Half-closes the write side (server sees EOF, finishes pending
      *  answers, then closes). recvLine still works afterwards. */
     void finishSending();
@@ -74,6 +91,10 @@ class NetClient {
 
     Connection connection_;
     std::string buffer_;  ///< Bytes read past the last returned line.
+    /** recvFrame's reassembly state (recvLine uses buffer_). The cap
+     *  matches the router's shard-side cap: snapshot frames are the
+     *  biggest legitimate payloads on the wire. */
+    WireFramer framer_{1 << 26};
     double timeout_ms_ = 0.0;
 };
 

@@ -1,6 +1,10 @@
 #include "net/framing.hpp"
 
+#include <algorithm>
 #include <cstring>
+
+#include "common/logging.hpp"
+#include "serve/wire.hpp"
 
 namespace ftsim {
 
@@ -51,6 +55,127 @@ LineFramer::feed(const char* data, std::size_t n)
 
 bool
 LineFramer::next(Frame& out)
+{
+    if (ready_.empty())
+        return false;
+    out = std::move(ready_.front());
+    ready_.pop_front();
+    return true;
+}
+
+void
+BinaryFramer::poison(std::string reason)
+{
+    poisoned_ = true;
+    poison_reason_ = std::move(reason);
+    header_.clear();
+    payload_.clear();
+    want_ = 0;
+}
+
+std::size_t
+BinaryFramer::feed(const char* data, std::size_t n)
+{
+    if (poisoned_)
+        return 0;
+    std::size_t consumed = 0;
+    if (header_.size() < kWireHeaderBytes) {
+        const std::size_t take = std::min(
+            kWireHeaderBytes - header_.size(), n - consumed);
+        header_.append(data + consumed, take);
+        consumed += take;
+        if (header_.size() < kWireHeaderBytes)
+            return consumed;  // Mid-header; wait for more bytes.
+        Result<std::uint32_t> len = parseWireHeader(
+            reinterpret_cast<const unsigned char*>(header_.data()));
+        if (!len) {
+            poison(len.error().message);
+            return consumed;
+        }
+        if (len.value() > max_payload_) {
+            poison(strCat("frame payload of ", len.value(),
+                          " bytes exceeds the ", max_payload_,
+                          "-byte cap"));
+            return consumed;
+        }
+        want_ = len.value();
+    }
+    const std::size_t take =
+        std::min(want_ - payload_.size(), n - consumed);
+    payload_.append(data + consumed, take);
+    consumed += take;
+    if (payload_.size() == want_) {
+        Frame frame;
+        frame.payload = std::move(payload_);
+        ready_.push_back(std::move(frame));
+        header_.clear();
+        payload_.clear();
+        want_ = 0;
+        // Stop here even if bytes remain: the caller re-dispatches
+        // the next frame's first byte.
+    }
+    return consumed;
+}
+
+bool
+BinaryFramer::next(Frame& out)
+{
+    if (ready_.empty())
+        return false;
+    out = std::move(ready_.front());
+    ready_.pop_front();
+    return true;
+}
+
+void
+WireFramer::feed(const char* data, std::size_t n)
+{
+    std::size_t pos = 0;
+    while (pos < n) {
+        if (binary_.poisoned())
+            return;  // Dead stream: drop everything after the damage.
+        if (mode_ == Mode::Idle)
+            mode_ = static_cast<unsigned char>(data[pos]) == kWireMagic
+                        ? Mode::Binary
+                        : Mode::Json;
+        if (mode_ == Mode::Json) {
+            // Feed through the end of this line only, so the byte
+            // after the '\n' gets its own codec dispatch.
+            const char* newline = static_cast<const char*>(
+                std::memchr(data + pos, '\n', n - pos));
+            const std::size_t take =
+                newline != nullptr
+                    ? static_cast<std::size_t>(newline - data) + 1 -
+                          pos
+                    : n - pos;
+            line_.feed(data + pos, take);
+            pos += take;
+            LineFramer::Frame lf;
+            while (line_.next(lf)) {
+                Frame frame;
+                frame.overflow = lf.overflow;
+                frame.payload = std::move(lf.line);
+                ready_.push_back(std::move(frame));
+            }
+            if (newline != nullptr && !line_.discarding())
+                mode_ = Mode::Idle;
+        } else {
+            pos += binary_.feed(data + pos, n - pos);
+            BinaryFramer::Frame bf;
+            while (binary_.next(bf)) {
+                Frame frame;
+                frame.binary = true;
+                frame.payload = std::move(bf.payload);
+                ready_.push_back(std::move(frame));
+            }
+            if (!binary_.poisoned() && !binary_.midFrame())
+                mode_ = Mode::Idle;
+        }
+    }
+}
+
+bool
+WireFramer::next(Frame& out)
 {
     if (ready_.empty())
         return false;

@@ -68,6 +68,135 @@ class LineFramer {
     std::deque<Frame> ready_;
 };
 
+/**
+ * Reassembles length-prefixed binary frames (see serve/wire.hpp for
+ * the header layout). Unlike a JSON stream there is no resync point
+ * past a damaged header — a bad magic, bad version, zero-length, or
+ * over-cap length prefix *poisons* the framer: it stops consuming and
+ * the connection must die (after one final error frame, the server's
+ * job). Feeds stop after at most one completed frame so the caller
+ * can re-dispatch the next frame's first byte (see WireFramer).
+ */
+class BinaryFramer {
+  public:
+    struct Frame {
+        /** The frame payload, header stripped. */
+        std::string payload;
+    };
+
+    /** @param max_payload_bytes cap on one frame's payload length;
+     *         0 is reserved and treated as 1. */
+    explicit BinaryFramer(std::size_t max_payload_bytes)
+        : max_payload_(max_payload_bytes > 0 ? max_payload_bytes : 1)
+    {
+    }
+
+    /**
+     * Consumes bytes from @p data; returns how many were taken.
+     * Stops early after completing one frame or on poison — the
+     * remainder belongs to the next frame (or the JSON codec).
+     */
+    std::size_t feed(const char* data, std::size_t n);
+
+    /** Pops the next completed frame; false when none is ready. */
+    bool next(Frame& out);
+
+    /** True once a header failed validation; no further bytes are
+     *  consumed (a binary stream cannot resynchronize). */
+    bool poisoned() const { return poisoned_; }
+
+    /** Why the framer poisoned (empty while healthy). */
+    const std::string& poisonReason() const { return poison_reason_; }
+
+    /** True while a frame is partially buffered (EOF here means the
+     *  peer truncated a frame). */
+    bool midFrame() const { return !header_.empty(); }
+
+    /** Bytes buffered for the current partial frame (bounded by
+     *  header size + cap). */
+    std::size_t partialBytes() const
+    {
+        return header_.size() + payload_.size();
+    }
+
+  private:
+    void poison(std::string reason);
+
+    std::size_t max_payload_;
+    std::string header_;       ///< Up to kWireHeaderBytes.
+    std::string payload_;      ///< Accumulates once header validates.
+    std::size_t want_ = 0;     ///< Payload length from the header.
+    bool poisoned_ = false;
+    std::string poison_reason_;
+    std::deque<Frame> ready_;
+};
+
+/**
+ * The negotiating framer: dispatches a byte stream per-frame between
+ * the JSON-lines codec and the binary codec by peeking each frame's
+ * first byte (0xF7 opens a binary frame; nothing else does, and no
+ * JSON line starts with 0xF7). This is what makes negotiation
+ * implicit — the first byte of a connection selects its protocol,
+ * and a connection may freely interleave both formats.
+ *
+ * One cap bounds both codecs: a JSON line's length and a binary
+ * frame's payload length. JSON overflow keeps LineFramer's discard
+ * semantics (one overflow frame, line poisoned, stream survives);
+ * binary framing damage poisons the whole framer.
+ */
+class WireFramer {
+  public:
+    struct Frame {
+        /** True for a binary frame; payload is the frame payload.
+         *  False for a JSON line; payload is the line sans '\n'. */
+        bool binary = false;
+        /** JSON line crossed the cap (payload empty, line dropped). */
+        bool overflow = false;
+        std::string payload;
+    };
+
+    explicit WireFramer(std::size_t max_frame_bytes)
+        : line_(max_frame_bytes), binary_(max_frame_bytes)
+    {
+    }
+
+    /** Feeds @p n bytes; completed frames queue up for next(). After
+     *  poison, remaining bytes are dropped. */
+    void feed(const char* data, std::size_t n);
+
+    /** Pops the next completed frame; false when none is ready. */
+    bool next(Frame& out);
+
+    /** True once binary framing damage killed the stream. */
+    bool poisoned() const { return binary_.poisoned(); }
+
+    const std::string& poisonReason() const
+    {
+        return binary_.poisonReason();
+    }
+
+    /** True at EOF means the peer truncated a binary frame. */
+    bool midBinaryFrame() const { return mode_ == Mode::Binary; }
+
+    /** Buffered bytes of the current partial line or frame. */
+    std::size_t partialBytes() const
+    {
+        return line_.partialBytes() + binary_.partialBytes();
+    }
+
+  private:
+    enum class Mode {
+        Idle,    ///< Next byte selects the codec.
+        Json,    ///< Mid-line; back to Idle after its '\n'.
+        Binary,  ///< Mid-frame; back to Idle after the frame.
+    };
+
+    Mode mode_ = Mode::Idle;
+    LineFramer line_;
+    BinaryFramer binary_;
+    std::deque<Frame> ready_;
+};
+
 }  // namespace ftsim
 
 #endif  // FTSIM_NET_FRAMING_HPP

@@ -12,6 +12,7 @@
 #include "common/logging.hpp"
 #include "net/framing.hpp"
 #include "net/socket.hpp"
+#include "serve/wire.hpp"
 
 namespace ftsim {
 
@@ -47,9 +48,14 @@ struct NetServer::Impl {
     /** One response slot awaiting write-back, in request order. */
     struct Pending {
         std::string id;
+        /** The request arrived as a binary frame; its answer goes
+         *  back binary too (a response always follows its request's
+         *  format). */
+        bool binary = false;
         /** True for answers produced without the service (protocol
-         *  errors): the line is ready at enqueue time. */
+         *  errors): the bytes are ready at enqueue time. */
         bool immediate = false;
+        /** Complete JSON line (no '\n') or complete binary frame. */
         std::string immediateLine;
         std::shared_future<PlanResponse> future;
     };
@@ -60,7 +66,7 @@ struct NetServer::Impl {
         /** SubmitOptions::source label ("peer#n") — the service's
          *  per-connection stats bucket. */
         std::string label;
-        LineFramer framer;
+        WireFramer framer;
         /** Answers owed to this connection, oldest first. Write-back
          *  order == request order, whatever order workers finish in. */
         std::deque<Pending> pending;
@@ -96,7 +102,9 @@ struct NetServer::Impl {
           protocolErrors(stats->counter("net.protocol_errors")),
           oversized(stats->counter("net.oversized_lines")),
           idleClosed(stats->counter("net.idle_closed")),
-          forcedClosed(stats->counter("net.forced_closed"))
+          forcedClosed(stats->counter("net.forced_closed")),
+          binaryRequests(stats->counter("net.wire.requests")),
+          wirePoisoned(stats->counter("net.wire.poisoned"))
     {
         // One registry covers both layers of a shard: the service
         // publishes serve.*/planner.* into the same instance this
@@ -165,39 +173,88 @@ struct NetServer::Impl {
         }
     }
 
-    void handleFrame(Conn& conn, LineFramer::Frame& frame)
+    void submitRequest(Conn& conn, const PlanRequest& request,
+                       bool binary)
     {
-        if (frame.overflow) {
-            oversized.inc();
-            protocolErrors.inc();
-            Pending slot;
-            slot.immediate = true;
-            slot.immediateLine = writeProtocolError(
-                "", strCat("request line exceeds ",
-                           config.maxLineBytes, " bytes"));
-            conn.pending.push_back(std::move(slot));
-            return;
-        }
-        if (isBlank(frame.line))
-            return;
-        Result<PlanRequest> request = parsePlanRequest(frame.line);
-        if (!request) {
-            protocolErrors.inc();
-            Pending slot;
-            slot.immediate = true;
-            slot.immediateLine =
-                writeProtocolError("", request.error().message);
-            conn.pending.push_back(std::move(slot));
-            return;
-        }
         requests.inc();
+        if (binary)
+            binaryRequests.inc();
         SubmitOptions options;
         options.source = conn.label;
         options.notify = [this] { wake(); };
         Pending slot;
-        slot.id = request.value().id;
-        slot.future = service->submit(request.value(), options);
+        slot.id = request.id;
+        slot.binary = binary;
+        slot.future = service->submit(request, options);
         conn.pending.push_back(std::move(slot));
+    }
+
+    void answerImmediate(Conn& conn, bool binary, std::string bytes)
+    {
+        Pending slot;
+        slot.binary = binary;
+        slot.immediate = true;
+        slot.immediateLine = std::move(bytes);
+        conn.pending.push_back(std::move(slot));
+    }
+
+    void handleFrame(Conn& conn, WireFramer::Frame& frame)
+    {
+        if (frame.binary) {
+            Result<WireMessage> decoded =
+                decodeWirePayload(frame.payload);
+            if (!decoded.ok()) {
+                protocolErrors.inc();
+                answerImmediate(conn, true,
+                                encodeProtocolErrorFrame(
+                                    "", decoded.error().message));
+                return;
+            }
+            if (decoded.value().type != WireMsg::Request) {
+                protocolErrors.inc();
+                answerImmediate(
+                    conn, true,
+                    encodeProtocolErrorFrame(
+                        "", "expected a request frame"));
+                return;
+            }
+            submitRequest(conn, decoded.value().request, true);
+            return;
+        }
+        if (frame.overflow) {
+            oversized.inc();
+            protocolErrors.inc();
+            answerImmediate(conn, false,
+                            writeProtocolError(
+                                "", strCat("request line exceeds ",
+                                           config.maxLineBytes,
+                                           " bytes")));
+            return;
+        }
+        if (isBlank(frame.payload))
+            return;
+        Result<PlanRequest> request = parsePlanRequest(frame.payload);
+        if (!request) {
+            protocolErrors.inc();
+            answerImmediate(
+                conn, false,
+                writeProtocolError("", request.error().message));
+            return;
+        }
+        submitRequest(conn, request.value(), false);
+    }
+
+    /** Binary framing damage: answer one final error frame, then
+     *  close — a poisoned binary stream has no resync point. */
+    void killPoisonedConn(Conn& conn, const std::string& reason)
+    {
+        wirePoisoned.inc();
+        protocolErrors.inc();
+        answerImmediate(conn, true,
+                        encodeProtocolErrorFrame(
+                            "", strCat("bad frame: ", reason)));
+        conn.inputClosed = true;
+        conn.closeAfterFlush = true;
     }
 
     void readInput(Conn& conn, double now)
@@ -208,14 +265,22 @@ struct NetServer::Impl {
             if (io.status == IoStatus::Ok) {
                 conn.lastActiveMs = now;
                 conn.framer.feed(buf, io.bytes);
-                LineFramer::Frame frame;
+                WireFramer::Frame frame;
                 while (conn.framer.next(frame))
                     handleFrame(conn, frame);
+                if (conn.framer.poisoned())
+                    killPoisonedConn(conn,
+                                     conn.framer.poisonReason());
             } else if (io.status == IoStatus::WouldBlock) {
                 break;
             } else if (io.status == IoStatus::Eof) {
                 // Half-close: the peer finished sending; answer
                 // everything already admitted, flush, then close.
+                if (conn.framer.midBinaryFrame()) {
+                    // EOF inside a binary frame: the peer truncated
+                    // it. Same containment as a bad header.
+                    killPoisonedConn(conn, "truncated frame at EOF");
+                }
                 conn.inputClosed = true;
                 conn.closeAfterFlush = true;
             } else {
@@ -229,18 +294,20 @@ struct NetServer::Impl {
     {
         while (!conn.pending.empty()) {
             Pending& slot = conn.pending.front();
-            std::string line;
+            std::string bytes;
             if (slot.immediate) {
-                line = std::move(slot.immediateLine);
+                bytes = std::move(slot.immediateLine);
             } else if (futureReady(slot.future)) {
                 PlanResponse response = slot.future.get();
                 response.id = slot.id;  // Coalesced futures share ids.
-                line = writePlanResponse(response);
+                bytes = slot.binary ? encodeResponseFrame(response)
+                                    : writePlanResponse(response);
             } else {
                 break;  // Request order: never skip past a slot.
             }
-            conn.out += line;
-            conn.out += '\n';
+            conn.out += bytes;
+            if (!slot.binary)
+                conn.out += '\n';  // Binary frames self-delimit.
             conn.pending.pop_front();
             conn.lastActiveMs = now;
             responses.inc();
@@ -433,6 +500,8 @@ struct NetServer::Impl {
     StatsCounter& oversized;
     StatsCounter& idleClosed;
     StatsCounter& forcedClosed;
+    StatsCounter& binaryRequests;
+    StatsCounter& wirePoisoned;
 };
 
 NetServer::NetServer(NetServerConfig config)
@@ -520,6 +589,8 @@ NetServer::stats() const
     out.oversizedLines = impl_->oversized.load();
     out.idleClosed = impl_->idleClosed.load();
     out.forcedClosed = impl_->forcedClosed.load();
+    out.binaryRequests = impl_->binaryRequests.load();
+    out.wirePoisoned = impl_->wirePoisoned.load();
     return out;
 }
 

@@ -8,19 +8,26 @@
  *
  * `NetServer` owns one `TcpListener`, one in-process `PlanService`,
  * and a single poll(2) event loop. Connections are non-blocking;
- * requests are framed by `LineFramer` (newline-terminated, capped —
- * see net/framing.hpp), parsed, and submitted to the service with a
- * per-connection source label and a completion callback that kicks the
- * loop's wake pipe. Responses are written back **per connection in
- * request order** — answers compute out of order across the worker
- * pool, but each connection's pending queue re-sequences them, exactly
- * like `ftsim_serve` re-sequences a file.
+ * requests are framed by `WireFramer` (see net/framing.hpp), which
+ * negotiates per frame between the JSON-lines codec and the binary
+ * wire format of serve/wire.hpp — a frame opening with 0xF7 is
+ * binary, anything else is a JSON line, and each response is written
+ * in its request's format. Frames are parsed/decoded and submitted
+ * to the service with a per-connection source label and a completion
+ * callback that kicks the loop's wake pipe. Responses are written
+ * back **per connection in request order** — answers compute out of
+ * order across the worker pool, but each connection's pending queue
+ * re-sequences them, exactly like `ftsim_serve` re-sequences a file.
  *
  * Error containment mirrors the in-process service:
- *  - a line that fails to parse answers a typed protocol error in its
- *    slot and the connection keeps serving;
- *  - a line that crosses the frame cap answers a protocol error and
- *    the rest of that line is discarded;
+ *  - a frame that fails to parse/decode answers a typed protocol
+ *    error in its slot and the connection keeps serving;
+ *  - a JSON line that crosses the frame cap answers a protocol error
+ *    and the rest of that line is discarded;
+ *  - binary *framing* damage (bad magic/version, zero or over-cap
+ *    length prefix, a frame truncated by EOF) cannot be recovered
+ *    from — the connection answers one final error frame and closes;
+ *    only that connection dies, never the process;
  *  - quota overflow answers `{"ok":false,"error":"RateLimited",...}`;
  *  - a socket error poisons only its connection, never the process.
  *
@@ -104,14 +111,19 @@ struct NetServerStats {
     std::uint64_t connectionsClosed = 0;
     /** Connections open right now. */
     std::uint64_t connectionsOpen = 0;
-    /** Request lines submitted to the service. */
+    /** Requests submitted to the service (both wire formats). */
     std::uint64_t requests = 0;
-    /** Response lines written back. */
+    /** Responses written back (both wire formats). */
     std::uint64_t responses = 0;
-    /** Lines answered with a protocol error (parse failure). */
+    /** Frames answered with a protocol error (parse/decode failure). */
     std::uint64_t protocolErrors = 0;
-    /** Lines that crossed the frame cap. */
+    /** JSON lines that crossed the frame cap. */
     std::uint64_t oversizedLines = 0;
+    /** Requests that arrived as binary frames (subset of requests). */
+    std::uint64_t binaryRequests = 0;
+    /** Connections killed by binary framing damage (bad header,
+     *  over-cap length, truncation). */
+    std::uint64_t wirePoisoned = 0;
     /** Connections closed by the idle timeout. */
     std::uint64_t idleClosed = 0;
     /** Connections force-closed at the drain deadline with answers

@@ -15,6 +15,7 @@
 #include "net/socket.hpp"
 #include "router/hash_ring.hpp"
 #include "serve/protocol.hpp"
+#include "serve/wire.hpp"
 
 namespace ftsim {
 
@@ -83,7 +84,11 @@ struct RouterServer::Impl {
         std::string id;
         QueryKind query = QueryKind::MaxBatch;
         Purpose purpose = Purpose::Client;
-        /** The original request line, byte-verbatim — the failover
+        /** The request arrived as a binary frame; its answer (shard
+         *  bytes or router-composed) goes back binary too. */
+        bool binary = false;
+        /** The original request bytes, byte-verbatim — a JSON line
+         *  (no terminator) or a complete binary frame — the failover
          *  replay payload. */
         std::string requestLine;
         /** canonicalKey(): where the ring re-routes it. */
@@ -101,7 +106,8 @@ struct RouterServer::Impl {
         std::shared_ptr<StatsGather> gather;
         std::string shardName;
         bool ready = false;
-        /** The response line (no terminator) once ready. */
+        /** The response bytes once ready: a JSON line (no
+         *  terminator) or a complete binary frame. */
         std::string line;
     };
 
@@ -124,7 +130,7 @@ struct RouterServer::Impl {
     /** One open client connection (the NetServer per-conn shape). */
     struct Conn {
         Connection socket;
-        LineFramer framer;
+        WireFramer framer;
         std::deque<std::shared_ptr<Slot>> pending;
         std::string out;
         std::size_t outOff = 0;
@@ -147,7 +153,7 @@ struct RouterServer::Impl {
     struct Shard {
         ShardEndpoint endpoint;
         Connection socket;
-        LineFramer framer;
+        WireFramer framer;
         /** Requests sent (or queued to send), oldest first. The shard
          *  answers per connection in request order, so each response
          *  line fills the front slot — no correlation ids needed. */
@@ -309,6 +315,15 @@ struct RouterServer::Impl {
         return true;
     }
 
+    /** Readies @p slot with a router-composed response, encoded in
+     *  the request's wire format. */
+    void finishSlot(Slot& slot, const PlanResponse& response)
+    {
+        slot.line = slot.binary ? encodeResponseFrame(response)
+                                : writePlanResponse(response);
+        slot.ready = true;
+    }
+
     /** Fills @p slot with a typed error response — the only answers
      *  the router composes (everything else is shard bytes). */
     void answerError(Slot& slot, ErrorCode code, std::string message)
@@ -316,9 +331,8 @@ struct RouterServer::Impl {
         PlanRequest request;
         request.id = slot.id;
         request.query = slot.query;
-        slot.line = writePlanResponse(
-            errorResponse(request, Error{code, std::move(message)}));
-        slot.ready = true;
+        finishSlot(slot, errorResponse(
+                             request, Error{code, std::move(message)}));
     }
 
     /** Queues @p slot's retained request line on @p shard. Client
@@ -327,7 +341,8 @@ struct RouterServer::Impl {
     void enqueueSlot(Shard& shard, const std::shared_ptr<Slot>& slot)
     {
         shard.out += slot->requestLine;
-        shard.out += '\n';
+        if (!slot->binary)
+            shard.out += '\n';  // Binary frames self-delimit.
         ++slot->attempts;
         // Client and stats-scrape slots get a fresh per-attempt
         // deadline (a wedged shard must not hang a scrape either);
@@ -385,7 +400,7 @@ struct RouterServer::Impl {
         shard.socket.close();
         shard.out.clear();
         shard.outOff = 0;
-        shard.framer = LineFramer(config.maxShardLineBytes);
+        shard.framer = WireFramer(config.maxShardLineBytes);
         ring.removeShard(index);
         std::deque<std::shared_ptr<Slot>> orphans;
         orphans.swap(shard.outstanding);
@@ -482,7 +497,7 @@ struct RouterServer::Impl {
      */
     void beginWarm(Shard& shard, std::size_t index)
     {
-        shard.framer = LineFramer(config.maxShardLineBytes);
+        shard.framer = WireFramer(config.maxShardLineBytes);
         shard.out.clear();
         shard.outOff = 0;
         shard.outstanding.clear();
@@ -720,8 +735,7 @@ struct RouterServer::Impl {
         response.value =
             static_cast<double>(gather.pieces.size());
         response.statsJson = std::move(merged);
-        slot.line = writePlanResponse(response);
-        slot.ready = true;
+        finishSlot(slot, response);
     }
 
     // ---- Event handlers -----------------------------------------------
@@ -753,41 +767,68 @@ struct RouterServer::Impl {
                 shardStateName(shard->state.load()),
                 " routed=", shard->routed.load(),
                 " heals=", shard->heals.load());
-        slot.line = writePlanResponse(response);
-        slot.ready = true;
+        finishSlot(slot, response);
     }
 
-    void handleFrame(Conn& conn, LineFramer::Frame& frame)
+    /** A ready-at-enqueue protocol-error answer in @p binary format. */
+    void answerProtocolError(Conn& conn, bool binary,
+                             const std::string& message)
+    {
+        protocolErrors.inc();
+        auto slot = std::make_shared<Slot>();
+        slot->binary = binary;
+        slot->line = binary
+                         ? encodeProtocolErrorFrame("", message)
+                         : writeProtocolError("", message);
+        slot->ready = true;
+        conn.pending.push_back(std::move(slot));
+    }
+
+    void handleFrame(Conn& conn, WireFramer::Frame& frame)
     {
         if (frame.overflow) {
             oversized.inc();
-            protocolErrors.inc();
-            auto slot = std::make_shared<Slot>();
-            slot->line = writeProtocolError(
-                "", strCat("request line exceeds ",
-                           config.maxLineBytes, " bytes"));
-            slot->ready = true;
-            conn.pending.push_back(std::move(slot));
+            answerProtocolError(conn, false,
+                                strCat("request line exceeds ",
+                                       config.maxLineBytes,
+                                       " bytes"));
             return;
         }
-        if (isBlank(frame.line))
-            return;
-        // Parse locally even though the shard will parse again: the
-        // canonical key IS the routing decision, and a malformed line
-        // must be answered here (there is no shard for it).
-        Result<PlanRequest> request = parsePlanRequest(frame.line);
-        if (!request) {
-            protocolErrors.inc();
-            auto slot = std::make_shared<Slot>();
-            slot->line =
-                writeProtocolError("", request.error().message);
-            slot->ready = true;
-            conn.pending.push_back(std::move(slot));
-            return;
+        PlanRequest request;
+        if (frame.binary) {
+            // Decode locally even though the shard will decode again:
+            // the canonical key IS the routing decision, and a
+            // malformed frame must be answered here (there is no
+            // shard for it).
+            Result<WireMessage> decoded =
+                decodeWirePayload(frame.payload);
+            if (!decoded.ok()) {
+                answerProtocolError(conn, true,
+                                    decoded.error().message);
+                return;
+            }
+            if (decoded.value().type != WireMsg::Request) {
+                answerProtocolError(conn, true,
+                                    "expected a request frame");
+                return;
+            }
+            request = std::move(decoded.value().request);
+        } else {
+            if (isBlank(frame.payload))
+                return;
+            Result<PlanRequest> parsed =
+                parsePlanRequest(frame.payload);
+            if (!parsed) {
+                answerProtocolError(conn, false,
+                                    parsed.error().message);
+                return;
+            }
+            request = std::move(parsed.value());
         }
         auto slot = std::make_shared<Slot>();
-        slot->id = request.value().id;
-        slot->query = request.value().query;
+        slot->binary = frame.binary;
+        slot->id = request.id;
+        slot->query = request.query;
         if (slot->query == QueryKind::Fleet) {
             // Intercepted: the fleet question is about the router's
             // view. (Ask a shard's own port for per-shard counters.)
@@ -802,8 +843,15 @@ struct RouterServer::Impl {
             conn.pending.push_back(std::move(slot));
             return;
         }
-        slot->key = request.value().canonicalKey();
-        slot->requestLine = std::move(frame.line);
+        slot->key = request.canonicalKey();
+        // Forward byte-verbatim in the request's own format: the
+        // shard stamps the echoed id itself, and re-serializing here
+        // could only risk perturbing the bytes the golden gate diffs.
+        // Re-wrapping the binary payload in its 8-byte header is
+        // deterministic — identical to the bytes the client sent.
+        slot->requestLine = frame.binary
+                                ? wireFrame(frame.payload)
+                                : std::move(frame.payload);
         const int target = ring.shardFor(slot->key);
         if (target < 0) {
             shardFailures.inc();
@@ -813,9 +861,6 @@ struct RouterServer::Impl {
             return;
         }
         Shard& shard = *shards[static_cast<std::size_t>(target)];
-        // Forward the original line byte-verbatim: the shard stamps
-        // the echoed id itself, and re-serializing here could only
-        // risk perturbing the bytes the golden gate diffs.
         enqueueSlot(shard, slot);
         shard.routed.fetch_add(1);
         forwarded.inc();
@@ -829,12 +874,28 @@ struct RouterServer::Impl {
             const IoResult io = conn.socket.readSome(buf, sizeof(buf));
             if (io.status == IoStatus::Ok) {
                 conn.framer.feed(buf, io.bytes);
-                LineFramer::Frame frame;
+                WireFramer::Frame frame;
                 while (conn.framer.next(frame))
                     handleFrame(conn, frame);
+                if (conn.framer.poisoned()) {
+                    // Binary framing damage kills the connection (one
+                    // final error frame first) — same containment as
+                    // the NetServer.
+                    answerProtocolError(
+                        conn, true,
+                        strCat("bad frame: ",
+                               conn.framer.poisonReason()));
+                    conn.inputClosed = true;
+                    conn.closeAfterFlush = true;
+                }
             } else if (io.status == IoStatus::WouldBlock) {
                 break;
             } else if (io.status == IoStatus::Eof) {
+                if (conn.framer.midBinaryFrame()) {
+                    answerProtocolError(
+                        conn, true,
+                        "bad frame: truncated frame at EOF");
+                }
                 conn.inputClosed = true;
                 conn.closeAfterFlush = true;
             } else {
@@ -851,7 +912,7 @@ struct RouterServer::Impl {
                 shard.socket.readSome(buf, sizeof(buf));
             if (io.status == IoStatus::Ok) {
                 shard.framer.feed(buf, io.bytes);
-                LineFramer::Frame frame;
+                WireFramer::Frame frame;
                 while (shard.framer.next(frame)) {
                     if (frame.overflow) {
                         // A response we cannot frame poisons the
@@ -861,7 +922,7 @@ struct RouterServer::Impl {
                                     "answered an oversized line");
                         return;
                     }
-                    if (isBlank(frame.line))
+                    if (!frame.binary && isBlank(frame.payload))
                         continue;
                     if (shard.outstanding.empty()) {
                         shardBroken(shard, index,
@@ -871,14 +932,33 @@ struct RouterServer::Impl {
                     const std::shared_ptr<Slot> slot =
                         shard.outstanding.front();
                     shard.outstanding.pop_front();
+                    // Positional fill only works if the shard kept
+                    // the response-follows-request-format contract;
+                    // a format flip means the streams desynced.
+                    if (frame.binary != slot->binary) {
+                        shardBroken(
+                            shard, index,
+                            "answered in the wrong wire format");
+                        return;
+                    }
                     if (slot->purpose == Slot::Purpose::Client) {
-                        slot->line = std::move(frame.line);
+                        slot->line =
+                            frame.binary
+                                ? wireFrame(frame.payload)
+                                : std::move(frame.payload);
                         slot->ready = true;
                     } else {
-                        onInternalResponse(*slot, frame.line);
+                        onInternalResponse(*slot, frame.payload);
                         if (!shard.active())
                             return;  // This shard's heal just failed.
                     }
+                }
+                if (shard.framer.poisoned()) {
+                    shardBroken(shard, index,
+                                strCat("answered undecodable bytes (",
+                                       shard.framer.poisonReason(),
+                                       ')'));
+                    return;
                 }
             } else if (io.status == IoStatus::WouldBlock) {
                 return;
@@ -918,8 +998,10 @@ struct RouterServer::Impl {
     void pump(Conn& conn)
     {
         while (!conn.pending.empty() && conn.pending.front()->ready) {
-            conn.out += conn.pending.front()->line;
-            conn.out += '\n';
+            const Slot& slot = *conn.pending.front();
+            conn.out += slot.line;
+            if (!slot.binary)
+                conn.out += '\n';  // Binary frames self-delimit.
             conn.pending.pop_front();
             responses.inc();
         }

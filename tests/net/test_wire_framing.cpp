@@ -1,0 +1,248 @@
+/**
+ * @file
+ * WireFramer/BinaryFramer tests: per-frame codec dispatch (the
+ * negotiation mechanism), split-at-every-byte reassembly, poison on
+ * framing damage, and JSON overflow semantics surviving intact next
+ * to binary traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/framing.hpp"
+#include "serve/protocol.hpp"
+#include "serve/wire.hpp"
+
+namespace ftsim {
+namespace {
+
+constexpr std::size_t kCap = 1 << 16;
+
+std::string
+binaryRequest(const char* id, QueryKind kind = QueryKind::Snapshot)
+{
+    PlanRequest req;
+    req.id = id;
+    req.query = kind;
+    if (kind == QueryKind::MaxBatch)
+        req.gpu = "A40";
+    return encodeRequestFrame(req);
+}
+
+std::vector<WireFramer::Frame>
+drain(WireFramer& framer)
+{
+    std::vector<WireFramer::Frame> out;
+    WireFramer::Frame frame;
+    while (framer.next(frame))
+        out.push_back(std::move(frame));
+    return out;
+}
+
+TEST(WireFraming, DispatchesJsonAndBinaryPerFrame)
+{
+    WireFramer framer(kCap);
+    const std::string bin = binaryRequest("b1");
+    const std::string json = "{\"query\":\"snapshot\",\"id\":\"j1\"}\n";
+    std::string stream = json + bin + json + bin + bin;
+    framer.feed(stream.data(), stream.size());
+    auto frames = drain(framer);
+    ASSERT_EQ(frames.size(), 5u);
+    EXPECT_FALSE(frames[0].binary);
+    EXPECT_TRUE(frames[1].binary);
+    EXPECT_FALSE(frames[2].binary);
+    EXPECT_TRUE(frames[3].binary);
+    EXPECT_TRUE(frames[4].binary);
+    EXPECT_EQ(frames[0].payload,
+              "{\"query\":\"snapshot\",\"id\":\"j1\"}");
+    EXPECT_EQ(kWireHeaderBytes + frames[1].payload.size(),
+              bin.size());
+    EXPECT_EQ(frames[1].payload, bin.substr(kWireHeaderBytes));
+    EXPECT_FALSE(framer.poisoned());
+    EXPECT_FALSE(framer.midBinaryFrame());
+    EXPECT_EQ(framer.partialBytes(), 0u);
+}
+
+TEST(WireFraming, ReassemblesAcrossEverySplitPoint)
+{
+    const std::string bin = binaryRequest("split", QueryKind::MaxBatch);
+    const std::string json = "{\"query\":\"fleet\"}\n";
+    const std::string stream = bin + json + bin;
+    for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+        WireFramer framer(kCap);
+        framer.feed(stream.data(), cut);
+        framer.feed(stream.data() + cut, stream.size() - cut);
+        auto frames = drain(framer);
+        ASSERT_EQ(frames.size(), 3u) << "cut at " << cut;
+        EXPECT_TRUE(frames[0].binary);
+        EXPECT_FALSE(frames[1].binary);
+        EXPECT_TRUE(frames[2].binary);
+        EXPECT_EQ(frames[0].payload, bin.substr(kWireHeaderBytes));
+        EXPECT_EQ(frames[1].payload, "{\"query\":\"fleet\"}");
+        EXPECT_EQ(frames[2].payload, frames[0].payload);
+        EXPECT_FALSE(framer.poisoned());
+    }
+}
+
+TEST(WireFraming, ByteAtATime)
+{
+    const std::string bin = binaryRequest("drip");
+    const std::string stream =
+        "{\"query\":\"stats\"}\n" + bin + "{\"query\":\"fleet\"}\n";
+    WireFramer framer(kCap);
+    for (char c : stream)
+        framer.feed(&c, 1);
+    auto frames = drain(framer);
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_FALSE(frames[0].binary);
+    EXPECT_TRUE(frames[1].binary);
+    EXPECT_FALSE(frames[2].binary);
+}
+
+TEST(WireFraming, BadMagicSuffixPoisons)
+{
+    std::string bin = binaryRequest("x");
+    bin[1] = 'Q';  // 0xF7 'Q' ... — not our magic.
+    WireFramer framer(kCap);
+    framer.feed(bin.data(), bin.size());
+    auto frames = drain(framer);
+    EXPECT_TRUE(frames.empty());
+    EXPECT_TRUE(framer.poisoned());
+    EXPECT_NE(framer.poisonReason().find("magic"), std::string::npos);
+}
+
+TEST(WireFraming, BadVersionPoisons)
+{
+    std::string bin = binaryRequest("x");
+    bin[3] = 0x7F;
+    WireFramer framer(kCap);
+    framer.feed(bin.data(), bin.size());
+    EXPECT_TRUE(framer.poisoned());
+    EXPECT_NE(framer.poisonReason().find("version"),
+              std::string::npos);
+}
+
+TEST(WireFraming, ZeroLengthFramePoisons)
+{
+    std::string header = binaryRequest("x").substr(0, kWireHeaderBytes);
+    header[4] = header[5] = header[6] = header[7] = 0;
+    WireFramer framer(kCap);
+    framer.feed(header.data(), header.size());
+    EXPECT_TRUE(framer.poisoned());
+}
+
+TEST(WireFraming, OversizedFramePoisonsAtTheHeader)
+{
+    // Length prefix far past the cap: poisons after 8 bytes, before
+    // any payload is buffered (no memory bomb).
+    std::string header = binaryRequest("x").substr(0, kWireHeaderBytes);
+    header[4] = '\xff';
+    header[5] = '\xff';
+    header[6] = '\xff';
+    header[7] = '\x7f';
+    WireFramer framer(kCap);
+    framer.feed(header.data(), header.size());
+    EXPECT_TRUE(framer.poisoned());
+    EXPECT_NE(framer.poisonReason().find("cap"), std::string::npos);
+    EXPECT_EQ(framer.partialBytes(), 0u);
+
+    // And everything after the damage is dropped, not reinterpreted.
+    const std::string after = "{\"query\":\"fleet\"}\n";
+    framer.feed(after.data(), after.size());
+    auto frames = drain(framer);
+    EXPECT_TRUE(frames.empty());
+}
+
+TEST(WireFraming, TruncatedFrameIsVisibleAtEof)
+{
+    const std::string bin = binaryRequest("x");
+    WireFramer framer(kCap);
+    framer.feed(bin.data(), bin.size() - 3);
+    auto frames = drain(framer);
+    EXPECT_TRUE(frames.empty());
+    EXPECT_FALSE(framer.poisoned());
+    // The server checks this at EOF: mid-frame close = truncation.
+    EXPECT_TRUE(framer.midBinaryFrame());
+    EXPECT_GT(framer.partialBytes(), 0u);
+}
+
+TEST(WireFraming, JsonOverflowStillDiscardsAndRecovers)
+{
+    // A JSON line over the cap keeps LineFramer's semantics: one
+    // overflow frame, line dropped, and the *stream* survives — the
+    // next frame (binary, even) parses fine.
+    WireFramer framer(64);
+    std::string huge(200, 'a');
+    huge += '\n';
+    framer.feed(huge.data(), huge.size());
+    const std::string bin = binaryRequest("ok");
+    framer.feed(bin.data(), bin.size());
+    auto frames = drain(framer);
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_TRUE(frames[0].overflow);
+    EXPECT_FALSE(frames[0].binary);
+    EXPECT_TRUE(frames[1].binary);
+    EXPECT_FALSE(framer.poisoned());
+}
+
+TEST(WireFraming, OverflowSplitAcrossFeedsThenBinary)
+{
+    WireFramer framer(16);
+    std::string part1(40, 'x');  // Over the cap, no newline yet.
+    framer.feed(part1.data(), part1.size());
+    std::string part2 = "yyy\n";
+    framer.feed(part2.data(), part2.size());
+    const std::string bin = binaryRequest("after");
+    framer.feed(bin.data(), bin.size());
+    auto frames = drain(framer);
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_TRUE(frames[0].overflow);
+    EXPECT_TRUE(frames[1].binary);
+}
+
+TEST(WireFraming, MagicByteMidJsonLineStaysJson)
+{
+    // 0xF7 dispatches only at frame start; inside a line it's just a
+    // byte (an invalid one for strict JSON, but framing must not cut
+    // the line in half).
+    WireFramer framer(kCap);
+    std::string line = "{\"id\":\"\xf7\x46\x54\"}\n";
+    framer.feed(line.data(), line.size());
+    auto frames = drain(framer);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_FALSE(frames[0].binary);
+    EXPECT_EQ(frames[0].payload, line.substr(0, line.size() - 1));
+}
+
+TEST(WireFraming, BinaryPayloadContainingNewlinesIsNotSplit)
+{
+    PlanRequest req;
+    req.query = QueryKind::LoadSnapshot;
+    req.snapshot = "line1\nline2\n{\"query\":\"fleet\"}\n";
+    const std::string bin = encodeRequestFrame(req);
+    WireFramer framer(kCap);
+    framer.feed(bin.data(), bin.size());
+    auto frames = drain(framer);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_TRUE(frames[0].binary);
+    Result<WireMessage> decoded = decodeWirePayload(frames[0].payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.error().describe();
+    EXPECT_EQ(decoded.value().request.snapshot, req.snapshot);
+}
+
+TEST(WireFraming, BinaryFramerStopsAfterOneFrame)
+{
+    // The re-dispatch contract: a raw BinaryFramer never consumes
+    // past one completed frame in a single feed.
+    const std::string bin = binaryRequest("one");
+    std::string two = bin + bin;
+    BinaryFramer framer(kCap);
+    const std::size_t consumed = framer.feed(two.data(), two.size());
+    EXPECT_EQ(consumed, bin.size());
+    BinaryFramer::Frame frame;
+    ASSERT_TRUE(framer.next(frame));
+    EXPECT_EQ(frame.payload, bin.substr(kWireHeaderBytes));
+    EXPECT_FALSE(framer.next(frame));
+}
+
+}  // namespace
+}  // namespace ftsim

@@ -104,6 +104,20 @@ CHECKS = {
         ("rejoin.plans_loaded", "exact"),
         ("rejoin.plans_compiled", "exact"),
     ],
+    # BENCH_wire.json also self-gates (bench_wire exits non-zero on a
+    # byte mismatch or a binary/JSON speedup below 1.3x); the baseline
+    # pins the deterministic trace shape, the zero-mismatch ledger,
+    # and the codec speedup ratio.
+    "BENCH_wire.json": [
+        ("requests_per_mode", "exact"),
+        ("distinct_step_configs", "exact"),
+        ("byte_mismatches", "exact"),
+        ("failed_connections", "exact"),
+        ("service_stats.steps_simulated", "exact"),
+        ("net_stats.binary_requests", "exact"),
+        ("net_stats.wire_poisoned", "exact"),
+        ("speedup_binary_vs_json", "min_ratio"),
+    ],
     # BENCH_sweep.json also self-gates (bench_sweep exits non-zero on
     # any vectorized-vs-scalar mismatch or a speedup below 1.5x); the
     # baseline pins the catalog shape, the zero-mismatch ledger, and

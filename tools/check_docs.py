@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Docs-drift gate: docs/PROTOCOL.md must cover what the code ships.
+
+The spec is normative, so the failure mode to guard against is not a
+wrong sentence (tests cannot read prose) but a *missing* one: somebody
+adds a QueryKind, an error code, or a wire-format constant and forgets
+the spec. This script scrapes the authoritative switch statements and
+declarations straight out of the sources:
+
+- query-kind wire names from ``queryKindName`` in serve/protocol.cpp;
+- error-code names from ``errorCodeName`` in common/result.cpp;
+- wire constants (``kWire*``) and ``WireMsg`` member names from
+  serve/wire.hpp;
+
+then fails (exit 1, one line per omission) if docs/PROTOCOL.md does
+not mention every single one. Run from the repo root (ci.sh does).
+
+Deliberately dumb: substring presence, no markdown parsing. The spec
+can say anything it likes about a name, but it must say *something*.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def read(path):
+    with open(os.path.join(REPO, path), encoding="utf-8") as f:
+        return f.read()
+
+
+def switch_body(source, function_name):
+    """The text between a function's ``switch`` and its closing brace."""
+    start = source.index(function_name)
+    start = source.index("switch", start)
+    end = source.index("\n}", start)
+    return source[start:end]
+
+
+def query_kinds():
+    body = switch_body(read("src/serve/protocol.cpp"), "queryKindName")
+    kinds = re.findall(r'return "([a-z_]+)";', body)
+    assert kinds, "no query kinds scraped from protocol.cpp"
+    return kinds
+
+
+def error_codes():
+    body = switch_body(read("src/common/result.cpp"), "errorCodeName")
+    codes = re.findall(r"case ErrorCode::(\w+)", body)
+    assert codes, "no error codes scraped from result.cpp"
+    return codes
+
+
+def wire_names():
+    header = read("src/serve/wire.hpp")
+    names = re.findall(r"constexpr \w+(?:\s\w+)? (kWire\w+)", header)
+    assert names, "no kWire constants scraped from wire.hpp"
+    enum = header[header.index("enum class WireMsg"):]
+    enum = enum[: enum.index("};")]
+    members = re.findall(r"^\s+(\w+) = 0x", enum, re.MULTILINE)
+    assert members, "no WireMsg members scraped from wire.hpp"
+    return names + ["WireMsg::" + m for m in members]
+
+
+def main():
+    spec = read("docs/PROTOCOL.md")
+    missing = []
+    for kind in query_kinds():
+        # Query kinds appear quoted, the way a request line spells them.
+        if '"%s"' % kind not in spec:
+            missing.append('query kind "%s"' % kind)
+    for code in error_codes():
+        if code not in spec:
+            missing.append("error code %s" % code)
+    for name in wire_names():
+        if name not in spec:
+            missing.append("wire name %s" % name)
+    if missing:
+        for item in missing:
+            print("check_docs: docs/PROTOCOL.md does not mention",
+                  item, file=sys.stderr)
+        return 1
+    print("check_docs: docs/PROTOCOL.md covers every query kind, "
+          "error code, and wire name")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,22 @@
 /**
  * @file
- * `ftsim_client` — pipelining JSON-lines client for `ftsim_served`.
+ * `ftsim_client` — pipelining client for `ftsim_served`.
  *
- * Reads request lines from a file (or stdin), sends them all down one
- * TCP connection, then reads one response per non-blank request line
- * and prints it to stdout. The server answers each connection in
- * request order, so the pipelined exchange preserves input order —
- * `cat requests.jsonl | ftsim_client - --port P` is the socket-hop
- * equivalent of `ftsim_serve requests.jsonl`, and ci.sh diffs the two
- * against the same golden file.
+ * Reads JSON request lines from a file (or stdin), sends them all
+ * down one TCP connection, then reads one response per non-blank
+ * request line and prints it to stdout. The server answers each
+ * connection in request order, so the pipelined exchange preserves
+ * input order — `cat requests.jsonl | ftsim_client - --port P` is
+ * the socket-hop equivalent of `ftsim_serve requests.jsonl`, and
+ * ci.sh diffs the two against the same golden file.
+ *
+ * `--wire binary` re-encodes each parseable request as a binary
+ * frame (serve/wire.hpp) and decodes binary responses back through
+ * the JSON writer before printing — so the *output is byte-identical
+ * to the JSON path* and diffs against the same golden. Lines that do
+ * not parse are sent as raw JSON (the server answers them with a
+ * JSON protocol error either way), which keeps hostile-input
+ * fixtures exercising the same error text in both modes.
  *
  * Blank lines are skipped (they are not requests; the server skips
  * them too, so sending them would desynchronize the response count).
@@ -21,7 +29,7 @@
  * hung fixture fails the gate rather than the build).
  *
  * Usage: ftsim_client [requests.jsonl|-] [--host H] [--port P]
- *                     [--timeout-ms N]
+ *                     [--timeout-ms N] [--wire json|binary]
  */
 
 #include <cmath>
@@ -33,6 +41,8 @@
 
 #include "common/logging.hpp"
 #include "net/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/wire.hpp"
 
 using namespace ftsim;
 
@@ -43,7 +53,8 @@ usage(const std::string& problem)
 {
     std::cerr << "ftsim_client: " << problem << "\n"
               << "usage: ftsim_client [requests.jsonl|-]"
-                 " [--host H] [--port P] [--timeout-ms N]\n";
+                 " [--host H] [--port P] [--timeout-ms N]"
+                 " [--wire json|binary]\n";
     std::exit(2);
 }
 
@@ -56,6 +67,7 @@ main(int argc, char** argv)
     std::string host = "127.0.0.1";
     std::uint16_t port = 0;
     double timeoutMs = 0.0;
+    bool binary = false;
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -72,6 +84,14 @@ main(int argc, char** argv)
             if (*end != '\0' || parsed < 1.0 || parsed > 65535.0)
                 usage("--port needs a port number");
             port = static_cast<std::uint16_t>(parsed);
+        } else if (arg == "--wire") {
+            const std::string mode = value();
+            if (mode == "binary")
+                binary = true;
+            else if (mode == "json")
+                binary = false;
+            else
+                usage("--wire needs json or binary");
         } else if (arg == "--timeout-ms") {
             char* end = nullptr;
             const double parsed = std::strtod(value(), &end);
@@ -121,7 +141,19 @@ main(int argc, char** argv)
     // Pipeline: all requests out, then all responses back (the server
     // preserves per-connection request order).
     for (const std::string& request : requests) {
-        Result<bool> sent = client.sendLine(request);
+        Result<bool> sent = true;
+        if (binary) {
+            Result<PlanRequest> parsed = parsePlanRequest(request);
+            // Parseable lines ride as binary frames; hostile lines
+            // go out as raw JSON so the server's error text (and so
+            // this tool's output) matches the JSON path exactly.
+            sent = parsed.ok()
+                       ? client.sendBytes(
+                             encodeRequestFrame(parsed.value()))
+                       : client.sendLine(request);
+        } else {
+            sent = client.sendLine(request);
+        }
         if (!sent) {
             std::cerr << "ftsim_client: " << sent.error().message
                       << '\n';
@@ -131,15 +163,45 @@ main(int argc, char** argv)
     client.finishSending();
 
     for (std::size_t i = 0; i < requests.size(); ++i) {
-        Result<std::string> response = client.recvLine();
-        if (!response) {
-            std::cerr << "ftsim_client: after " << i << " of "
-                      << requests.size()
-                      << " responses: " << response.error().message
-                      << '\n';
-            return 1;
+        std::string out;
+        if (binary) {
+            Result<WireFramer::Frame> frame = client.recvFrame();
+            if (!frame) {
+                std::cerr << "ftsim_client: after " << i << " of "
+                          << requests.size() << " responses: "
+                          << frame.error().message << '\n';
+                return 1;
+            }
+            if (!frame.value().binary) {
+                out = std::move(frame.value().payload);
+            } else {
+                Result<WireMessage> decoded =
+                    decodeWirePayload(frame.value().payload);
+                if (!decoded) {
+                    std::cerr << "ftsim_client: undecodable frame: "
+                              << decoded.error().message << '\n';
+                    return 1;
+                }
+                // Print through the JSON writers: byte-identical to
+                // what the JSON path would have produced.
+                if (decoded.value().type == WireMsg::Response)
+                    out = writePlanResponse(decoded.value().response);
+                else
+                    out = writeProtocolError(
+                        decoded.value().errorId,
+                        decoded.value().errorMessage);
+            }
+        } else {
+            Result<std::string> response = client.recvLine();
+            if (!response) {
+                std::cerr << "ftsim_client: after " << i << " of "
+                          << requests.size() << " responses: "
+                          << response.error().message << '\n';
+                return 1;
+            }
+            out = std::move(response.value());
         }
-        std::cout << response.value() << '\n';
+        std::cout << out << '\n';
     }
     return 0;
 }
